@@ -1,0 +1,207 @@
+//! The battery model with the derates of §2.2.
+
+use sim_clock::SimDuration;
+
+/// Static battery provisioning parameters.
+///
+/// The paper's §2.2 lists the factors that shrink a battery's *usable*
+/// energy well below its nameplate capacity: a 50% depth-of-discharge limit
+/// for a 3-4 year service life, ~30% lower-density cells for datacenter
+/// power levels, and reserve capacity held back for other uses
+/// (peak-shaving, power blips). All are modelled here.
+///
+/// # Examples
+///
+/// ```
+/// use battery_sim::BatteryConfig;
+///
+/// let cfg = BatteryConfig::with_capacity_joules(1_000.0);
+/// // Usable energy is nameplate x depth-of-discharge x (1 - reserve).
+/// assert!(cfg.usable_joules() < 1_000.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatteryConfig {
+    /// Nameplate capacity in joules.
+    pub capacity_joules: f64,
+    /// Fraction of capacity that may be discharged per §2.2's lifetime
+    /// guidance (0.5 for a 3-4 year life).
+    pub depth_of_discharge: f64,
+    /// Fraction of usable energy reserved for non-NV-DRAM uses
+    /// (peak-shaving, brownouts).
+    pub reserve_fraction: f64,
+}
+
+impl BatteryConfig {
+    /// A config with the paper's default derates and the given nameplate
+    /// capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_joules` is not positive and finite.
+    pub fn with_capacity_joules(capacity_joules: f64) -> Self {
+        assert!(
+            capacity_joules > 0.0 && capacity_joules.is_finite(),
+            "battery capacity must be positive and finite, got {capacity_joules}"
+        );
+        BatteryConfig {
+            capacity_joules,
+            depth_of_discharge: 0.5,
+            reserve_fraction: 0.0,
+        }
+    }
+
+    /// Returns `self` with a different depth-of-discharge limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dod` is outside `(0, 1]`.
+    #[must_use]
+    pub fn with_depth_of_discharge(mut self, dod: f64) -> Self {
+        assert!(
+            dod > 0.0 && dod <= 1.0,
+            "depth of discharge must be in (0,1], got {dod}"
+        );
+        self.depth_of_discharge = dod;
+        self
+    }
+
+    /// Returns `self` with a reserve fraction held back for other uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reserve` is outside `[0, 1)`.
+    #[must_use]
+    pub fn with_reserve_fraction(mut self, reserve: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&reserve),
+            "reserve fraction must be in [0,1), got {reserve}"
+        );
+        self.reserve_fraction = reserve;
+        self
+    }
+
+    /// Usable joules at full health.
+    pub fn usable_joules(&self) -> f64 {
+        self.capacity_joules * self.depth_of_discharge * (1.0 - self.reserve_fraction)
+    }
+}
+
+/// A battery instance whose available capacity varies over time (aging,
+/// ambient temperature, cell failures — §8 "Handling battery cell
+/// failures").
+///
+/// # Examples
+///
+/// ```
+/// use battery_sim::{Battery, BatteryConfig};
+///
+/// let mut b = Battery::new(BatteryConfig::with_capacity_joules(600.0));
+/// let fresh = b.effective_joules();
+/// b.set_health(0.8); // lost a cell, or a hot day
+/// assert!(b.effective_joules() < fresh);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Battery {
+    config: BatteryConfig,
+    health: f64,
+}
+
+impl Battery {
+    /// A battery at full health.
+    pub fn new(config: BatteryConfig) -> Self {
+        Battery {
+            config,
+            health: 1.0,
+        }
+    }
+
+    /// The static provisioning parameters.
+    pub fn config(&self) -> &BatteryConfig {
+        &self.config
+    }
+
+    /// Current health in `[0, 1]`.
+    pub fn health(&self) -> f64 {
+        self.health
+    }
+
+    /// Updates health (1.0 = new, 0.0 = dead). Viyojit re-derives the dirty
+    /// budget when this changes, rather than halting the server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `health` is outside `[0, 1]`.
+    pub fn set_health(&mut self, health: f64) {
+        assert!(
+            (0.0..=1.0).contains(&health),
+            "battery health must be in [0,1], got {health}"
+        );
+        self.health = health;
+    }
+
+    /// Joules actually available for a flush right now.
+    pub fn effective_joules(&self) -> f64 {
+        self.config.usable_joules() * self.health
+    }
+
+    /// How long this battery can hold up a system drawing `watts`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `watts` is not positive and finite.
+    pub fn holdup_time(&self, watts: f64) -> SimDuration {
+        assert!(
+            watts > 0.0 && watts.is_finite(),
+            "power draw must be positive and finite, got {watts}"
+        );
+        SimDuration::from_secs_f64(self.effective_joules() / watts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_derates_halve_capacity() {
+        let cfg = BatteryConfig::with_capacity_joules(1_000.0);
+        assert!((cfg.usable_joules() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reserve_stacks_with_dod() {
+        let cfg = BatteryConfig::with_capacity_joules(1_000.0)
+            .with_depth_of_discharge(0.5)
+            .with_reserve_fraction(0.2);
+        assert!((cfg.usable_joules() - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn holdup_time_is_energy_over_power() {
+        let b =
+            Battery::new(BatteryConfig::with_capacity_joules(600.0).with_depth_of_discharge(1.0));
+        // 600 J at 300 W = 2 s.
+        assert_eq!(b.holdup_time(300.0).as_millis(), 2_000);
+    }
+
+    #[test]
+    fn health_scales_holdup_linearly() {
+        let mut b =
+            Battery::new(BatteryConfig::with_capacity_joules(600.0).with_depth_of_discharge(1.0));
+        let full = b.holdup_time(100.0);
+        b.set_health(0.5);
+        assert_eq!(b.holdup_time(100.0).as_nanos() * 2, full.as_nanos());
+    }
+
+    #[test]
+    #[should_panic(expected = "health must be in")]
+    fn overcharged_health_panics() {
+        Battery::new(BatteryConfig::with_capacity_joules(1.0)).set_health(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = BatteryConfig::with_capacity_joules(0.0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Dirty-budget derivation (§5.1) and its inverse.
+
+use mem_sim::PAGE_SIZE;
+use sim_clock::SimDuration;
+
+use crate::{Battery, PowerModel};
+
+/// The maximum amount of NV-DRAM data allowed to be inconsistent with the
+/// backing SSD, derived from a battery, a power model, and a conservative
+/// SSD write bandwidth.
+///
+/// # Examples
+///
+/// ```
+/// use battery_sim::{Battery, BatteryConfig, DirtyBudget, PowerModel};
+///
+/// let battery = Battery::new(
+///     BatteryConfig::with_capacity_joules(600.0).with_depth_of_discharge(1.0),
+/// );
+/// let power = PowerModel {
+///     cpu_watts: 300.0, dram_watts_per_gib: 0.0, dram_gib: 0.0,
+///     ssd_watts: 0.0, base_watts: 0.0,
+/// };
+/// // 600 J / 300 W = 2 s holdup; at 1 GB/s that is 2 GB of dirty data.
+/// let budget = DirtyBudget::derive(&battery, &power, 1_000_000_000);
+/// assert_eq!(budget.bytes(), 2_000_000_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DirtyBudget {
+    bytes: u64,
+}
+
+impl DirtyBudget {
+    /// Derives the budget: `holdup(battery, power) x flush_bandwidth`.
+    pub fn derive(
+        battery: &Battery,
+        power: &PowerModel,
+        flush_bandwidth_bytes_per_sec: u64,
+    ) -> Self {
+        let holdup = battery.holdup_time(power.total_watts());
+        DirtyBudget {
+            bytes: (holdup.as_secs_f64() * flush_bandwidth_bytes_per_sec as f64) as u64,
+        }
+    }
+
+    /// A budget stated directly in bytes (how the evaluation sweeps Fig. 7:
+    /// "we use the dirty budget as a proxy for the battery capacity").
+    pub const fn from_bytes(bytes: u64) -> Self {
+        DirtyBudget { bytes }
+    }
+
+    /// A budget stated in pages.
+    pub const fn from_pages(pages: u64) -> Self {
+        DirtyBudget {
+            bytes: pages * PAGE_SIZE as u64,
+        }
+    }
+
+    /// The budget in bytes.
+    pub const fn bytes(self) -> u64 {
+        self.bytes
+    }
+
+    /// The budget in whole pages (rounded down: a partial page cannot be
+    /// left dirty).
+    pub const fn pages(self) -> u64 {
+        self.bytes / PAGE_SIZE as u64
+    }
+
+    /// The nameplate joules a traditional full-backup design would need to
+    /// guarantee this many bytes, inverting [`DirtyBudget::derive`] for a
+    /// battery with the given config derates.
+    pub fn required_nameplate_joules(
+        self,
+        power: &PowerModel,
+        flush_bandwidth_bytes_per_sec: u64,
+        depth_of_discharge: f64,
+        reserve_fraction: f64,
+    ) -> f64 {
+        let flush_secs = self.bytes as f64 / flush_bandwidth_bytes_per_sec as f64;
+        let joules_at_terminals = flush_secs * power.total_watts();
+        joules_at_terminals / (depth_of_discharge * (1.0 - reserve_fraction))
+    }
+
+    /// Worst-case shutdown flush time at the given bandwidth (§8
+    /// "Increased availability": bounding dirty pages bounds flush time).
+    pub fn flush_time(self, flush_bandwidth_bytes_per_sec: u64) -> SimDuration {
+        SimDuration::from_secs_f64(self.bytes as f64 / flush_bandwidth_bytes_per_sec as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BatteryConfig;
+
+    fn power_300w() -> PowerModel {
+        PowerModel {
+            cpu_watts: 300.0,
+            dram_watts_per_gib: 0.0,
+            dram_gib: 0.0,
+            ssd_watts: 0.0,
+            base_watts: 0.0,
+        }
+    }
+
+    #[test]
+    fn papers_4tb_example_needs_about_300kj() {
+        // §2.2: 4 TB DRAM, 4 GB/s SSD write bandwidth, 300 W server
+        // => ~300 kJ of energy delivered at the terminals.
+        let budget = DirtyBudget::from_bytes(4 * 1024 * 1024 * 1024 * 1024);
+        let joules = budget.required_nameplate_joules(&power_300w(), 4_000_000_000, 1.0, 0.0);
+        assert!(
+            (280_000.0..360_000.0).contains(&joules),
+            "expected ~300 kJ, got {joules}"
+        );
+    }
+
+    #[test]
+    fn derive_matches_hand_computation() {
+        let battery =
+            Battery::new(BatteryConfig::with_capacity_joules(1_200.0).with_depth_of_discharge(0.5));
+        // 600 J usable / 300 W = 2 s; at 500 MB/s -> 1 GB.
+        let b = DirtyBudget::derive(&battery, &power_300w(), 500_000_000);
+        assert_eq!(b.bytes(), 1_000_000_000);
+    }
+
+    #[test]
+    fn derive_round_trips_with_required_joules() {
+        let dod = 0.5;
+        let reserve = 0.1;
+        let battery = Battery::new(
+            BatteryConfig::with_capacity_joules(10_000.0)
+                .with_depth_of_discharge(dod)
+                .with_reserve_fraction(reserve),
+        );
+        let bw = 750_000_000;
+        let budget = DirtyBudget::derive(&battery, &power_300w(), bw);
+        let back = budget.required_nameplate_joules(&power_300w(), bw, dod, reserve);
+        assert!((back - 10_000.0).abs() < 1.0, "round-trip drifted: {back}");
+    }
+
+    #[test]
+    fn pages_round_down() {
+        let b = DirtyBudget::from_bytes(PAGE_SIZE as u64 * 2 + 17);
+        assert_eq!(b.pages(), 2);
+        assert_eq!(DirtyBudget::from_pages(3).bytes(), 3 * PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn flush_time_bounds_shutdown() {
+        // The paper: 4 TB at 4 GB/s is ~17 minutes; a 2 GB budget is ~0.5 s.
+        let full = DirtyBudget::from_bytes(4 * 1024 * 1024 * 1024 * 1024);
+        let mins = full.flush_time(4_000_000_000).as_secs_f64() / 60.0;
+        assert!((15.0..20.0).contains(&mins), "got {mins} minutes");
+        let bounded = DirtyBudget::from_bytes(2 * 1024 * 1024 * 1024);
+        assert!(bounded.flush_time(4_000_000_000).as_millis() < 1_000);
+    }
+}

@@ -1,0 +1,223 @@
+//! Time-varying battery capacity (§2.2, §8).
+//!
+//! The paper lists the reasons available battery capacity moves at
+//! runtime: "variations in external power fluctuations, aging, ambient
+//! temperature and humidity variation, depth of discharge". §8's answer
+//! is to re-derive the dirty budget as capacity changes instead of
+//! over-provisioning for the worst case. This module provides a health
+//! model combining calendar aging, cycle wear, and a diurnal temperature
+//! profile, plus a [`BudgetGovernor`] that turns the varying health into
+//! a stream of budget updates.
+
+use sim_clock::SimDuration;
+
+use crate::{Battery, DirtyBudget, PowerModel};
+
+/// A battery-health trajectory: multiplicative factors from calendar
+/// aging, discharge-cycle wear, and ambient temperature.
+///
+/// # Examples
+///
+/// ```
+/// use battery_sim::HealthModel;
+/// use sim_clock::SimDuration;
+///
+/// let model = HealthModel::datacenter_default();
+/// let fresh = model.health_at(SimDuration::ZERO, 0);
+/// let aged = model.health_at(SimDuration::from_secs(2 * 365 * 24 * 3600), 500);
+/// assert!(aged < fresh);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthModel {
+    /// Fractional capacity lost per year of calendar age.
+    pub calendar_fade_per_year: f64,
+    /// Fractional capacity lost per full discharge cycle.
+    pub fade_per_cycle: f64,
+    /// Amplitude of the diurnal temperature effect (fractional capacity
+    /// swing between the coolest and hottest hour).
+    pub diurnal_amplitude: f64,
+    /// Health floor: the model never predicts below this.
+    pub floor: f64,
+}
+
+impl HealthModel {
+    /// Li-ion in a datacenter hot aisle: ~2%/year calendar fade, ~0.005%
+    /// per cycle (§2.2's 3-4 year life at 50% DoD), ±3% diurnal swing.
+    pub fn datacenter_default() -> Self {
+        HealthModel {
+            calendar_fade_per_year: 0.02,
+            fade_per_cycle: 0.00005,
+            diurnal_amplitude: 0.03,
+            floor: 0.2,
+        }
+    }
+
+    /// Predicted health in `[floor, 1]` at the given age and cycle count.
+    pub fn health_at(&self, age: SimDuration, discharge_cycles: u64) -> f64 {
+        let years = age.as_secs_f64() / (365.0 * 24.0 * 3600.0);
+        let calendar = 1.0 - self.calendar_fade_per_year * years;
+        let cycling = 1.0 - self.fade_per_cycle * discharge_cycles as f64;
+        let day_fraction = (age.as_secs_f64() / (24.0 * 3600.0)).fract();
+        // Coolest at 06:00, hottest at noon.
+        let diurnal = 1.0
+            - self.diurnal_amplitude / 2.0
+                * (1.0 + (std::f64::consts::TAU * (day_fraction - 0.25)).sin())
+            + self.diurnal_amplitude / 2.0;
+        (calendar * cycling * diurnal).clamp(self.floor, 1.0)
+    }
+}
+
+/// Drives a battery's health over time and re-derives the dirty budget,
+/// §8's "tuning of the dirty budget at runtime according to changes in
+/// battery capacity".
+///
+/// # Examples
+///
+/// ```
+/// use battery_sim::{Battery, BatteryConfig, BudgetGovernor, HealthModel, PowerModel};
+/// use sim_clock::SimDuration;
+///
+/// let mut governor = BudgetGovernor::new(
+///     Battery::new(BatteryConfig::with_capacity_joules(100.0)),
+///     PowerModel::datacenter_server(1.0),
+///     2_000_000_000,
+///     HealthModel::datacenter_default(),
+/// );
+/// let fresh = governor.advance(SimDuration::ZERO).pages();
+/// let aged = governor.advance(SimDuration::from_secs(3 * 365 * 24 * 3600)).pages();
+/// assert!(aged < fresh);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BudgetGovernor {
+    battery: Battery,
+    power: PowerModel,
+    flush_bandwidth: u64,
+    model: HealthModel,
+    age: SimDuration,
+    discharge_cycles: u64,
+}
+
+impl BudgetGovernor {
+    /// Creates a governor for a fresh battery.
+    pub fn new(
+        battery: Battery,
+        power: PowerModel,
+        flush_bandwidth_bytes_per_sec: u64,
+        model: HealthModel,
+    ) -> Self {
+        BudgetGovernor {
+            battery,
+            power,
+            flush_bandwidth: flush_bandwidth_bytes_per_sec,
+            model,
+            age: SimDuration::ZERO,
+            discharge_cycles: 0,
+        }
+    }
+
+    /// The battery as currently derated.
+    pub fn battery(&self) -> &Battery {
+        &self.battery
+    }
+
+    /// Battery age so far.
+    pub fn age(&self) -> SimDuration {
+        self.age
+    }
+
+    /// Records one discharge cycle (a power event that drew on the
+    /// battery).
+    pub fn record_discharge(&mut self) {
+        self.discharge_cycles += 1;
+    }
+
+    /// Advances time, updates health from the model, and returns the
+    /// dirty budget the current capacity supports.
+    pub fn advance(&mut self, elapsed: SimDuration) -> DirtyBudget {
+        self.age += elapsed;
+        let health = self.model.health_at(self.age, self.discharge_cycles);
+        self.battery.set_health(health);
+        DirtyBudget::derive(&self.battery, &self.power, self.flush_bandwidth)
+    }
+
+    /// The budget at the current instant without advancing time.
+    pub fn current_budget(&self) -> DirtyBudget {
+        DirtyBudget::derive(&self.battery, &self.power, self.flush_bandwidth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BatteryConfig;
+
+    fn day() -> SimDuration {
+        SimDuration::from_secs(24 * 3600)
+    }
+
+    fn year() -> SimDuration {
+        SimDuration::from_secs(365 * 24 * 3600)
+    }
+
+    #[test]
+    fn health_declines_with_age_and_cycles() {
+        let m = HealthModel::datacenter_default();
+        let fresh = m.health_at(SimDuration::ZERO, 0);
+        let one_year = m.health_at(year(), 0);
+        let cycled = m.health_at(year(), 2_000);
+        assert!(one_year < fresh);
+        assert!(cycled < one_year);
+    }
+
+    #[test]
+    fn health_never_falls_below_the_floor() {
+        let m = HealthModel::datacenter_default();
+        let ancient = m.health_at(year() * 100, 1_000_000);
+        assert!((m.floor..=1.0).contains(&ancient));
+    }
+
+    #[test]
+    fn diurnal_swing_moves_health_within_a_day() {
+        let m = HealthModel::datacenter_default();
+        let samples: Vec<f64> = (0..24)
+            .map(|h| m.health_at(SimDuration::from_secs(h * 3600), 0))
+            .collect();
+        let min = samples.iter().copied().fold(f64::MAX, f64::min);
+        let max = samples.iter().copied().fold(f64::MIN, f64::max);
+        assert!(
+            max - min > 0.01,
+            "temperature should move health measurably: {min}..{max}"
+        );
+        assert!(max - min <= m.diurnal_amplitude + 1e-9);
+    }
+
+    #[test]
+    fn governor_budget_tracks_declining_health() {
+        let mut g = BudgetGovernor::new(
+            Battery::new(BatteryConfig::with_capacity_joules(500.0)),
+            PowerModel::datacenter_server(4.0),
+            2_000_000_000,
+            HealthModel::datacenter_default(),
+        );
+        let fresh = g.advance(SimDuration::ZERO);
+        for _ in 0..50 {
+            g.record_discharge();
+        }
+        let later = g.advance(year() * 3);
+        assert!(later.pages() < fresh.pages());
+        assert!(later.pages() > 0, "floor keeps the budget usable");
+    }
+
+    #[test]
+    fn governor_age_accumulates() {
+        let mut g = BudgetGovernor::new(
+            Battery::new(BatteryConfig::with_capacity_joules(100.0)),
+            PowerModel::datacenter_server(1.0),
+            1_000_000_000,
+            HealthModel::datacenter_default(),
+        );
+        g.advance(day());
+        g.advance(day());
+        assert_eq!(g.age(), day() * 2);
+    }
+}

@@ -1,0 +1,39 @@
+//! Battery, server power model, and dirty-budget derivation for
+//! battery-backed DRAM (Viyojit §2.2, §5.1, §8).
+//!
+//! Viyojit's contract with the battery is a single number: the **dirty
+//! budget**, the maximum number of NV-DRAM pages that may be inconsistent
+//! with the backing SSD at any instant. §5.1 derives it as
+//!
+//! ```text
+//! holdup_time  = effective_battery_energy / peak_system_power
+//! dirty_budget = holdup_time x conservative_ssd_write_bandwidth
+//! ```
+//!
+//! This crate implements that chain with the real-world derates §2.2
+//! enumerates (depth-of-discharge limits for 3-4 year lifetime, datacenter
+//! cell derating, aging/temperature health), plus the DRAM-vs-lithium
+//! density scaling series behind Fig. 1.
+//!
+//! # Examples
+//!
+//! ```
+//! use battery_sim::{Battery, BatteryConfig, DirtyBudget, PowerModel};
+//!
+//! let battery = Battery::new(BatteryConfig::with_capacity_joules(3_000.0));
+//! let power = PowerModel::datacenter_server(4.0); // 4 GiB of DRAM
+//! let budget = DirtyBudget::derive(&battery, &power, 2_000_000_000);
+//! assert!(budget.bytes() > 0);
+//! ```
+
+mod battery;
+mod budget;
+mod dynamics;
+mod power;
+mod scaling;
+
+pub use battery::{Battery, BatteryConfig};
+pub use budget::DirtyBudget;
+pub use dynamics::{BudgetGovernor, HealthModel};
+pub use power::PowerModel;
+pub use scaling::{density_series, DensityPoint, DRAM_GROWTH_PER_YEAR, LITHIUM_GROWTH_PER_YEAR};

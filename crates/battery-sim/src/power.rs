@@ -1,0 +1,92 @@
+//! Peak-power model of the server components that must stay up during a
+//! battery-powered flush.
+
+/// Peak power draw of the components involved in flushing NV-DRAM to the
+/// SSD after a power failure (§5.1: "the peak power usage of different
+/// system components (CPU, DRAM, SSD, etc)").
+///
+/// # Examples
+///
+/// ```
+/// use battery_sim::PowerModel;
+///
+/// let p = PowerModel::datacenter_server(4096.0); // 4 TB server
+/// assert!(p.total_watts() > 300.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerModel {
+    /// CPU package power while driving the flush.
+    pub cpu_watts: f64,
+    /// DRAM refresh + access power, per GiB.
+    pub dram_watts_per_gib: f64,
+    /// GiB of DRAM that must be kept alive.
+    pub dram_gib: f64,
+    /// SSD power while absorbing the flush at full write bandwidth.
+    pub ssd_watts: f64,
+    /// Everything else (fans, VRs, board).
+    pub base_watts: f64,
+}
+
+impl PowerModel {
+    /// A commodity 1RU datacenter server flushing with a minimal CPU
+    /// complement: numbers chosen so a 4 TB configuration lands near the
+    /// paper's "modest 300 W server" example.
+    pub fn datacenter_server(dram_gib: f64) -> Self {
+        PowerModel {
+            cpu_watts: 120.0,
+            dram_watts_per_gib: 0.03,
+            dram_gib,
+            ssd_watts: 25.0,
+            base_watts: 40.0,
+        }
+    }
+
+    /// Total flush-time power draw in watts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any component is negative or the total is not positive.
+    pub fn total_watts(&self) -> f64 {
+        let total = self.cpu_watts
+            + self.dram_watts_per_gib * self.dram_gib
+            + self.ssd_watts
+            + self.base_watts;
+        assert!(
+            total > 0.0 && total.is_finite(),
+            "power model must yield positive finite power, got {total}"
+        );
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_tb_server_is_near_the_papers_300w_example() {
+        let p = PowerModel::datacenter_server(4096.0);
+        let w = p.total_watts();
+        assert!((250.0..=350.0).contains(&w), "got {w} W");
+    }
+
+    #[test]
+    fn dram_power_scales_with_capacity() {
+        let small = PowerModel::datacenter_server(64.0).total_watts();
+        let large = PowerModel::datacenter_server(4096.0).total_watts();
+        assert!(large > small);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite power")]
+    fn nonsensical_model_panics() {
+        let p = PowerModel {
+            cpu_watts: -500.0,
+            dram_watts_per_gib: 0.0,
+            dram_gib: 0.0,
+            ssd_watts: 0.0,
+            base_watts: 0.0,
+        };
+        let _ = p.total_watts();
+    }
+}

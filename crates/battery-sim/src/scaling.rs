@@ -1,0 +1,117 @@
+//! The DRAM-vs-lithium density scaling divergence behind Fig. 1.
+//!
+//! The paper anchors two facts: lithium battery energy density grew ~3.3x
+//! over the 25 years before publication, while the DRAM capacity of a
+//! high-end 1RU server grew by more than four orders of magnitude
+//! (>50,000x) in the same period. Expressed as compound annual growth:
+
+/// DRAM capacity growth per year (50,000x over 25 years).
+pub const DRAM_GROWTH_PER_YEAR: f64 = 1.541632;
+/// Lithium energy-density growth per year (3.3x over 25 years).
+pub const LITHIUM_GROWTH_PER_YEAR: f64 = 1.048896;
+
+/// One year's point on the Fig. 1 curves: growth of each technology
+/// relative to the 1990 baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DensityPoint {
+    /// Calendar year.
+    pub year: u32,
+    /// DRAM GB-per-rack-unit relative to 1990.
+    pub dram_relative: f64,
+    /// Lithium joules-per-unit-volume relative to 1990.
+    pub lithium_relative: f64,
+    /// `true` for years past the paper's measurement window (the dashed
+    /// "Projected" region of Fig. 1).
+    pub projected: bool,
+}
+
+impl DensityPoint {
+    /// Ratio by which DRAM has out-grown lithium at this point.
+    pub fn divergence(&self) -> f64 {
+        self.dram_relative / self.lithium_relative
+    }
+}
+
+/// The Fig. 1 series: relative growth of DRAM and lithium density from
+/// `start_year` to `end_year` (inclusive), with years after
+/// `measured_until` flagged as projections.
+///
+/// # Examples
+///
+/// ```
+/// use battery_sim::density_series;
+///
+/// let series = density_series(1990, 2020, 2015);
+/// let at_2015 = series.iter().find(|p| p.year == 2015).unwrap();
+/// assert!(at_2015.dram_relative > 1e4, "four orders of magnitude by 2015");
+/// assert!(at_2015.lithium_relative < 4.0, "lithium only ~3.3x");
+/// ```
+///
+/// # Panics
+///
+/// Panics if `end_year < start_year`.
+pub fn density_series(start_year: u32, end_year: u32, measured_until: u32) -> Vec<DensityPoint> {
+    assert!(end_year >= start_year, "series must run forward in time");
+    (start_year..=end_year)
+        .map(|year| {
+            let dt = (year - start_year) as f64;
+            DensityPoint {
+                year,
+                dram_relative: DRAM_GROWTH_PER_YEAR.powf(dt),
+                lithium_relative: LITHIUM_GROWTH_PER_YEAR.powf(dt),
+                projected: year > measured_until,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_five_year_anchors_match_the_paper() {
+        let series = density_series(1990, 2015, 2015);
+        let last = series.last().unwrap();
+        assert!(
+            (45_000.0..60_000.0).contains(&last.dram_relative),
+            "DRAM should be >4 orders of magnitude: {}",
+            last.dram_relative
+        );
+        assert!(
+            (3.0..3.6).contains(&last.lithium_relative),
+            "lithium should be ~3.3x: {}",
+            last.lithium_relative
+        );
+    }
+
+    #[test]
+    fn divergence_grows_monotonically() {
+        let series = density_series(1990, 2020, 2015);
+        for pair in series.windows(2) {
+            assert!(pair[1].divergence() > pair[0].divergence());
+        }
+    }
+
+    #[test]
+    fn projection_flag_splits_at_measured_until() {
+        let series = density_series(1990, 2020, 2015);
+        for p in &series {
+            assert_eq!(p.projected, p.year > 2015, "year {}", p.year);
+        }
+    }
+
+    #[test]
+    fn baseline_year_is_unity() {
+        let series = density_series(2000, 2000, 2000);
+        assert_eq!(series.len(), 1);
+        assert!((series[0].dram_relative - 1.0).abs() < 1e-12);
+        assert!((series[0].lithium_relative - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "forward in time")]
+    fn backwards_series_panics() {
+        let _ = density_series(2020, 1990, 2015);
+    }
+}

@@ -1,0 +1,91 @@
+//! §8 "Handling battery cell failures" end-to-end: a Viyojit instance
+//! rides a battery through three years of aging, discharge cycles, and
+//! daily temperature swings. The budget governor re-derives the dirty
+//! budget at every sample, the manager flushes down when capacity drops,
+//! and durability is proven by a simulated power failure at every step.
+
+use battery_sim::{Battery, BatteryConfig, BudgetGovernor, HealthModel, PowerModel};
+use sim_clock::{Clock, CostModel, SimDuration};
+use ssd_sim::SsdConfig;
+use viyojit::{NvHeap, Viyojit, ViyojitConfig};
+use viyojit_bench::{print_csv_header, print_section};
+
+const FLUSH_BW: u64 = 2_000_000_000;
+
+fn main() {
+    print_section("§8 — dirty budget tracking battery health over 3 years");
+    print_csv_header(&[
+        "day",
+        "health",
+        "budget_pages",
+        "dirty_after_adjust",
+        "failure_survives",
+    ]);
+
+    let power = PowerModel::datacenter_server(0.064);
+    let mut governor = BudgetGovernor::new(
+        Battery::new(BatteryConfig::with_capacity_joules(12.0)),
+        power,
+        FLUSH_BW,
+        HealthModel::datacenter_default(),
+    );
+    let initial = governor.current_budget().pages().max(1);
+
+    let mut nv = Viyojit::new(
+        16_384,
+        ViyojitConfig::with_budget_pages(initial),
+        Clock::new(),
+        CostModel::calibrated(),
+        SsdConfig::datacenter(),
+    );
+    let region = nv.map(12_000 * 4096).expect("map");
+
+    let mut all_survived = true;
+    let mut cursor = 0u64;
+    // Sample every 90 days, plus day zero at the coolest (06:00) and
+    // hottest (noon) hours to show the diurnal swing.
+    for &(day, label_hours) in &[
+        (0u64, 6u64),
+        (0, 12),
+        (90, 12),
+        (180, 12),
+        (365, 12),
+        (548, 12),
+        (730, 12),
+        (913, 12),
+        (1095, 12),
+    ] {
+        let elapsed = SimDuration::from_secs(day * 24 * 3600 + label_hours * 3600)
+            .saturating_sub(governor.age());
+        let budget = governor.advance(elapsed).pages().max(1);
+        nv.set_dirty_budget(budget);
+
+        // Ongoing workload between samples.
+        for _ in 0..2_000u64 {
+            nv.write(region, (cursor % 12_000) * 4096, &[day as u8; 64])
+                .expect("write");
+            cursor += 7;
+        }
+        governor.record_discharge();
+
+        let report = nv.power_failure();
+        let survives = report.survives(governor.battery(), &PowerModel::datacenter_server(0.064));
+        all_survived &= survives;
+        nv.recover();
+        println!(
+            "{}.{:02},{:.3},{},{},{}",
+            day,
+            label_hours,
+            governor.battery().health(),
+            budget,
+            nv.dirty_count(),
+            survives
+        );
+    }
+
+    println!();
+    println!(
+        "every simulated failure across the battery's life was covered: {all_survived} \
+         (the §8 alternative to over-provisioning for worst-case aging)"
+    );
+}

@@ -1,0 +1,30 @@
+//! Fig. 3: pages required to account for 90/95/99% of all writes, as a
+//! percentage of the pages *touched* (read or written) during the trace.
+//!
+//! Expected shape: volumes with skewed writes (Cosmos B/C/F) need a small
+//! page fraction even at the 99th percentile; unique-write volumes
+//! (category 1/4) approach 100%.
+
+use trace_analysis::WriteSkewAnalysis;
+use viyojit_bench::{print_csv_header, print_section};
+use workloads::{paper_trace_suite, TraceGenerator};
+
+fn main() {
+    print_section("Fig. 3 — pages for write percentiles (% of pages touched)");
+    print_csv_header(&["app", "volume", "p90_pct", "p95_pct", "p99_pct"]);
+
+    for app in paper_trace_suite() {
+        for (vi, vol) in app.volumes.iter().enumerate() {
+            let events = TraceGenerator::new(vol, app.duration, 0xF163 + vi as u64);
+            let skew = WriteSkewAnalysis::from_events(events);
+            println!(
+                "{},{},{:.1},{:.1},{:.1}",
+                app.app.name(),
+                vol.name,
+                skew.percent_of_touched(90.0),
+                skew.percent_of_touched(95.0),
+                skew.percent_of_touched(99.0),
+            );
+        }
+    }
+}

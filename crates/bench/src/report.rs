@@ -1,0 +1,27 @@
+//! Plain-CSV reporting helpers shared by the figure binaries.
+
+/// Prints a figure/section banner.
+pub fn print_section(title: &str) {
+    println!();
+    println!("# {title}");
+}
+
+/// Prints a CSV header row.
+pub fn print_csv_header(columns: &[&str]) {
+    println!("{}", columns.join(","));
+}
+
+/// Formats one CSV row from already-formatted cells.
+pub fn csv_row(cells: &[String]) -> String {
+    cells.join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_join_with_commas() {
+        assert_eq!(csv_row(&["a".into(), "1.5".into(), "x".into()]), "a,1.5,x");
+    }
+}

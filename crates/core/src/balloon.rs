@@ -1,0 +1,377 @@
+//! Dirty-budget ballooning across co-located tenants (§6.3's discussion).
+//!
+//! The paper envisions cloud providers treating battery as a first-class
+//! resource: "cloud providers can employ techniques similar to memory
+//! ballooning to reallocate battery/dirty-budget among co-located tenants
+//! to benefit from inherent statistical multiplexing effects."
+//!
+//! [`BalloonedCluster`] implements that: several [`Viyojit`] tenants share
+//! one provisioned battery budget. A broker periodically re-divides the
+//! budget in proportion to each tenant's observed *demand* (write stalls
+//! and fresh dirty pages since the last rebalance), subject to a per-tenant
+//! floor. Durability composes: every tenant enforces its own bound, and
+//! the broker never hands out more than the battery covers in total.
+
+use sim_clock::SimDuration;
+
+use crate::{Viyojit, ViyojitError};
+
+/// Identifies a tenant within a [`BalloonedCluster`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TenantId(pub usize);
+
+/// Demand observed for one tenant since the previous rebalance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct DemandSnapshot {
+    budget_stalls: u64,
+    pages_dirtied: u64,
+    stall_time: SimDuration,
+}
+
+/// A set of Viyojit tenants multiplexing one battery's dirty budget.
+///
+/// # Examples
+///
+/// ```
+/// use sim_clock::{Clock, CostModel};
+/// use ssd_sim::SsdConfig;
+/// use viyojit::{BalloonedCluster, NvHeap, Viyojit, ViyojitConfig};
+///
+/// let clock = Clock::new();
+/// let make = || Viyojit::new(
+///     256,
+///     ViyojitConfig::with_budget_pages(1), // placeholder; broker assigns
+///     clock.clone(),
+///     CostModel::free(),
+///     SsdConfig::instant(),
+/// );
+/// let mut cluster = BalloonedCluster::new(vec![make(), make()], 64, 8);
+/// let t0 = cluster.tenant_mut(viyojit::TenantId(0));
+/// let r = t0.map(4096 * 16)?;
+/// t0.write(r, 0, b"tenant zero data")?;
+/// cluster.rebalance();
+/// assert_eq!(cluster.total_assigned(), 64);
+/// # Ok::<(), viyojit::ViyojitError>(())
+/// ```
+#[derive(Debug)]
+pub struct BalloonedCluster {
+    tenants: Vec<Viyojit>,
+    last_seen: Vec<DemandSnapshot>,
+    total_budget_pages: u64,
+    min_per_tenant: u64,
+    rebalances: u64,
+}
+
+impl BalloonedCluster {
+    /// Creates a cluster sharing `total_budget_pages` across `tenants`,
+    /// guaranteeing each at least `min_per_tenant`. The initial division
+    /// is even.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no tenants, `min_per_tenant` is zero, or the
+    /// floors alone exceed the total.
+    pub fn new(tenants: Vec<Viyojit>, total_budget_pages: u64, min_per_tenant: u64) -> Self {
+        assert!(!tenants.is_empty(), "a cluster needs at least one tenant");
+        assert!(min_per_tenant > 0, "tenants need at least one dirty page");
+        assert!(
+            min_per_tenant * tenants.len() as u64 <= total_budget_pages,
+            "per-tenant floors exceed the provisioned budget"
+        );
+        let n = tenants.len();
+        let mut cluster = BalloonedCluster {
+            last_seen: vec![DemandSnapshot::default(); n],
+            tenants,
+            total_budget_pages,
+            min_per_tenant,
+            rebalances: 0,
+        };
+        let even = total_budget_pages / n as u64;
+        for i in 0..n {
+            cluster.tenants[i].set_dirty_budget(even.max(cluster.min_per_tenant));
+        }
+        cluster
+    }
+
+    /// Number of tenants.
+    pub fn len(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// `true` if the cluster has no tenants (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.tenants.is_empty()
+    }
+
+    /// The shared provisioned budget.
+    pub fn total_budget_pages(&self) -> u64 {
+        self.total_budget_pages
+    }
+
+    /// Sum of budgets currently assigned to tenants. Always at most
+    /// [`BalloonedCluster::total_budget_pages`] after a rebalance.
+    pub fn total_assigned(&self) -> u64 {
+        self.tenants.iter().map(|t| t.dirty_budget()).sum()
+    }
+
+    /// Rebalances performed so far.
+    pub fn rebalances(&self) -> u64 {
+        self.rebalances
+    }
+
+    /// Exclusive access to one tenant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tenant id is out of range.
+    pub fn tenant_mut(&mut self, id: TenantId) -> &mut Viyojit {
+        &mut self.tenants[id.0]
+    }
+
+    /// Shared access to one tenant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tenant id is out of range.
+    pub fn tenant(&self, id: TenantId) -> &Viyojit {
+        &self.tenants[id.0]
+    }
+
+    /// Demand score for a tenant: stalls hurt most (a writer blocked on
+    /// the SSD), dirty-page churn indicates an active write working set.
+    fn demand(&self, idx: usize) -> u64 {
+        let stats = self.tenants[idx].stats();
+        let prev = self.last_seen[idx];
+        let stalls = stats.budget_stalls - prev.budget_stalls;
+        let dirtied = stats.pages_dirtied - prev.pages_dirtied;
+        10 * stalls + dirtied + 1 // +1 keeps idle tenants from starving the score
+    }
+
+    /// Re-divides the shared budget in proportion to observed demand.
+    ///
+    /// Tenants whose assignment shrinks flush down synchronously (the §8
+    /// machinery), so durability holds at every instant — before, during,
+    /// and after the rebalance the dirty total never exceeds the battery.
+    pub fn rebalance(&mut self) {
+        let n = self.tenants.len();
+        let demands: Vec<u64> = (0..n).map(|i| self.demand(i)).collect();
+        let total_demand: u64 = demands.iter().sum();
+        let distributable = self.total_budget_pages - self.min_per_tenant * n as u64;
+
+        // Largest-remainder division of the distributable pages.
+        let mut shares: Vec<u64> = demands
+            .iter()
+            .map(|&d| distributable * d / total_demand)
+            .collect();
+        let mut leftover = distributable - shares.iter().sum::<u64>();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(demands[i]));
+        for &i in order.iter().cycle().take(leftover as usize) {
+            shares[i] += 1;
+            leftover -= 1;
+            if leftover == 0 {
+                break;
+            }
+        }
+
+        // Shrink first (freeing pages), then grow, so the instantaneous
+        // sum never exceeds the provisioned total.
+        let targets: Vec<u64> = shares.iter().map(|s| s + self.min_per_tenant).collect();
+        for (tenant, &target) in self.tenants.iter_mut().zip(&targets) {
+            if target < tenant.dirty_budget() {
+                tenant.set_dirty_budget(target);
+            }
+        }
+        for (tenant, &target) in self.tenants.iter_mut().zip(&targets) {
+            if target > tenant.dirty_budget() {
+                tenant.set_dirty_budget(target);
+            }
+        }
+
+        for i in 0..n {
+            let stats = self.tenants[i].stats();
+            self.last_seen[i] = DemandSnapshot {
+                budget_stalls: stats.budget_stalls,
+                pages_dirtied: stats.pages_dirtied,
+                stall_time: stats.stall_time,
+            };
+        }
+        self.rebalances += 1;
+    }
+
+    /// Asserts the cluster-wide durability invariant: the dirty totals of
+    /// all tenants fit the provisioned budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the invariant is violated.
+    pub fn validate(&self) {
+        let assigned = self.total_assigned();
+        assert!(
+            assigned <= self.total_budget_pages,
+            "assigned budgets {assigned} exceed the provisioned {}",
+            self.total_budget_pages
+        );
+        let dirty: u64 = self.tenants.iter().map(|t| t.dirty_count()).sum();
+        assert!(
+            dirty <= self.total_budget_pages,
+            "cluster dirty total {dirty} exceeds the battery's {} pages",
+            self.total_budget_pages
+        );
+        for t in &self.tenants {
+            t.validate();
+        }
+    }
+
+    /// Consumes the cluster, returning its tenants.
+    pub fn into_tenants(self) -> Vec<Viyojit> {
+        self.tenants
+    }
+}
+
+/// Errors from cluster construction helpers (reserved for future use).
+pub type BalloonResult<T> = Result<T, ViyojitError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NvHeap, ViyojitConfig};
+    use sim_clock::{Clock, CostModel};
+    use ssd_sim::SsdConfig;
+
+    fn tenant(clock: &Clock) -> Viyojit {
+        Viyojit::new(
+            512,
+            ViyojitConfig::with_budget_pages(1),
+            clock.clone(),
+            CostModel::free(),
+            SsdConfig::instant(),
+        )
+    }
+
+    fn cluster(n: usize, total: u64) -> BalloonedCluster {
+        let clock = Clock::new();
+        BalloonedCluster::new((0..n).map(|_| tenant(&clock)).collect(), total, 4)
+    }
+
+    #[test]
+    fn initial_division_is_even_and_within_total() {
+        let c = cluster(4, 64);
+        assert_eq!(c.total_assigned(), 64);
+        for i in 0..4 {
+            assert_eq!(c.tenant(TenantId(i)).dirty_budget(), 16);
+        }
+        c.validate();
+    }
+
+    #[test]
+    fn demand_shifts_budget_toward_the_busy_tenant() {
+        let mut c = cluster(2, 64);
+        let busy = TenantId(0);
+        let r = c.tenant_mut(busy).map(4096 * 200).unwrap();
+        // The busy tenant writes far beyond its share; the idle one sleeps.
+        for page in 0..200u64 {
+            c.tenant_mut(busy).write(r, page * 4096, &[1]).unwrap();
+        }
+        c.rebalance();
+        c.validate();
+        let busy_budget = c.tenant(busy).dirty_budget();
+        let idle_budget = c.tenant(TenantId(1)).dirty_budget();
+        assert!(
+            busy_budget > idle_budget * 3,
+            "busy {busy_budget} vs idle {idle_budget}"
+        );
+        assert_eq!(c.total_assigned(), 64);
+    }
+
+    #[test]
+    fn floors_protect_idle_tenants() {
+        let mut c = cluster(2, 64);
+        let r = c.tenant_mut(TenantId(0)).map(4096 * 100).unwrap();
+        for page in 0..100u64 {
+            c.tenant_mut(TenantId(0))
+                .write(r, page * 4096, &[1])
+                .unwrap();
+        }
+        c.rebalance();
+        assert!(c.tenant(TenantId(1)).dirty_budget() >= 4, "floor respected");
+    }
+
+    #[test]
+    fn rebalance_with_uniform_demand_stays_even() {
+        let mut c = cluster(4, 64);
+        let regions: Vec<_> = (0..4)
+            .map(|i| c.tenant_mut(TenantId(i)).map(4096 * 8).unwrap())
+            .collect();
+        for (i, &r) in regions.iter().enumerate() {
+            for page in 0..8u64 {
+                c.tenant_mut(TenantId(i))
+                    .write(r, page * 4096, &[1])
+                    .unwrap();
+            }
+        }
+        c.rebalance();
+        c.validate();
+        for i in 0..4 {
+            let b = c.tenant(TenantId(i)).dirty_budget();
+            assert!((12..=20).contains(&b), "tenant {i} got {b}");
+        }
+    }
+
+    #[test]
+    fn repeated_rebalances_track_shifting_demand() {
+        let mut c = cluster(2, 64);
+        let r0 = c.tenant_mut(TenantId(0)).map(4096 * 120).unwrap();
+        let r1 = c.tenant_mut(TenantId(1)).map(4096 * 120).unwrap();
+        // Phase 1: tenant 0 busy.
+        for page in 0..120u64 {
+            c.tenant_mut(TenantId(0))
+                .write(r0, page * 4096, &[1])
+                .unwrap();
+        }
+        c.rebalance();
+        assert!(c.tenant(TenantId(0)).dirty_budget() > c.tenant(TenantId(1)).dirty_budget());
+        // Phase 2: demand flips.
+        for page in 0..120u64 {
+            c.tenant_mut(TenantId(1))
+                .write(r1, page * 4096, &[2])
+                .unwrap();
+        }
+        c.rebalance();
+        c.validate();
+        assert!(
+            c.tenant(TenantId(1)).dirty_budget() > c.tenant(TenantId(0)).dirty_budget(),
+            "budget must follow demand"
+        );
+        assert_eq!(c.rebalances(), 2);
+    }
+
+    #[test]
+    fn shrinking_assignments_flush_down_preserving_durability() {
+        let mut c = cluster(2, 40);
+        let r0 = c.tenant_mut(TenantId(0)).map(4096 * 64).unwrap();
+        // Tenant 0 fills its entire initial share with dirty pages.
+        for page in 0..20u64 {
+            c.tenant_mut(TenantId(0))
+                .write(r0, page * 4096, &[1])
+                .unwrap();
+        }
+        // Tenant 1 suddenly becomes the hot one.
+        let r1 = c.tenant_mut(TenantId(1)).map(4096 * 64).unwrap();
+        for page in 0..60u64 {
+            c.tenant_mut(TenantId(1))
+                .write(r1, page * 4096, &[2])
+                .unwrap();
+        }
+        c.rebalance();
+        c.validate(); // tenant 0 must have flushed down to its new share
+        assert!(c.tenant(TenantId(0)).dirty_count() <= c.tenant(TenantId(0)).dirty_budget());
+    }
+
+    #[test]
+    #[should_panic(expected = "floors exceed")]
+    fn overcommitted_floors_panic() {
+        let clock = Clock::new();
+        let _ = BalloonedCluster::new(vec![tenant(&clock), tenant(&clock)], 4, 4);
+    }
+}

@@ -1,0 +1,209 @@
+//! Runtime configuration of the Viyojit manager.
+
+use battery_sim::{Battery, DirtyBudget, PowerModel};
+use sim_clock::SimDuration;
+
+use crate::{FlushCodec, TargetPolicy};
+
+/// How the proactive-copy threshold is derived from the dirty budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ThresholdPolicy {
+    /// The paper's online algorithm (§5.3): `threshold = budget - EWMA of
+    /// new-dirty-pages-per-epoch`, so slack tracks the observed burst size.
+    Adaptive,
+    /// `threshold = budget - slack` with a fixed slack. The two failure
+    /// modes §5.3 describes: slack too small and bursts block writers on
+    /// SSD copies; slack too large and the copier writes out pages that
+    /// were about to be rewritten, wasting SSD bandwidth and wear.
+    FixedSlack(u64),
+}
+
+/// Configuration of a [`Viyojit`](crate::Viyojit) instance.
+///
+/// The defaults mirror the paper's evaluation setup (§6.1): a 1 ms epoch,
+/// at most 16 outstanding IO requests, TLB flushes on every epoch walk,
+/// an EWMA weight of 0.75 on the newest observation, a 64-epoch update
+/// history, and least-recently-updated target selection.
+///
+/// # Examples
+///
+/// ```
+/// use viyojit::ViyojitConfig;
+///
+/// let cfg = ViyojitConfig::with_budget_pages(512);
+/// assert_eq!(cfg.dirty_budget_pages, 512);
+/// assert_eq!(cfg.max_outstanding_ios, 16);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViyojitConfig {
+    /// Maximum number of pages that may be dirty (inconsistent with the
+    /// SSD) at any instant.
+    pub dirty_budget_pages: u64,
+    /// Length of the dirty-bit sampling epoch (§5.2).
+    pub epoch: SimDuration,
+    /// Maximum IO requests outstanding at the SSD (§6.1: 16).
+    pub max_outstanding_ios: usize,
+    /// Flush the TLB before each epoch walk so dirty bits are exact.
+    /// Disabling this reproduces the §6.3 ablation.
+    pub tlb_flush_on_walk: bool,
+    /// EWMA weight given to the newest per-epoch new-dirty-page count when
+    /// predicting dirty-page pressure (§5.3: 0.75).
+    pub pressure_alpha: f64,
+    /// How the proactive-copy threshold is derived (§5.3's adaptive
+    /// algorithm by default; fixed slack for the ablation).
+    pub threshold_policy: ThresholdPolicy,
+    /// Number of epochs of per-page update history retained (§5.2: 64).
+    pub history_epochs: u32,
+    /// Policy used to pick copy-out victims.
+    pub target_policy: TargetPolicy,
+    /// Payload treatment for copy-out writes (§7: compression/dedup).
+    pub flush_codec: FlushCodec,
+    /// Mondrian-style sub-page flushing (§7): ship only the 64 B sectors
+    /// modified since the last flush, when a durable base copy exists.
+    pub sector_flush: bool,
+}
+
+impl ViyojitConfig {
+    /// Paper-default configuration with an explicit dirty budget, the way
+    /// the evaluation sweeps battery capacity ("we use the dirty budget as
+    /// a proxy for the battery capacity", §6.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pages` is zero: a zero budget would forbid every write.
+    pub fn with_budget_pages(pages: u64) -> Self {
+        assert!(pages > 0, "dirty budget must allow at least one dirty page");
+        ViyojitConfig {
+            dirty_budget_pages: pages,
+            epoch: SimDuration::from_millis(1),
+            max_outstanding_ios: 16,
+            tlb_flush_on_walk: true,
+            pressure_alpha: 0.75,
+            threshold_policy: ThresholdPolicy::Adaptive,
+            history_epochs: 64,
+            target_policy: TargetPolicy::LeastRecentlyUpdated,
+            flush_codec: FlushCodec::Raw,
+            sector_flush: false,
+        }
+    }
+
+    /// Paper-default configuration with the budget derived from a real
+    /// battery provisioning via §5.1's chain (battery -> hold-up time ->
+    /// flushable bytes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the derived budget rounds down to zero pages.
+    pub fn from_battery(
+        battery: &Battery,
+        power: &PowerModel,
+        flush_bandwidth_bytes_per_sec: u64,
+    ) -> Self {
+        let budget = DirtyBudget::derive(battery, power, flush_bandwidth_bytes_per_sec);
+        Self::with_budget_pages(budget.pages())
+    }
+
+    /// Returns `self` with a different epoch length.
+    #[must_use]
+    pub fn with_epoch(mut self, epoch: SimDuration) -> Self {
+        assert!(!epoch.is_zero(), "epoch must be positive");
+        self.epoch = epoch;
+        self
+    }
+
+    /// Returns `self` with a different outstanding-IO cap.
+    #[must_use]
+    pub fn with_max_outstanding_ios(mut self, ios: usize) -> Self {
+        assert!(ios > 0, "at least one outstanding IO is required to flush");
+        self.max_outstanding_ios = ios;
+        self
+    }
+
+    /// Returns `self` with TLB flushing on walks enabled or disabled.
+    #[must_use]
+    pub fn with_tlb_flush_on_walk(mut self, flush: bool) -> Self {
+        self.tlb_flush_on_walk = flush;
+        self
+    }
+
+    /// Returns `self` with a different EWMA weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]`.
+    #[must_use]
+    pub fn with_pressure_alpha(mut self, alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "pressure alpha must be in (0,1], got {alpha}"
+        );
+        self.pressure_alpha = alpha;
+        self
+    }
+
+    /// Returns `self` with a different victim-selection policy.
+    #[must_use]
+    pub fn with_target_policy(mut self, policy: TargetPolicy) -> Self {
+        self.target_policy = policy;
+        self
+    }
+
+    /// Returns `self` with a different threshold policy.
+    #[must_use]
+    pub fn with_threshold_policy(mut self, policy: ThresholdPolicy) -> Self {
+        self.threshold_policy = policy;
+        self
+    }
+
+    /// Returns `self` with a different copy-out payload codec.
+    #[must_use]
+    pub fn with_flush_codec(mut self, codec: FlushCodec) -> Self {
+        self.flush_codec = codec;
+        self
+    }
+
+    /// Returns `self` with sub-page sector flushing enabled or disabled.
+    #[must_use]
+    pub fn with_sector_flush(mut self, enabled: bool) -> Self {
+        self.sector_flush = enabled;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use battery_sim::BatteryConfig;
+
+    #[test]
+    fn defaults_match_the_papers_evaluation_setup() {
+        let cfg = ViyojitConfig::with_budget_pages(100);
+        assert_eq!(cfg.epoch, SimDuration::from_millis(1));
+        assert_eq!(cfg.max_outstanding_ios, 16);
+        assert!(cfg.tlb_flush_on_walk);
+        assert_eq!(cfg.pressure_alpha, 0.75);
+        assert_eq!(cfg.threshold_policy, ThresholdPolicy::Adaptive);
+        assert_eq!(cfg.history_epochs, 64);
+        assert_eq!(cfg.target_policy, TargetPolicy::LeastRecentlyUpdated);
+    }
+
+    #[test]
+    fn battery_derivation_produces_a_positive_budget() {
+        let battery = Battery::new(BatteryConfig::with_capacity_joules(10_000.0));
+        let power = PowerModel::datacenter_server(64.0);
+        let cfg = ViyojitConfig::from_battery(&battery, &power, 2_000_000_000);
+        assert!(cfg.dirty_budget_pages > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one dirty page")]
+    fn zero_budget_panics() {
+        let _ = ViyojitConfig::with_budget_pages(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in")]
+    fn bad_alpha_panics() {
+        let _ = ViyojitConfig::with_budget_pages(1).with_pressure_alpha(0.0);
+    }
+}

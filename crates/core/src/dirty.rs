@@ -1,0 +1,246 @@
+//! The dirty set: the synchronous, exact view of which NV-DRAM pages are
+//! inconsistent with the backing SSD (§4.1).
+//!
+//! The paper rejects periodic counting because the dirty population can
+//! overshoot the budget between samples; Viyojit instead maintains a
+//! *synchronous* running count, incremented in the write-fault handler the
+//! instant a page is first dirtied and decremented when its flush to the
+//! SSD completes. `DirtySet` is that structure, plus the in-flight
+//! bookkeeping the flusher needs.
+
+use mem_sim::PageId;
+
+/// Lifecycle state of a page as seen by the dirty tracker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageState {
+    /// Identical to its SSD copy (or never written); write-protected.
+    Clean,
+    /// Dirty and writable; counted against the budget.
+    Dirty,
+    /// Dirty, re-protected, with a flush IO in flight; still counted
+    /// against the budget until the IO completes (the data is not durable
+    /// yet).
+    InFlight,
+}
+
+/// Exact dirty-page accounting for one NV-DRAM space.
+///
+/// # Examples
+///
+/// ```
+/// use mem_sim::PageId;
+/// use viyojit::{DirtySet, PageState};
+///
+/// let mut set = DirtySet::new(8);
+/// set.mark_dirty(PageId(3));
+/// assert_eq!(set.state(PageId(3)), PageState::Dirty);
+/// assert_eq!(set.dirty_count(), 1);
+/// set.mark_in_flight(PageId(3));
+/// assert_eq!(set.dirty_count(), 1, "in-flight pages still count");
+/// set.mark_clean(PageId(3));
+/// assert_eq!(set.dirty_count(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DirtySet {
+    states: Vec<PageState>,
+    dirty_count: u64,
+    in_flight_count: u64,
+}
+
+impl DirtySet {
+    /// Creates a tracker over `pages` clean pages.
+    pub fn new(pages: usize) -> Self {
+        DirtySet {
+            states: vec![PageState::Clean; pages],
+            dirty_count: 0,
+            in_flight_count: 0,
+        }
+    }
+
+    /// Number of pages tracked.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// `true` if the tracker covers no pages.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// The state of `page`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is out of range.
+    pub fn state(&self, page: PageId) -> PageState {
+        self.states[page.index()]
+    }
+
+    /// Pages currently counted against the budget (dirty + in-flight).
+    pub fn dirty_count(&self) -> u64 {
+        self.dirty_count
+    }
+
+    /// Pages with a flush IO in flight.
+    pub fn in_flight_count(&self) -> u64 {
+        self.in_flight_count
+    }
+
+    /// Marks a clean page dirty (fault-handler step 4 of Fig. 6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is not clean: the fault handler only runs on
+    /// write-protected pages, and dirty pages are never protected.
+    pub fn mark_dirty(&mut self, page: PageId) {
+        let s = &mut self.states[page.index()];
+        assert_eq!(*s, PageState::Clean, "page {page} dirtied twice");
+        *s = PageState::Dirty;
+        self.dirty_count += 1;
+    }
+
+    /// Marks a dirty page as having a flush in flight (Fig. 6 step 6: the
+    /// page has just been re-protected and its IO submitted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is not in the `Dirty` state.
+    pub fn mark_in_flight(&mut self, page: PageId) {
+        let s = &mut self.states[page.index()];
+        assert_eq!(*s, PageState::Dirty, "only dirty pages can be flushed");
+        *s = PageState::InFlight;
+        self.in_flight_count += 1;
+    }
+
+    /// Marks an in-flight page clean (its flush IO completed; the budget
+    /// slot is released).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is not in the `InFlight` state.
+    pub fn mark_clean(&mut self, page: PageId) {
+        let s = &mut self.states[page.index()];
+        assert_eq!(*s, PageState::InFlight, "only in-flight pages complete");
+        *s = PageState::Clean;
+        self.dirty_count -= 1;
+        self.in_flight_count -= 1;
+    }
+
+    /// Discards a dirty page without flushing it (its mapping is going
+    /// away, so its contents no longer need durability). Releases the
+    /// budget slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is not in the `Dirty` state.
+    pub fn discard_dirty(&mut self, page: PageId) {
+        let s = &mut self.states[page.index()];
+        assert_eq!(*s, PageState::Dirty, "only dirty pages can be discarded");
+        *s = PageState::Clean;
+        self.dirty_count -= 1;
+    }
+
+    /// Iterates over pages in the `Dirty` state (flushable victims).
+    pub fn iter_dirty(&self) -> impl Iterator<Item = PageId> + '_ {
+        self.states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == PageState::Dirty)
+            .map(|(i, _)| PageId(i as u64))
+    }
+
+    /// Iterates over every page counted against the budget.
+    pub fn iter_counted(&self) -> impl Iterator<Item = PageId> + '_ {
+        self.states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s != PageState::Clean)
+            .map(|(i, _)| PageId(i as u64))
+    }
+
+    /// Debug-checks internal consistency: counters match state counts.
+    pub fn validate(&self) {
+        let dirty = self
+            .states
+            .iter()
+            .filter(|s| **s != PageState::Clean)
+            .count() as u64;
+        let in_flight = self
+            .states
+            .iter()
+            .filter(|s| **s == PageState::InFlight)
+            .count() as u64;
+        assert_eq!(dirty, self.dirty_count, "dirty counter out of sync");
+        assert_eq!(
+            in_flight, self.in_flight_count,
+            "in-flight counter out of sync"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_clean_dirty_inflight_clean() {
+        let mut s = DirtySet::new(2);
+        assert_eq!(s.state(PageId(0)), PageState::Clean);
+        s.mark_dirty(PageId(0));
+        assert_eq!(s.state(PageId(0)), PageState::Dirty);
+        s.mark_in_flight(PageId(0));
+        assert_eq!(s.state(PageId(0)), PageState::InFlight);
+        assert_eq!(s.in_flight_count(), 1);
+        s.mark_clean(PageId(0));
+        assert_eq!(s.state(PageId(0)), PageState::Clean);
+        assert_eq!(s.dirty_count(), 0);
+        s.validate();
+    }
+
+    #[test]
+    fn count_includes_in_flight_pages() {
+        // Durability requires counting in-flight pages: their bytes are not
+        // durable until the IO completes.
+        let mut s = DirtySet::new(4);
+        s.mark_dirty(PageId(0));
+        s.mark_dirty(PageId(1));
+        s.mark_in_flight(PageId(0));
+        assert_eq!(s.dirty_count(), 2);
+    }
+
+    #[test]
+    fn iter_dirty_excludes_in_flight() {
+        let mut s = DirtySet::new(4);
+        s.mark_dirty(PageId(0));
+        s.mark_dirty(PageId(2));
+        s.mark_in_flight(PageId(0));
+        assert_eq!(s.iter_dirty().collect::<Vec<_>>(), vec![PageId(2)]);
+        assert_eq!(
+            s.iter_counted().collect::<Vec<_>>(),
+            vec![PageId(0), PageId(2)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "dirtied twice")]
+    fn double_dirty_panics() {
+        let mut s = DirtySet::new(1);
+        s.mark_dirty(PageId(0));
+        s.mark_dirty(PageId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "only dirty pages")]
+    fn flushing_clean_page_panics() {
+        let mut s = DirtySet::new(1);
+        s.mark_in_flight(PageId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "only in-flight pages")]
+    fn completing_non_inflight_page_panics() {
+        let mut s = DirtySet::new(1);
+        s.mark_dirty(PageId(0));
+        s.mark_clean(PageId(0));
+    }
+}

@@ -1,0 +1,75 @@
+//! Error types of the Viyojit public API.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::RegionId;
+
+/// Why a Viyojit operation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViyojitError {
+    /// `vmap` could not find a contiguous run of free NV-DRAM pages.
+    OutOfSpace {
+        /// Pages requested.
+        requested_pages: u64,
+        /// Largest contiguous free run available.
+        largest_free_run: u64,
+    },
+    /// The region handle does not name a live mapping.
+    BadRegion(RegionId),
+    /// The access fell outside the region.
+    OutOfRange {
+        /// The offending region.
+        region: RegionId,
+        /// Starting byte offset of the access.
+        offset: u64,
+        /// Length of the access.
+        len: usize,
+    },
+    /// A zero-length mapping was requested.
+    EmptyMapping,
+}
+
+impl fmt::Display for ViyojitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ViyojitError::OutOfSpace {
+                requested_pages,
+                largest_free_run,
+            } => write!(
+                f,
+                "no contiguous run of {requested_pages} free pages (largest run: {largest_free_run})"
+            ),
+            ViyojitError::BadRegion(r) => write!(f, "region {r} is not mapped"),
+            ViyojitError::OutOfRange { region, offset, len } => write!(
+                f,
+                "access of {len} bytes at offset {offset} exceeds region {region}"
+            ),
+            ViyojitError::EmptyMapping => write!(f, "mappings must be at least one byte"),
+        }
+    }
+}
+
+impl Error for ViyojitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_informative() {
+        let e = ViyojitError::OutOfSpace {
+            requested_pages: 10,
+            largest_free_run: 3,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("10") && msg.contains('3'));
+        assert!(msg.chars().next().unwrap().is_lowercase());
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<ViyojitError>();
+    }
+}

@@ -1,0 +1,78 @@
+//! The NV-DRAM access abstraction shared by Viyojit and the full-battery
+//! baseline.
+
+use crate::{RegionId, ViyojitError};
+
+/// A byte-addressable non-volatile heap with an mmap-like surface.
+///
+/// Both [`Viyojit`](crate::Viyojit) (dirty-budgeted) and
+/// [`NvdramBaseline`](crate::NvdramBaseline) (full battery, no tracking)
+/// implement this trait, so applications — the persistent allocator, the
+/// key-value store, the benchmark drivers — run unmodified against either,
+/// which is how the paper's Viyojit-vs-NV-DRAM comparisons are made.
+///
+/// # Examples
+///
+/// ```
+/// use sim_clock::{Clock, CostModel};
+/// use ssd_sim::SsdConfig;
+/// use viyojit::{NvHeap, Viyojit, ViyojitConfig};
+///
+/// fn store_u64<H: NvHeap>(heap: &mut H) -> Result<u64, viyojit::ViyojitError> {
+///     let r = heap.map(8)?;
+///     heap.write(r, 0, &42u64.to_le_bytes())?;
+///     let mut buf = [0u8; 8];
+///     heap.read(r, 0, &mut buf)?;
+///     Ok(u64::from_le_bytes(buf))
+/// }
+///
+/// let mut v = Viyojit::new(
+///     64,
+///     ViyojitConfig::with_budget_pages(8),
+///     Clock::new(),
+///     CostModel::free(),
+///     SsdConfig::instant(),
+/// );
+/// assert_eq!(store_u64(&mut v)?, 42);
+/// # Ok::<(), viyojit::ViyojitError>(())
+/// ```
+pub trait NvHeap {
+    /// Maps `len_bytes` of NV-DRAM, returning a region handle
+    /// (the paper's `mmap` analogue).
+    ///
+    /// # Errors
+    ///
+    /// [`ViyojitError::EmptyMapping`] for zero-length requests,
+    /// [`ViyojitError::OutOfSpace`] when no contiguous run fits.
+    fn map(&mut self, len_bytes: u64) -> Result<RegionId, ViyojitError>;
+
+    /// Unmaps a region (the `munmap` analogue). Its dirty pages stop
+    /// counting against the budget.
+    ///
+    /// # Errors
+    ///
+    /// [`ViyojitError::BadRegion`] for dead handles.
+    fn unmap(&mut self, region: RegionId) -> Result<(), ViyojitError>;
+
+    /// Reads `buf.len()` bytes at `offset` within `region`.
+    ///
+    /// # Errors
+    ///
+    /// [`ViyojitError::BadRegion`] / [`ViyojitError::OutOfRange`].
+    fn read(&mut self, region: RegionId, offset: u64, buf: &mut [u8]) -> Result<(), ViyojitError>;
+
+    /// Writes `data` at `offset` within `region`. May stall (advancing the
+    /// virtual clock) when the dirty budget is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// [`ViyojitError::BadRegion`] / [`ViyojitError::OutOfRange`].
+    fn write(&mut self, region: RegionId, offset: u64, data: &[u8]) -> Result<(), ViyojitError>;
+
+    /// The mapped length of `region` in bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`ViyojitError::BadRegion`] for dead handles.
+    fn region_len(&self, region: RegionId) -> Result<u64, ViyojitError>;
+}

@@ -1,0 +1,80 @@
+//! # Viyojit: decoupling battery and DRAM capacities for battery-backed DRAM
+//!
+//! A from-scratch reproduction of *Viyojit* (Kateja, Badam, Govindan,
+//! Sharma, Ganger — ISCA 2017). Battery-backed DRAM traditionally requires
+//! battery energy proportional to DRAM capacity, but battery density grows
+//! ~3x per 25 years while server DRAM grows >50,000x. Viyojit breaks the
+//! coupling: it bounds the number of *dirty* pages (pages inconsistent with
+//! a backing SSD) to a **dirty budget** derived from whatever battery is
+//! provisioned, and exploits write skew so the bound costs little
+//! performance.
+//!
+//! The crate provides:
+//!
+//! - [`Viyojit`] — the manager: mmap-like [`NvHeap`] API, write-protection
+//!   fault tracking with an exact synchronous dirty count (Fig. 6),
+//!   epoch-based least-recently-updated victim selection ([`UpdateHistory`],
+//!   [`VictimSelector`]), EWMA dirty-page-pressure prediction
+//!   ([`PressureEstimator`]), proactive copy-out, power-failure flush and
+//!   recovery;
+//! - [`NvdramBaseline`] — the full-battery comparison system of Figs. 7-8;
+//! - [`PeriodicCountTracker`] — the flawed periodic-counting design §4.1
+//!   rejects, kept to demonstrate *why* synchronous tracking is required.
+//!
+//! # Examples
+//!
+//! ```
+//! use sim_clock::{Clock, CostModel};
+//! use ssd_sim::SsdConfig;
+//! use viyojit::{NvHeap, Viyojit, ViyojitConfig};
+//!
+//! // 256 pages of NV-DRAM, battery for only 16 dirty pages.
+//! let mut nv = Viyojit::new(
+//!     256,
+//!     ViyojitConfig::with_budget_pages(16),
+//!     Clock::new(),
+//!     CostModel::calibrated(),
+//!     SsdConfig::datacenter(),
+//! );
+//! let heap = nv.map(64 * 4096)?;
+//! nv.write(heap, 0, b"durable at 6% of the battery")?;
+//!
+//! // Power fails: at most 16 pages need battery power to flush.
+//! let report = nv.power_failure();
+//! assert!(report.dirty_pages <= 16);
+//! nv.recover();
+//! let mut buf = [0u8; 28];
+//! nv.read(heap, 0, &mut buf)?;
+//! assert_eq!(&buf, b"durable at 6% of the battery");
+//! # Ok::<(), viyojit::ViyojitError>(())
+//! ```
+
+mod balloon;
+mod baseline;
+mod codec;
+mod config;
+mod dirty;
+mod error;
+mod heap;
+mod history;
+mod hw;
+mod policy;
+mod pressure;
+mod region;
+mod runtime;
+mod stats;
+
+pub use balloon::{BalloonResult, BalloonedCluster, TenantId};
+pub use baseline::{NvdramBaseline, PeriodicCountTracker};
+pub use codec::{rle_decode, rle_encode, FlushCodec};
+pub use config::{ThresholdPolicy, ViyojitConfig};
+pub use dirty::{DirtySet, PageState};
+pub use error::ViyojitError;
+pub use heap::NvHeap;
+pub use history::UpdateHistory;
+pub use hw::MmuAssistedViyojit;
+pub use policy::{TargetPolicy, VictimSelector};
+pub use pressure::PressureEstimator;
+pub use region::{RegionId, RegionInfo, RegionTable};
+pub use runtime::{PowerFailureReport, Viyojit};
+pub use stats::ViyojitStats;

@@ -1,0 +1,278 @@
+//! Copy-out target selection (§5.2).
+//!
+//! Viyojit chooses flush victims with a *least recently updated* policy:
+//! the write-only analogue of LRU, justified by the observation that
+//! NV-DRAM always retains a readable copy of every page, so only write
+//! recency matters. This module implements that policy plus three
+//! alternatives used by the ablation benches: least *frequently* updated
+//! (popularity within the 64-epoch history window), FIFO (dirtied order),
+//! and seeded-random.
+
+use std::collections::BTreeSet;
+
+use mem_sim::PageId;
+
+use crate::UpdateHistory;
+
+/// Which victim-selection policy the proactive copier uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TargetPolicy {
+    /// Copy out the page whose last observed update is oldest (the paper's
+    /// policy).
+    #[default]
+    LeastRecentlyUpdated,
+    /// Copy out the page updated in the fewest epochs of the retained
+    /// history window, breaking ties by recency.
+    LeastFrequentlyUpdated,
+    /// Copy out pages in the order they were dirtied.
+    Fifo,
+    /// Copy out a pseudo-random dirty page (deterministic, seeded).
+    Random,
+}
+
+/// An ordered index over flushable (dirty, not in-flight) pages.
+///
+/// The index keeps one `u64` sort key per page, maintained incrementally:
+/// `O(log n)` on dirty/touch/remove and `O(log n)` selection, so victim
+/// selection never rescans the dirty set.
+///
+/// # Examples
+///
+/// ```
+/// use mem_sim::PageId;
+/// use viyojit::{TargetPolicy, UpdateHistory, VictimSelector};
+///
+/// let mut h = UpdateHistory::new(4, 64);
+/// let mut sel = VictimSelector::new(4, TargetPolicy::LeastRecentlyUpdated, 1);
+/// h.touch(PageId(0));
+/// sel.on_dirty(PageId(0), &h);
+/// h.advance_epoch();
+/// h.touch(PageId(1));
+/// sel.on_dirty(PageId(1), &h);
+/// // Page 0 was updated longest ago.
+/// assert_eq!(sel.peek(), Some(PageId(0)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct VictimSelector {
+    policy: TargetPolicy,
+    ordered: BTreeSet<(u64, PageId)>,
+    key_of: Vec<Option<u64>>,
+    fifo_seq: u64,
+    rng_state: u64,
+}
+
+impl VictimSelector {
+    /// Creates a selector over `pages` pages with the given policy. `seed`
+    /// only affects [`TargetPolicy::Random`].
+    pub fn new(pages: usize, policy: TargetPolicy, seed: u64) -> Self {
+        VictimSelector {
+            policy,
+            ordered: BTreeSet::new(),
+            key_of: vec![None; pages],
+            fifo_seq: 0,
+            rng_state: seed | 1,
+        }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> TargetPolicy {
+        self.policy
+    }
+
+    /// Number of candidate pages currently indexed.
+    pub fn len(&self) -> usize {
+        self.ordered.len()
+    }
+
+    /// `true` if no candidates are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.ordered.is_empty()
+    }
+
+    fn next_random(&mut self) -> u64 {
+        // xorshift64*: deterministic, seed-stable victim randomization.
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn key(&mut self, page: PageId, history: &UpdateHistory) -> u64 {
+        match self.policy {
+            TargetPolicy::LeastRecentlyUpdated => history.last_touch_seq(page),
+            TargetPolicy::LeastFrequentlyUpdated => {
+                let popularity = history.update_count(page) as u64;
+                let recency = history.last_touch_seq(page) & ((1 << 56) - 1);
+                (popularity << 56) | recency
+            }
+            TargetPolicy::Fifo => {
+                self.fifo_seq += 1;
+                self.fifo_seq
+            }
+            TargetPolicy::Random => self.next_random(),
+        }
+    }
+
+    /// Indexes a page that just became flushable (entered the `Dirty`
+    /// state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is already indexed.
+    pub fn on_dirty(&mut self, page: PageId, history: &UpdateHistory) {
+        assert!(
+            self.key_of[page.index()].is_none(),
+            "{page} indexed twice by the victim selector"
+        );
+        let key = self.key(page, history);
+        self.ordered.insert((key, page));
+        self.key_of[page.index()] = Some(key);
+    }
+
+    /// Re-keys a page after the epoch walker observed a fresh update.
+    /// No-op for policies whose key does not depend on update history, or
+    /// if the page is not indexed.
+    pub fn on_touch(&mut self, page: PageId, history: &UpdateHistory) {
+        let Some(old_key) = self.key_of[page.index()] else {
+            return;
+        };
+        match self.policy {
+            TargetPolicy::Fifo | TargetPolicy::Random => return,
+            TargetPolicy::LeastRecentlyUpdated | TargetPolicy::LeastFrequentlyUpdated => {}
+        }
+        self.ordered.remove(&(old_key, page));
+        let key = self.key(page, history);
+        self.ordered.insert((key, page));
+        self.key_of[page.index()] = Some(key);
+    }
+
+    /// Removes a page from the index (flush issued, or page unmapped).
+    /// No-op if the page is not indexed.
+    pub fn on_removed(&mut self, page: PageId) {
+        if let Some(key) = self.key_of[page.index()].take() {
+            self.ordered.remove(&(key, page));
+        }
+    }
+
+    /// The current best victim without removing it.
+    pub fn peek(&self) -> Option<PageId> {
+        self.ordered.first().map(|&(_, p)| p)
+    }
+
+    /// Clears the index (recovery).
+    pub fn reset(&mut self) {
+        self.ordered.clear();
+        self.key_of.fill(None);
+        self.fifo_seq = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lru_setup() -> (UpdateHistory, VictimSelector) {
+        (
+            UpdateHistory::new(8, 64),
+            VictimSelector::new(8, TargetPolicy::LeastRecentlyUpdated, 42),
+        )
+    }
+
+    #[test]
+    fn lru_prefers_oldest_update() {
+        let (mut h, mut s) = lru_setup();
+        for i in 0..3u64 {
+            h.touch(PageId(i));
+            s.on_dirty(PageId(i), &h);
+            h.advance_epoch();
+        }
+        assert_eq!(s.peek(), Some(PageId(0)));
+        // Touching page 0 again makes page 1 the oldest.
+        h.touch(PageId(0));
+        s.on_touch(PageId(0), &h);
+        assert_eq!(s.peek(), Some(PageId(1)));
+    }
+
+    #[test]
+    fn removed_pages_stop_being_candidates() {
+        let (mut h, mut s) = lru_setup();
+        h.touch(PageId(0));
+        s.on_dirty(PageId(0), &h);
+        h.touch(PageId(1));
+        s.on_dirty(PageId(1), &h);
+        s.on_removed(PageId(0));
+        assert_eq!(s.peek(), Some(PageId(1)));
+        s.on_removed(PageId(1));
+        assert!(s.peek().is_none());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn lfu_prefers_least_popular() {
+        let mut h = UpdateHistory::new(4, 64);
+        let mut s = VictimSelector::new(4, TargetPolicy::LeastFrequentlyUpdated, 1);
+        // Page 0: updated in 3 epochs. Page 1: updated in 1 epoch (latest).
+        h.touch(PageId(0));
+        h.advance_epoch();
+        h.touch(PageId(0));
+        h.advance_epoch();
+        h.touch(PageId(0));
+        h.touch(PageId(1));
+        s.on_dirty(PageId(0), &h);
+        s.on_dirty(PageId(1), &h);
+        assert_eq!(s.peek(), Some(PageId(1)));
+    }
+
+    #[test]
+    fn fifo_ignores_touches() {
+        let mut h = UpdateHistory::new(4, 64);
+        let mut s = VictimSelector::new(4, TargetPolicy::Fifo, 1);
+        h.touch(PageId(2));
+        s.on_dirty(PageId(2), &h);
+        h.advance_epoch();
+        h.touch(PageId(3));
+        s.on_dirty(PageId(3), &h);
+        // Page 2 is touched again, but FIFO still evicts it first.
+        h.touch(PageId(2));
+        s.on_touch(PageId(2), &h);
+        assert_eq!(s.peek(), Some(PageId(2)));
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let order = |seed: u64| {
+            let mut h = UpdateHistory::new(8, 64);
+            let mut s = VictimSelector::new(8, TargetPolicy::Random, seed);
+            for i in 0..8u64 {
+                h.touch(PageId(i));
+                s.on_dirty(PageId(i), &h);
+            }
+            let mut out = Vec::new();
+            while let Some(p) = s.peek() {
+                out.push(p);
+                s.on_removed(p);
+            }
+            out
+        };
+        assert_eq!(order(7), order(7), "same seed, same order");
+        assert_ne!(order(7), order(8), "different seeds diverge");
+    }
+
+    #[test]
+    #[should_panic(expected = "indexed twice")]
+    fn double_indexing_panics() {
+        let (h, mut s) = lru_setup();
+        s.on_dirty(PageId(0), &h);
+        s.on_dirty(PageId(0), &h);
+    }
+
+    #[test]
+    fn on_touch_of_unindexed_page_is_a_no_op() {
+        let (mut h, mut s) = lru_setup();
+        h.touch(PageId(5));
+        s.on_touch(PageId(5), &h);
+        assert!(s.is_empty());
+    }
+}

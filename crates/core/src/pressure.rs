@@ -1,0 +1,133 @@
+//! Dirty-page pressure prediction (§5.3).
+//!
+//! At every epoch boundary Viyojit counts the pages newly dirtied during
+//! the epoch and feeds the count into an exponentially decaying average
+//! with weight 0.75 on the newest observation. The predicted pressure sets
+//! the proactive-copy threshold: `threshold = dirty_budget - pressure`, so
+//! the system keeps enough budget slack to absorb the predicted burst of
+//! new dirty pages without blocking writers on the SSD.
+
+/// EWMA predictor of new-dirty-pages-per-epoch.
+///
+/// # Examples
+///
+/// ```
+/// use viyojit::PressureEstimator;
+///
+/// let mut p = PressureEstimator::new(0.75);
+/// p.observe(100);
+/// assert_eq!(p.predicted().round() as u64, 75);
+/// assert_eq!(p.threshold(1_000), 925);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PressureEstimator {
+    alpha: f64,
+    predicted: f64,
+}
+
+impl PressureEstimator {
+    /// Creates an estimator with weight `alpha` on the newest observation
+    /// (the paper uses 0.75).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "alpha must be in (0,1], got {alpha}"
+        );
+        PressureEstimator {
+            alpha,
+            predicted: 0.0,
+        }
+    }
+
+    /// Folds in the newest per-epoch new-dirty-page count and returns the
+    /// updated prediction.
+    pub fn observe(&mut self, new_dirty_pages: u64) -> f64 {
+        self.predicted = self.alpha * new_dirty_pages as f64 + (1.0 - self.alpha) * self.predicted;
+        self.predicted
+    }
+
+    /// Predicted new dirty pages in the next epoch.
+    pub fn predicted(&self) -> f64 {
+        self.predicted
+    }
+
+    /// The proactive-copy threshold for a given budget: pages kept dirty
+    /// beyond this trigger background copies. Saturates at zero.
+    pub fn threshold(&self, dirty_budget_pages: u64) -> u64 {
+        dirty_budget_pages.saturating_sub(self.predicted.ceil() as u64)
+    }
+
+    /// Resets the prediction to zero (recovery).
+    pub fn reset(&mut self) {
+        self.predicted = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prediction_is_convex_combination_of_history() {
+        let mut p = PressureEstimator::new(0.75);
+        let observations = [10u64, 50, 20, 0, 100];
+        for &o in &observations {
+            let predicted = p.observe(o);
+            let max = *observations.iter().max().unwrap() as f64;
+            assert!(predicted >= 0.0 && predicted <= max);
+        }
+    }
+
+    #[test]
+    fn steady_state_converges_to_the_observation() {
+        let mut p = PressureEstimator::new(0.75);
+        for _ in 0..50 {
+            p.observe(40);
+        }
+        assert!((p.predicted() - 40.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn paper_weighting_mixes_three_to_one() {
+        let mut p = PressureEstimator::new(0.75);
+        p.observe(100); // predicted = 75
+        p.observe(0); // predicted = 0.25 * 75 = 18.75
+        assert!((p.predicted() - 18.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn threshold_saturates_at_zero() {
+        let mut p = PressureEstimator::new(1.0);
+        p.observe(500);
+        assert_eq!(p.threshold(100), 0);
+        assert_eq!(p.threshold(501), 1);
+    }
+
+    #[test]
+    fn bursts_decay_after_quiet_epochs() {
+        let mut p = PressureEstimator::new(0.75);
+        p.observe(1_000);
+        for _ in 0..20 {
+            p.observe(0);
+        }
+        assert!(p.predicted() < 1.0, "burst influence should decay");
+    }
+
+    #[test]
+    fn reset_zeroes_the_prediction() {
+        let mut p = PressureEstimator::new(0.5);
+        p.observe(10);
+        p.reset();
+        assert_eq!(p.predicted(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in")]
+    fn alpha_above_one_panics() {
+        let _ = PressureEstimator::new(1.5);
+    }
+}

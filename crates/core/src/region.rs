@@ -1,0 +1,292 @@
+//! Region handles and page-range allocation for the mmap-like API.
+
+use std::fmt;
+
+use mem_sim::{page_count, PageId};
+
+use crate::ViyojitError;
+
+/// Handle to one mapped NV-DRAM region, returned by `vmap`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RegionId(pub u32);
+
+impl fmt::Display for RegionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "region#{}", self.0)
+    }
+}
+
+/// One live mapping: a contiguous run of pages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegionInfo {
+    /// First page of the mapping.
+    pub first_page: PageId,
+    /// Number of pages mapped.
+    pub pages: u64,
+    /// Bytes requested at `vmap` time (<= pages * PAGE_SIZE).
+    pub len_bytes: u64,
+}
+
+impl RegionInfo {
+    /// Iterates over the pages of this region.
+    pub fn iter_pages(&self) -> impl Iterator<Item = PageId> + '_ {
+        (self.first_page.0..self.first_page.0 + self.pages).map(PageId)
+    }
+
+    /// Absolute byte address of `offset` within this region.
+    pub fn abs_addr(&self, offset: u64) -> u64 {
+        self.first_page.base_addr() + offset
+    }
+}
+
+/// First-fit allocator of contiguous page runs within the NV-DRAM space.
+///
+/// # Examples
+///
+/// ```
+/// use viyojit::RegionTable;
+///
+/// let mut t = RegionTable::new(16);
+/// let a = t.map(4096 * 3)?;
+/// assert_eq!(t.info(a)?.pages, 3);
+/// t.unmap(a)?;
+/// # Ok::<(), viyojit::ViyojitError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RegionTable {
+    total_pages: u64,
+    regions: Vec<Option<RegionInfo>>,
+    /// Sorted, disjoint, coalesced free runs as (first_page, pages).
+    free_runs: Vec<(u64, u64)>,
+}
+
+impl RegionTable {
+    /// Creates a table managing `total_pages` initially-free pages.
+    pub fn new(total_pages: u64) -> Self {
+        RegionTable {
+            total_pages,
+            regions: Vec::new(),
+            free_runs: vec![(0, total_pages)],
+        }
+    }
+
+    /// Total pages managed.
+    pub fn total_pages(&self) -> u64 {
+        self.total_pages
+    }
+
+    /// Pages currently mapped.
+    pub fn mapped_pages(&self) -> u64 {
+        self.regions.iter().flatten().map(|r| r.pages).sum()
+    }
+
+    /// Maps `len_bytes` bytes, returning the new region's handle.
+    ///
+    /// # Errors
+    ///
+    /// - [`ViyojitError::EmptyMapping`] if `len_bytes` is zero.
+    /// - [`ViyojitError::OutOfSpace`] if no contiguous free run is large
+    ///   enough.
+    pub fn map(&mut self, len_bytes: u64) -> Result<RegionId, ViyojitError> {
+        if len_bytes == 0 {
+            return Err(ViyojitError::EmptyMapping);
+        }
+        let pages = page_count(len_bytes);
+        let run_idx = self
+            .free_runs
+            .iter()
+            .position(|&(_, len)| len >= pages)
+            .ok_or(ViyojitError::OutOfSpace {
+                requested_pages: pages,
+                largest_free_run: self.free_runs.iter().map(|&(_, l)| l).max().unwrap_or(0),
+            })?;
+        let (start, run_len) = self.free_runs[run_idx];
+        if run_len == pages {
+            self.free_runs.remove(run_idx);
+        } else {
+            self.free_runs[run_idx] = (start + pages, run_len - pages);
+        }
+        let info = RegionInfo {
+            first_page: PageId(start),
+            pages,
+            len_bytes,
+        };
+        // Reuse a dead slot if available.
+        if let Some(slot) = self.regions.iter().position(|r| r.is_none()) {
+            self.regions[slot] = Some(info);
+            Ok(RegionId(slot as u32))
+        } else {
+            self.regions.push(Some(info));
+            Ok(RegionId((self.regions.len() - 1) as u32))
+        }
+    }
+
+    /// Unmaps a region, returning its former extent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ViyojitError::BadRegion`] if the handle is not live.
+    pub fn unmap(&mut self, region: RegionId) -> Result<RegionInfo, ViyojitError> {
+        let slot = self
+            .regions
+            .get_mut(region.0 as usize)
+            .ok_or(ViyojitError::BadRegion(region))?;
+        let info = slot.take().ok_or(ViyojitError::BadRegion(region))?;
+        // Insert the freed run and coalesce neighbours.
+        let run = (info.first_page.0, info.pages);
+        let pos = self.free_runs.partition_point(|&(start, _)| start < run.0);
+        self.free_runs.insert(pos, run);
+        self.coalesce();
+        Ok(info)
+    }
+
+    fn coalesce(&mut self) {
+        let mut i = 0;
+        while i + 1 < self.free_runs.len() {
+            let (a_start, a_len) = self.free_runs[i];
+            let (b_start, b_len) = self.free_runs[i + 1];
+            if a_start + a_len == b_start {
+                self.free_runs[i] = (a_start, a_len + b_len);
+                self.free_runs.remove(i + 1);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Looks up a live region.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ViyojitError::BadRegion`] if the handle is not live.
+    pub fn info(&self, region: RegionId) -> Result<RegionInfo, ViyojitError> {
+        self.regions
+            .get(region.0 as usize)
+            .copied()
+            .flatten()
+            .ok_or(ViyojitError::BadRegion(region))
+    }
+
+    /// Bounds-checks an access and returns the absolute byte address.
+    ///
+    /// # Errors
+    ///
+    /// [`ViyojitError::BadRegion`] for dead handles,
+    /// [`ViyojitError::OutOfRange`] for accesses past the mapped length.
+    pub fn resolve(&self, region: RegionId, offset: u64, len: usize) -> Result<u64, ViyojitError> {
+        let info = self.info(region)?;
+        if offset
+            .checked_add(len as u64)
+            .is_none_or(|end| end > info.len_bytes)
+        {
+            return Err(ViyojitError::OutOfRange {
+                region,
+                offset,
+                len,
+            });
+        }
+        Ok(info.abs_addr(offset))
+    }
+
+    /// Iterates over live regions.
+    pub fn iter(&self) -> impl Iterator<Item = (RegionId, RegionInfo)> + '_ {
+        self.regions
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.map(|r| (RegionId(i as u32), r)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mem_sim::PAGE_SIZE;
+
+    #[test]
+    fn map_rounds_up_to_pages() {
+        let mut t = RegionTable::new(10);
+        let r = t.map(1).unwrap();
+        assert_eq!(t.info(r).unwrap().pages, 1);
+        let r2 = t.map(PAGE_SIZE as u64 + 1).unwrap();
+        assert_eq!(t.info(r2).unwrap().pages, 2);
+        assert_eq!(t.mapped_pages(), 3);
+    }
+
+    #[test]
+    fn mappings_do_not_overlap() {
+        let mut t = RegionTable::new(10);
+        let a = t.map(PAGE_SIZE as u64 * 4).unwrap();
+        let b = t.map(PAGE_SIZE as u64 * 4).unwrap();
+        let (ia, ib) = (t.info(a).unwrap(), t.info(b).unwrap());
+        let a_range = ia.first_page.0..ia.first_page.0 + ia.pages;
+        assert!(!a_range.contains(&ib.first_page.0));
+    }
+
+    #[test]
+    fn unmap_coalesces_and_allows_remapping() {
+        let mut t = RegionTable::new(8);
+        let a = t.map(PAGE_SIZE as u64 * 3).unwrap();
+        let b = t.map(PAGE_SIZE as u64 * 3).unwrap();
+        let _c = t.map(PAGE_SIZE as u64 * 2).unwrap();
+        assert!(t.map(1).is_err(), "space exhausted");
+        t.unmap(a).unwrap();
+        t.unmap(b).unwrap();
+        // After coalescing, a 6-page mapping fits where two 3-page ones were.
+        let big = t.map(PAGE_SIZE as u64 * 6).unwrap();
+        assert_eq!(t.info(big).unwrap().pages, 6);
+    }
+
+    #[test]
+    fn dead_handles_are_rejected() {
+        let mut t = RegionTable::new(4);
+        let r = t.map(100).unwrap();
+        t.unmap(r).unwrap();
+        assert_eq!(t.info(r), Err(ViyojitError::BadRegion(r)));
+        assert_eq!(t.unmap(r), Err(ViyojitError::BadRegion(r)));
+    }
+
+    #[test]
+    fn resolve_checks_requested_length_not_page_count() {
+        let mut t = RegionTable::new(4);
+        let r = t.map(100).unwrap(); // 1 page, but only 100 bytes requested
+        assert!(t.resolve(r, 0, 100).is_ok());
+        assert!(matches!(
+            t.resolve(r, 50, 51),
+            Err(ViyojitError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_space_reports_largest_run() {
+        let mut t = RegionTable::new(4);
+        let _ = t.map(PAGE_SIZE as u64 * 3).unwrap();
+        match t.map(PAGE_SIZE as u64 * 2) {
+            Err(ViyojitError::OutOfSpace {
+                requested_pages,
+                largest_free_run,
+            }) => {
+                assert_eq!(requested_pages, 2);
+                assert_eq!(largest_free_run, 1);
+            }
+            other => panic!("expected OutOfSpace, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_mapping_is_rejected() {
+        let mut t = RegionTable::new(4);
+        assert_eq!(t.map(0), Err(ViyojitError::EmptyMapping));
+    }
+
+    #[test]
+    fn slot_reuse_keeps_handles_unique() {
+        let mut t = RegionTable::new(8);
+        let a = t.map(1).unwrap();
+        t.unmap(a).unwrap();
+        let b = t.map(1).unwrap();
+        // The slot may be reused; the old handle must still be dead only if
+        // it maps to a different generation. We accept reuse (like fds) and
+        // simply require the new handle to resolve.
+        assert!(t.info(b).is_ok());
+    }
+}

@@ -1,0 +1,70 @@
+//! Error type of the key-value store.
+
+use std::error::Error;
+use std::fmt;
+
+use pheap::PHeapError;
+
+/// Why a key-value operation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvError {
+    /// Key exceeds the maximum encodable length.
+    KeyTooLarge {
+        /// Bytes in the offending key.
+        len: usize,
+    },
+    /// Key + value exceed what one heap allocation can hold.
+    ValueTooLarge {
+        /// Combined entry payload size.
+        len: usize,
+    },
+    /// The region does not hold a formatted store.
+    NotAStore,
+    /// The persistent heap failed (out of memory, bad pointer, ...).
+    Heap(PHeapError),
+}
+
+impl fmt::Display for KvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KvError::KeyTooLarge { len } => write!(f, "key of {len} bytes is too large"),
+            KvError::ValueTooLarge { len } => {
+                write!(f, "entry of {len} bytes exceeds the allocation limit")
+            }
+            KvError::NotAStore => write!(f, "heap does not contain a key-value store"),
+            KvError::Heap(e) => write!(f, "persistent heap error: {e}"),
+        }
+    }
+}
+
+impl Error for KvError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            KvError::Heap(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PHeapError> for KvError {
+    fn from(e: PHeapError) -> Self {
+        KvError::Heap(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert!(KvError::KeyTooLarge { len: 9 }.to_string().contains('9'));
+        assert!(KvError::NotAStore.to_string().contains("store"));
+    }
+
+    #[test]
+    fn heap_errors_convert_and_chain() {
+        let e: KvError = PHeapError::OutOfMemory.into();
+        assert!(Error::source(&e).is_some());
+    }
+}

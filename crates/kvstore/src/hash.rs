@@ -1,0 +1,40 @@
+//! Key hashing.
+
+/// FNV-1a 64-bit hash, used for bucket selection and fast key comparison.
+///
+/// # Examples
+///
+/// ```
+/// use kvstore::fnv1a_64;
+///
+/// assert_ne!(fnv1a_64(b"a"), fnv1a_64(b"b"));
+/// assert_eq!(fnv1a_64(b""), 0xcbf29ce484222325);
+/// ```
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(fnv1a_64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn distinct_keys_rarely_collide() {
+        use std::collections::HashSet;
+        let hashes: HashSet<u64> = (0..10_000u32)
+            .map(|i| fnv1a_64(format!("user{i}").as_bytes()))
+            .collect();
+        assert_eq!(hashes.len(), 10_000, "no collisions in a small keyspace");
+    }
+}

@@ -1,0 +1,658 @@
+//! The persistent chained hash table.
+
+use pheap::{PHeap, PPtr, MAX_ALLOC};
+use viyojit::NvHeap;
+
+use crate::index::SkipIndex;
+use crate::{fnv1a_64, KvError};
+
+/// Identifies a formatted store ("REDISNVM" in spirit).
+const STORE_MAGIC: u64 = 0x5245_4449_534e_564d;
+
+/// Meta block field offsets.
+const META_MAGIC: u64 = 0;
+const META_BUCKETS: u64 = 8;
+const META_SEG_BUCKETS: u64 = 16;
+const META_COUNT: u64 = 24;
+const META_DIR: u64 = 32;
+const META_STAMP: u64 = 40;
+/// Head of the persistent skip-list index ordering all keys (enables
+/// `scan`, the paper's future-work cross-key capability).
+const META_INDEX: u64 = 48;
+const META_BYTES: usize = 56;
+
+/// Entry header layout, mirroring Redis's split between the small object
+/// header (dictEntry/robj: chain pointer, hash, lengths, LRU stamp, value
+/// pointer) and the separately-allocated value blob (SDS string). Headers
+/// are small, so many pack into each page; values get their own
+/// allocations. This is why read-heavy workloads dirty far fewer pages
+/// than write-heavy ones even though reads update the LRU stamp.
+const NODE_NEXT: u64 = 0;
+const NODE_HASH: u64 = 8;
+const NODE_KEY_LEN: u64 = 16;
+const NODE_VAL_LEN: u64 = 20;
+const NODE_STAMP: u64 = 24;
+const NODE_VAL_PTR: u64 = 32;
+/// Expiration time (0 = never) — Redis dicts keep TTLs per key.
+const NODE_EXPIRE: u64 = 40;
+/// Object flags + encoding + refcount, as in Redis's robj.
+const NODE_FLAGS: u64 = 48;
+/// Reserved metadata area. Redis spends ~100-130 B of heap metadata per
+/// key (dictEntry, robj, SDS header, expires-dict entry); colocating the
+/// equivalent here keeps the per-key metadata *footprint* faithful, which
+/// is what determines how many pages the read path's LRU stamps dirty.
+const NODE_RESERVED: u64 = 56;
+const NODE_HEADER: usize = 128;
+
+/// A batch of `(key, value)` pairs returned by [`KvStore::scan`].
+pub type ScanResults = Vec<(Vec<u8>, Vec<u8>)>;
+
+/// Buckets per directory segment (one segment = one heap allocation).
+const SEG_BUCKETS: u64 = 4096;
+
+/// Store statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KvStats {
+    /// Live entries.
+    pub entries: u64,
+    /// Hash buckets.
+    pub buckets: u64,
+    /// Monotonic operation stamp (the Redis-style LRU clock).
+    pub stamp: u64,
+}
+
+/// A Redis-like persistent key-value store. See the [crate docs](crate).
+#[derive(Debug)]
+pub struct KvStore<H> {
+    heap: PHeap<H>,
+    meta: PPtr,
+    dir: PPtr,
+    index: SkipIndex,
+    num_buckets: u64,
+    seg_buckets: u64,
+}
+
+impl<H: NvHeap> KvStore<H> {
+    /// Formats a new store with `buckets` hash buckets (rounded up to a
+    /// power of two) in root slot 0 of `heap`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates heap exhaustion; callers should size the region for
+    /// `buckets * 8` bytes of table plus their data.
+    pub fn create(mut heap: PHeap<H>, buckets: u64) -> Result<Self, KvError> {
+        let num_buckets = buckets.max(1).next_power_of_two();
+        let seg_buckets = num_buckets.min(SEG_BUCKETS);
+        let num_segments = num_buckets / seg_buckets;
+
+        let meta = heap.alloc(META_BYTES)?;
+        let dir = heap.alloc((num_segments * 8) as usize)?;
+        // Zero the directory, then allocate + zero each bucket segment.
+        heap.write(dir, 0, &vec![0u8; (num_segments * 8) as usize])?;
+        for s in 0..num_segments {
+            let seg = heap.alloc((seg_buckets * 8) as usize)?;
+            heap.write(seg, 0, &vec![0u8; (seg_buckets * 8) as usize])?;
+            heap.write(dir, s * 8, &seg.offset().to_le_bytes())?;
+        }
+        let index = SkipIndex::create(&mut heap)?;
+        let mut this = KvStore {
+            heap,
+            meta,
+            dir,
+            index,
+            num_buckets,
+            seg_buckets,
+        };
+        this.put_meta(META_MAGIC, STORE_MAGIC)?;
+        this.put_meta(META_BUCKETS, num_buckets)?;
+        this.put_meta(META_SEG_BUCKETS, seg_buckets)?;
+        this.put_meta(META_COUNT, 0)?;
+        this.put_meta(META_DIR, dir.offset())?;
+        this.put_meta(META_STAMP, 0)?;
+        this.put_meta(META_INDEX, this.index.head().offset())?;
+        this.heap.set_root(0, Some(meta))?;
+        Ok(this)
+    }
+
+    /// Reopens the store in `heap`'s root slot 0 — the warm-cache restart
+    /// path after a power cycle.
+    ///
+    /// # Errors
+    ///
+    /// [`KvError::NotAStore`] if root slot 0 is empty or the magic does
+    /// not verify.
+    pub fn open(mut heap: PHeap<H>) -> Result<Self, KvError> {
+        let meta = heap.root(0)?.ok_or(KvError::NotAStore)?;
+        let mut buf = [0u8; 8];
+        heap.read(meta, META_MAGIC, &mut buf)?;
+        if u64::from_le_bytes(buf) != STORE_MAGIC {
+            return Err(KvError::NotAStore);
+        }
+        heap.read(meta, META_BUCKETS, &mut buf)?;
+        let num_buckets = u64::from_le_bytes(buf);
+        heap.read(meta, META_SEG_BUCKETS, &mut buf)?;
+        let seg_buckets = u64::from_le_bytes(buf);
+        heap.read(meta, META_DIR, &mut buf)?;
+        let dir = PPtr::from_offset(u64::from_le_bytes(buf));
+        heap.read(meta, META_INDEX, &mut buf)?;
+        let index = SkipIndex::open(PPtr::from_offset(u64::from_le_bytes(buf)));
+        Ok(KvStore {
+            heap,
+            meta,
+            dir,
+            index,
+            num_buckets,
+            seg_buckets,
+        })
+    }
+
+    /// Shared access to the persistent heap.
+    pub fn heap(&self) -> &PHeap<H> {
+        &self.heap
+    }
+
+    /// Exclusive access to the persistent heap (and through it the
+    /// NV-DRAM layer).
+    pub fn heap_mut(&mut self) -> &mut PHeap<H> {
+        &mut self.heap
+    }
+
+    /// Consumes the store, returning the heap.
+    pub fn into_heap(self) -> PHeap<H> {
+        self.heap
+    }
+
+    fn put_meta(&mut self, field: u64, value: u64) -> Result<(), KvError> {
+        self.heap.write(self.meta, field, &value.to_le_bytes())?;
+        Ok(())
+    }
+
+    fn get_meta(&mut self, field: u64) -> Result<u64, KvError> {
+        let mut buf = [0u8; 8];
+        self.heap.read(self.meta, field, &mut buf)?;
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    fn next_stamp(&mut self) -> Result<u64, KvError> {
+        // The Redis-style LRU clock: bumped on every operation, persisted
+        // in the meta block — metadata write traffic even for reads.
+        let stamp = self.get_meta(META_STAMP)? + 1;
+        self.put_meta(META_STAMP, stamp)?;
+        Ok(stamp)
+    }
+
+    /// `(segment ptr, byte offset of the bucket head within the segment)`.
+    fn bucket_slot(&mut self, hash: u64) -> Result<(PPtr, u64), KvError> {
+        let bucket = hash & (self.num_buckets - 1);
+        let seg_idx = bucket / self.seg_buckets;
+        let within = bucket % self.seg_buckets;
+        let mut buf = [0u8; 8];
+        self.heap.read(self.dir, seg_idx * 8, &mut buf)?;
+        Ok((PPtr::from_offset(u64::from_le_bytes(buf)), within * 8))
+    }
+
+    fn node_u64(&mut self, node: PPtr, field: u64) -> Result<u64, KvError> {
+        let mut buf = [0u8; 8];
+        self.heap.read(node, field, &mut buf)?;
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    fn node_u32(&mut self, node: PPtr, field: u64) -> Result<u32, KvError> {
+        let mut buf = [0u8; 4];
+        self.heap.read(node, field, &mut buf)?;
+        Ok(u32::from_le_bytes(buf))
+    }
+
+    fn node_key(&mut self, node: PPtr) -> Result<Vec<u8>, KvError> {
+        let klen = self.node_u32(node, NODE_KEY_LEN)? as usize;
+        let mut key = vec![0u8; klen];
+        self.heap.read(node, NODE_HEADER as u64, &mut key)?;
+        Ok(key)
+    }
+
+    /// Finds the node holding `key`, returning `(predecessor, node)` where
+    /// the predecessor is `None` for chain heads.
+    fn find(&mut self, hash: u64, key: &[u8]) -> Result<Option<(Option<PPtr>, PPtr)>, KvError> {
+        let (seg, slot) = self.bucket_slot(hash)?;
+        let mut buf = [0u8; 8];
+        self.heap.read(seg, slot, &mut buf)?;
+        let mut cur = u64::from_le_bytes(buf);
+        let mut prev: Option<PPtr> = None;
+        while cur != 0 {
+            let node = PPtr::from_offset(cur);
+            if self.node_u64(node, NODE_HASH)? == hash && self.node_key(node)? == key {
+                return Ok(Some((prev, node)));
+            }
+            prev = Some(node);
+            cur = self.node_u64(node, NODE_NEXT)?;
+        }
+        Ok(None)
+    }
+
+    #[allow(clippy::too_many_arguments)] // one serializer for the whole header layout
+    fn write_header(
+        &mut self,
+        node: PPtr,
+        next: u64,
+        hash: u64,
+        key: &[u8],
+        val_len: usize,
+        val_ptr: PPtr,
+        stamp: u64,
+    ) -> Result<(), KvError> {
+        let mut image = Vec::with_capacity(NODE_HEADER + key.len());
+        image.extend_from_slice(&next.to_le_bytes());
+        image.extend_from_slice(&hash.to_le_bytes());
+        image.extend_from_slice(&(key.len() as u32).to_le_bytes());
+        image.extend_from_slice(&(val_len as u32).to_le_bytes());
+        image.extend_from_slice(&stamp.to_le_bytes());
+        image.extend_from_slice(&val_ptr.offset().to_le_bytes());
+        debug_assert_eq!(image.len() as u64, NODE_EXPIRE);
+        image.extend_from_slice(&0u64.to_le_bytes()); // expire: never
+        debug_assert_eq!(image.len() as u64, NODE_FLAGS);
+        image.extend_from_slice(&0u64.to_le_bytes());
+        debug_assert_eq!(image.len() as u64, NODE_RESERVED);
+        image.resize(NODE_HEADER, 0);
+        image.extend_from_slice(key);
+        self.heap.write(node, 0, &image)?;
+        Ok(())
+    }
+
+    /// Inserts or updates `key`. Updates overwrite the value allocation in
+    /// place when the new value fits its size class; otherwise the value
+    /// blob is reallocated (like Redis's SDS reallocation) and the header
+    /// repointed.
+    ///
+    /// # Errors
+    ///
+    /// [`KvError::ValueTooLarge`] when the key or value exceed one
+    /// allocation; heap exhaustion surfaces as [`KvError::Heap`].
+    pub fn set(&mut self, key: &[u8], value: &[u8]) -> Result<(), KvError> {
+        if key.len() > u32::MAX as usize {
+            return Err(KvError::KeyTooLarge { len: key.len() });
+        }
+        if NODE_HEADER + key.len() > MAX_ALLOC || value.len() > MAX_ALLOC || value.is_empty() {
+            return Err(KvError::ValueTooLarge {
+                len: NODE_HEADER + key.len() + value.len(),
+            });
+        }
+        let hash = fnv1a_64(key);
+        let stamp = self.next_stamp()?;
+
+        if let Some((_, node)) = self.find(hash, key)? {
+            let val_ptr = PPtr::from_offset(self.node_u64(node, NODE_VAL_PTR)?);
+            if value.len() <= self.heap.usable_size(val_ptr)? {
+                // In-place value overwrite; header gets length + stamp.
+                self.heap.write(val_ptr, 0, value)?;
+            } else {
+                // SDS-style reallocation of the value blob.
+                let fresh = self.heap.alloc(value.len())?;
+                self.heap.write(fresh, 0, value)?;
+                self.heap
+                    .write(node, NODE_VAL_PTR, &fresh.offset().to_le_bytes())?;
+                self.heap.free(val_ptr)?;
+            }
+            self.heap
+                .write(node, NODE_VAL_LEN, &(value.len() as u32).to_le_bytes())?;
+            self.heap.write(node, NODE_STAMP, &stamp.to_le_bytes())?;
+            return Ok(());
+        }
+
+        // Fresh insert at the chain head: value blob first, then header.
+        let (seg, slot) = self.bucket_slot(hash)?;
+        let mut buf = [0u8; 8];
+        self.heap.read(seg, slot, &mut buf)?;
+        let head = u64::from_le_bytes(buf);
+        let val_ptr = self.heap.alloc(value.len())?;
+        self.heap.write(val_ptr, 0, value)?;
+        let node = self.heap.alloc(NODE_HEADER + key.len())?;
+        self.write_header(node, head, hash, key, value.len(), val_ptr, stamp)?;
+        self.heap.write(seg, slot, &node.offset().to_le_bytes())?;
+        let index = self.index;
+        index.insert(&mut self.heap, key, node)?;
+        let count = self.get_meta(META_COUNT)?;
+        self.put_meta(META_COUNT, count + 1)?;
+        Ok(())
+    }
+
+    /// Looks up `key`. Like Redis, a hit updates the entry's LRU stamp —
+    /// a metadata *write* on the read path, landing on the densely-packed
+    /// header pages rather than the value blobs.
+    ///
+    /// # Errors
+    ///
+    /// Heap failures surface as [`KvError::Heap`].
+    pub fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, KvError> {
+        let hash = fnv1a_64(key);
+        let stamp = self.next_stamp()?;
+        let Some((_, node)) = self.find(hash, key)? else {
+            return Ok(None);
+        };
+        self.heap.write(node, NODE_STAMP, &stamp.to_le_bytes())?;
+        let vlen = self.node_u32(node, NODE_VAL_LEN)? as usize;
+        let val_ptr = PPtr::from_offset(self.node_u64(node, NODE_VAL_PTR)?);
+        let mut value = vec![0u8; vlen];
+        self.heap.read(val_ptr, 0, &mut value)?;
+        Ok(Some(value))
+    }
+
+    /// Removes `key`, returning whether it was present.
+    ///
+    /// # Errors
+    ///
+    /// Heap failures surface as [`KvError::Heap`].
+    pub fn delete(&mut self, key: &[u8]) -> Result<bool, KvError> {
+        let hash = fnv1a_64(key);
+        self.next_stamp()?;
+        let Some((prev, node)) = self.find(hash, key)? else {
+            return Ok(false);
+        };
+        let next = self.node_u64(node, NODE_NEXT)?;
+        match prev {
+            Some(p) => self.heap.write(p, NODE_NEXT, &next.to_le_bytes())?,
+            None => {
+                let (seg, slot) = self.bucket_slot(hash)?;
+                self.heap.write(seg, slot, &next.to_le_bytes())?;
+            }
+        }
+        let val_ptr = PPtr::from_offset(self.node_u64(node, NODE_VAL_PTR)?);
+        let index = self.index;
+        index.remove(&mut self.heap, key)?;
+        self.heap.free(val_ptr)?;
+        self.heap.free(node)?;
+        let count = self.get_meta(META_COUNT)?;
+        self.put_meta(META_COUNT, count - 1)?;
+        Ok(true)
+    }
+
+    /// Range scan: up to `limit` entries with keys `>= start`, in key
+    /// order — YCSB-E's operation, and the cross-key capability the paper
+    /// defers to future work. Like `get`, each visited entry's LRU stamp
+    /// is refreshed.
+    ///
+    /// # Errors
+    ///
+    /// Heap failures surface as [`KvError::Heap`].
+    pub fn scan(&mut self, start: &[u8], limit: usize) -> Result<ScanResults, KvError> {
+        let stamp = self.next_stamp()?;
+        let index = self.index;
+        let hits = index.scan_from(&mut self.heap, start, limit)?;
+        let mut out = Vec::with_capacity(hits.len());
+        for (key, node) in hits {
+            self.heap.write(node, NODE_STAMP, &stamp.to_le_bytes())?;
+            let vlen = self.node_u32(node, NODE_VAL_LEN)? as usize;
+            let val_ptr = PPtr::from_offset(self.node_u64(node, NODE_VAL_PTR)?);
+            let mut value = vec![0u8; vlen];
+            self.heap.read(val_ptr, 0, &mut value)?;
+            out.push((key, value));
+        }
+        Ok(out)
+    }
+
+    /// Number of live entries.
+    ///
+    /// # Errors
+    ///
+    /// Heap failures surface as [`KvError::Heap`].
+    pub fn len(&mut self) -> Result<u64, KvError> {
+        self.get_meta(META_COUNT)
+    }
+
+    /// Walks the ordered index asserting key order and agreement with the
+    /// entry count — a recovery audit.
+    ///
+    /// # Errors
+    ///
+    /// Heap failures surface as [`KvError::Heap`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of order.
+    pub fn audit_index(&mut self) -> Result<u64, KvError> {
+        let index = self.index;
+        let indexed = index.audit(&mut self.heap)?;
+        let count = self.get_meta(META_COUNT)?;
+        assert_eq!(indexed, count, "index entries diverge from the hash table");
+        Ok(indexed)
+    }
+
+    /// `true` if the store holds no entries.
+    ///
+    /// # Errors
+    ///
+    /// Heap failures surface as [`KvError::Heap`].
+    pub fn is_empty(&mut self) -> Result<bool, KvError> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Store statistics.
+    ///
+    /// # Errors
+    ///
+    /// Heap failures surface as [`KvError::Heap`].
+    pub fn stats(&mut self) -> Result<KvStats, KvError> {
+        Ok(KvStats {
+            entries: self.get_meta(META_COUNT)?,
+            buckets: self.num_buckets,
+            stamp: self.get_meta(META_STAMP)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_clock::{Clock, CostModel};
+    use ssd_sim::SsdConfig;
+    use viyojit::{NvdramBaseline, Viyojit, ViyojitConfig};
+
+    fn store(pages: usize, buckets: u64) -> KvStore<NvdramBaseline> {
+        let nv = NvdramBaseline::new(pages, Clock::new(), CostModel::free(), SsdConfig::instant());
+        let heap = PHeap::format(nv, (pages as u64 - 2) * 4096).unwrap();
+        KvStore::create(heap, buckets).unwrap()
+    }
+
+    #[test]
+    fn set_get_delete_round_trip() {
+        let mut kv = store(64, 16);
+        assert_eq!(kv.get(b"missing").unwrap(), None);
+        kv.set(b"k", b"v1").unwrap();
+        assert_eq!(kv.get(b"k").unwrap().as_deref(), Some(&b"v1"[..]));
+        kv.set(b"k", b"v2").unwrap();
+        assert_eq!(kv.get(b"k").unwrap().as_deref(), Some(&b"v2"[..]));
+        assert!(kv.delete(b"k").unwrap());
+        assert!(!kv.delete(b"k").unwrap());
+        assert_eq!(kv.get(b"k").unwrap(), None);
+    }
+
+    #[test]
+    fn len_tracks_inserts_and_deletes() {
+        let mut kv = store(64, 16);
+        for i in 0..20u32 {
+            kv.set(format!("key{i}").as_bytes(), b"x").unwrap();
+        }
+        assert_eq!(kv.len().unwrap(), 20);
+        kv.set(b"key3", b"update, not insert").unwrap();
+        assert_eq!(kv.len().unwrap(), 20);
+        kv.delete(b"key3").unwrap();
+        assert_eq!(kv.len().unwrap(), 19);
+    }
+
+    #[test]
+    fn chains_survive_collisions() {
+        // 1 bucket: everything chains.
+        let mut kv = store(64, 1);
+        for i in 0..30u32 {
+            kv.set(format!("k{i}").as_bytes(), format!("v{i}").as_bytes())
+                .unwrap();
+        }
+        for i in 0..30u32 {
+            assert_eq!(
+                kv.get(format!("k{i}").as_bytes()).unwrap(),
+                Some(format!("v{i}").into_bytes()),
+                "key {i}"
+            );
+        }
+        // Delete middle-of-chain entries.
+        for i in (0..30u32).step_by(3) {
+            assert!(kv.delete(format!("k{i}").as_bytes()).unwrap());
+        }
+        for i in 0..30u32 {
+            let expect = (i % 3 != 0).then(|| format!("v{i}").into_bytes());
+            assert_eq!(kv.get(format!("k{i}").as_bytes()).unwrap(), expect);
+        }
+    }
+
+    #[test]
+    fn growing_updates_relocate_nodes() {
+        let mut kv = store(128, 8);
+        kv.set(b"grow", b"tiny").unwrap();
+        let big = vec![7u8; 2000];
+        kv.set(b"grow", &big).unwrap();
+        assert_eq!(kv.get(b"grow").unwrap().as_deref(), Some(&big[..]));
+        // Shrink back; in-place path.
+        kv.set(b"grow", b"small again").unwrap();
+        assert_eq!(
+            kv.get(b"grow").unwrap().as_deref(),
+            Some(&b"small again"[..])
+        );
+        assert_eq!(kv.len().unwrap(), 1);
+    }
+
+    #[test]
+    fn reads_advance_the_lru_stamp() {
+        let mut kv = store(64, 16);
+        kv.set(b"a", b"1").unwrap();
+        let before = kv.stats().unwrap().stamp;
+        kv.get(b"a").unwrap();
+        kv.get(b"nope").unwrap();
+        let after = kv.stats().unwrap().stamp;
+        assert_eq!(after, before + 2, "reads must bump the metadata clock");
+    }
+
+    #[test]
+    fn oversized_entries_are_rejected() {
+        let mut kv = store(64, 4);
+        let huge = vec![0u8; MAX_ALLOC + 1];
+        assert!(matches!(
+            kv.set(b"k", &huge),
+            Err(KvError::ValueTooLarge { .. })
+        ));
+        assert!(matches!(
+            kv.set(b"k", b""),
+            Err(KvError::ValueTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn store_survives_power_cycle_as_warm_cache() {
+        let nv = Viyojit::new(
+            128,
+            ViyojitConfig::with_budget_pages(8),
+            Clock::new(),
+            CostModel::free(),
+            SsdConfig::instant(),
+        );
+        let heap = PHeap::format(nv, 100 * 4096).unwrap();
+        let mut kv = KvStore::create(heap, 64).unwrap();
+        for i in 0..50u32 {
+            kv.set(format!("user{i}").as_bytes(), format!("data{i}").as_bytes())
+                .unwrap();
+        }
+        let region = kv.heap().region();
+
+        // Power cycle.
+        let mut nv = kv.into_heap().into_inner();
+        let report = nv.power_failure();
+        assert!(report.dirty_pages <= 8);
+        nv.recover();
+
+        // Warm-cache restart: all data already present.
+        let heap = PHeap::open(nv, region).unwrap();
+        let mut kv = KvStore::open(heap).unwrap();
+        assert_eq!(kv.len().unwrap(), 50);
+        for i in 0..50u32 {
+            assert_eq!(
+                kv.get(format!("user{i}").as_bytes()).unwrap(),
+                Some(format!("data{i}").into_bytes()),
+                "entry {i} lost in the power cycle"
+            );
+        }
+        // And the store continues to serve writes.
+        kv.set(b"post-recovery", b"yes").unwrap();
+        assert_eq!(
+            kv.get(b"post-recovery").unwrap().as_deref(),
+            Some(&b"yes"[..])
+        );
+    }
+
+    #[test]
+    fn scan_returns_key_ordered_ranges() {
+        let mut kv = store(128, 16);
+        for i in [5u32, 1, 9, 3, 7, 2, 8, 4, 6, 0] {
+            kv.set(
+                format!("key{i:02}").as_bytes(),
+                format!("val{i}").as_bytes(),
+            )
+            .unwrap();
+        }
+        let hits = kv.scan(b"key03", 4).unwrap();
+        let keys: Vec<String> = hits
+            .iter()
+            .map(|(k, _)| String::from_utf8(k.clone()).unwrap())
+            .collect();
+        assert_eq!(keys, ["key03", "key04", "key05", "key06"]);
+        assert_eq!(hits[0].1, b"val3");
+        // Scans past the end return what exists.
+        assert_eq!(kv.scan(b"key09", 10).unwrap().len(), 1);
+        assert_eq!(kv.scan(b"zzz", 10).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn scan_reflects_updates_and_deletes() {
+        let mut kv = store(128, 16);
+        for i in 0..10u32 {
+            kv.set(format!("s{i}").as_bytes(), b"old").unwrap();
+        }
+        kv.set(b"s4", b"new-value").unwrap();
+        kv.delete(b"s5").unwrap();
+        let hits = kv.scan(b"s4", 2).unwrap();
+        assert_eq!(hits[0].1, b"new-value");
+        assert_eq!(hits[1].0, b"s6", "deleted key must not appear in scans");
+    }
+
+    #[test]
+    fn scans_survive_power_cycles() {
+        let nv = Viyojit::new(
+            256,
+            ViyojitConfig::with_budget_pages(8),
+            Clock::new(),
+            CostModel::free(),
+            SsdConfig::instant(),
+        );
+        let heap = PHeap::format(nv, 200 * 4096).unwrap();
+        let mut kv = KvStore::create(heap, 64).unwrap();
+        for i in 0..30u32 {
+            kv.set(format!("p{i:02}").as_bytes(), format!("v{i}").as_bytes())
+                .unwrap();
+        }
+        let region = kv.heap().region();
+        let mut nv = kv.into_heap().into_inner();
+        nv.power_failure();
+        nv.recover();
+        let mut kv = KvStore::open(PHeap::open(nv, region).unwrap()).unwrap();
+        let hits = kv.scan(b"p10", 5).unwrap();
+        let keys: Vec<String> = hits
+            .iter()
+            .map(|(k, _)| String::from_utf8(k.clone()).unwrap())
+            .collect();
+        assert_eq!(keys, ["p10", "p11", "p12", "p13", "p14"]);
+    }
+
+    #[test]
+    fn open_rejects_foreign_heaps() {
+        let nv = NvdramBaseline::new(16, Clock::new(), CostModel::free(), SsdConfig::instant());
+        let heap = PHeap::format(nv, 10 * 4096).unwrap();
+        assert!(matches!(KvStore::open(heap), Err(KvError::NotAStore)));
+    }
+}

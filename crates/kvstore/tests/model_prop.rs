@@ -1,0 +1,94 @@
+//! Model-based property test: the persistent store must behave exactly
+//! like `std::collections::HashMap` under random operation sequences,
+//! including across power cycles at arbitrary points.
+
+use std::collections::HashMap;
+
+use kvstore::{KvError, KvStore};
+use pheap::PHeap;
+use proptest::prelude::*;
+use sim_clock::{Clock, CostModel};
+use ssd_sim::SsdConfig;
+use viyojit::{Viyojit, ViyojitConfig};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Set { key: u8, val_len: usize, fill: u8 },
+    Get { key: u8 },
+    Delete { key: u8 },
+    PowerCycle,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (any::<u8>(), 1..1500usize, any::<u8>())
+            .prop_map(|(key, val_len, fill)| Op::Set { key, val_len, fill }),
+        3 => any::<u8>().prop_map(|key| Op::Get { key }),
+        2 => any::<u8>().prop_map(|key| Op::Delete { key }),
+        1 => Just(Op::PowerCycle),
+    ]
+}
+
+fn key_bytes(key: u8) -> Vec<u8> {
+    format!("key-{key:03}").into_bytes()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn store_matches_hashmap_across_power_cycles(
+        ops in prop::collection::vec(op_strategy(), 1..100),
+        budget in 2..24u64,
+    ) {
+        let nv = Viyojit::new(
+            512,
+            ViyojitConfig::with_budget_pages(budget),
+            Clock::new(),
+            CostModel::free(),
+            SsdConfig::instant(),
+        );
+        let heap = PHeap::format(nv, 480 * 4096).unwrap();
+        let region = heap.region();
+        let mut kv = KvStore::create(heap, 32).unwrap();
+        let mut model: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
+
+        for op in &ops {
+            match *op {
+                Op::Set { key, val_len, fill } => {
+                    let k = key_bytes(key);
+                    let v = vec![fill; val_len];
+                    match kv.set(&k, &v) {
+                        Ok(()) => { model.insert(k, v); }
+                        Err(KvError::Heap(pheap::PHeapError::OutOfMemory)) => {}
+                        Err(e) => return Err(TestCaseError::fail(format!("set: {e}"))),
+                    }
+                }
+                Op::Get { key } => {
+                    let k = key_bytes(key);
+                    prop_assert_eq!(kv.get(&k).unwrap(), model.get(&k).cloned());
+                }
+                Op::Delete { key } => {
+                    let k = key_bytes(key);
+                    let was = kv.delete(&k).unwrap();
+                    prop_assert_eq!(was, model.remove(&k).is_some());
+                }
+                Op::PowerCycle => {
+                    let mut nv = kv.into_heap().into_inner();
+                    let report = nv.power_failure();
+                    prop_assert!(report.dirty_pages <= budget);
+                    nv.recover();
+                    let heap = PHeap::open(nv, region).unwrap();
+                    kv = KvStore::open(heap).unwrap();
+                }
+            }
+        }
+
+        // Full final audit.
+        prop_assert_eq!(kv.len().unwrap(), model.len() as u64);
+        for (k, v) in &model {
+            let got = kv.get(k).unwrap();
+            prop_assert_eq!(got.as_ref(), Some(v));
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Property test of the ordered index: `scan` must agree with a
+//! `BTreeMap` range query under random inserts, updates, and deletes.
+
+use std::collections::BTreeMap;
+
+use kvstore::KvStore;
+use pheap::PHeap;
+use proptest::prelude::*;
+use sim_clock::{Clock, CostModel};
+use ssd_sim::SsdConfig;
+use viyojit::NvdramBaseline;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Set { key: u8, val: u8 },
+    Delete { key: u8 },
+    Scan { start: u8, limit: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (any::<u8>(), any::<u8>()).prop_map(|(key, val)| Op::Set { key, val }),
+        2 => any::<u8>().prop_map(|key| Op::Delete { key }),
+        3 => (any::<u8>(), 1..40u8).prop_map(|(start, limit)| Op::Scan { start, limit }),
+    ]
+}
+
+fn key_bytes(key: u8) -> Vec<u8> {
+    format!("row-{key:03}").into_bytes()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn scans_agree_with_btreemap_ranges(
+        ops in prop::collection::vec(op_strategy(), 1..120)
+    ) {
+        let nv = NvdramBaseline::new(
+            512,
+            Clock::new(),
+            CostModel::free(),
+            SsdConfig::instant(),
+        );
+        let heap = PHeap::format(nv, 480 * 4096).unwrap();
+        let mut kv = KvStore::create(heap, 64).unwrap();
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+
+        for op in &ops {
+            match *op {
+                Op::Set { key, val } => {
+                    let k = key_bytes(key);
+                    let v = vec![val; 64];
+                    kv.set(&k, &v).unwrap();
+                    model.insert(k, v);
+                }
+                Op::Delete { key } => {
+                    let k = key_bytes(key);
+                    prop_assert_eq!(kv.delete(&k).unwrap(), model.remove(&k).is_some());
+                }
+                Op::Scan { start, limit } => {
+                    let s = key_bytes(start);
+                    let got = kv.scan(&s, limit as usize).unwrap();
+                    let want: Vec<(Vec<u8>, Vec<u8>)> = model
+                        .range(s..)
+                        .take(limit as usize)
+                        .map(|(k, v)| (k.clone(), v.clone()))
+                        .collect();
+                    prop_assert_eq!(got, want);
+                }
+            }
+        }
+        // The index must still agree with the hash table exactly.
+        prop_assert_eq!(kv.audit_index().unwrap(), model.len() as u64);
+    }
+}

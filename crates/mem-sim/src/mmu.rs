@@ -1,0 +1,816 @@
+//! The MMU: translation, permission checks, dirty-bit maintenance, and
+//! write-protection faults over a byte-addressable simulated DRAM region.
+
+use std::error::Error;
+use std::fmt;
+
+use sim_clock::{Clock, CostModel};
+
+use crate::{PageId, PageTable, Tlb, PAGE_SIZE};
+
+/// Sub-page tracking granularity (§7's Mondrian-style extension): one
+/// cache line.
+pub const SECTOR_BYTES: usize = 64;
+
+/// Why an access could not complete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessError {
+    /// A write hit a write-protected page. No bytes were written; the
+    /// caller (Viyojit's fault handler) must unprotect and retry, exactly
+    /// like the hardware fault/retry cycle in the paper's Fig. 6.
+    WriteProtected(PageId),
+    /// The access fell outside the mapped region.
+    OutOfRange {
+        /// Starting byte offset of the offending access.
+        addr: u64,
+        /// Length of the offending access.
+        len: usize,
+    },
+    /// A write would have dirtied a new page while the hardware dirty
+    /// counter already sits at its configured limit (§5.4's MMU
+    /// extension). No bytes were written; the handler must free a budget
+    /// slot and retry.
+    DirtyLimitReached(PageId),
+}
+
+impl fmt::Display for AccessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessError::WriteProtected(p) => {
+                write!(f, "write-protection fault on {p}")
+            }
+            AccessError::OutOfRange { addr, len } => {
+                write!(f, "access of {len} bytes at offset {addr} is out of range")
+            }
+            AccessError::DirtyLimitReached(p) => {
+                write!(f, "dirty-limit interrupt on {p}")
+            }
+        }
+    }
+}
+
+impl Error for AccessError {}
+
+/// How an epoch dirty-bit walk should behave.
+///
+/// # Examples
+///
+/// ```
+/// use mem_sim::WalkOptions;
+///
+/// let exact = WalkOptions::exact();
+/// assert!(exact.flush_tlb && !exact.charge_costs);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalkOptions {
+    /// Flush the TLB before reading dirty bits, making them exact.
+    pub flush_tlb: bool,
+    /// Charge walk and flush costs to the shared clock (foreground walk).
+    pub charge_costs: bool,
+}
+
+impl WalkOptions {
+    /// Exact dirty bits, costs off the application's critical path — how
+    /// Viyojit's background walker runs.
+    pub const fn exact() -> Self {
+        WalkOptions {
+            flush_tlb: true,
+            charge_costs: false,
+        }
+    }
+
+    /// Stale dirty bits (no TLB flush): the §6.3 ablation configuration.
+    pub const fn stale() -> Self {
+        WalkOptions {
+            flush_tlb: false,
+            charge_costs: false,
+        }
+    }
+
+    /// Exact dirty bits with costs charged to the calling timeline.
+    pub const fn exact_foreground() -> Self {
+        WalkOptions {
+            flush_tlb: true,
+            charge_costs: true,
+        }
+    }
+}
+
+/// Access counters maintained by the MMU.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MmuStats {
+    /// Completed read accesses.
+    pub reads: u64,
+    /// Completed write accesses.
+    pub writes: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+    /// Write-protection faults raised.
+    pub write_faults: u64,
+    /// Writes that set a PTE dirty bit (first write since last clear,
+    /// through a TLB entry with a clean cached dirty bit).
+    pub pte_dirtied: u64,
+}
+
+/// The simulated MMU for one NV-DRAM region: page table + TLB + backing
+/// bytes + virtual-time cost accounting.
+///
+/// All application accesses go through [`Mmu::read`] / [`Mmu::write`];
+/// privileged software (Viyojit) manipulates protection with
+/// [`Mmu::protect_page`] / [`Mmu::unprotect_page`] and performs epoch walks
+/// with [`Mmu::walk_and_clear_dirty`]. DMA-style access for the flusher and
+/// recovery bypasses translation via [`Mmu::page_data`] /
+/// [`Mmu::page_data_mut`].
+///
+/// # Examples
+///
+/// ```
+/// use mem_sim::{Mmu, PageId};
+/// use sim_clock::{Clock, CostModel};
+///
+/// let mut mmu = Mmu::new(4, Clock::new(), CostModel::free());
+/// mmu.write(10, b"abc")?;
+/// let mut buf = [0u8; 3];
+/// mmu.read(10, &mut buf)?;
+/// assert_eq!(&buf, b"abc");
+/// # Ok::<(), mem_sim::AccessError>(())
+/// ```
+#[derive(Debug)]
+pub struct Mmu {
+    page_table: PageTable,
+    tlb: Tlb,
+    memory: Vec<u8>,
+    clock: Clock,
+    costs: CostModel,
+    stats: MmuStats,
+    /// §5.4 hardware dirty accounting: when set, the MMU counts dirty-bit
+    /// transitions and refuses (with [`AccessError::DirtyLimitReached`])
+    /// to dirty a new page at the limit.
+    dirty_limit: Option<u64>,
+    dirty_counted: u64,
+    /// Mondrian-style sub-page tracking (§7): one bit per 64 B sector per
+    /// page, set by every write, read-and-cleared by the flush path so
+    /// copies can ship only the modified sectors.
+    sector_masks: Vec<u64>,
+}
+
+impl Mmu {
+    /// Default TLB geometry: 256 sets x 4 ways = 1024 entries (4 MiB of
+    /// reach), a typical L2 dTLB size for the Nehalem-era machine the paper
+    /// calibrates against.
+    const DEFAULT_TLB_SETS: usize = 256;
+    const DEFAULT_TLB_WAYS: usize = 4;
+
+    /// Creates an MMU over `pages` zeroed, present, *writable* pages with
+    /// the default TLB geometry. (Viyojit write-protects pages explicitly
+    /// at startup; a raw region starts writable like ordinary mmap memory.)
+    pub fn new(pages: usize, clock: Clock, costs: CostModel) -> Self {
+        Self::with_tlb_geometry(
+            pages,
+            clock,
+            costs,
+            Self::DEFAULT_TLB_SETS,
+            Self::DEFAULT_TLB_WAYS,
+        )
+    }
+
+    /// Creates an MMU with an explicit TLB geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tlb_sets` is not a power of two or `tlb_ways` is zero.
+    pub fn with_tlb_geometry(
+        pages: usize,
+        clock: Clock,
+        costs: CostModel,
+        tlb_sets: usize,
+        tlb_ways: usize,
+    ) -> Self {
+        let mut page_table = PageTable::new(pages);
+        for i in 0..pages {
+            page_table.set_writable(PageId(i as u64), true);
+        }
+        Mmu {
+            page_table,
+            tlb: Tlb::new(tlb_sets, tlb_ways),
+            memory: vec![0u8; pages * PAGE_SIZE],
+            clock,
+            costs,
+            stats: MmuStats::default(),
+            dirty_limit: None,
+            dirty_counted: 0,
+            sector_masks: vec![0; pages],
+        }
+    }
+
+    /// Enables §5.4 hardware dirty counting with the given page limit, or
+    /// disables it with `None`. The counter starts from the current number
+    /// of dirty PTEs.
+    pub fn set_dirty_limit(&mut self, limit: Option<u64>) {
+        self.dirty_limit = limit;
+        self.dirty_counted = self.page_table.dirty_count() as u64;
+    }
+
+    /// The hardware dirty counter (§5.4). Only meaningful while a dirty
+    /// limit is set.
+    pub fn dirty_counted(&self) -> u64 {
+        self.dirty_counted
+    }
+
+    /// Retires one dirty page from the hardware counter: clears its dirty
+    /// and shadow bits and invalidates its TLB entry, so the next write
+    /// re-counts it. Called by the §5.4 runtime when a page's flush
+    /// completes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page's dirty bit is not set.
+    pub fn credit_dirty_page(&mut self, page: PageId) {
+        assert!(
+            self.page_table.take_dirty(page),
+            "credited {page} was not dirty"
+        );
+        self.page_table.set_shadow_dirty(page, false);
+        self.tlb.invalidate(page);
+        self.dirty_counted -= 1;
+    }
+
+    /// Number of mapped pages.
+    pub fn pages(&self) -> usize {
+        self.page_table.len()
+    }
+
+    /// Region size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        (self.page_table.len() * PAGE_SIZE) as u64
+    }
+
+    /// The region's page table (read-only view).
+    pub fn page_table(&self) -> &PageTable {
+        &self.page_table
+    }
+
+    /// TLB counters.
+    pub fn tlb_stats(&self) -> crate::TlbStats {
+        self.tlb.stats()
+    }
+
+    /// Access counters.
+    pub fn stats(&self) -> MmuStats {
+        self.stats
+    }
+
+    /// The shared virtual clock this MMU charges costs to.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// The cost model in force.
+    pub fn costs(&self) -> &CostModel {
+        &self.costs
+    }
+
+    fn check_range(&self, addr: u64, len: usize) -> Result<(), AccessError> {
+        if addr
+            .checked_add(len as u64)
+            .is_none_or(|end| end > self.size_bytes())
+        {
+            return Err(AccessError::OutOfRange { addr, len });
+        }
+        Ok(())
+    }
+
+    /// Translates `page`, charging TLB hit/miss costs and filling on miss.
+    /// Returns the effective (possibly cached) `(writable, dirty, shadow)`
+    /// view.
+    fn translate(&mut self, page: PageId) -> (bool, bool, bool) {
+        if let Some(entry) = self.tlb.lookup(page) {
+            let view = (entry.writable, entry.dirty, entry.shadow);
+            self.clock.advance(self.costs.tlb_hit);
+            view
+        } else {
+            self.clock.advance(self.costs.tlb_miss);
+            let flags = self.page_table.flags(page);
+            self.page_table.set_accessed(page, true);
+            self.tlb.fill(page, flags);
+            (
+                flags.is_writable(),
+                flags.is_dirty(),
+                flags.is_shadow_dirty(),
+            )
+        }
+    }
+
+    /// Reads `buf.len()` bytes starting at byte offset `addr`. Reads may
+    /// span pages and never fault on protection (Viyojit never
+    /// read-protects).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccessError::OutOfRange`] if the range exceeds the region.
+    pub fn read(&mut self, addr: u64, buf: &mut [u8]) -> Result<(), AccessError> {
+        self.check_range(addr, buf.len())?;
+        let mut off = addr;
+        let mut remaining: &mut [u8] = buf;
+        while !remaining.is_empty() {
+            let page = PageId::containing(off);
+            let in_page = (PAGE_SIZE - (off as usize % PAGE_SIZE)).min(remaining.len());
+            self.translate(page);
+            let (chunk, rest) = remaining.split_at_mut(in_page);
+            chunk.copy_from_slice(&self.memory[off as usize..off as usize + in_page]);
+            self.clock.advance(self.costs.dram_access(in_page));
+            remaining = rest;
+            off += in_page as u64;
+        }
+        self.stats.reads += 1;
+        self.stats.bytes_read += buf.len() as u64;
+        Ok(())
+    }
+
+    /// Writes `data` starting at byte offset `addr`. The write must not
+    /// cross a page boundary: callers (the NV region layer) chunk larger
+    /// writes per page so the fault/retry protocol stays per-page, like a
+    /// faulting store instruction.
+    ///
+    /// # Errors
+    ///
+    /// - [`AccessError::WriteProtected`] if the page is write-protected;
+    ///   no bytes are written and the fault cost is charged.
+    /// - [`AccessError::OutOfRange`] if the range exceeds the region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` crosses a page boundary.
+    pub fn write(&mut self, addr: u64, data: &[u8]) -> Result<(), AccessError> {
+        self.check_range(addr, data.len())?;
+        assert!(
+            data.is_empty()
+                || PageId::containing(addr) == PageId::containing(addr + data.len() as u64 - 1),
+            "Mmu::write must not cross a page boundary"
+        );
+        if data.is_empty() {
+            return Ok(());
+        }
+        let page = PageId::containing(addr);
+        let (writable, cached_dirty, cached_shadow) = self.translate(page);
+        if !writable {
+            self.stats.write_faults += 1;
+            self.clock.advance(self.costs.write_fault);
+            return Err(AccessError::WriteProtected(page));
+        }
+        // Hardware dirty-bit protocol: only a write through a translation
+        // whose cached dirty bit is clear updates the PTE dirty bit.
+        if !cached_dirty {
+            let newly_dirty = !self.page_table.flags(page).is_dirty();
+            if newly_dirty {
+                if let Some(limit) = self.dirty_limit {
+                    if self.dirty_counted >= limit {
+                        // §5.4: the MMU raises a dirty-limit interrupt
+                        // instead of completing the write.
+                        self.stats.write_faults += 1;
+                        self.clock.advance(self.costs.write_fault);
+                        return Err(AccessError::DirtyLimitReached(page));
+                    }
+                    self.dirty_counted += 1;
+                }
+            }
+            self.page_table.set_dirty(page, true);
+            self.stats.pte_dirtied += 1;
+            if let Some(entry) = self.tlb.lookup(page) {
+                entry.dirty = true;
+            }
+        }
+        // The shadow bit (§5.4) is cached and updated independently, so
+        // clearing it for recency sampling does not disturb the dirty bit
+        // or the hardware counter.
+        if !cached_shadow {
+            self.page_table.set_shadow_dirty(page, true);
+            if let Some(entry) = self.tlb.lookup(page) {
+                entry.shadow = true;
+            }
+        }
+        self.memory[addr as usize..addr as usize + data.len()].copy_from_slice(data);
+        // Mondrian-style sector tracking (§7): mark every 64 B sector the
+        // write touched.
+        let first_sector = (addr as usize % PAGE_SIZE) / SECTOR_BYTES;
+        let last_sector = ((addr as usize + data.len() - 1) % PAGE_SIZE) / SECTOR_BYTES;
+        for sector in first_sector..=last_sector {
+            self.sector_masks[page.index()] |= 1 << sector;
+        }
+        self.clock.advance(self.costs.dram_access(data.len()));
+        self.stats.writes += 1;
+        self.stats.bytes_written += data.len() as u64;
+        Ok(())
+    }
+
+    /// The §7 sub-page dirty mask of `page`: bit *i* set means sector *i*
+    /// (64 B) was written since the mask was last cleared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is out of range.
+    pub fn sector_mask(&self, page: PageId) -> u64 {
+        self.sector_masks[page.index()]
+    }
+
+    /// Clears the sector mask of `page` (the flush path does this when it
+    /// snapshots the page).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is out of range.
+    pub fn clear_sector_mask(&mut self, page: PageId) {
+        self.sector_masks[page.index()] = 0;
+    }
+
+    /// Bytes of `page` modified since its mask was cleared (sector
+    /// granularity).
+    pub fn dirty_sector_bytes(&self, page: PageId) -> usize {
+        self.sector_masks[page.index()].count_ones() as usize * SECTOR_BYTES
+    }
+
+    /// Write-protects `page`, invalidating its TLB entry (the paper's
+    /// kernel module pairs every PTE permission change with an
+    /// invalidation, §5.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is out of range.
+    pub fn protect_page(&mut self, page: PageId) {
+        self.page_table.set_writable(page, false);
+        self.tlb.invalidate(page);
+        self.clock.advance(self.costs.pte_protect);
+    }
+
+    /// Removes write protection from `page`, invalidating its TLB entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is out of range.
+    pub fn unprotect_page(&mut self, page: PageId) {
+        self.page_table.set_writable(page, true);
+        self.tlb.invalidate(page);
+        self.clock.advance(self.costs.pte_protect);
+    }
+
+    /// Epoch walk (§5.2): reads and clears the dirty bit of each page in
+    /// `pages`, returning those that were dirty.
+    ///
+    /// If [`WalkOptions::flush_tlb`] is set the TLB is flushed first so the
+    /// PTE dirty bits are exact. If not — the ablation the paper runs in
+    /// §6.3 — cached dirty bits in the TLB mean subsequent writes will not
+    /// re-set the cleared PTE bits, so later walks read stale data and the
+    /// update-recency history degrades.
+    ///
+    /// If [`WalkOptions::charge_costs`] is clear, no virtual time is charged
+    /// to the shared clock: the paper runs the walker on a core off the
+    /// application's critical path, so only the TLB-state fallout (misses
+    /// after the flush) is visible to the application timeline.
+    pub fn walk_and_clear_dirty(&mut self, pages: &[PageId], options: WalkOptions) -> Vec<PageId> {
+        if options.flush_tlb {
+            self.tlb.flush();
+            if options.charge_costs {
+                self.clock.advance(self.costs.tlb_flush);
+            }
+        }
+        let mut dirty = Vec::new();
+        for &page in pages {
+            if options.charge_costs {
+                self.clock.advance(self.costs.pte_walk);
+            }
+            if self.page_table.take_dirty(page) {
+                dirty.push(page);
+            }
+        }
+        dirty
+    }
+
+    /// Shadow-bit epoch walk (§5.4): reads and clears the *shadow* dirty
+    /// bit of each page, returning those that were updated, without
+    /// touching the real dirty bits the hardware counter depends on.
+    pub fn walk_and_clear_shadow(&mut self, pages: &[PageId], options: WalkOptions) -> Vec<PageId> {
+        if options.flush_tlb {
+            self.tlb.flush();
+            if options.charge_costs {
+                self.clock.advance(self.costs.tlb_flush);
+            }
+        }
+        let mut updated = Vec::new();
+        for &page in pages {
+            if options.charge_costs {
+                self.clock.advance(self.costs.pte_walk);
+            }
+            if self.page_table.take_shadow_dirty(page) {
+                updated.push(page);
+            }
+        }
+        updated
+    }
+
+    /// Direct (DMA-style) read of one page's bytes, bypassing translation
+    /// and cost accounting. Used by the flusher to hand pages to the SSD
+    /// and by tests to inspect memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is out of range.
+    pub fn page_data(&self, page: PageId) -> &[u8] {
+        let start = page.base_addr() as usize;
+        &self.memory[start..start + PAGE_SIZE]
+    }
+
+    /// Direct (DMA-style) write of one page's bytes, bypassing translation,
+    /// permission checks, and dirty tracking. Used by recovery to reload a
+    /// region from the backing SSD.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is out of range.
+    pub fn page_data_mut(&mut self, page: PageId) -> &mut [u8] {
+        let start = page.base_addr() as usize;
+        &mut self.memory[start..start + PAGE_SIZE]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_clock::SimDuration;
+
+    fn mmu(pages: usize) -> Mmu {
+        Mmu::new(pages, Clock::new(), CostModel::free())
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut m = mmu(2);
+        m.write(100, b"hello").unwrap();
+        let mut buf = [0u8; 5];
+        m.read(100, &mut buf).unwrap();
+        assert_eq!(&buf, b"hello");
+    }
+
+    #[test]
+    fn read_spans_pages() {
+        let mut m = mmu(2);
+        let boundary = PAGE_SIZE as u64 - 2;
+        m.write(boundary, b"ab").unwrap();
+        m.write(PAGE_SIZE as u64, b"cd").unwrap();
+        let mut buf = [0u8; 4];
+        m.read(boundary, &mut buf).unwrap();
+        assert_eq!(&buf, b"abcd");
+    }
+
+    #[test]
+    #[should_panic(expected = "cross a page boundary")]
+    fn write_across_pages_panics() {
+        let mut m = mmu(2);
+        let _ = m.write(PAGE_SIZE as u64 - 1, b"xy");
+    }
+
+    #[test]
+    fn protected_write_faults_without_side_effects() {
+        let mut m = mmu(1);
+        m.write(0, b"orig").unwrap();
+        m.protect_page(PageId(0));
+        let err = m.write(0, b"newx").unwrap_err();
+        assert_eq!(err, AccessError::WriteProtected(PageId(0)));
+        let mut buf = [0u8; 4];
+        m.read(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"orig", "faulting write must not modify memory");
+        assert_eq!(m.stats().write_faults, 1);
+    }
+
+    #[test]
+    fn unprotect_allows_retry() {
+        let mut m = mmu(1);
+        m.protect_page(PageId(0));
+        assert!(m.write(0, b"x").is_err());
+        m.unprotect_page(PageId(0));
+        assert!(m.write(0, b"x").is_ok());
+    }
+
+    #[test]
+    fn first_write_sets_pte_dirty_once() {
+        let mut m = mmu(1);
+        m.write(0, b"a").unwrap();
+        assert!(m.page_table().flags(PageId(0)).is_dirty());
+        assert_eq!(m.stats().pte_dirtied, 1);
+        m.write(1, b"b").unwrap();
+        assert_eq!(
+            m.stats().pte_dirtied,
+            1,
+            "second write reuses cached dirty bit"
+        );
+    }
+
+    #[test]
+    fn walk_clears_dirty_and_reports() {
+        let mut m = mmu(4);
+        m.write(0, b"a").unwrap();
+        m.write(2 * PAGE_SIZE as u64, b"b").unwrap();
+        let pages: Vec<PageId> = (0..4).map(PageId).collect();
+        let dirty = m.walk_and_clear_dirty(&pages, WalkOptions::exact_foreground());
+        assert_eq!(dirty, vec![PageId(0), PageId(2)]);
+        assert!(m
+            .walk_and_clear_dirty(&pages, WalkOptions::exact_foreground())
+            .is_empty());
+    }
+
+    #[test]
+    fn stale_tlb_hides_rewrites_from_walker() {
+        // The §6.3 ablation mechanism: without a TLB flush, a page written
+        // again after its PTE dirty bit was cleared is invisible to the
+        // next walk, because the cached dirty bit short-circuits the PTE
+        // update.
+        let mut m = mmu(1);
+        m.write(0, b"a").unwrap();
+        let pages = [PageId(0)];
+        assert_eq!(
+            m.walk_and_clear_dirty(&pages, WalkOptions::stale()).len(),
+            1
+        );
+        m.write(1, b"b").unwrap(); // rewrite through the stale TLB entry
+        assert!(
+            m.walk_and_clear_dirty(&pages, WalkOptions::stale())
+                .is_empty(),
+            "stale cached dirty bit must hide the rewrite"
+        );
+        // With a flush the rewrite is observed again.
+        m.write(2, b"c").unwrap();
+        assert_eq!(
+            m.walk_and_clear_dirty(&pages, WalkOptions::exact_foreground())
+                .len(),
+            0
+        );
+        m.write(3, b"d").unwrap();
+        assert_eq!(
+            m.walk_and_clear_dirty(&pages, WalkOptions::exact_foreground())
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn flushed_tlb_makes_walks_exact() {
+        let mut m = mmu(1);
+        let pages = [PageId(0)];
+        for round in 0..5 {
+            m.write(0, &[round]).unwrap();
+            let dirty = m.walk_and_clear_dirty(&pages, WalkOptions::exact_foreground());
+            assert_eq!(dirty.len(), 1, "round {round} must observe the write");
+        }
+    }
+
+    #[test]
+    fn out_of_range_accesses_are_rejected() {
+        let mut m = mmu(1);
+        let mut buf = [0u8; 8];
+        assert!(matches!(
+            m.read(PAGE_SIZE as u64 - 4, &mut buf),
+            Err(AccessError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            m.write(u64::MAX, b"x"),
+            Err(AccessError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn costs_are_charged_to_the_clock() {
+        let clock = Clock::new();
+        let costs = CostModel::free()
+            .with_tlb_miss(SimDuration::from_nanos(100))
+            .with_dram_line_access(SimDuration::from_nanos(10));
+        let mut m = Mmu::new(1, clock.clone(), costs);
+        m.write(0, b"x").unwrap(); // 1 miss + 1 line
+        assert_eq!(clock.now().as_nanos(), 110);
+        m.write(1, b"y").unwrap(); // hit (free) + 1 line
+        assert_eq!(clock.now().as_nanos(), 120);
+    }
+
+    #[test]
+    fn fault_cost_is_charged() {
+        let clock = Clock::new();
+        let costs = CostModel::free().with_write_fault(SimDuration::from_micros(4));
+        let mut m = Mmu::new(1, clock.clone(), costs);
+        m.protect_page(PageId(0));
+        let _ = m.write(0, b"x");
+        assert_eq!(clock.now().as_micros(), 4);
+    }
+
+    #[test]
+    fn empty_write_is_a_no_op() {
+        let mut m = mmu(1);
+        m.protect_page(PageId(0));
+        assert!(m.write(0, b"").is_ok(), "zero-length writes never fault");
+        assert_eq!(m.stats().writes, 0);
+    }
+
+    #[test]
+    fn dirty_limit_blocks_at_capacity_and_credits_release() {
+        let mut m = mmu(8);
+        m.set_dirty_limit(Some(2));
+        m.write(0, b"a").unwrap();
+        m.write(PAGE_SIZE as u64, b"b").unwrap();
+        assert_eq!(m.dirty_counted(), 2);
+        // Third page would exceed the limit: hardware interrupt, no write.
+        let err = m.write(2 * PAGE_SIZE as u64, b"c").unwrap_err();
+        assert_eq!(err, AccessError::DirtyLimitReached(PageId(2)));
+        let mut buf = [0u8];
+        m.read(2 * PAGE_SIZE as u64, &mut buf).unwrap();
+        assert_eq!(buf[0], 0, "blocked write must not land");
+        // Crediting a page frees a slot; the retry then succeeds.
+        m.credit_dirty_page(PageId(0));
+        assert_eq!(m.dirty_counted(), 1);
+        m.write(2 * PAGE_SIZE as u64, b"c").unwrap();
+        assert_eq!(m.dirty_counted(), 2);
+    }
+
+    #[test]
+    fn rewrites_of_dirty_pages_never_hit_the_limit() {
+        let mut m = mmu(4);
+        m.set_dirty_limit(Some(1));
+        m.write(0, b"a").unwrap();
+        for i in 0..100u64 {
+            m.write(i % PAGE_SIZE as u64, b"x").unwrap();
+        }
+        assert_eq!(m.dirty_counted(), 1);
+        assert_eq!(m.stats().write_faults, 0);
+    }
+
+    #[test]
+    fn credited_pages_recount_on_rewrite() {
+        let mut m = mmu(4);
+        m.set_dirty_limit(Some(4));
+        m.write(0, b"a").unwrap();
+        m.credit_dirty_page(PageId(0));
+        assert_eq!(m.dirty_counted(), 0);
+        m.write(0, b"b").unwrap();
+        assert_eq!(m.dirty_counted(), 1, "post-credit rewrite must recount");
+    }
+
+    #[test]
+    fn shadow_walk_tracks_recency_without_disturbing_dirty_bits() {
+        let mut m = mmu(4);
+        m.write(0, b"a").unwrap();
+        let pages = [PageId(0)];
+        let updated = m.walk_and_clear_shadow(&pages, WalkOptions::exact());
+        assert_eq!(updated, vec![PageId(0)]);
+        assert!(
+            m.page_table().flags(PageId(0)).is_dirty(),
+            "shadow walk must not clear the real dirty bit"
+        );
+        // A rewrite re-sets the shadow bit (after the flush emptied the TLB).
+        m.write(1, b"b").unwrap();
+        assert_eq!(
+            m.walk_and_clear_shadow(&pages, WalkOptions::exact()).len(),
+            1
+        );
+        // No rewrite: next walk sees nothing.
+        assert!(m
+            .walk_and_clear_shadow(&pages, WalkOptions::exact())
+            .is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "was not dirty")]
+    fn crediting_a_clean_page_panics() {
+        let mut m = mmu(1);
+        m.set_dirty_limit(Some(1));
+        m.credit_dirty_page(PageId(0));
+    }
+
+    #[test]
+    fn sector_masks_track_written_ranges() {
+        let mut m = mmu(2);
+        m.write(0, &[1u8; 64]).unwrap(); // sector 0
+        m.write(130, &[2u8; 10]).unwrap(); // sectors 2 (byte 130..139)
+        assert_eq!(m.sector_mask(PageId(0)), 0b101);
+        assert_eq!(m.dirty_sector_bytes(PageId(0)), 128);
+        // Spanning sector boundary sets both.
+        m.write(63, &[3u8; 2]).unwrap(); // sectors 0 and 1
+        assert_eq!(m.sector_mask(PageId(0)), 0b111);
+        m.clear_sector_mask(PageId(0));
+        assert_eq!(m.dirty_sector_bytes(PageId(0)), 0);
+    }
+
+    #[test]
+    fn sector_masks_are_per_page() {
+        let mut m = mmu(2);
+        m.write(PAGE_SIZE as u64 + 4000, &[1u8; 96]).unwrap();
+        assert_eq!(m.sector_mask(PageId(0)), 0);
+        assert_eq!(m.dirty_sector_bytes(PageId(1)), 128);
+    }
+
+    #[test]
+    fn dma_access_bypasses_protection() {
+        let mut m = mmu(1);
+        m.protect_page(PageId(0));
+        m.page_data_mut(PageId(0))[0] = 0xAB;
+        assert_eq!(m.page_data(PageId(0))[0], 0xAB);
+        assert!(!m.page_table().flags(PageId(0)).is_dirty());
+    }
+}

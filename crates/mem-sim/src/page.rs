@@ -1,0 +1,92 @@
+//! Page-granularity addressing.
+
+use std::fmt;
+
+/// Size of one page in bytes, matching the x86-64 base page size the paper
+/// tracks dirty data at.
+pub const PAGE_SIZE: usize = 4096;
+
+/// Index of a page within a simulated NV-DRAM region.
+///
+/// # Examples
+///
+/// ```
+/// use mem_sim::{PageId, PAGE_SIZE};
+///
+/// let p = PageId::containing(PAGE_SIZE as u64 * 3 + 17);
+/// assert_eq!(p, PageId(3));
+/// assert_eq!(p.base_addr(), 3 * PAGE_SIZE as u64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PageId(pub u64);
+
+impl PageId {
+    /// The page containing byte offset `addr`.
+    pub const fn containing(addr: u64) -> PageId {
+        PageId(addr / PAGE_SIZE as u64)
+    }
+
+    /// Byte offset of the first byte of this page.
+    pub const fn base_addr(self) -> u64 {
+        self.0 * PAGE_SIZE as u64
+    }
+
+    /// This page's index as a `usize`, for indexing page-table vectors.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "page#{}", self.0)
+    }
+}
+
+impl From<u64> for PageId {
+    fn from(v: u64) -> Self {
+        PageId(v)
+    }
+}
+
+/// Number of pages needed to hold `bytes` bytes.
+///
+/// # Examples
+///
+/// ```
+/// use mem_sim::{page_count, PAGE_SIZE};
+///
+/// assert_eq!(page_count(0), 0);
+/// assert_eq!(page_count(1), 1);
+/// assert_eq!(page_count(PAGE_SIZE as u64), 1);
+/// assert_eq!(page_count(PAGE_SIZE as u64 + 1), 2);
+/// ```
+pub const fn page_count(bytes: u64) -> u64 {
+    bytes.div_ceil(PAGE_SIZE as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn containing_and_base_addr_are_inverse_on_boundaries() {
+        for i in 0..100 {
+            let p = PageId(i);
+            assert_eq!(PageId::containing(p.base_addr()), p);
+            assert_eq!(PageId::containing(p.base_addr() + PAGE_SIZE as u64 - 1), p);
+        }
+    }
+
+    #[test]
+    fn page_count_boundaries() {
+        assert_eq!(page_count(2 * PAGE_SIZE as u64 - 1), 2);
+        assert_eq!(page_count(2 * PAGE_SIZE as u64), 2);
+        assert_eq!(page_count(2 * PAGE_SIZE as u64 + 1), 3);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(PageId(7).to_string(), "page#7");
+    }
+}

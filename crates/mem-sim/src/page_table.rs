@@ -1,0 +1,317 @@
+//! Page-table entries and the per-region page table.
+
+use std::fmt;
+
+use crate::PageId;
+
+/// Permission and status bits of one page-table entry.
+///
+/// Mirrors the x86-64 bits Viyojit manipulates: present, writable (the
+/// write-protection bit, inverted), dirty, and accessed.
+///
+/// # Examples
+///
+/// ```
+/// use mem_sim::PteFlags;
+///
+/// let f = PteFlags::present().with_writable(true).with_dirty(true);
+/// assert!(f.is_writable() && f.is_dirty());
+/// assert!(!f.with_dirty(false).is_dirty());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct PteFlags(u8);
+
+impl PteFlags {
+    const PRESENT: u8 = 1 << 0;
+    const WRITABLE: u8 = 1 << 1;
+    const DIRTY: u8 = 1 << 2;
+    const ACCESSED: u8 = 1 << 3;
+    const SHADOW_DIRTY: u8 = 1 << 4;
+
+    /// A present, read-only, clean entry.
+    pub const fn present() -> Self {
+        PteFlags(Self::PRESENT)
+    }
+
+    /// A non-present entry.
+    pub const fn not_present() -> Self {
+        PteFlags(0)
+    }
+
+    /// `true` if the page is mapped.
+    pub const fn is_present(self) -> bool {
+        self.0 & Self::PRESENT != 0
+    }
+
+    /// `true` if writes are allowed (write-protection bit clear).
+    pub const fn is_writable(self) -> bool {
+        self.0 & Self::WRITABLE != 0
+    }
+
+    /// `true` if the hardware dirty bit is set.
+    pub const fn is_dirty(self) -> bool {
+        self.0 & Self::DIRTY != 0
+    }
+
+    /// `true` if the hardware accessed bit is set.
+    pub const fn is_accessed(self) -> bool {
+        self.0 & Self::ACCESSED != 0
+    }
+
+    /// Returns a copy with the writable bit set to `w`.
+    #[must_use]
+    pub const fn with_writable(self, w: bool) -> Self {
+        if w {
+            PteFlags(self.0 | Self::WRITABLE)
+        } else {
+            PteFlags(self.0 & !Self::WRITABLE)
+        }
+    }
+
+    /// Returns a copy with the dirty bit set to `d`.
+    #[must_use]
+    pub const fn with_dirty(self, d: bool) -> Self {
+        if d {
+            PteFlags(self.0 | Self::DIRTY)
+        } else {
+            PteFlags(self.0 & !Self::DIRTY)
+        }
+    }
+
+    /// Returns a copy with the accessed bit set to `a`.
+    #[must_use]
+    pub const fn with_accessed(self, a: bool) -> Self {
+        if a {
+            PteFlags(self.0 | Self::ACCESSED)
+        } else {
+            PteFlags(self.0 & !Self::ACCESSED)
+        }
+    }
+
+    /// `true` if the shadow dirty bit is set. The shadow bit is the §5.4
+    /// MMU extension: hardware sets it together with the dirty bit, and
+    /// software reads and clears it to track update recency *without*
+    /// disturbing the dirty bit the hardware counter depends on.
+    pub const fn is_shadow_dirty(self) -> bool {
+        self.0 & Self::SHADOW_DIRTY != 0
+    }
+
+    /// Returns a copy with the shadow dirty bit set to `d`.
+    #[must_use]
+    pub const fn with_shadow_dirty(self, d: bool) -> Self {
+        if d {
+            PteFlags(self.0 | Self::SHADOW_DIRTY)
+        } else {
+            PteFlags(self.0 & !Self::SHADOW_DIRTY)
+        }
+    }
+}
+
+impl fmt::Display for PteFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{}{}{}",
+            if self.is_present() { 'P' } else { '-' },
+            if self.is_writable() { 'W' } else { '-' },
+            if self.is_dirty() { 'D' } else { '-' },
+            if self.is_accessed() { 'A' } else { '-' },
+            if self.is_shadow_dirty() { 'S' } else { '-' },
+        )
+    }
+}
+
+/// The page table of one simulated NV-DRAM region: a flat vector of PTEs.
+///
+/// Software (the Viyojit kernel module in the paper) manipulates these
+/// entries directly; the [`Mmu`](crate::Mmu) consults and updates them on
+/// every access that misses the TLB.
+///
+/// # Examples
+///
+/// ```
+/// use mem_sim::{PageId, PageTable};
+///
+/// let mut pt = PageTable::new(8);
+/// pt.set_writable(PageId(3), true);
+/// assert!(pt.flags(PageId(3)).is_writable());
+/// assert!(!pt.flags(PageId(4)).is_writable());
+/// ```
+#[derive(Debug, Clone)]
+pub struct PageTable {
+    ptes: Vec<PteFlags>,
+}
+
+impl PageTable {
+    /// Creates a table of `pages` present, write-protected, clean entries —
+    /// the state Viyojit establishes at startup (Fig. 6 step 1).
+    pub fn new(pages: usize) -> Self {
+        PageTable {
+            ptes: vec![PteFlags::present(); pages],
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.ptes.len()
+    }
+
+    /// `true` if the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.ptes.is_empty()
+    }
+
+    /// The flags of `page`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is out of range.
+    pub fn flags(&self, page: PageId) -> PteFlags {
+        self.ptes[page.index()]
+    }
+
+    /// Sets the writable bit of `page`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is out of range.
+    pub fn set_writable(&mut self, page: PageId, writable: bool) {
+        let e = &mut self.ptes[page.index()];
+        *e = e.with_writable(writable);
+    }
+
+    /// Sets the dirty bit of `page` (as the MMU does on a tracked write).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is out of range.
+    pub fn set_dirty(&mut self, page: PageId, dirty: bool) {
+        let e = &mut self.ptes[page.index()];
+        *e = e.with_dirty(dirty);
+    }
+
+    /// Sets the accessed bit of `page`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is out of range.
+    pub fn set_accessed(&mut self, page: PageId, accessed: bool) {
+        let e = &mut self.ptes[page.index()];
+        *e = e.with_accessed(accessed);
+    }
+
+    /// Reads and clears the dirty bit of `page`, returning its prior value.
+    /// This is the per-entry primitive of §5.2's epoch walk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is out of range.
+    pub fn take_dirty(&mut self, page: PageId) -> bool {
+        let e = &mut self.ptes[page.index()];
+        let was = e.is_dirty();
+        *e = e.with_dirty(false);
+        was
+    }
+
+    /// Sets the shadow dirty bit of `page` (hardware mirror of the dirty
+    /// bit, §5.4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is out of range.
+    pub fn set_shadow_dirty(&mut self, page: PageId, dirty: bool) {
+        let e = &mut self.ptes[page.index()];
+        *e = e.with_shadow_dirty(dirty);
+    }
+
+    /// Reads and clears the shadow dirty bit of `page`, returning its
+    /// prior value — the §5.4 recency-tracking primitive that leaves the
+    /// real dirty bit (and the hardware counter) untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is out of range.
+    pub fn take_shadow_dirty(&mut self, page: PageId) -> bool {
+        let e = &mut self.ptes[page.index()];
+        let was = e.is_shadow_dirty();
+        *e = e.with_shadow_dirty(false);
+        was
+    }
+
+    /// Iterates over `(PageId, PteFlags)` for every entry.
+    pub fn iter(&self) -> impl Iterator<Item = (PageId, PteFlags)> + '_ {
+        self.ptes
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| (PageId(i as u64), f))
+    }
+
+    /// Count of entries whose dirty bit is set.
+    pub fn dirty_count(&self) -> usize {
+        self.ptes.iter().filter(|f| f.is_dirty()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_table_is_protected_and_clean() {
+        let pt = PageTable::new(4);
+        for (_, f) in pt.iter() {
+            assert!(f.is_present());
+            assert!(!f.is_writable());
+            assert!(!f.is_dirty());
+            assert!(!f.is_accessed());
+        }
+    }
+
+    #[test]
+    fn flag_bits_are_independent() {
+        let f = PteFlags::present()
+            .with_writable(true)
+            .with_dirty(true)
+            .with_accessed(true);
+        assert!(f.is_present() && f.is_writable() && f.is_dirty() && f.is_accessed());
+        let f2 = f.with_dirty(false);
+        assert!(f2.is_writable() && f2.is_accessed() && !f2.is_dirty());
+    }
+
+    #[test]
+    fn take_dirty_clears_and_reports() {
+        let mut pt = PageTable::new(2);
+        pt.set_dirty(PageId(1), true);
+        assert!(pt.take_dirty(PageId(1)));
+        assert!(!pt.take_dirty(PageId(1)));
+        assert!(!pt.take_dirty(PageId(0)));
+    }
+
+    #[test]
+    fn dirty_count_tracks_set_bits() {
+        let mut pt = PageTable::new(10);
+        assert_eq!(pt.dirty_count(), 0);
+        for i in [1u64, 3, 5] {
+            pt.set_dirty(PageId(i), true);
+        }
+        assert_eq!(pt.dirty_count(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_page_panics() {
+        let pt = PageTable::new(1);
+        let _ = pt.flags(PageId(1));
+    }
+
+    #[test]
+    fn display_shows_all_bits() {
+        let f = PteFlags::present().with_writable(true);
+        assert_eq!(f.to_string(), "PW---");
+        assert_eq!(PteFlags::not_present().to_string(), "-----");
+        assert_eq!(
+            PteFlags::present().with_shadow_dirty(true).to_string(),
+            "P---S"
+        );
+    }
+}

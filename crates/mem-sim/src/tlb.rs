@@ -1,0 +1,267 @@
+//! A set-associative TLB model with hardware-faithful dirty-bit caching.
+//!
+//! The crucial behaviour for Viyojit (§5.2) is that the TLB caches the
+//! dirty bit: a write through an entry whose cached dirty bit is already set
+//! does **not** update the PTE. Software that clears PTE dirty bits without
+//! flushing the TLB will therefore read stale values on the next epoch walk
+//! — the exact effect the paper measures in its TLB-flush ablation (§6.3).
+
+use crate::{PageId, PteFlags};
+
+/// One cached translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbEntry {
+    /// The page this entry translates.
+    pub page: PageId,
+    /// Cached writable permission.
+    pub writable: bool,
+    /// Cached dirty status; while set, writes skip the PTE dirty update.
+    pub dirty: bool,
+    /// Cached §5.4 shadow-dirty status; while set, writes skip the PTE
+    /// shadow update. Cleared independently of `dirty` so software can
+    /// sample update recency without disturbing the hardware counter.
+    pub shadow: bool,
+    /// Insertion stamp used for LRU replacement within a set.
+    stamp: u64,
+}
+
+/// Hit/miss/flush counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TlbStats {
+    /// Lookups that found a valid entry.
+    pub hits: u64,
+    /// Lookups that required a page-table walk.
+    pub misses: u64,
+    /// Full flushes.
+    pub flushes: u64,
+    /// Single-entry invalidations.
+    pub invalidations: u64,
+}
+
+/// A set-associative TLB.
+///
+/// # Examples
+///
+/// ```
+/// use mem_sim::{PageId, PteFlags, Tlb};
+///
+/// let mut tlb = Tlb::new(4, 2);
+/// assert!(tlb.lookup(PageId(1)).is_none());
+/// tlb.fill(PageId(1), PteFlags::present().with_writable(true));
+/// assert!(tlb.lookup(PageId(1)).unwrap().writable);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    sets: usize,
+    ways: usize,
+    entries: Vec<Option<TlbEntry>>,
+    next_stamp: u64,
+    stats: TlbStats,
+}
+
+impl Tlb {
+    /// Creates a TLB with `sets` sets of `ways` entries each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two or either argument is zero.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(
+            sets.is_power_of_two(),
+            "TLB set count must be a power of two"
+        );
+        assert!(ways > 0, "TLB must have at least one way");
+        Tlb {
+            sets,
+            ways,
+            entries: vec![None; sets * ways],
+            next_stamp: 0,
+            stats: TlbStats::default(),
+        }
+    }
+
+    /// Total entry capacity.
+    pub fn capacity(&self) -> usize {
+        self.sets * self.ways
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> TlbStats {
+        self.stats
+    }
+
+    fn set_range(&self, page: PageId) -> std::ops::Range<usize> {
+        let set = (page.0 as usize) & (self.sets - 1);
+        set * self.ways..(set + 1) * self.ways
+    }
+
+    /// Looks up `page`, bumping hit/miss counters. On a hit the entry's LRU
+    /// stamp is refreshed and a mutable reference is returned so the MMU can
+    /// update the cached dirty bit.
+    pub fn lookup(&mut self, page: PageId) -> Option<&mut TlbEntry> {
+        let range = self.set_range(page);
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        let slot = self.entries[range.clone()]
+            .iter()
+            .position(|e| e.is_some_and(|e| e.page == page));
+        match slot {
+            Some(i) => {
+                self.stats.hits += 1;
+                let entry = self.entries[range.start + i]
+                    .as_mut()
+                    .expect("slot checked non-empty");
+                entry.stamp = stamp;
+                Some(entry)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Checks whether `page` is cached without affecting stats or LRU order.
+    pub fn peek(&self, page: PageId) -> Option<TlbEntry> {
+        let range = self.set_range(page);
+        self.entries[range]
+            .iter()
+            .flatten()
+            .find(|e| e.page == page)
+            .copied()
+    }
+
+    /// Inserts a translation for `page` from its PTE flags, evicting the
+    /// least-recently-used entry in the set if necessary.
+    pub fn fill(&mut self, page: PageId, flags: PteFlags) {
+        let range = self.set_range(page);
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        let entry = TlbEntry {
+            page,
+            writable: flags.is_writable(),
+            dirty: flags.is_dirty(),
+            shadow: flags.is_shadow_dirty(),
+            stamp,
+        };
+        // Prefer an empty way; otherwise evict the LRU way.
+        let slots = &mut self.entries[range];
+        if let Some(empty) = slots.iter_mut().find(|e| e.is_none()) {
+            *empty = Some(entry);
+            return;
+        }
+        let victim = slots
+            .iter_mut()
+            .min_by_key(|e| e.map(|e| e.stamp).unwrap_or(0))
+            .expect("ways > 0");
+        *victim = Some(entry);
+    }
+
+    /// Invalidates the entry for `page`, if cached. Required after any PTE
+    /// permission change (the paper's kernel module does this per page).
+    pub fn invalidate(&mut self, page: PageId) {
+        self.stats.invalidations += 1;
+        let range = self.set_range(page);
+        for e in &mut self.entries[range] {
+            if e.is_some_and(|e| e.page == page) {
+                *e = None;
+            }
+        }
+    }
+
+    /// Flushes every entry (the full shootdown the epoch walker performs).
+    pub fn flush(&mut self) {
+        self.stats.flushes += 1;
+        self.entries.fill(None);
+    }
+
+    /// Number of currently valid entries.
+    pub fn occupancy(&self) -> usize {
+        self.entries.iter().flatten().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags_rw() -> PteFlags {
+        PteFlags::present().with_writable(true)
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut tlb = Tlb::new(8, 2);
+        assert!(tlb.lookup(PageId(5)).is_none());
+        tlb.fill(PageId(5), flags_rw());
+        assert!(tlb.lookup(PageId(5)).is_some());
+        assert_eq!(tlb.stats().hits, 1);
+        assert_eq!(tlb.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_in_set() {
+        // 1 set, 2 ways: pages all map to the same set.
+        let mut tlb = Tlb::new(1, 2);
+        tlb.fill(PageId(1), flags_rw());
+        tlb.fill(PageId(2), flags_rw());
+        // Touch page 1 so page 2 becomes LRU.
+        assert!(tlb.lookup(PageId(1)).is_some());
+        tlb.fill(PageId(3), flags_rw());
+        assert!(
+            tlb.peek(PageId(1)).is_some(),
+            "recently used entry survived"
+        );
+        assert!(tlb.peek(PageId(2)).is_none(), "LRU entry evicted");
+        assert!(tlb.peek(PageId(3)).is_some());
+    }
+
+    #[test]
+    fn flush_empties_everything() {
+        let mut tlb = Tlb::new(4, 2);
+        for i in 0..8 {
+            tlb.fill(PageId(i), flags_rw());
+        }
+        assert!(tlb.occupancy() > 0);
+        tlb.flush();
+        assert_eq!(tlb.occupancy(), 0);
+        assert_eq!(tlb.stats().flushes, 1);
+    }
+
+    #[test]
+    fn invalidate_removes_only_target() {
+        let mut tlb = Tlb::new(1, 4);
+        for i in 0..3 {
+            tlb.fill(PageId(i), flags_rw());
+        }
+        tlb.invalidate(PageId(1));
+        assert!(tlb.peek(PageId(0)).is_some());
+        assert!(tlb.peek(PageId(1)).is_none());
+        assert!(tlb.peek(PageId(2)).is_some());
+    }
+
+    #[test]
+    fn cached_dirty_bit_is_mutable_through_lookup() {
+        let mut tlb = Tlb::new(2, 1);
+        tlb.fill(PageId(0), flags_rw());
+        assert!(!tlb.lookup(PageId(0)).unwrap().dirty);
+        tlb.lookup(PageId(0)).unwrap().dirty = true;
+        assert!(tlb.peek(PageId(0)).unwrap().dirty);
+    }
+
+    #[test]
+    fn pages_map_to_distinct_sets() {
+        let mut tlb = Tlb::new(4, 1);
+        // Pages 0..4 map to sets 0..4; all fit despite 1 way per set.
+        for i in 0..4 {
+            tlb.fill(PageId(i), flags_rw());
+        }
+        assert_eq!(tlb.occupancy(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_sets_panics() {
+        let _ = Tlb::new(3, 1);
+    }
+}

@@ -1,0 +1,148 @@
+//! Property tests of the MMU model: memory behaves like flat bytes, write
+//! protection is exact, and the hardware dirty counter never diverges from
+//! the page-table ground truth.
+
+use mem_sim::{AccessError, Mmu, PageId, WalkOptions, PAGE_SIZE};
+use proptest::prelude::*;
+use sim_clock::{Clock, CostModel};
+
+const PAGES: usize = 16;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write { addr: u64, len: u8, fill: u8 },
+    Read { addr: u64, len: u8 },
+    Protect { page: u8 },
+    Unprotect { page: u8 },
+    WalkExact,
+    WalkStale,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let max_addr = (PAGES * PAGE_SIZE) as u64 - 256;
+    prop_oneof![
+        4 => (0..max_addr, 1..=255u8, any::<u8>())
+            .prop_map(|(addr, len, fill)| Op::Write { addr, len, fill }),
+        3 => (0..max_addr, 1..=255u8).prop_map(|(addr, len)| Op::Read { addr, len }),
+        1 => (0..PAGES as u8).prop_map(|page| Op::Protect { page }),
+        1 => (0..PAGES as u8).prop_map(|page| Op::Unprotect { page }),
+        1 => Just(Op::WalkExact),
+        1 => Just(Op::WalkStale),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn memory_matches_model_and_protection_is_exact(
+        ops in prop::collection::vec(op_strategy(), 1..150)
+    ) {
+        let mut mmu = Mmu::new(PAGES, Clock::new(), CostModel::calibrated());
+        let mut model = vec![0u8; PAGES * PAGE_SIZE];
+        let mut protected = [false; PAGES];
+        let all_pages: Vec<PageId> = (0..PAGES as u64).map(PageId).collect();
+
+        for op in &ops {
+            match *op {
+                Op::Write { addr, len, fill } => {
+                    // Clamp the chunk to its page, like the NV region layer.
+                    let in_page = PAGE_SIZE - (addr as usize % PAGE_SIZE);
+                    let n = (len as usize).min(in_page);
+                    let data = vec![fill; n];
+                    let page = PageId::containing(addr);
+                    match mmu.write(addr, &data) {
+                        Ok(()) => {
+                            prop_assert!(!protected[page.index()],
+                                "write through protection succeeded");
+                            model[addr as usize..addr as usize + n].fill(fill);
+                        }
+                        Err(AccessError::WriteProtected(p)) => {
+                            prop_assert_eq!(p, page);
+                            prop_assert!(protected[page.index()],
+                                "spurious fault on writable page");
+                        }
+                        Err(e) => return Err(TestCaseError::fail(format!("write: {e}"))),
+                    }
+                }
+                Op::Read { addr, len } => {
+                    let mut buf = vec![0u8; len as usize];
+                    mmu.read(addr, &mut buf).unwrap();
+                    prop_assert_eq!(&buf[..], &model[addr as usize..addr as usize + len as usize]);
+                }
+                Op::Protect { page } => {
+                    mmu.protect_page(PageId(page as u64));
+                    protected[page as usize] = true;
+                }
+                Op::Unprotect { page } => {
+                    mmu.unprotect_page(PageId(page as u64));
+                    protected[page as usize] = false;
+                }
+                Op::WalkExact => {
+                    let _ = mmu.walk_and_clear_dirty(&all_pages, WalkOptions::exact());
+                }
+                Op::WalkStale => {
+                    let _ = mmu.walk_and_clear_dirty(&all_pages, WalkOptions::stale());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_walks_never_lose_dirty_pages(
+        writes in prop::collection::vec((0..PAGES as u64, any::<u8>()), 1..60)
+    ) {
+        // After any write sequence, an exact walk must report exactly the
+        // set of pages written since the previous exact walk.
+        let mut mmu = Mmu::new(PAGES, Clock::new(), CostModel::calibrated());
+        let all_pages: Vec<PageId> = (0..PAGES as u64).map(PageId).collect();
+        let _ = mmu.walk_and_clear_dirty(&all_pages, WalkOptions::exact());
+
+        let mut written: std::collections::HashSet<u64> = Default::default();
+        for &(page, fill) in &writes {
+            mmu.write(page * PAGE_SIZE as u64, &[fill]).unwrap();
+            written.insert(page);
+        }
+        let dirty: std::collections::HashSet<u64> = mmu
+            .walk_and_clear_dirty(&all_pages, WalkOptions::exact())
+            .into_iter()
+            .map(|p| p.0)
+            .collect();
+        prop_assert_eq!(dirty, written);
+    }
+
+    #[test]
+    fn hardware_counter_equals_pte_dirty_population(
+        writes in prop::collection::vec(0..PAGES as u64, 1..100),
+        limit in 1..=PAGES as u64,
+        credits in prop::collection::vec(0..PAGES as u64, 0..20),
+    ) {
+        let mut mmu = Mmu::new(PAGES, Clock::new(), CostModel::calibrated());
+        mmu.set_dirty_limit(Some(limit));
+        for &page in &writes {
+            match mmu.write(page * PAGE_SIZE as u64, &[1]) {
+                Ok(()) => {}
+                Err(AccessError::DirtyLimitReached(_)) => {
+                    prop_assert_eq!(mmu.dirty_counted(), limit,
+                        "interrupt must fire exactly at the limit");
+                }
+                Err(e) => return Err(TestCaseError::fail(format!("write: {e}"))),
+            }
+            prop_assert!(mmu.dirty_counted() <= limit);
+            prop_assert_eq!(
+                mmu.dirty_counted(),
+                mmu.page_table().dirty_count() as u64,
+                "counter must track PTE ground truth"
+            );
+        }
+        for &page in &credits {
+            if mmu.page_table().flags(PageId(page)).is_dirty() {
+                mmu.credit_dirty_page(PageId(page));
+            }
+            prop_assert_eq!(
+                mmu.dirty_counted(),
+                mmu.page_table().dirty_count() as u64
+            );
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Error type of the file layer.
+
+use std::error::Error;
+use std::fmt;
+
+use kvstore::KvError;
+use pheap::PHeapError;
+
+/// Why a file operation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsError {
+    /// The path already names a file.
+    AlreadyExists,
+    /// The file handle (or path) does not name a live file.
+    NotFound,
+    /// The access exceeds the file's maximum representable size.
+    FileTooLarge,
+    /// The read extends past the end of the file.
+    PastEndOfFile,
+    /// The heap is out of space.
+    NoSpace,
+    /// The region does not hold a formatted file system.
+    NotAFileSystem,
+    /// The underlying persistent heap failed.
+    Heap(PHeapError),
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::AlreadyExists => write!(f, "path already exists"),
+            FsError::NotFound => write!(f, "no such file"),
+            FsError::FileTooLarge => write!(f, "file exceeds the maximum size"),
+            FsError::PastEndOfFile => write!(f, "read past the end of the file"),
+            FsError::NoSpace => write!(f, "file system out of space"),
+            FsError::NotAFileSystem => write!(f, "heap does not contain a file system"),
+            FsError::Heap(e) => write!(f, "persistent heap error: {e}"),
+        }
+    }
+}
+
+impl Error for FsError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FsError::Heap(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PHeapError> for FsError {
+    fn from(e: PHeapError) -> Self {
+        match e {
+            PHeapError::OutOfMemory => FsError::NoSpace,
+            other => FsError::Heap(other),
+        }
+    }
+}
+
+impl From<KvError> for FsError {
+    fn from(e: KvError) -> Self {
+        match e {
+            KvError::Heap(PHeapError::OutOfMemory) => FsError::NoSpace,
+            KvError::Heap(h) => FsError::Heap(h),
+            KvError::NotAStore => FsError::NotAFileSystem,
+            KvError::KeyTooLarge { .. } | KvError::ValueTooLarge { .. } => FsError::FileTooLarge,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_map_oom_to_no_space() {
+        assert_eq!(FsError::from(PHeapError::OutOfMemory), FsError::NoSpace);
+        assert_eq!(
+            FsError::from(KvError::Heap(PHeapError::OutOfMemory)),
+            FsError::NoSpace
+        );
+    }
+
+    #[test]
+    fn messages_are_nonempty() {
+        for e in [
+            FsError::AlreadyExists,
+            FsError::NotFound,
+            FsError::FileTooLarge,
+            FsError::PastEndOfFile,
+            FsError::NoSpace,
+            FsError::NotAFileSystem,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,446 @@
+//! The file layer: directory, inodes, and extent allocation.
+
+use kvstore::KvStore;
+use pheap::{PHeap, PPtr, MAX_ALLOC};
+use viyojit::NvHeap;
+
+use crate::FsError;
+
+/// Bytes per extent: one maximal heap allocation (64 KiB = 16 pages).
+pub const EXTENT_BYTES: u64 = MAX_ALLOC as u64;
+
+/// Inode layout: size(8) extent_count(4) reserved(4) extents(8 x MAX).
+const INODE_SIZE: u64 = 0;
+const INODE_EXTENT_COUNT: u64 = 8;
+const INODE_EXTENTS: u64 = 16;
+/// Extents per inode; bounds files at ~7.9 MiB, plenty for trace replay.
+const MAX_EXTENTS: u64 = 126;
+const INODE_BYTES: usize = (INODE_EXTENTS + MAX_EXTENTS * 8) as usize;
+
+/// The directory key holding the format marker.
+const MAGIC_KEY: &[u8] = b"\0nvfs-superblock";
+const MAGIC_VALUE: &[u8] = b"NVFS-VIYOJIT-1";
+
+/// Handle to an open file: the persistent pointer of its inode. Stable
+/// across power cycles; invalidated by `delete`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FileId(PPtr);
+
+/// File-system statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FsStats {
+    /// Live files (excluding the superblock marker).
+    pub files: u64,
+    /// Sum of file sizes in bytes.
+    pub used_bytes: u64,
+}
+
+/// A persistent file system over an NV-DRAM heap. See the
+/// [crate docs](crate).
+#[derive(Debug)]
+pub struct NvFileSystem<H> {
+    // The directory doubles as the metadata store: path -> inode pointer.
+    dir: KvStore<H>,
+}
+
+impl<H: NvHeap> NvFileSystem<H> {
+    /// Formats a new file system on `heap`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates heap exhaustion.
+    pub fn format(heap: PHeap<H>) -> Result<Self, FsError> {
+        let mut dir = KvStore::create(heap, 1024)?;
+        dir.set(MAGIC_KEY, MAGIC_VALUE)?;
+        Ok(NvFileSystem { dir })
+    }
+
+    /// Reopens a formatted file system (after recovery).
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotAFileSystem`] if the heap holds no formatted FS.
+    pub fn open(heap: PHeap<H>) -> Result<Self, FsError> {
+        let mut dir = KvStore::open(heap)?;
+        match dir.get(MAGIC_KEY)? {
+            Some(v) if v == MAGIC_VALUE => Ok(NvFileSystem { dir }),
+            _ => Err(FsError::NotAFileSystem),
+        }
+    }
+
+    /// Shared access to the underlying NV-DRAM layer.
+    pub fn nv(&self) -> &H {
+        self.dir.heap().heap()
+    }
+
+    /// Exclusive access to the underlying NV-DRAM layer (power-failure
+    /// injection).
+    pub fn nv_mut(&mut self) -> &mut H {
+        self.dir.heap_mut().heap_mut()
+    }
+
+    /// Consumes the file system, returning the persistent heap.
+    pub fn into_heap(self) -> PHeap<H> {
+        self.dir.into_heap()
+    }
+
+    fn heap(&mut self) -> &mut PHeap<H> {
+        self.dir.heap_mut()
+    }
+
+    fn inode_u64(&mut self, inode: PPtr, field: u64) -> Result<u64, FsError> {
+        let mut buf = [0u8; 8];
+        self.heap().read(inode, field, &mut buf)?;
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    fn put_inode_u64(&mut self, inode: PPtr, field: u64, v: u64) -> Result<(), FsError> {
+        self.heap().write(inode, field, &v.to_le_bytes())?;
+        Ok(())
+    }
+
+    fn extent_of(&mut self, inode: PPtr, index: u64) -> Result<Option<PPtr>, FsError> {
+        let raw = self.inode_u64(inode, INODE_EXTENTS + index * 8)?;
+        Ok((raw != 0).then(|| PPtr::from_offset(raw)))
+    }
+
+    /// Creates an empty file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::AlreadyExists`] if the path is taken; heap exhaustion as
+    /// [`FsError::NoSpace`].
+    pub fn create(&mut self, path: &[u8]) -> Result<FileId, FsError> {
+        if self.dir.get(path)?.is_some() {
+            return Err(FsError::AlreadyExists);
+        }
+        let inode = self.heap().alloc(INODE_BYTES)?;
+        self.heap().write(inode, 0, &vec![0u8; INODE_BYTES])?;
+        let mut count = [0u8; 4];
+        count.copy_from_slice(&0u32.to_le_bytes());
+        self.heap().write(inode, INODE_EXTENT_COUNT, &count)?;
+        self.dir.set(path, &inode.offset().to_le_bytes())?;
+        Ok(FileId(inode))
+    }
+
+    /// Looks up `path`.
+    ///
+    /// # Errors
+    ///
+    /// Heap failures surface as [`FsError::Heap`].
+    pub fn lookup(&mut self, path: &[u8]) -> Result<Option<FileId>, FsError> {
+        match self.dir.get(path)? {
+            Some(raw) if raw.len() == 8 => {
+                let off = u64::from_le_bytes(raw.try_into().expect("checked length"));
+                Ok(Some(FileId(PPtr::from_offset(off))))
+            }
+            _ => Ok(None),
+        }
+    }
+
+    /// Opens `path`, creating it if absent.
+    ///
+    /// # Errors
+    ///
+    /// Heap failures surface as [`FsError::Heap`] / [`FsError::NoSpace`].
+    pub fn open_or_create(&mut self, path: &[u8]) -> Result<FileId, FsError> {
+        match self.lookup(path)? {
+            Some(f) => Ok(f),
+            None => self.create(path),
+        }
+    }
+
+    /// Deletes `path`, freeing its inode and extents.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] if absent.
+    pub fn delete(&mut self, path: &[u8]) -> Result<(), FsError> {
+        let Some(FileId(inode)) = self.lookup(path)? else {
+            return Err(FsError::NotFound);
+        };
+        let extents = self.inode_u64(inode, INODE_EXTENT_COUNT)? & 0xFFFF_FFFF;
+        for i in 0..extents {
+            if let Some(extent) = self.extent_of(inode, i)? {
+                self.heap().free(extent)?;
+            }
+        }
+        self.heap().free(inode)?;
+        self.dir.delete(path)?;
+        Ok(())
+    }
+
+    /// The file's size in bytes.
+    ///
+    /// # Errors
+    ///
+    /// Heap failures surface as [`FsError::Heap`] (stale handles included).
+    pub fn len(&mut self, file: FileId) -> Result<u64, FsError> {
+        self.inode_u64(file.0, INODE_SIZE)
+    }
+
+    /// `true` if the file is empty.
+    ///
+    /// # Errors
+    ///
+    /// As [`NvFileSystem::len`].
+    pub fn is_empty(&mut self, file: FileId) -> Result<bool, FsError> {
+        Ok(self.len(file)? == 0)
+    }
+
+    /// Writes `data` at `offset`, allocating extents lazily and growing
+    /// the file as needed. Holes left by sparse writes read as zeros.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::FileTooLarge`] past `MAX_EXTENTS x EXTENT_BYTES`;
+    /// allocation failures as [`FsError::NoSpace`].
+    pub fn write(&mut self, file: FileId, offset: u64, data: &[u8]) -> Result<(), FsError> {
+        let inode = file.0;
+        let end = offset
+            .checked_add(data.len() as u64)
+            .ok_or(FsError::FileTooLarge)?;
+        if end > MAX_EXTENTS * EXTENT_BYTES {
+            return Err(FsError::FileTooLarge);
+        }
+        let mut cursor = offset;
+        let mut rest = data;
+        while !rest.is_empty() {
+            let index = cursor / EXTENT_BYTES;
+            let within = cursor % EXTENT_BYTES;
+            let chunk = ((EXTENT_BYTES - within) as usize).min(rest.len());
+            let extent = match self.extent_of(inode, index)? {
+                Some(e) => e,
+                None => {
+                    let fresh = self.heap().alloc(EXTENT_BYTES as usize)?;
+                    // Zero the extent so holes and tails read as zeros.
+                    self.heap()
+                        .write(fresh, 0, &vec![0u8; EXTENT_BYTES as usize])?;
+                    self.put_inode_u64(inode, INODE_EXTENTS + index * 8, fresh.offset())?;
+                    let count = self.inode_u64(inode, INODE_EXTENT_COUNT)? & 0xFFFF_FFFF;
+                    if index + 1 > count {
+                        self.put_inode_u64(inode, INODE_EXTENT_COUNT, index + 1)?;
+                    }
+                    fresh
+                }
+            };
+            let (now, later) = rest.split_at(chunk);
+            self.heap().write(extent, within, now)?;
+            rest = later;
+            cursor += chunk as u64;
+        }
+        if end > self.inode_u64(inode, INODE_SIZE)? {
+            self.put_inode_u64(inode, INODE_SIZE, end)?;
+        }
+        Ok(())
+    }
+
+    /// Reads `buf.len()` bytes at `offset`. Holes read as zeros.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::PastEndOfFile`] if the range exceeds the file size.
+    pub fn read(&mut self, file: FileId, offset: u64, buf: &mut [u8]) -> Result<(), FsError> {
+        let inode = file.0;
+        let size = self.inode_u64(inode, INODE_SIZE)?;
+        let end = offset
+            .checked_add(buf.len() as u64)
+            .ok_or(FsError::PastEndOfFile)?;
+        if end > size {
+            return Err(FsError::PastEndOfFile);
+        }
+        let mut cursor = offset;
+        let mut rest: &mut [u8] = buf;
+        while !rest.is_empty() {
+            let index = cursor / EXTENT_BYTES;
+            let within = cursor % EXTENT_BYTES;
+            let chunk = ((EXTENT_BYTES - within) as usize).min(rest.len());
+            let (now, later) = rest.split_at_mut(chunk);
+            match self.extent_of(inode, index)? {
+                Some(extent) => self.heap().read(extent, within, now)?,
+                None => now.fill(0), // hole
+            }
+            rest = later;
+            cursor += chunk as u64;
+        }
+        Ok(())
+    }
+
+    /// File-system statistics (walks the directory index).
+    ///
+    /// # Errors
+    ///
+    /// Heap failures surface as [`FsError::Heap`].
+    pub fn stats(&mut self) -> Result<FsStats, FsError> {
+        // The directory's scan gives every path; subtract the marker.
+        let entries = self.dir.scan(b"", usize::MAX)?;
+        let mut files = 0;
+        let mut used = 0;
+        for (path, raw) in entries {
+            if path == MAGIC_KEY || raw.len() != 8 {
+                continue;
+            }
+            let inode =
+                PPtr::from_offset(u64::from_le_bytes(raw.try_into().expect("checked length")));
+            files += 1;
+            used += self.inode_u64(inode, INODE_SIZE)?;
+        }
+        Ok(FsStats {
+            files,
+            used_bytes: used,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_clock::{Clock, CostModel};
+    use ssd_sim::SsdConfig;
+    use viyojit::{NvdramBaseline, Viyojit, ViyojitConfig};
+
+    fn fs(pages: usize) -> NvFileSystem<NvdramBaseline> {
+        let nv = NvdramBaseline::new(pages, Clock::new(), CostModel::free(), SsdConfig::instant());
+        let heap = PHeap::format(nv, (pages as u64 - 2) * 4096).unwrap();
+        NvFileSystem::format(heap).unwrap()
+    }
+
+    #[test]
+    fn create_write_read_round_trip() {
+        let mut f = fs(256);
+        let file = f.create(b"/data/a").unwrap();
+        f.write(file, 0, b"twelve bytes").unwrap();
+        assert_eq!(f.len(file).unwrap(), 12);
+        let mut buf = [0u8; 12];
+        f.read(file, 0, &mut buf).unwrap();
+        assert_eq!(&buf, b"twelve bytes");
+    }
+
+    #[test]
+    fn writes_cross_extents() {
+        let mut f = fs(512);
+        let file = f.create(b"big").unwrap();
+        let data: Vec<u8> = (0..(EXTENT_BYTES + 1000) as usize)
+            .map(|i| (i % 251) as u8)
+            .collect();
+        f.write(file, EXTENT_BYTES - 500, &data).unwrap();
+        let mut back = vec![0u8; data.len()];
+        f.read(file, EXTENT_BYTES - 500, &mut back).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn holes_read_as_zeros() {
+        let mut f = fs(512);
+        let file = f.create(b"sparse").unwrap();
+        f.write(file, 3 * EXTENT_BYTES, b"tail").unwrap();
+        assert_eq!(f.len(file).unwrap(), 3 * EXTENT_BYTES + 4);
+        let mut buf = [7u8; 64];
+        f.read(file, EXTENT_BYTES, &mut buf).unwrap(); // inside a hole
+        assert_eq!(buf, [0u8; 64]);
+    }
+
+    #[test]
+    fn overwrites_do_not_grow_the_file() {
+        let mut f = fs(256);
+        let file = f.create(b"x").unwrap();
+        f.write(file, 0, &[1u8; 1000]).unwrap();
+        f.write(file, 100, &[2u8; 50]).unwrap();
+        assert_eq!(f.len(file).unwrap(), 1000);
+        let mut buf = [0u8; 3];
+        f.read(file, 99, &mut buf).unwrap();
+        assert_eq!(buf, [1, 2, 2]);
+    }
+
+    #[test]
+    fn directory_operations() {
+        let mut f = fs(256);
+        assert_eq!(f.lookup(b"nope").unwrap(), None);
+        let a = f.create(b"a").unwrap();
+        assert_eq!(f.lookup(b"a").unwrap(), Some(a));
+        assert_eq!(f.create(b"a"), Err(FsError::AlreadyExists));
+        assert_eq!(f.open_or_create(b"a").unwrap(), a);
+        f.delete(b"a").unwrap();
+        assert_eq!(f.lookup(b"a").unwrap(), None);
+        assert_eq!(f.delete(b"a"), Err(FsError::NotFound));
+    }
+
+    #[test]
+    fn delete_frees_space_for_reuse() {
+        let mut f = fs(128);
+        // Fill, delete, refill: the second fill must succeed via reuse.
+        for round in 0..3 {
+            let file = f.create(b"cycle").unwrap();
+            f.write(file, 0, &vec![round as u8; EXTENT_BYTES as usize])
+                .unwrap();
+            f.delete(b"cycle").unwrap();
+        }
+    }
+
+    #[test]
+    fn reads_past_eof_are_rejected() {
+        let mut f = fs(256);
+        let file = f.create(b"short").unwrap();
+        f.write(file, 0, b"abc").unwrap();
+        let mut buf = [0u8; 4];
+        assert_eq!(f.read(file, 0, &mut buf), Err(FsError::PastEndOfFile));
+    }
+
+    #[test]
+    fn oversized_files_are_rejected() {
+        let mut f = fs(256);
+        let file = f.create(b"huge").unwrap();
+        assert_eq!(
+            f.write(file, MAX_EXTENTS * EXTENT_BYTES, b"x"),
+            Err(FsError::FileTooLarge)
+        );
+    }
+
+    #[test]
+    fn stats_count_files_and_bytes() {
+        let mut f = fs(512);
+        let a = f.create(b"a").unwrap();
+        let b = f.create(b"b").unwrap();
+        f.write(a, 0, &[0u8; 100]).unwrap();
+        f.write(b, 0, &[0u8; 200]).unwrap();
+        let stats = f.stats().unwrap();
+        assert_eq!(stats.files, 2);
+        assert_eq!(stats.used_bytes, 300);
+    }
+
+    #[test]
+    fn files_survive_power_cycles() {
+        let nv = Viyojit::new(
+            512,
+            ViyojitConfig::with_budget_pages(16),
+            Clock::new(),
+            CostModel::free(),
+            SsdConfig::instant(),
+        );
+        let heap = PHeap::format(nv, 400 * 4096).unwrap();
+        let region = heap.region();
+        let mut f = NvFileSystem::format(heap).unwrap();
+        let file = f.create(b"/etc/config").unwrap();
+        f.write(file, 0, b"persistent configuration").unwrap();
+
+        let mut nv = f.into_heap().into_inner();
+        nv.power_failure();
+        nv.recover();
+
+        let mut f = NvFileSystem::open(PHeap::open(nv, region).unwrap()).unwrap();
+        let file = f.lookup(b"/etc/config").unwrap().expect("file survives");
+        let mut buf = vec![0u8; 24];
+        f.read(file, 0, &mut buf).unwrap();
+        assert_eq!(&buf, b"persistent configuration");
+    }
+
+    #[test]
+    fn open_rejects_unformatted_heaps() {
+        let nv = NvdramBaseline::new(64, Clock::new(), CostModel::free(), SsdConfig::instant());
+        let heap = PHeap::format(nv, 50 * 4096).unwrap();
+        assert!(matches!(
+            NvFileSystem::open(heap),
+            Err(FsError::NotAFileSystem)
+        ));
+    }
+}

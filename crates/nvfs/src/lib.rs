@@ -1,0 +1,48 @@
+//! A minimal persistent file layer on an NV-DRAM heap — the file-server
+//! use case that motivates Viyojit.
+//!
+//! §2 opens with NVM "as a cache in storage, file and database servers",
+//! and §3 analyses *file system volumes* hosted entirely in NV-DRAM. The
+//! trace analysis deliberately assumes an adversarial file system where
+//! every write lands on a unique NV-DRAM page (the log-structured worst
+//! case); this crate provides an actual file layer — names, inodes, and
+//! extent-based allocation on [`pheap`] — so the harness can measure how
+//! a *real* (update-in-place) layout behaves against that conservative
+//! bound (`fs_replay` in the bench crate).
+//!
+//! Crash consistency follows the battery-backed DRAM model used
+//! throughout this workspace: a power failure flushes the whole dirty
+//! image, so in-place metadata updates are safe, and
+//! [`NvFileSystem::open`] resumes from the persistent superblock.
+//!
+//! # Examples
+//!
+//! ```
+//! use nvfs::NvFileSystem;
+//! use pheap::PHeap;
+//! use sim_clock::{Clock, CostModel};
+//! use ssd_sim::SsdConfig;
+//! use viyojit::{Viyojit, ViyojitConfig};
+//!
+//! let nv = Viyojit::new(
+//!     256,
+//!     ViyojitConfig::with_budget_pages(16),
+//!     Clock::new(),
+//!     CostModel::free(),
+//!     SsdConfig::instant(),
+//! );
+//! let heap = PHeap::format(nv, 200 * 4096)?;
+//! let mut fs = NvFileSystem::format(heap)?;
+//! let file = fs.create(b"/var/log/app.log")?;
+//! fs.write(file, 0, b"hello, non-volatile world")?;
+//! let mut buf = vec![0u8; 25];
+//! fs.read(file, 0, &mut buf)?;
+//! assert_eq!(&buf, b"hello, non-volatile world");
+//! # Ok::<(), nvfs::FsError>(())
+//! ```
+
+mod error;
+mod fs;
+
+pub use error::FsError;
+pub use fs::{FileId, FsStats, NvFileSystem, EXTENT_BYTES};

@@ -1,0 +1,111 @@
+//! Property tests of the persistent allocator: model-based equivalence
+//! under random alloc/free/write sequences, including across power cycles.
+
+use std::collections::HashMap;
+
+use pheap::{PHeap, PHeapError, PPtr, MAX_ALLOC};
+use proptest::prelude::*;
+use sim_clock::{Clock, CostModel};
+use ssd_sim::SsdConfig;
+use viyojit::{Viyojit, ViyojitConfig};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc {
+        len: usize,
+        fill: u8,
+    },
+    /// Free the `nth % live` live allocation.
+    Free {
+        nth: usize,
+    },
+    /// Overwrite the `nth % live` live allocation with `fill`.
+    Rewrite {
+        nth: usize,
+        fill: u8,
+    },
+    PowerCycle,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (1..2048usize, any::<u8>()).prop_map(|(len, fill)| Op::Alloc { len, fill }),
+        2 => any::<usize>().prop_map(|nth| Op::Free { nth }),
+        3 => (any::<usize>(), any::<u8>()).prop_map(|(nth, fill)| Op::Rewrite { nth, fill }),
+        1 => Just(Op::PowerCycle),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn allocator_matches_model_across_power_cycles(
+        ops in prop::collection::vec(op_strategy(), 1..80)
+    ) {
+        let nv = Viyojit::new(
+            96,
+            ViyojitConfig::with_budget_pages(8),
+            Clock::new(),
+            CostModel::free(),
+            SsdConfig::instant(),
+        );
+        let mut h = PHeap::format(nv, 80 * 4096).unwrap();
+        let region = h.region();
+        // Model: live pointer -> (requested len, fill byte).
+        let mut model: HashMap<PPtr, (usize, u8)> = HashMap::new();
+        let mut order: Vec<PPtr> = Vec::new();
+
+        for op in &ops {
+            match *op {
+                Op::Alloc { len, fill } => match h.alloc(len) {
+                    Ok(p) => {
+                        h.write(p, 0, &vec![fill; len]).unwrap();
+                        prop_assert!(model.insert(p, (len, fill)).is_none(),
+                            "allocator returned a live pointer twice");
+                        order.push(p);
+                    }
+                    Err(PHeapError::OutOfMemory) => {}
+                    Err(e) => return Err(TestCaseError::fail(format!("alloc: {e}"))),
+                },
+                Op::Free { nth } => {
+                    if order.is_empty() { continue; }
+                    let p = order.swap_remove(nth % order.len());
+                    h.free(p).unwrap();
+                    model.remove(&p);
+                }
+                Op::Rewrite { nth, fill } => {
+                    if order.is_empty() { continue; }
+                    let p = order[nth % order.len()];
+                    let (len, _) = model[&p];
+                    h.write(p, 0, &vec![fill; len]).unwrap();
+                    model.insert(p, (len, fill));
+                }
+                Op::PowerCycle => {
+                    let mut nv = h.into_inner();
+                    nv.power_failure();
+                    nv.recover();
+                    h = PHeap::open(nv, region).unwrap();
+                }
+            }
+            // Every live allocation still reads back exactly.
+            for (&p, &(len, fill)) in &model {
+                let mut buf = vec![0u8; len];
+                h.read(p, 0, &mut buf).unwrap();
+                prop_assert!(buf.iter().all(|&b| b == fill),
+                    "allocation {p} corrupted (expected fill {fill})");
+            }
+        }
+
+        let stats = h.stats().unwrap();
+        prop_assert_eq!(stats.live_allocs, model.len() as u64);
+    }
+
+    #[test]
+    fn size_class_bounds_every_request(len in 1..=MAX_ALLOC) {
+        let class = pheap::size_class(len).expect("within max");
+        let size = pheap::class_size(class);
+        prop_assert!(size >= len, "class too small");
+        prop_assert!(size < len.max(16) * 2, "class wastes more than 2x");
+    }
+}

@@ -1,0 +1,153 @@
+//! A deterministic time-ordered event queue.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::SimTime;
+
+/// A min-heap of `(SimTime, payload)` pairs with deterministic tie-breaking.
+///
+/// Events that are scheduled for the same instant pop in insertion order
+/// (FIFO), which keeps simulations reproducible regardless of heap
+/// internals. Used by the SSD model for completions and by the Viyojit
+/// runtime for epoch boundaries.
+///
+/// # Examples
+///
+/// ```
+/// use sim_clock::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_nanos(20), "b");
+/// q.schedule(SimTime::from_nanos(10), "a");
+/// assert_eq!(q.pop_before(SimTime::from_nanos(15)), Some((SimTime::from_nanos(10), "a")));
+/// assert_eq!(q.pop_before(SimTime::from_nanos(15)), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Reverse<Entry<T>>>,
+    seq: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    at: SimTime,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at instant `at`.
+    pub fn schedule(&mut self, at: SimTime, payload: T) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, payload }));
+    }
+
+    /// The instant of the earliest pending event, if any.
+    pub fn next_at(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Pops the earliest event if it fires at or before `now`.
+    pub fn pop_before(&mut self, now: SimTime) -> Option<(SimTime, T)> {
+        if self.next_at()? <= now {
+            let Reverse(e) = self.heap.pop().expect("peeked entry vanished");
+            Some((e.at, e.payload))
+        } else {
+            None
+        }
+    }
+
+    /// Pops the earliest event unconditionally.
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        self.heap.pop().map(|Reverse(e)| (e.at, e.payload))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(30), 3);
+        q.schedule(SimTime::from_nanos(10), 1);
+        q.schedule(SimTime::from_nanos(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(5);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_before_respects_horizon() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(10), "x");
+        assert!(q.pop_before(SimTime::from_nanos(9)).is_none());
+        assert!(q.pop_before(SimTime::from_nanos(10)).is_some());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn len_tracks_contents() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(SimTime::ZERO, ());
+        q.schedule(SimTime::ZERO, ());
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+    }
+}

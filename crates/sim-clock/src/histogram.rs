@@ -1,0 +1,265 @@
+//! A log-bucketed latency histogram for percentile reporting.
+
+use crate::SimDuration;
+
+/// Number of linear sub-buckets per power-of-two bucket. More sub-buckets
+/// means finer percentile resolution at the cost of memory.
+const SUB_BUCKETS: usize = 32;
+/// Number of power-of-two buckets; covers values up to 2^48 ns (~3 days).
+const LOG_BUCKETS: usize = 48;
+
+/// A fixed-memory histogram of [`SimDuration`] samples with ~3% relative
+/// error, in the spirit of HdrHistogram.
+///
+/// Used by the figure harnesses to report average and 99th-percentile
+/// operation latencies (paper Fig. 8).
+///
+/// # Examples
+///
+/// ```
+/// use sim_clock::{Histogram, SimDuration};
+///
+/// let mut h = Histogram::new();
+/// for us in 1..=100 {
+///     h.record(SimDuration::from_micros(us));
+/// }
+/// assert_eq!(h.len(), 100);
+/// let p50 = h.percentile(50.0).as_micros();
+/// assert!((45..=55).contains(&p50));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum_nanos: u128,
+    max: SimDuration,
+    min: SimDuration,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; LOG_BUCKETS * SUB_BUCKETS],
+            total: 0,
+            sum_nanos: 0,
+            max: SimDuration::ZERO,
+            min: SimDuration::from_nanos(u64::MAX),
+        }
+    }
+
+    fn bucket_index(nanos: u64) -> usize {
+        if nanos < SUB_BUCKETS as u64 {
+            return nanos as usize;
+        }
+        let log = 63 - nanos.leading_zeros() as usize; // floor(log2(nanos)) >= 5
+        let shift = log - SUB_BUCKETS.trailing_zeros() as usize;
+        let sub = ((nanos >> shift) as usize) - SUB_BUCKETS;
+        let idx = (shift + 1) * SUB_BUCKETS + sub;
+        idx.min(LOG_BUCKETS * SUB_BUCKETS - 1)
+    }
+
+    fn bucket_value(idx: usize) -> u64 {
+        if idx < SUB_BUCKETS {
+            return idx as u64;
+        }
+        let shift = idx / SUB_BUCKETS - 1;
+        let sub = idx % SUB_BUCKETS;
+        ((SUB_BUCKETS + sub) as u64) << shift
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, d: SimDuration) {
+        let nanos = d.as_nanos();
+        self.counts[Self::bucket_index(nanos)] += 1;
+        self.total += 1;
+        self.sum_nanos += nanos as u128;
+        if d > self.max {
+            self.max = d;
+        }
+        if d < self.min {
+            self.min = d;
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// `true` if no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Arithmetic mean of all samples; zero if empty.
+    pub fn mean(&self) -> SimDuration {
+        if self.total == 0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_nanos((self.sum_nanos / self.total as u128) as u64)
+    }
+
+    /// The largest recorded sample; zero if empty.
+    pub fn max(&self) -> SimDuration {
+        if self.total == 0 {
+            SimDuration::ZERO
+        } else {
+            self.max
+        }
+    }
+
+    /// The smallest recorded sample; zero if empty.
+    pub fn min(&self) -> SimDuration {
+        if self.total == 0 {
+            SimDuration::ZERO
+        } else {
+            self.min
+        }
+    }
+
+    /// The value at percentile `p` (0–100), with the histogram's bucket
+    /// resolution (~3% relative error). Returns zero if empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> SimDuration {
+        assert!(
+            (0.0..=100.0).contains(&p),
+            "percentile must be in [0,100], got {p}"
+        );
+        if self.total == 0 {
+            return SimDuration::ZERO;
+        }
+        let rank = ((p / 100.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return SimDuration::from_nanos(Self::bucket_value(idx)).min_of(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram's samples into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum_nanos += other.sum_nanos;
+        if other.total > 0 {
+            if other.max > self.max {
+                self.max = other.max;
+            }
+            if other.min < self.min {
+                self.min = other.min;
+            }
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+trait MinOf {
+    fn min_of(self, other: SimDuration) -> SimDuration;
+}
+impl MinOf for SimDuration {
+    fn min_of(self, other: SimDuration) -> SimDuration {
+        if self < other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), SimDuration::ZERO);
+        assert_eq!(h.percentile(99.0), SimDuration::ZERO);
+        assert_eq!(h.max(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for n in 0..SUB_BUCKETS as u64 {
+            h.record(SimDuration::from_nanos(n));
+        }
+        assert_eq!(h.min().as_nanos(), 0);
+        assert_eq!(h.max().as_nanos(), SUB_BUCKETS as u64 - 1);
+        assert_eq!(h.percentile(100.0).as_nanos(), SUB_BUCKETS as u64 - 1);
+    }
+
+    #[test]
+    fn percentile_error_is_bounded() {
+        let mut h = Histogram::new();
+        for us in 1..=10_000u64 {
+            h.record(SimDuration::from_micros(us));
+        }
+        for &p in &[50.0f64, 90.0, 99.0, 99.9] {
+            let exact: f64 = (p / 100.0 * 10_000.0).ceil();
+            let got = h.percentile(p).as_micros() as f64;
+            let err = (got - exact).abs() / exact;
+            assert!(err < 0.04, "p{p}: got {got}, exact {exact}, err {err}");
+        }
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = Histogram::new();
+        h.record(SimDuration::from_nanos(100));
+        h.record(SimDuration::from_nanos(300));
+        assert_eq!(h.mean().as_nanos(), 200);
+    }
+
+    #[test]
+    fn merge_combines_counts_and_extrema() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(SimDuration::from_nanos(10));
+        b.record(SimDuration::from_nanos(1_000_000));
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.min().as_nanos(), 10);
+        assert_eq!(a.max().as_nanos(), 1_000_000);
+    }
+
+    #[test]
+    fn bucket_round_trip_is_monotone_and_close() {
+        let mut prev = 0;
+        for exp in 0..40u32 {
+            let v = 1u64 << exp;
+            for &v in &[v, v + v / 3, v + v / 2] {
+                let idx = Histogram::bucket_index(v);
+                let back = Histogram::bucket_value(idx);
+                assert!(back <= v, "bucket value {back} exceeds sample {v}");
+                assert!(
+                    (v - back) as f64 <= v as f64 * 0.04,
+                    "bucket error too large: {v} -> {back}"
+                );
+                assert!(back >= prev, "bucket values must be monotone");
+                prev = back;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in")]
+    fn percentile_out_of_range_panics() {
+        Histogram::new().percentile(101.0);
+    }
+}

@@ -1,0 +1,33 @@
+//! Virtual time and cost accounting for the Viyojit simulation stack.
+//!
+//! Every substrate in this workspace (MMU, TLB, SSD, battery, key-value
+//! store) runs against a *virtual* nanosecond clock rather than wall-clock
+//! time. This crate provides:
+//!
+//! - [`SimTime`] / [`SimDuration`]: nanosecond-precision instants and spans,
+//! - [`Clock`]: a shareable, monotonically advancing virtual clock,
+//! - [`CostModel`]: named per-event costs, calibrated from the measurements
+//!   the Viyojit paper reports (trap handling, TLB flush, PTE updates, ...),
+//! - [`EventQueue`]: a deterministic time-ordered event queue,
+//! - [`Histogram`]: a log-bucketed latency histogram for percentile
+//!   reporting in the figure harnesses.
+//!
+//! # Examples
+//!
+//! ```
+//! use sim_clock::{Clock, SimDuration};
+//!
+//! let clock = Clock::new();
+//! clock.advance(SimDuration::from_micros(25));
+//! assert_eq!(clock.now().as_nanos(), 25_000);
+//! ```
+
+mod cost;
+mod events;
+mod histogram;
+mod time;
+
+pub use cost::CostModel;
+pub use events::EventQueue;
+pub use histogram::Histogram;
+pub use time::{Clock, SimDuration, SimTime};

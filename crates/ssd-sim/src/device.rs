@@ -1,0 +1,397 @@
+//! The SSD device: content store, service-time model, and statistics.
+
+use mem_sim::{PageId, PAGE_SIZE};
+use sim_clock::{Clock, SimDuration, SimTime};
+
+use crate::WearTracker;
+
+/// Device parameters.
+///
+/// # Examples
+///
+/// ```
+/// use ssd_sim::SsdConfig;
+///
+/// let cfg = SsdConfig::datacenter();
+/// assert!(cfg.channels >= 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SsdConfig {
+    /// Fixed device latency of one page write.
+    pub write_latency: SimDuration,
+    /// Fixed device latency of one page read.
+    pub read_latency: SimDuration,
+    /// Sustained sequential bandwidth in bytes per second, shared across
+    /// channels.
+    pub bandwidth_bytes_per_sec: u64,
+    /// Number of internal channels that can service IOs concurrently.
+    pub channels: usize,
+    /// Pages per erase block (wear accounting granularity).
+    pub pages_per_block: usize,
+    /// Write-amplification factor of the FTL.
+    pub write_amplification: f64,
+}
+
+impl SsdConfig {
+    /// A datacenter NVMe-class device like the paper's Azure VM SSD
+    /// (625 K-IOPS class): ~30 us program latency, ~25 us read latency,
+    /// 2 GB/s sustained, 8 channels.
+    pub fn datacenter() -> Self {
+        SsdConfig {
+            write_latency: SimDuration::from_micros(30),
+            read_latency: SimDuration::from_micros(25),
+            bandwidth_bytes_per_sec: 2_000_000_000,
+            channels: 8,
+            pages_per_block: 256,
+            write_amplification: 1.1,
+        }
+    }
+
+    /// An instantaneous device for functional unit tests.
+    pub fn instant() -> Self {
+        SsdConfig {
+            write_latency: SimDuration::ZERO,
+            read_latency: SimDuration::ZERO,
+            bandwidth_bytes_per_sec: u64::MAX,
+            channels: 1,
+            pages_per_block: 256,
+            write_amplification: 1.0,
+        }
+    }
+
+    /// Time the bandwidth term adds for `bytes` bytes.
+    fn transfer_time(&self, bytes: usize) -> SimDuration {
+        if self.bandwidth_bytes_per_sec == u64::MAX {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_secs_f64(bytes as f64 / self.bandwidth_bytes_per_sec as f64)
+    }
+
+    /// Conservative time to sequentially drain `bytes` bytes to the device
+    /// at sustained bandwidth — the §5.1 estimate used to convert battery
+    /// hold-up time into a dirty budget.
+    pub fn drain_time(&self, bytes: u64) -> SimDuration {
+        if self.bandwidth_bytes_per_sec == u64::MAX {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_secs_f64(bytes as f64 / self.bandwidth_bytes_per_sec as f64)
+    }
+}
+
+impl Default for SsdConfig {
+    fn default() -> Self {
+        SsdConfig::datacenter()
+    }
+}
+
+/// IO counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SsdStats {
+    /// Page writes submitted.
+    pub writes: u64,
+    /// Page reads submitted.
+    pub reads: u64,
+    /// Logical bytes written.
+    pub bytes_written: u64,
+    /// Logical bytes read.
+    pub bytes_read: u64,
+}
+
+/// The simulated SSD backing one NV-DRAM region.
+///
+/// Content written here is what survives a power failure; recovery reads
+/// pages back with [`Ssd::page_data`]. Service times are computed against
+/// the shared virtual clock: a submission returns its completion instant,
+/// and the caller decides whether to block (advance the clock) or proceed.
+///
+/// # Examples
+///
+/// See the [crate-level example](crate).
+#[derive(Debug)]
+pub struct Ssd {
+    config: SsdConfig,
+    clock: Clock,
+    store: Vec<u8>,
+    page_present: Vec<bool>,
+    channel_free: Vec<SimTime>,
+    inflight: Vec<SimTime>,
+    stats: SsdStats,
+    wear: WearTracker,
+}
+
+impl Ssd {
+    /// Creates a device with capacity for `pages` pages.
+    pub fn new(pages: usize, config: SsdConfig, clock: Clock) -> Self {
+        let wear = WearTracker::new(pages, config.pages_per_block, config.write_amplification);
+        Ssd {
+            channel_free: vec![SimTime::ZERO; config.channels.max(1)],
+            config,
+            clock,
+            store: vec![0u8; pages * PAGE_SIZE],
+            page_present: vec![false; pages],
+            inflight: Vec::new(),
+            stats: SsdStats::default(),
+            wear,
+        }
+    }
+
+    /// Device capacity in pages.
+    pub fn pages(&self) -> usize {
+        self.page_present.len()
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &SsdConfig {
+        &self.config
+    }
+
+    /// IO counters.
+    pub fn stats(&self) -> SsdStats {
+        self.stats
+    }
+
+    /// Wear accounting.
+    pub fn wear(&self) -> &WearTracker {
+        &self.wear
+    }
+
+    fn prune_inflight(&mut self) {
+        let now = self.clock.now();
+        self.inflight.retain(|&t| t > now);
+    }
+
+    /// Number of IOs still in flight at the current instant.
+    pub fn outstanding(&mut self) -> usize {
+        self.prune_inflight();
+        self.inflight.len()
+    }
+
+    /// Earliest completion instant among in-flight IOs, if any.
+    pub fn earliest_completion(&mut self) -> Option<SimTime> {
+        self.prune_inflight();
+        self.inflight.iter().copied().min()
+    }
+
+    fn service(&mut self, latency: SimDuration, bytes: usize) -> SimTime {
+        let now = self.clock.now();
+        let (idx, &free) = self
+            .channel_free
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &t)| t)
+            .expect("at least one channel");
+        let start = now.max(free);
+        let done = start + latency + self.config.transfer_time(bytes);
+        self.channel_free[idx] = done;
+        self.inflight.push(done);
+        done
+    }
+
+    /// Submits a page write; the content is durable from the returned
+    /// completion instant onward. The caller is responsible for the
+    /// write-protect-before-flush ordering (Fig. 6 step 6) that makes the
+    /// submitted snapshot safe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is out of range or `data` is not exactly one page.
+    pub fn submit_write(&mut self, page: PageId, data: &[u8]) -> SimTime {
+        self.submit_write_sized(page, data, PAGE_SIZE)
+    }
+
+    /// Submits a page write whose on-wire/programmed payload is only
+    /// `physical_bytes` (compressed, deduplicated, or partial-sector
+    /// flushes — the §7 traffic reductions). The full logical snapshot is
+    /// stored; bandwidth, byte counters, and wear are charged for the
+    /// physical payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is out of range, `data` is not exactly one page,
+    /// or `physical_bytes` exceeds a page.
+    pub fn submit_write_sized(
+        &mut self,
+        page: PageId,
+        data: &[u8],
+        physical_bytes: usize,
+    ) -> SimTime {
+        assert_eq!(data.len(), PAGE_SIZE, "SSD writes are page-granularity");
+        assert!(
+            physical_bytes <= PAGE_SIZE,
+            "physical payload cannot exceed the logical page"
+        );
+        let start = page.base_addr() as usize;
+        self.store[start..start + PAGE_SIZE].copy_from_slice(data);
+        self.page_present[page.index()] = true;
+        self.stats.writes += 1;
+        self.stats.bytes_written += physical_bytes as u64;
+        self.wear
+            .record_bytes_written(page.0, physical_bytes as u64);
+        self.service(self.config.write_latency, physical_bytes)
+    }
+
+    /// Submits a page read into `buf`, returning the completion instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is out of range, `buf` is not one page, or the page
+    /// has never been written.
+    pub fn submit_read(&mut self, page: PageId, buf: &mut [u8]) -> SimTime {
+        assert_eq!(buf.len(), PAGE_SIZE, "SSD reads are page-granularity");
+        assert!(
+            self.page_present[page.index()],
+            "read of never-written SSD {page}"
+        );
+        let start = page.base_addr() as usize;
+        buf.copy_from_slice(&self.store[start..start + PAGE_SIZE]);
+        self.stats.reads += 1;
+        self.stats.bytes_read += PAGE_SIZE as u64;
+        self.service(self.config.read_latency, PAGE_SIZE)
+    }
+
+    /// Zero-time view of a page's durable content (recovery / verification
+    /// path). Returns `None` if the page was never written.
+    pub fn page_data(&self, page: PageId) -> Option<&[u8]> {
+        if !self.page_present[page.index()] {
+            return None;
+        }
+        let start = page.base_addr() as usize;
+        Some(&self.store[start..start + PAGE_SIZE])
+    }
+
+    /// `true` if `page` has durable content.
+    pub fn contains(&self, page: PageId) -> bool {
+        self.page_present[page.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(fill: u8) -> Vec<u8> {
+        vec![fill; PAGE_SIZE]
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let clock = Clock::new();
+        let mut ssd = Ssd::new(4, SsdConfig::instant(), clock.clone());
+        ssd.submit_write(PageId(2), &page(9));
+        let mut buf = page(0);
+        ssd.submit_read(PageId(2), &mut buf);
+        assert_eq!(buf, page(9));
+    }
+
+    #[test]
+    fn completion_reflects_latency_and_bandwidth() {
+        let clock = Clock::new();
+        let cfg = SsdConfig {
+            write_latency: SimDuration::from_micros(100),
+            read_latency: SimDuration::from_micros(50),
+            bandwidth_bytes_per_sec: PAGE_SIZE as u64 * 1_000, // 1 page per ms
+            channels: 1,
+            pages_per_block: 64,
+            write_amplification: 1.0,
+        };
+        let mut ssd = Ssd::new(4, cfg, clock.clone());
+        let done = ssd.submit_write(PageId(0), &page(1));
+        assert_eq!(done.as_micros(), 100 + 1_000);
+    }
+
+    #[test]
+    fn single_channel_serializes_requests() {
+        let clock = Clock::new();
+        let cfg = SsdConfig {
+            write_latency: SimDuration::from_micros(10),
+            read_latency: SimDuration::from_micros(10),
+            bandwidth_bytes_per_sec: u64::MAX,
+            channels: 1,
+            pages_per_block: 64,
+            write_amplification: 1.0,
+        };
+        let mut ssd = Ssd::new(4, cfg, clock.clone());
+        let d1 = ssd.submit_write(PageId(0), &page(1));
+        let d2 = ssd.submit_write(PageId(1), &page(2));
+        assert_eq!(d1.as_micros(), 10);
+        assert_eq!(d2.as_micros(), 20, "second IO queues behind the first");
+    }
+
+    #[test]
+    fn channels_service_in_parallel() {
+        let clock = Clock::new();
+        let cfg = SsdConfig {
+            write_latency: SimDuration::from_micros(10),
+            read_latency: SimDuration::from_micros(10),
+            bandwidth_bytes_per_sec: u64::MAX,
+            channels: 2,
+            pages_per_block: 64,
+            write_amplification: 1.0,
+        };
+        let mut ssd = Ssd::new(4, cfg, clock.clone());
+        let d1 = ssd.submit_write(PageId(0), &page(1));
+        let d2 = ssd.submit_write(PageId(1), &page(2));
+        assert_eq!(d1, d2, "two channels overlap two IOs fully");
+    }
+
+    #[test]
+    fn outstanding_tracks_the_clock() {
+        let clock = Clock::new();
+        let cfg = SsdConfig {
+            write_latency: SimDuration::from_micros(10),
+            read_latency: SimDuration::from_micros(10),
+            bandwidth_bytes_per_sec: u64::MAX,
+            channels: 4,
+            pages_per_block: 64,
+            write_amplification: 1.0,
+        };
+        let mut ssd = Ssd::new(8, cfg, clock.clone());
+        for i in 0..3 {
+            ssd.submit_write(PageId(i), &page(i as u8));
+        }
+        assert_eq!(ssd.outstanding(), 3);
+        let earliest = ssd.earliest_completion().unwrap();
+        clock.advance_to(earliest);
+        assert_eq!(ssd.outstanding(), 0, "all IOs complete at the same instant");
+    }
+
+    #[test]
+    fn never_written_pages_are_absent() {
+        let ssd = Ssd::new(2, SsdConfig::instant(), Clock::new());
+        assert!(ssd.page_data(PageId(0)).is_none());
+        assert!(!ssd.contains(PageId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "never-written")]
+    fn reading_absent_page_panics() {
+        let clock = Clock::new();
+        let mut ssd = Ssd::new(2, SsdConfig::instant(), clock);
+        let mut buf = page(0);
+        let _ = ssd.submit_read(PageId(0), &mut buf);
+    }
+
+    #[test]
+    fn stats_and_wear_accumulate() {
+        let clock = Clock::new();
+        let mut ssd = Ssd::new(4, SsdConfig::instant(), clock);
+        ssd.submit_write(PageId(0), &page(1));
+        ssd.submit_write(PageId(0), &page(2));
+        let mut buf = page(0);
+        ssd.submit_read(PageId(0), &mut buf);
+        assert_eq!(ssd.stats().writes, 2);
+        assert_eq!(ssd.stats().reads, 1);
+        assert_eq!(ssd.stats().bytes_written, 2 * PAGE_SIZE as u64);
+        assert_eq!(ssd.wear().logical_bytes_written(), 2 * PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn drain_time_is_linear_in_bytes() {
+        let cfg = SsdConfig {
+            bandwidth_bytes_per_sec: 1_000_000_000,
+            ..SsdConfig::datacenter()
+        };
+        assert_eq!(cfg.drain_time(1_000_000_000).as_millis(), 1_000);
+        assert_eq!(cfg.drain_time(500_000_000).as_millis(), 500);
+    }
+}

@@ -1,0 +1,156 @@
+//! Flash wear accounting: bytes written, erase counts, write amplification.
+
+use mem_sim::PAGE_SIZE;
+
+/// Tracks program/erase wear over the device's blocks.
+///
+/// Pages map statically to erase blocks of `pages_per_block` pages. Every
+/// time a block accumulates one block's worth of programmed bytes it is
+/// charged one erase — the steady-state behaviour of a log-structured FTL
+/// with the configured write amplification.
+///
+/// # Examples
+///
+/// ```
+/// use ssd_sim::WearTracker;
+///
+/// let mut wear = WearTracker::new(256, 64, 1.0);
+/// for _ in 0..64 {
+///     wear.record_page_write(0);
+/// }
+/// assert_eq!(wear.total_erases(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WearTracker {
+    pages_per_block: usize,
+    write_amplification: f64,
+    /// Physical bytes programmed into each block since its last erase.
+    block_fill: Vec<f64>,
+    erases: Vec<u64>,
+    logical_bytes: u64,
+}
+
+impl WearTracker {
+    /// Creates a tracker for a device of `pages` pages grouped into blocks
+    /// of `pages_per_block`, with the given write-amplification factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pages_per_block` is zero or `write_amplification < 1.0`.
+    pub fn new(pages: usize, pages_per_block: usize, write_amplification: f64) -> Self {
+        assert!(pages_per_block > 0, "blocks must contain at least one page");
+        assert!(
+            write_amplification >= 1.0,
+            "write amplification cannot be below 1.0"
+        );
+        let blocks = pages.div_ceil(pages_per_block).max(1);
+        WearTracker {
+            pages_per_block,
+            write_amplification,
+            block_fill: vec![0.0; blocks],
+            erases: vec![0; blocks],
+            logical_bytes: 0,
+        }
+    }
+
+    /// Records one logical page write to `page`.
+    pub fn record_page_write(&mut self, page: u64) {
+        self.record_bytes_written(page, PAGE_SIZE as u64);
+    }
+
+    /// Records a write of `bytes` programmed bytes to `page` (less than a
+    /// page for compressed or partial flushes).
+    pub fn record_bytes_written(&mut self, page: u64, bytes: u64) {
+        self.logical_bytes += bytes;
+        let block = (page as usize / self.pages_per_block).min(self.block_fill.len() - 1);
+        let block_bytes = (self.pages_per_block * PAGE_SIZE) as f64;
+        self.block_fill[block] += bytes as f64 * self.write_amplification;
+        while self.block_fill[block] >= block_bytes {
+            self.block_fill[block] -= block_bytes;
+            self.erases[block] += 1;
+        }
+    }
+
+    /// Total logical bytes the host has written.
+    pub fn logical_bytes_written(&self) -> u64 {
+        self.logical_bytes
+    }
+
+    /// Total physical bytes programmed (logical x write amplification).
+    pub fn physical_bytes_written(&self) -> u64 {
+        (self.logical_bytes as f64 * self.write_amplification) as u64
+    }
+
+    /// Total erases across all blocks.
+    pub fn total_erases(&self) -> u64 {
+        self.erases.iter().sum()
+    }
+
+    /// The highest per-block erase count (the wear-out-limiting block).
+    pub fn max_block_erases(&self) -> u64 {
+        self.erases.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Per-block erase counts.
+    pub fn erase_counts(&self) -> &[u64] {
+        &self.erases
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erases_accumulate_per_block_fill() {
+        let mut w = WearTracker::new(128, 64, 1.0);
+        for _ in 0..63 {
+            w.record_page_write(5);
+        }
+        assert_eq!(w.total_erases(), 0);
+        w.record_page_write(5);
+        assert_eq!(w.total_erases(), 1);
+    }
+
+    #[test]
+    fn write_amplification_accelerates_wear() {
+        let mut plain = WearTracker::new(64, 64, 1.0);
+        let mut amplified = WearTracker::new(64, 64, 2.0);
+        for _ in 0..64 {
+            plain.record_page_write(0);
+            amplified.record_page_write(0);
+        }
+        assert_eq!(plain.total_erases(), 1);
+        assert_eq!(amplified.total_erases(), 2);
+        assert_eq!(
+            amplified.physical_bytes_written(),
+            2 * plain.physical_bytes_written()
+        );
+    }
+
+    #[test]
+    fn writes_to_different_blocks_spread_wear() {
+        let mut w = WearTracker::new(128, 64, 1.0);
+        for _ in 0..64 {
+            w.record_page_write(0); // block 0
+            w.record_page_write(64); // block 1
+        }
+        assert_eq!(w.erase_counts(), &[1, 1]);
+        assert_eq!(w.max_block_erases(), 1);
+    }
+
+    #[test]
+    fn logical_bytes_count_every_write() {
+        let mut w = WearTracker::new(16, 4, 1.5);
+        w.record_page_write(0);
+        w.record_page_write(1);
+        assert_eq!(w.logical_bytes_written(), 2 * PAGE_SIZE as u64);
+        assert_eq!(w.physical_bytes_written(), 3 * PAGE_SIZE as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "write amplification")]
+    fn sub_unity_write_amplification_panics() {
+        let _ = WearTracker::new(16, 4, 0.5);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property tests of the SSD device model: content fidelity, timing
+//! sanity, and wear accounting.
+
+use mem_sim::{PageId, PAGE_SIZE};
+use proptest::prelude::*;
+use sim_clock::{Clock, SimDuration, SimTime};
+use ssd_sim::{Ssd, SsdConfig};
+
+const PAGES: usize = 32;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn latest_write_wins_per_page(
+        writes in prop::collection::vec((0..PAGES as u64, any::<u8>()), 1..80)
+    ) {
+        let clock = Clock::new();
+        let mut ssd = Ssd::new(PAGES, SsdConfig::datacenter(), clock.clone());
+        let mut last = std::collections::HashMap::new();
+        for &(page, fill) in &writes {
+            ssd.submit_write(PageId(page), &vec![fill; PAGE_SIZE]);
+            last.insert(page, fill);
+        }
+        for (&page, &fill) in &last {
+            prop_assert_eq!(
+                ssd.page_data(PageId(page)).expect("written page"),
+                &vec![fill; PAGE_SIZE][..]
+            );
+        }
+        prop_assert_eq!(ssd.stats().writes, writes.len() as u64);
+    }
+
+    #[test]
+    fn completions_are_never_before_submission_and_respect_latency(
+        pages in prop::collection::vec(0..PAGES as u64, 1..40),
+        advance_us in 0..500u64,
+    ) {
+        let clock = Clock::new();
+        let cfg = SsdConfig::datacenter();
+        let latency = cfg.write_latency;
+        let mut ssd = Ssd::new(PAGES, cfg, clock.clone());
+        for &page in &pages {
+            clock.advance(SimDuration::from_micros(advance_us));
+            let submitted = clock.now();
+            let done = ssd.submit_write(PageId(page), &vec![1u8; PAGE_SIZE]);
+            prop_assert!(done >= submitted + latency,
+                "completion {done} earlier than latency allows");
+        }
+    }
+
+    #[test]
+    fn outstanding_never_exceeds_submissions_and_drains_to_zero(
+        pages in prop::collection::vec(0..PAGES as u64, 1..40)
+    ) {
+        let clock = Clock::new();
+        let mut ssd = Ssd::new(PAGES, SsdConfig::datacenter(), clock.clone());
+        let mut latest = SimTime::ZERO;
+        for &page in &pages {
+            let done = ssd.submit_write(PageId(page), &vec![1u8; PAGE_SIZE]);
+            latest = latest.max(done);
+            prop_assert!(ssd.outstanding() <= pages.len());
+        }
+        clock.advance_to(latest);
+        prop_assert_eq!(ssd.outstanding(), 0);
+    }
+
+    #[test]
+    fn wear_is_conserved(
+        writes in prop::collection::vec(0..PAGES as u64, 1..100)
+    ) {
+        let clock = Clock::new();
+        let mut ssd = Ssd::new(PAGES, SsdConfig::datacenter(), clock);
+        for &page in &writes {
+            ssd.submit_write(PageId(page), &vec![0u8; PAGE_SIZE]);
+        }
+        let wear = ssd.wear();
+        prop_assert_eq!(wear.logical_bytes_written(), writes.len() as u64 * PAGE_SIZE as u64);
+        prop_assert!(wear.physical_bytes_written() >= wear.logical_bytes_written());
+        prop_assert!(wear.max_block_erases() <= wear.total_erases());
+    }
+}

@@ -1,0 +1,151 @@
+//! Worst-interval write volume (Fig. 2).
+//!
+//! §3 slices each trace into fixed intervals and asks: in the worst
+//! interval, how much data was written as a fraction of the volume size?
+//! To be conservative it assumes an adversarial (log-structured) file
+//! system where *every* write lands on a unique NV-DRAM page, so the
+//! interval's written data is simply its write count (capped at the
+//! volume size).
+
+use sim_clock::SimDuration;
+use workloads::TraceEvent;
+
+/// Per-interval write statistics of one volume trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntervalWriteStats {
+    /// Write count per interval, in time order.
+    pub writes_per_interval: Vec<u64>,
+    /// The interval length analysed.
+    pub interval: SimDuration,
+    /// Volume size in pages.
+    pub volume_pages: u64,
+}
+
+impl IntervalWriteStats {
+    /// Builds the per-interval tally from a time-ordered event stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero or `volume_pages` is zero.
+    pub fn from_events<I>(events: I, interval: SimDuration, volume_pages: u64) -> Self
+    where
+        I: IntoIterator<Item = TraceEvent>,
+    {
+        assert!(!interval.is_zero(), "interval must be positive");
+        assert!(volume_pages > 0, "volume must contain pages");
+        let mut writes_per_interval: Vec<u64> = Vec::new();
+        for e in events {
+            if !e.is_write {
+                continue;
+            }
+            let slot = (e.at.as_nanos() / interval.as_nanos()) as usize;
+            if slot >= writes_per_interval.len() {
+                writes_per_interval.resize(slot + 1, 0);
+            }
+            writes_per_interval[slot] += 1;
+        }
+        IntervalWriteStats {
+            writes_per_interval,
+            interval,
+            volume_pages,
+        }
+    }
+
+    /// The worst interval's written data as a fraction of the volume size
+    /// (unique-page assumption; capped at 1).
+    pub fn worst_fraction(&self) -> f64 {
+        let worst = self.writes_per_interval.iter().copied().max().unwrap_or(0);
+        (worst.min(self.volume_pages)) as f64 / self.volume_pages as f64
+    }
+
+    /// Mean per-interval written fraction.
+    pub fn mean_fraction(&self) -> f64 {
+        if self.writes_per_interval.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self.writes_per_interval.iter().sum();
+        total as f64 / self.writes_per_interval.len() as f64 / self.volume_pages as f64
+    }
+}
+
+/// Convenience wrapper: the Fig. 2 number for one trace and interval
+/// length.
+///
+/// # Examples
+///
+/// ```
+/// use sim_clock::{SimDuration, SimTime};
+/// use trace_analysis::worst_interval_write_fraction;
+/// use workloads::TraceEvent;
+///
+/// let burst: Vec<TraceEvent> = (0..50)
+///     .map(|i| TraceEvent { at: SimTime::from_nanos(i), page: i, is_write: true })
+///     .collect();
+/// let f = worst_interval_write_fraction(burst, SimDuration::from_secs(1), 1_000);
+/// assert_eq!(f, 0.05);
+/// ```
+pub fn worst_interval_write_fraction<I>(events: I, interval: SimDuration, volume_pages: u64) -> f64
+where
+    I: IntoIterator<Item = TraceEvent>,
+{
+    IntervalWriteStats::from_events(events, interval, volume_pages).worst_fraction()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_clock::SimTime;
+
+    fn ev(nanos: u64, is_write: bool) -> TraceEvent {
+        TraceEvent {
+            at: SimTime::from_nanos(nanos),
+            page: nanos,
+            is_write,
+        }
+    }
+
+    #[test]
+    fn writes_land_in_their_intervals() {
+        let events = vec![ev(0, true), ev(5, true), ev(10, true), ev(25, true)];
+        let stats = IntervalWriteStats::from_events(events, SimDuration::from_nanos(10), 100);
+        assert_eq!(stats.writes_per_interval, vec![2, 1, 1]);
+    }
+
+    #[test]
+    fn reads_are_ignored() {
+        let events = vec![ev(0, false), ev(1, true), ev(2, false)];
+        let stats = IntervalWriteStats::from_events(events, SimDuration::from_nanos(100), 10);
+        assert_eq!(stats.writes_per_interval, vec![1]);
+        assert_eq!(stats.worst_fraction(), 0.1);
+    }
+
+    #[test]
+    fn worst_fraction_caps_at_one() {
+        let events: Vec<TraceEvent> = (0..50).map(|i| ev(i, true)).collect();
+        let f = worst_interval_write_fraction(events, SimDuration::from_secs(1), 10);
+        assert_eq!(f, 1.0);
+    }
+
+    #[test]
+    fn empty_trace_writes_nothing() {
+        let stats =
+            IntervalWriteStats::from_events(std::iter::empty(), SimDuration::from_secs(1), 10);
+        assert_eq!(stats.worst_fraction(), 0.0);
+        assert_eq!(stats.mean_fraction(), 0.0);
+    }
+
+    #[test]
+    fn longer_intervals_never_reduce_the_worst_fraction() {
+        let events: Vec<TraceEvent> = (0..1_000u64).map(|i| ev(i * 7, i % 3 != 0)).collect();
+        let short =
+            worst_interval_write_fraction(events.clone(), SimDuration::from_nanos(100), 100_000);
+        let long = worst_interval_write_fraction(events, SimDuration::from_nanos(1_000), 100_000);
+        assert!(long >= short, "a longer window contains its sub-windows");
+    }
+
+    #[test]
+    #[should_panic(expected = "interval must be positive")]
+    fn zero_interval_panics() {
+        let _ = IntervalWriteStats::from_events(std::iter::empty(), SimDuration::ZERO, 1);
+    }
+}

@@ -1,0 +1,30 @@
+//! The trace analyses of Viyojit §3 (Figs. 2-5): how much data is written
+//! per interval, how skewed the writes are, and how the hot fraction
+//! shrinks as populations grow.
+//!
+//! # Examples
+//!
+//! ```
+//! use sim_clock::{SimDuration, SimTime};
+//! use trace_analysis::WriteSkewAnalysis;
+//! use workloads::TraceEvent;
+//!
+//! let events = vec![
+//!     TraceEvent { at: SimTime::ZERO, page: 0, is_write: true },
+//!     TraceEvent { at: SimTime::ZERO, page: 0, is_write: true },
+//!     TraceEvent { at: SimTime::ZERO, page: 1, is_write: true },
+//!     TraceEvent { at: SimTime::ZERO, page: 2, is_write: false },
+//! ];
+//! let skew = WriteSkewAnalysis::from_events(events.iter().copied());
+//! // Page 0 alone covers 2/3 of writes; covering 90% needs both writers.
+//! assert_eq!(skew.pages_for_write_percentile(60.0), 1);
+//! assert_eq!(skew.pages_for_write_percentile(90.0), 2);
+//! ```
+
+mod interval;
+mod skew;
+mod zipf_scaling;
+
+pub use interval::{worst_interval_write_fraction, IntervalWriteStats};
+pub use skew::WriteSkewAnalysis;
+pub use zipf_scaling::{zipf_scaling_series, ZipfScalingPoint};

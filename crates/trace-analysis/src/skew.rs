@@ -1,0 +1,187 @@
+//! Write-skew percentile analysis (Figs. 3 and 4).
+//!
+//! §3 counts writes per logical page, then asks: how many pages are needed
+//! to account for 90/95/99% of all writes — expressed both as a fraction
+//! of pages *touched* (read or written, Fig. 3) and of the *total* volume
+//! (Fig. 4).
+
+use std::collections::HashMap;
+
+use workloads::TraceEvent;
+
+/// Per-page write-count analysis of one volume trace.
+#[derive(Debug, Clone)]
+pub struct WriteSkewAnalysis {
+    /// Write counts per page, sorted descending.
+    sorted_counts: Vec<u64>,
+    total_writes: u64,
+    pages_touched: u64,
+}
+
+impl WriteSkewAnalysis {
+    /// Tallies a trace's events.
+    pub fn from_events<I>(events: I) -> Self
+    where
+        I: IntoIterator<Item = TraceEvent>,
+    {
+        let mut write_counts: HashMap<u64, u64> = HashMap::new();
+        let mut touched: HashMap<u64, ()> = HashMap::new();
+        let mut total_writes = 0u64;
+        for e in events {
+            touched.insert(e.page, ());
+            if e.is_write {
+                *write_counts.entry(e.page).or_insert(0) += 1;
+                total_writes += 1;
+            }
+        }
+        let mut sorted_counts: Vec<u64> = write_counts.into_values().collect();
+        sorted_counts.sort_unstable_by(|a, b| b.cmp(a));
+        WriteSkewAnalysis {
+            sorted_counts,
+            total_writes,
+            pages_touched: touched.len() as u64,
+        }
+    }
+
+    /// Total writes observed.
+    pub fn total_writes(&self) -> u64 {
+        self.total_writes
+    }
+
+    /// Distinct pages read or written.
+    pub fn pages_touched(&self) -> u64 {
+        self.pages_touched
+    }
+
+    /// Distinct pages written at least once.
+    pub fn pages_written(&self) -> u64 {
+        self.sorted_counts.len() as u64
+    }
+
+    /// Minimum number of pages accounting for `percentile` percent of all
+    /// writes (taking the most-written pages first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `percentile` is outside `(0, 100]`.
+    pub fn pages_for_write_percentile(&self, percentile: f64) -> u64 {
+        assert!(
+            percentile > 0.0 && percentile <= 100.0,
+            "percentile must be in (0,100], got {percentile}"
+        );
+        if self.total_writes == 0 {
+            return 0;
+        }
+        let target = (percentile / 100.0 * self.total_writes as f64).ceil() as u64;
+        let mut covered = 0u64;
+        for (i, &c) in self.sorted_counts.iter().enumerate() {
+            covered += c;
+            if covered >= target {
+                return (i + 1) as u64;
+            }
+        }
+        self.sorted_counts.len() as u64
+    }
+
+    /// Fig. 3's quantity: the percentile page count as a percentage of
+    /// pages *touched*.
+    pub fn percent_of_touched(&self, percentile: f64) -> f64 {
+        if self.pages_touched == 0 {
+            return 0.0;
+        }
+        100.0 * self.pages_for_write_percentile(percentile) as f64 / self.pages_touched as f64
+    }
+
+    /// Fig. 4's quantity: the percentile page count as a percentage of the
+    /// *total* volume.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `volume_pages` is zero.
+    pub fn percent_of_total(&self, percentile: f64, volume_pages: u64) -> f64 {
+        assert!(volume_pages > 0, "volume must contain pages");
+        100.0 * self.pages_for_write_percentile(percentile) as f64 / volume_pages as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_clock::SimTime;
+
+    fn writes(pages: &[u64]) -> Vec<TraceEvent> {
+        pages
+            .iter()
+            .map(|&page| TraceEvent {
+                at: SimTime::ZERO,
+                page,
+                is_write: true,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn concentrated_writes_need_few_pages() {
+        // Page 77 takes 90 writes, pages 0..10 one each.
+        let mut evs = writes(&vec![77; 90]);
+        evs.extend(writes(&(0..10).collect::<Vec<_>>()));
+        let a = WriteSkewAnalysis::from_events(evs);
+        assert_eq!(a.total_writes(), 100);
+        assert_eq!(a.pages_for_write_percentile(90.0), 1);
+        assert_eq!(a.pages_for_write_percentile(99.0), 10);
+    }
+
+    #[test]
+    fn uniform_writes_need_proportional_pages() {
+        let evs = writes(&(0..100).collect::<Vec<_>>());
+        let a = WriteSkewAnalysis::from_events(evs);
+        assert_eq!(a.pages_for_write_percentile(90.0), 90);
+        assert_eq!(a.pages_for_write_percentile(100.0), 100);
+    }
+
+    #[test]
+    fn touched_includes_read_only_pages() {
+        let mut evs = writes(&[1, 2]);
+        evs.push(TraceEvent {
+            at: SimTime::ZERO,
+            page: 99,
+            is_write: false,
+        });
+        let a = WriteSkewAnalysis::from_events(evs);
+        assert_eq!(a.pages_touched(), 3);
+        assert_eq!(a.pages_written(), 2);
+        // 100% of writes need 2 pages = 66.7% of touched.
+        assert!((a.percent_of_touched(100.0) - 200.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percent_of_total_uses_volume_size() {
+        let a = WriteSkewAnalysis::from_events(writes(&[0, 1, 2, 3]));
+        assert_eq!(a.percent_of_total(100.0, 400), 1.0);
+    }
+
+    #[test]
+    fn percentiles_are_monotone() {
+        let mut evs = writes(&vec![0; 50]);
+        evs.extend(writes(&[1; 25]));
+        evs.extend(writes(&(2..27).collect::<Vec<_>>()));
+        let a = WriteSkewAnalysis::from_events(evs);
+        let p90 = a.pages_for_write_percentile(90.0);
+        let p95 = a.pages_for_write_percentile(95.0);
+        let p99 = a.pages_for_write_percentile(99.0);
+        assert!(p90 <= p95 && p95 <= p99);
+    }
+
+    #[test]
+    fn empty_trace_is_harmless() {
+        let a = WriteSkewAnalysis::from_events(std::iter::empty());
+        assert_eq!(a.pages_for_write_percentile(99.0), 0);
+        assert_eq!(a.percent_of_touched(99.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in")]
+    fn zero_percentile_panics() {
+        WriteSkewAnalysis::from_events(std::iter::empty()).pages_for_write_percentile(0.0);
+    }
+}

@@ -1,0 +1,79 @@
+//! The Fig. 5 series: under a Zipf write distribution, the fraction of
+//! pages needed to cover a write percentile *shrinks* as the total page
+//! population grows — the scaling argument that makes battery/DRAM
+//! decoupling more attractive on bigger machines.
+
+use workloads::zipf_coverage_fraction;
+
+/// One point on the Fig. 5 curves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZipfScalingPoint {
+    /// Total pages in the population.
+    pub total_pages: u64,
+    /// Write percentile covered.
+    pub percentile: f64,
+    /// Fraction of pages needed (0-1).
+    pub page_fraction: f64,
+}
+
+/// Computes the Fig. 5 grid: for every population size and percentile, the
+/// page fraction needed under Zipf(θ) writes.
+///
+/// # Examples
+///
+/// ```
+/// use trace_analysis::zipf_scaling_series;
+///
+/// let series = zipf_scaling_series(&[10_000, 1_000_000], &[90.0], 0.99);
+/// assert!(series[1].page_fraction < series[0].page_fraction);
+/// ```
+pub fn zipf_scaling_series(
+    sizes: &[u64],
+    percentiles: &[f64],
+    theta: f64,
+) -> Vec<ZipfScalingPoint> {
+    let mut out = Vec::with_capacity(sizes.len() * percentiles.len());
+    for &total_pages in sizes {
+        for &percentile in percentiles {
+            out.push(ZipfScalingPoint {
+                total_pages,
+                percentile,
+                page_fraction: zipf_coverage_fraction(total_pages, theta, percentile),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_shrinks_with_population_at_every_percentile() {
+        let sizes = [10_000u64, 100_000, 1_000_000];
+        for &p in &[90.0, 95.0, 99.0] {
+            let series = zipf_scaling_series(&sizes, &[p], 0.99);
+            for pair in series.windows(2) {
+                assert!(
+                    pair[1].page_fraction < pair[0].page_fraction,
+                    "p={p}: {:?}",
+                    series
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn higher_percentiles_need_more_pages() {
+        let series = zipf_scaling_series(&[100_000], &[90.0, 95.0, 99.0], 0.99);
+        assert!(series[0].page_fraction < series[1].page_fraction);
+        assert!(series[1].page_fraction < series[2].page_fraction);
+    }
+
+    #[test]
+    fn grid_is_complete() {
+        let series = zipf_scaling_series(&[10, 100], &[50.0, 90.0, 99.0], 0.9);
+        assert_eq!(series.len(), 6);
+    }
+}

@@ -1,0 +1,26 @@
+//! Workload generation for the Viyojit evaluation: YCSB benchmark drivers
+//! (§6.1), Zipfian and latest request distributions, and synthetic
+//! datacenter file-system traces standing in for the proprietary Microsoft
+//! traces of §3.
+//!
+//! # Examples
+//!
+//! ```
+//! use workloads::{YcsbGenerator, YcsbOp, YcsbWorkload};
+//!
+//! let mut gen = YcsbGenerator::new(YcsbWorkload::A, 1_000, 7);
+//! match gen.next_op() {
+//!     YcsbOp::Read(k) | YcsbOp::Update(k) => assert!(k < 1_000),
+//!     other => panic!("YCSB-A only reads and updates, got {other:?}"),
+//! }
+//! ```
+
+mod datacenter;
+mod ycsb;
+mod zipf;
+
+pub use datacenter::{
+    paper_trace_suite, AppKind, AppTraceSpec, TraceEvent, TraceGenerator, VolumeSpec,
+};
+pub use ycsb::{YcsbGenerator, YcsbOp, YcsbWorkload};
+pub use zipf::{zipf_coverage_fraction, LatestGenerator, ZipfGenerator};

@@ -1,0 +1,73 @@
+//! §8 "Handling battery cell failures": the dirty budget is a *runtime*
+//! knob. When battery health drops (a failed cell, a hot aisle), Viyojit
+//! re-derives the budget and flushes down to it instead of halting the
+//! server — and durability holds across a power failure at every step.
+//!
+//! Run with: `cargo run --release --example battery_degradation`
+
+use battery_sim::{Battery, BatteryConfig, DirtyBudget, PowerModel};
+use sim_clock::{Clock, CostModel};
+use ssd_sim::SsdConfig;
+use viyojit::{NvHeap, Viyojit, ViyojitConfig};
+
+const FLUSH_BW: u64 = 2_000_000_000;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let power = PowerModel::datacenter_server(0.032); // 32 MiB of DRAM
+    let mut battery = Battery::new(BatteryConfig::with_capacity_joules(2.4));
+
+    let initial_budget = DirtyBudget::derive(&battery, &power, FLUSH_BW);
+    println!(
+        "fresh battery: {:.1} J usable -> budget {} pages",
+        battery.effective_joules(),
+        initial_budget.pages()
+    );
+
+    let mut nv = Viyojit::new(
+        8192,
+        ViyojitConfig::with_budget_pages(initial_budget.pages()),
+        Clock::new(),
+        CostModel::calibrated(),
+        SsdConfig::datacenter(),
+    );
+    let region = nv.map(6000 * 4096)?;
+
+    // Write steadily while the battery degrades through four seasons of
+    // aging and one failed cell.
+    let health_steps = [1.0, 0.92, 0.85, 0.70, 0.45];
+    for (step, &health) in health_steps.iter().enumerate() {
+        battery.set_health(health);
+        let budget = DirtyBudget::derive(&battery, &power, FLUSH_BW);
+        nv.set_dirty_budget(budget.pages().max(1));
+        println!(
+            "health {health:.0e}: budget now {} pages (dirty after flush-down: {})",
+            nv.dirty_budget(),
+            nv.dirty_count()
+        );
+
+        for page in 0..1500u64 {
+            let offset = ((step as u64 * 997 + page * 13) % 6000) * 4096;
+            nv.write(region, offset, &[step as u8; 128])?;
+        }
+
+        // Prove durability at this health level: a failure right now must
+        // be coverable by the *degraded* battery.
+        let report = nv.power_failure();
+        assert!(
+            report.survives(&battery, &power),
+            "step {step}: flush needs {:.2} J but only {:.2} J available",
+            report.energy_needed_joules(&power),
+            battery.effective_joules()
+        );
+        nv.recover();
+        println!(
+            "  simulated failure: {} pages flushed using {:.2} of {:.2} available joules — data safe",
+            report.dirty_pages,
+            report.energy_needed_joules(&power),
+            battery.effective_joules()
+        );
+    }
+
+    println!("server rode the battery down to 45% health without ever risking data or halting");
+    Ok(())
+}

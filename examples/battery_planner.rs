@@ -1,0 +1,71 @@
+//! Battery provisioning planner: §3's methodology as a tool.
+//!
+//! Given a synthetic file-system trace of your workload, measure its
+//! write skew and answer the operator's question: *how much battery do I
+//! actually need?* — comparing the traditional full-capacity provisioning
+//! against a Viyojit dirty budget sized from the observed worst-interval
+//! write volume.
+//!
+//! Run with: `cargo run --release --example battery_planner`
+
+use battery_sim::{DirtyBudget, PowerModel};
+use sim_clock::SimDuration;
+use trace_analysis::{IntervalWriteStats, WriteSkewAnalysis};
+use workloads::{paper_trace_suite, TraceGenerator};
+
+const PAGE: u64 = 4096;
+/// Conservative flush bandwidth of the backing SSD (§5.1).
+const FLUSH_BW: u64 = 2_000_000_000;
+
+fn main() {
+    println!("battery provisioning plan per application volume");
+    println!("{:-<100}", "");
+    println!(
+        "{:<22} {:>3} {:>12} {:>14} {:>14} {:>14} {:>10}",
+        "application", "vol", "volume", "full battery", "viyojit", "p99 skew", "saving"
+    );
+
+    let power = PowerModel::datacenter_server(64.0);
+    for app in paper_trace_suite() {
+        for (vi, vol) in app.volumes.iter().enumerate() {
+            // Analyse one generated trace both ways.
+            let events: Vec<_> =
+                TraceGenerator::new(vol, app.duration, 0xB41 + vi as u64).collect();
+            let intervals = IntervalWriteStats::from_events(
+                events.iter().copied(),
+                SimDuration::from_secs(3600),
+                vol.pages,
+            );
+            let skew = WriteSkewAnalysis::from_events(events);
+
+            // Traditional: battery for the whole volume. Viyojit: battery
+            // for the worst observed hour of writes (with 2x headroom).
+            let full = DirtyBudget::from_bytes(vol.pages * PAGE);
+            let worst_fraction = intervals.worst_fraction();
+            let budget_pages =
+                ((2.0 * worst_fraction * vol.pages as f64).ceil() as u64).clamp(1, vol.pages);
+            let viyojit = DirtyBudget::from_pages(budget_pages);
+
+            let full_joules = full.required_nameplate_joules(&power, FLUSH_BW, 0.5, 0.0);
+            let viyojit_joules = viyojit.required_nameplate_joules(&power, FLUSH_BW, 0.5, 0.0);
+
+            println!(
+                "{:<22} {:>3} {:>9} MiB {:>12.1} J {:>12.1} J {:>13.1}% {:>9.1}x",
+                app.app.name(),
+                vol.name,
+                vol.pages * PAGE / (1024 * 1024),
+                full_joules,
+                viyojit_joules,
+                skew.percent_of_total(99.0, vol.pages),
+                full_joules / viyojit_joules,
+            );
+        }
+    }
+
+    println!("{:-<100}", "");
+    println!(
+        "\"full battery\" backs up the whole volume; \"viyojit\" covers twice the worst \
+         observed one-hour write volume. \"p99 skew\" is the volume fraction holding 99% of \
+         writes (Fig. 4); highly-skewed, low-write volumes enjoy the largest savings."
+    );
+}

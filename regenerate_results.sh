@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Regenerates every figure and extension experiment into results/.
+# All runs are deterministic; see EXPERIMENTS.md for the paper-vs-measured
+# comparison of each output.
+set -euo pipefail
+cd "$(dirname "$0")"
+mkdir -p results
+for f in fig1 fig2 fig3 fig4 fig5 fig7 fig8 fig9 fig10 ycsb_e \
+         ablation_tlb ablation_pressure ablation_mmu ablation_codec \
+         ballooning battery_fluctuation shutdown_time trace_replay fs_replay; do
+  echo "=== $f ==="
+  cargo run --release -p viyojit-bench --bin "$f" > "results/$f.csv"
+done
+echo "all results regenerated under results/"

@@ -1,0 +1,11 @@
+//! Umbrella crate for the Viyojit reproduction workspace: re-exports the
+//! public crates so examples and integration tests have one import root.
+pub use battery_sim;
+pub use kvstore;
+pub use mem_sim;
+pub use pheap;
+pub use sim_clock;
+pub use ssd_sim;
+pub use trace_analysis;
+pub use viyojit;
+pub use workloads;

@@ -1,0 +1,122 @@
+//! Battery-to-budget integration: the §5.1 derivation chain drives a real
+//! Viyojit instance, and the durability guarantee holds end-to-end against
+//! the same battery the budget came from.
+
+use battery_sim::{Battery, BatteryConfig, DirtyBudget, PowerModel};
+use sim_clock::{Clock, CostModel};
+use ssd_sim::SsdConfig;
+use viyojit::{NvHeap, Viyojit, ViyojitConfig};
+
+const FLUSH_BW: u64 = 2_000_000_000;
+
+fn server_power() -> PowerModel {
+    PowerModel::datacenter_server(0.064) // 64 MiB of NV-DRAM
+}
+
+#[test]
+fn derived_budget_always_survives_its_own_battery() {
+    for &joules in &[1.0, 2.5, 5.0, 10.0] {
+        let battery = Battery::new(BatteryConfig::with_capacity_joules(joules));
+        let power = server_power();
+        let config = ViyojitConfig::from_battery(&battery, &power, FLUSH_BW);
+        let budget = config.dirty_budget_pages;
+        let mut nv = Viyojit::new(
+            16_384,
+            config,
+            Clock::new(),
+            CostModel::calibrated(),
+            SsdConfig::datacenter(),
+        );
+        let region = nv.map(12_000 * 4096).expect("map");
+        // Saturate the budget with writes.
+        for page in 0..6_000u64 {
+            nv.write(region, page * 4096, &[0xEE; 64]).expect("write");
+        }
+        let report = nv.power_failure();
+        assert!(report.dirty_pages <= budget);
+        assert!(
+            report.survives(&battery, &power),
+            "{joules} J battery: needs {:.3} J, has {:.3} J",
+            report.energy_needed_joules(&power),
+            battery.effective_joules()
+        );
+    }
+}
+
+#[test]
+fn budget_scales_linearly_with_battery_capacity() {
+    let power = server_power();
+    let small = Battery::new(BatteryConfig::with_capacity_joules(2.0));
+    let large = Battery::new(BatteryConfig::with_capacity_joules(8.0));
+    let b_small = DirtyBudget::derive(&small, &power, FLUSH_BW);
+    let b_large = DirtyBudget::derive(&large, &power, FLUSH_BW);
+    let ratio = b_large.bytes() as f64 / b_small.bytes() as f64;
+    assert!((3.9..4.1).contains(&ratio), "expected ~4x, got {ratio}");
+}
+
+#[test]
+fn reserve_and_depth_of_discharge_shrink_the_budget() {
+    let power = server_power();
+    let plain =
+        Battery::new(BatteryConfig::with_capacity_joules(10.0).with_depth_of_discharge(1.0));
+    let derated = Battery::new(
+        BatteryConfig::with_capacity_joules(10.0)
+            .with_depth_of_discharge(0.5)
+            .with_reserve_fraction(0.2),
+    );
+    let b_plain = DirtyBudget::derive(&plain, &power, FLUSH_BW);
+    let b_derated = DirtyBudget::derive(&derated, &power, FLUSH_BW);
+    let ratio = b_derated.bytes() as f64 / b_plain.bytes() as f64;
+    assert!(
+        (0.39..0.41).contains(&ratio),
+        "0.5 DoD x 0.8 reserve = 0.4, got {ratio}"
+    );
+}
+
+#[test]
+fn cell_failure_mid_run_keeps_durability() {
+    let power = server_power();
+    let mut battery = Battery::new(BatteryConfig::with_capacity_joules(6.0));
+    let config = ViyojitConfig::from_battery(&battery, &power, FLUSH_BW);
+    let mut nv = Viyojit::new(
+        16_384,
+        config,
+        Clock::new(),
+        CostModel::calibrated(),
+        SsdConfig::datacenter(),
+    );
+    let region = nv.map(12_000 * 4096).expect("map");
+    for page in 0..4_000u64 {
+        nv.write(region, page * 4096, &[1; 64]).expect("write");
+    }
+
+    // A cell fails: 40% of capacity gone. Re-derive and shrink online.
+    battery.set_health(0.6);
+    let new_budget = DirtyBudget::derive(&battery, &power, FLUSH_BW);
+    nv.set_dirty_budget(new_budget.pages().max(1));
+    nv.validate();
+
+    // Failure at the degraded capacity still survives.
+    let report = nv.power_failure();
+    assert!(report.survives(&battery, &power));
+    nv.recover();
+    let mut buf = [0u8; 64];
+    nv.read(region, 0, &mut buf).expect("read");
+    assert_eq!(buf, [1; 64]);
+}
+
+#[test]
+fn full_backup_battery_dwarfs_viyojit_battery() {
+    // The headline economics: the paper's 60 GB NV-DRAM with an 11%
+    // effective budget. At our scale, compare joules for full vs budget.
+    let power = server_power();
+    let full = DirtyBudget::from_bytes(60 * 1024 * 1024);
+    let viyojit = DirtyBudget::from_bytes(2 * 1024 * 1024);
+    let j_full = full.required_nameplate_joules(&power, FLUSH_BW, 0.5, 0.0);
+    let j_viyojit = viyojit.required_nameplate_joules(&power, FLUSH_BW, 0.5, 0.0);
+    assert!(
+        (29.0..31.0).contains(&(j_full / j_viyojit)),
+        "60/2 = 30x battery reduction, got {:.1}x",
+        j_full / j_viyojit
+    );
+}

@@ -1,0 +1,209 @@
+//! Guard-rail tests for the reproduction's headline claims: fast, scaled-
+//! down versions of each figure's *shape*, so regressions in the shapes
+//! the paper reports are caught by `cargo test` without running the full
+//! figure harnesses.
+
+use battery_sim::density_series;
+use sim_clock::SimDuration;
+use trace_analysis::{worst_interval_write_fraction, zipf_scaling_series, WriteSkewAnalysis};
+use viyojit_bench::{gb_units_to_pages, run_baseline, run_viyojit, ExperimentConfig};
+use workloads::{paper_trace_suite, TraceGenerator, YcsbWorkload};
+
+fn quick_config(workload: YcsbWorkload) -> ExperimentConfig {
+    ExperimentConfig {
+        initial_records: 3_000,
+        operations: 12_000,
+        total_nv_pages: 4_096,
+        ..ExperimentConfig::for_workload(workload)
+    }
+}
+
+#[test]
+fn fig1_shape_dram_outgrows_lithium_by_four_orders() {
+    let series = density_series(1990, 2015, 2015);
+    let last = series.last().expect("non-empty");
+    assert!(last.dram_relative > 10_000.0);
+    assert!(last.lithium_relative < 5.0);
+}
+
+#[test]
+fn fig2_shape_majority_of_volumes_write_under_15_percent_per_hour() {
+    let mut under = 0;
+    let mut total = 0;
+    for app in paper_trace_suite() {
+        for (vi, vol) in app.volumes.iter().enumerate() {
+            // Reduced op count for speed: scale ops down 10x.
+            let spec = workloads::VolumeSpec {
+                total_ops: vol.total_ops / 10,
+                ..vol.clone()
+            };
+            let events = TraceGenerator::new(&spec, app.duration, 0x51 + vi as u64);
+            // Scale the fraction back up to approximate the full trace.
+            let f = 10.0
+                * worst_interval_write_fraction(events, SimDuration::from_secs(3600), vol.pages);
+            total += 1;
+            if f < 0.15 {
+                under += 1;
+            }
+        }
+    }
+    assert!(
+        under * 2 > total,
+        "majority must write <15%/hour: {under}/{total}"
+    );
+}
+
+#[test]
+fn fig3_shape_skewed_volumes_need_fewer_pages_than_unique_ones() {
+    let suite = paper_trace_suite();
+    let cosmos = suite
+        .iter()
+        .find(|a| a.app == workloads::AppKind::Cosmos)
+        .expect("cosmos in suite");
+    let skewed_vol = cosmos
+        .volumes
+        .iter()
+        .find(|v| v.name == "F")
+        .expect("volume F");
+    let unique_vol = cosmos
+        .volumes
+        .iter()
+        .find(|v| v.name == "E")
+        .expect("volume E");
+    let pct = |vol: &workloads::VolumeSpec| {
+        let spec = workloads::VolumeSpec {
+            total_ops: vol.total_ops / 10,
+            ..vol.clone()
+        };
+        let skew = WriteSkewAnalysis::from_events(TraceGenerator::new(&spec, cosmos.duration, 3));
+        skew.percent_of_touched(99.0)
+    };
+    assert!(
+        pct(skewed_vol) < pct(unique_vol) / 2.0,
+        "category-3 volume must be far more concentrated than category-4"
+    );
+}
+
+#[test]
+fn fig5_shape_hot_fraction_shrinks_with_scale() {
+    let series = zipf_scaling_series(&[10_000, 100_000], &[90.0, 99.0], 0.99);
+    assert!(
+        series[2].page_fraction < series[0].page_fraction,
+        "p90 shrinks"
+    );
+    assert!(
+        series[3].page_fraction < series[1].page_fraction,
+        "p99 shrinks"
+    );
+}
+
+#[test]
+fn fig7_shape_overhead_positive_and_decreasing_in_budget() {
+    let cfg = quick_config(YcsbWorkload::A);
+    let baseline = run_baseline(&cfg);
+    let tight = run_viyojit(&cfg, 64);
+    let mid = run_viyojit(&cfg, 512);
+    let loose = run_viyojit(&cfg, 3_000);
+    let (o_tight, o_mid, o_loose) = (
+        tight.overhead_vs(&baseline),
+        mid.overhead_vs(&baseline),
+        loose.overhead_vs(&baseline),
+    );
+    assert!(
+        o_tight > 0.0,
+        "tight budgets must cost something: {o_tight:.1}"
+    );
+    assert!(
+        o_tight > o_mid,
+        "overhead must fall with budget: {o_tight:.1} vs {o_mid:.1}"
+    );
+    assert!(
+        o_mid >= o_loose - 1.0,
+        "and keep falling: {o_mid:.1} vs {o_loose:.1}"
+    );
+    assert!(
+        o_loose < 7.0,
+        "full-size budgets approach the baseline: {o_loose:.1}"
+    );
+}
+
+#[test]
+fn fig7_shape_read_heavy_cheaper_than_write_heavy() {
+    let budget = 64;
+    let write_heavy = {
+        let cfg = quick_config(YcsbWorkload::A);
+        run_viyojit(&cfg, budget).overhead_vs(&run_baseline(&cfg))
+    };
+    let read_heavy = {
+        let cfg = quick_config(YcsbWorkload::B);
+        run_viyojit(&cfg, budget).overhead_vs(&run_baseline(&cfg))
+    };
+    assert!(
+        write_heavy > read_heavy,
+        "A ({write_heavy:.1}%) must cost more than B ({read_heavy:.1}%)"
+    );
+}
+
+#[test]
+fn fig8_shape_p99_latency_always_above_baseline() {
+    let cfg = quick_config(YcsbWorkload::A);
+    let baseline = run_baseline(&cfg);
+    for &budget in &[64u64, 3_000] {
+        let viy = run_viyojit(&cfg, budget);
+        let p99_base = baseline.latencies.update.percentile(99.0);
+        let p99_viy = viy.latencies.update.percentile(99.0);
+        assert!(
+            p99_viy >= p99_base,
+            "budget {budget}: write-protection faults must show in the tail \
+             ({p99_viy} < {p99_base})"
+        );
+    }
+}
+
+#[test]
+fn fig9_shape_write_rate_decreases_with_budget() {
+    let cfg = quick_config(YcsbWorkload::A);
+    let tight = run_viyojit(&cfg, 64);
+    let loose = run_viyojit(&cfg, 2_048);
+    assert!(
+        tight.run_ssd_bytes > loose.run_ssd_bytes,
+        "smaller budgets force more copy-out: {} vs {}",
+        tight.run_ssd_bytes,
+        loose.run_ssd_bytes
+    );
+}
+
+#[test]
+fn fig10_shape_larger_heaps_lower_overhead_at_equal_fraction() {
+    let overhead_at = |records: u64, budget_fraction: f64| {
+        let cfg = ExperimentConfig {
+            initial_records: records,
+            operations: 12_000,
+            total_nv_pages: 8_192,
+            ..ExperimentConfig::for_workload(YcsbWorkload::A)
+        };
+        let budget = gb_units_to_pages(budget_fraction * records as f64 / 766.0).max(16);
+        run_viyojit(&cfg, budget).overhead_vs(&run_baseline(&cfg))
+    };
+    let small_heap = overhead_at(2_000, 0.11);
+    let large_heap = overhead_at(6_000, 0.11);
+    assert!(
+        large_heap <= small_heap + 2.0,
+        "larger heap must not be slower at the same fraction: {large_heap:.1} vs {small_heap:.1}"
+    );
+}
+
+#[test]
+fn tlb_ablation_shape_stale_walks_cause_more_faults() {
+    let exact_cfg = quick_config(YcsbWorkload::A);
+    let stale_cfg = ExperimentConfig {
+        tlb_flush_on_walk: false,
+        ..quick_config(YcsbWorkload::A)
+    };
+    let exact = run_viyojit(&exact_cfg, 64);
+    let stale = run_viyojit(&stale_cfg, 64);
+    assert!(
+        stale.stats.expect("stats").faults_handled > exact.stats.expect("stats").faults_handled,
+        "stale dirty bits must degrade victim selection"
+    );
+}

@@ -1,0 +1,235 @@
+//! Full-stack integration: YCSB workloads driving the Redis-like store on
+//! the persistent heap on Viyojit, with crashes injected mid-workload.
+
+use kvstore::KvStore;
+use pheap::PHeap;
+use sim_clock::{Clock, CostModel};
+use ssd_sim::SsdConfig;
+use viyojit::{Viyojit, ViyojitConfig};
+use workloads::{YcsbGenerator, YcsbOp, YcsbWorkload};
+
+fn key(id: u64) -> Vec<u8> {
+    format!("k{id:010}").into_bytes()
+}
+
+fn value(id: u64, gen: u8) -> Vec<u8> {
+    vec![(id % 250) as u8 ^ gen; 400]
+}
+
+fn fresh_stack(budget: u64) -> (Clock, KvStore<Viyojit>) {
+    let clock = Clock::new();
+    let nv = Viyojit::new(
+        2048,
+        ViyojitConfig::with_budget_pages(budget),
+        clock.clone(),
+        CostModel::calibrated(),
+        SsdConfig::datacenter(),
+    );
+    let heap = PHeap::format(nv, 1800 * 4096).expect("heap fits");
+    let kv = KvStore::create(heap, 1024).expect("store");
+    (clock, kv)
+}
+
+#[test]
+fn every_ycsb_workload_completes_under_a_tight_budget() {
+    let all_plus_e = [
+        YcsbWorkload::A,
+        YcsbWorkload::B,
+        YcsbWorkload::C,
+        YcsbWorkload::D,
+        YcsbWorkload::E,
+        YcsbWorkload::F,
+    ];
+    for workload in all_plus_e {
+        let (_clock, mut kv) = fresh_stack(32);
+        let records = 600u64;
+        for id in 0..records {
+            kv.set(&key(id), &value(id, 0)).expect("load");
+        }
+        let mut gen = YcsbGenerator::new(workload, records, 42);
+        for _ in 0..3_000 {
+            match gen.next_op() {
+                YcsbOp::Read(id) => {
+                    let _ = kv.get(&key(id)).expect("get");
+                }
+                YcsbOp::Update(id) | YcsbOp::Insert(id) => {
+                    kv.set(&key(id), &value(id, 1)).expect("set");
+                }
+                YcsbOp::ReadModifyWrite(id) => {
+                    let mut v = kv
+                        .get(&key(id))
+                        .expect("rmw get")
+                        .unwrap_or_else(|| value(id, 0));
+                    v[0] = v[0].wrapping_add(1);
+                    kv.set(&key(id), &v).expect("rmw set");
+                }
+                YcsbOp::Scan(id, len) => {
+                    let _ = kv.scan(&key(id), len as usize).expect("scan");
+                }
+            }
+            assert!(
+                kv.heap().heap().dirty_count() <= 32,
+                "{}: budget violated",
+                workload.name()
+            );
+        }
+        kv.heap().heap().validate();
+    }
+}
+
+#[test]
+fn crash_mid_ycsb_preserves_every_committed_record() {
+    let (_clock, mut kv) = fresh_stack(24);
+    let records = 500u64;
+    for id in 0..records {
+        kv.set(&key(id), &value(id, 0)).expect("load");
+    }
+    // Track exactly what the store should contain.
+    let mut expected: std::collections::HashMap<u64, Vec<u8>> =
+        (0..records).map(|id| (id, value(id, 0))).collect();
+    let mut gen = YcsbGenerator::new(YcsbWorkload::A, records, 9);
+    for _ in 0..2_000 {
+        match gen.next_op() {
+            YcsbOp::Read(id) => {
+                let _ = kv.get(&key(id)).expect("get");
+            }
+            YcsbOp::Update(id) => {
+                kv.set(&key(id), &value(id, 3)).expect("set");
+                expected.insert(id, value(id, 3));
+            }
+            other => unreachable!("YCSB-A: {other:?}"),
+        }
+    }
+
+    let region = kv.heap().region();
+    let mut nv = kv.into_heap().into_inner();
+    let report = nv.power_failure();
+    assert!(report.dirty_pages <= 24);
+    nv.recover();
+
+    let heap = PHeap::open(nv, region).expect("reopen heap");
+    let mut kv = KvStore::open(heap).expect("reopen store");
+    assert_eq!(kv.len().expect("len"), records);
+    for (id, val) in &expected {
+        assert_eq!(
+            kv.get(&key(*id)).expect("post-crash get").as_ref(),
+            Some(val),
+            "record {id} lost or stale"
+        );
+    }
+}
+
+#[test]
+fn repeated_crashes_between_workload_phases_accumulate_no_damage() {
+    let (_clock, mut kv) = fresh_stack(16);
+    let region = kv.heap().region();
+    let mut generation = 0u8;
+    for _cycle in 0..4 {
+        generation += 1;
+        for id in 0..200u64 {
+            kv.set(&key(id), &value(id, generation)).expect("set");
+        }
+        let mut nv = kv.into_heap().into_inner();
+        nv.power_failure();
+        nv.recover();
+        kv = KvStore::open(PHeap::open(nv, region).expect("heap")).expect("store");
+        for id in 0..200u64 {
+            assert_eq!(
+                kv.get(&key(id)).expect("get"),
+                Some(value(id, generation)),
+                "generation {generation}, record {id}"
+            );
+        }
+    }
+}
+
+#[test]
+fn deletes_survive_crashes_too() {
+    let (_clock, mut kv) = fresh_stack(16);
+    let region = kv.heap().region();
+    for id in 0..100u64 {
+        kv.set(&key(id), &value(id, 0)).expect("set");
+    }
+    for id in (0..100u64).step_by(2) {
+        assert!(kv.delete(&key(id)).expect("delete"));
+    }
+    let mut nv = kv.into_heap().into_inner();
+    nv.power_failure();
+    nv.recover();
+    let mut kv = KvStore::open(PHeap::open(nv, region).expect("heap")).expect("store");
+    assert_eq!(kv.len().expect("len"), 50);
+    for id in 0..100u64 {
+        let got = kv.get(&key(id)).expect("get");
+        if id % 2 == 0 {
+            assert_eq!(got, None, "deleted record {id} resurrected");
+        } else {
+            assert_eq!(got, Some(value(id, 0)), "kept record {id} lost");
+        }
+    }
+}
+
+#[test]
+fn viyojit_and_baseline_agree_on_results() {
+    // Identical op streams must produce identical store contents on both
+    // systems — the budget only affects *when* pages flush, never data.
+    use viyojit::NvdramBaseline;
+
+    type KvOp<'a> = &'a mut dyn FnMut(&[u8], Option<&[u8]>) -> Option<Vec<u8>>;
+    let run_ops = |kv_ops: KvOp| {
+        let mut gen = YcsbGenerator::new(YcsbWorkload::F, 300, 5);
+        let mut digest = 0u64;
+        for _ in 0..2_000 {
+            match gen.next_op() {
+                YcsbOp::Read(id) => {
+                    if let Some(v) = kv_ops(&key(id), None) {
+                        digest = digest.wrapping_mul(31).wrapping_add(v[0] as u64);
+                    }
+                }
+                YcsbOp::ReadModifyWrite(id) => {
+                    let mut v = kv_ops(&key(id), None).unwrap_or_else(|| value(id, 0));
+                    v[0] = v[0].wrapping_add(1);
+                    kv_ops(&key(id), Some(&v));
+                }
+                _ => {}
+            }
+        }
+        digest
+    };
+
+    let viyojit_digest = {
+        let (_c, mut kv) = fresh_stack(8);
+        for id in 0..300u64 {
+            kv.set(&key(id), &value(id, 0)).expect("load");
+        }
+        run_ops(&mut |k, v| match v {
+            Some(data) => {
+                kv.set(k, data).expect("set");
+                None
+            }
+            None => kv.get(k).expect("get"),
+        })
+    };
+
+    let baseline_digest = {
+        let nv = NvdramBaseline::new(
+            2048,
+            Clock::new(),
+            CostModel::calibrated(),
+            SsdConfig::datacenter(),
+        );
+        let heap = PHeap::format(nv, 1800 * 4096).expect("heap");
+        let mut kv = KvStore::create(heap, 1024).expect("store");
+        for id in 0..300u64 {
+            kv.set(&key(id), &value(id, 0)).expect("load");
+        }
+        run_ops(&mut |k, v| match v {
+            Some(data) => {
+                kv.set(k, data).expect("set");
+                None
+            }
+            None => kv.get(k).expect("get"),
+        })
+    };
+
+    assert_eq!(viyojit_digest, baseline_digest);
+}
