@@ -10,6 +10,7 @@
 //! a stream of budget updates.
 
 use sim_clock::SimDuration;
+use telemetry::{Telemetry, TraceEvent};
 
 use crate::{Battery, DirtyBudget, PowerModel};
 
@@ -95,6 +96,7 @@ pub struct BudgetGovernor {
     model: HealthModel,
     age: SimDuration,
     discharge_cycles: u64,
+    telemetry: Telemetry,
 }
 
 impl BudgetGovernor {
@@ -112,7 +114,15 @@ impl BudgetGovernor {
             model,
             age: SimDuration::ZERO,
             discharge_cycles: 0,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle; each [`BudgetGovernor::advance`] then
+    /// emits a `BatteryRecalc` trace event and publishes battery state
+    /// into the metrics registry.
+    pub fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The battery as currently derated.
@@ -137,7 +147,19 @@ impl BudgetGovernor {
         self.age += elapsed;
         let health = self.model.health_at(self.age, self.discharge_cycles);
         self.battery.set_health(health);
-        DirtyBudget::derive(&self.battery, &self.power, self.flush_bandwidth)
+        let budget = DirtyBudget::derive(&self.battery, &self.power, self.flush_bandwidth);
+        self.telemetry.emit(|| TraceEvent::BatteryRecalc {
+            budget_pages: budget.pages(),
+            health_permille: (health * 1000.0).round() as u64,
+        });
+        let (joules, cycles) = (self.battery.effective_joules(), self.discharge_cycles);
+        self.telemetry.metrics(|m| {
+            m.gauge_set("battery.health", health);
+            m.gauge_set("battery.effective_joules", joules);
+            m.gauge_set("battery.budget_pages", budget.pages() as f64);
+            m.counter_set("battery.discharge_cycles", cycles);
+        });
+        budget
     }
 
     /// The budget at the current instant without advancing time.

@@ -16,12 +16,13 @@ use battery_sim::PowerModel;
 use sim_clock::{Clock, CostModel};
 use ssd_sim::SsdConfig;
 use viyojit::{FlushCodec, ViyojitConfig};
-use viyojit_bench::{gb_units_to_pages, print_csv_header, print_section, ExperimentConfig};
+use viyojit_bench::{gb_units_to_pages, note, row, ExperimentConfig, Report};
 use workloads::YcsbWorkload;
 
 fn main() {
-    print_section("§7 extension — copy-out codecs (YCSB-A, 2 GB budget)");
-    print_csv_header(&[
+    let mut report = Report::stdout_csv();
+    report.section("§7 extension — copy-out codecs (YCSB-A, 2 GB budget)");
+    report.columns(&[
         "codec",
         "throughput_kops",
         "logical_mb",
@@ -42,10 +43,13 @@ fn main() {
     ] {
         let cfg = ExperimentConfig::for_workload(YcsbWorkload::A);
         // Rebuild the run with the codec plumbed through a custom config.
-        let config = ViyojitConfig::with_budget_pages(budget)
-            .with_epoch(cfg.epoch)
-            .with_flush_codec(codec)
-            .with_sector_flush(sector);
+        let config = ViyojitConfig::builder(budget)
+            .epoch(cfg.epoch)
+            .flush_codec(codec)
+            .sector_flush(sector)
+            .total_pages(cfg.total_nv_pages as u64)
+            .build()
+            .expect("valid codec-ablation configuration");
         let nv = viyojit::Viyojit::new(
             cfg.total_nv_pages,
             config,
@@ -57,7 +61,8 @@ fn main() {
         let stats = result.stats.expect("viyojit run");
         let reduction =
             100.0 * (1.0 - stats.physical_bytes_flushed as f64 / stats.bytes_flushed.max(1) as f64);
-        println!(
+        row!(
+            report,
             "{label},{:.1},{:.1},{:.1},{:.1},{},{:.3}",
             result.throughput_kops,
             stats.bytes_flushed as f64 / 1e6,
@@ -68,8 +73,8 @@ fn main() {
         );
     }
 
-    println!();
-    println!(
+    note!(
+        report,
         "expected: compression/dedup shrink SSD traffic, wear, and the battery energy a \
          failure flush draws, at no throughput cost — §7's 'better utilization of \
          provisioned battery capacity'"

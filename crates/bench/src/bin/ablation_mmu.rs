@@ -9,14 +9,15 @@
 //! baseline.
 
 use viyojit_bench::{
-    gb_units_to_pages, print_csv_header, print_section, run_baseline, run_mmu_assisted,
-    run_viyojit, ExperimentConfig,
+    gb_units_to_pages, note, row, run_baseline, run_mmu_assisted, run_viyojit, ExperimentConfig,
+    Report,
 };
 use workloads::YcsbWorkload;
 
 fn main() {
-    print_section("§5.4 ablation — software traps vs MMU offload (YCSB-A)");
-    print_csv_header(&[
+    let mut report = Report::stdout_csv();
+    report.section("§5.4 ablation — software traps vs MMU offload (YCSB-A)");
+    report.columns(&[
         "budget_gb",
         "system",
         "throughput_kops",
@@ -27,7 +28,8 @@ fn main() {
 
     let cfg = ExperimentConfig::for_workload(YcsbWorkload::A);
     let baseline = run_baseline(&cfg);
-    println!(
+    row!(
+        report,
         ",NV-DRAM,{:.1},0.0,{:.1},0",
         baseline.throughput_kops,
         baseline.latencies.update.percentile(99.0).as_nanos() as f64 / 1e3,
@@ -39,7 +41,8 @@ fn main() {
             (run_viyojit(&cfg, budget), "Viyojit-SW"),
             (run_mmu_assisted(&cfg, budget), "Viyojit-MMU"),
         ] {
-            println!(
+            row!(
+                report,
                 "{:.0},{},{:.1},{:.1},{:.1},{}",
                 gb,
                 label,
@@ -51,8 +54,8 @@ fn main() {
         }
     }
 
-    println!();
-    println!(
+    note!(
+        report,
         "expected: the MMU variant's trap count collapses (interrupts only at the \
          budget boundary), pulling its p99 toward the baseline, as §5.4 predicts"
     );

@@ -19,7 +19,7 @@ use mem_sim::PAGE_SIZE;
 use sim_clock::{Clock, CostModel, SimDuration};
 use ssd_sim::SsdConfig;
 use viyojit::{NvHeap, ThresholdPolicy, Viyojit, ViyojitConfig};
-use viyojit_bench::{print_csv_header, print_section};
+use viyojit_bench::{note, row, Report};
 
 const PAGE: u64 = PAGE_SIZE as u64;
 const BUDGET: u64 = 512;
@@ -36,7 +36,11 @@ fn run(policy: ThresholdPolicy) -> (f64, u64, u64, u64, u64) {
     let clock = Clock::new();
     let mut nv = Viyojit::new(
         4096,
-        ViyojitConfig::with_budget_pages(BUDGET).with_threshold_policy(policy),
+        ViyojitConfig::builder(BUDGET)
+            .threshold_policy(policy)
+            .total_pages(4096)
+            .build()
+            .expect("valid burst-harness configuration"),
         clock.clone(),
         CostModel::calibrated(),
         SsdConfig::datacenter(),
@@ -76,8 +80,9 @@ fn run(policy: ThresholdPolicy) -> (f64, u64, u64, u64, u64) {
 }
 
 fn main() {
-    print_section("§5.3 ablation — fixed vs adaptive copy thresholds under bursts");
-    print_csv_header(&[
+    let mut report = Report::stdout_csv();
+    report.section("§5.3 ablation — fixed vs adaptive copy thresholds under bursts");
+    report.columns(&[
         "threshold",
         "throughput_kops",
         "budget_stalls",
@@ -95,11 +100,14 @@ fn main() {
     ];
     for (label, policy) in configs {
         let (kops, stalls, stall_ms, ssd_mb, faults) = run(policy);
-        println!("{label},{kops:.1},{stalls},{stall_ms},{ssd_mb},{faults}");
+        row!(
+            report,
+            "{label},{kops:.1},{stalls},{stall_ms},{ssd_mb},{faults}"
+        );
     }
 
-    println!();
-    println!(
+    note!(
+        report,
         "expected: slack below the burst size ({COLD_BURST} new pages every {BURST_PERIOD} \
          epochs) stalls writers; slack far above it cannot keep the {HOT_PAGES}-page hot \
          set dirty (extra faults + SSD bytes = wear); the paper's adaptive threshold \

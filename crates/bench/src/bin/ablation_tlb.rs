@@ -6,14 +6,13 @@
 //! than half in cases with low battery provisioning such as with 2 or 3 GB
 //! dirty budget"; the cheap TLB flush is well worth it.
 
-use viyojit_bench::{
-    gb_units_to_pages, print_csv_header, print_section, run_viyojit, ExperimentConfig,
-};
+use viyojit_bench::{gb_units_to_pages, note, row, run_viyojit, ExperimentConfig, Report};
 use workloads::YcsbWorkload;
 
 fn main() {
-    print_section("§6.3 ablation — epoch walks with vs without TLB flushes (YCSB-A)");
-    print_csv_header(&[
+    let mut report = Report::stdout_csv();
+    report.section("§6.3 ablation — epoch walks with vs without TLB flushes (YCSB-A)");
+    report.columns(&[
         "budget_gb",
         "flush_kops",
         "stale_kops",
@@ -31,7 +30,8 @@ fn main() {
         let budget = gb_units_to_pages(gb);
         let exact = run_viyojit(&exact_cfg, budget);
         let stale = run_viyojit(&stale_cfg, budget);
-        println!(
+        row!(
+            report,
             "{:.0},{:.1},{:.1},{:.1},{},{}",
             gb,
             exact.throughput_kops,
@@ -42,8 +42,8 @@ fn main() {
         );
     }
 
-    println!();
-    println!(
+    note!(
+        report,
         "expected: stale dirty bits degrade victim selection, multiplying faults and \
          cutting throughput hardest at the smallest budgets"
     );

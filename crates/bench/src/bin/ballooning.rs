@@ -10,7 +10,7 @@ use mem_sim::PAGE_SIZE;
 use sim_clock::{Clock, CostModel, SimDuration};
 use ssd_sim::SsdConfig;
 use viyojit::{BalloonedCluster, NvHeap, TenantId, Viyojit, ViyojitConfig};
-use viyojit_bench::{print_csv_header, print_section};
+use viyojit_bench::{note, row, Report};
 
 const PAGE: u64 = PAGE_SIZE as u64;
 const TOTAL_BUDGET: u64 = 512;
@@ -26,7 +26,11 @@ const REBALANCE_EVERY: u64 = 5;
 fn make_tenant(clock: &Clock) -> Viyojit {
     Viyojit::new(
         4096,
-        ViyojitConfig::with_budget_pages(1), // broker assigns the real share
+        // The broker assigns the real share after construction.
+        ViyojitConfig::builder(1)
+            .total_pages(4096)
+            .build()
+            .expect("valid tenant configuration"),
         clock.clone(),
         CostModel::calibrated(),
         SsdConfig::datacenter(),
@@ -96,8 +100,9 @@ fn run(rebalance: bool) -> ([u64; 2], [SimDuration; 2], SimDuration) {
 }
 
 fn main() {
-    print_section("§6.3 extension — static battery split vs ballooning (anti-correlated tenants)");
-    print_csv_header(&[
+    let mut report = Report::stdout_csv();
+    report.section("§6.3 extension — static battery split vs ballooning (anti-correlated tenants)");
+    report.columns(&[
         "scheme",
         "stalls_t0",
         "stalls_t1",
@@ -106,7 +111,8 @@ fn main() {
     ]);
 
     let (static_stalls, static_time, static_dur) = run(false);
-    println!(
+    row!(
+        report,
         "static 50/50,{},{},{},{:.2}",
         static_stalls[0],
         static_stalls[1],
@@ -114,7 +120,8 @@ fn main() {
         static_dur.as_secs_f64()
     );
     let (balloon_stalls, balloon_time, balloon_dur) = run(true);
-    println!(
+    row!(
+        report,
         "ballooned,{},{},{},{:.2}",
         balloon_stalls[0],
         balloon_stalls[1],
@@ -124,14 +131,17 @@ fn main() {
 
     let static_ms = (static_time[0] + static_time[1]).as_millis();
     let balloon_ms = (balloon_time[0] + balloon_time[1]).as_millis();
-    println!();
     if balloon_ms < static_ms {
-        println!(
+        note!(
+            report,
             "ballooning removed {:.0}% of stall time by lending the idle tenant's budget \
              to the busy one",
             100.0 * (static_ms - balloon_ms) as f64 / static_ms.max(1) as f64
         );
     } else {
-        println!("no multiplexing benefit observed at these parameters");
+        note!(
+            report,
+            "no multiplexing benefit observed at these parameters"
+        );
     }
 }

@@ -8,13 +8,14 @@ use battery_sim::{Battery, BatteryConfig, BudgetGovernor, HealthModel, PowerMode
 use sim_clock::{Clock, CostModel, SimDuration};
 use ssd_sim::SsdConfig;
 use viyojit::{NvHeap, Viyojit, ViyojitConfig};
-use viyojit_bench::{print_csv_header, print_section};
+use viyojit_bench::{note, row, Report};
 
 const FLUSH_BW: u64 = 2_000_000_000;
 
 fn main() {
-    print_section("§8 — dirty budget tracking battery health over 3 years");
-    print_csv_header(&[
+    let mut report = Report::stdout_csv();
+    report.section("§8 — dirty budget tracking battery health over 3 years");
+    report.columns(&[
         "day",
         "health",
         "budget_pages",
@@ -33,7 +34,10 @@ fn main() {
 
     let mut nv = Viyojit::new(
         16_384,
-        ViyojitConfig::with_budget_pages(initial),
+        ViyojitConfig::builder(initial)
+            .total_pages(16_384)
+            .build()
+            .expect("valid governor-derived configuration"),
         Clock::new(),
         CostModel::calibrated(),
         SsdConfig::datacenter(),
@@ -68,11 +72,12 @@ fn main() {
         }
         governor.record_discharge();
 
-        let report = nv.power_failure();
-        let survives = report.survives(governor.battery(), &PowerModel::datacenter_server(0.064));
+        let failure = nv.power_failure();
+        let survives = failure.survives(governor.battery(), &PowerModel::datacenter_server(0.064));
         all_survived &= survives;
         nv.recover();
-        println!(
+        row!(
+            report,
             "{}.{:02},{:.3},{},{},{}",
             day,
             label_hours,
@@ -83,8 +88,8 @@ fn main() {
         );
     }
 
-    println!();
-    println!(
+    note!(
+        report,
         "every simulated failure across the battery's life was covered: {all_survived} \
          (the §8 alternative to over-provisioning for worst-case aging)"
     );

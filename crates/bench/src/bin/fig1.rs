@@ -5,11 +5,12 @@
 //! paper's argument rests on.
 
 use battery_sim::density_series;
-use viyojit_bench::{print_csv_header, print_section};
+use viyojit_bench::{note, row, Report};
 
 fn main() {
-    print_section("Fig. 1 — DRAM vs lithium density growth (relative to 1990)");
-    print_csv_header(&[
+    let mut report = Report::stdout_csv();
+    report.section("Fig. 1 — DRAM vs lithium density growth (relative to 1990)");
+    report.columns(&[
         "year",
         "dram_relative",
         "lithium_relative",
@@ -17,7 +18,8 @@ fn main() {
         "projected",
     ]);
     for p in density_series(1990, 2020, 2015) {
-        println!(
+        row!(
+            report,
             "{},{:.4e},{:.4},{:.4e},{}",
             p.year,
             p.dram_relative,
@@ -30,9 +32,10 @@ fn main() {
     let at_2015 = density_series(1990, 2015, 2015)
         .pop()
         .expect("non-empty series");
-    println!();
-    println!(
+    note!(
+        report,
         "paper anchors: 25-year DRAM growth {:.0}x (paper: >50,000x), lithium {:.1}x (paper: 3.3x)",
-        at_2015.dram_relative, at_2015.lithium_relative
+        at_2015.dram_relative,
+        at_2015.lithium_relative
     );
 }

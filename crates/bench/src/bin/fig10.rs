@@ -9,13 +9,14 @@
 //! scale.
 
 use viyojit_bench::{
-    gb_units_to_pages, print_csv_header, print_section, run_baseline, run_viyojit, ExperimentConfig,
+    gb_units_to_pages, note, row, run_baseline, run_viyojit, ExperimentConfig, Report,
 };
 use workloads::YcsbWorkload;
 
 fn main() {
-    print_section("Fig. 10 — overhead at equal budget fractions, 17.5 vs 52.5 GB heaps (%)");
-    print_csv_header(&[
+    let mut report = Report::stdout_csv();
+    report.section("Fig. 10 — overhead at equal budget fractions, 17.5 vs 52.5 GB heaps (%)");
+    report.columns(&[
         "workload",
         "heap_gb",
         "budget_pct",
@@ -44,7 +45,8 @@ fn main() {
             for (fi, &budget_gb) in budgets.iter().enumerate() {
                 let result = run_viyojit(&cfg, gb_units_to_pages(budget_gb));
                 let overhead = result.overhead_vs(&baseline);
-                println!(
+                row!(
+                    report,
                     "{},{},{:.0},{:.0},{:.1}",
                     workload.name(),
                     heap_gb,
@@ -65,8 +67,8 @@ fn main() {
         }
     }
 
-    println!();
-    println!(
+    note!(
+        report,
         "larger heap at least as fast in {}/{comparisons} comparisons \
          (paper: overheads decrease with heap size)",
         comparisons - regressions

@@ -8,12 +8,13 @@
 
 use sim_clock::SimDuration;
 use trace_analysis::worst_interval_write_fraction;
-use viyojit_bench::{print_csv_header, print_section};
+use viyojit_bench::{note, row, Report};
 use workloads::{paper_trace_suite, TraceGenerator};
 
 fn main() {
-    print_section("Fig. 2 — worst-interval data written (% of volume size)");
-    print_csv_header(&[
+    let mut report = Report::stdout_csv();
+    report.section("Fig. 2 — worst-interval data written (% of volume size)");
+    report.columns(&[
         "app",
         "volume",
         "one_minute_pct",
@@ -38,7 +39,8 @@ fn main() {
                     100.0 * worst_interval_write_fraction(events, ivl, vol.pages)
                 })
                 .collect();
-            println!(
+            row!(
+                report,
                 "{},{},{:.2},{:.2},{:.2}",
                 app.app.name(),
                 vol.name,
@@ -53,8 +55,8 @@ fn main() {
         }
     }
 
-    println!();
-    println!(
+    note!(
+        report,
         "volumes with worst one-hour write fraction < 15%: {volumes_under_15pct}/{volumes_total} \
          (paper: \"for a majority of the scenarios, the fraction of data written is less than 15%\")"
     );

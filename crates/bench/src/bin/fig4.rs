@@ -5,19 +5,21 @@
 //! the total volume is larger than the touched set.
 
 use trace_analysis::WriteSkewAnalysis;
-use viyojit_bench::{print_csv_header, print_section};
+use viyojit_bench::{row, Report};
 use workloads::{paper_trace_suite, TraceGenerator};
 
 fn main() {
-    print_section("Fig. 4 — pages for write percentiles (% of total volume pages)");
-    print_csv_header(&["app", "volume", "p90_pct", "p95_pct", "p99_pct"]);
+    let mut report = Report::stdout_csv();
+    report.section("Fig. 4 — pages for write percentiles (% of total volume pages)");
+    report.columns(&["app", "volume", "p90_pct", "p95_pct", "p99_pct"]);
 
     for app in paper_trace_suite() {
         for (vi, vol) in app.volumes.iter().enumerate() {
             // Same seed as fig3 so the two figures describe one trace.
             let events = TraceGenerator::new(vol, app.duration, 0xF163 + vi as u64);
             let skew = WriteSkewAnalysis::from_events(events);
-            println!(
+            row!(
+                report,
                 "{},{},{:.1},{:.1},{:.1}",
                 app.app.name(),
                 vol.name,

@@ -4,11 +4,12 @@
 //! attractive.
 
 use trace_analysis::zipf_scaling_series;
-use viyojit_bench::{print_csv_header, print_section};
+use viyojit_bench::{note, row, Report};
 
 fn main() {
-    print_section("Fig. 5 — Zipf page fraction per write percentile vs population size");
-    print_csv_header(&[
+    let mut report = Report::stdout_csv();
+    report.section("Fig. 5 — Zipf page fraction per write percentile vs population size");
+    report.columns(&[
         "total_pages",
         "p90_fraction",
         "p95_fraction",
@@ -19,7 +20,8 @@ fn main() {
     let pcts = [90.0, 95.0, 99.0];
     let series = zipf_scaling_series(&sizes, &pcts, 0.99);
     for chunk in series.chunks(pcts.len()) {
-        println!(
+        row!(
+            report,
             "{},{:.4},{:.4},{:.4}",
             chunk[0].total_pages,
             chunk[0].page_fraction,
@@ -30,8 +32,8 @@ fn main() {
 
     let first = series.first().expect("non-empty series");
     let last = &series[series.len() - pcts.len()];
-    println!();
-    println!(
+    note!(
+        report,
         "p90 fraction shrinks {:.1}x as the population grows {}x",
         first.page_fraction / last.page_fraction,
         sizes[sizes.len() - 1] / sizes[0]

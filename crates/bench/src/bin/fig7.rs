@@ -9,14 +9,14 @@
 //! budgets.
 
 use viyojit_bench::{
-    gb_units_to_pages, print_csv_header, print_section, run_baseline, run_viyojit,
-    ExperimentConfig, BUDGET_SWEEP_GB,
+    gb_units_to_pages, row, run_baseline, run_viyojit, ExperimentConfig, Report, BUDGET_SWEEP_GB,
 };
 use workloads::YcsbWorkload;
 
 fn main() {
-    print_section("Fig. 7 — YCSB throughput vs dirty budget");
-    print_csv_header(&[
+    let mut report = Report::stdout_csv();
+    report.section("Fig. 7 — YCSB throughput vs dirty budget");
+    report.columns(&[
         "workload",
         "system",
         "budget_gb",
@@ -30,7 +30,8 @@ fn main() {
         let cfg = ExperimentConfig::for_workload(workload);
         let heap_units = cfg.initial_heap_gb_units();
         let baseline = run_baseline(&cfg);
-        println!(
+        row!(
+            report,
             "{},NV-DRAM,,,{:.1},0.0",
             workload.name(),
             baseline.throughput_kops
@@ -40,7 +41,8 @@ fn main() {
         for &gb in &BUDGET_SWEEP_GB {
             let result = run_viyojit(&cfg, gb_units_to_pages(gb));
             let overhead = result.overhead_vs(&baseline);
-            println!(
+            row!(
+                report,
                 "{},Viyojit,{:.0},{:.0},{:.1},{:.1}",
                 workload.name(),
                 gb,
@@ -53,11 +55,12 @@ fn main() {
         summary.push((workload, per_workload));
     }
 
-    print_section("Fig. 7(f) — throughput overhead summary (%)");
-    print_csv_header(&["workload", "at_11pct_2GB", "at_23pct_4GB", "at_46pct_8GB"]);
+    report.section("Fig. 7(f) — throughput overhead summary (%)");
+    report.columns(&["workload", "at_11pct_2GB", "at_23pct_4GB", "at_46pct_8GB"]);
     for (workload, overheads) in &summary {
         // Sweep indices: 2 GB = 0, 4 GB = 1, 8 GB = 3.
-        println!(
+        row!(
+            report,
             "{},{:.1},{:.1},{:.1}",
             workload.name(),
             overheads[0],

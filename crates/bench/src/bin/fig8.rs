@@ -8,14 +8,14 @@
 //! working set.
 
 use viyojit_bench::{
-    gb_units_to_pages, print_csv_header, print_section, run_baseline, run_viyojit,
-    ExperimentConfig, BUDGET_SWEEP_GB,
+    gb_units_to_pages, row, run_baseline, run_viyojit, ExperimentConfig, Report, BUDGET_SWEEP_GB,
 };
 use workloads::YcsbWorkload;
 
 fn main() {
-    print_section("Fig. 8 — focus-op latency vs dirty budget (us)");
-    print_csv_header(&[
+    let mut report = Report::stdout_csv();
+    report.section("Fig. 8 — focus-op latency vs dirty budget (us)");
+    report.columns(&[
         "workload",
         "focus_op",
         "system",
@@ -30,7 +30,8 @@ fn main() {
         let baseline = run_baseline(&cfg);
         let base_focus = baseline.latencies.focus(workload);
         let base_avg = base_focus.mean();
-        println!(
+        row!(
+            report,
             "{},{},NV-DRAM,,{:.1},{:.1}",
             workload.name(),
             workload.focus_op(),
@@ -42,7 +43,8 @@ fn main() {
         for &gb in &BUDGET_SWEEP_GB {
             let result = run_viyojit(&cfg, gb_units_to_pages(gb));
             let focus = result.latencies.focus(workload);
-            println!(
+            row!(
+                report,
                 "{},{},Viyojit,{:.0},{:.1},{:.1}",
                 workload.name(),
                 workload.focus_op(),
@@ -56,8 +58,8 @@ fn main() {
         summary.push((workload, overheads));
     }
 
-    print_section("Fig. 8(f) — average focus-op latency overhead summary (%)");
-    print_csv_header(&[
+    report.section("Fig. 8(f) — average focus-op latency overhead summary (%)");
+    report.columns(&[
         "workload",
         "focus_op",
         "at_11pct_2GB",
@@ -65,7 +67,8 @@ fn main() {
         "at_46pct_8GB",
     ]);
     for (workload, overheads) in &summary {
-        println!(
+        row!(
+            report,
             "{},{},{:.1},{:.1},{:.1}",
             workload.name(),
             workload.focus_op(),

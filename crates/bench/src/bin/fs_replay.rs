@@ -20,7 +20,7 @@ use pheap::PHeap;
 use sim_clock::{Clock, CostModel, SimDuration};
 use ssd_sim::SsdConfig;
 use viyojit::{Viyojit, ViyojitConfig};
-use viyojit_bench::{print_csv_header, print_section};
+use viyojit_bench::{note, row, Report};
 use workloads::{paper_trace_suite, TraceGenerator};
 
 /// Pages per file in the synthetic volume layout.
@@ -30,8 +30,9 @@ const WRITE_BYTES: usize = 512;
 const OPS_DIVISOR: u64 = 20;
 
 fn main() {
-    print_section("§3 check — conservative unique-page bound vs a real file system (worst hour)");
-    print_csv_header(&[
+    let mut report = Report::stdout_csv();
+    report.section("§3 check — conservative unique-page bound vs a real file system (worst hour)");
+    report.columns(&[
         "app",
         "volume",
         "conservative_pct_of_volume",
@@ -52,7 +53,10 @@ fn main() {
         // unique page once per measurement window.
         let nv = Viyojit::new(
             (pages + pages / 4 + 128) as usize,
-            ViyojitConfig::with_budget_pages(pages + pages / 4 + 128),
+            ViyojitConfig::builder(pages + pages / 4 + 128)
+                .total_pages(pages + pages / 4 + 128)
+                .build()
+                .expect("valid full-budget configuration"),
             clock.clone(),
             CostModel::calibrated(),
             SsdConfig::datacenter(),
@@ -118,7 +122,8 @@ fn main() {
 
         let conservative = hour_writes.iter().copied().max().unwrap_or(0).min(pages);
         let actual = hour_dirtied.iter().copied().max().unwrap_or(0).min(pages);
-        println!(
+        row!(
+            report,
             "{},{},{:.2},{:.2},{:.1}x",
             app.app.name(),
             vol.name,
@@ -128,8 +133,8 @@ fn main() {
         );
     }
 
-    println!();
-    println!(
+    note!(
+        report,
         "the conservative bound (every write = a fresh page) always dominates what the \
          update-in-place file system actually dirties, so §3's battery sizing holds with margin"
     );

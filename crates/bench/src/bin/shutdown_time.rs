@@ -8,14 +8,15 @@
 //! battery energy each obligation demands.
 
 use battery_sim::{DirtyBudget, PowerModel};
-use viyojit_bench::{print_csv_header, print_section};
+use viyojit_bench::{note, row, Report};
 
 const GB: u64 = 1024 * 1024 * 1024;
 const FLUSH_BANDWIDTH: u64 = 4_000_000_000; // 4 GB/s, the paper's figure
 
 fn main() {
-    print_section("§8 — shutdown flush time and battery energy vs dirty budget (4 TB server)");
-    print_csv_header(&[
+    let mut report = Report::stdout_csv();
+    report.section("§8 — shutdown flush time and battery energy vs dirty budget (4 TB server)");
+    report.columns(&[
         "dirty_budget_gb",
         "flush_time_s",
         "battery_joules_at_terminals",
@@ -30,7 +31,8 @@ fn main() {
         let budget = DirtyBudget::from_bytes(budget_gb * GB);
         let t = budget.flush_time(FLUSH_BANDWIDTH);
         let joules = t.as_secs_f64() * power.total_watts();
-        println!(
+        row!(
+            report,
             "{},{:.1},{:.0},{:.1}",
             budget_gb,
             t.as_secs_f64(),
@@ -39,8 +41,8 @@ fn main() {
         );
     }
 
-    println!();
-    println!(
+    note!(
+        report,
         "full 4 TB backup: {:.1} minutes of flush ({:.0} kJ at the terminals) — the paper's \
          ~17-minute / ~300 kJ example; a 64 GB budget cuts shutdown to {:.0} s",
         full_time.as_secs_f64() / 60.0,

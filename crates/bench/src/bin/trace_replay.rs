@@ -16,7 +16,7 @@ use mem_sim::PAGE_SIZE;
 use sim_clock::{Clock, CostModel};
 use ssd_sim::SsdConfig;
 use viyojit::{NvHeap, Viyojit, ViyojitConfig};
-use viyojit_bench::{print_csv_header, print_section};
+use viyojit_bench::{note, row, Report};
 use workloads::{paper_trace_suite, TraceGenerator};
 
 const PAGE: u64 = PAGE_SIZE as u64;
@@ -25,8 +25,9 @@ const PAGE: u64 = PAGE_SIZE as u64;
 const OPS_DIVISOR: u64 = 20;
 
 fn main() {
-    print_section("§3 end-to-end — trace replay under a 15%-of-volume dirty budget");
-    print_csv_header(&[
+    let mut report = Report::stdout_csv();
+    report.section("§3 end-to-end — trace replay under a 15%-of-volume dirty budget");
+    report.columns(&[
         "app",
         "volume",
         "writes",
@@ -47,7 +48,10 @@ fn main() {
             let clock = Clock::new();
             let mut nv = Viyojit::new(
                 (pages + 64) as usize,
-                ViyojitConfig::with_budget_pages(budget),
+                ViyojitConfig::builder(budget)
+                    .total_pages(pages + 64)
+                    .build()
+                    .expect("valid replay configuration"),
                 clock.clone(),
                 CostModel::calibrated(),
                 SsdConfig::datacenter(),
@@ -80,7 +84,8 @@ fn main() {
             let ok = per_write_us < 20.0;
             total += 1;
             fine += ok as u32;
-            println!(
+            row!(
+                report,
                 "{},{},{},{},{},{:.2},{}",
                 app.app.name(),
                 vol.name,
@@ -93,8 +98,8 @@ fn main() {
         }
     }
 
-    println!();
-    println!(
+    note!(
+        report,
         "{fine}/{total} volumes replay cleanly under a 15% budget \
          (paper §3: sufficient \"for a majority of the applications\"; the strained \
          volumes are the write-heavy unique-page category the paper itself excludes)"

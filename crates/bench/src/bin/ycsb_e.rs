@@ -12,14 +12,14 @@
 //! workloads and decays with budget like the rest of Fig. 7.
 
 use viyojit_bench::{
-    gb_units_to_pages, print_csv_header, print_section, run_baseline, run_viyojit,
-    ExperimentConfig, BUDGET_SWEEP_GB,
+    gb_units_to_pages, row, run_baseline, run_viyojit, ExperimentConfig, Report, BUDGET_SWEEP_GB,
 };
 use workloads::YcsbWorkload;
 
 fn main() {
-    print_section("YCSB-E (future work) — scan throughput vs dirty budget");
-    print_csv_header(&[
+    let mut report = Report::stdout_csv();
+    report.section("YCSB-E (future work) — scan throughput vs dirty budget");
+    report.columns(&[
         "system",
         "budget_gb",
         "budget_pct_of_heap",
@@ -36,7 +36,8 @@ fn main() {
     };
     let heap_units = cfg.initial_heap_gb_units();
     let baseline = run_baseline(&cfg);
-    println!(
+    row!(
+        report,
         "NV-DRAM,,,{:.1},0.0,{:.1}",
         baseline.throughput_kops,
         baseline.latencies.scan.percentile(99.0).as_nanos() as f64 / 1e3,
@@ -44,7 +45,8 @@ fn main() {
 
     for &gb in &BUDGET_SWEEP_GB {
         let result = run_viyojit(&cfg, gb_units_to_pages(gb));
-        println!(
+        row!(
+            report,
             "Viyojit,{:.0},{:.0},{:.1},{:.1},{:.1}",
             gb,
             100.0 * gb / heap_units,

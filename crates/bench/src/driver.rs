@@ -5,7 +5,7 @@ use pheap::PHeap;
 use sim_clock::{Clock, CostModel, Histogram, SimDuration};
 use ssd_sim::SsdConfig;
 use viyojit::{
-    MmuAssistedViyojit, NvHeap, NvdramBaseline, TargetPolicy, Viyojit, ViyojitConfig, ViyojitStats,
+    MmuAssistedViyojit, NvStore, NvdramBaseline, TargetPolicy, Viyojit, ViyojitConfig, ViyojitStats,
 };
 use workloads::{YcsbGenerator, YcsbOp, YcsbWorkload};
 
@@ -182,76 +182,12 @@ fn value_bytes(id: u64, generation: u8) -> Vec<u8> {
     vec![(id % 251) as u8 ^ generation; VALUE_BYTES]
 }
 
-/// Everything the driver needs from an NV-DRAM layer beyond [`NvHeap`].
-trait Instrumented: NvHeap {
-    fn shared_clock(&self) -> Clock;
-    fn ssd_bytes_written(&self) -> u64;
-    fn ssd_erases(&self) -> u64;
-    fn runtime_stats(&self) -> Option<ViyojitStats>;
-    /// Simulates the end-of-run power failure, returning its flush time.
-    fn final_flush(&mut self) -> SimDuration;
-    const SYSTEM: &'static str;
-}
-
-impl Instrumented for Viyojit {
-    fn shared_clock(&self) -> Clock {
-        self.clock().clone()
-    }
-    fn ssd_bytes_written(&self) -> u64 {
-        self.ssd_stats().bytes_written
-    }
-    fn ssd_erases(&self) -> u64 {
-        self.ssd().wear().total_erases()
-    }
-    fn runtime_stats(&self) -> Option<ViyojitStats> {
-        Some(self.stats())
-    }
-    fn final_flush(&mut self) -> SimDuration {
-        self.power_failure().flush_time
-    }
-    const SYSTEM: &'static str = "Viyojit";
-}
-
-impl Instrumented for MmuAssistedViyojit {
-    fn shared_clock(&self) -> Clock {
-        self.clock().clone()
-    }
-    fn ssd_bytes_written(&self) -> u64 {
-        self.ssd_stats().bytes_written
-    }
-    fn ssd_erases(&self) -> u64 {
-        0 // the hardware-mode SSD is reachable only via stats; wear unused
-    }
-    fn runtime_stats(&self) -> Option<ViyojitStats> {
-        Some(self.stats())
-    }
-    fn final_flush(&mut self) -> SimDuration {
-        self.power_failure().flush_time
-    }
-    const SYSTEM: &'static str = "Viyojit-MMU";
-}
-
-impl Instrumented for NvdramBaseline {
-    fn shared_clock(&self) -> Clock {
-        self.clock().clone()
-    }
-    fn ssd_bytes_written(&self) -> u64 {
-        0
-    }
-    fn ssd_erases(&self) -> u64 {
-        0
-    }
-    fn runtime_stats(&self) -> Option<ViyojitStats> {
-        None
-    }
-    fn final_flush(&mut self) -> SimDuration {
-        self.power_failure().flush_time
-    }
-    const SYSTEM: &'static str = "NV-DRAM";
-}
-
 /// Runs the measured YCSB phase against an already-constructed NV layer.
-fn run_on<H: Instrumented>(cfg: &ExperimentConfig, nv: H, budget: Option<u64>) -> ExperimentResult {
+///
+/// Generic over the public [`NvStore`] abstraction, so new store variants
+/// (and telemetry-attached instances) need no driver changes.
+pub fn run_on<H: NvStore>(cfg: &ExperimentConfig, nv: H, budget: Option<u64>) -> ExperimentResult {
+    let system = nv.system();
     let clock = nv.shared_clock();
     let heap = PHeap::format(nv, cfg.heap_bytes()).expect("heap fits the NV space");
     let mut kv = KvStore::create(heap, cfg.buckets()).expect("store creation");
@@ -317,7 +253,7 @@ fn run_on<H: Instrumented>(cfg: &ExperimentConfig, nv: H, budget: Option<u64>) -
     let secs = duration.as_secs_f64();
 
     ExperimentResult {
-        system: H::SYSTEM,
+        system,
         dirty_budget_pages: budget,
         throughput_kops: cfg.operations as f64 / secs / 1e3,
         duration,
@@ -340,13 +276,21 @@ pub fn run_prepared(
     run_on(cfg, nv, dirty_budget_pages)
 }
 
+/// Builds the validated store configuration for one experiment run.
+fn store_config(cfg: &ExperimentConfig, dirty_budget_pages: u64) -> ViyojitConfig {
+    ViyojitConfig::builder(dirty_budget_pages)
+        .epoch(cfg.epoch)
+        .tlb_flush_on_walk(cfg.tlb_flush_on_walk)
+        .target_policy(cfg.policy)
+        .pressure_alpha(cfg.pressure_alpha)
+        .total_pages(cfg.total_nv_pages as u64)
+        .build()
+        .expect("valid experiment configuration")
+}
+
 /// Runs the experiment on Viyojit with the given dirty budget.
 pub fn run_viyojit(cfg: &ExperimentConfig, dirty_budget_pages: u64) -> ExperimentResult {
-    let config = ViyojitConfig::with_budget_pages(dirty_budget_pages)
-        .with_epoch(cfg.epoch)
-        .with_tlb_flush_on_walk(cfg.tlb_flush_on_walk)
-        .with_target_policy(cfg.policy)
-        .with_pressure_alpha(cfg.pressure_alpha);
+    let config = store_config(cfg, dirty_budget_pages);
     let nv = Viyojit::new(
         cfg.total_nv_pages,
         config,
@@ -359,11 +303,7 @@ pub fn run_viyojit(cfg: &ExperimentConfig, dirty_budget_pages: u64) -> Experimen
 
 /// Runs the experiment on the §5.4 MMU-assisted Viyojit variant.
 pub fn run_mmu_assisted(cfg: &ExperimentConfig, dirty_budget_pages: u64) -> ExperimentResult {
-    let config = ViyojitConfig::with_budget_pages(dirty_budget_pages)
-        .with_epoch(cfg.epoch)
-        .with_tlb_flush_on_walk(cfg.tlb_flush_on_walk)
-        .with_target_policy(cfg.policy)
-        .with_pressure_alpha(cfg.pressure_alpha);
+    let config = store_config(cfg, dirty_budget_pages);
     let nv = MmuAssistedViyojit::new(
         cfg.total_nv_pages,
         config,

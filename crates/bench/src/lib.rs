@@ -32,8 +32,9 @@ mod driver;
 mod report;
 
 pub use driver::{
-    gb_units_to_pages, run_baseline, run_mmu_assisted, run_prepared, run_viyojit, ExperimentConfig,
-    ExperimentResult, OpLatencies, BUDGET_SWEEP_GB, DEFAULT_OPS, DEFAULT_RECORDS_PER_GB_UNIT,
-    PAGES_PER_GB_UNIT, VALUE_BYTES,
+    gb_units_to_pages, run_baseline, run_mmu_assisted, run_on, run_prepared, run_viyojit,
+    ExperimentConfig, ExperimentResult, OpLatencies, BUDGET_SWEEP_GB, DEFAULT_OPS,
+    DEFAULT_RECORDS_PER_GB_UNIT, PAGES_PER_GB_UNIT, VALUE_BYTES,
 };
-pub use report::{csv_row, print_csv_header, print_section};
+pub use report::{csv_stdout, CsvSink, JsonlSink, NullSink, Report, Sink};
+pub use telemetry::{note, row};

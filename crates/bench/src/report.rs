@@ -1,27 +1,50 @@
-//! Plain-CSV reporting helpers shared by the figure binaries.
+//! Reporting for the figure binaries, backed by the shared telemetry
+//! sink layer.
+//!
+//! Historically each binary hand-rolled its CSV output; they now build a
+//! [`Report`] (usually [`Report::stdout_csv`]) and emit sections, column
+//! headers, and rows through it, so the same run can also stream to a
+//! [`JsonlSink`] or any custom [`Sink`] without touching the binaries.
+//! The CSV byte format is unchanged from the hand-rolled era.
 
-/// Prints a figure/section banner.
-pub fn print_section(title: &str) {
-    println!();
-    println!("# {title}");
-}
-
-/// Prints a CSV header row.
-pub fn print_csv_header(columns: &[&str]) {
-    println!("{}", columns.join(","));
-}
-
-/// Formats one CSV row from already-formatted cells.
-pub fn csv_row(cells: &[String]) -> String {
-    cells.join(",")
-}
+pub use telemetry::{csv_stdout, CsvSink, JsonlSink, NullSink, Report, Sink};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
+    fn stdout_report_builds() {
+        // Smoke test: the stdout constructor wires a CSV sink.
+        let report = Report::stdout_csv();
+        drop(report);
+    }
+
+    #[test]
     fn rows_join_with_commas() {
-        assert_eq!(csv_row(&["a".into(), "1.5".into(), "x".into()]), "a,1.5,x");
+        use std::cell::RefCell;
+        use std::io;
+        use std::rc::Rc;
+
+        #[derive(Clone, Default)]
+        struct Buf(Rc<RefCell<Vec<u8>>>);
+        impl io::Write for Buf {
+            fn write(&mut self, b: &[u8]) -> io::Result<usize> {
+                self.0.borrow_mut().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let buf = Buf::default();
+        let mut report = Report::new().with_sink(CsvSink::new(buf.clone()));
+        report.row(&["a", "1.5", "x"]);
+        report.finish();
+        assert_eq!(
+            String::from_utf8(buf.0.borrow().clone()).unwrap(),
+            "a,1.5,x\n"
+        );
     }
 }

@@ -52,6 +52,17 @@ impl NvdramBaseline {
         self.mmu.stats()
     }
 
+    /// The backing SSD.
+    pub fn ssd(&self) -> &Ssd {
+        &self.ssd
+    }
+
+    /// Attaches a telemetry handle. The baseline itself emits no control
+    /// flow (no faults, no budget), so this only instruments its SSD.
+    pub fn attach_telemetry(&mut self, telemetry: telemetry::Telemetry) {
+        self.ssd.attach_telemetry(telemetry);
+    }
+
     /// Simulates a power failure. The baseline must assume *everything*
     /// could be dirty, so the battery obligation is the entire NV-DRAM
     /// capacity — the scaling problem Viyojit removes.

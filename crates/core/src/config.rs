@@ -3,7 +3,7 @@
 use battery_sim::{Battery, DirtyBudget, PowerModel};
 use sim_clock::SimDuration;
 
-use crate::{FlushCodec, TargetPolicy};
+use crate::{FlushCodec, TargetPolicy, ViyojitError};
 
 /// How the proactive-copy threshold is derived from the dirty budget.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -64,6 +64,41 @@ pub struct ViyojitConfig {
 }
 
 impl ViyojitConfig {
+    /// Starts a validating builder seeded with the paper defaults and the
+    /// given dirty budget. Unlike the panicking constructors, invalid
+    /// combinations surface as [`ViyojitError::InvalidConfig`] from
+    /// [`ViyojitConfigBuilder::build`]. Prefer this over direct struct
+    /// construction.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use viyojit::ViyojitConfig;
+    ///
+    /// let cfg = ViyojitConfig::builder(512).pressure_alpha(0.5).build()?;
+    /// assert_eq!(cfg.dirty_budget_pages, 512);
+    ///
+    /// assert!(ViyojitConfig::builder(0).build().is_err());
+    /// # Ok::<(), viyojit::ViyojitError>(())
+    /// ```
+    pub fn builder(dirty_budget_pages: u64) -> ViyojitConfigBuilder {
+        ViyojitConfigBuilder {
+            cfg: ViyojitConfig {
+                dirty_budget_pages,
+                epoch: SimDuration::from_millis(1),
+                max_outstanding_ios: 16,
+                tlb_flush_on_walk: true,
+                pressure_alpha: 0.75,
+                threshold_policy: ThresholdPolicy::Adaptive,
+                history_epochs: 64,
+                target_policy: TargetPolicy::LeastRecentlyUpdated,
+                flush_codec: FlushCodec::Raw,
+                sector_flush: false,
+            },
+            total_pages: None,
+        }
+    }
+
     /// Paper-default configuration with an explicit dirty budget, the way
     /// the evaluation sweeps battery capacity ("we use the dirty budget as
     /// a proxy for the battery capacity", §6.1).
@@ -170,6 +205,136 @@ impl ViyojitConfig {
     }
 }
 
+/// Validating builder for [`ViyojitConfig`], created by
+/// [`ViyojitConfig::builder`].
+///
+/// Setters never panic; every constraint is checked once in
+/// [`ViyojitConfigBuilder::build`], which rejects a zero budget, a budget
+/// exceeding the NV-DRAM capacity (when [`ViyojitConfigBuilder::total_pages`]
+/// is supplied), a zero epoch, an EWMA weight outside `(0, 1]`, a zero
+/// outstanding-IO cap, and a zero-length history.
+#[derive(Debug, Clone)]
+pub struct ViyojitConfigBuilder {
+    cfg: ViyojitConfig,
+    total_pages: Option<u64>,
+}
+
+impl ViyojitConfigBuilder {
+    /// Sets the dirty budget in pages.
+    #[must_use]
+    pub fn budget_pages(mut self, pages: u64) -> Self {
+        self.cfg.dirty_budget_pages = pages;
+        self
+    }
+
+    /// Declares the NV-DRAM capacity so `build` can reject budgets larger
+    /// than the memory they bound.
+    #[must_use]
+    pub fn total_pages(mut self, pages: u64) -> Self {
+        self.total_pages = Some(pages);
+        self
+    }
+
+    /// Sets the epoch length (§5.2).
+    #[must_use]
+    pub fn epoch(mut self, epoch: SimDuration) -> Self {
+        self.cfg.epoch = epoch;
+        self
+    }
+
+    /// Sets the outstanding-IO cap (§6.1: 16).
+    #[must_use]
+    pub fn max_outstanding_ios(mut self, ios: usize) -> Self {
+        self.cfg.max_outstanding_ios = ios;
+        self
+    }
+
+    /// Enables or disables TLB flushing on epoch walks (§6.3 ablation).
+    #[must_use]
+    pub fn tlb_flush_on_walk(mut self, flush: bool) -> Self {
+        self.cfg.tlb_flush_on_walk = flush;
+        self
+    }
+
+    /// Sets the EWMA weight of the pressure predictor (§5.3: 0.75).
+    #[must_use]
+    pub fn pressure_alpha(mut self, alpha: f64) -> Self {
+        self.cfg.pressure_alpha = alpha;
+        self
+    }
+
+    /// Sets the proactive-copy threshold policy.
+    #[must_use]
+    pub fn threshold_policy(mut self, policy: ThresholdPolicy) -> Self {
+        self.cfg.threshold_policy = policy;
+        self
+    }
+
+    /// Sets the per-page update-history depth (§5.2: 64 epochs).
+    #[must_use]
+    pub fn history_epochs(mut self, epochs: u32) -> Self {
+        self.cfg.history_epochs = epochs;
+        self
+    }
+
+    /// Sets the victim-selection policy.
+    #[must_use]
+    pub fn target_policy(mut self, policy: TargetPolicy) -> Self {
+        self.cfg.target_policy = policy;
+        self
+    }
+
+    /// Sets the copy-out payload codec (§7).
+    #[must_use]
+    pub fn flush_codec(mut self, codec: FlushCodec) -> Self {
+        self.cfg.flush_codec = codec;
+        self
+    }
+
+    /// Enables or disables sub-page sector flushing (§7).
+    #[must_use]
+    pub fn sector_flush(mut self, enabled: bool) -> Self {
+        self.cfg.sector_flush = enabled;
+        self
+    }
+
+    /// Validates every constraint and produces the configuration.
+    pub fn build(self) -> Result<ViyojitConfig, ViyojitError> {
+        let cfg = self.cfg;
+        if cfg.dirty_budget_pages == 0 {
+            return Err(ViyojitError::InvalidConfig(
+                "dirty budget must allow at least one dirty page",
+            ));
+        }
+        if let Some(total) = self.total_pages {
+            if cfg.dirty_budget_pages > total {
+                return Err(ViyojitError::InvalidConfig(
+                    "dirty budget exceeds the total NV-DRAM pages it bounds",
+                ));
+            }
+        }
+        if cfg.epoch.is_zero() {
+            return Err(ViyojitError::InvalidConfig("epoch must be positive"));
+        }
+        if !(cfg.pressure_alpha > 0.0 && cfg.pressure_alpha <= 1.0) {
+            return Err(ViyojitError::InvalidConfig(
+                "pressure alpha must be in (0,1]",
+            ));
+        }
+        if cfg.max_outstanding_ios == 0 {
+            return Err(ViyojitError::InvalidConfig(
+                "at least one outstanding IO is required to flush",
+            ));
+        }
+        if cfg.history_epochs == 0 {
+            return Err(ViyojitError::InvalidConfig(
+                "at least one epoch of update history is required",
+            ));
+        }
+        Ok(cfg)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,5 +370,45 @@ mod tests {
     #[should_panic(expected = "alpha must be in")]
     fn bad_alpha_panics() {
         let _ = ViyojitConfig::with_budget_pages(1).with_pressure_alpha(0.0);
+    }
+
+    #[test]
+    fn builder_accepts_the_paper_defaults() {
+        let built = ViyojitConfig::builder(100).build().unwrap();
+        assert_eq!(built, ViyojitConfig::with_budget_pages(100));
+    }
+
+    #[test]
+    fn builder_rejects_each_invalid_constraint() {
+        assert!(ViyojitConfig::builder(0).build().is_err());
+        assert!(ViyojitConfig::builder(100).total_pages(64).build().is_err());
+        assert!(ViyojitConfig::builder(64).total_pages(64).build().is_ok());
+        assert!(ViyojitConfig::builder(1)
+            .epoch(SimDuration::ZERO)
+            .build()
+            .is_err());
+        assert!(ViyojitConfig::builder(1)
+            .pressure_alpha(0.0)
+            .build()
+            .is_err());
+        assert!(ViyojitConfig::builder(1)
+            .pressure_alpha(1.5)
+            .build()
+            .is_err());
+        assert!(ViyojitConfig::builder(1)
+            .pressure_alpha(f64::NAN)
+            .build()
+            .is_err());
+        assert!(ViyojitConfig::builder(1)
+            .max_outstanding_ios(0)
+            .build()
+            .is_err());
+        assert!(ViyojitConfig::builder(1).history_epochs(0).build().is_err());
+    }
+
+    #[test]
+    fn builder_errors_render_through_viyojit_error() {
+        let err = ViyojitConfig::builder(0).build().unwrap_err();
+        assert!(err.to_string().contains("at least one dirty page"));
     }
 }

@@ -28,6 +28,8 @@ pub enum ViyojitError {
     },
     /// A zero-length mapping was requested.
     EmptyMapping,
+    /// A configuration constraint was violated (builder validation).
+    InvalidConfig(&'static str),
 }
 
 impl fmt::Display for ViyojitError {
@@ -46,6 +48,7 @@ impl fmt::Display for ViyojitError {
                 "access of {len} bytes at offset {offset} exceeds region {region}"
             ),
             ViyojitError::EmptyMapping => write!(f, "mappings must be at least one byte"),
+            ViyojitError::InvalidConfig(reason) => write!(f, "invalid configuration: {reason}"),
         }
     }
 }

@@ -20,6 +20,7 @@
 use mem_sim::{AccessError, Mmu, MmuStats, PageId, WalkOptions, PAGE_SIZE};
 use sim_clock::{Clock, CostModel, SimTime};
 use ssd_sim::{Ssd, SsdConfig, SsdStats};
+use telemetry::{FlushReason, Telemetry, TraceEvent};
 
 use crate::{
     NvHeap, PowerFailureReport, PressureEstimator, RegionId, RegionTable, UpdateHistory,
@@ -77,6 +78,7 @@ pub struct MmuAssistedViyojit {
     next_epoch_at: SimTime,
     current_threshold: u64,
     stats: ViyojitStats,
+    telemetry: Telemetry,
 }
 
 impl MmuAssistedViyojit {
@@ -105,6 +107,7 @@ impl MmuAssistedViyojit {
             next_epoch_at,
             current_threshold: config.dirty_budget_pages,
             stats: ViyojitStats::default(),
+            telemetry: Telemetry::disabled(),
             config,
             clock,
             mmu,
@@ -144,6 +147,48 @@ impl MmuAssistedViyojit {
         self.ssd.stats()
     }
 
+    /// The backing SSD (wear statistics, configuration).
+    pub fn ssd(&self) -> &Ssd {
+        &self.ssd
+    }
+
+    /// Attaches a telemetry handle (shared with the backing SSD).
+    pub fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        self.ssd.attach_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
+    }
+
+    /// Publishes runtime counters and SSD state into the attached
+    /// registry. No-op when telemetry is disabled.
+    fn publish_metrics(&mut self) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let stats = self.stats;
+        let dirty = self.mmu.dirty_counted();
+        let in_flight = self.in_flight_count;
+        let threshold = self.current_threshold;
+        let predicted = self.pressure.predicted();
+        self.telemetry.metrics(|m| {
+            m.counter_set("viyojit.faults_handled", stats.faults_handled);
+            m.counter_set("viyojit.pages_dirtied", stats.pages_dirtied);
+            m.counter_set("viyojit.proactive_flushes", stats.proactive_flushes);
+            m.counter_set("viyojit.forced_flushes", stats.forced_flushes);
+            m.counter_set("viyojit.flushes_completed", stats.flushes_completed);
+            m.counter_set("viyojit.budget_stalls", stats.budget_stalls);
+            m.counter_set("viyojit.stall_nanos", stats.stall_time.as_nanos());
+            m.counter_set("viyojit.in_flight_collisions", stats.in_flight_collisions);
+            m.counter_set("viyojit.epochs", stats.epochs);
+            m.counter_set("viyojit.bytes_flushed", stats.bytes_flushed);
+            m.counter_set("viyojit.walk_touches", stats.walk_touches);
+            m.gauge_set("viyojit.dirty_pages", dirty as f64);
+            m.gauge_set("viyojit.in_flight_pages", in_flight as f64);
+            m.gauge_set("viyojit.proactive_threshold", threshold as f64);
+            m.gauge_set("viyojit.predicted_pressure", predicted);
+        });
+        self.ssd.publish_metrics();
+    }
+
     fn retire_completions(&mut self) {
         let now = self.clock.now();
         let mut i = 0;
@@ -158,6 +203,8 @@ impl MmuAssistedViyojit {
                 self.dirty_known -= 1;
                 self.in_flight_count -= 1;
                 self.stats.flushes_completed += 1;
+                self.telemetry
+                    .emit(|| TraceEvent::FlushComplete { page: page.0 });
             } else {
                 i += 1;
             }
@@ -195,6 +242,7 @@ impl MmuAssistedViyojit {
     fn run_epoch(&mut self) {
         self.stats.epochs += 1;
         self.history.advance_epoch();
+        let epoch = self.history.current_epoch();
 
         // Discovery scan over mapped pages: PTE dirty bit set but page not
         // yet known-dirty => it was dirtied silently since the last epoch.
@@ -234,6 +282,14 @@ impl MmuAssistedViyojit {
             self.selector.on_touch(page, &self.history);
             self.stats.walk_touches += 1;
         }
+        self.telemetry.emit(|| TraceEvent::EpochWalk {
+            epoch,
+            walked: (mapped.len() + known.len()) as u64,
+            new_dirty: discovered,
+        });
+        if self.config.tlb_flush_on_walk {
+            self.telemetry.emit(|| TraceEvent::TlbFlush { epoch });
+        }
 
         // Pressure from the pages discovered newly dirty this epoch.
         self.pressure.observe(discovered);
@@ -257,12 +313,19 @@ impl MmuAssistedViyojit {
             let Some(victim) = self.selector.peek() else {
                 break;
             };
-            self.issue_flush(victim, true);
+            self.issue_flush(victim, FlushReason::Proactive);
         }
+        self.publish_metrics();
+        self.telemetry.snapshot_epoch(epoch);
     }
 
-    fn issue_flush(&mut self, victim: PageId, proactive: bool) {
+    fn issue_flush(&mut self, victim: PageId, reason: FlushReason) {
         debug_assert_eq!(self.states[victim.index()], HwPageState::Dirty);
+        self.telemetry.emit(|| TraceEvent::FlushIssued {
+            page: victim.0,
+            reason,
+            last_update_epoch: self.history.last_update_epoch(victim),
+        });
         // Snapshot safety still demands write-protect-before-flush.
         self.mmu.protect_page(victim);
         self.states[victim.index()] = HwPageState::InFlight;
@@ -272,10 +335,9 @@ impl MmuAssistedViyojit {
         let done = self.ssd.submit_write(victim, &data);
         self.inflight.push((done, victim));
         self.stats.bytes_flushed += PAGE_SIZE as u64;
-        if proactive {
-            self.stats.proactive_flushes += 1;
-        } else {
-            self.stats.forced_flushes += 1;
+        match reason {
+            FlushReason::Proactive => self.stats.proactive_flushes += 1,
+            FlushReason::Forced => self.stats.forced_flushes += 1,
         }
     }
 
@@ -297,7 +359,7 @@ impl MmuAssistedViyojit {
                             .expect("hardware counts a dirty page the scan cannot find")
                     }
                 };
-                self.issue_flush(victim, false);
+                self.issue_flush(victim, FlushReason::Forced);
             }
             let earliest = self
                 .inflight
@@ -311,6 +373,10 @@ impl MmuAssistedViyojit {
             if !stalled {
                 self.stats.budget_stalls += 1;
                 stalled = true;
+                self.telemetry.emit(|| TraceEvent::BudgetStall {
+                    dirty: self.mmu.dirty_counted(),
+                    budget: self.config.dirty_budget_pages,
+                });
             }
             self.retire_completions();
         }

@@ -63,11 +63,12 @@ mod pressure;
 mod region;
 mod runtime;
 mod stats;
+mod store;
 
 pub use balloon::{BalloonResult, BalloonedCluster, TenantId};
 pub use baseline::{NvdramBaseline, PeriodicCountTracker};
 pub use codec::{rle_decode, rle_encode, FlushCodec};
-pub use config::{ThresholdPolicy, ViyojitConfig};
+pub use config::{ThresholdPolicy, ViyojitConfig, ViyojitConfigBuilder};
 pub use dirty::{DirtySet, PageState};
 pub use error::ViyojitError;
 pub use heap::NvHeap;
@@ -78,3 +79,11 @@ pub use pressure::PressureEstimator;
 pub use region::{RegionId, RegionInfo, RegionTable};
 pub use runtime::{PowerFailureReport, Viyojit};
 pub use stats::ViyojitStats;
+pub use store::NvStore;
+
+// Re-export the telemetry vocabulary so stores and drivers can be
+// instrumented without naming the telemetry crate directly.
+pub use telemetry::{
+    CsvSink, EpochSnapshot, FlushReason, JsonlSink, MetricsRegistry, NullSink, Sink, Telemetry,
+    TelemetryConfig, TraceEvent, TracedEvent,
+};

@@ -5,22 +5,13 @@ use battery_sim::{Battery, PowerModel};
 use mem_sim::{AccessError, Mmu, MmuStats, PageId, TlbStats, WalkOptions, PAGE_SIZE};
 use sim_clock::{Clock, CostModel, SimDuration, SimTime};
 use ssd_sim::{Ssd, SsdConfig, SsdStats};
+use telemetry::{FlushReason, Telemetry, TraceEvent};
 
 use crate::codec::{encoded_page_bytes, page_content_hash, DEDUP_RECORD_BYTES};
 use crate::{
     DirtySet, FlushCodec, NvHeap, PageState, PressureEstimator, RegionId, RegionInfo, RegionTable,
     UpdateHistory, VictimSelector, ViyojitConfig, ViyojitError, ViyojitStats,
 };
-
-/// Why a flush IO was issued.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum FlushKind {
-    /// Issued by the epoch copier ahead of need (§5.3).
-    Proactive,
-    /// Issued synchronously because the budget was exhausted (Fig. 6
-    /// steps 6-7).
-    Forced,
-}
 
 /// Outcome of a simulated power failure: what the battery had to flush.
 ///
@@ -112,6 +103,7 @@ pub struct Viyojit {
     /// background copier tops up toward it continuously between epochs.
     current_threshold: u64,
     stats: ViyojitStats,
+    telemetry: Telemetry,
 }
 
 impl Viyojit {
@@ -143,6 +135,7 @@ impl Viyojit {
             next_epoch_at,
             current_threshold: config.dirty_budget_pages,
             stats: ViyojitStats::default(),
+            telemetry: Telemetry::disabled(),
             config,
             clock,
             mmu,
@@ -196,6 +189,50 @@ impl Viyojit {
         &self.ssd
     }
 
+    /// Attaches a telemetry handle (shared with the backing SSD). The
+    /// manager then emits the Fig. 6 trace events and publishes its
+    /// counters into the registry at every epoch boundary. Telemetry only
+    /// observes the virtual clock, so results are identical with any sink.
+    pub fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        self.ssd.attach_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
+    }
+
+    /// Publishes runtime counters, pressure state, and SSD state into the
+    /// attached metrics registry. No-op when telemetry is disabled.
+    fn publish_metrics(&mut self) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let stats = self.stats;
+        let dirty = self.dirty.dirty_count();
+        let in_flight = self.dirty.in_flight_count();
+        let threshold = self.current_threshold;
+        let predicted = self.pressure.predicted();
+        self.telemetry.metrics(|m| {
+            m.counter_set("viyojit.faults_handled", stats.faults_handled);
+            m.counter_set("viyojit.pages_dirtied", stats.pages_dirtied);
+            m.counter_set("viyojit.proactive_flushes", stats.proactive_flushes);
+            m.counter_set("viyojit.forced_flushes", stats.forced_flushes);
+            m.counter_set("viyojit.flushes_completed", stats.flushes_completed);
+            m.counter_set("viyojit.budget_stalls", stats.budget_stalls);
+            m.counter_set("viyojit.stall_nanos", stats.stall_time.as_nanos());
+            m.counter_set("viyojit.in_flight_collisions", stats.in_flight_collisions);
+            m.counter_set("viyojit.epochs", stats.epochs);
+            m.counter_set("viyojit.bytes_flushed", stats.bytes_flushed);
+            m.counter_set(
+                "viyojit.physical_bytes_flushed",
+                stats.physical_bytes_flushed,
+            );
+            m.counter_set("viyojit.walk_touches", stats.walk_touches);
+            m.gauge_set("viyojit.dirty_pages", dirty as f64);
+            m.gauge_set("viyojit.in_flight_pages", in_flight as f64);
+            m.gauge_set("viyojit.proactive_threshold", threshold as f64);
+            m.gauge_set("viyojit.predicted_pressure", predicted);
+        });
+        self.ssd.publish_metrics();
+    }
+
     /// Live regions.
     pub fn regions(&self) -> impl Iterator<Item = (RegionId, RegionInfo)> + '_ {
         self.regions.iter()
@@ -215,6 +252,8 @@ impl Viyojit {
                 let (_, page) = self.inflight.swap_remove(i);
                 self.dirty.mark_clean(page);
                 self.stats.flushes_completed += 1;
+                self.telemetry
+                    .emit(|| TraceEvent::FlushComplete { page: page.0 });
             } else {
                 i += 1;
             }
@@ -267,7 +306,7 @@ impl Viyojit {
             let Some(victim) = self.selector.peek() else {
                 break; // everything dirty is already in flight
             };
-            self.issue_flush(victim, FlushKind::Proactive);
+            self.issue_flush(victim, FlushReason::Proactive);
         }
     }
 
@@ -276,6 +315,7 @@ impl Viyojit {
     fn run_epoch(&mut self) {
         self.stats.epochs += 1;
         self.history.advance_epoch();
+        let epoch = self.history.current_epoch();
 
         let walk_set: Vec<PageId> = self.dirty.iter_dirty().collect();
         let options = WalkOptions {
@@ -286,6 +326,14 @@ impl Viyojit {
             self.history.touch(page);
             self.selector.on_touch(page, &self.history);
             self.stats.walk_touches += 1;
+        }
+        self.telemetry.emit(|| TraceEvent::EpochWalk {
+            epoch,
+            walked: walk_set.len() as u64,
+            new_dirty: self.new_dirty_this_epoch,
+        });
+        if self.config.tlb_flush_on_walk {
+            self.telemetry.emit(|| TraceEvent::TlbFlush { epoch });
         }
 
         self.pressure.observe(self.new_dirty_this_epoch);
@@ -306,21 +354,19 @@ impl Viyojit {
         // further action, so the copier compares the not-yet-flushing
         // population to the threshold.
         self.issue_proactive_down_to(self.current_threshold);
+        self.publish_metrics();
+        self.telemetry.snapshot_epoch(epoch);
     }
 
     /// Re-protects `victim`, snapshots it, and submits its flush (Fig. 6
     /// steps 6-7). Write-protecting *before* the SSD write is what makes
     /// the snapshot safe against concurrent updates (§5.1).
-    fn issue_flush(&mut self, victim: PageId, kind: FlushKind) {
-        #[cfg(feature = "trace-victims")]
-        eprintln!(
-            "t={} epoch={} flush {:?} victim={} last_update={:?}",
-            self.clock.now(),
-            self.history.current_epoch(),
-            kind,
-            victim,
-            self.history.last_update_epoch(victim)
-        );
+    fn issue_flush(&mut self, victim: PageId, reason: FlushReason) {
+        self.telemetry.emit(|| TraceEvent::FlushIssued {
+            page: victim.0,
+            reason,
+            last_update_epoch: self.history.last_update_epoch(victim),
+        });
         self.mmu.protect_page(victim);
         // Clear the PTE dirty bit so post-flush tracking starts clean; the
         // protect above already invalidated the TLB entry.
@@ -335,9 +381,9 @@ impl Viyojit {
         self.inflight.push((done, victim));
         self.stats.bytes_flushed += PAGE_SIZE as u64;
         self.stats.physical_bytes_flushed += physical as u64;
-        match kind {
-            FlushKind::Proactive => self.stats.proactive_flushes += 1,
-            FlushKind::Forced => self.stats.forced_flushes += 1,
+        match reason {
+            FlushReason::Proactive => self.stats.proactive_flushes += 1,
+            FlushReason::Forced => self.stats.forced_flushes += 1,
         }
     }
 
@@ -380,7 +426,7 @@ impl Viyojit {
                     .selector
                     .peek()
                     .expect("dirty pages exceed the limit but none are flushable or in flight");
-                self.issue_flush(victim, FlushKind::Forced);
+                self.issue_flush(victim, FlushReason::Forced);
             }
             let earliest = self
                 .inflight
@@ -394,6 +440,10 @@ impl Viyojit {
             if !stalled {
                 self.stats.budget_stalls += 1;
                 stalled = true;
+                self.telemetry.emit(|| TraceEvent::BudgetStall {
+                    dirty: self.dirty.dirty_count(),
+                    budget: limit,
+                });
             }
             self.retire_completions();
         }
@@ -402,6 +452,8 @@ impl Viyojit {
     /// The write-protection fault handler (Fig. 6 steps 3-8).
     fn handle_fault(&mut self, page: PageId) {
         self.stats.faults_handled += 1;
+        self.telemetry
+            .emit(|| TraceEvent::WriteFault { page: page.0 });
         self.retire_completions();
 
         if self.dirty.state(page) == PageState::InFlight {
@@ -445,6 +497,13 @@ impl Viyojit {
     /// Panics if `pages` is zero.
     pub fn set_dirty_budget(&mut self, pages: u64) {
         assert!(pages > 0, "dirty budget must allow at least one dirty page");
+        // The manager only sees the derived budget; health is reported by
+        // whoever derived it (the battery governor), so 1000 here means
+        // "not re-measured at this hook".
+        self.telemetry.emit(|| TraceEvent::BatteryRecalc {
+            budget_pages: pages,
+            health_permille: 1000,
+        });
         self.config.dirty_budget_pages = pages;
         self.stall_until_dirty_at_most(pages);
     }

@@ -1,0 +1,228 @@
+//! The public store abstraction: everything a driver, benchmark, or
+//! application needs from an NV-DRAM layer beyond the raw [`NvHeap`]
+//! mapping surface.
+//!
+//! The bench crate used to improvise this privately; promoting it makes
+//! new store variants (sharded managers, alternative trackers) usable by
+//! the experiment driver, the examples, and the cross-crate tests with
+//! no driver changes.
+
+use sim_clock::{Clock, SimDuration};
+use telemetry::Telemetry;
+
+use crate::{
+    MmuAssistedViyojit, NvHeap, NvdramBaseline, PowerFailureReport, Viyojit, ViyojitStats,
+};
+
+/// A complete NV-DRAM store: heap mapping plus the instrumentation and
+/// power-failure surface shared by every implementation.
+///
+/// Implemented by [`Viyojit`] (the paper's software manager),
+/// [`MmuAssistedViyojit`] (the §5.4 hardware offload), and
+/// [`NvdramBaseline`] (the full-battery comparison system).
+///
+/// # Examples
+///
+/// ```
+/// use sim_clock::{Clock, CostModel};
+/// use ssd_sim::SsdConfig;
+/// use viyojit::{NvStore, Viyojit, ViyojitConfig};
+///
+/// fn exercise<S: NvStore>(mut store: S) -> u64 {
+///     let r = store.map(4096 * 8).unwrap();
+///     store.write(r, 0, b"generic over any store").unwrap();
+///     store.power_failure().dirty_pages
+/// }
+///
+/// let v = Viyojit::new(
+///     64,
+///     ViyojitConfig::builder(8).build().unwrap(),
+///     Clock::new(),
+///     CostModel::free(),
+///     SsdConfig::instant(),
+/// );
+/// assert!(exercise(v) <= 8);
+/// ```
+pub trait NvStore: NvHeap {
+    /// Display name of the system ("Viyojit", "Viyojit-MMU", "NV-DRAM").
+    fn system(&self) -> &'static str;
+
+    /// A handle on the store's virtual clock.
+    fn shared_clock(&self) -> Clock;
+
+    /// Attaches a telemetry handle to the store (and its backing SSD).
+    fn attach_telemetry(&mut self, telemetry: Telemetry);
+
+    /// Runtime counters, if the store tracks dirty state (`None` for the
+    /// baseline, which has nothing to track).
+    fn runtime_stats(&self) -> Option<ViyojitStats>;
+
+    /// Bytes the store has written to its backing SSD so far.
+    fn ssd_bytes_written(&self) -> u64;
+
+    /// Erase-block cycles the store has cost its backing SSD so far.
+    fn ssd_erases(&self) -> u64;
+
+    /// Simulates an external power failure, flushing whatever the design
+    /// obliges the battery to flush.
+    fn power_failure(&mut self) -> PowerFailureReport;
+
+    /// Rebuilds NV-DRAM from the SSD after a power cycle.
+    fn recover(&mut self);
+
+    /// The end-of-run power-failure flush time (the Fig. 9 tail write).
+    fn final_flush(&mut self) -> SimDuration {
+        self.power_failure().flush_time
+    }
+}
+
+impl NvStore for Viyojit {
+    fn system(&self) -> &'static str {
+        "Viyojit"
+    }
+    fn shared_clock(&self) -> Clock {
+        self.clock().clone()
+    }
+    fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        Viyojit::attach_telemetry(self, telemetry);
+    }
+    fn runtime_stats(&self) -> Option<ViyojitStats> {
+        Some(self.stats())
+    }
+    fn ssd_bytes_written(&self) -> u64 {
+        self.ssd_stats().bytes_written
+    }
+    fn ssd_erases(&self) -> u64 {
+        self.ssd().wear().total_erases()
+    }
+    fn power_failure(&mut self) -> PowerFailureReport {
+        Viyojit::power_failure(self)
+    }
+    fn recover(&mut self) {
+        Viyojit::recover(self);
+    }
+}
+
+impl NvStore for MmuAssistedViyojit {
+    fn system(&self) -> &'static str {
+        "Viyojit-MMU"
+    }
+    fn shared_clock(&self) -> Clock {
+        self.clock().clone()
+    }
+    fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        MmuAssistedViyojit::attach_telemetry(self, telemetry);
+    }
+    fn runtime_stats(&self) -> Option<ViyojitStats> {
+        Some(self.stats())
+    }
+    fn ssd_bytes_written(&self) -> u64 {
+        self.ssd_stats().bytes_written
+    }
+    fn ssd_erases(&self) -> u64 {
+        self.ssd().wear().total_erases()
+    }
+    fn power_failure(&mut self) -> PowerFailureReport {
+        MmuAssistedViyojit::power_failure(self)
+    }
+    fn recover(&mut self) {
+        MmuAssistedViyojit::recover(self);
+    }
+}
+
+impl NvStore for NvdramBaseline {
+    fn system(&self) -> &'static str {
+        "NV-DRAM"
+    }
+    fn shared_clock(&self) -> Clock {
+        self.clock().clone()
+    }
+    fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        NvdramBaseline::attach_telemetry(self, telemetry);
+    }
+    fn runtime_stats(&self) -> Option<ViyojitStats> {
+        None
+    }
+    fn ssd_bytes_written(&self) -> u64 {
+        self.ssd().stats().bytes_written
+    }
+    fn ssd_erases(&self) -> u64 {
+        self.ssd().wear().total_erases()
+    }
+    fn power_failure(&mut self) -> PowerFailureReport {
+        NvdramBaseline::power_failure(self)
+    }
+    fn recover(&mut self) {
+        NvdramBaseline::recover(self);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ViyojitConfig;
+    use sim_clock::CostModel;
+    use ssd_sim::SsdConfig;
+    use telemetry::TraceEvent;
+
+    fn drive<S: NvStore>(mut store: S) -> (u64, SimDuration) {
+        let r = store.map(4096 * 8).unwrap();
+        for i in 0..8u64 {
+            store.write(r, i * 4096, &[i as u8; 32]).unwrap();
+        }
+        let report = store.power_failure();
+        store.recover();
+        (report.dirty_pages, report.flush_time)
+    }
+
+    #[test]
+    fn all_three_stores_drive_through_the_trait() {
+        let cfg = || ViyojitConfig::with_budget_pages(4);
+        let v = Viyojit::new(
+            64,
+            cfg(),
+            Clock::new(),
+            CostModel::free(),
+            SsdConfig::instant(),
+        );
+        let hw = MmuAssistedViyojit::new(
+            64,
+            cfg(),
+            Clock::new(),
+            CostModel::free(),
+            SsdConfig::instant(),
+        );
+        let base = NvdramBaseline::new(64, Clock::new(), CostModel::free(), SsdConfig::instant());
+        assert_eq!(v.system(), "Viyojit");
+        assert_eq!(hw.system(), "Viyojit-MMU");
+        assert_eq!(base.system(), "NV-DRAM");
+        assert!(drive(v).0 <= 4);
+        assert!(drive(hw).0 <= 4);
+        assert_eq!(drive(base).0, 64, "baseline backs up everything");
+    }
+
+    #[test]
+    fn telemetry_attaches_through_the_trait() {
+        let clock = Clock::new();
+        let telemetry = Telemetry::recording(clock.clone());
+        let mut v: Box<dyn NvStore> = Box::new(Viyojit::new(
+            64,
+            ViyojitConfig::with_budget_pages(2),
+            clock.clone(),
+            CostModel::free(),
+            SsdConfig::instant(),
+        ));
+        v.attach_telemetry(telemetry.clone());
+        let r = v.map(4096 * 8).unwrap();
+        for i in 0..8u64 {
+            v.write(r, i * 4096, &[1]).unwrap();
+        }
+        let events = telemetry.events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.event, TraceEvent::WriteFault { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.event, TraceEvent::SsdSubmit { .. })));
+    }
+}

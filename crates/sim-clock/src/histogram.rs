@@ -194,6 +194,71 @@ mod tests {
     }
 
     #[test]
+    fn empty_histogram_is_zero_at_every_percentile() {
+        let h = Histogram::new();
+        for &p in &[0.0f64, 0.1, 50.0, 99.9, 100.0] {
+            assert_eq!(h.percentile(p), SimDuration::ZERO);
+        }
+        assert_eq!(h.min(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn single_small_sample_is_exact_at_every_percentile() {
+        // Values below SUB_BUCKETS nanos are bucketed exactly.
+        let mut h = Histogram::new();
+        h.record(SimDuration::from_nanos(17));
+        assert_eq!(h.len(), 1);
+        for &p in &[0.0f64, 1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(
+                h.percentile(p),
+                SimDuration::from_nanos(17),
+                "p{p} of a single exact-range sample must be that sample"
+            );
+        }
+        assert_eq!(h.mean(), SimDuration::from_nanos(17));
+        assert_eq!(h.min(), h.max());
+    }
+
+    #[test]
+    fn single_large_sample_dominates_every_percentile() {
+        // Above the exact range the one occupied bucket floors the value,
+        // so every percentile agrees and sits within the error bound.
+        let mut h = Histogram::new();
+        h.record(SimDuration::from_micros(7));
+        let p0 = h.percentile(0.0);
+        for &p in &[1.0f64, 50.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), p0, "p{p} disagrees with p0");
+        }
+        let got = p0.as_nanos();
+        assert!(
+            got <= 7_000 && got as f64 >= 7_000.0 * 0.96,
+            "single-sample percentile out of bounds: {got} ns"
+        );
+        assert_eq!(h.mean(), SimDuration::from_micros(7));
+        assert_eq!(h.min(), h.max());
+    }
+
+    #[test]
+    fn all_equal_samples_collapse_the_distribution() {
+        let mut h = Histogram::new();
+        for _ in 0..1_000 {
+            h.record(SimDuration::from_micros(250));
+        }
+        assert_eq!(h.len(), 1_000);
+        // Every percentile lands in the one occupied bucket, clamped to
+        // the true (recorded) maximum.
+        for &p in &[0.0f64, 10.0, 50.0, 99.0, 99.9, 100.0] {
+            let got = h.percentile(p).as_nanos();
+            assert!(
+                got <= 250_000 && got as f64 >= 250_000.0 * 0.96,
+                "p{p} of constant samples drifted: {got} ns"
+            );
+        }
+        assert_eq!(h.mean(), SimDuration::from_micros(250));
+        assert_eq!(h.min(), h.max());
+    }
+
+    #[test]
     fn small_values_are_exact() {
         let mut h = Histogram::new();
         for n in 0..SUB_BUCKETS as u64 {

@@ -2,6 +2,7 @@
 
 use mem_sim::{PageId, PAGE_SIZE};
 use sim_clock::{Clock, SimDuration, SimTime};
+use telemetry::{Telemetry, TraceEvent};
 
 use crate::WearTracker;
 
@@ -117,6 +118,7 @@ pub struct Ssd {
     inflight: Vec<SimTime>,
     stats: SsdStats,
     wear: WearTracker,
+    telemetry: Telemetry,
 }
 
 impl Ssd {
@@ -132,6 +134,7 @@ impl Ssd {
             inflight: Vec::new(),
             stats: SsdStats::default(),
             wear,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -153,6 +156,42 @@ impl Ssd {
     /// Wear accounting.
     pub fn wear(&self) -> &WearTracker {
         &self.wear
+    }
+
+    /// Attaches a telemetry handle; subsequent submissions emit
+    /// `SsdSubmit`/`SsdComplete` trace events and [`Ssd::publish_metrics`]
+    /// writes into its registry.
+    pub fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// Publishes IO, wear, and queue state into the attached registry.
+    ///
+    /// Called by the owning store at epoch boundaries; a no-op when the
+    /// handle is disabled.
+    pub fn publish_metrics(&mut self) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let stats = self.stats;
+        let (logical, physical, erases, max_block) = (
+            self.wear.logical_bytes_written(),
+            self.wear.physical_bytes_written(),
+            self.wear.total_erases(),
+            self.wear.max_block_erases(),
+        );
+        let queue = self.outstanding() as f64;
+        self.telemetry.metrics(|m| {
+            m.counter_set("ssd.writes", stats.writes);
+            m.counter_set("ssd.reads", stats.reads);
+            m.counter_set("ssd.bytes_written", stats.bytes_written);
+            m.counter_set("ssd.bytes_read", stats.bytes_read);
+            m.counter_set("ssd.logical_bytes_written", logical);
+            m.counter_set("ssd.physical_bytes_written", physical);
+            m.counter_set("ssd.erases", erases);
+            m.gauge_set("ssd.max_block_erases", max_block as f64);
+            m.gauge_set("ssd.outstanding", queue);
+        });
     }
 
     fn prune_inflight(&mut self) {
@@ -227,7 +266,14 @@ impl Ssd {
         self.stats.bytes_written += physical_bytes as u64;
         self.wear
             .record_bytes_written(page.0, physical_bytes as u64);
-        self.service(self.config.write_latency, physical_bytes)
+        let done = self.service(self.config.write_latency, physical_bytes);
+        self.telemetry.emit(|| TraceEvent::SsdSubmit {
+            page: page.0,
+            bytes: physical_bytes as u64,
+        });
+        self.telemetry
+            .emit_at(done, || TraceEvent::SsdComplete { page: page.0 });
+        done
     }
 
     /// Submits a page read into `buf`, returning the completion instant.

@@ -1,0 +1,195 @@
+//! Typed trace events stamped with virtual time.
+//!
+//! Every event names one step of the Fig. 6 control flow (or a
+//! neighbouring device/battery transition) and carries only `Copy`
+//! payloads so recording never allocates.
+
+use std::fmt;
+
+use sim_clock::SimTime;
+
+/// Why a flush was issued (Fig. 6 step 5 vs the proactive §6.2 path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FlushReason {
+    /// Issued by the epoch walker to keep headroom below the threshold.
+    Proactive,
+    /// Issued on the fault path because the dirty budget was exhausted.
+    Forced,
+}
+
+impl fmt::Display for FlushReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlushReason::Proactive => f.write_str("proactive"),
+            FlushReason::Forced => f.write_str("forced"),
+        }
+    }
+}
+
+/// One step of the simulated control flow.
+///
+/// Forced and proactive flushes share the [`TraceEvent::FlushIssued`]
+/// variant and are distinguished by [`FlushReason`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// A store hit a write-protected page (Fig. 6 step 1).
+    WriteFault {
+        /// Faulting NV-DRAM page index.
+        page: u64,
+    },
+    /// A victim page was submitted to the SSD copier.
+    FlushIssued {
+        /// Victim NV-DRAM page index.
+        page: u64,
+        /// Forced (budget exhausted) or proactive (epoch walker).
+        reason: FlushReason,
+        /// Epoch of the victim's last update, if still tracked.
+        last_update_epoch: Option<u64>,
+    },
+    /// A copier write-back completed and the page returned to clean.
+    FlushComplete {
+        /// The page whose flush retired.
+        page: u64,
+    },
+    /// The fault path blocked because every budgeted slot was dirty or
+    /// in flight.
+    BudgetStall {
+        /// Dirty pages at the moment of the stall.
+        dirty: u64,
+        /// The budget the store had to get back under.
+        budget: u64,
+    },
+    /// The epoch walker scanned the page tables.
+    EpochWalk {
+        /// Epoch number that just closed.
+        epoch: u64,
+        /// PTEs inspected by the walk.
+        walked: u64,
+        /// Pages newly observed dirty during the closing epoch.
+        new_dirty: u64,
+    },
+    /// The walker invalidated the TLB after clearing dirty bits.
+    TlbFlush {
+        /// Epoch whose walk triggered the invalidation.
+        epoch: u64,
+    },
+    /// A write was submitted to the simulated SSD.
+    SsdSubmit {
+        /// Destination SSD page index.
+        page: u64,
+        /// Physical (post-codec) payload bytes charged to the device.
+        bytes: u64,
+    },
+    /// A previously submitted SSD write reached durability.
+    SsdComplete {
+        /// The SSD page whose write completed.
+        page: u64,
+    },
+    /// The battery model re-derived the dirty budget (§8 dynamics).
+    BatteryRecalc {
+        /// Dirty budget in pages after the recalculation.
+        budget_pages: u64,
+        /// Battery health in parts per thousand of nameplate capacity.
+        health_permille: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Stable lowercase name of the variant, used by the sinks.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::WriteFault { .. } => "write_fault",
+            TraceEvent::FlushIssued { .. } => "flush_issued",
+            TraceEvent::FlushComplete { .. } => "flush_complete",
+            TraceEvent::BudgetStall { .. } => "budget_stall",
+            TraceEvent::EpochWalk { .. } => "epoch_walk",
+            TraceEvent::TlbFlush { .. } => "tlb_flush",
+            TraceEvent::SsdSubmit { .. } => "ssd_submit",
+            TraceEvent::SsdComplete { .. } => "ssd_complete",
+            TraceEvent::BatteryRecalc { .. } => "battery_recalc",
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    /// Renders the payload as `key=value` pairs separated by spaces, with
+    /// no leading kind (the sinks emit [`TraceEvent::kind`] separately).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::WriteFault { page } => write!(f, "page={page}"),
+            TraceEvent::FlushIssued {
+                page,
+                reason,
+                last_update_epoch,
+            } => {
+                write!(f, "page={page} reason={reason}")?;
+                match last_update_epoch {
+                    Some(e) => write!(f, " last_update_epoch={e}"),
+                    None => write!(f, " last_update_epoch=none"),
+                }
+            }
+            TraceEvent::FlushComplete { page } => write!(f, "page={page}"),
+            TraceEvent::BudgetStall { dirty, budget } => {
+                write!(f, "dirty={dirty} budget={budget}")
+            }
+            TraceEvent::EpochWalk {
+                epoch,
+                walked,
+                new_dirty,
+            } => write!(f, "epoch={epoch} walked={walked} new_dirty={new_dirty}"),
+            TraceEvent::TlbFlush { epoch } => write!(f, "epoch={epoch}"),
+            TraceEvent::SsdSubmit { page, bytes } => write!(f, "page={page} bytes={bytes}"),
+            TraceEvent::SsdComplete { page } => write!(f, "page={page}"),
+            TraceEvent::BatteryRecalc {
+                budget_pages,
+                health_permille,
+            } => write!(
+                f,
+                "budget_pages={budget_pages} health_permille={health_permille}"
+            ),
+        }
+    }
+}
+
+/// A [`TraceEvent`] stamped with the virtual instant it describes and a
+/// monotonically increasing sequence number (recording order).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TracedEvent {
+    /// Virtual time the event describes. For [`TraceEvent::SsdComplete`]
+    /// this is the completion instant, which may lie in the future of the
+    /// clock at recording time; all other events are stamped `now`.
+    pub at: SimTime,
+    /// Recording order, starting at zero, counting dropped events too.
+    pub seq: u64,
+    /// The event payload.
+    pub event: TraceEvent,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_stable_lowercase_names() {
+        let e = TraceEvent::FlushIssued {
+            page: 7,
+            reason: FlushReason::Forced,
+            last_update_epoch: Some(3),
+        };
+        assert_eq!(e.kind(), "flush_issued");
+        assert_eq!(e.to_string(), "page=7 reason=forced last_update_epoch=3");
+    }
+
+    #[test]
+    fn display_handles_missing_history() {
+        let e = TraceEvent::FlushIssued {
+            page: 1,
+            reason: FlushReason::Proactive,
+            last_update_epoch: None,
+        };
+        assert_eq!(
+            e.to_string(),
+            "page=1 reason=proactive last_update_epoch=none"
+        );
+    }
+}

@@ -1,0 +1,289 @@
+//! Virtual-time telemetry for the Viyojit simulation stack.
+//!
+//! Three pieces, all driven by the shared virtual clock and free of
+//! external dependencies (plain `std::fmt`, no serde):
+//!
+//! - **Trace events** ([`TraceEvent`]) — typed steps of the Fig. 6
+//!   control flow (write faults, forced/proactive flush issue, flush
+//!   completion, budget stalls, epoch walks, TLB flushes, SSD traffic,
+//!   battery recalculations), stamped with [`sim_clock::SimTime`] and
+//!   recorded into a bounded ring buffer ([`TraceRing`]).
+//! - **Metrics** ([`MetricsRegistry`]) — named counters/gauges/histograms
+//!   into which `ViyojitStats`, SSD wear/queue state, and battery state
+//!   publish, with per-epoch snapshotting ([`EpochSnapshot`]) whose
+//!   counter deltas sum back to the end-of-run totals.
+//! - **Sinks** ([`Sink`]) — [`CsvSink`] (the historical figure layout,
+//!   byte for byte), [`JsonlSink`], and [`NullSink`], plus the shared
+//!   [`Report`] writer used by every bench binary.
+//!
+//! # Determinism
+//!
+//! Telemetry observes the clock; it never advances it. A disabled
+//! [`Telemetry`] handle ([`Telemetry::disabled`], the default) skips even
+//! event construction — the recording closure is not called — so runs
+//! with telemetry off are bit-identical to uninstrumented runs, and runs
+//! with it on differ only in what is *recorded*, never in virtual time.
+//!
+//! # Example
+//!
+//! ```
+//! use sim_clock::{Clock, SimDuration};
+//! use telemetry::{Telemetry, TraceEvent};
+//!
+//! let clock = Clock::new();
+//! let telemetry = Telemetry::recording(clock.clone());
+//! clock.advance(SimDuration::from_micros(3));
+//! telemetry.emit(|| TraceEvent::WriteFault { page: 42 });
+//! telemetry.metrics(|m| m.counter_add("faults", 1));
+//!
+//! let events = telemetry.events();
+//! assert_eq!(events.len(), 1);
+//! assert_eq!(events[0].at.as_micros(), 3);
+//! ```
+
+mod event;
+mod metrics;
+mod report;
+mod ring;
+mod sink;
+
+pub use event::{FlushReason, TraceEvent, TracedEvent};
+pub use metrics::{CounterSample, EpochSnapshot, MetricsRegistry};
+pub use report::Report;
+pub use ring::{TraceRing, DEFAULT_RING_CAPACITY};
+pub use sink::{csv_stdout, CsvSink, JsonlSink, NullSink, Sink};
+
+use std::sync::{Arc, Mutex};
+
+use sim_clock::{Clock, SimTime};
+
+/// Tuning knobs for a recording [`Telemetry`] handle.
+#[derive(Debug, Clone, Copy)]
+pub struct TelemetryConfig {
+    /// Maximum trace events retained (oldest evicted beyond this).
+    pub ring_capacity: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            ring_capacity: DEFAULT_RING_CAPACITY,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Recorder {
+    clock: Clock,
+    ring: TraceRing,
+    registry: MetricsRegistry,
+    snapshots: Vec<EpochSnapshot>,
+}
+
+/// Shared, cheaply clonable instrumentation handle.
+///
+/// Every instrumented component (`Viyojit`, the SSD, the battery
+/// governor) holds a clone; all clones record into the same ring and
+/// registry. The default handle is disabled and zero-cost: `emit` does
+/// not even build the event.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    recorder: Option<Arc<Mutex<Recorder>>>,
+}
+
+impl Telemetry {
+    /// A disabled handle: records nothing, costs one branch per hook.
+    pub fn disabled() -> Self {
+        Telemetry::default()
+    }
+
+    /// A recording handle with default configuration.
+    pub fn recording(clock: Clock) -> Self {
+        Telemetry::with_config(clock, TelemetryConfig::default())
+    }
+
+    /// A recording handle with explicit configuration.
+    pub fn with_config(clock: Clock, config: TelemetryConfig) -> Self {
+        Telemetry {
+            recorder: Some(Arc::new(Mutex::new(Recorder {
+                clock,
+                ring: TraceRing::new(config.ring_capacity),
+                registry: MetricsRegistry::new(),
+                snapshots: Vec::new(),
+            }))),
+        }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.recorder.is_some()
+    }
+
+    /// Records an event stamped with the current virtual time.
+    ///
+    /// The closure runs only when recording, so payload construction is
+    /// free on the disabled path.
+    #[inline]
+    pub fn emit(&self, event: impl FnOnce() -> TraceEvent) {
+        if let Some(recorder) = &self.recorder {
+            let mut rec = recorder.lock().expect("telemetry poisoned");
+            let at = rec.clock.now();
+            let seq = rec.ring.recorded();
+            let event = event();
+            rec.ring.push(TracedEvent { at, seq, event });
+        }
+    }
+
+    /// Records an event stamped with an explicit instant (e.g. an SSD
+    /// completion scheduled in the future of the submitting call).
+    #[inline]
+    pub fn emit_at(&self, at: SimTime, event: impl FnOnce() -> TraceEvent) {
+        if let Some(recorder) = &self.recorder {
+            let mut rec = recorder.lock().expect("telemetry poisoned");
+            let seq = rec.ring.recorded();
+            let event = event();
+            rec.ring.push(TracedEvent { at, seq, event });
+        }
+    }
+
+    /// Runs `f` against the metrics registry when recording.
+    #[inline]
+    pub fn metrics<R>(&self, f: impl FnOnce(&mut MetricsRegistry) -> R) -> Option<R> {
+        self.recorder.as_ref().map(|recorder| {
+            let mut rec = recorder.lock().expect("telemetry poisoned");
+            f(&mut rec.registry)
+        })
+    }
+
+    /// Closes an epoch: snapshots the registry at the current virtual
+    /// time and appends it to the snapshot log.
+    pub fn snapshot_epoch(&self, epoch: u64) {
+        if let Some(recorder) = &self.recorder {
+            let mut rec = recorder.lock().expect("telemetry poisoned");
+            let at = rec.clock.now();
+            let snap = rec.registry.snapshot(epoch, at);
+            rec.snapshots.push(snap);
+        }
+    }
+
+    /// Copies out the retained trace events, oldest first.
+    pub fn events(&self) -> Vec<TracedEvent> {
+        match &self.recorder {
+            Some(recorder) => recorder.lock().expect("telemetry poisoned").ring.to_vec(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Events evicted from the ring because it was full.
+    pub fn dropped_events(&self) -> u64 {
+        match &self.recorder {
+            Some(recorder) => recorder.lock().expect("telemetry poisoned").ring.dropped(),
+            None => 0,
+        }
+    }
+
+    /// Total events ever recorded, retained or not.
+    pub fn recorded_events(&self) -> u64 {
+        match &self.recorder {
+            Some(recorder) => recorder.lock().expect("telemetry poisoned").ring.recorded(),
+            None => 0,
+        }
+    }
+
+    /// Copies out all per-epoch snapshots taken so far.
+    pub fn snapshots(&self) -> Vec<EpochSnapshot> {
+        match &self.recorder {
+            Some(recorder) => recorder
+                .lock()
+                .expect("telemetry poisoned")
+                .snapshots
+                .clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Current cumulative value of a counter (zero when disabled).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.metrics(|m| m.counter(name)).unwrap_or(0)
+    }
+
+    /// Streams every retained event, then every snapshot, into a sink.
+    pub fn drain_into(&self, sink: &mut dyn Sink) {
+        if let Some(recorder) = &self.recorder {
+            let rec = recorder.lock().expect("telemetry poisoned");
+            for event in rec.ring.iter() {
+                sink.event(event);
+            }
+            for snap in &rec.snapshots {
+                sink.snapshot(snap);
+            }
+        }
+        sink.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_clock::SimDuration;
+
+    #[test]
+    fn disabled_handle_skips_event_construction() {
+        let telemetry = Telemetry::disabled();
+        let mut built = false;
+        telemetry.emit(|| {
+            built = true;
+            TraceEvent::TlbFlush { epoch: 0 }
+        });
+        assert!(!built);
+        assert!(!telemetry.is_enabled());
+        assert!(telemetry.events().is_empty());
+        assert_eq!(telemetry.metrics(|m| m.counter("x")), None);
+    }
+
+    #[test]
+    fn clones_share_one_recorder() {
+        let clock = Clock::new();
+        let a = Telemetry::recording(clock.clone());
+        let b = a.clone();
+        clock.advance(SimDuration::from_nanos(5));
+        a.emit(|| TraceEvent::WriteFault { page: 1 });
+        b.emit(|| TraceEvent::FlushComplete { page: 1 });
+        let events = a.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].seq, 0);
+        assert_eq!(events[1].seq, 1);
+        assert_eq!(events[1].at.as_nanos(), 5);
+    }
+
+    #[test]
+    fn snapshot_epochs_accumulate_in_order() {
+        let clock = Clock::new();
+        let telemetry = Telemetry::recording(clock.clone());
+        telemetry.metrics(|m| m.counter_add("faults", 2));
+        telemetry.snapshot_epoch(0);
+        telemetry.metrics(|m| m.counter_add("faults", 3));
+        clock.advance(SimDuration::from_micros(1));
+        telemetry.snapshot_epoch(1);
+        let snaps = telemetry.snapshots();
+        assert_eq!(snaps.len(), 2);
+        assert_eq!(snaps[0].counter("faults").unwrap().delta, 2);
+        assert_eq!(snaps[1].counter("faults").unwrap().delta, 3);
+        assert_eq!(snaps[1].counter("faults").unwrap().total, 5);
+        assert_eq!(snaps[1].at.as_micros(), 1);
+    }
+
+    #[test]
+    fn drain_streams_events_then_snapshots() {
+        let clock = Clock::new();
+        let telemetry = Telemetry::recording(clock);
+        telemetry.emit(|| TraceEvent::WriteFault { page: 3 });
+        telemetry.metrics(|m| m.counter_add("faults", 1));
+        telemetry.snapshot_epoch(0);
+        let mut sink = CsvSink::new(Vec::new());
+        telemetry.drain_into(&mut sink);
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert!(text.starts_with("trace,0,0,write_fault,page=3\n"));
+        assert!(text.contains("snapshot,0,0,"));
+    }
+}

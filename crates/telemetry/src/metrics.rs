@@ -1,0 +1,196 @@
+//! Named counters, gauges, and histograms with per-epoch snapshotting.
+//!
+//! Publishers (`ViyojitStats`, SSD wear/queue state, the battery model)
+//! write cumulative counters and instantaneous gauges under stable
+//! `&'static str` names. [`MetricsRegistry::snapshot`] closes an epoch:
+//! it captures each counter's delta since the previous snapshot, so the
+//! deltas of a metric across all snapshots sum back to its final total.
+//! Maps are `BTreeMap`s so iteration (and therefore sink output) is
+//! deterministic.
+
+use std::collections::BTreeMap;
+
+use sim_clock::{Histogram, SimDuration, SimTime};
+
+/// A counter's position at one epoch boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterSample {
+    /// Increase since the previous snapshot (or since zero for the first).
+    pub delta: u64,
+    /// Cumulative value at the snapshot instant.
+    pub total: u64,
+}
+
+/// The registry's state at one epoch boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochSnapshot {
+    /// Epoch number the snapshot closes.
+    pub epoch: u64,
+    /// Virtual instant the snapshot was taken.
+    pub at: SimTime,
+    /// Counter deltas and totals, sorted by name.
+    pub counters: Vec<(&'static str, CounterSample)>,
+    /// Gauge values at the instant, sorted by name.
+    pub gauges: Vec<(&'static str, f64)>,
+}
+
+impl EpochSnapshot {
+    /// Looks up one counter sample by name.
+    pub fn counter(&self, name: &str) -> Option<CounterSample> {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, s)| *s)
+    }
+
+    /// Looks up one gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+    }
+}
+
+/// Named metric store shared by every instrumented crate.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+    /// Counter totals at the previous snapshot, for delta computation.
+    snapshotted: BTreeMap<&'static str, u64>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `delta` to a monotonic counter, creating it at zero.
+    pub fn counter_add(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Sets a counter to a cumulative value published by its owner.
+    ///
+    /// Saturates upward: publishers own the cumulative value, and a
+    /// re-publish of an unchanged total must not rewind the counter.
+    pub fn counter_set(&mut self, name: &'static str, total: u64) {
+        let slot = self.counters.entry(name).or_insert(0);
+        *slot = (*slot).max(total);
+    }
+
+    /// Current cumulative value of a counter (zero if never written).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets an instantaneous gauge.
+    pub fn gauge_set(&mut self, name: &'static str, value: f64) {
+        self.gauges.insert(name, value);
+    }
+
+    /// Current value of a gauge, if ever set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Records one duration sample into a named histogram.
+    pub fn histogram_record(&mut self, name: &'static str, sample: SimDuration) {
+        self.histograms.entry(name).or_default().record(sample);
+    }
+
+    /// Read access to a named histogram, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Names of all counters, sorted.
+    pub fn counter_names(&self) -> Vec<&'static str> {
+        self.counters.keys().copied().collect()
+    }
+
+    /// Closes an epoch: captures counter deltas since the previous
+    /// snapshot plus current gauge values.
+    pub fn snapshot(&mut self, epoch: u64, at: SimTime) -> EpochSnapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(&name, &total)| {
+                let prev = self.snapshotted.get(name).copied().unwrap_or(0);
+                (
+                    name,
+                    CounterSample {
+                        delta: total - prev,
+                        total,
+                    },
+                )
+            })
+            .collect();
+        self.snapshotted = self.counters.clone();
+        EpochSnapshot {
+            epoch,
+            at,
+            counters,
+            gauges: self.gauges.iter().map(|(&n, &v)| (n, v)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_deltas_sum_to_totals() {
+        let mut reg = MetricsRegistry::new();
+        let mut snaps = Vec::new();
+        let mut cum = 0;
+        for epoch in 0..5 {
+            cum += epoch + 1;
+            reg.counter_set("faults", cum);
+            reg.counter_add("walks", 1);
+            snaps.push(reg.snapshot(epoch, SimTime::from_nanos(epoch)));
+        }
+        let fault_sum: u64 = snaps
+            .iter()
+            .map(|s| s.counter("faults").unwrap().delta)
+            .sum();
+        let walk_sum: u64 = snaps
+            .iter()
+            .map(|s| s.counter("walks").unwrap().delta)
+            .sum();
+        assert_eq!(fault_sum, reg.counter("faults"));
+        assert_eq!(walk_sum, reg.counter("walks"));
+        assert_eq!(snaps.last().unwrap().counter("faults").unwrap().total, cum);
+    }
+
+    #[test]
+    fn counter_set_never_rewinds() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_set("x", 10);
+        reg.counter_set("x", 7);
+        assert_eq!(reg.counter("x"), 10);
+    }
+
+    #[test]
+    fn gauges_report_latest_value_only() {
+        let mut reg = MetricsRegistry::new();
+        reg.gauge_set("dirty", 3.0);
+        reg.gauge_set("dirty", 5.0);
+        let snap = reg.snapshot(0, SimTime::ZERO);
+        assert_eq!(snap.gauge("dirty"), Some(5.0));
+        assert_eq!(reg.gauge("missing"), None);
+    }
+
+    #[test]
+    fn histograms_accumulate_samples() {
+        let mut reg = MetricsRegistry::new();
+        reg.histogram_record("lat", SimDuration::from_nanos(100));
+        reg.histogram_record("lat", SimDuration::from_nanos(300));
+        assert_eq!(reg.histogram("lat").unwrap().len(), 2);
+        assert!(reg.histogram("none").is_none());
+    }
+}

@@ -1,0 +1,164 @@
+//! Shared report writer used by every figure/ablation binary.
+//!
+//! `Report` fans sections, headers, rows, and notes out to any number of
+//! [`Sink`]s. Rows may be supplied pre-formatted through [`row!`] so the
+//! figure binaries keep their exact historical float formatting (`{:.1}`,
+//! `{:.4e}`, ...) while structured sinks still see individual cells.
+
+use std::fmt;
+
+use crate::event::TracedEvent;
+use crate::metrics::EpochSnapshot;
+use crate::sink::{csv_stdout, Sink};
+
+/// Multi-sink report writer.
+#[derive(Default)]
+pub struct Report {
+    sinks: Vec<Box<dyn Sink>>,
+}
+
+impl fmt::Debug for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Report")
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+impl Report {
+    /// A report with no sinks attached (drops everything).
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// The standard figure-binary report: CSV on stdout.
+    pub fn stdout_csv() -> Self {
+        Report::new().with_sink(csv_stdout())
+    }
+
+    /// Attaches another sink.
+    pub fn with_sink(mut self, sink: impl Sink + 'static) -> Self {
+        self.sinks.push(Box::new(sink));
+        self
+    }
+
+    /// Starts a titled section on every sink.
+    pub fn section(&mut self, title: &str) {
+        for sink in &mut self.sinks {
+            sink.section(title);
+        }
+    }
+
+    /// Declares the columns of the rows that follow.
+    pub fn columns(&mut self, columns: &[&str]) {
+        for sink in &mut self.sinks {
+            sink.columns(columns);
+        }
+    }
+
+    /// Emits one row from explicit cells.
+    pub fn row(&mut self, cells: &[&str]) {
+        for sink in &mut self.sinks {
+            sink.row(cells);
+        }
+    }
+
+    /// Emits one row from a pre-formatted comma-joined line.
+    ///
+    /// This is the bridge from the historical direct-print style:
+    /// formatting stays with the caller, sinks get split cells.
+    /// Cells therefore must not themselves contain commas.
+    pub fn row_fmt(&mut self, args: fmt::Arguments<'_>) {
+        let line = args.to_string();
+        let cells: Vec<&str> = line.split(',').collect();
+        self.row(&cells);
+    }
+
+    /// Emits a free-text note (rendered by `CsvSink` as a blank line
+    /// followed by the text, matching the historical trailing notes).
+    pub fn note_fmt(&mut self, args: fmt::Arguments<'_>) {
+        let text = args.to_string();
+        for sink in &mut self.sinks {
+            sink.note(&text);
+        }
+    }
+
+    /// Forwards one trace event to every sink.
+    pub fn event(&mut self, event: &TracedEvent) {
+        for sink in &mut self.sinks {
+            sink.event(event);
+        }
+    }
+
+    /// Forwards one epoch snapshot to every sink.
+    pub fn snapshot(&mut self, snapshot: &EpochSnapshot) {
+        for sink in &mut self.sinks {
+            sink.snapshot(snapshot);
+        }
+    }
+
+    /// Flushes every sink.
+    pub fn finish(&mut self) {
+        for sink in &mut self.sinks {
+            sink.finish();
+        }
+    }
+}
+
+impl Drop for Report {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+/// Emits one formatted row: `row!(report, "{},{:.1}", name, value)`.
+#[macro_export]
+macro_rules! row {
+    ($report:expr, $($arg:tt)*) => {
+        $report.row_fmt(::std::format_args!($($arg)*))
+    };
+}
+
+/// Emits one formatted note: `note!(report, "anchors: {}", text)`.
+#[macro_export]
+macro_rules! note {
+    ($report:expr, $($arg:tt)*) => {
+        $report.note_fmt(::std::format_args!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::CsvSink;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// A Vec<u8> CsvSink whose buffer stays observable after the report
+    /// takes ownership.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Rc<RefCell<Vec<u8>>>);
+
+    impl std::io::Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.borrow_mut().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn report_fans_out_formatted_rows() {
+        let buf = SharedBuf::default();
+        let mut report = Report::new().with_sink(CsvSink::new(buf.clone()));
+        report.section("fig");
+        report.columns(&["wl", "kops"]);
+        row!(report, "{},{:.1}", "ycsb-a", 12.345);
+        note!(report, "note {}", 7);
+        drop(report);
+        let text = String::from_utf8(buf.0.borrow().clone()).unwrap();
+        assert_eq!(text, "\n# fig\nwl,kops\nycsb-a,12.3\n\nnote 7\n");
+    }
+}

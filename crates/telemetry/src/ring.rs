@@ -1,0 +1,122 @@
+//! Bounded ring buffer for trace events.
+//!
+//! Recording is O(1) and never reallocates after the first wrap; when
+//! the buffer is full the oldest event is overwritten and counted in
+//! [`TraceRing::dropped`], so a long run keeps the most recent window.
+
+use crate::event::TracedEvent;
+
+/// Default event capacity when none is configured.
+pub const DEFAULT_RING_CAPACITY: usize = 4096;
+
+/// Fixed-capacity event ring.
+#[derive(Debug)]
+pub struct TraceRing {
+    buf: Vec<TracedEvent>,
+    capacity: usize,
+    /// Index of the next write when the ring has wrapped.
+    head: usize,
+    /// Events overwritten after the ring filled.
+    dropped: u64,
+    /// Total events ever recorded (drives sequence numbers).
+    recorded: u64,
+}
+
+impl TraceRing {
+    /// Creates a ring holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        TraceRing {
+            buf: Vec::new(),
+            capacity,
+            head: 0,
+            dropped: 0,
+            recorded: 0,
+        }
+    }
+
+    /// Records one event, evicting the oldest if the ring is full.
+    pub fn push(&mut self, event: TracedEvent) {
+        self.recorded += 1;
+        if self.buf.len() < self.capacity {
+            self.buf.push(event);
+        } else {
+            self.buf[self.head] = event;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Maximum retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total events ever recorded, retained or not.
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Iterates retained events oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &TracedEvent> {
+        let (wrapped, linear) = self.buf.split_at(self.head);
+        linear.iter().chain(wrapped.iter())
+    }
+
+    /// Copies the retained events out, oldest-first.
+    pub fn to_vec(&self) -> Vec<TracedEvent> {
+        self.iter().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+    use sim_clock::SimTime;
+
+    fn ev(seq: u64) -> TracedEvent {
+        TracedEvent {
+            at: SimTime::from_nanos(seq),
+            seq,
+            event: TraceEvent::WriteFault { page: seq },
+        }
+    }
+
+    #[test]
+    fn fills_then_evicts_oldest() {
+        let mut ring = TraceRing::new(3);
+        for s in 0..5 {
+            ring.push(ev(s));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 2);
+        assert_eq!(ring.recorded(), 5);
+        let seqs: Vec<u64> = ring.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut ring = TraceRing::new(0);
+        ring.push(ev(0));
+        ring.push(ev(1));
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.to_vec()[0].seq, 1);
+    }
+}

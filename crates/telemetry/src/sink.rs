@@ -1,0 +1,346 @@
+//! Output sinks: where reports, trace events, and snapshots go.
+//!
+//! A [`Sink`] receives already-formatted report content (sections,
+//! column headers, rows, notes) plus structured telemetry (trace events
+//! and epoch snapshots). [`CsvSink`] reproduces the repo's historical
+//! figure CSV layout byte for byte; [`JsonlSink`] emits one JSON object
+//! per line using only `std::fmt` (no serde, per DESIGN.md); and
+//! [`NullSink`] discards everything, which is the zero-cost default.
+
+use std::fmt::Write as _;
+use std::io::{self, Write};
+
+use crate::event::TracedEvent;
+use crate::metrics::EpochSnapshot;
+
+/// Receiver of report content and structured telemetry.
+///
+/// Every method has a no-op default so sinks implement only what they
+/// care about.
+pub trait Sink {
+    /// Starts a titled section (a figure, a sweep, a summary block).
+    fn section(&mut self, _title: &str) {}
+
+    /// Declares the column names of the rows that follow.
+    fn columns(&mut self, _columns: &[&str]) {}
+
+    /// Emits one data row; `cells` align with the last `columns` call.
+    fn row(&mut self, _cells: &[&str]) {}
+
+    /// Emits a free-text annotation (calibration notes, anchors).
+    fn note(&mut self, _text: &str) {}
+
+    /// Emits one recorded trace event.
+    fn event(&mut self, _event: &TracedEvent) {}
+
+    /// Emits one per-epoch metrics snapshot.
+    fn snapshot(&mut self, _snapshot: &EpochSnapshot) {}
+
+    /// Flushes any buffered output.
+    fn finish(&mut self) {}
+}
+
+/// Discards everything. The default; keeps instrumented runs bit-identical
+/// to uninstrumented ones.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl Sink for NullSink {}
+
+/// Writes the historical figure CSV layout to any [`io::Write`].
+///
+/// Layout contract (matches the seed `results/*.csv` byte for byte):
+/// a section is a blank line followed by `# title`; headers and rows are
+/// comma-joined; a note is a blank line followed by the text.
+#[derive(Debug)]
+pub struct CsvSink<W: Write> {
+    out: W,
+}
+
+impl<W: Write> CsvSink<W> {
+    /// Wraps a writer.
+    pub fn new(out: W) -> Self {
+        CsvSink { out }
+    }
+
+    /// Consumes the sink, returning the writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+
+    fn line(&mut self, text: &str) {
+        writeln!(self.out, "{text}").expect("csv sink write failed");
+    }
+}
+
+/// A CSV sink writing to standard output.
+pub fn csv_stdout() -> CsvSink<io::Stdout> {
+    CsvSink::new(io::stdout())
+}
+
+impl<W: Write> Sink for CsvSink<W> {
+    fn section(&mut self, title: &str) {
+        self.line("");
+        self.line(&format!("# {title}"));
+    }
+
+    fn columns(&mut self, columns: &[&str]) {
+        self.line(&columns.join(","));
+    }
+
+    fn row(&mut self, cells: &[&str]) {
+        self.line(&cells.join(","));
+    }
+
+    fn note(&mut self, text: &str) {
+        self.line("");
+        self.line(text);
+    }
+
+    fn event(&mut self, event: &TracedEvent) {
+        self.line(&format!(
+            "trace,{},{},{},{}",
+            event.at.as_nanos(),
+            event.seq,
+            event.event.kind(),
+            event.event
+        ));
+    }
+
+    fn snapshot(&mut self, snapshot: &EpochSnapshot) {
+        for (name, sample) in &snapshot.counters {
+            self.line(&format!(
+                "snapshot,{},{},counter,{name},{},{}",
+                snapshot.epoch,
+                snapshot.at.as_nanos(),
+                sample.delta,
+                sample.total
+            ));
+        }
+        for (name, value) in &snapshot.gauges {
+            self.line(&format!(
+                "snapshot,{},{},gauge,{name},{value},{value}",
+                snapshot.epoch,
+                snapshot.at.as_nanos()
+            ));
+        }
+    }
+
+    fn finish(&mut self) {
+        self.out.flush().expect("csv sink flush failed");
+    }
+}
+
+/// Escapes a string into a JSON string literal (without quotes).
+fn push_json_escaped(out: &mut String, text: &str) {
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders a cell as a JSON value: bare if it parses as a finite number,
+/// quoted otherwise.
+fn push_json_cell(out: &mut String, cell: &str) {
+    let numeric = !cell.is_empty() && cell.parse::<f64>().map(f64::is_finite).unwrap_or(false);
+    if numeric {
+        out.push_str(cell);
+    } else {
+        out.push('"');
+        push_json_escaped(out, cell);
+        out.push('"');
+    }
+}
+
+/// One JSON object per line, hand-rendered with `std::fmt`.
+///
+/// Rows are keyed by the most recent `columns` declaration; surplus
+/// cells fall back to positional `col<N>` keys.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    out: W,
+    section: String,
+    columns: Vec<String>,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps a writer.
+    pub fn new(out: W) -> Self {
+        JsonlSink {
+            out,
+            section: String::new(),
+            columns: Vec::new(),
+        }
+    }
+
+    /// Consumes the sink, returning the writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+
+    fn line(&mut self, text: &str) {
+        writeln!(self.out, "{text}").expect("jsonl sink write failed");
+    }
+}
+
+impl<W: Write> Sink for JsonlSink<W> {
+    fn section(&mut self, title: &str) {
+        self.section = title.to_string();
+        let mut line = String::from("{\"type\":\"section\",\"title\":\"");
+        push_json_escaped(&mut line, title);
+        line.push_str("\"}");
+        self.line(&line);
+    }
+
+    fn columns(&mut self, columns: &[&str]) {
+        self.columns = columns.iter().map(|c| c.to_string()).collect();
+    }
+
+    fn row(&mut self, cells: &[&str]) {
+        let mut line = String::from("{\"type\":\"row\",\"section\":\"");
+        push_json_escaped(&mut line, &self.section);
+        line.push('"');
+        for (i, cell) in cells.iter().enumerate() {
+            line.push_str(",\"");
+            match self.columns.get(i) {
+                Some(name) => push_json_escaped(&mut line, name),
+                None => {
+                    let _ = write!(line, "col{i}");
+                }
+            }
+            line.push_str("\":");
+            push_json_cell(&mut line, cell);
+        }
+        line.push('}');
+        self.line(&line);
+    }
+
+    fn note(&mut self, text: &str) {
+        let mut line = String::from("{\"type\":\"note\",\"text\":\"");
+        push_json_escaped(&mut line, text);
+        line.push_str("\"}");
+        self.line(&line);
+    }
+
+    fn event(&mut self, event: &TracedEvent) {
+        let mut line = format!(
+            "{{\"type\":\"event\",\"at_ns\":{},\"seq\":{},\"kind\":\"{}\",\"detail\":\"",
+            event.at.as_nanos(),
+            event.seq,
+            event.event.kind()
+        );
+        push_json_escaped(&mut line, &event.event.to_string());
+        line.push_str("\"}");
+        self.line(&line);
+    }
+
+    fn snapshot(&mut self, snapshot: &EpochSnapshot) {
+        let mut line = format!(
+            "{{\"type\":\"snapshot\",\"epoch\":{},\"at_ns\":{},\"counters\":{{",
+            snapshot.epoch,
+            snapshot.at.as_nanos()
+        );
+        for (i, (name, sample)) in snapshot.counters.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            let _ = write!(
+                line,
+                "\"{name}\":{{\"delta\":{},\"total\":{}}}",
+                sample.delta, sample.total
+            );
+        }
+        line.push_str("},\"gauges\":{");
+        for (i, (name, value)) in snapshot.gauges.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            if value.is_finite() {
+                let _ = write!(line, "\"{name}\":{value}");
+            } else {
+                let _ = write!(line, "\"{name}\":null");
+            }
+        }
+        line.push_str("}}");
+        self.line(&line);
+    }
+
+    fn finish(&mut self) {
+        self.out.flush().expect("jsonl sink flush failed");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+    use sim_clock::SimTime;
+
+    fn render_csv(f: impl FnOnce(&mut CsvSink<Vec<u8>>)) -> String {
+        let mut sink = CsvSink::new(Vec::new());
+        f(&mut sink);
+        String::from_utf8(sink.into_inner()).unwrap()
+    }
+
+    #[test]
+    fn csv_layout_matches_historical_format() {
+        let text = render_csv(|s| {
+            s.section("fig-test");
+            s.columns(&["a", "b"]);
+            s.row(&["1", "2.5"]);
+            s.note("done");
+        });
+        assert_eq!(text, "\n# fig-test\na,b\n1,2.5\n\ndone\n");
+    }
+
+    #[test]
+    fn csv_events_are_prefixed_rows() {
+        let text = render_csv(|s| {
+            s.event(&TracedEvent {
+                at: SimTime::from_nanos(42),
+                seq: 0,
+                event: TraceEvent::WriteFault { page: 9 },
+            });
+        });
+        assert_eq!(text, "trace,42,0,write_fault,page=9\n");
+    }
+
+    #[test]
+    fn jsonl_rows_key_by_columns_and_escape() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.section("fig \"x\"");
+        sink.columns(&["name", "value"]);
+        sink.row(&["zipf", "0.99"]);
+        sink.row(&["a", "b", "extra"]);
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines[0],
+            "{\"type\":\"section\",\"title\":\"fig \\\"x\\\"\"}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"type\":\"row\",\"section\":\"fig \\\"x\\\"\",\"name\":\"zipf\",\"value\":0.99}"
+        );
+        assert!(lines[2].contains("\"col2\":\"extra\""));
+    }
+
+    #[test]
+    fn null_sink_accepts_everything() {
+        let mut sink = NullSink;
+        sink.section("s");
+        sink.columns(&["c"]);
+        sink.row(&["1"]);
+        sink.note("n");
+        sink.finish();
+    }
+}

@@ -25,7 +25,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut nv = Viyojit::new(
         8192,
-        ViyojitConfig::with_budget_pages(initial_budget.pages()),
+        ViyojitConfig::builder(initial_budget.pages())
+            .total_pages(8192)
+            .build()?,
         Clock::new(),
         CostModel::calibrated(),
         SsdConfig::datacenter(),

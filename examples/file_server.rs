@@ -16,7 +16,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 32 MiB NV-DRAM volume with battery for 512 dirty pages (~6%).
     let nv = Viyojit::new(
         8192,
-        ViyojitConfig::with_budget_pages(512),
+        ViyojitConfig::builder(512).total_pages(8192).build()?,
         Clock::new(),
         CostModel::calibrated(),
         SsdConfig::datacenter(),

@@ -20,7 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let clock = Clock::new();
     let nv = Viyojit::new(
         8192, // 32 MiB NV-DRAM
-        ViyojitConfig::with_budget_pages(512),
+        ViyojitConfig::builder(512).total_pages(8192).build()?,
         clock.clone(),
         CostModel::calibrated(),
         SsdConfig::datacenter(),

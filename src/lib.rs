@@ -6,6 +6,7 @@ pub use mem_sim;
 pub use pheap;
 pub use sim_clock;
 pub use ssd_sim;
+pub use telemetry;
 pub use trace_analysis;
 pub use viyojit;
 pub use workloads;

@@ -5,7 +5,7 @@ use kvstore::KvStore;
 use pheap::PHeap;
 use sim_clock::{Clock, CostModel};
 use ssd_sim::SsdConfig;
-use viyojit::{Viyojit, ViyojitConfig};
+use viyojit::{NvStore, Viyojit, ViyojitConfig};
 use workloads::{YcsbGenerator, YcsbOp, YcsbWorkload};
 
 fn key(id: u64) -> Vec<u8> {
@@ -20,7 +20,10 @@ fn fresh_stack(budget: u64) -> (Clock, KvStore<Viyojit>) {
     let clock = Clock::new();
     let nv = Viyojit::new(
         2048,
-        ViyojitConfig::with_budget_pages(budget),
+        ViyojitConfig::builder(budget)
+            .total_pages(2048)
+            .build()
+            .expect("valid test configuration"),
         clock.clone(),
         CostModel::calibrated(),
         SsdConfig::datacenter(),
@@ -168,68 +171,60 @@ fn deletes_survive_crashes_too() {
     }
 }
 
+/// Drives the same YCSB-F stream against any store and digests the reads.
+fn ycsb_f_digest<S: NvStore>(nv: S) -> u64 {
+    let heap = PHeap::format(nv, 1800 * 4096).expect("heap");
+    let mut kv = KvStore::create(heap, 1024).expect("store");
+    for id in 0..300u64 {
+        kv.set(&key(id), &value(id, 0)).expect("load");
+    }
+    let mut gen = YcsbGenerator::new(YcsbWorkload::F, 300, 5);
+    let mut digest = 0u64;
+    for _ in 0..2_000 {
+        match gen.next_op() {
+            YcsbOp::Read(id) => {
+                if let Some(v) = kv.get(&key(id)).expect("get") {
+                    digest = digest.wrapping_mul(31).wrapping_add(v[0] as u64);
+                }
+            }
+            YcsbOp::ReadModifyWrite(id) => {
+                let mut v = kv
+                    .get(&key(id))
+                    .expect("rmw get")
+                    .unwrap_or_else(|| value(id, 0));
+                v[0] = v[0].wrapping_add(1);
+                kv.set(&key(id), &v).expect("rmw set");
+            }
+            _ => {}
+        }
+    }
+    digest
+}
+
 #[test]
 fn viyojit_and_baseline_agree_on_results() {
     // Identical op streams must produce identical store contents on both
     // systems — the budget only affects *when* pages flush, never data.
+    // Both stacks run through the same NvStore-generic driver.
     use viyojit::NvdramBaseline;
 
-    type KvOp<'a> = &'a mut dyn FnMut(&[u8], Option<&[u8]>) -> Option<Vec<u8>>;
-    let run_ops = |kv_ops: KvOp| {
-        let mut gen = YcsbGenerator::new(YcsbWorkload::F, 300, 5);
-        let mut digest = 0u64;
-        for _ in 0..2_000 {
-            match gen.next_op() {
-                YcsbOp::Read(id) => {
-                    if let Some(v) = kv_ops(&key(id), None) {
-                        digest = digest.wrapping_mul(31).wrapping_add(v[0] as u64);
-                    }
-                }
-                YcsbOp::ReadModifyWrite(id) => {
-                    let mut v = kv_ops(&key(id), None).unwrap_or_else(|| value(id, 0));
-                    v[0] = v[0].wrapping_add(1);
-                    kv_ops(&key(id), Some(&v));
-                }
-                _ => {}
-            }
-        }
-        digest
-    };
+    let viyojit_digest = ycsb_f_digest(Viyojit::new(
+        2048,
+        ViyojitConfig::builder(8)
+            .total_pages(2048)
+            .build()
+            .expect("valid test configuration"),
+        Clock::new(),
+        CostModel::calibrated(),
+        SsdConfig::datacenter(),
+    ));
 
-    let viyojit_digest = {
-        let (_c, mut kv) = fresh_stack(8);
-        for id in 0..300u64 {
-            kv.set(&key(id), &value(id, 0)).expect("load");
-        }
-        run_ops(&mut |k, v| match v {
-            Some(data) => {
-                kv.set(k, data).expect("set");
-                None
-            }
-            None => kv.get(k).expect("get"),
-        })
-    };
-
-    let baseline_digest = {
-        let nv = NvdramBaseline::new(
-            2048,
-            Clock::new(),
-            CostModel::calibrated(),
-            SsdConfig::datacenter(),
-        );
-        let heap = PHeap::format(nv, 1800 * 4096).expect("heap");
-        let mut kv = KvStore::create(heap, 1024).expect("store");
-        for id in 0..300u64 {
-            kv.set(&key(id), &value(id, 0)).expect("load");
-        }
-        run_ops(&mut |k, v| match v {
-            Some(data) => {
-                kv.set(k, data).expect("set");
-                None
-            }
-            None => kv.get(k).expect("get"),
-        })
-    };
+    let baseline_digest = ycsb_f_digest(NvdramBaseline::new(
+        2048,
+        Clock::new(),
+        CostModel::calibrated(),
+        SsdConfig::datacenter(),
+    ));
 
     assert_eq!(viyojit_digest, baseline_digest);
 }
