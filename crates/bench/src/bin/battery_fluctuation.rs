@@ -3,26 +3,21 @@
 //! daily temperature swings. The budget governor re-derives the dirty
 //! budget at every sample, the manager flushes down when capacity drops,
 //! and durability is proven by a simulated power failure at every step.
+//!
+//! The scenario is backend-generic: by default it runs the software
+//! write-protection tracker (the paper's §8 setting); pass `mmu` as the
+//! first argument to drive the same battery life through the §5.4
+//! hardware-assisted backend instead.
 
 use battery_sim::{Battery, BatteryConfig, BudgetGovernor, HealthModel, PowerModel};
 use sim_clock::{Clock, CostModel, SimDuration};
 use ssd_sim::SsdConfig;
-use viyojit::{NvHeap, Viyojit, ViyojitConfig};
+use viyojit::{DirtyTracker, Engine, MmuAssisted, NvHeap, SoftwareWalk, ViyojitConfig};
 use viyojit_bench::{note, row, Report};
 
 const FLUSH_BW: u64 = 2_000_000_000;
 
-fn main() {
-    let mut report = Report::stdout_csv();
-    report.section("§8 — dirty budget tracking battery health over 3 years");
-    report.columns(&[
-        "day",
-        "health",
-        "budget_pages",
-        "dirty_after_adjust",
-        "failure_survives",
-    ]);
-
+fn run_backend<B: DirtyTracker>(report: &mut Report) {
     let power = PowerModel::datacenter_server(0.064);
     let mut governor = BudgetGovernor::new(
         Battery::new(BatteryConfig::with_capacity_joules(12.0)),
@@ -32,7 +27,7 @@ fn main() {
     );
     let initial = governor.current_budget().pages().max(1);
 
-    let mut nv = Viyojit::new(
+    let mut nv = Engine::<B>::new(
         16_384,
         ViyojitConfig::builder(initial)
             .total_pages(16_384)
@@ -93,4 +88,28 @@ fn main() {
         "every simulated failure across the battery's life was covered: {all_survived} \
          (the §8 alternative to over-provisioning for worst-case aging)"
     );
+}
+
+fn main() {
+    let mut report = Report::stdout_csv();
+    let mmu = std::env::args().nth(1).as_deref() == Some("mmu");
+    if mmu {
+        report.section(
+            "§8 — dirty budget tracking battery health over 3 years (MMU-assisted backend)",
+        );
+    } else {
+        report.section("§8 — dirty budget tracking battery health over 3 years");
+    }
+    report.columns(&[
+        "day",
+        "health",
+        "budget_pages",
+        "dirty_after_adjust",
+        "failure_survives",
+    ]);
+    if mmu {
+        run_backend::<MmuAssisted>(&mut report);
+    } else {
+        run_backend::<SoftwareWalk>(&mut report);
+    }
 }

@@ -266,11 +266,12 @@ pub fn run_on<H: NvStore>(cfg: &ExperimentConfig, nv: H, budget: Option<u64>) ->
     }
 }
 
-/// Runs the measured YCSB phase against a caller-constructed Viyojit
-/// (for non-default configurations: codecs, policies, epochs).
-pub fn run_prepared(
+/// Runs the measured YCSB phase against a caller-constructed store
+/// (for non-default configurations: codecs, policies, epochs, sharded
+/// frontends). Any [`NvStore`] works.
+pub fn run_prepared<H: NvStore>(
     cfg: &ExperimentConfig,
-    nv: Viyojit,
+    nv: H,
     dirty_budget_pages: Option<u64>,
 ) -> ExperimentResult {
     run_on(cfg, nv, dirty_budget_pages)

@@ -5,28 +5,25 @@
 //! ballooning to reallocate battery/dirty-budget among co-located tenants
 //! to benefit from inherent statistical multiplexing effects."
 //!
-//! [`BalloonedCluster`] implements that: several [`Viyojit`] tenants share
-//! one provisioned battery budget. A broker periodically re-divides the
-//! budget in proportion to each tenant's observed *demand* (write stalls
-//! and fresh dirty pages since the last rebalance), subject to a per-tenant
-//! floor. Durability composes: every tenant enforces its own bound, and
-//! the broker never hands out more than the battery covers in total.
+//! [`BalloonedCluster`] implements that: several tenants share one
+//! provisioned battery budget. A [`BudgetArbiter`] periodically re-divides
+//! the budget in proportion to each tenant's observed *demand* (write
+//! stalls and fresh dirty pages since the last rebalance), subject to a
+//! per-tenant floor. Durability composes: every tenant enforces its own
+//! bound, and the broker never hands out more than the battery covers in
+//! total.
+//!
+//! Since the engine unification the cluster is generic over the
+//! [`DirtyTracker`] backend, so software-tracked and MMU-assisted tenants
+//! balloon identically (the historical implementation was limited to the
+//! software runtime, which alone exposed `set_dirty_budget`).
 
-use sim_clock::SimDuration;
-
-use crate::{Viyojit, ViyojitError};
+use crate::engine::{BudgetArbiter, DirtyTracker, Engine, SoftwareWalk};
+use crate::{InvariantViolation, ViyojitError, ViyojitStats};
 
 /// Identifies a tenant within a [`BalloonedCluster`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TenantId(pub usize);
-
-/// Demand observed for one tenant since the previous rebalance.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-struct DemandSnapshot {
-    budget_stalls: u64,
-    pages_dirtied: u64,
-    stall_time: SimDuration,
-}
 
 /// A set of Viyojit tenants multiplexing one battery's dirty budget.
 ///
@@ -54,15 +51,12 @@ struct DemandSnapshot {
 /// # Ok::<(), viyojit::ViyojitError>(())
 /// ```
 #[derive(Debug)]
-pub struct BalloonedCluster {
-    tenants: Vec<Viyojit>,
-    last_seen: Vec<DemandSnapshot>,
-    total_budget_pages: u64,
-    min_per_tenant: u64,
-    rebalances: u64,
+pub struct BalloonedCluster<B: DirtyTracker = SoftwareWalk> {
+    tenants: Vec<Engine<B>>,
+    arbiter: BudgetArbiter,
 }
 
-impl BalloonedCluster {
+impl<B: DirtyTracker> BalloonedCluster<B> {
     /// Creates a cluster sharing `total_budget_pages` across `tenants`,
     /// guaranteeing each at least `min_per_tenant`. The initial division
     /// is even.
@@ -71,24 +65,14 @@ impl BalloonedCluster {
     ///
     /// Panics if there are no tenants, `min_per_tenant` is zero, or the
     /// floors alone exceed the total.
-    pub fn new(tenants: Vec<Viyojit>, total_budget_pages: u64, min_per_tenant: u64) -> Self {
+    pub fn new(tenants: Vec<Engine<B>>, total_budget_pages: u64, min_per_tenant: u64) -> Self {
         assert!(!tenants.is_empty(), "a cluster needs at least one tenant");
         assert!(min_per_tenant > 0, "tenants need at least one dirty page");
-        assert!(
-            min_per_tenant * tenants.len() as u64 <= total_budget_pages,
-            "per-tenant floors exceed the provisioned budget"
-        );
-        let n = tenants.len();
-        let mut cluster = BalloonedCluster {
-            last_seen: vec![DemandSnapshot::default(); n],
-            tenants,
-            total_budget_pages,
-            min_per_tenant,
-            rebalances: 0,
-        };
-        let even = total_budget_pages / n as u64;
-        for i in 0..n {
-            cluster.tenants[i].set_dirty_budget(even.max(cluster.min_per_tenant));
+        let arbiter = BudgetArbiter::new(tenants.len(), total_budget_pages, min_per_tenant);
+        let mut cluster = BalloonedCluster { tenants, arbiter };
+        let even = cluster.arbiter.initial_share();
+        for tenant in &mut cluster.tenants {
+            tenant.set_dirty_budget(even);
         }
         cluster
     }
@@ -105,7 +89,7 @@ impl BalloonedCluster {
 
     /// The shared provisioned budget.
     pub fn total_budget_pages(&self) -> u64 {
-        self.total_budget_pages
+        self.arbiter.total_budget_pages()
     }
 
     /// Sum of budgets currently assigned to tenants. Always at most
@@ -116,7 +100,7 @@ impl BalloonedCluster {
 
     /// Rebalances performed so far.
     pub fn rebalances(&self) -> u64 {
-        self.rebalances
+        self.arbiter.rebalances()
     }
 
     /// Exclusive access to one tenant.
@@ -124,7 +108,7 @@ impl BalloonedCluster {
     /// # Panics
     ///
     /// Panics if the tenant id is out of range.
-    pub fn tenant_mut(&mut self, id: TenantId) -> &mut Viyojit {
+    pub fn tenant_mut(&mut self, id: TenantId) -> &mut Engine<B> {
         &mut self.tenants[id.0]
     }
 
@@ -133,18 +117,8 @@ impl BalloonedCluster {
     /// # Panics
     ///
     /// Panics if the tenant id is out of range.
-    pub fn tenant(&self, id: TenantId) -> &Viyojit {
+    pub fn tenant(&self, id: TenantId) -> &Engine<B> {
         &self.tenants[id.0]
-    }
-
-    /// Demand score for a tenant: stalls hurt most (a writer blocked on
-    /// the SSD), dirty-page churn indicates an active write working set.
-    fn demand(&self, idx: usize) -> u64 {
-        let stats = self.tenants[idx].stats();
-        let prev = self.last_seen[idx];
-        let stalls = stats.budget_stalls - prev.budget_stalls;
-        let dirtied = stats.pages_dirtied - prev.pages_dirtied;
-        10 * stalls + dirtied + 1 // +1 keeps idle tenants from starving the score
     }
 
     /// Re-divides the shared budget in proportion to observed demand.
@@ -153,30 +127,11 @@ impl BalloonedCluster {
     /// machinery), so durability holds at every instant — before, during,
     /// and after the rebalance the dirty total never exceeds the battery.
     pub fn rebalance(&mut self) {
-        let n = self.tenants.len();
-        let demands: Vec<u64> = (0..n).map(|i| self.demand(i)).collect();
-        let total_demand: u64 = demands.iter().sum();
-        let distributable = self.total_budget_pages - self.min_per_tenant * n as u64;
-
-        // Largest-remainder division of the distributable pages.
-        let mut shares: Vec<u64> = demands
-            .iter()
-            .map(|&d| distributable * d / total_demand)
-            .collect();
-        let mut leftover = distributable - shares.iter().sum::<u64>();
-        let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by_key(|&i| std::cmp::Reverse(demands[i]));
-        for &i in order.iter().cycle().take(leftover as usize) {
-            shares[i] += 1;
-            leftover -= 1;
-            if leftover == 0 {
-                break;
-            }
-        }
+        let before: Vec<ViyojitStats> = self.tenants.iter().map(|t| t.stats()).collect();
+        let targets = self.arbiter.plan(&before);
 
         // Shrink first (freeing pages), then grow, so the instantaneous
         // sum never exceeds the provisioned total.
-        let targets: Vec<u64> = shares.iter().map(|s| s + self.min_per_tenant).collect();
         for (tenant, &target) in self.tenants.iter_mut().zip(&targets) {
             if target < tenant.dirty_budget() {
                 tenant.set_dirty_budget(target);
@@ -188,43 +143,48 @@ impl BalloonedCluster {
             }
         }
 
-        for i in 0..n {
-            let stats = self.tenants[i].stats();
-            self.last_seen[i] = DemandSnapshot {
-                budget_stalls: stats.budget_stalls,
-                pages_dirtied: stats.pages_dirtied,
-                stall_time: stats.stall_time,
-            };
-        }
-        self.rebalances += 1;
+        // The post-apply stats become the next demand baseline: stalls
+        // incurred while shrinking count toward the *next* rebalance.
+        let after: Vec<ViyojitStats> = self.tenants.iter().map(|t| t.stats()).collect();
+        self.arbiter.commit(&after);
     }
 
-    /// Asserts the cluster-wide durability invariant: the dirty totals of
-    /// all tenants fit the provisioned budget.
+    /// Checks the cluster-wide durability invariant: assigned budgets and
+    /// the dirty totals of all tenants fit the provisioned budget, and
+    /// every tenant's own invariants hold.
+    ///
+    /// # Errors
+    ///
+    /// The first [`InvariantViolation`] found.
+    pub fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        self.arbiter.check_assignment(self.total_assigned())?;
+        let dirty: u64 = self.tenants.iter().map(|t| t.dirty_count()).sum();
+        if dirty > self.total_budget_pages() {
+            return Err(InvariantViolation::BudgetExceeded {
+                dirty,
+                budget: self.total_budget_pages(),
+            });
+        }
+        for t in &self.tenants {
+            t.check_invariants()?;
+        }
+        Ok(())
+    }
+
+    /// Panicking wrapper over [`BalloonedCluster::check_invariants`].
     ///
     /// # Panics
     ///
-    /// Panics if the invariant is violated.
+    /// Panics with the violation's `Display` text if the invariant is
+    /// violated.
     pub fn validate(&self) {
-        let assigned = self.total_assigned();
-        assert!(
-            assigned <= self.total_budget_pages,
-            "assigned budgets {assigned} exceed the provisioned {}",
-            self.total_budget_pages
-        );
-        let dirty: u64 = self.tenants.iter().map(|t| t.dirty_count()).sum();
-        assert!(
-            dirty <= self.total_budget_pages,
-            "cluster dirty total {dirty} exceeds the battery's {} pages",
-            self.total_budget_pages
-        );
-        for t in &self.tenants {
-            t.validate();
+        if let Err(violation) = self.check_invariants() {
+            panic!("{violation}");
         }
     }
 
     /// Consumes the cluster, returning its tenants.
-    pub fn into_tenants(self) -> Vec<Viyojit> {
+    pub fn into_tenants(self) -> Vec<Engine<B>> {
         self.tenants
     }
 }
@@ -235,7 +195,7 @@ pub type BalloonResult<T> = Result<T, ViyojitError>;
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{NvHeap, ViyojitConfig};
+    use crate::{MmuAssistedViyojit, NvHeap, Viyojit, ViyojitConfig};
     use sim_clock::{Clock, CostModel};
     use ssd_sim::SsdConfig;
 
@@ -373,5 +333,32 @@ mod tests {
     fn overcommitted_floors_panic() {
         let clock = Clock::new();
         let _ = BalloonedCluster::new(vec![tenant(&clock), tenant(&clock)], 4, 4);
+    }
+
+    #[test]
+    fn mmu_assisted_tenants_balloon_too() {
+        // The historical cluster required the software runtime; the
+        // generic engine lets hardware-tracked tenants share a battery.
+        let clock = Clock::new();
+        let make = || {
+            MmuAssistedViyojit::new(
+                512,
+                ViyojitConfig::with_budget_pages(1),
+                clock.clone(),
+                CostModel::free(),
+                SsdConfig::instant(),
+            )
+        };
+        let mut c = BalloonedCluster::new(vec![make(), make()], 32, 4);
+        let r = c.tenant_mut(TenantId(0)).map(4096 * 64).unwrap();
+        for page in 0..64u64 {
+            c.tenant_mut(TenantId(0))
+                .write(r, page * 4096, &[1])
+                .unwrap();
+        }
+        c.rebalance();
+        c.validate();
+        assert!(c.tenant(TenantId(0)).dirty_budget() > c.tenant(TenantId(1)).dirty_budget());
+        assert_eq!(c.total_assigned(), 32);
     }
 }

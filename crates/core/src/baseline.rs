@@ -1,15 +1,20 @@
 //! Comparison systems: the full-battery NV-DRAM baseline the paper
 //! evaluates against, and the flawed periodic-counting tracker §4.1 rejects.
 
-use mem_sim::{Mmu, MmuStats, PageId, WalkOptions, PAGE_SIZE};
+use mem_sim::{Mmu, MmuStats, PageId, WalkOptions};
 use sim_clock::{Clock, CostModel};
 use ssd_sim::{Ssd, SsdConfig};
 
-use crate::{NvHeap, PowerFailureReport, RegionId, RegionTable, ViyojitError};
+use crate::engine::{Engine, FullDirty};
+use crate::{NvHeap, PowerFailureReport, RegionId, ViyojitConfig, ViyojitError};
 
 /// State-of-the-art battery-backed DRAM: a battery sized for the *entire*
 /// NV-DRAM capacity, so no tracking, no write protection, and no copy-out
 /// traffic. This is the "NV-DRAM" baseline of Figs. 7-8.
+///
+/// A thin wrapper over [`Engine`] with the [`FullDirty`] backend (a
+/// wrapper rather than an alias because the baseline takes no
+/// [`ViyojitConfig`] — there is no budget to configure).
 ///
 /// # Examples
 ///
@@ -24,116 +29,69 @@ use crate::{NvHeap, PowerFailureReport, RegionId, RegionTable, ViyojitError};
 /// # Ok::<(), viyojit::ViyojitError>(())
 /// ```
 #[derive(Debug)]
-pub struct NvdramBaseline {
-    mmu: Mmu,
-    ssd: Ssd,
-    regions: RegionTable,
-    clock: Clock,
-}
+pub struct NvdramBaseline(Engine<FullDirty>);
 
 impl NvdramBaseline {
     /// Creates a baseline over `total_pages` of NV-DRAM.
     pub fn new(total_pages: usize, clock: Clock, costs: CostModel, ssd_config: SsdConfig) -> Self {
-        NvdramBaseline {
-            mmu: Mmu::new(total_pages, clock.clone(), costs),
-            ssd: Ssd::new(total_pages, ssd_config, clock.clone()),
-            regions: RegionTable::new(total_pages as u64),
-            clock,
-        }
+        // The config is inert: the FullDirty backend bounds nothing.
+        let config = ViyojitConfig::with_budget_pages(total_pages.max(1) as u64);
+        NvdramBaseline(Engine::new(total_pages, config, clock, costs, ssd_config))
     }
 
     /// The shared virtual clock.
     pub fn clock(&self) -> &Clock {
-        &self.clock
+        self.0.clock()
     }
 
     /// MMU access counters.
     pub fn mmu_stats(&self) -> MmuStats {
-        self.mmu.stats()
+        self.0.mmu_stats()
     }
 
     /// The backing SSD.
     pub fn ssd(&self) -> &Ssd {
-        &self.ssd
+        self.0.ssd()
     }
 
     /// Attaches a telemetry handle. The baseline itself emits no control
     /// flow (no faults, no budget), so this only instruments its SSD.
     pub fn attach_telemetry(&mut self, telemetry: telemetry::Telemetry) {
-        self.ssd.attach_telemetry(telemetry);
+        self.0.attach_telemetry(telemetry);
     }
 
     /// Simulates a power failure. The baseline must assume *everything*
     /// could be dirty, so the battery obligation is the entire NV-DRAM
     /// capacity — the scaling problem Viyojit removes.
     pub fn power_failure(&mut self) -> PowerFailureReport {
-        for (_, info) in self.regions.iter() {
-            for page in info.iter_pages() {
-                // Borrow locally: flush each mapped page.
-                let data = self.mmu.page_data(page).to_vec();
-                self.ssd.submit_write(page, &data);
-            }
-        }
-        let obligation_pages = self.mmu.pages() as u64;
-        let bytes = obligation_pages * PAGE_SIZE as u64;
-        PowerFailureReport {
-            dirty_pages: obligation_pages,
-            bytes_flushed: bytes,
-            flush_time: self.ssd.config().drain_time(bytes),
-        }
+        self.0.power_failure()
     }
 
     /// Reloads NV-DRAM from the SSD after a power cycle.
     pub fn recover(&mut self) {
-        for i in 0..self.mmu.pages() {
-            let page = PageId(i as u64);
-            match self.ssd.page_data(page) {
-                Some(durable) => {
-                    let durable = durable.to_vec();
-                    self.mmu.page_data_mut(page).copy_from_slice(&durable);
-                }
-                None => self.mmu.page_data_mut(page).fill(0),
-            }
-        }
+        self.0.recover();
     }
 }
 
 impl NvHeap for NvdramBaseline {
     fn map(&mut self, len_bytes: u64) -> Result<RegionId, ViyojitError> {
-        self.regions.map(len_bytes)
+        self.0.map(len_bytes)
     }
 
     fn unmap(&mut self, region: RegionId) -> Result<(), ViyojitError> {
-        self.regions.unmap(region)?;
-        Ok(())
+        self.0.unmap(region)
     }
 
     fn read(&mut self, region: RegionId, offset: u64, buf: &mut [u8]) -> Result<(), ViyojitError> {
-        let addr = self.regions.resolve(region, offset, buf.len())?;
-        self.mmu
-            .read(addr, buf)
-            .expect("resolved addresses are in range");
-        Ok(())
+        self.0.read(region, offset, buf)
     }
 
     fn write(&mut self, region: RegionId, offset: u64, data: &[u8]) -> Result<(), ViyojitError> {
-        let mut addr = self.regions.resolve(region, offset, data.len())?;
-        let mut rest = data;
-        while !rest.is_empty() {
-            let in_page = PAGE_SIZE - (addr as usize % PAGE_SIZE);
-            let n = in_page.min(rest.len());
-            let (chunk, tail) = rest.split_at(n);
-            self.mmu
-                .write(addr, chunk)
-                .expect("baseline pages are always writable");
-            addr += n as u64;
-            rest = tail;
-        }
-        Ok(())
+        self.0.write(region, offset, data)
     }
 
     fn region_len(&self, region: RegionId) -> Result<u64, ViyojitError> {
-        Ok(self.regions.info(region)?.len_bytes)
+        self.0.region_len(region)
     }
 }
 
@@ -216,6 +174,7 @@ impl PeriodicCountTracker {
 mod tests {
     use super::*;
     use crate::NvHeap;
+    use mem_sim::PAGE_SIZE;
 
     #[test]
     fn baseline_never_faults() {

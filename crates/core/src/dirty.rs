@@ -10,6 +10,8 @@
 
 use mem_sim::PageId;
 
+use crate::InvariantViolation;
+
 /// Lifecycle state of a page as seen by the dirty tracker.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PageState {
@@ -158,8 +160,14 @@ impl DirtySet {
             .map(|(i, _)| PageId(i as u64))
     }
 
-    /// Debug-checks internal consistency: counters match state counts.
-    pub fn validate(&self) {
+    /// Checks internal consistency: the running counters must match a
+    /// recount of the per-page states.
+    ///
+    /// # Errors
+    ///
+    /// [`InvariantViolation::CounterOutOfSync`] naming the counter that
+    /// drifted.
+    pub fn check_invariants(&self) -> Result<(), InvariantViolation> {
         let dirty = self
             .states
             .iter()
@@ -170,11 +178,32 @@ impl DirtySet {
             .iter()
             .filter(|s| **s == PageState::InFlight)
             .count() as u64;
-        assert_eq!(dirty, self.dirty_count, "dirty counter out of sync");
-        assert_eq!(
-            in_flight, self.in_flight_count,
-            "in-flight counter out of sync"
-        );
+        if dirty != self.dirty_count {
+            return Err(InvariantViolation::CounterOutOfSync {
+                counter: "dirty",
+                counted: dirty,
+                recorded: self.dirty_count,
+            });
+        }
+        if in_flight != self.in_flight_count {
+            return Err(InvariantViolation::CounterOutOfSync {
+                counter: "in-flight",
+                counted: in_flight,
+                recorded: self.in_flight_count,
+            });
+        }
+        Ok(())
+    }
+
+    /// Panicking wrapper over [`DirtySet::check_invariants`] for tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the violation's `Display` text on any inconsistency.
+    pub fn validate(&self) {
+        if let Err(violation) = self.check_invariants() {
+            panic!("{violation}");
+        }
     }
 }
 

@@ -1,0 +1,248 @@
+//! The budget arbiter: dividing one battery's dirty budget among several
+//! engines (§6.3's ballooning discussion, generalised).
+//!
+//! [`BudgetArbiter`] is the pure redistribution policy shared by the
+//! tenant-level [`BalloonedCluster`](crate::BalloonedCluster) and the
+//! shard-level [`ShardedViyojit`](super::ShardedViyojit): it observes each
+//! member's demand (write stalls and dirty-page churn since the last
+//! rebalance), divides the distributable pages proportionally with a
+//! per-member floor, and leaves the *application* of the new budgets (and
+//! the shrink-before-grow ordering that keeps the instantaneous sum under
+//! the battery) to the caller.
+
+use sim_clock::SimDuration;
+
+use crate::{InvariantViolation, ViyojitStats};
+
+/// Demand observed for one member since the previous rebalance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct DemandSnapshot {
+    budget_stalls: u64,
+    pages_dirtied: u64,
+    stall_time: SimDuration,
+}
+
+impl DemandSnapshot {
+    fn of(stats: &ViyojitStats) -> Self {
+        DemandSnapshot {
+            budget_stalls: stats.budget_stalls,
+            pages_dirtied: stats.pages_dirtied,
+            stall_time: stats.stall_time,
+        }
+    }
+}
+
+/// Divides a shared dirty budget across N members in proportion to
+/// observed demand, with a per-member floor.
+///
+/// The arbiter is deliberately stateless about the members themselves —
+/// it sees only their [`ViyojitStats`] — so one policy serves tenants
+/// (whole engines owned by different workloads) and shards (slices of one
+/// workload's address space) alike.
+///
+/// A rebalance is a `plan` / apply / `commit` cycle:
+///
+/// 1. [`BudgetArbiter::plan`] computes target budgets from current stats;
+/// 2. the caller applies them shrink-first, then grow (so the assigned
+///    sum never exceeds the provisioned total at any instant — shrinking
+///    members may stall flushing down, which is the point);
+/// 3. [`BudgetArbiter::commit`] records the post-apply stats as the new
+///    demand baseline (stalls incurred *while shrinking* count toward the
+///    member's demand at the next rebalance, not this one).
+#[derive(Debug)]
+pub struct BudgetArbiter {
+    total_budget_pages: u64,
+    min_per_member: u64,
+    last_seen: Vec<DemandSnapshot>,
+    rebalances: u64,
+}
+
+impl BudgetArbiter {
+    /// Creates an arbiter dividing `total_budget_pages` across `members`
+    /// members, each guaranteed at least `min_per_member`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no members, the floor is zero, or the floors
+    /// alone exceed the total.
+    pub fn new(members: usize, total_budget_pages: u64, min_per_member: u64) -> Self {
+        assert!(members > 0, "an arbiter needs at least one member");
+        assert!(min_per_member > 0, "members need at least one dirty page");
+        assert!(
+            min_per_member * members as u64 <= total_budget_pages,
+            "per-member floors exceed the provisioned budget"
+        );
+        BudgetArbiter {
+            total_budget_pages,
+            min_per_member,
+            last_seen: vec![DemandSnapshot::default(); members],
+            rebalances: 0,
+        }
+    }
+
+    /// Number of members.
+    pub fn members(&self) -> usize {
+        self.last_seen.len()
+    }
+
+    /// The shared provisioned budget.
+    pub fn total_budget_pages(&self) -> u64 {
+        self.total_budget_pages
+    }
+
+    /// The per-member floor.
+    pub fn min_per_member(&self) -> u64 {
+        self.min_per_member
+    }
+
+    /// Rebalances committed so far.
+    pub fn rebalances(&self) -> u64 {
+        self.rebalances
+    }
+
+    /// The even initial division: `total / members`, raised to the floor.
+    /// (The even shares may sum above the total when the floor dominates;
+    /// construction asserts the floors themselves fit.)
+    pub fn initial_share(&self) -> u64 {
+        (self.total_budget_pages / self.members() as u64).max(self.min_per_member)
+    }
+
+    /// Demand score for one member: stalls hurt most (a writer blocked on
+    /// the SSD), dirty-page churn indicates an active write working set.
+    fn demand(&self, idx: usize, stats: &ViyojitStats) -> u64 {
+        let prev = self.last_seen[idx];
+        let stalls = stats.budget_stalls - prev.budget_stalls;
+        let dirtied = stats.pages_dirtied - prev.pages_dirtied;
+        10 * stalls + dirtied + 1 // +1 keeps idle members from starving the score
+    }
+
+    /// Computes target budgets proportional to demand: a largest-remainder
+    /// division of the pages above the floors, remainders awarded to the
+    /// highest-demand members first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stats` does not have one entry per member.
+    pub fn plan(&self, stats: &[ViyojitStats]) -> Vec<u64> {
+        let n = self.members();
+        assert_eq!(stats.len(), n, "one stats snapshot per member");
+        let demands: Vec<u64> = stats
+            .iter()
+            .enumerate()
+            .map(|(i, s)| self.demand(i, s))
+            .collect();
+        let total_demand: u64 = demands.iter().sum();
+        let distributable = self.total_budget_pages - self.min_per_member * n as u64;
+
+        // Largest-remainder division of the distributable pages.
+        let mut shares: Vec<u64> = demands
+            .iter()
+            .map(|&d| distributable * d / total_demand)
+            .collect();
+        let mut leftover = distributable - shares.iter().sum::<u64>();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(demands[i]));
+        for &i in order.iter().cycle().take(leftover as usize) {
+            shares[i] += 1;
+            leftover -= 1;
+            if leftover == 0 {
+                break;
+            }
+        }
+
+        shares.iter().map(|s| s + self.min_per_member).collect()
+    }
+
+    /// Records the post-apply stats as the new demand baseline and counts
+    /// the rebalance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stats` does not have one entry per member.
+    pub fn commit(&mut self, stats: &[ViyojitStats]) {
+        assert_eq!(stats.len(), self.members(), "one stats snapshot per member");
+        for (seen, s) in self.last_seen.iter_mut().zip(stats) {
+            *seen = DemandSnapshot::of(s);
+        }
+        self.rebalances += 1;
+    }
+
+    /// Checks that `assigned` budgets fit the provisioned total.
+    ///
+    /// # Errors
+    ///
+    /// [`InvariantViolation::OverCommit`] when they do not.
+    pub fn check_assignment(&self, assigned: u64) -> Result<(), InvariantViolation> {
+        if assigned > self.total_budget_pages {
+            return Err(InvariantViolation::OverCommit {
+                assigned,
+                provisioned: self.total_budget_pages,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(stalls: u64, dirtied: u64) -> ViyojitStats {
+        ViyojitStats {
+            budget_stalls: stalls,
+            pages_dirtied: dirtied,
+            ..ViyojitStats::default()
+        }
+    }
+
+    #[test]
+    fn plan_conserves_the_total() {
+        let arb = BudgetArbiter::new(3, 100, 5);
+        let targets = arb.plan(&[stats(0, 7), stats(3, 50), stats(0, 0)]);
+        assert_eq!(targets.iter().sum::<u64>(), 100);
+        assert!(targets.iter().all(|&t| t >= 5));
+    }
+
+    #[test]
+    fn demand_is_proportional_and_deltas_reset_on_commit() {
+        let mut arb = BudgetArbiter::new(2, 64, 4);
+        let busy = [stats(10, 200), stats(0, 0)];
+        let t1 = arb.plan(&busy);
+        assert!(t1[0] > t1[1], "the stalling member gets the larger share");
+        arb.commit(&busy);
+        // Demand is measured since the last commit: with no new activity
+        // the members are equally (un)deserving.
+        let t2 = arb.plan(&busy);
+        assert_eq!(t2[0], t2[1]);
+        assert_eq!(arb.rebalances(), 1);
+    }
+
+    #[test]
+    fn remainders_go_to_the_highest_demand_members() {
+        let arb = BudgetArbiter::new(3, 10, 1);
+        // distributable = 7, demands 2:2:3 -> floor shares 2,2,3 sum 7, no
+        // leftover; make demands uneven enough to force remainders.
+        let targets = arb.plan(&[stats(0, 1), stats(0, 1), stats(0, 2)]);
+        assert_eq!(targets.iter().sum::<u64>(), 10);
+        assert!(targets[2] >= targets[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "floors exceed")]
+    fn overcommitted_floors_panic() {
+        BudgetArbiter::new(4, 10, 3);
+    }
+
+    #[test]
+    fn overcommit_check_reports_the_violation() {
+        let arb = BudgetArbiter::new(2, 10, 1);
+        assert!(arb.check_assignment(10).is_ok());
+        assert_eq!(
+            arb.check_assignment(11),
+            Err(InvariantViolation::OverCommit {
+                assigned: 11,
+                provisioned: 10,
+            })
+        );
+    }
+}

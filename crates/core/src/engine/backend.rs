@@ -1,0 +1,768 @@
+//! The dirty-tracking backends: how each mode observes page dirtiness.
+//!
+//! The shared engine (see [`super`]) drives Fig. 6; a [`DirtyTracker`]
+//! supplies the mode-specific mechanics — what a write to a tracked page
+//! costs, how newly dirty pages are discovered, what a flush pays, and
+//! how power failure/recovery interact with the tracking state. Each
+//! backend preserves the cost charging of the runtime it replaced: the
+//! software walker traps on first writes and flushes the TLB on walks,
+//! the hardware backend traps only at the budget boundary, the baseline
+//! never traps at all.
+
+use mem_sim::{AccessError, Mmu, PageId, WalkOptions, PAGE_SIZE};
+use telemetry::TraceEvent;
+
+use crate::codec::{encoded_page_bytes, page_content_hash, DEDUP_RECORD_BYTES};
+use crate::{
+    DirtySet, FlushCodec, InvariantViolation, PageState, PowerFailureReport, RegionInfo,
+    ViyojitConfig,
+};
+
+use super::{retire_completions, stall_until_dirty_at_most, wait_for_page_io, EngineCore};
+
+/// Page-tracking mechanics plugged into [`Engine`](super::Engine).
+///
+/// Implementations hold only the state their tracking mechanism needs
+/// (the software dirty set, the hardware's known-dirty shadow, or nothing
+/// at all); everything else lives in the shared [`EngineCore`]. Hooks
+/// take the core and the backend as separate parameters so they can
+/// re-enter the shared control flow (stall, retire, flush) without
+/// aliasing.
+pub trait DirtyTracker: Sized + std::fmt::Debug {
+    /// Display name used by the [`NvStore`](crate::NvStore) impl.
+    const SYSTEM: &'static str;
+
+    /// Whether this backend runs the Fig. 6 control loop (epoch walks,
+    /// proactive copying, budget enforcement). The baseline does not.
+    const HAS_CONTROL_LOOP: bool;
+
+    /// Whether flush payloads go through the §7 codecs; when `false` the
+    /// `viyojit.physical_bytes_flushed` counter stays unpublished, as
+    /// every flush ships a full page.
+    const TRACKS_PHYSICAL: bool;
+
+    /// Arms the tracking mechanism at construction time (protection pass,
+    /// dirty-limit arming, or nothing) and returns the backend state.
+    fn init(mmu: &mut Mmu, config: &ViyojitConfig, total_pages: usize) -> Self;
+
+    /// Pages currently counted against the dirty budget.
+    fn dirty_count(&self, core: &EngineCore) -> u64;
+
+    /// Pages with a flush IO in flight.
+    fn in_flight_pages(&self) -> u64;
+
+    /// Handles a recoverable MMU write error (a write-protect fault or a
+    /// dirty-limit interrupt); the engine retries the write afterwards.
+    fn on_write_error(core: &mut EngineCore, backend: &mut Self, err: AccessError);
+
+    /// The epoch walk (§5.2): refresh recency, discover newly dirty
+    /// pages. Returns `(pages walked, newly dirty pages observed)` for
+    /// the `EpochWalk` trace event and the pressure estimator.
+    fn epoch_walk(core: &mut EngineCore, backend: &mut Self) -> (u64, u64);
+
+    /// Called when the idle fast-forward path skips epochs.
+    fn on_epochs_skipped(&mut self) {}
+
+    /// Transitions `victim` into the in-flight state (it has just been
+    /// re-protected; its IO is about to be submitted).
+    fn mark_in_flight(core: &mut EngineCore, backend: &mut Self, victim: PageId);
+
+    /// The physical bytes one flush of `victim` ships (the §7
+    /// reductions); full pages when the backend does not track payloads.
+    fn flush_payload(
+        core: &mut EngineCore,
+        backend: &mut Self,
+        victim: PageId,
+        data: &[u8],
+    ) -> usize;
+
+    /// A flush IO for `page` completed: move it clean and release its
+    /// budget slot.
+    fn on_flush_complete(core: &mut EngineCore, backend: &mut Self, page: PageId);
+
+    /// Picks the victim for a forced flush when the stall loop finds no
+    /// IO in flight.
+    fn pick_forced_victim(core: &mut EngineCore, backend: &mut Self) -> PageId;
+
+    /// The §8 budget hook changed the budget to `pages` (the engine
+    /// stalls down to it afterwards).
+    fn on_budget_changed(_core: &mut EngineCore, _backend: &mut Self, _pages: u64) {}
+
+    /// Releases tracking state for a dying mapping: waits out in-flight
+    /// flushes, then discards dirty pages (their contents are garbage
+    /// now, not data to preserve).
+    fn unmap_region(core: &mut EngineCore, backend: &mut Self, info: &RegionInfo);
+
+    /// Simulates an external power failure: flush whatever the design
+    /// obliges the battery to flush.
+    fn power_failure(core: &mut EngineCore, backend: &mut Self) -> PowerFailureReport;
+
+    /// Reloads memory from the SSD and resets the tracking state after a
+    /// power cycle (the engine resets the shared trackers afterwards).
+    fn recover_memory(core: &mut EngineCore, backend: &mut Self);
+
+    /// Checks the backend's invariants, chiefly the durability bound.
+    ///
+    /// # Errors
+    ///
+    /// The first [`InvariantViolation`] found.
+    fn check_invariants(&self, core: &EngineCore) -> Result<(), InvariantViolation>;
+
+    /// `true` if every clean mapped page matches its durable SSD copy.
+    fn durable_state_consistent(&self, core: &EngineCore) -> bool;
+}
+
+// ----------------------------------------------------------------------
+// SoftwareWalk: the paper's §5 design (write-protect faults + PTE walks)
+// ----------------------------------------------------------------------
+
+/// The paper's software tracking (§5): every page starts write-protected,
+/// first writes trap into the fault handler, and the epoch walker samples
+/// and clears PTE dirty bits (flushing the TLB for exactness).
+///
+/// `Engine<SoftwareWalk>` is [`Viyojit`](crate::Viyojit).
+#[derive(Debug)]
+pub struct SoftwareWalk {
+    dirty: DirtySet,
+    /// Content hashes of pages durable on the SSD (dedup codec only).
+    dedup_hashes: std::collections::HashSet<u64>,
+    new_dirty_this_epoch: u64,
+}
+
+/// The physical payload one page flush costs under the configured §7
+/// reductions: sector-granular shipping (when a durable base exists to
+/// patch), compression, or a dedup reference when the whole content is
+/// already durable. When both sector flushing and a codec are enabled,
+/// the cheaper of the two applies.
+fn physical_flush_bytes(
+    core: &mut EngineCore,
+    sw: &mut SoftwareWalk,
+    page: PageId,
+    data: &[u8],
+) -> usize {
+    let codec_bytes = match core.config.flush_codec {
+        FlushCodec::Raw => PAGE_SIZE,
+        FlushCodec::Rle => encoded_page_bytes(FlushCodec::Rle, data),
+        FlushCodec::RleDedup => {
+            let hash = page_content_hash(data);
+            if sw.dedup_hashes.insert(hash) {
+                encoded_page_bytes(FlushCodec::Rle, data)
+            } else {
+                DEDUP_RECORD_BYTES
+            }
+        }
+    };
+    if core.config.sector_flush && core.ssd.contains(page) {
+        // Clean sectors already match the durable base copy, so only
+        // the modified sectors (plus an 8 B mask) need shipping.
+        let sector_bytes = core.mmu.dirty_sector_bytes(page) + 8;
+        codec_bytes.min(sector_bytes.min(PAGE_SIZE))
+    } else {
+        codec_bytes
+    }
+}
+
+/// The write-protection fault handler (Fig. 6 steps 3-8).
+fn handle_fault(core: &mut EngineCore, sw: &mut SoftwareWalk, page: PageId) {
+    core.stats.faults_handled += 1;
+    core.telemetry
+        .emit(|| TraceEvent::WriteFault { page: page.0 });
+    retire_completions(core, sw);
+
+    if sw.dirty.state(page) == PageState::InFlight {
+        // The page is mid-flush; wait for its IO so the clean snapshot
+        // is durable before the page is re-dirtied.
+        core.stats.in_flight_collisions += 1;
+        wait_for_page_io(core, sw, page);
+    }
+    debug_assert_eq!(sw.dirty.state(page), PageState::Clean);
+
+    // Step 5: admitting this page must keep the count within budget.
+    let admit = core.config.dirty_budget_pages - 1;
+    stall_until_dirty_at_most(core, sw, admit, admit);
+
+    // Step 8: unprotect, count, record.
+    core.mmu.unprotect_page(page);
+    sw.dirty.mark_dirty(page);
+    core.history.touch(page);
+    core.selector.on_dirty(page, &core.history);
+    sw.new_dirty_this_epoch += 1;
+    core.stats.pages_dirtied += 1;
+}
+
+impl DirtyTracker for SoftwareWalk {
+    const SYSTEM: &'static str = "Viyojit";
+    const HAS_CONTROL_LOOP: bool = true;
+    const TRACKS_PHYSICAL: bool = true;
+
+    fn init(mmu: &mut Mmu, _config: &ViyojitConfig, total_pages: usize) -> Self {
+        for i in 0..total_pages {
+            mmu.protect_page(PageId(i as u64));
+        }
+        SoftwareWalk {
+            dirty: DirtySet::new(total_pages),
+            dedup_hashes: std::collections::HashSet::new(),
+            new_dirty_this_epoch: 0,
+        }
+    }
+
+    fn dirty_count(&self, _core: &EngineCore) -> u64 {
+        self.dirty.dirty_count()
+    }
+
+    fn in_flight_pages(&self) -> u64 {
+        self.dirty.in_flight_count()
+    }
+
+    fn on_write_error(core: &mut EngineCore, backend: &mut Self, err: AccessError) {
+        match err {
+            AccessError::WriteProtected(page) => handle_fault(core, backend, page),
+            e @ AccessError::DirtyLimitReached(_) => {
+                unreachable!("software Viyojit never arms the hardware dirty limit: {e}")
+            }
+            e @ AccessError::OutOfRange { .. } => {
+                unreachable!("resolved addresses are in range: {e}")
+            }
+        }
+    }
+
+    fn epoch_walk(core: &mut EngineCore, backend: &mut Self) -> (u64, u64) {
+        let walk_set: Vec<PageId> = backend.dirty.iter_dirty().collect();
+        let options = WalkOptions {
+            flush_tlb: core.config.tlb_flush_on_walk,
+            charge_costs: false, // the walker runs off the app's critical path
+        };
+        for page in core.mmu.walk_and_clear_dirty(&walk_set, options) {
+            core.history.touch(page);
+            core.selector.on_touch(page, &core.history);
+            core.stats.walk_touches += 1;
+        }
+        let new_dirty = backend.new_dirty_this_epoch;
+        backend.new_dirty_this_epoch = 0;
+        (walk_set.len() as u64, new_dirty)
+    }
+
+    fn on_epochs_skipped(&mut self) {
+        self.new_dirty_this_epoch = 0;
+    }
+
+    fn mark_in_flight(core: &mut EngineCore, backend: &mut Self, victim: PageId) {
+        // Clear the PTE dirty bit so post-flush tracking starts clean; the
+        // protect just performed already invalidated the TLB entry.
+        core.mmu
+            .walk_and_clear_dirty(&[victim], WalkOptions::stale());
+        backend.dirty.mark_in_flight(victim);
+    }
+
+    fn flush_payload(
+        core: &mut EngineCore,
+        backend: &mut Self,
+        victim: PageId,
+        data: &[u8],
+    ) -> usize {
+        let physical = physical_flush_bytes(core, backend, victim, data);
+        core.mmu.clear_sector_mask(victim);
+        physical
+    }
+
+    fn on_flush_complete(_core: &mut EngineCore, backend: &mut Self, page: PageId) {
+        backend.dirty.mark_clean(page);
+    }
+
+    fn pick_forced_victim(core: &mut EngineCore, _backend: &mut Self) -> PageId {
+        core.selector
+            .peek()
+            .expect("dirty pages exceed the limit but none are flushable or in flight")
+    }
+
+    fn unmap_region(core: &mut EngineCore, backend: &mut Self, info: &RegionInfo) {
+        // Wait out in-flight flushes of this region so freed pages cannot
+        // be remapped while an IO still references them.
+        for page in info.iter_pages() {
+            if backend.dirty.state(page) == PageState::InFlight {
+                wait_for_page_io(core, backend, page);
+            }
+        }
+        for page in info.iter_pages() {
+            if backend.dirty.state(page) == PageState::Dirty {
+                core.selector.on_removed(page);
+                backend.dirty.discard_dirty(page);
+                core.mmu.protect_page(page);
+                core.mmu.clear_sector_mask(page);
+            }
+        }
+    }
+
+    fn power_failure(core: &mut EngineCore, backend: &mut Self) -> PowerFailureReport {
+        let pages: Vec<PageId> = backend.dirty.iter_counted().collect();
+        let mut physical = 0u64;
+        for &p in &pages {
+            let data = core.mmu.page_data(p).to_vec();
+            let payload = physical_flush_bytes(core, backend, p, &data);
+            core.mmu.clear_sector_mask(p);
+            physical += payload as u64;
+            core.ssd.submit_write_sized(p, &data, payload);
+        }
+        PowerFailureReport {
+            dirty_pages: pages.len() as u64,
+            bytes_flushed: physical,
+            flush_time: core.ssd.config().drain_time(physical),
+        }
+    }
+
+    fn recover_memory(core: &mut EngineCore, backend: &mut Self) {
+        for i in 0..core.mmu.pages() {
+            let page = PageId(i as u64);
+            match core.ssd.page_data(page) {
+                Some(durable) => {
+                    let durable = durable.to_vec();
+                    core.mmu.page_data_mut(page).copy_from_slice(&durable);
+                }
+                None => core.mmu.page_data_mut(page).fill(0),
+            }
+            core.mmu.protect_page(page);
+            core.mmu.clear_sector_mask(page);
+        }
+        backend.dirty = DirtySet::new(core.mmu.pages());
+        backend.new_dirty_this_epoch = 0;
+        // dedup_hashes survive: the SSD still holds those contents.
+    }
+
+    fn check_invariants(&self, core: &EngineCore) -> Result<(), InvariantViolation> {
+        self.dirty.check_invariants()?;
+        if self.dirty.dirty_count() > core.config.dirty_budget_pages {
+            return Err(InvariantViolation::BudgetExceeded {
+                dirty: self.dirty.dirty_count(),
+                budget: core.config.dirty_budget_pages,
+            });
+        }
+        if core.inflight.len() as u64 != self.dirty.in_flight_count() {
+            return Err(InvariantViolation::InFlightListMismatch {
+                ios: core.inflight.len() as u64,
+                pages: self.dirty.in_flight_count(),
+            });
+        }
+        for (page, flags) in core.mmu.page_table().iter() {
+            let counted_dirty = self.dirty.state(page) == PageState::Dirty;
+            if counted_dirty != flags.is_writable() {
+                return Err(InvariantViolation::ProtectionMismatch {
+                    page: page.0,
+                    counted_dirty,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn durable_state_consistent(&self, core: &EngineCore) -> bool {
+        for (_, info) in core.regions.iter() {
+            for page in info.iter_pages() {
+                if self.dirty.state(page) != PageState::Clean {
+                    continue;
+                }
+                if !page_matches_durable(core, page) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// `true` if the in-memory contents of `page` match its durable SSD copy
+/// (or are all zero when never written).
+fn page_matches_durable(core: &EngineCore, page: PageId) -> bool {
+    let mem = core.mmu.page_data(page);
+    match core.ssd.page_data(page) {
+        Some(durable) => durable == mem,
+        None => mem.iter().all(|&b| b == 0),
+    }
+}
+
+// ----------------------------------------------------------------------
+// MmuAssisted: the §5.4 hardware offload
+// ----------------------------------------------------------------------
+
+/// Per-page runtime state in the hardware-assisted backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum HwPageState {
+    /// Clean and writable (the hardware will count its next dirtying).
+    Clean,
+    /// Known dirty (discovered via interrupt or epoch scan).
+    Dirty,
+    /// Dirty with a flush IO in flight; write-protected so the snapshot
+    /// stays stable (§5.1's ordering still applies in hardware).
+    InFlight,
+}
+
+/// The §5.4 hardware offload: the MMU counts dirty-bit transitions
+/// itself, raises an interrupt only when the count reaches the OS-set
+/// limit, and provides a shadow dirty bit for recency tracking. Writes to
+/// clean pages proceed at full speed; traps happen only at the budget
+/// boundary.
+///
+/// `Engine<MmuAssisted>` is [`MmuAssistedViyojit`](crate::MmuAssistedViyojit).
+#[derive(Debug)]
+pub struct MmuAssisted {
+    states: Vec<HwPageState>,
+    dirty_known: u64,
+    in_flight_count: u64,
+}
+
+/// Discovery scan over mapped pages: PTE dirty bit set but page not yet
+/// known-dirty means it was dirtied silently since the last scan.
+fn hw_discover(core: &mut EngineCore, hw: &mut MmuAssisted, mapped: &[PageId]) -> u64 {
+    let mut discovered = 0u64;
+    for &page in mapped {
+        if hw.states[page.index()] == HwPageState::Clean
+            && core.mmu.page_table().flags(page).is_dirty()
+        {
+            hw.states[page.index()] = HwPageState::Dirty;
+            hw.dirty_known += 1;
+            core.history.touch(page);
+            core.selector.on_dirty(page, &core.history);
+            core.stats.pages_dirtied += 1;
+            discovered += 1;
+        }
+    }
+    discovered
+}
+
+/// Every page of every live mapping.
+fn mapped_pages(core: &EngineCore) -> Vec<PageId> {
+    core.regions
+        .iter()
+        .flat_map(|(_, info)| info.iter_pages().collect::<Vec<_>>())
+        .collect()
+}
+
+/// Handles the §5.4 dirty-limit interrupt: free one hardware slot by
+/// flushing, waiting for completions as needed.
+fn handle_limit_interrupt(core: &mut EngineCore, hw: &mut MmuAssisted) {
+    core.stats.faults_handled += 1;
+    retire_completions(core, hw);
+    let budget = core.config.dirty_budget_pages;
+    stall_until_dirty_at_most(core, hw, budget - 1, budget);
+}
+
+impl DirtyTracker for MmuAssisted {
+    const SYSTEM: &'static str = "Viyojit-MMU";
+    const HAS_CONTROL_LOOP: bool = true;
+    const TRACKS_PHYSICAL: bool = false;
+
+    fn init(mmu: &mut Mmu, config: &ViyojitConfig, total_pages: usize) -> Self {
+        // Pages start writable (no protection pass); the MMU's dirty limit
+        // is armed at the budget.
+        mmu.set_dirty_limit(Some(config.dirty_budget_pages));
+        MmuAssisted {
+            states: vec![HwPageState::Clean; total_pages],
+            dirty_known: 0,
+            in_flight_count: 0,
+        }
+    }
+
+    fn dirty_count(&self, core: &EngineCore) -> u64 {
+        // The hardware dirty counter is the exact budget-bound population.
+        core.mmu.dirty_counted()
+    }
+
+    fn in_flight_pages(&self) -> u64 {
+        self.in_flight_count
+    }
+
+    fn on_write_error(core: &mut EngineCore, backend: &mut Self, err: AccessError) {
+        match err {
+            AccessError::DirtyLimitReached(_) => handle_limit_interrupt(core, backend),
+            AccessError::WriteProtected(page) => {
+                // Only in-flight pages are protected in this mode.
+                core.stats.in_flight_collisions += 1;
+                wait_for_page_io(core, backend, page);
+            }
+            e @ AccessError::OutOfRange { .. } => {
+                unreachable!("resolved addresses are in range: {e}")
+            }
+        }
+    }
+
+    /// Epoch duties: discover newly dirty pages (the OS only learns page
+    /// *addresses* by scanning, since dirtying no longer traps), then
+    /// refresh recency from shadow bits.
+    fn epoch_walk(core: &mut EngineCore, backend: &mut Self) -> (u64, u64) {
+        let mapped = mapped_pages(core);
+        let discovered = hw_discover(core, backend, &mapped);
+        // Shadow walk over known-dirty pages refreshes recency without
+        // touching the counter. No full TLB flush is required for
+        // correctness here — the shadow bit is only advisory — but the
+        // walk flushes when configured, like the software mode.
+        let known: Vec<PageId> = mapped
+            .iter()
+            .copied()
+            .filter(|p| backend.states[p.index()] == HwPageState::Dirty)
+            .collect();
+        let options = WalkOptions {
+            flush_tlb: core.config.tlb_flush_on_walk,
+            charge_costs: false,
+        };
+        for page in core.mmu.walk_and_clear_shadow(&known, options) {
+            core.history.touch(page);
+            core.selector.on_touch(page, &core.history);
+            core.stats.walk_touches += 1;
+        }
+        ((mapped.len() + known.len()) as u64, discovered)
+    }
+
+    fn mark_in_flight(_core: &mut EngineCore, backend: &mut Self, victim: PageId) {
+        debug_assert_eq!(backend.states[victim.index()], HwPageState::Dirty);
+        backend.states[victim.index()] = HwPageState::InFlight;
+        backend.in_flight_count += 1;
+    }
+
+    fn flush_payload(
+        _core: &mut EngineCore,
+        _backend: &mut Self,
+        _victim: PageId,
+        _data: &[u8],
+    ) -> usize {
+        // The hardware mode ships full pages (no codec integration).
+        PAGE_SIZE
+    }
+
+    fn on_flush_complete(core: &mut EngineCore, backend: &mut Self, page: PageId) {
+        // Hardware credit: dirty bit cleared, counter decremented; the
+        // page becomes writable again with no fault pending.
+        core.mmu.credit_dirty_page(page);
+        core.mmu.unprotect_page(page);
+        backend.states[page.index()] = HwPageState::Clean;
+        backend.dirty_known -= 1;
+        backend.in_flight_count -= 1;
+    }
+
+    fn pick_forced_victim(core: &mut EngineCore, backend: &mut Self) -> PageId {
+        match core.selector.peek() {
+            Some(v) => v,
+            None => {
+                // The runtime's view lags the hardware: discover now.
+                let mapped = mapped_pages(core);
+                hw_discover(core, backend, &mapped);
+                core.selector
+                    .peek()
+                    .expect("hardware counts a dirty page the scan cannot find")
+            }
+        }
+    }
+
+    fn on_budget_changed(core: &mut EngineCore, _backend: &mut Self, pages: u64) {
+        // Re-arm the hardware limit at the new budget; the engine stalls
+        // the population down to it right after.
+        core.mmu.set_dirty_limit(Some(pages));
+    }
+
+    fn unmap_region(core: &mut EngineCore, backend: &mut Self, info: &RegionInfo) {
+        for page in info.iter_pages() {
+            if backend.states[page.index()] == HwPageState::InFlight {
+                wait_for_page_io(core, backend, page);
+            }
+        }
+        for page in info.iter_pages() {
+            if backend.states[page.index()] == HwPageState::Dirty {
+                core.selector.on_removed(page);
+                backend.states[page.index()] = HwPageState::Clean;
+                backend.dirty_known -= 1;
+                core.mmu.credit_dirty_page(page);
+            } else if core.mmu.page_table().flags(page).is_dirty() {
+                // Dirty but not yet discovered: still credit the counter.
+                core.mmu.credit_dirty_page(page);
+            }
+        }
+    }
+
+    fn power_failure(core: &mut EngineCore, _backend: &mut Self) -> PowerFailureReport {
+        let dirty: Vec<PageId> = core
+            .mmu
+            .page_table()
+            .iter()
+            .filter(|(_, f)| f.is_dirty())
+            .map(|(p, _)| p)
+            .collect();
+        for &p in &dirty {
+            let data = core.mmu.page_data(p).to_vec();
+            core.ssd.submit_write(p, &data);
+        }
+        let bytes = dirty.len() as u64 * PAGE_SIZE as u64;
+        PowerFailureReport {
+            dirty_pages: dirty.len() as u64,
+            bytes_flushed: bytes,
+            flush_time: core.ssd.config().drain_time(bytes),
+        }
+    }
+
+    fn recover_memory(core: &mut EngineCore, backend: &mut Self) {
+        for i in 0..core.mmu.pages() {
+            let page = PageId(i as u64);
+            match core.ssd.page_data(page) {
+                Some(durable) => {
+                    let durable = durable.to_vec();
+                    core.mmu.page_data_mut(page).copy_from_slice(&durable);
+                }
+                None => core.mmu.page_data_mut(page).fill(0),
+            }
+            core.mmu.unprotect_page(page);
+        }
+        core.mmu.set_dirty_limit(None);
+        for i in 0..core.mmu.pages() {
+            // Reset dirty/shadow bits so the re-armed counter starts at 0.
+            let page = PageId(i as u64);
+            let _ = core.mmu.walk_and_clear_dirty(&[page], WalkOptions::stale());
+            let _ = core
+                .mmu
+                .walk_and_clear_shadow(&[page], WalkOptions::stale());
+        }
+        core.mmu
+            .set_dirty_limit(Some(core.config.dirty_budget_pages));
+        backend.states.fill(HwPageState::Clean);
+        backend.dirty_known = 0;
+        backend.in_flight_count = 0;
+    }
+
+    fn check_invariants(&self, core: &EngineCore) -> Result<(), InvariantViolation> {
+        let counted = core.mmu.dirty_counted();
+        if counted > core.config.dirty_budget_pages {
+            return Err(InvariantViolation::BudgetExceeded {
+                dirty: counted,
+                budget: core.config.dirty_budget_pages,
+            });
+        }
+        let pte_dirty = core.mmu.page_table().dirty_count() as u64;
+        if pte_dirty != counted {
+            return Err(InvariantViolation::HardwareCounterMismatch { pte_dirty, counted });
+        }
+        if core.inflight.len() as u64 != self.in_flight_count {
+            return Err(InvariantViolation::InFlightListMismatch {
+                ios: core.inflight.len() as u64,
+                pages: self.in_flight_count,
+            });
+        }
+        Ok(())
+    }
+
+    fn durable_state_consistent(&self, core: &EngineCore) -> bool {
+        for (_, info) in core.regions.iter() {
+            for page in info.iter_pages() {
+                // Known-dirty, in-flight, and silently-dirtied (PTE bit
+                // set but undiscovered) pages are all legitimately ahead
+                // of the SSD; only settled-clean pages must match.
+                if self.states[page.index()] != HwPageState::Clean
+                    || core.mmu.page_table().flags(page).is_dirty()
+                {
+                    continue;
+                }
+                if !page_matches_durable(core, page) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+// ----------------------------------------------------------------------
+// FullDirty: the full-battery baseline (no tracking at all)
+// ----------------------------------------------------------------------
+
+/// The full-battery baseline's non-tracking: every page is presumed
+/// dirty, so nothing traps, nothing walks, and a power failure must
+/// flush the entire capacity — the scaling problem Viyojit removes.
+///
+/// `Engine<FullDirty>` underlies [`NvdramBaseline`](crate::NvdramBaseline).
+#[derive(Debug)]
+pub struct FullDirty;
+
+impl DirtyTracker for FullDirty {
+    const SYSTEM: &'static str = "NV-DRAM";
+    const HAS_CONTROL_LOOP: bool = false;
+    const TRACKS_PHYSICAL: bool = false;
+
+    fn init(_mmu: &mut Mmu, _config: &ViyojitConfig, _total_pages: usize) -> Self {
+        FullDirty
+    }
+
+    fn dirty_count(&self, _core: &EngineCore) -> u64 {
+        0
+    }
+
+    fn in_flight_pages(&self) -> u64 {
+        0
+    }
+
+    fn on_write_error(_core: &mut EngineCore, _backend: &mut Self, err: AccessError) {
+        unreachable!("baseline pages are always writable: {err}")
+    }
+
+    fn epoch_walk(_core: &mut EngineCore, _backend: &mut Self) -> (u64, u64) {
+        unreachable!("the baseline runs no epochs")
+    }
+
+    fn mark_in_flight(_core: &mut EngineCore, _backend: &mut Self, _victim: PageId) {
+        unreachable!("the baseline issues no flushes")
+    }
+
+    fn flush_payload(
+        _core: &mut EngineCore,
+        _backend: &mut Self,
+        _victim: PageId,
+        _data: &[u8],
+    ) -> usize {
+        PAGE_SIZE
+    }
+
+    fn on_flush_complete(_core: &mut EngineCore, _backend: &mut Self, _page: PageId) {
+        unreachable!("the baseline issues no flushes")
+    }
+
+    fn pick_forced_victim(_core: &mut EngineCore, _backend: &mut Self) -> PageId {
+        unreachable!("the baseline never stalls on a budget")
+    }
+
+    fn unmap_region(_core: &mut EngineCore, _backend: &mut Self, _info: &RegionInfo) {}
+
+    fn power_failure(core: &mut EngineCore, _backend: &mut Self) -> PowerFailureReport {
+        // The baseline must assume *everything* could be dirty, so the
+        // battery obligation is the entire NV-DRAM capacity.
+        for (_, info) in core.regions.iter().collect::<Vec<_>>() {
+            for page in info.iter_pages() {
+                let data = core.mmu.page_data(page).to_vec();
+                core.ssd.submit_write(page, &data);
+            }
+        }
+        let obligation_pages = core.mmu.pages() as u64;
+        let bytes = obligation_pages * PAGE_SIZE as u64;
+        PowerFailureReport {
+            dirty_pages: obligation_pages,
+            bytes_flushed: bytes,
+            flush_time: core.ssd.config().drain_time(bytes),
+        }
+    }
+
+    fn recover_memory(core: &mut EngineCore, _backend: &mut Self) {
+        for i in 0..core.mmu.pages() {
+            let page = PageId(i as u64);
+            match core.ssd.page_data(page) {
+                Some(durable) => {
+                    let durable = durable.to_vec();
+                    core.mmu.page_data_mut(page).copy_from_slice(&durable);
+                }
+                None => core.mmu.page_data_mut(page).fill(0),
+            }
+        }
+    }
+
+    fn check_invariants(&self, _core: &EngineCore) -> Result<(), InvariantViolation> {
+        Ok(())
+    }
+
+    fn durable_state_consistent(&self, _core: &EngineCore) -> bool {
+        // With no tracking there is no clean-page invariant to check: the
+        // baseline treats every page as potentially dirty.
+        true
+    }
+}

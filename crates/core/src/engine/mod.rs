@@ -1,0 +1,582 @@
+//! The unified NV-DRAM engine: one Fig. 6 state machine, pluggable
+//! dirty-tracking backends.
+//!
+//! The paper describes one control loop — budget enforcement, epoch
+//! recency, EWMA pressure, proactive copying, power failure, recovery —
+//! and two mechanisms for *observing* dirtiness: write-protection faults
+//! (§5, the software design) and an MMU dirty counter with shadow bits
+//! (§5.4, the hardware sketch). The full-battery baseline of Figs. 7–8 is
+//! the degenerate third case: every page is presumed dirty, so nothing is
+//! tracked at all.
+//!
+//! [`Engine<B>`] owns the shared state machine; the [`DirtyTracker`]
+//! backend supplies only the page-tracking mechanics. The three
+//! implementations reproduce the historical `Viyojit`,
+//! `MmuAssistedViyojit`, and `NvdramBaseline` types exactly (those names
+//! survive as aliases/wrappers), including each mode's cost charging:
+//! which operations trap, what the walker scans, and what a flush pays.
+//!
+//! On top of the engine, [`sharded::ShardedViyojit`] multiplexes one
+//! battery's budget across N per-region shards through a
+//! [`arbiter::BudgetArbiter`] — the ROADMAP's scale-out frontend.
+
+mod arbiter;
+mod backend;
+mod sharded;
+
+pub use arbiter::BudgetArbiter;
+pub use backend::{DirtyTracker, FullDirty, MmuAssisted, SoftwareWalk};
+pub use sharded::ShardedViyojit;
+
+use mem_sim::{AccessError, Mmu, MmuStats, PageId, TlbStats, PAGE_SIZE};
+use sim_clock::{Clock, CostModel, SimTime};
+use ssd_sim::{Ssd, SsdConfig, SsdStats};
+use telemetry::{FlushReason, Telemetry, TraceEvent};
+
+use crate::{
+    InvariantViolation, NvHeap, PowerFailureReport, PressureEstimator, RegionId, RegionInfo,
+    RegionTable, ThresholdPolicy, UpdateHistory, VictimSelector, ViyojitConfig, ViyojitError,
+    ViyojitStats,
+};
+
+/// The backend-independent state of one NV-DRAM manager: the simulated
+/// substrates (MMU, SSD, clock), the region table, the recency/pressure
+/// trackers, the pending-IO list, and the runtime counters.
+///
+/// Opaque outside the crate; backends reach into it through `pub(crate)`
+/// fields. It exists as a named type so [`DirtyTracker`] hooks can take
+/// the shared state and the backend state as *separate* borrows.
+#[derive(Debug)]
+pub struct EngineCore {
+    pub(crate) config: ViyojitConfig,
+    pub(crate) clock: Clock,
+    pub(crate) mmu: Mmu,
+    pub(crate) ssd: Ssd,
+    pub(crate) regions: RegionTable,
+    pub(crate) history: UpdateHistory,
+    pub(crate) selector: VictimSelector,
+    pub(crate) pressure: PressureEstimator,
+    /// Pending flush IOs as `(completion instant, page)`.
+    pub(crate) inflight: Vec<(SimTime, PageId)>,
+    pub(crate) next_epoch_at: SimTime,
+    /// Proactive-copy threshold computed at the last epoch boundary; the
+    /// background copier tops up toward it continuously between epochs.
+    pub(crate) current_threshold: u64,
+    pub(crate) stats: ViyojitStats,
+    pub(crate) telemetry: Telemetry,
+}
+
+/// One NV-DRAM manager: the shared Fig. 6 state machine parameterised by
+/// a dirty-tracking backend.
+///
+/// - `Engine<SoftwareWalk>` is [`Viyojit`](crate::Viyojit), the paper's
+///   software manager (write-protect faults, PTE dirty-bit walks);
+/// - `Engine<MmuAssisted>` is
+///   [`MmuAssistedViyojit`](crate::MmuAssistedViyojit), the §5.4 hardware
+///   offload (dirty-limit interrupts, shadow-bit recency);
+/// - `Engine<FullDirty>` underlies
+///   [`NvdramBaseline`](crate::NvdramBaseline), the full-battery
+///   comparison system that tracks nothing.
+///
+/// # Examples
+///
+/// ```
+/// use sim_clock::{Clock, CostModel};
+/// use ssd_sim::SsdConfig;
+/// use viyojit::{Engine, MmuAssisted, NvHeap, SoftwareWalk, ViyojitConfig};
+///
+/// fn dirty_after_one_write<B: viyojit::DirtyTracker>() -> u64 {
+///     let mut nv = Engine::<B>::new(
+///         64,
+///         ViyojitConfig::with_budget_pages(8),
+///         Clock::new(),
+///         CostModel::free(),
+///         SsdConfig::instant(),
+///     );
+///     let r = nv.map(4096).unwrap();
+///     nv.write(r, 0, b"same engine, different tracker").unwrap();
+///     nv.dirty_count()
+/// }
+///
+/// assert_eq!(dirty_after_one_write::<SoftwareWalk>(), 1);
+/// assert_eq!(dirty_after_one_write::<MmuAssisted>(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Engine<B: DirtyTracker> {
+    pub(crate) core: EngineCore,
+    pub(crate) backend: B,
+}
+
+impl<B: DirtyTracker> Engine<B> {
+    /// Creates a manager over `total_pages` of NV-DRAM backed by an SSD of
+    /// the same capacity. The backend arms its tracking mechanism: the
+    /// software walker write-protects every page (Fig. 6 step 1), the
+    /// hardware backend arms the MMU dirty limit, the baseline does
+    /// nothing.
+    pub fn new(
+        total_pages: usize,
+        config: ViyojitConfig,
+        clock: Clock,
+        costs: CostModel,
+        ssd_config: SsdConfig,
+    ) -> Self {
+        let mut mmu = Mmu::new(total_pages, clock.clone(), costs);
+        let backend = B::init(&mut mmu, &config, total_pages);
+        let ssd = Ssd::new(total_pages, ssd_config, clock.clone());
+        let next_epoch_at = clock.now() + config.epoch;
+        Engine {
+            core: EngineCore {
+                history: UpdateHistory::new(total_pages, config.history_epochs),
+                selector: VictimSelector::new(total_pages, config.target_policy, 0x5eed),
+                pressure: PressureEstimator::new(config.pressure_alpha),
+                regions: RegionTable::new(total_pages as u64),
+                inflight: Vec::new(),
+                next_epoch_at,
+                current_threshold: config.dirty_budget_pages,
+                stats: ViyojitStats::default(),
+                telemetry: Telemetry::disabled(),
+                config,
+                clock,
+                mmu,
+                ssd,
+            },
+            backend,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ViyojitConfig {
+        &self.core.config
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &Clock {
+        &self.core.clock
+    }
+
+    /// Pages currently counted against the dirty budget.
+    pub fn dirty_count(&self) -> u64 {
+        self.backend.dirty_count(&self.core)
+    }
+
+    /// The dirty budget in pages.
+    pub fn dirty_budget(&self) -> u64 {
+        self.core.config.dirty_budget_pages
+    }
+
+    /// Runtime counters.
+    pub fn stats(&self) -> ViyojitStats {
+        self.core.stats
+    }
+
+    /// MMU access counters.
+    pub fn mmu_stats(&self) -> MmuStats {
+        self.core.mmu.stats()
+    }
+
+    /// TLB counters.
+    pub fn tlb_stats(&self) -> TlbStats {
+        self.core.mmu.tlb_stats()
+    }
+
+    /// SSD counters (copy-out traffic; Fig. 9's write rate comes from
+    /// `bytes_written`).
+    pub fn ssd_stats(&self) -> SsdStats {
+        self.core.ssd.stats()
+    }
+
+    /// The backing SSD (wear statistics, configuration).
+    pub fn ssd(&self) -> &Ssd {
+        &self.core.ssd
+    }
+
+    /// Attaches a telemetry handle (shared with the backing SSD). The
+    /// manager then emits the Fig. 6 trace events and publishes its
+    /// counters into the registry at every epoch boundary. Telemetry only
+    /// observes the virtual clock, so results are identical with any sink.
+    pub fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        self.core.ssd.attach_telemetry(telemetry.clone());
+        self.core.telemetry = telemetry;
+    }
+
+    /// Live regions.
+    pub fn regions(&self) -> impl Iterator<Item = (RegionId, RegionInfo)> + '_ {
+        self.core.regions.iter()
+    }
+
+    /// Re-derives the dirty budget at runtime — e.g. after a battery cell
+    /// failure shrank the available energy (§8). If the dirty population
+    /// exceeds the new budget, the caller stalls while pages are flushed
+    /// down to it, preserving durability throughout. The hardware backend
+    /// additionally re-arms the MMU's dirty limit; the baseline backend
+    /// accepts the call but has nothing to bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pages` is zero.
+    pub fn set_dirty_budget(&mut self, pages: u64) {
+        assert!(pages > 0, "dirty budget must allow at least one dirty page");
+        // The manager only sees the derived budget; health is reported by
+        // whoever derived it (the battery governor), so 1000 here means
+        // "not re-measured at this hook".
+        self.core.telemetry.emit(|| TraceEvent::BatteryRecalc {
+            budget_pages: pages,
+            health_permille: 1000,
+        });
+        self.core.config.dirty_budget_pages = pages;
+        B::on_budget_changed(&mut self.core, &mut self.backend, pages);
+        stall_until_dirty_at_most(&mut self.core, &mut self.backend, pages, pages);
+    }
+
+    /// Simulates an external power failure: whatever the design obliges
+    /// the battery to flush is flushed to the SSD. For the tracking
+    /// backends that is every page counted dirty — by construction at most
+    /// the dirty budget; for the baseline it is the entire capacity.
+    pub fn power_failure(&mut self) -> PowerFailureReport {
+        B::power_failure(&mut self.core, &mut self.backend)
+    }
+
+    /// Rebuilds NV-DRAM from the SSD after a power cycle: every page is
+    /// reloaded from its durable copy (zeroes if never written), the
+    /// backend re-arms its tracking, and the trackers restart empty.
+    /// Region mappings survive (their metadata lives in the flushed
+    /// superblock).
+    pub fn recover(&mut self) {
+        B::recover_memory(&mut self.core, &mut self.backend);
+        if B::HAS_CONTROL_LOOP {
+            self.core.history.reset();
+            self.core.selector.reset();
+            self.core.pressure.reset();
+            self.core.inflight.clear();
+            self.core.next_epoch_at = self.core.clock.now() + self.core.config.epoch;
+        }
+    }
+
+    /// Checks every internal invariant, most importantly the paper's
+    /// durability guarantee `dirty_count <= dirty_budget`. O(pages);
+    /// intended for tests and property checks.
+    ///
+    /// # Errors
+    ///
+    /// The first [`InvariantViolation`] found.
+    pub fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        self.backend.check_invariants(&self.core)
+    }
+
+    /// Panicking wrapper over [`Engine::check_invariants`] for tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the violation's `Display` text if any invariant is
+    /// violated.
+    pub fn validate(&self) {
+        if let Err(violation) = self.check_invariants() {
+            panic!("{violation}");
+        }
+    }
+
+    /// `true` if every clean mapped page matches its durable copy — the
+    /// invariant that makes [`Engine::power_failure`]'s bounded flush
+    /// sufficient for full durability.
+    pub fn durable_state_consistent(&self) -> bool {
+        self.backend.durable_state_consistent(&self.core)
+    }
+}
+
+impl<B: DirtyTracker> NvHeap for Engine<B> {
+    fn map(&mut self, len_bytes: u64) -> Result<RegionId, ViyojitError> {
+        // Tracked pages are already armed (protection or dirty limit, done
+        // at startup), matching Fig. 6 step 1.
+        self.core.regions.map(len_bytes)
+    }
+
+    fn unmap(&mut self, region: RegionId) -> Result<(), ViyojitError> {
+        let info = self.core.regions.info(region)?;
+        B::unmap_region(&mut self.core, &mut self.backend, &info);
+        self.core.regions.unmap(region)?;
+        Ok(())
+    }
+
+    fn read(&mut self, region: RegionId, offset: u64, buf: &mut [u8]) -> Result<(), ViyojitError> {
+        let addr = self.core.regions.resolve(region, offset, buf.len())?;
+        poll(&mut self.core, &mut self.backend);
+        self.core
+            .mmu
+            .read(addr, buf)
+            .expect("resolved addresses are in range");
+        poll(&mut self.core, &mut self.backend);
+        Ok(())
+    }
+
+    fn write(&mut self, region: RegionId, offset: u64, data: &[u8]) -> Result<(), ViyojitError> {
+        let mut addr = self.core.regions.resolve(region, offset, data.len())?;
+        poll(&mut self.core, &mut self.backend);
+        let mut rest = data;
+        while !rest.is_empty() {
+            let in_page = PAGE_SIZE - (addr as usize % PAGE_SIZE);
+            let n = in_page.min(rest.len());
+            let (chunk, tail) = rest.split_at(n);
+            loop {
+                match self.core.mmu.write(addr, chunk) {
+                    Ok(()) => break,
+                    Err(e @ AccessError::OutOfRange { .. }) => {
+                        unreachable!("resolved addresses are in range: {e}")
+                    }
+                    Err(err) => B::on_write_error(&mut self.core, &mut self.backend, err),
+                }
+            }
+            addr += n as u64;
+            rest = tail;
+        }
+        poll(&mut self.core, &mut self.backend);
+        Ok(())
+    }
+
+    fn region_len(&self, region: RegionId) -> Result<u64, ViyojitError> {
+        Ok(self.core.regions.info(region)?.len_bytes)
+    }
+}
+
+// ----------------------------------------------------------------------
+// The shared control flow (Fig. 6), generic over the backend. Free
+// functions rather than methods so backend hooks can re-enter them with
+// the core and backend as separate borrows.
+// ----------------------------------------------------------------------
+
+/// Retires every flush IO whose completion instant has passed, letting
+/// the backend move its page clean and release the budget slot.
+pub(crate) fn retire_completions<B: DirtyTracker>(core: &mut EngineCore, backend: &mut B) {
+    let now = core.clock.now();
+    let mut i = 0;
+    while i < core.inflight.len() {
+        if core.inflight[i].0 <= now {
+            let (_, page) = core.inflight.swap_remove(i);
+            B::on_flush_complete(core, backend, page);
+            core.stats.flushes_completed += 1;
+            core.telemetry
+                .emit(|| TraceEvent::FlushComplete { page: page.0 });
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Processes any epoch boundaries the virtual clock has crossed.
+/// Called from every read/write; cheap when nothing is pending.
+///
+/// Proactive copies are issued only at epoch boundaries, as in the
+/// paper (§5.3 is explicitly "an epoch based approach"); the EWMA
+/// threshold exists precisely to leave enough budget slack to absorb
+/// the new dirty pages that arrive *between* boundaries.
+pub(crate) fn poll<B: DirtyTracker>(core: &mut EngineCore, backend: &mut B) {
+    retire_completions(core, backend);
+    if !B::HAS_CONTROL_LOOP {
+        return;
+    }
+    let now = core.clock.now();
+    if now < core.next_epoch_at {
+        return;
+    }
+    // Fast-forward long idle gaps. Only the first epoch after the gap
+    // observes new dirty bits, and the copier needs at most
+    // budget/outstanding epochs to drain to its threshold, so epochs
+    // beyond `cap` before "now" are no-ops: age the recency history in
+    // one step and let the pressure prediction decay to zero, exactly
+    // as processing them individually would.
+    let pending = (now - core.next_epoch_at).as_nanos() / core.config.epoch.as_nanos() + 1;
+    let cap = core.config.history_epochs as u64
+        + core.config.dirty_budget_pages / core.config.max_outstanding_ios as u64
+        + 2;
+    if pending > cap {
+        let skipped = pending - cap;
+        core.history.advance_epochs(skipped);
+        core.pressure.reset();
+        backend.on_epochs_skipped();
+        core.next_epoch_at += core.config.epoch * skipped;
+        core.stats.epochs_fast_forwarded += skipped;
+    }
+    while core.clock.now() >= core.next_epoch_at {
+        run_epoch(core, backend);
+        core.next_epoch_at += core.config.epoch;
+    }
+}
+
+/// One epoch boundary (§5.2 + §5.3): the backend walks/discovers dirty
+/// pages and refreshes recency, then the shared flow updates pressure
+/// and issues proactive copies down to the threshold.
+pub(crate) fn run_epoch<B: DirtyTracker>(core: &mut EngineCore, backend: &mut B) {
+    core.stats.epochs += 1;
+    core.history.advance_epoch();
+    let epoch = core.history.current_epoch();
+
+    let (walked, new_dirty) = B::epoch_walk(core, backend);
+    core.telemetry.emit(|| TraceEvent::EpochWalk {
+        epoch,
+        walked,
+        new_dirty,
+    });
+    if core.config.tlb_flush_on_walk {
+        core.telemetry.emit(|| TraceEvent::TlbFlush { epoch });
+    }
+
+    core.pressure.observe(new_dirty);
+    core.current_threshold = match core.config.threshold_policy {
+        ThresholdPolicy::Adaptive => core.pressure.threshold(core.config.dirty_budget_pages),
+        ThresholdPolicy::FixedSlack(slack) => core.config.dirty_budget_pages.saturating_sub(slack),
+    };
+
+    retire_completions(core, backend);
+    // Issue enough copies that, once in-flight IOs drain, the dirty
+    // population sits at the threshold. In-flight pages still count
+    // against the budget (their bytes are not durable yet) but need no
+    // further action, so the copier compares the not-yet-flushing
+    // population to the threshold.
+    issue_proactive_down_to(core, backend, core.current_threshold);
+    publish_metrics(core, backend);
+    core.telemetry.snapshot_epoch(epoch);
+}
+
+/// Issues proactive copies until the not-yet-flushing dirty population
+/// is at most `threshold` or the outstanding-IO cap is reached.
+pub(crate) fn issue_proactive_down_to<B: DirtyTracker>(
+    core: &mut EngineCore,
+    backend: &mut B,
+    threshold: u64,
+) {
+    while backend
+        .dirty_count(core)
+        .saturating_sub(backend.in_flight_pages())
+        > threshold
+        && core.inflight.len() < core.config.max_outstanding_ios
+    {
+        let Some(victim) = core.selector.peek() else {
+            break; // everything dirty is already in flight
+        };
+        issue_flush(core, backend, victim, FlushReason::Proactive);
+    }
+}
+
+/// Re-protects `victim`, snapshots it, and submits its flush (Fig. 6
+/// steps 6-7). Write-protecting *before* the SSD write is what makes
+/// the snapshot safe against concurrent updates (§5.1).
+pub(crate) fn issue_flush<B: DirtyTracker>(
+    core: &mut EngineCore,
+    backend: &mut B,
+    victim: PageId,
+    reason: FlushReason,
+) {
+    core.telemetry.emit(|| TraceEvent::FlushIssued {
+        page: victim.0,
+        reason,
+        last_update_epoch: core.history.last_update_epoch(victim),
+    });
+    core.mmu.protect_page(victim);
+    B::mark_in_flight(core, backend, victim);
+    core.selector.on_removed(victim);
+    let data = core.mmu.page_data(victim).to_vec();
+    let physical = B::flush_payload(core, backend, victim, &data);
+    let done = core.ssd.submit_write_sized(victim, &data, physical);
+    core.inflight.push((done, victim));
+    core.stats.bytes_flushed += PAGE_SIZE as u64;
+    if B::TRACKS_PHYSICAL {
+        core.stats.physical_bytes_flushed += physical as u64;
+    }
+    match reason {
+        FlushReason::Proactive => core.stats.proactive_flushes += 1,
+        FlushReason::Forced => core.stats.forced_flushes += 1,
+    }
+}
+
+/// Stalls (advancing the virtual clock through SSD completions) until at
+/// most `limit` pages are counted dirty, issuing forced flushes as
+/// needed. `event_budget` is the budget figure the `BudgetStall` trace
+/// event reports: the software fault handler stalls to `budget - 1` but
+/// reports the admission limit, while the hardware interrupt and the §8
+/// budget hook report the budget itself.
+pub(crate) fn stall_until_dirty_at_most<B: DirtyTracker>(
+    core: &mut EngineCore,
+    backend: &mut B,
+    limit: u64,
+    event_budget: u64,
+) {
+    let mut stalled = false;
+    while backend.dirty_count(core) > limit {
+        if core.inflight.is_empty() {
+            let victim = B::pick_forced_victim(core, backend);
+            issue_flush(core, backend, victim, FlushReason::Forced);
+        }
+        let earliest = core
+            .inflight
+            .iter()
+            .map(|&(t, _)| t)
+            .min()
+            .expect("at least one IO in flight");
+        let before = core.clock.now();
+        core.clock.advance_to(earliest);
+        core.stats.stall_time += core.clock.now().saturating_since(before);
+        if !stalled {
+            core.stats.budget_stalls += 1;
+            stalled = true;
+            let dirty = backend.dirty_count(core);
+            core.telemetry.emit(|| TraceEvent::BudgetStall {
+                dirty,
+                budget: event_budget,
+            });
+        }
+        retire_completions(core, backend);
+    }
+}
+
+/// Advances the clock to the completion of `page`'s pending IO and
+/// retires it. The caller must know the page is in flight.
+pub(crate) fn wait_for_page_io<B: DirtyTracker>(
+    core: &mut EngineCore,
+    backend: &mut B,
+    page: PageId,
+) {
+    let done = core
+        .inflight
+        .iter()
+        .find(|&&(_, p)| p == page)
+        .map(|&(t, _)| t)
+        .expect("in-flight page has a pending IO");
+    core.clock.advance_to(done);
+    retire_completions(core, backend);
+}
+
+/// Publishes runtime counters, pressure state, and SSD state into the
+/// attached metrics registry. No-op when telemetry is disabled.
+pub(crate) fn publish_metrics<B: DirtyTracker>(core: &mut EngineCore, backend: &mut B) {
+    if !core.telemetry.is_enabled() {
+        return;
+    }
+    let stats = core.stats;
+    let dirty = backend.dirty_count(core);
+    let in_flight = backend.in_flight_pages();
+    let threshold = core.current_threshold;
+    let predicted = core.pressure.predicted();
+    core.telemetry.metrics(|m| {
+        m.counter_set("viyojit.faults_handled", stats.faults_handled);
+        m.counter_set("viyojit.pages_dirtied", stats.pages_dirtied);
+        m.counter_set("viyojit.proactive_flushes", stats.proactive_flushes);
+        m.counter_set("viyojit.forced_flushes", stats.forced_flushes);
+        m.counter_set("viyojit.flushes_completed", stats.flushes_completed);
+        m.counter_set("viyojit.budget_stalls", stats.budget_stalls);
+        m.counter_set("viyojit.stall_nanos", stats.stall_time.as_nanos());
+        m.counter_set("viyojit.in_flight_collisions", stats.in_flight_collisions);
+        m.counter_set("viyojit.epochs", stats.epochs);
+        m.counter_set("viyojit.bytes_flushed", stats.bytes_flushed);
+        if B::TRACKS_PHYSICAL {
+            m.counter_set(
+                "viyojit.physical_bytes_flushed",
+                stats.physical_bytes_flushed,
+            );
+        }
+        m.counter_set("viyojit.walk_touches", stats.walk_touches);
+        m.gauge_set("viyojit.dirty_pages", dirty as f64);
+        m.gauge_set("viyojit.in_flight_pages", in_flight as f64);
+        m.gauge_set("viyojit.proactive_threshold", threshold as f64);
+        m.gauge_set("viyojit.predicted_pressure", predicted);
+    });
+    core.ssd.publish_metrics();
+}

@@ -1,0 +1,553 @@
+//! The sharded multi-tenant frontend: N per-shard engines multiplexing
+//! one battery's dirty budget.
+//!
+//! The ROADMAP's scale-out story: a large NV-DRAM space is split into
+//! shards, each running its own [`Engine`] over its own slice of memory
+//! and SSD, while a [`BudgetArbiter`] periodically re-divides the single
+//! battery's dirty budget among them in proportion to observed demand.
+//! Regions hash to shards at `map` time, so independent working sets land
+//! on independent control loops; the statistical-multiplexing win of
+//! §6.3's ballooning accrues between *shards of one workload* instead of
+//! between whole tenants.
+//!
+//! Durability composes the same way it does in
+//! [`BalloonedCluster`](crate::BalloonedCluster): every shard enforces
+//! its assigned bound at every instant, budgets are shrunk (stalling the
+//! shrinking shard down) before any shard grows, and the arbiter never
+//! assigns more than the battery provisions — so the cluster-wide dirty
+//! population never exceeds the global budget.
+
+use mem_sim::MmuStats;
+use sim_clock::{Clock, CostModel, SimDuration, SimTime};
+use ssd_sim::{SsdConfig, SsdStats};
+use telemetry::{intern_metric_name, Telemetry};
+
+use crate::{
+    InvariantViolation, NvHeap, PowerFailureReport, RegionId, ViyojitConfig, ViyojitError,
+    ViyojitStats,
+};
+
+use super::{BudgetArbiter, DirtyTracker, Engine, SoftwareWalk};
+
+/// Per-shard metric names, interned once at construction (the registry
+/// keys on `&'static str`).
+#[derive(Debug)]
+struct ShardMetricNames {
+    dirty_pages: &'static str,
+    budget_pages: &'static str,
+}
+
+/// N Viyojit shards sharing one battery's dirty budget.
+///
+/// Generic over the same [`DirtyTracker`] backends as [`Engine`]; the
+/// default is the software walker, matching [`Viyojit`](crate::Viyojit).
+///
+/// # Examples
+///
+/// ```
+/// use sim_clock::{Clock, CostModel, SimDuration};
+/// use ssd_sim::SsdConfig;
+/// use viyojit::{NvHeap, ShardedViyojit, ViyojitConfig};
+///
+/// let mut nv: ShardedViyojit = ShardedViyojit::new(
+///     4,                                   // shards
+///     256,                                 // pages per shard
+///     ViyojitConfig::with_budget_pages(64), // global budget
+///     4,                                   // per-shard floor
+///     SimDuration::from_millis(10),        // rebalance period
+///     Clock::new(),
+///     CostModel::free(),
+///     SsdConfig::instant(),
+/// );
+/// let r = nv.map(4096 * 8)?;
+/// nv.write(r, 0, b"routed to one shard's engine")?;
+/// assert_eq!(nv.dirty_count(), 1);
+/// assert!(nv.dirty_count() <= nv.total_budget_pages());
+/// # Ok::<(), viyojit::ViyojitError>(())
+/// ```
+#[derive(Debug)]
+pub struct ShardedViyojit<B: DirtyTracker = SoftwareWalk> {
+    shards: Vec<Engine<B>>,
+    arbiter: BudgetArbiter,
+    /// Global region handle -> (shard index, shard-local region id).
+    /// Freed slots are `None` and reused.
+    routes: Vec<Option<(usize, RegionId)>>,
+    clock: Clock,
+    rebalance_period: SimDuration,
+    next_rebalance_at: SimTime,
+    telemetry: Telemetry,
+    metric_names: Vec<ShardMetricNames>,
+}
+
+impl<B: DirtyTracker> ShardedViyojit<B> {
+    /// Creates `shards` engines of `pages_per_shard` pages each, sharing
+    /// `config.dirty_budget_pages` as the *global* budget. Each shard is
+    /// guaranteed at least `min_per_shard` pages; the initial division is
+    /// even. The arbiter re-divides the budget by demand every
+    /// `rebalance_period` of virtual time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero, `min_per_shard` is zero, the floors
+    /// exceed the global budget, or `rebalance_period` is zero.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        shards: usize,
+        pages_per_shard: usize,
+        config: ViyojitConfig,
+        min_per_shard: u64,
+        rebalance_period: SimDuration,
+        clock: Clock,
+        costs: CostModel,
+        ssd_config: SsdConfig,
+    ) -> Self {
+        assert!(
+            rebalance_period > SimDuration::ZERO,
+            "the rebalance period must be positive"
+        );
+        let arbiter = BudgetArbiter::new(shards, config.dirty_budget_pages, min_per_shard);
+        let engines: Vec<Engine<B>> = (0..shards)
+            .map(|_| {
+                let mut shard_config = config.clone();
+                shard_config.dirty_budget_pages = arbiter.initial_share();
+                Engine::new(
+                    pages_per_shard,
+                    shard_config,
+                    clock.clone(),
+                    costs.clone(),
+                    ssd_config.clone(),
+                )
+            })
+            .collect();
+        let metric_names = (0..shards)
+            .map(|i| ShardMetricNames {
+                dirty_pages: intern_metric_name(format!("sharded.shard{i}.dirty_pages")),
+                budget_pages: intern_metric_name(format!("sharded.shard{i}.budget_pages")),
+            })
+            .collect();
+        let next_rebalance_at = clock.now() + rebalance_period;
+        ShardedViyojit {
+            shards: engines,
+            arbiter,
+            routes: Vec::new(),
+            clock,
+            rebalance_period,
+            next_rebalance_at,
+            telemetry: Telemetry::disabled(),
+            metric_names,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shared access to one shard's engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn shard(&self, idx: usize) -> &Engine<B> {
+        &self.shards[idx]
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// The provisioned global budget.
+    pub fn total_budget_pages(&self) -> u64 {
+        self.arbiter.total_budget_pages()
+    }
+
+    /// Sum of budgets currently assigned to shards. At most the global
+    /// budget at every instant.
+    pub fn total_assigned(&self) -> u64 {
+        self.shards.iter().map(|s| s.dirty_budget()).sum()
+    }
+
+    /// Pages counted dirty across all shards.
+    pub fn dirty_count(&self) -> u64 {
+        self.shards.iter().map(|s| s.dirty_count()).sum()
+    }
+
+    /// Budget rebalances performed so far.
+    pub fn rebalances(&self) -> u64 {
+        self.arbiter.rebalances()
+    }
+
+    /// Aggregated runtime counters (field-wise sum over shards).
+    pub fn stats(&self) -> ViyojitStats {
+        let mut total = ViyojitStats::default();
+        for s in self.shards.iter().map(|s| s.stats()) {
+            total.faults_handled += s.faults_handled;
+            total.pages_dirtied += s.pages_dirtied;
+            total.proactive_flushes += s.proactive_flushes;
+            total.forced_flushes += s.forced_flushes;
+            total.flushes_completed += s.flushes_completed;
+            total.budget_stalls += s.budget_stalls;
+            total.stall_time += s.stall_time;
+            total.in_flight_collisions += s.in_flight_collisions;
+            total.epochs += s.epochs;
+            total.epochs_fast_forwarded += s.epochs_fast_forwarded;
+            total.bytes_flushed += s.bytes_flushed;
+            total.physical_bytes_flushed += s.physical_bytes_flushed;
+            total.walk_touches += s.walk_touches;
+        }
+        total
+    }
+
+    /// Aggregated MMU access counters.
+    pub fn mmu_stats(&self) -> MmuStats {
+        let mut total = MmuStats::default();
+        for s in self.shards.iter().map(|s| s.mmu_stats()) {
+            total.reads += s.reads;
+            total.writes += s.writes;
+            total.bytes_read += s.bytes_read;
+            total.bytes_written += s.bytes_written;
+            total.write_faults += s.write_faults;
+            total.pte_dirtied += s.pte_dirtied;
+        }
+        total
+    }
+
+    /// Aggregated SSD counters.
+    pub fn ssd_stats(&self) -> SsdStats {
+        let mut total = SsdStats::default();
+        for s in self.shards.iter().map(|s| s.ssd_stats()) {
+            total.writes += s.writes;
+            total.reads += s.reads;
+            total.bytes_written += s.bytes_written;
+            total.bytes_read += s.bytes_read;
+        }
+        total
+    }
+
+    /// Attaches telemetry to the frontend and every shard.
+    ///
+    /// All shards publish the standard `viyojit.*` metrics into the one
+    /// registry; since counters only move up under `counter_set`, those
+    /// read as the *maximum* across shards. The per-shard truth lives in
+    /// the `sharded.shardN.*` gauges this frontend publishes at each
+    /// rebalance.
+    pub fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        for shard in &mut self.shards {
+            shard.attach_telemetry(telemetry.clone());
+        }
+        self.telemetry = telemetry;
+    }
+
+    /// Simulates a global power failure: every shard flushes its counted
+    /// dirty pages. The battery obligation is the page *sum* but the drain
+    /// *time* is the slowest shard — shards flush to independent SSDs in
+    /// parallel.
+    pub fn power_failure(&mut self) -> PowerFailureReport {
+        let mut total = PowerFailureReport {
+            dirty_pages: 0,
+            bytes_flushed: 0,
+            flush_time: SimDuration::ZERO,
+        };
+        for shard in &mut self.shards {
+            let r = shard.power_failure();
+            total.dirty_pages += r.dirty_pages;
+            total.bytes_flushed += r.bytes_flushed;
+            total.flush_time = total.flush_time.max(r.flush_time);
+        }
+        total
+    }
+
+    /// Recovers every shard from its SSD after a power cycle. Routes
+    /// survive (region metadata lives in the flushed superblock, as in
+    /// [`Engine::recover`]).
+    pub fn recover(&mut self) {
+        for shard in &mut self.shards {
+            shard.recover();
+        }
+        self.next_rebalance_at = self.clock.now() + self.rebalance_period;
+    }
+
+    /// Checks the cluster-wide invariants: assigned budgets fit the
+    /// battery, the global dirty population fits the battery, and every
+    /// shard's own invariants hold.
+    ///
+    /// # Errors
+    ///
+    /// The first [`InvariantViolation`] found.
+    pub fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        self.arbiter.check_assignment(self.total_assigned())?;
+        let dirty = self.dirty_count();
+        if dirty > self.total_budget_pages() {
+            return Err(InvariantViolation::BudgetExceeded {
+                dirty,
+                budget: self.total_budget_pages(),
+            });
+        }
+        for shard in &self.shards {
+            shard.check_invariants()?;
+        }
+        Ok(())
+    }
+
+    /// Panicking wrapper over [`ShardedViyojit::check_invariants`].
+    ///
+    /// # Panics
+    ///
+    /// Panics with the violation's `Display` text on any violation.
+    pub fn validate(&self) {
+        if let Err(violation) = self.check_invariants() {
+            panic!("{violation}");
+        }
+    }
+
+    /// The shard a global region handle routes to, if mapped.
+    pub fn shard_of(&self, region: RegionId) -> Option<usize> {
+        self.routes
+            .get(region.0 as usize)
+            .and_then(|r| r.as_ref())
+            .map(|&(shard, _)| shard)
+    }
+
+    /// Preferred shard for the `n`-th mapping (Fibonacci hashing keeps
+    /// consecutive handles well spread).
+    fn preferred_shard(&self, slot: usize) -> usize {
+        let hash = (slot as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        (hash % self.shards.len() as u64) as usize
+    }
+
+    fn route(&self, region: RegionId) -> Result<(usize, RegionId), ViyojitError> {
+        self.routes
+            .get(region.0 as usize)
+            .and_then(|r| *r)
+            .ok_or(ViyojitError::BadRegion(region))
+    }
+
+    /// Runs a rebalance if the virtual clock crossed the boundary, then
+    /// fast-forwards the boundary past "now" (one rebalance per gap; the
+    /// arbiter sees cumulative demand either way).
+    fn maybe_rebalance(&mut self) {
+        let now = self.clock.now();
+        if now < self.next_rebalance_at {
+            return;
+        }
+        self.rebalance();
+        while self.next_rebalance_at <= self.clock.now() {
+            self.next_rebalance_at += self.rebalance_period;
+        }
+    }
+
+    /// Re-divides the global budget by demand: plan from current stats,
+    /// shrink the losers (stalling them down to their new bound), grow
+    /// the winners, commit the post-apply stats as the next baseline.
+    pub fn rebalance(&mut self) {
+        let before: Vec<ViyojitStats> = self.shards.iter().map(|s| s.stats()).collect();
+        let targets = self.arbiter.plan(&before);
+        for (shard, &target) in self.shards.iter_mut().zip(&targets) {
+            if target < shard.dirty_budget() {
+                shard.set_dirty_budget(target);
+            }
+        }
+        for (shard, &target) in self.shards.iter_mut().zip(&targets) {
+            if target > shard.dirty_budget() {
+                shard.set_dirty_budget(target);
+            }
+        }
+        let after: Vec<ViyojitStats> = self.shards.iter().map(|s| s.stats()).collect();
+        self.arbiter.commit(&after);
+        self.publish_shard_metrics();
+    }
+
+    fn publish_shard_metrics(&mut self) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let rebalances = self.arbiter.rebalances();
+        self.telemetry.metrics(|m| {
+            m.counter_set("sharded.rebalances", rebalances);
+            for (shard, names) in self.shards.iter().zip(&self.metric_names) {
+                m.gauge_set(names.dirty_pages, shard.dirty_count() as f64);
+                m.gauge_set(names.budget_pages, shard.dirty_budget() as f64);
+            }
+        });
+    }
+}
+
+impl<B: DirtyTracker> NvHeap for ShardedViyojit<B> {
+    /// Maps a region on the preferred (hashed) shard, probing the other
+    /// shards in order when that shard's space is exhausted.
+    fn map(&mut self, len_bytes: u64) -> Result<RegionId, ViyojitError> {
+        let slot = self
+            .routes
+            .iter()
+            .position(|r| r.is_none())
+            .unwrap_or(self.routes.len());
+        let preferred = self.preferred_shard(slot);
+        let n = self.shards.len();
+        let mut last_err = None;
+        for probe in 0..n {
+            let shard = (preferred + probe) % n;
+            match self.shards[shard].map(len_bytes) {
+                Ok(local) => {
+                    let route = Some((shard, local));
+                    if slot == self.routes.len() {
+                        self.routes.push(route);
+                    } else {
+                        self.routes[slot] = route;
+                    }
+                    return Ok(RegionId(slot as u32));
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.expect("at least one shard was probed"))
+    }
+
+    fn unmap(&mut self, region: RegionId) -> Result<(), ViyojitError> {
+        let (shard, local) = self.route(region)?;
+        self.shards[shard].unmap(local)?;
+        self.routes[region.0 as usize] = None;
+        Ok(())
+    }
+
+    fn read(&mut self, region: RegionId, offset: u64, buf: &mut [u8]) -> Result<(), ViyojitError> {
+        let (shard, local) = self.route(region)?;
+        self.shards[shard].read(local, offset, buf)?;
+        self.maybe_rebalance();
+        Ok(())
+    }
+
+    fn write(&mut self, region: RegionId, offset: u64, data: &[u8]) -> Result<(), ViyojitError> {
+        let (shard, local) = self.route(region)?;
+        self.shards[shard].write(local, offset, data)?;
+        self.maybe_rebalance();
+        Ok(())
+    }
+
+    fn region_len(&self, region: RegionId) -> Result<u64, ViyojitError> {
+        let (shard, local) = self.route(region)?;
+        self.shards[shard].region_len(local)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mem_sim::PAGE_SIZE;
+
+    fn cluster(shards: usize, budget: u64) -> ShardedViyojit {
+        ShardedViyojit::new(
+            shards,
+            256,
+            ViyojitConfig::with_budget_pages(budget),
+            2,
+            SimDuration::from_millis(1),
+            Clock::new(),
+            CostModel::free(),
+            SsdConfig::instant(),
+        )
+    }
+
+    #[test]
+    fn regions_spread_across_shards_and_round_trip() {
+        let mut nv = cluster(4, 64);
+        let regions: Vec<RegionId> = (0..8)
+            .map(|_| nv.map(PAGE_SIZE as u64 * 4).unwrap())
+            .collect();
+        let used: std::collections::HashSet<usize> =
+            regions.iter().map(|&r| nv.shard_of(r).unwrap()).collect();
+        assert!(used.len() > 1, "hashing should use more than one shard");
+        for (i, &r) in regions.iter().enumerate() {
+            nv.write(r, 0, &[i as u8; 64]).unwrap();
+        }
+        let mut buf = [0u8; 64];
+        for (i, &r) in regions.iter().enumerate() {
+            nv.read(r, 0, &mut buf).unwrap();
+            assert_eq!(buf, [i as u8; 64]);
+        }
+        nv.validate();
+    }
+
+    #[test]
+    fn unmapped_slots_are_reused() {
+        let mut nv = cluster(2, 16);
+        let a = nv.map(PAGE_SIZE as u64).unwrap();
+        let b = nv.map(PAGE_SIZE as u64).unwrap();
+        nv.unmap(a).unwrap();
+        assert!(matches!(
+            nv.read(a, 0, &mut [0u8; 1]),
+            Err(ViyojitError::BadRegion(_))
+        ));
+        let c = nv.map(PAGE_SIZE as u64).unwrap();
+        assert_eq!(c, a, "freed route slots are reused");
+        nv.write(b, 0, b"x").unwrap();
+        nv.write(c, 0, b"y").unwrap();
+        nv.validate();
+    }
+
+    #[test]
+    fn map_probes_past_a_full_shard() {
+        // Two tiny shards: one large mapping fills the preferred shard,
+        // the next must land on the other.
+        let mut nv = ShardedViyojit::<SoftwareWalk>::new(
+            2,
+            8,
+            ViyojitConfig::with_budget_pages(8),
+            2,
+            SimDuration::from_millis(1),
+            Clock::new(),
+            CostModel::free(),
+            SsdConfig::instant(),
+        );
+        let a = nv.map(PAGE_SIZE as u64 * 8).unwrap();
+        let b = nv.map(PAGE_SIZE as u64 * 8).unwrap();
+        assert_ne!(nv.shard_of(a), nv.shard_of(b));
+        let c = nv.map(PAGE_SIZE as u64);
+        assert!(matches!(c, Err(ViyojitError::OutOfSpace { .. })));
+    }
+
+    #[test]
+    fn rebalance_conserves_the_global_budget() {
+        let mut nv = cluster(4, 64);
+        let r = nv.map(PAGE_SIZE as u64 * 32).unwrap();
+        for i in 0..32u64 {
+            nv.write(r, i * PAGE_SIZE as u64, &[1]).unwrap();
+        }
+        nv.rebalance();
+        assert_eq!(nv.total_assigned(), 64);
+        assert!(nv.rebalances() >= 1);
+        nv.validate();
+    }
+
+    #[test]
+    fn dirty_total_never_exceeds_the_battery() {
+        let mut nv = cluster(4, 16);
+        let regions: Vec<RegionId> = (0..4)
+            .map(|_| nv.map(PAGE_SIZE as u64 * 32).unwrap())
+            .collect();
+        for round in 0..64u64 {
+            for &r in &regions {
+                let page = (round * 7) % 32;
+                nv.write(r, page * PAGE_SIZE as u64, &[round as u8])
+                    .unwrap();
+                assert!(nv.dirty_count() <= nv.total_budget_pages());
+            }
+        }
+        nv.validate();
+        let report = nv.power_failure();
+        assert!(report.dirty_pages <= nv.total_budget_pages());
+    }
+
+    #[test]
+    fn recovery_restores_every_shard() {
+        let mut nv = cluster(2, 8);
+        let r = nv.map(PAGE_SIZE as u64 * 4).unwrap();
+        nv.write(r, 0, b"durable across the cycle").unwrap();
+        nv.power_failure();
+        nv.recover();
+        let mut buf = [0u8; 24];
+        nv.read(r, 0, &mut buf).unwrap();
+        assert_eq!(&buf, b"durable across the cycle");
+        nv.validate();
+    }
+}

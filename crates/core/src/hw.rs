@@ -15,32 +15,20 @@
 //! [shadow-walk](mem_sim::Mmu::walk_and_clear_shadow) extensions. It
 //! enforces the same durability bound as the software manager — the
 //! hardware counter *is* the bound — while removing first-write faults
-//! and epoch TLB flushes from the application's path.
+//! and epoch TLB flushes from the application's path. The tracking
+//! mechanics live in the [`MmuAssisted`] backend; the control loop is the
+//! shared [`Engine`](crate::Engine).
 
-use mem_sim::{AccessError, Mmu, MmuStats, PageId, WalkOptions, PAGE_SIZE};
-use sim_clock::{Clock, CostModel, SimTime};
-use ssd_sim::{Ssd, SsdConfig, SsdStats};
-use telemetry::{FlushReason, Telemetry, TraceEvent};
-
-use crate::{
-    NvHeap, PowerFailureReport, PressureEstimator, RegionId, RegionTable, UpdateHistory,
-    VictimSelector, ViyojitConfig, ViyojitError, ViyojitStats,
-};
-
-/// Per-page runtime state in the hardware-assisted manager.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum HwPageState {
-    /// Clean and writable (the hardware will count its next dirtying).
-    Clean,
-    /// Known dirty (discovered via interrupt or epoch scan).
-    Dirty,
-    /// Dirty with a flush IO in flight; write-protected so the snapshot
-    /// stays stable (§5.1's ordering still applies in hardware).
-    InFlight,
-}
+use crate::engine::{Engine, MmuAssisted};
 
 /// Viyojit with §5.4's MMU offload: no first-write traps, interrupt-driven
 /// budget enforcement, shadow-bit recency.
+///
+/// Since the engine unification this is [`Engine`] instantiated with the
+/// [`MmuAssisted`] backend, so it exposes the same full surface as the
+/// software manager — including `set_dirty_budget`, `regions`, and
+/// `durable_state_consistent`, which the historical standalone
+/// implementation lacked.
 ///
 /// # Examples
 ///
@@ -61,514 +49,14 @@ enum HwPageState {
 /// assert_eq!(nv.stats().faults_handled, 0, "first writes do not trap");
 /// # Ok::<(), viyojit::ViyojitError>(())
 /// ```
-#[derive(Debug)]
-pub struct MmuAssistedViyojit {
-    config: ViyojitConfig,
-    clock: Clock,
-    mmu: Mmu,
-    ssd: Ssd,
-    regions: RegionTable,
-    states: Vec<HwPageState>,
-    dirty_known: u64,
-    in_flight_count: u64,
-    history: UpdateHistory,
-    selector: VictimSelector,
-    pressure: PressureEstimator,
-    inflight: Vec<(SimTime, PageId)>,
-    next_epoch_at: SimTime,
-    current_threshold: u64,
-    stats: ViyojitStats,
-    telemetry: Telemetry,
-}
-
-impl MmuAssistedViyojit {
-    /// Creates a hardware-assisted manager. Pages start *writable* (no
-    /// protection pass); the MMU's dirty limit is armed at the budget.
-    pub fn new(
-        total_pages: usize,
-        config: ViyojitConfig,
-        clock: Clock,
-        costs: CostModel,
-        ssd_config: SsdConfig,
-    ) -> Self {
-        let mut mmu = Mmu::new(total_pages, clock.clone(), costs);
-        mmu.set_dirty_limit(Some(config.dirty_budget_pages));
-        let ssd = Ssd::new(total_pages, ssd_config, clock.clone());
-        let next_epoch_at = clock.now() + config.epoch;
-        MmuAssistedViyojit {
-            states: vec![HwPageState::Clean; total_pages],
-            dirty_known: 0,
-            in_flight_count: 0,
-            history: UpdateHistory::new(total_pages, config.history_epochs),
-            selector: VictimSelector::new(total_pages, config.target_policy, 0x5eed),
-            pressure: PressureEstimator::new(config.pressure_alpha),
-            regions: RegionTable::new(total_pages as u64),
-            inflight: Vec::new(),
-            next_epoch_at,
-            current_threshold: config.dirty_budget_pages,
-            stats: ViyojitStats::default(),
-            telemetry: Telemetry::disabled(),
-            config,
-            clock,
-            mmu,
-            ssd,
-        }
-    }
-
-    /// The shared virtual clock.
-    pub fn clock(&self) -> &Clock {
-        &self.clock
-    }
-
-    /// The hardware dirty counter — the exact budget-bound population.
-    pub fn dirty_count(&self) -> u64 {
-        self.mmu.dirty_counted()
-    }
-
-    /// The dirty budget in pages.
-    pub fn dirty_budget(&self) -> u64 {
-        self.config.dirty_budget_pages
-    }
-
-    /// Runtime counters. `faults_handled` counts only dirty-limit
-    /// interrupts and in-flight collisions — there are no first-write
-    /// traps in this mode.
-    pub fn stats(&self) -> ViyojitStats {
-        self.stats
-    }
-
-    /// MMU counters.
-    pub fn mmu_stats(&self) -> MmuStats {
-        self.mmu.stats()
-    }
-
-    /// SSD counters.
-    pub fn ssd_stats(&self) -> SsdStats {
-        self.ssd.stats()
-    }
-
-    /// The backing SSD (wear statistics, configuration).
-    pub fn ssd(&self) -> &Ssd {
-        &self.ssd
-    }
-
-    /// Attaches a telemetry handle (shared with the backing SSD).
-    pub fn attach_telemetry(&mut self, telemetry: Telemetry) {
-        self.ssd.attach_telemetry(telemetry.clone());
-        self.telemetry = telemetry;
-    }
-
-    /// Publishes runtime counters and SSD state into the attached
-    /// registry. No-op when telemetry is disabled.
-    fn publish_metrics(&mut self) {
-        if !self.telemetry.is_enabled() {
-            return;
-        }
-        let stats = self.stats;
-        let dirty = self.mmu.dirty_counted();
-        let in_flight = self.in_flight_count;
-        let threshold = self.current_threshold;
-        let predicted = self.pressure.predicted();
-        self.telemetry.metrics(|m| {
-            m.counter_set("viyojit.faults_handled", stats.faults_handled);
-            m.counter_set("viyojit.pages_dirtied", stats.pages_dirtied);
-            m.counter_set("viyojit.proactive_flushes", stats.proactive_flushes);
-            m.counter_set("viyojit.forced_flushes", stats.forced_flushes);
-            m.counter_set("viyojit.flushes_completed", stats.flushes_completed);
-            m.counter_set("viyojit.budget_stalls", stats.budget_stalls);
-            m.counter_set("viyojit.stall_nanos", stats.stall_time.as_nanos());
-            m.counter_set("viyojit.in_flight_collisions", stats.in_flight_collisions);
-            m.counter_set("viyojit.epochs", stats.epochs);
-            m.counter_set("viyojit.bytes_flushed", stats.bytes_flushed);
-            m.counter_set("viyojit.walk_touches", stats.walk_touches);
-            m.gauge_set("viyojit.dirty_pages", dirty as f64);
-            m.gauge_set("viyojit.in_flight_pages", in_flight as f64);
-            m.gauge_set("viyojit.proactive_threshold", threshold as f64);
-            m.gauge_set("viyojit.predicted_pressure", predicted);
-        });
-        self.ssd.publish_metrics();
-    }
-
-    fn retire_completions(&mut self) {
-        let now = self.clock.now();
-        let mut i = 0;
-        while i < self.inflight.len() {
-            if self.inflight[i].0 <= now {
-                let (_, page) = self.inflight.swap_remove(i);
-                // Hardware credit: dirty bit cleared, counter decremented;
-                // the page becomes writable again with no fault pending.
-                self.mmu.credit_dirty_page(page);
-                self.mmu.unprotect_page(page);
-                self.states[page.index()] = HwPageState::Clean;
-                self.dirty_known -= 1;
-                self.in_flight_count -= 1;
-                self.stats.flushes_completed += 1;
-                self.telemetry
-                    .emit(|| TraceEvent::FlushComplete { page: page.0 });
-            } else {
-                i += 1;
-            }
-        }
-    }
-
-    fn poll(&mut self) {
-        self.retire_completions();
-        let now = self.clock.now();
-        if now < self.next_epoch_at {
-            return;
-        }
-        // Idle fast-forward, as in the software manager: epochs beyond the
-        // catch-up window observe nothing and copy nothing.
-        let pending = (now - self.next_epoch_at).as_nanos() / self.config.epoch.as_nanos() + 1;
-        let cap = self.config.history_epochs as u64
-            + self.config.dirty_budget_pages / self.config.max_outstanding_ios as u64
-            + 2;
-        if pending > cap {
-            let skipped = pending - cap;
-            self.history.advance_epochs(skipped);
-            self.pressure.reset();
-            self.next_epoch_at += self.config.epoch * skipped;
-            self.stats.epochs_fast_forwarded += skipped;
-        }
-        while self.clock.now() >= self.next_epoch_at {
-            self.run_epoch();
-            self.next_epoch_at += self.config.epoch;
-        }
-    }
-
-    /// Epoch duties: discover newly dirty pages (the OS only learns page
-    /// *addresses* by scanning, since dirtying no longer traps), refresh
-    /// recency from shadow bits, update pressure, issue proactive copies.
-    fn run_epoch(&mut self) {
-        self.stats.epochs += 1;
-        self.history.advance_epoch();
-        let epoch = self.history.current_epoch();
-
-        // Discovery scan over mapped pages: PTE dirty bit set but page not
-        // yet known-dirty => it was dirtied silently since the last epoch.
-        let mapped: Vec<PageId> = self
-            .regions
-            .iter()
-            .flat_map(|(_, info)| info.iter_pages().collect::<Vec<_>>())
-            .collect();
-        let mut discovered = 0u64;
-        for &page in &mapped {
-            if self.states[page.index()] == HwPageState::Clean
-                && self.mmu.page_table().flags(page).is_dirty()
-            {
-                self.states[page.index()] = HwPageState::Dirty;
-                self.dirty_known += 1;
-                self.history.touch(page);
-                self.selector.on_dirty(page, &self.history);
-                self.stats.pages_dirtied += 1;
-                discovered += 1;
-            }
-        }
-        // Shadow walk over known-dirty pages refreshes recency without
-        // touching the counter. No full TLB flush is required for
-        // correctness here — the shadow bit is only advisory — but the
-        // walk flushes when configured, like the software mode.
-        let known: Vec<PageId> = mapped
-            .iter()
-            .copied()
-            .filter(|p| self.states[p.index()] == HwPageState::Dirty)
-            .collect();
-        let options = WalkOptions {
-            flush_tlb: self.config.tlb_flush_on_walk,
-            charge_costs: false,
-        };
-        for page in self.mmu.walk_and_clear_shadow(&known, options) {
-            self.history.touch(page);
-            self.selector.on_touch(page, &self.history);
-            self.stats.walk_touches += 1;
-        }
-        self.telemetry.emit(|| TraceEvent::EpochWalk {
-            epoch,
-            walked: (mapped.len() + known.len()) as u64,
-            new_dirty: discovered,
-        });
-        if self.config.tlb_flush_on_walk {
-            self.telemetry.emit(|| TraceEvent::TlbFlush { epoch });
-        }
-
-        // Pressure from the pages discovered newly dirty this epoch.
-        self.pressure.observe(discovered);
-        self.current_threshold = match self.config.threshold_policy {
-            crate::ThresholdPolicy::Adaptive => {
-                self.pressure.threshold(self.config.dirty_budget_pages)
-            }
-            crate::ThresholdPolicy::FixedSlack(slack) => {
-                self.config.dirty_budget_pages.saturating_sub(slack)
-            }
-        };
-
-        self.retire_completions();
-        while self
-            .mmu
-            .dirty_counted()
-            .saturating_sub(self.in_flight_count)
-            > self.current_threshold
-            && self.inflight.len() < self.config.max_outstanding_ios
-        {
-            let Some(victim) = self.selector.peek() else {
-                break;
-            };
-            self.issue_flush(victim, FlushReason::Proactive);
-        }
-        self.publish_metrics();
-        self.telemetry.snapshot_epoch(epoch);
-    }
-
-    fn issue_flush(&mut self, victim: PageId, reason: FlushReason) {
-        debug_assert_eq!(self.states[victim.index()], HwPageState::Dirty);
-        self.telemetry.emit(|| TraceEvent::FlushIssued {
-            page: victim.0,
-            reason,
-            last_update_epoch: self.history.last_update_epoch(victim),
-        });
-        // Snapshot safety still demands write-protect-before-flush.
-        self.mmu.protect_page(victim);
-        self.states[victim.index()] = HwPageState::InFlight;
-        self.in_flight_count += 1;
-        self.selector.on_removed(victim);
-        let data = self.mmu.page_data(victim).to_vec();
-        let done = self.ssd.submit_write(victim, &data);
-        self.inflight.push((done, victim));
-        self.stats.bytes_flushed += PAGE_SIZE as u64;
-        match reason {
-            FlushReason::Proactive => self.stats.proactive_flushes += 1,
-            FlushReason::Forced => self.stats.forced_flushes += 1,
-        }
-    }
-
-    /// Handles the §5.4 dirty-limit interrupt: free one hardware slot by
-    /// flushing, waiting for completions as needed.
-    fn handle_limit_interrupt(&mut self) {
-        self.stats.faults_handled += 1;
-        self.retire_completions();
-        let mut stalled = false;
-        while self.mmu.dirty_counted() >= self.config.dirty_budget_pages {
-            if self.inflight.is_empty() {
-                let victim = match self.selector.peek() {
-                    Some(v) => v,
-                    None => {
-                        // The runtime's view lags the hardware: discover now.
-                        self.emergency_discovery();
-                        self.selector
-                            .peek()
-                            .expect("hardware counts a dirty page the scan cannot find")
-                    }
-                };
-                self.issue_flush(victim, FlushReason::Forced);
-            }
-            let earliest = self
-                .inflight
-                .iter()
-                .map(|&(t, _)| t)
-                .min()
-                .expect("at least one IO in flight");
-            let before = self.clock.now();
-            self.clock.advance_to(earliest);
-            self.stats.stall_time += self.clock.now().saturating_since(before);
-            if !stalled {
-                self.stats.budget_stalls += 1;
-                stalled = true;
-                self.telemetry.emit(|| TraceEvent::BudgetStall {
-                    dirty: self.mmu.dirty_counted(),
-                    budget: self.config.dirty_budget_pages,
-                });
-            }
-            self.retire_completions();
-        }
-    }
-
-    /// Out-of-band discovery scan, used when the limit interrupt arrives
-    /// before the epoch walker has catalogued the dirty population.
-    fn emergency_discovery(&mut self) {
-        let mapped: Vec<PageId> = self
-            .regions
-            .iter()
-            .flat_map(|(_, info)| info.iter_pages().collect::<Vec<_>>())
-            .collect();
-        for page in mapped {
-            if self.states[page.index()] == HwPageState::Clean
-                && self.mmu.page_table().flags(page).is_dirty()
-            {
-                self.states[page.index()] = HwPageState::Dirty;
-                self.dirty_known += 1;
-                self.history.touch(page);
-                self.selector.on_dirty(page, &self.history);
-                self.stats.pages_dirtied += 1;
-            }
-        }
-    }
-
-    /// Simulated power failure: the hardware counter bounds the flush.
-    pub fn power_failure(&mut self) -> PowerFailureReport {
-        let dirty: Vec<PageId> = self
-            .mmu
-            .page_table()
-            .iter()
-            .filter(|(_, f)| f.is_dirty())
-            .map(|(p, _)| p)
-            .collect();
-        for &p in &dirty {
-            let data = self.mmu.page_data(p).to_vec();
-            self.ssd.submit_write(p, &data);
-        }
-        let bytes = dirty.len() as u64 * PAGE_SIZE as u64;
-        PowerFailureReport {
-            dirty_pages: dirty.len() as u64,
-            bytes_flushed: bytes,
-            flush_time: self.ssd.config().drain_time(bytes),
-        }
-    }
-
-    /// Reloads NV-DRAM from the SSD after a power cycle.
-    pub fn recover(&mut self) {
-        for i in 0..self.mmu.pages() {
-            let page = PageId(i as u64);
-            match self.ssd.page_data(page) {
-                Some(durable) => {
-                    let durable = durable.to_vec();
-                    self.mmu.page_data_mut(page).copy_from_slice(&durable);
-                }
-                None => self.mmu.page_data_mut(page).fill(0),
-            }
-            self.mmu.unprotect_page(page);
-        }
-        self.mmu.set_dirty_limit(None);
-        for i in 0..self.mmu.pages() {
-            // Reset dirty/shadow bits so the re-armed counter starts at 0.
-            let page = PageId(i as u64);
-            let _ = self.mmu.walk_and_clear_dirty(&[page], WalkOptions::stale());
-            let _ = self
-                .mmu
-                .walk_and_clear_shadow(&[page], WalkOptions::stale());
-        }
-        self.mmu
-            .set_dirty_limit(Some(self.config.dirty_budget_pages));
-        self.states.fill(HwPageState::Clean);
-        self.dirty_known = 0;
-        self.in_flight_count = 0;
-        self.history.reset();
-        self.selector.reset();
-        self.pressure.reset();
-        self.inflight.clear();
-        self.next_epoch_at = self.clock.now() + self.config.epoch;
-    }
-
-    /// Asserts the hardware-mode invariants, chiefly the durability bound
-    /// `hardware dirty counter <= budget`.
-    ///
-    /// # Panics
-    ///
-    /// Panics on violation.
-    pub fn validate(&self) {
-        assert!(
-            self.mmu.dirty_counted() <= self.config.dirty_budget_pages,
-            "durability violation: hardware counter {} exceeds budget {}",
-            self.mmu.dirty_counted(),
-            self.config.dirty_budget_pages
-        );
-        let pte_dirty = self.mmu.page_table().dirty_count() as u64;
-        assert_eq!(
-            pte_dirty,
-            self.mmu.dirty_counted(),
-            "hardware counter out of sync with PTE dirty bits"
-        );
-        assert_eq!(self.inflight.len() as u64, self.in_flight_count);
-    }
-}
-
-impl NvHeap for MmuAssistedViyojit {
-    fn map(&mut self, len_bytes: u64) -> Result<RegionId, ViyojitError> {
-        self.regions.map(len_bytes)
-    }
-
-    fn unmap(&mut self, region: RegionId) -> Result<(), ViyojitError> {
-        let info = self.regions.info(region)?;
-        for page in info.iter_pages() {
-            if self.states[page.index()] == HwPageState::InFlight {
-                let done = self
-                    .inflight
-                    .iter()
-                    .find(|&&(_, p)| p == page)
-                    .map(|&(t, _)| t)
-                    .expect("in-flight page has a pending IO");
-                self.clock.advance_to(done);
-                self.retire_completions();
-            }
-        }
-        for page in info.iter_pages() {
-            if self.states[page.index()] == HwPageState::Dirty {
-                self.selector.on_removed(page);
-                self.states[page.index()] = HwPageState::Clean;
-                self.dirty_known -= 1;
-                self.mmu.credit_dirty_page(page);
-            } else if self.mmu.page_table().flags(page).is_dirty() {
-                // Dirty but not yet discovered: still credit the counter.
-                self.mmu.credit_dirty_page(page);
-            }
-        }
-        self.regions.unmap(region)?;
-        Ok(())
-    }
-
-    fn read(&mut self, region: RegionId, offset: u64, buf: &mut [u8]) -> Result<(), ViyojitError> {
-        let addr = self.regions.resolve(region, offset, buf.len())?;
-        self.poll();
-        self.mmu
-            .read(addr, buf)
-            .expect("resolved addresses are in range");
-        self.poll();
-        Ok(())
-    }
-
-    fn write(&mut self, region: RegionId, offset: u64, data: &[u8]) -> Result<(), ViyojitError> {
-        let mut addr = self.regions.resolve(region, offset, data.len())?;
-        self.poll();
-        let mut rest = data;
-        while !rest.is_empty() {
-            let in_page = PAGE_SIZE - (addr as usize % PAGE_SIZE);
-            let n = in_page.min(rest.len());
-            let (chunk, tail) = rest.split_at(n);
-            loop {
-                match self.mmu.write(addr, chunk) {
-                    Ok(()) => break,
-                    Err(AccessError::DirtyLimitReached(_)) => self.handle_limit_interrupt(),
-                    Err(AccessError::WriteProtected(page)) => {
-                        // Only in-flight pages are protected in this mode.
-                        self.stats.in_flight_collisions += 1;
-                        let done = self
-                            .inflight
-                            .iter()
-                            .find(|&&(_, p)| p == page)
-                            .map(|&(t, _)| t)
-                            .expect("protected page has a pending IO");
-                        self.clock.advance_to(done);
-                        self.retire_completions();
-                    }
-                    Err(e @ AccessError::OutOfRange { .. }) => {
-                        unreachable!("resolved addresses are in range: {e}")
-                    }
-                }
-            }
-            addr += n as u64;
-            rest = tail;
-        }
-        self.poll();
-        Ok(())
-    }
-
-    fn region_len(&self, region: RegionId) -> Result<u64, ViyojitError> {
-        Ok(self.regions.info(region)?.len_bytes)
-    }
-}
+pub type MmuAssistedViyojit = Engine<MmuAssisted>;
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+    use crate::{MmuAssistedViyojit, NvHeap, ViyojitConfig};
+    use mem_sim::PAGE_SIZE;
+    use sim_clock::{Clock, CostModel};
+    use ssd_sim::SsdConfig;
 
     const PAGE: u64 = PAGE_SIZE as u64;
 
@@ -675,6 +163,24 @@ mod tests {
             "discovered pages must be proactively copied: {:?}",
             nv.stats()
         );
+        nv.validate();
+    }
+
+    #[test]
+    fn budget_rederivation_works_on_the_hardware_backend() {
+        // The historical standalone implementation had no
+        // `set_dirty_budget`; the unified engine provides it for free.
+        let mut nv = hw(64, 8);
+        let r = nv.map(PAGE * 16).unwrap();
+        for i in 0..8u64 {
+            nv.write(r, i * PAGE, &[1]).unwrap();
+        }
+        assert_eq!(nv.dirty_count(), 8);
+        nv.set_dirty_budget(3);
+        assert!(nv.dirty_count() <= 3, "shrinking stalls down to the bound");
+        assert_eq!(nv.dirty_budget(), 3);
+        assert!(nv.durable_state_consistent());
+        assert_eq!(nv.regions().count(), 1);
         nv.validate();
     }
 }

@@ -11,13 +11,21 @@
 //!
 //! The crate provides:
 //!
-//! - [`Viyojit`] — the manager: mmap-like [`NvHeap`] API, write-protection
-//!   fault tracking with an exact synchronous dirty count (Fig. 6),
-//!   epoch-based least-recently-updated victim selection ([`UpdateHistory`],
+//! - [`Engine`] — the unified manager: one Fig. 6 state machine (mmap-like
+//!   [`NvHeap`] API, exact synchronous dirty counting, epoch-based
+//!   least-recently-updated victim selection ([`UpdateHistory`],
 //!   [`VictimSelector`]), EWMA dirty-page-pressure prediction
 //!   ([`PressureEstimator`]), proactive copy-out, power-failure flush and
-//!   recovery;
-//! - [`NvdramBaseline`] — the full-battery comparison system of Figs. 7-8;
+//!   recovery), generic over a [`DirtyTracker`] backend;
+//! - [`Viyojit`] — the engine with the [`SoftwareWalk`] backend
+//!   (write-protection fault tracking, the paper's §5 design);
+//! - [`MmuAssistedViyojit`] — the engine with the [`MmuAssisted`] backend
+//!   (§5.4's hardware dirty counter and shadow bits);
+//! - [`NvdramBaseline`] — the full-battery comparison system of Figs. 7-8
+//!   (the engine with the [`FullDirty`] backend, which tracks nothing);
+//! - [`ShardedViyojit`] — N per-shard engines multiplexing one battery's
+//!   budget through a [`BudgetArbiter`], with [`BalloonedCluster`] doing
+//!   the same across whole tenants (§6.3);
 //! - [`PeriodicCountTracker`] — the flawed periodic-counting design §4.1
 //!   rejects, kept to demonstrate *why* synchronous tracking is required.
 //!
@@ -54,6 +62,7 @@ mod baseline;
 mod codec;
 mod config;
 mod dirty;
+pub mod engine;
 mod error;
 mod heap;
 mod history;
@@ -70,7 +79,11 @@ pub use baseline::{NvdramBaseline, PeriodicCountTracker};
 pub use codec::{rle_decode, rle_encode, FlushCodec};
 pub use config::{ThresholdPolicy, ViyojitConfig, ViyojitConfigBuilder};
 pub use dirty::{DirtySet, PageState};
-pub use error::ViyojitError;
+pub use engine::{
+    BudgetArbiter, DirtyTracker, Engine, EngineCore, FullDirty, MmuAssisted, ShardedViyojit,
+    SoftwareWalk,
+};
+pub use error::{InvariantViolation, ViyojitError};
 pub use heap::NvHeap;
 pub use history::UpdateHistory;
 pub use hw::MmuAssistedViyojit;

@@ -1,17 +1,15 @@
 //! The Viyojit manager: dirty-budget enforcement (Fig. 6), epoch-based
 //! recency tracking, proactive copying, power failure, and recovery.
+//!
+//! The control loop itself lives in the backend-generic
+//! [`Engine`](crate::Engine) (see [`crate::engine`]); this module keeps
+//! the software manager's public name and the [`PowerFailureReport`]
+//! durability surface.
 
 use battery_sim::{Battery, PowerModel};
-use mem_sim::{AccessError, Mmu, MmuStats, PageId, TlbStats, WalkOptions, PAGE_SIZE};
-use sim_clock::{Clock, CostModel, SimDuration, SimTime};
-use ssd_sim::{Ssd, SsdConfig, SsdStats};
-use telemetry::{FlushReason, Telemetry, TraceEvent};
+use sim_clock::SimDuration;
 
-use crate::codec::{encoded_page_bytes, page_content_hash, DEDUP_RECORD_BYTES};
-use crate::{
-    DirtySet, FlushCodec, NvHeap, PageState, PressureEstimator, RegionId, RegionInfo, RegionTable,
-    UpdateHistory, VictimSelector, ViyojitConfig, ViyojitError, ViyojitStats,
-};
+use crate::engine::{Engine, SoftwareWalk};
 
 /// Outcome of a simulated power failure: what the battery had to flush.
 ///
@@ -63,10 +61,10 @@ impl PowerFailureReport {
 /// The Viyojit NV-DRAM manager (the paper's primary contribution).
 ///
 /// `Viyojit` presents the full NV-DRAM capacity through the mmap-like
-/// [`NvHeap`] API while guaranteeing that at most
-/// [`ViyojitConfig::dirty_budget_pages`] pages are ever inconsistent with
-/// the backing SSD, so a battery sized for the *budget* — not the DRAM —
-/// suffices for durability.
+/// [`NvHeap`](crate::NvHeap) API while guaranteeing that at most
+/// [`ViyojitConfig::dirty_budget_pages`](crate::ViyojitConfig) pages are
+/// ever inconsistent with the backing SSD, so a battery sized for the
+/// *budget* — not the DRAM — suffices for durability.
 ///
 /// Mechanics (paper §5):
 /// - every mapped page starts write-protected; the first write faults and
@@ -78,627 +76,13 @@ impl PowerFailureReport {
 ///   dirty-page pressure, and proactively copies cold pages so writers
 ///   rarely stall.
 ///
+/// Since the engine unification this is [`Engine`] instantiated with the
+/// [`SoftwareWalk`] backend; the hardware-assisted
+/// [`MmuAssistedViyojit`](crate::MmuAssistedViyojit) shares every line of
+/// the control loop and differs only in how dirtiness is observed.
+///
 /// # Examples
 ///
-/// See [`NvHeap`] for the write/read surface and
-/// [`Viyojit::power_failure`] for the durability path.
-#[derive(Debug)]
-pub struct Viyojit {
-    config: ViyojitConfig,
-    clock: Clock,
-    mmu: Mmu,
-    ssd: Ssd,
-    regions: RegionTable,
-    dirty: DirtySet,
-    history: UpdateHistory,
-    selector: VictimSelector,
-    pressure: PressureEstimator,
-    /// Pending flush IOs as `(completion instant, page)`.
-    inflight: Vec<(SimTime, PageId)>,
-    /// Content hashes of pages durable on the SSD (dedup codec only).
-    dedup_hashes: std::collections::HashSet<u64>,
-    new_dirty_this_epoch: u64,
-    next_epoch_at: SimTime,
-    /// Proactive-copy threshold computed at the last epoch boundary; the
-    /// background copier tops up toward it continuously between epochs.
-    current_threshold: u64,
-    stats: ViyojitStats,
-    telemetry: Telemetry,
-}
-
-impl Viyojit {
-    /// Creates a manager over `total_pages` of NV-DRAM backed by an SSD of
-    /// the same capacity. All pages are write-protected at startup (Fig. 6
-    /// step 1).
-    pub fn new(
-        total_pages: usize,
-        config: ViyojitConfig,
-        clock: Clock,
-        costs: CostModel,
-        ssd_config: SsdConfig,
-    ) -> Self {
-        let mut mmu = Mmu::new(total_pages, clock.clone(), costs);
-        for i in 0..total_pages {
-            mmu.protect_page(PageId(i as u64));
-        }
-        let ssd = Ssd::new(total_pages, ssd_config, clock.clone());
-        let next_epoch_at = clock.now() + config.epoch;
-        Viyojit {
-            dirty: DirtySet::new(total_pages),
-            history: UpdateHistory::new(total_pages, config.history_epochs),
-            selector: VictimSelector::new(total_pages, config.target_policy, 0x5eed),
-            pressure: PressureEstimator::new(config.pressure_alpha),
-            regions: RegionTable::new(total_pages as u64),
-            inflight: Vec::new(),
-            dedup_hashes: std::collections::HashSet::new(),
-            new_dirty_this_epoch: 0,
-            next_epoch_at,
-            current_threshold: config.dirty_budget_pages,
-            stats: ViyojitStats::default(),
-            telemetry: Telemetry::disabled(),
-            config,
-            clock,
-            mmu,
-            ssd,
-        }
-    }
-
-    /// The configuration in force.
-    pub fn config(&self) -> &ViyojitConfig {
-        &self.config
-    }
-
-    /// The shared virtual clock.
-    pub fn clock(&self) -> &Clock {
-        &self.clock
-    }
-
-    /// Pages currently counted against the dirty budget.
-    pub fn dirty_count(&self) -> u64 {
-        self.dirty.dirty_count()
-    }
-
-    /// The dirty budget in pages.
-    pub fn dirty_budget(&self) -> u64 {
-        self.config.dirty_budget_pages
-    }
-
-    /// Runtime counters.
-    pub fn stats(&self) -> ViyojitStats {
-        self.stats
-    }
-
-    /// MMU access counters.
-    pub fn mmu_stats(&self) -> MmuStats {
-        self.mmu.stats()
-    }
-
-    /// TLB counters.
-    pub fn tlb_stats(&self) -> TlbStats {
-        self.mmu.tlb_stats()
-    }
-
-    /// SSD counters (copy-out traffic; Fig. 9's write rate comes from
-    /// `bytes_written`).
-    pub fn ssd_stats(&self) -> SsdStats {
-        self.ssd.stats()
-    }
-
-    /// The backing SSD (wear statistics, configuration).
-    pub fn ssd(&self) -> &Ssd {
-        &self.ssd
-    }
-
-    /// Attaches a telemetry handle (shared with the backing SSD). The
-    /// manager then emits the Fig. 6 trace events and publishes its
-    /// counters into the registry at every epoch boundary. Telemetry only
-    /// observes the virtual clock, so results are identical with any sink.
-    pub fn attach_telemetry(&mut self, telemetry: Telemetry) {
-        self.ssd.attach_telemetry(telemetry.clone());
-        self.telemetry = telemetry;
-    }
-
-    /// Publishes runtime counters, pressure state, and SSD state into the
-    /// attached metrics registry. No-op when telemetry is disabled.
-    fn publish_metrics(&mut self) {
-        if !self.telemetry.is_enabled() {
-            return;
-        }
-        let stats = self.stats;
-        let dirty = self.dirty.dirty_count();
-        let in_flight = self.dirty.in_flight_count();
-        let threshold = self.current_threshold;
-        let predicted = self.pressure.predicted();
-        self.telemetry.metrics(|m| {
-            m.counter_set("viyojit.faults_handled", stats.faults_handled);
-            m.counter_set("viyojit.pages_dirtied", stats.pages_dirtied);
-            m.counter_set("viyojit.proactive_flushes", stats.proactive_flushes);
-            m.counter_set("viyojit.forced_flushes", stats.forced_flushes);
-            m.counter_set("viyojit.flushes_completed", stats.flushes_completed);
-            m.counter_set("viyojit.budget_stalls", stats.budget_stalls);
-            m.counter_set("viyojit.stall_nanos", stats.stall_time.as_nanos());
-            m.counter_set("viyojit.in_flight_collisions", stats.in_flight_collisions);
-            m.counter_set("viyojit.epochs", stats.epochs);
-            m.counter_set("viyojit.bytes_flushed", stats.bytes_flushed);
-            m.counter_set(
-                "viyojit.physical_bytes_flushed",
-                stats.physical_bytes_flushed,
-            );
-            m.counter_set("viyojit.walk_touches", stats.walk_touches);
-            m.gauge_set("viyojit.dirty_pages", dirty as f64);
-            m.gauge_set("viyojit.in_flight_pages", in_flight as f64);
-            m.gauge_set("viyojit.proactive_threshold", threshold as f64);
-            m.gauge_set("viyojit.predicted_pressure", predicted);
-        });
-        self.ssd.publish_metrics();
-    }
-
-    /// Live regions.
-    pub fn regions(&self) -> impl Iterator<Item = (RegionId, RegionInfo)> + '_ {
-        self.regions.iter()
-    }
-
-    // ------------------------------------------------------------------
-    // Epochs, completions, proactive copying
-    // ------------------------------------------------------------------
-
-    /// Retires every flush IO whose completion instant has passed, moving
-    /// its page clean and releasing its budget slot.
-    fn retire_completions(&mut self) {
-        let now = self.clock.now();
-        let mut i = 0;
-        while i < self.inflight.len() {
-            if self.inflight[i].0 <= now {
-                let (_, page) = self.inflight.swap_remove(i);
-                self.dirty.mark_clean(page);
-                self.stats.flushes_completed += 1;
-                self.telemetry
-                    .emit(|| TraceEvent::FlushComplete { page: page.0 });
-            } else {
-                i += 1;
-            }
-        }
-    }
-
-    /// Processes any epoch boundaries the virtual clock has crossed.
-    /// Called from every read/write; cheap when nothing is pending.
-    ///
-    /// Proactive copies are issued only at epoch boundaries, as in the
-    /// paper (§5.3 is explicitly "an epoch based approach"); the EWMA
-    /// threshold exists precisely to leave enough budget slack to absorb
-    /// the new dirty pages that arrive *between* boundaries.
-    fn poll(&mut self) {
-        self.retire_completions();
-        let now = self.clock.now();
-        if now < self.next_epoch_at {
-            return;
-        }
-        // Fast-forward long idle gaps. Only the first epoch after the gap
-        // observes new dirty bits, and the copier needs at most
-        // budget/outstanding epochs to drain to its threshold, so epochs
-        // beyond `cap` before "now" are no-ops: age the recency history in
-        // one step and let the pressure prediction decay to zero, exactly
-        // as processing them individually would.
-        let pending = (now - self.next_epoch_at).as_nanos() / self.config.epoch.as_nanos() + 1;
-        let cap = self.config.history_epochs as u64
-            + self.config.dirty_budget_pages / self.config.max_outstanding_ios as u64
-            + 2;
-        if pending > cap {
-            let skipped = pending - cap;
-            self.history.advance_epochs(skipped);
-            self.pressure.reset();
-            self.new_dirty_this_epoch = 0;
-            self.next_epoch_at += self.config.epoch * skipped;
-            self.stats.epochs_fast_forwarded += skipped;
-        }
-        while self.clock.now() >= self.next_epoch_at {
-            self.run_epoch();
-            self.next_epoch_at += self.config.epoch;
-        }
-    }
-
-    /// Issues proactive copies until the not-yet-flushing dirty population
-    /// is at most `threshold` or the outstanding-IO cap is reached.
-    fn issue_proactive_down_to(&mut self, threshold: u64) {
-        while self.dirty.dirty_count() - self.dirty.in_flight_count() > threshold
-            && self.inflight.len() < self.config.max_outstanding_ios
-        {
-            let Some(victim) = self.selector.peek() else {
-                break; // everything dirty is already in flight
-            };
-            self.issue_flush(victim, FlushReason::Proactive);
-        }
-    }
-
-    /// One epoch boundary (§5.2 + §5.3): walk dirty bits, refresh recency,
-    /// update pressure, and issue proactive copies down to the threshold.
-    fn run_epoch(&mut self) {
-        self.stats.epochs += 1;
-        self.history.advance_epoch();
-        let epoch = self.history.current_epoch();
-
-        let walk_set: Vec<PageId> = self.dirty.iter_dirty().collect();
-        let options = WalkOptions {
-            flush_tlb: self.config.tlb_flush_on_walk,
-            charge_costs: false, // the walker runs off the app's critical path
-        };
-        for page in self.mmu.walk_and_clear_dirty(&walk_set, options) {
-            self.history.touch(page);
-            self.selector.on_touch(page, &self.history);
-            self.stats.walk_touches += 1;
-        }
-        self.telemetry.emit(|| TraceEvent::EpochWalk {
-            epoch,
-            walked: walk_set.len() as u64,
-            new_dirty: self.new_dirty_this_epoch,
-        });
-        if self.config.tlb_flush_on_walk {
-            self.telemetry.emit(|| TraceEvent::TlbFlush { epoch });
-        }
-
-        self.pressure.observe(self.new_dirty_this_epoch);
-        self.new_dirty_this_epoch = 0;
-        self.current_threshold = match self.config.threshold_policy {
-            crate::ThresholdPolicy::Adaptive => {
-                self.pressure.threshold(self.config.dirty_budget_pages)
-            }
-            crate::ThresholdPolicy::FixedSlack(slack) => {
-                self.config.dirty_budget_pages.saturating_sub(slack)
-            }
-        };
-
-        self.retire_completions();
-        // Issue enough copies that, once in-flight IOs drain, the dirty
-        // population sits at the threshold. In-flight pages still count
-        // against the budget (their bytes are not durable yet) but need no
-        // further action, so the copier compares the not-yet-flushing
-        // population to the threshold.
-        self.issue_proactive_down_to(self.current_threshold);
-        self.publish_metrics();
-        self.telemetry.snapshot_epoch(epoch);
-    }
-
-    /// Re-protects `victim`, snapshots it, and submits its flush (Fig. 6
-    /// steps 6-7). Write-protecting *before* the SSD write is what makes
-    /// the snapshot safe against concurrent updates (§5.1).
-    fn issue_flush(&mut self, victim: PageId, reason: FlushReason) {
-        self.telemetry.emit(|| TraceEvent::FlushIssued {
-            page: victim.0,
-            reason,
-            last_update_epoch: self.history.last_update_epoch(victim),
-        });
-        self.mmu.protect_page(victim);
-        // Clear the PTE dirty bit so post-flush tracking starts clean; the
-        // protect above already invalidated the TLB entry.
-        self.mmu
-            .walk_and_clear_dirty(&[victim], WalkOptions::stale());
-        self.dirty.mark_in_flight(victim);
-        self.selector.on_removed(victim);
-        let data = self.mmu.page_data(victim).to_vec();
-        let physical = self.physical_flush_bytes(victim, &data);
-        self.mmu.clear_sector_mask(victim);
-        let done = self.ssd.submit_write_sized(victim, &data, physical);
-        self.inflight.push((done, victim));
-        self.stats.bytes_flushed += PAGE_SIZE as u64;
-        self.stats.physical_bytes_flushed += physical as u64;
-        match reason {
-            FlushReason::Proactive => self.stats.proactive_flushes += 1,
-            FlushReason::Forced => self.stats.forced_flushes += 1,
-        }
-    }
-
-    /// The physical payload one page flush costs under the configured §7
-    /// reductions: sector-granular shipping (when a durable base exists to
-    /// patch), compression, or a dedup reference when the whole content is
-    /// already durable. When both sector flushing and a codec are enabled,
-    /// the cheaper of the two applies.
-    fn physical_flush_bytes(&mut self, page: PageId, data: &[u8]) -> usize {
-        let codec_bytes = match self.config.flush_codec {
-            FlushCodec::Raw => PAGE_SIZE,
-            FlushCodec::Rle => encoded_page_bytes(FlushCodec::Rle, data),
-            FlushCodec::RleDedup => {
-                let hash = page_content_hash(data);
-                if self.dedup_hashes.insert(hash) {
-                    encoded_page_bytes(FlushCodec::Rle, data)
-                } else {
-                    DEDUP_RECORD_BYTES
-                }
-            }
-        };
-        if self.config.sector_flush && self.ssd.contains(page) {
-            // Clean sectors already match the durable base copy, so only
-            // the modified sectors (plus an 8 B mask) need shipping.
-            let sector_bytes = self.mmu.dirty_sector_bytes(page) + 8;
-            codec_bytes.min(sector_bytes.min(PAGE_SIZE))
-        } else {
-            codec_bytes
-        }
-    }
-
-    /// Stalls (advancing the virtual clock through SSD completions) until
-    /// at most `limit` pages are counted dirty, issuing forced flushes as
-    /// needed.
-    fn stall_until_dirty_at_most(&mut self, limit: u64) {
-        let mut stalled = false;
-        while self.dirty.dirty_count() > limit {
-            if self.inflight.is_empty() {
-                let victim = self
-                    .selector
-                    .peek()
-                    .expect("dirty pages exceed the limit but none are flushable or in flight");
-                self.issue_flush(victim, FlushReason::Forced);
-            }
-            let earliest = self
-                .inflight
-                .iter()
-                .map(|&(t, _)| t)
-                .min()
-                .expect("at least one IO in flight");
-            let before = self.clock.now();
-            self.clock.advance_to(earliest);
-            self.stats.stall_time += self.clock.now().saturating_since(before);
-            if !stalled {
-                self.stats.budget_stalls += 1;
-                stalled = true;
-                self.telemetry.emit(|| TraceEvent::BudgetStall {
-                    dirty: self.dirty.dirty_count(),
-                    budget: limit,
-                });
-            }
-            self.retire_completions();
-        }
-    }
-
-    /// The write-protection fault handler (Fig. 6 steps 3-8).
-    fn handle_fault(&mut self, page: PageId) {
-        self.stats.faults_handled += 1;
-        self.telemetry
-            .emit(|| TraceEvent::WriteFault { page: page.0 });
-        self.retire_completions();
-
-        if self.dirty.state(page) == PageState::InFlight {
-            // The page is mid-flush; wait for its IO so the clean snapshot
-            // is durable before the page is re-dirtied.
-            self.stats.in_flight_collisions += 1;
-            let done = self
-                .inflight
-                .iter()
-                .find(|&&(_, p)| p == page)
-                .map(|&(t, _)| t)
-                .expect("in-flight page has a pending IO");
-            self.clock.advance_to(done);
-            self.retire_completions();
-        }
-        debug_assert_eq!(self.dirty.state(page), PageState::Clean);
-
-        // Step 5: admitting this page must keep the count within budget.
-        self.stall_until_dirty_at_most(self.config.dirty_budget_pages - 1);
-
-        // Step 8: unprotect, count, record.
-        self.mmu.unprotect_page(page);
-        self.dirty.mark_dirty(page);
-        self.history.touch(page);
-        self.selector.on_dirty(page, &self.history);
-        self.new_dirty_this_epoch += 1;
-        self.stats.pages_dirtied += 1;
-    }
-
-    // ------------------------------------------------------------------
-    // Runtime budget tuning (§8)
-    // ------------------------------------------------------------------
-
-    /// Re-derives the dirty budget at runtime — e.g. after a battery cell
-    /// failure shrank the available energy (§8). If the dirty population
-    /// exceeds the new budget, the caller stalls while pages are flushed
-    /// down to it, preserving durability throughout.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `pages` is zero.
-    pub fn set_dirty_budget(&mut self, pages: u64) {
-        assert!(pages > 0, "dirty budget must allow at least one dirty page");
-        // The manager only sees the derived budget; health is reported by
-        // whoever derived it (the battery governor), so 1000 here means
-        // "not re-measured at this hook".
-        self.telemetry.emit(|| TraceEvent::BatteryRecalc {
-            budget_pages: pages,
-            health_permille: 1000,
-        });
-        self.config.dirty_budget_pages = pages;
-        self.stall_until_dirty_at_most(pages);
-    }
-
-    // ------------------------------------------------------------------
-    // Power failure & recovery
-    // ------------------------------------------------------------------
-
-    /// Simulates an external power failure: every page counted dirty is
-    /// flushed to the SSD on battery power. Returns what the battery had
-    /// to do — by construction at most the dirty budget.
-    pub fn power_failure(&mut self) -> PowerFailureReport {
-        let pages: Vec<PageId> = self.dirty.iter_counted().collect();
-        let mut physical = 0u64;
-        for &p in &pages {
-            let data = self.mmu.page_data(p).to_vec();
-            let payload = self.physical_flush_bytes(p, &data);
-            self.mmu.clear_sector_mask(p);
-            physical += payload as u64;
-            self.ssd.submit_write_sized(p, &data, payload);
-        }
-        let bytes = physical;
-        PowerFailureReport {
-            dirty_pages: pages.len() as u64,
-            bytes_flushed: bytes,
-            flush_time: self.ssd.config().drain_time(bytes),
-        }
-    }
-
-    /// Rebuilds NV-DRAM from the SSD after a power cycle: every page is
-    /// reloaded from its durable copy (zeroes if never written), all pages
-    /// are re-protected, and the trackers restart empty. Region mappings
-    /// survive (their metadata lives in the flushed superblock).
-    pub fn recover(&mut self) {
-        for i in 0..self.mmu.pages() {
-            let page = PageId(i as u64);
-            match self.ssd.page_data(page) {
-                Some(durable) => {
-                    let durable = durable.to_vec();
-                    self.mmu.page_data_mut(page).copy_from_slice(&durable);
-                }
-                None => self.mmu.page_data_mut(page).fill(0),
-            }
-            self.mmu.protect_page(page);
-            self.mmu.clear_sector_mask(page);
-        }
-        self.dirty = DirtySet::new(self.mmu.pages());
-        self.history.reset();
-        self.selector.reset();
-        self.pressure.reset();
-        self.inflight.clear();
-        self.new_dirty_this_epoch = 0;
-        self.next_epoch_at = self.clock.now() + self.config.epoch;
-    }
-
-    // ------------------------------------------------------------------
-    // Test & verification support
-    // ------------------------------------------------------------------
-
-    /// Asserts every internal invariant. O(pages); intended for tests and
-    /// property checks.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any invariant is violated, most importantly the paper's
-    /// durability guarantee `dirty_count <= dirty_budget`.
-    pub fn validate(&self) {
-        self.dirty.validate();
-        assert!(
-            self.dirty.dirty_count() <= self.config.dirty_budget_pages,
-            "durability violation: {} dirty pages exceed budget {}",
-            self.dirty.dirty_count(),
-            self.config.dirty_budget_pages
-        );
-        assert_eq!(
-            self.inflight.len() as u64,
-            self.dirty.in_flight_count(),
-            "in-flight IO list out of sync with page states"
-        );
-        for (page, flags) in self.mmu.page_table().iter() {
-            match self.dirty.state(page) {
-                PageState::Dirty => {
-                    assert!(flags.is_writable(), "{page} is dirty but write-protected")
-                }
-                PageState::Clean | PageState::InFlight => assert!(
-                    !flags.is_writable(),
-                    "{page} is clean/in-flight but writable"
-                ),
-            }
-        }
-    }
-
-    /// `true` if every clean mapped page matches its durable copy — the
-    /// invariant that makes [`Viyojit::power_failure`]'s bounded flush
-    /// sufficient for full durability.
-    pub fn durable_state_consistent(&self) -> bool {
-        for (_, info) in self.regions.iter() {
-            for page in info.iter_pages() {
-                if self.dirty.state(page) != PageState::Clean {
-                    continue;
-                }
-                let mem = self.mmu.page_data(page);
-                match self.ssd.page_data(page) {
-                    Some(durable) => {
-                        if durable != mem {
-                            return false;
-                        }
-                    }
-                    None => {
-                        if mem.iter().any(|&b| b != 0) {
-                            return false;
-                        }
-                    }
-                }
-            }
-        }
-        true
-    }
-}
-
-impl NvHeap for Viyojit {
-    fn map(&mut self, len_bytes: u64) -> Result<RegionId, ViyojitError> {
-        // Pages are already write-protected (done at startup), matching
-        // Fig. 6 step 1's "write protect all the NV-DRAM pages".
-        self.regions.map(len_bytes)
-    }
-
-    fn unmap(&mut self, region: RegionId) -> Result<(), ViyojitError> {
-        let info = self.regions.info(region)?;
-        // Wait out in-flight flushes of this region so freed pages cannot
-        // be remapped while an IO still references them.
-        for page in info.iter_pages() {
-            if self.dirty.state(page) == PageState::InFlight {
-                let done = self
-                    .inflight
-                    .iter()
-                    .find(|&&(_, p)| p == page)
-                    .map(|&(t, _)| t)
-                    .expect("in-flight page has a pending IO");
-                self.clock.advance_to(done);
-                self.retire_completions();
-            }
-        }
-        // Dirty pages of a dying mapping stop counting against the budget:
-        // their contents are garbage now, not data to preserve.
-        for page in info.iter_pages() {
-            if self.dirty.state(page) == PageState::Dirty {
-                self.selector.on_removed(page);
-                self.dirty.discard_dirty(page);
-                self.mmu.protect_page(page);
-                self.mmu.clear_sector_mask(page);
-            }
-        }
-        self.regions.unmap(region)?;
-        Ok(())
-    }
-
-    fn read(&mut self, region: RegionId, offset: u64, buf: &mut [u8]) -> Result<(), ViyojitError> {
-        let addr = self.regions.resolve(region, offset, buf.len())?;
-        self.poll();
-        self.mmu
-            .read(addr, buf)
-            .expect("resolved addresses are in range");
-        self.poll();
-        Ok(())
-    }
-
-    fn write(&mut self, region: RegionId, offset: u64, data: &[u8]) -> Result<(), ViyojitError> {
-        let mut addr = self.regions.resolve(region, offset, data.len())?;
-        self.poll();
-        let mut rest = data;
-        while !rest.is_empty() {
-            let in_page = PAGE_SIZE - (addr as usize % PAGE_SIZE);
-            let n = in_page.min(rest.len());
-            let (chunk, tail) = rest.split_at(n);
-            loop {
-                match self.mmu.write(addr, chunk) {
-                    Ok(()) => break,
-                    Err(AccessError::WriteProtected(page)) => self.handle_fault(page),
-                    Err(e @ AccessError::OutOfRange { .. }) => {
-                        unreachable!("resolved addresses are in range: {e}")
-                    }
-                    Err(e @ AccessError::DirtyLimitReached(_)) => {
-                        unreachable!("software Viyojit never arms the hardware dirty limit: {e}")
-                    }
-                }
-            }
-            addr += n as u64;
-            rest = tail;
-        }
-        self.poll();
-        Ok(())
-    }
-
-    fn region_len(&self, region: RegionId) -> Result<u64, ViyojitError> {
-        Ok(self.regions.info(region)?.len_bytes)
-    }
-}
+/// See [`NvHeap`](crate::NvHeap) for the write/read surface and
+/// [`Engine::power_failure`] for the durability path.
+pub type Viyojit = Engine<SoftwareWalk>;

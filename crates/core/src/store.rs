@@ -5,21 +5,24 @@
 //! The bench crate used to improvise this privately; promoting it makes
 //! new store variants (sharded managers, alternative trackers) usable by
 //! the experiment driver, the examples, and the cross-crate tests with
-//! no driver changes.
+//! no driver changes. Since the engine unification a single generic impl
+//! covers every [`Engine`] backend; the sharded frontend and the baseline
+//! wrapper add their own.
 
 use sim_clock::{Clock, SimDuration};
 use telemetry::Telemetry;
 
-use crate::{
-    MmuAssistedViyojit, NvHeap, NvdramBaseline, PowerFailureReport, Viyojit, ViyojitStats,
-};
+use crate::engine::{DirtyTracker, Engine, ShardedViyojit};
+use crate::{NvHeap, NvdramBaseline, PowerFailureReport, ViyojitStats};
 
 /// A complete NV-DRAM store: heap mapping plus the instrumentation and
 /// power-failure surface shared by every implementation.
 ///
-/// Implemented by [`Viyojit`] (the paper's software manager),
-/// [`MmuAssistedViyojit`] (the §5.4 hardware offload), and
-/// [`NvdramBaseline`] (the full-battery comparison system).
+/// Implemented generically for every [`Engine`] backend — so by
+/// [`Viyojit`](crate::Viyojit) (the paper's software manager) and
+/// [`MmuAssistedViyojit`](crate::MmuAssistedViyojit) (the §5.4 hardware
+/// offload) — and separately by [`NvdramBaseline`] (the full-battery
+/// comparison system) and [`ShardedViyojit`] (the multi-shard frontend).
 ///
 /// # Examples
 ///
@@ -76,18 +79,18 @@ pub trait NvStore: NvHeap {
     }
 }
 
-impl NvStore for Viyojit {
+impl<B: DirtyTracker> NvStore for Engine<B> {
     fn system(&self) -> &'static str {
-        "Viyojit"
+        B::SYSTEM
     }
     fn shared_clock(&self) -> Clock {
         self.clock().clone()
     }
     fn attach_telemetry(&mut self, telemetry: Telemetry) {
-        Viyojit::attach_telemetry(self, telemetry);
+        Engine::attach_telemetry(self, telemetry);
     }
     fn runtime_stats(&self) -> Option<ViyojitStats> {
-        Some(self.stats())
+        B::HAS_CONTROL_LOOP.then(|| self.stats())
     }
     fn ssd_bytes_written(&self) -> u64 {
         self.ssd_stats().bytes_written
@@ -96,37 +99,10 @@ impl NvStore for Viyojit {
         self.ssd().wear().total_erases()
     }
     fn power_failure(&mut self) -> PowerFailureReport {
-        Viyojit::power_failure(self)
+        Engine::power_failure(self)
     }
     fn recover(&mut self) {
-        Viyojit::recover(self);
-    }
-}
-
-impl NvStore for MmuAssistedViyojit {
-    fn system(&self) -> &'static str {
-        "Viyojit-MMU"
-    }
-    fn shared_clock(&self) -> Clock {
-        self.clock().clone()
-    }
-    fn attach_telemetry(&mut self, telemetry: Telemetry) {
-        MmuAssistedViyojit::attach_telemetry(self, telemetry);
-    }
-    fn runtime_stats(&self) -> Option<ViyojitStats> {
-        Some(self.stats())
-    }
-    fn ssd_bytes_written(&self) -> u64 {
-        self.ssd_stats().bytes_written
-    }
-    fn ssd_erases(&self) -> u64 {
-        self.ssd().wear().total_erases()
-    }
-    fn power_failure(&mut self) -> PowerFailureReport {
-        MmuAssistedViyojit::power_failure(self)
-    }
-    fn recover(&mut self) {
-        MmuAssistedViyojit::recover(self);
+        Engine::recover(self);
     }
 }
 
@@ -157,10 +133,39 @@ impl NvStore for NvdramBaseline {
     }
 }
 
+impl<B: DirtyTracker> NvStore for ShardedViyojit<B> {
+    fn system(&self) -> &'static str {
+        "Viyojit-Sharded"
+    }
+    fn shared_clock(&self) -> Clock {
+        self.clock().clone()
+    }
+    fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        ShardedViyojit::attach_telemetry(self, telemetry);
+    }
+    fn runtime_stats(&self) -> Option<ViyojitStats> {
+        Some(self.stats())
+    }
+    fn ssd_bytes_written(&self) -> u64 {
+        self.ssd_stats().bytes_written
+    }
+    fn ssd_erases(&self) -> u64 {
+        (0..self.shard_count())
+            .map(|i| self.shard(i).ssd().wear().total_erases())
+            .sum()
+    }
+    fn power_failure(&mut self) -> PowerFailureReport {
+        ShardedViyojit::power_failure(self)
+    }
+    fn recover(&mut self) {
+        ShardedViyojit::recover(self);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ViyojitConfig;
+    use crate::{MmuAssistedViyojit, Viyojit, ViyojitConfig};
     use sim_clock::CostModel;
     use ssd_sim::SsdConfig;
     use telemetry::TraceEvent;
@@ -224,5 +229,24 @@ mod tests {
         assert!(events
             .iter()
             .any(|e| matches!(e.event, TraceEvent::SsdSubmit { .. })));
+    }
+
+    #[test]
+    fn the_sharded_store_drives_through_the_trait() {
+        use sim_clock::SimDuration;
+        let sharded = crate::ShardedViyojit::<crate::SoftwareWalk>::new(
+            2,
+            64,
+            ViyojitConfig::with_budget_pages(8),
+            2,
+            SimDuration::from_millis(1),
+            Clock::new(),
+            CostModel::free(),
+            SsdConfig::instant(),
+        );
+        assert_eq!(sharded.system(), "Viyojit-Sharded");
+        assert!(sharded.runtime_stats().is_some());
+        let (dirty, _) = drive(sharded);
+        assert!(dirty <= 8, "global budget bounds the sharded flush");
     }
 }

@@ -1,0 +1,195 @@
+//! Property tests of the unified engine: the pluggable dirty-tracking
+//! backends are different *mechanisms* for the same Fig. 6 policy, so
+//! under a cost-free clock the software walker and the MMU-assisted
+//! tracker must agree on everything the policy observes — dirty counts,
+//! flush counts, and the power-failure obligation. A second property
+//! pins the sharded frontend's global invariant: however the arbiter
+//! re-divides the budget, the cluster-wide dirty population never
+//! exceeds what the battery provisions.
+
+use mem_sim::PAGE_SIZE;
+use proptest::prelude::*;
+use sim_clock::{Clock, CostModel, SimDuration};
+use ssd_sim::SsdConfig;
+use viyojit::{
+    MmuAssisted, MmuAssistedViyojit, NvHeap, ShardedViyojit, SoftwareWalk, Viyojit, ViyojitConfig,
+};
+
+const PAGE: u64 = PAGE_SIZE as u64;
+const REGION_PAGES: u64 = 24;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write { offset: u64, len: u16, fill: u8 },
+    Idle { micros: u16 },
+    SetBudget { pages: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let max_off = REGION_PAGES * PAGE - u16::MAX as u64;
+    prop_oneof![
+        6 => (0..max_off, 1..2048u16, any::<u8>())
+            .prop_map(|(offset, len, fill)| Op::Write { offset, len, fill }),
+        2 => (1..2000u16).prop_map(|micros| Op::Idle { micros }),
+        1 => (2..14u64).prop_map(|pages| Op::SetBudget { pages }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The cross-backend equivalence property: with writes free and the
+    /// SSD instant, the same operation sequence must produce *identical*
+    /// dirty counts for as long as neither backend has flushed anything —
+    /// first-write detection by trap and by hardware counter are the same
+    /// observation. Once the copier acts the mechanisms legitimately
+    /// diverge (the walker feeds fault-time recency and pressure into
+    /// victim choice, the hardware backend only walk-time discovery —
+    /// §5.4's coarser observability), so past that point the property
+    /// weakens to what the *policy* guarantees both backends: the bound
+    /// holds at every step, budgets re-derive identically, and a crash at
+    /// the end loses nothing on either.
+    #[test]
+    fn software_and_mmu_backends_are_policy_equivalent(
+        ops in prop::collection::vec(op_strategy(), 1..100),
+        budget in 2..16u64,
+    ) {
+        let mut sw = Viyojit::new(
+            32,
+            ViyojitConfig::with_budget_pages(budget),
+            Clock::new(),
+            CostModel::free(),
+            SsdConfig::instant(),
+        );
+        let mut hw = MmuAssistedViyojit::new(
+            32,
+            ViyojitConfig::with_budget_pages(budget),
+            Clock::new(),
+            CostModel::free(),
+            SsdConfig::instant(),
+        );
+        let rs = sw.map(REGION_PAGES * PAGE).unwrap();
+        let rh = hw.map(REGION_PAGES * PAGE).unwrap();
+        let mut model = vec![0u8; (REGION_PAGES * PAGE) as usize];
+
+        for op in &ops {
+            match *op {
+                Op::Write { offset, len, fill } => {
+                    let data = vec![fill; len as usize];
+                    sw.write(rs, offset, &data).unwrap();
+                    hw.write(rh, offset, &data).unwrap();
+                    model[offset as usize..offset as usize + len as usize].fill(fill);
+                }
+                Op::Idle { micros } => {
+                    sw.clock().advance(SimDuration::from_micros(micros as u64));
+                    hw.clock().advance(SimDuration::from_micros(micros as u64));
+                }
+                Op::SetBudget { pages } => {
+                    sw.set_dirty_budget(pages);
+                    hw.set_dirty_budget(pages);
+                }
+            }
+            if sw.stats().flushes_issued() == 0 && hw.stats().flushes_issued() == 0 {
+                prop_assert_eq!(
+                    sw.dirty_count(),
+                    hw.dirty_count(),
+                    "backends disagree on the dirty population after {:?}",
+                    op
+                );
+            }
+            prop_assert_eq!(sw.dirty_budget(), hw.dirty_budget());
+            prop_assert!(sw.dirty_count() <= sw.dirty_budget());
+            prop_assert!(hw.dirty_count() <= hw.dirty_budget());
+            sw.check_invariants().unwrap();
+            hw.check_invariants().unwrap();
+        }
+
+        let (sr, hr) = (sw.power_failure(), hw.power_failure());
+        prop_assert!(sr.dirty_pages <= sw.dirty_budget());
+        prop_assert!(hr.dirty_pages <= hw.dirty_budget());
+
+        sw.recover();
+        hw.recover();
+        prop_assert!(sw.durable_state_consistent());
+        prop_assert!(hw.durable_state_consistent());
+        let mut a = vec![0u8; model.len()];
+        let mut b = a.clone();
+        sw.read(rs, 0, &mut a).unwrap();
+        hw.read(rh, 0, &mut b).unwrap();
+        prop_assert_eq!(&a, &model, "software contents survive the power cycle");
+        prop_assert_eq!(&b, &model, "hardware contents survive the power cycle");
+    }
+
+    /// The sharded frontend's global invariant: across routing, epoch
+    /// processing, and arbiter rebalances, the *sum* of per-shard dirty
+    /// pages never exceeds the single global budget, reads agree with a
+    /// flat model, and the power-failure obligation stays inside the
+    /// battery's provisioning.
+    #[test]
+    fn sharded_dirty_population_stays_inside_the_global_budget(
+        ops in prop::collection::vec(op_strategy(), 1..120),
+        shards in 1..5usize,
+        budget in 8..40u64,
+    ) {
+        let mut nv: ShardedViyojit = ShardedViyojit::new(
+            shards,
+            64,
+            ViyojitConfig::with_budget_pages(budget),
+            2,
+            SimDuration::from_micros(500),
+            Clock::new(),
+            CostModel::free(),
+            SsdConfig::instant(),
+        );
+        let regions: Vec<_> = (0..4)
+            .map(|_| nv.map(REGION_PAGES / 4 * PAGE).unwrap())
+            .collect();
+        let region_bytes = (REGION_PAGES / 4 * PAGE) as usize;
+        let mut model = vec![vec![0u8; region_bytes]; regions.len()];
+
+        for (i, op) in ops.iter().enumerate() {
+            match *op {
+                Op::Write { offset, len, fill } => {
+                    let region = i % regions.len();
+                    let off = offset as usize % (region_bytes - len as usize);
+                    nv.write(regions[region], off as u64, &vec![fill; len as usize])
+                        .unwrap();
+                    model[region][off..off + len as usize].fill(fill);
+                }
+                Op::Idle { micros } => {
+                    nv.clock().advance(SimDuration::from_micros(micros as u64));
+                }
+                Op::SetBudget { .. } => {
+                    // The sharded frontend owns its shards' budgets; a
+                    // burst of idle time triggers rebalances instead.
+                    nv.clock().advance(SimDuration::from_micros(700));
+                }
+            }
+            prop_assert!(
+                nv.dirty_count() <= budget,
+                "shard dirty sum {} exceeded the global budget {}",
+                nv.dirty_count(),
+                budget
+            );
+            nv.check_invariants().unwrap();
+        }
+
+        let report = nv.power_failure();
+        prop_assert!(report.dirty_pages <= budget);
+        nv.recover();
+        for (region, contents) in regions.iter().zip(&model) {
+            let mut buf = vec![0u8; region_bytes];
+            nv.read(*region, 0, &mut buf).unwrap();
+            prop_assert_eq!(&buf, contents, "region contents survive the power cycle");
+        }
+    }
+}
+
+/// The backend consts are part of the public contract benchmarks key on.
+#[test]
+fn backend_system_names_are_stable() {
+    use viyojit::{DirtyTracker, FullDirty};
+    assert_eq!(SoftwareWalk::SYSTEM, "Viyojit");
+    assert_eq!(MmuAssisted::SYSTEM, "Viyojit-MMU");
+    assert_eq!(FullDirty::SYSTEM, "NV-DRAM");
+}

@@ -48,7 +48,7 @@ mod ring;
 mod sink;
 
 pub use event::{FlushReason, TraceEvent, TracedEvent};
-pub use metrics::{CounterSample, EpochSnapshot, MetricsRegistry};
+pub use metrics::{intern_metric_name, CounterSample, EpochSnapshot, MetricsRegistry};
 pub use report::Report;
 pub use ring::{TraceRing, DEFAULT_RING_CAPACITY};
 pub use sink::{csv_stdout, CsvSink, JsonlSink, NullSink, Sink};

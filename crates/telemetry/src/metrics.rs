@@ -12,6 +12,18 @@ use std::collections::BTreeMap;
 
 use sim_clock::{Histogram, SimDuration, SimTime};
 
+/// Interns a runtime-built metric name into the `&'static str` namespace
+/// the registry keys on.
+///
+/// Metric maps key on `&'static str` so the common case (compile-time
+/// names) allocates nothing; dynamically-shaped publishers (e.g. one
+/// gauge per shard) intern their names once at construction. The string
+/// is leaked, so callers must intern a *bounded* set of names — one per
+/// shard, not one per event.
+pub fn intern_metric_name(name: String) -> &'static str {
+    Box::leak(name.into_boxed_str())
+}
+
 /// A counter's position at one epoch boundary.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CounterSample {
