@@ -1,5 +1,6 @@
 //! The battery model with the derates of §2.2.
 
+use fault_sim::FaultPlan;
 use sim_clock::SimDuration;
 
 /// Static battery provisioning parameters.
@@ -156,6 +157,37 @@ impl Battery {
         );
         SimDuration::from_secs_f64(self.effective_joules() / watts)
     }
+
+    /// The state of charge the battery's gauge *reports*, which under an
+    /// active [`FaultPlan`] may differ from [`Battery::effective_joules`]
+    /// (§2.2's gauges drift; fault kind `soc_misreport`). Control loops
+    /// should budget from this; physics (the actual hold-up race) uses
+    /// [`Battery::deliverable_joules`].
+    pub fn reported_joules(&self, faults: &FaultPlan) -> f64 {
+        self.effective_joules() * faults.soc_report_factor()
+    }
+
+    /// The health the battery's gauge reports: true health scaled by the
+    /// same state-of-charge misreport channel.
+    pub fn reported_health(&self, faults: &FaultPlan) -> f64 {
+        (self.health * faults.soc_report_factor()).clamp(0.0, 1.0)
+    }
+
+    /// Checks the plan for an abrupt capacity drop (cell failure) and, if
+    /// one fires, scales health down by the returned factor. Returns the
+    /// new health so callers can re-derive the dirty budget immediately.
+    pub fn apply_capacity_drop(&mut self, faults: &FaultPlan) -> Option<f64> {
+        let factor = faults.capacity_drop()?;
+        self.health = (self.health * factor).clamp(0.0, 1.0);
+        Some(self.health)
+    }
+
+    /// Joules the battery actually delivers during a hold-up discharge:
+    /// effective energy minus any injected hold-up shortfall (a cell that
+    /// sags under load delivers less than its open-circuit gauge implied).
+    pub fn deliverable_joules(&self, faults: &FaultPlan) -> f64 {
+        self.effective_joules() * (1.0 - faults.holdup_shortfall())
+    }
 }
 
 #[cfg(test)]
@@ -191,6 +223,60 @@ mod tests {
         let full = b.holdup_time(100.0);
         b.set_health(0.5);
         assert_eq!(b.holdup_time(100.0).as_nanos() * 2, full.as_nanos());
+    }
+
+    #[test]
+    fn inactive_plan_reports_truthfully() {
+        let b = Battery::new(BatteryConfig::with_capacity_joules(600.0));
+        let plan = FaultPlan::none();
+        assert_eq!(b.reported_joules(&plan), b.effective_joules());
+        assert_eq!(b.reported_health(&plan), b.health());
+        assert_eq!(b.deliverable_joules(&plan), b.effective_joules());
+        let mut b = b;
+        assert_eq!(b.apply_capacity_drop(&plan), None);
+        assert_eq!(b.health(), 1.0);
+    }
+
+    #[test]
+    fn capacity_drop_halves_health_and_holdup() {
+        use fault_sim::FaultConfig;
+        let mut b =
+            Battery::new(BatteryConfig::with_capacity_joules(600.0).with_depth_of_discharge(1.0));
+        let mut config = FaultConfig::none();
+        config.capacity_drop_rate = 1.0;
+        config.capacity_drop_factor = 0.5;
+        let plan = FaultPlan::seeded(4, config);
+        let full = b.holdup_time(100.0);
+        assert_eq!(b.apply_capacity_drop(&plan), Some(0.5));
+        assert_eq!(b.holdup_time(100.0).as_nanos() * 2, full.as_nanos());
+    }
+
+    #[test]
+    fn holdup_shortfall_reduces_delivery_only() {
+        use fault_sim::FaultConfig;
+        let b =
+            Battery::new(BatteryConfig::with_capacity_joules(600.0).with_depth_of_discharge(1.0));
+        let mut config = FaultConfig::none();
+        config.holdup_shortfall_rate = 1.0;
+        config.holdup_shortfall_fraction = 0.25;
+        let plan = FaultPlan::seeded(8, config);
+        assert!((b.deliverable_joules(&plan) - 450.0).abs() < 1e-9);
+        // The gauge (reported path) is a separate fault channel.
+        assert_eq!(b.effective_joules(), 600.0);
+    }
+
+    #[test]
+    fn misreport_is_reproducible_from_the_seed() {
+        use fault_sim::FaultConfig;
+        let b = Battery::new(BatteryConfig::with_capacity_joules(600.0));
+        let mut config = FaultConfig::none();
+        config.soc_misreport_rate = 1.0;
+        config.soc_misreport_amplitude = 0.2;
+        let a = b.reported_joules(&FaultPlan::seeded(21, config));
+        let c = b.reported_joules(&FaultPlan::seeded(21, config));
+        assert_eq!(a, c);
+        assert!(a >= b.effective_joules() * 0.8 - 1e-9);
+        assert!(a <= b.effective_joules() * 1.2 + 1e-9);
     }
 
     #[test]

@@ -7,12 +7,19 @@
 //! The scenario is backend-generic: by default it runs the software
 //! write-protection tracker (the paper's §8 setting); pass `mmu` as the
 //! first argument to drive the same battery life through the §5.4
-//! hardware-assisted backend instead.
+//! hardware-assisted backend instead. Pass `capacity-drop` to run the
+//! abrupt cell-failure scenario instead: an injected 50% capacity drop
+//! trips the degradation governor, whose emergency budget shrink stalls
+//! writers until the dirty population fits the halved budget.
 
 use battery_sim::{Battery, BatteryConfig, BudgetGovernor, HealthModel, PowerModel};
+use mem_sim::PAGE_SIZE;
 use sim_clock::{Clock, CostModel, SimDuration};
 use ssd_sim::SsdConfig;
-use viyojit::{DirtyTracker, Engine, MmuAssisted, NvHeap, SoftwareWalk, ViyojitConfig};
+use viyojit::{
+    DegradationConfig, DegradationGovernor, DegradedMode, DirtyTracker, Engine, FaultConfig,
+    FaultPlan, MmuAssisted, NvHeap, SoftwareWalk, Viyojit, ViyojitConfig,
+};
 use viyojit_bench::{note, row, Report};
 
 const FLUSH_BW: u64 = 2_000_000_000;
@@ -90,9 +97,133 @@ fn run_backend<B: DirtyTracker>(report: &mut Report) {
     );
 }
 
+/// The abrupt cell-failure scenario: a seeded fault plan halves the
+/// battery's capacity mid-run; the degradation governor sees the reported
+/// health collapse and shrinks the dirty budget through the
+/// stall-until-safe path, restoring `dirty_count <= budget` before any
+/// further write is admitted. A powered power failure then proves the
+/// halved battery still covers the shrunk obligation, and a full recovery
+/// of the gauge restores the nominal budget.
+fn run_capacity_drop(report: &mut Report) {
+    const BUDGET: u64 = 128;
+    let power = PowerModel::datacenter_server(0.064);
+    let ssd_config = SsdConfig::datacenter();
+    // Provision the battery 4x the §5.1 need so it survives the flush
+    // even at half capacity (the governor halves the budget in step).
+    let needed = ssd_config
+        .drain_time(BUDGET * PAGE_SIZE as u64)
+        .as_secs_f64()
+        * power.total_watts();
+    let mut battery = Battery::new(
+        BatteryConfig::with_capacity_joules(needed * 4.0).with_depth_of_discharge(1.0),
+    );
+
+    let mut nv = Viyojit::new(
+        4_096,
+        ViyojitConfig::with_budget_pages(BUDGET),
+        Clock::new(),
+        CostModel::calibrated(),
+        ssd_config,
+    );
+    let mut governor = DegradationGovernor::new(BUDGET, DegradationConfig::default());
+    let region = nv.map(1_024 * PAGE_SIZE as u64).expect("map");
+
+    // A fault plan that fires a 50% capacity drop the first time the
+    // battery is polled; everything else stays off.
+    let mut fault_config = FaultConfig::none();
+    fault_config.capacity_drop_rate = 1.0;
+    fault_config.capacity_drop_factor = 0.5;
+    let plan = FaultPlan::seeded(7, fault_config);
+
+    fn emit(
+        report: &mut Report,
+        phase: &str,
+        nv: &Viyojit,
+        battery: &Battery,
+        governor: &DegradationGovernor,
+    ) {
+        row!(
+            report,
+            "{phase},{:.2},{},{},{},{},{}",
+            battery.health(),
+            governor.current_budget(),
+            nv.dirty_count(),
+            nv.stats().budget_stalls,
+            matches!(governor.mode(), DegradedMode::Degraded(_)),
+            nv.check_invariants().is_ok(),
+        );
+    }
+
+    // Dirty the heap up to the nominal budget.
+    for i in 0..BUDGET {
+        nv.write(region, (i * 5 % 1_024) * PAGE_SIZE as u64, &[1u8; 64])
+            .expect("write");
+    }
+    emit(report, "nominal", &nv, &battery, &governor);
+
+    // The cell fails: capacity halves, the governor degrades, and the
+    // budget shrink stalls writers until the dirty population fits.
+    let new_health = battery
+        .apply_capacity_drop(&plan)
+        .expect("the plan fires a capacity drop");
+    let shrunk = nv.govern_degradation(&mut governor, battery.reported_health(&plan));
+    assert_eq!(shrunk, Some(BUDGET / 2), "50% health -> 50% budget");
+    assert!(new_health < 0.55, "below the governor's entry threshold");
+    assert!(
+        nv.dirty_count() <= BUDGET / 2,
+        "the shrink stalls until the dirty population fits the new budget"
+    );
+    nv.check_invariants().expect("degraded-mode invariants");
+    emit(report, "after_drop", &nv, &battery, &governor);
+
+    // The halved battery must still cover the halved obligation.
+    let failure = nv.power_failure_powered(&battery, &power);
+    assert!(failure.all_pages_accounted());
+    nv.recover();
+    row!(
+        report,
+        "powered_failure,{:.2},{},{},{},{},{:?}",
+        battery.health(),
+        governor.current_budget(),
+        failure.dirty_pages,
+        failure.pages_lost,
+        failure.all_pages_accounted(),
+        failure.outcome,
+    );
+
+    // The pack is replaced: reported health recovers, the governor exits
+    // degraded mode and restores the nominal budget.
+    battery.set_health(1.0);
+    let restored = nv.govern_degradation(&mut governor, battery.reported_health(&plan));
+    assert_eq!(restored, Some(BUDGET));
+    emit(report, "recovered", &nv, &battery, &governor);
+
+    note!(
+        report,
+        "an injected 50% capacity drop halves the budget through the \
+         stall-until-safe path and full recovery restores it — the §8 \
+         re-derivation, executed under fault injection"
+    );
+}
+
 fn main() {
     let mut report = Report::stdout_csv();
-    let mmu = std::env::args().nth(1).as_deref() == Some("mmu");
+    let arg = std::env::args().nth(1);
+    if arg.as_deref() == Some("capacity-drop") {
+        report.section("§8 — abrupt battery capacity drop and the degradation governor");
+        report.columns(&[
+            "phase",
+            "health",
+            "budget_pages",
+            "dirty_pages",
+            "budget_stalls",
+            "degraded",
+            "invariants_ok",
+        ]);
+        run_capacity_drop(&mut report);
+        return;
+    }
+    let mmu = arg.as_deref() == Some("mmu");
     if mmu {
         report.section(
             "§8 — dirty budget tracking battery health over 3 years (MMU-assisted backend)",

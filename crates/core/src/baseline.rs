@@ -60,11 +60,28 @@ impl NvdramBaseline {
         self.0.attach_telemetry(telemetry);
     }
 
+    /// Attaches a fault-injection plan (shared with the backing SSD).
+    pub fn attach_faults(&mut self, faults: fault_sim::FaultPlan) {
+        self.0.attach_faults(faults);
+    }
+
     /// Simulates a power failure. The baseline must assume *everything*
     /// could be dirty, so the battery obligation is the entire NV-DRAM
     /// capacity — the scaling problem Viyojit removes.
     pub fn power_failure(&mut self) -> PowerFailureReport {
         self.0.power_failure()
+    }
+
+    /// Simulates a power failure racing a draining battery (see
+    /// [`Engine::power_failure_powered`]). With a battery sized for the
+    /// budget rather than the capacity, this is where the baseline's
+    /// full-capacity obligation shows its cost.
+    pub fn power_failure_powered(
+        &mut self,
+        battery: &battery_sim::Battery,
+        power: &battery_sim::PowerModel,
+    ) -> PowerFailureReport {
+        self.0.power_failure_powered(battery, power)
     }
 
     /// Reloads NV-DRAM from the SSD after a power cycle.

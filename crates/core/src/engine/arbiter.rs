@@ -100,6 +100,22 @@ impl BudgetArbiter {
         self.rebalances
     }
 
+    /// Re-provisions the shared total at runtime (a §8 battery
+    /// re-derivation or a degradation transition). The caller must follow
+    /// with a plan/apply/commit cycle to bring assignments under the new
+    /// total.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the per-member floors no longer fit `pages`.
+    pub fn set_total_budget(&mut self, pages: u64) {
+        assert!(
+            self.min_per_member * self.members() as u64 <= pages,
+            "per-member floors exceed the re-provisioned budget"
+        );
+        self.total_budget_pages = pages;
+    }
+
     /// The even initial division: `total / members`, raised to the floor.
     /// (The even shares may sum above the total when the floor dominates;
     /// construction asserts the floors themselves fit.)

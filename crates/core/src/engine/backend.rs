@@ -13,11 +13,9 @@ use mem_sim::{AccessError, Mmu, PageId, WalkOptions, PAGE_SIZE};
 use telemetry::TraceEvent;
 
 use crate::codec::{encoded_page_bytes, page_content_hash, DEDUP_RECORD_BYTES};
-use crate::{
-    DirtySet, FlushCodec, InvariantViolation, PageState, PowerFailureReport, RegionInfo,
-    ViyojitConfig,
-};
+use crate::{DirtySet, FlushCodec, InvariantViolation, PageState, RegionInfo, ViyojitConfig};
 
+use super::emergency::{FlushObligation, ObligationItem};
 use super::{retire_completions, stall_until_dirty_at_most, wait_for_page_io, EngineCore};
 
 /// Page-tracking mechanics plugged into [`Engine`](super::Engine).
@@ -93,9 +91,12 @@ pub trait DirtyTracker: Sized + std::fmt::Debug {
     /// now, not data to preserve).
     fn unmap_region(core: &mut EngineCore, backend: &mut Self, info: &RegionInfo);
 
-    /// Simulates an external power failure: flush whatever the design
-    /// obliges the battery to flush.
-    fn power_failure(core: &mut EngineCore, backend: &mut Self) -> PowerFailureReport;
+    /// Enumerates what the design obliges the battery to flush at a power
+    /// failure: the pages to submit (with their physical payloads) plus
+    /// the obligation the report accounts for. The engine's emergency
+    /// executor (see [`super::emergency`]) then steps the obligation
+    /// against the (possibly faulty) SSD and the battery's hold-up energy.
+    fn failure_obligation(core: &mut EngineCore, backend: &mut Self) -> FlushObligation;
 
     /// Reloads memory from the SSD and resets the tracking state after a
     /// power cycle (the engine resets the shared trackers afterwards).
@@ -293,20 +294,21 @@ impl DirtyTracker for SoftwareWalk {
         }
     }
 
-    fn power_failure(core: &mut EngineCore, backend: &mut Self) -> PowerFailureReport {
+    fn failure_obligation(core: &mut EngineCore, backend: &mut Self) -> FlushObligation {
         let pages: Vec<PageId> = backend.dirty.iter_counted().collect();
+        let mut items = Vec::with_capacity(pages.len());
         let mut physical = 0u64;
         for &p in &pages {
             let data = core.mmu.page_data(p).to_vec();
             let payload = physical_flush_bytes(core, backend, p, &data);
             core.mmu.clear_sector_mask(p);
             physical += payload as u64;
-            core.ssd.submit_write_sized(p, &data, payload);
+            items.push(ObligationItem { page: p, payload });
         }
-        PowerFailureReport {
-            dirty_pages: pages.len() as u64,
-            bytes_flushed: physical,
-            flush_time: core.ssd.config().drain_time(physical),
+        FlushObligation {
+            obligation_pages: pages.len() as u64,
+            obligation_bytes: physical,
+            items,
         }
     }
 
@@ -576,23 +578,21 @@ impl DirtyTracker for MmuAssisted {
         }
     }
 
-    fn power_failure(core: &mut EngineCore, _backend: &mut Self) -> PowerFailureReport {
-        let dirty: Vec<PageId> = core
+    fn failure_obligation(core: &mut EngineCore, _backend: &mut Self) -> FlushObligation {
+        let items: Vec<ObligationItem> = core
             .mmu
             .page_table()
             .iter()
             .filter(|(_, f)| f.is_dirty())
-            .map(|(p, _)| p)
+            .map(|(p, _)| ObligationItem {
+                page: p,
+                payload: PAGE_SIZE,
+            })
             .collect();
-        for &p in &dirty {
-            let data = core.mmu.page_data(p).to_vec();
-            core.ssd.submit_write(p, &data);
-        }
-        let bytes = dirty.len() as u64 * PAGE_SIZE as u64;
-        PowerFailureReport {
-            dirty_pages: dirty.len() as u64,
-            bytes_flushed: bytes,
-            flush_time: core.ssd.config().drain_time(bytes),
+        FlushObligation {
+            obligation_pages: items.len() as u64,
+            obligation_bytes: items.len() as u64 * PAGE_SIZE as u64,
+            items,
         }
     }
 
@@ -725,21 +725,25 @@ impl DirtyTracker for FullDirty {
 
     fn unmap_region(_core: &mut EngineCore, _backend: &mut Self, _info: &RegionInfo) {}
 
-    fn power_failure(core: &mut EngineCore, _backend: &mut Self) -> PowerFailureReport {
+    fn failure_obligation(core: &mut EngineCore, _backend: &mut Self) -> FlushObligation {
         // The baseline must assume *everything* could be dirty, so the
-        // battery obligation is the entire NV-DRAM capacity.
+        // battery obligation is the entire NV-DRAM capacity. Only mapped
+        // pages carry content to submit; the unmapped remainder is durable
+        // as-is (all zeroes) but still part of the reported obligation.
+        let mut items = Vec::new();
         for (_, info) in core.regions.iter().collect::<Vec<_>>() {
             for page in info.iter_pages() {
-                let data = core.mmu.page_data(page).to_vec();
-                core.ssd.submit_write(page, &data);
+                items.push(ObligationItem {
+                    page,
+                    payload: PAGE_SIZE,
+                });
             }
         }
         let obligation_pages = core.mmu.pages() as u64;
-        let bytes = obligation_pages * PAGE_SIZE as u64;
-        PowerFailureReport {
-            dirty_pages: obligation_pages,
-            bytes_flushed: bytes,
-            flush_time: core.ssd.config().drain_time(bytes),
+        FlushObligation {
+            obligation_pages,
+            obligation_bytes: obligation_pages * PAGE_SIZE as u64,
+            items,
         }
     }
 

@@ -1,0 +1,254 @@
+//! The executed emergency flush: page-by-page, against a possibly faulty
+//! SSD, racing a draining battery.
+//!
+//! Historically `power_failure()` was *analytical*: every backend flushed
+//! its obligation atomically and stamped `flush_time = drain_time(bytes)`,
+//! so the battery was never consulted and the flush could never fail. This
+//! module replaces that with a state machine that steps the obligation one
+//! page at a time on a **local** timeline (the shared virtual clock never
+//! advances during a power failure — the rest of the system is dead), while
+//! the battery's deliverable energy drains at `PowerModel` wattage.
+//!
+//! Determinism contract: with an inactive [`FaultPlan`] and no battery
+//! supplied, the executor submits exactly the writes the legacy analytical
+//! path submitted, in the same order, and produces the same
+//! `dirty_pages`/`bytes_flushed`/`flush_time` figures — so every historical
+//! bench output is reproduced byte for byte.
+
+use battery_sim::{Battery, PowerModel};
+use mem_sim::PageId;
+use sim_clock::SimDuration;
+use telemetry::TraceEvent;
+
+use crate::{FlushOutcome, PowerFailureReport};
+
+use super::EngineCore;
+
+/// Write retry policy for transient SSD errors during the emergency flush.
+/// Backoff doubles from `RETRY_BACKOFF_BASE` per attempt, capped at
+/// `RETRY_BACKOFF_MAX`; a page is abandoned after `MAX_FLUSH_ATTEMPTS`
+/// failed attempts.
+pub const MAX_FLUSH_ATTEMPTS: u32 = 8;
+/// Backoff charged after the first failed attempt.
+pub const RETRY_BACKOFF_BASE: SimDuration = SimDuration::from_micros(50);
+/// Ceiling on the per-attempt backoff.
+pub const RETRY_BACKOFF_MAX: SimDuration = SimDuration::from_millis(5);
+
+/// One page the battery is obliged to make durable.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ObligationItem {
+    pub(crate) page: PageId,
+    /// Physical (post-codec) payload bytes this page's flush ships.
+    pub(crate) payload: usize,
+}
+
+/// Everything a backend owes the battery at the failure instant.
+///
+/// `obligation_pages`/`obligation_bytes` are the *reported* obligation and
+/// may exceed the submitted items: the full-battery baseline reports its
+/// entire capacity as the obligation while only mapped pages carry content
+/// to submit — the unmapped remainder is durable by construction (all
+/// zeroes) and counts as flushed without an IO.
+/// Like [`EngineCore`], public only so [`DirtyTracker`] signatures can
+/// name it; opaque outside the crate.
+///
+/// [`DirtyTracker`]: super::DirtyTracker
+#[derive(Debug)]
+pub struct FlushObligation {
+    pub(crate) items: Vec<ObligationItem>,
+    pub(crate) obligation_pages: u64,
+    pub(crate) obligation_bytes: u64,
+}
+
+impl FlushObligation {
+    /// Pages the report must account for.
+    pub fn pages(&self) -> u64 {
+        self.obligation_pages
+    }
+
+    /// Bytes the battery is sized against.
+    pub fn bytes(&self) -> u64 {
+        self.obligation_bytes
+    }
+}
+
+/// Exponential backoff after the `attempt`-th failure (1-based).
+fn backoff_after(attempt: u32) -> SimDuration {
+    let factor = 1u64 << (attempt - 1).min(63);
+    (RETRY_BACKOFF_BASE * factor).min(RETRY_BACKOFF_MAX)
+}
+
+/// Executes the emergency flush.
+///
+/// `supply` is the powered path: the battery's deliverable energy (after
+/// any injected hold-up shortfall) buys `energy / watts` seconds of flush
+/// time on the local timeline; running out abandons every remaining page.
+/// Without a supply the flush has unbounded time (the legacy contract) and
+/// only exhausted retries can lose pages.
+///
+/// In-flight copier IOs at the failure instant are part of the obligation:
+/// their pages are already write-protected with stable snapshots submitted
+/// to the device, so the executor charges the tail of the longest pending
+/// IO to the local timeline before stepping fresh pages (satellite fix for
+/// `power_failure()` silently dropping `core.inflight`).
+pub(crate) fn execute(
+    core: &mut EngineCore,
+    obligation: FlushObligation,
+    supply: Option<(&Battery, &PowerModel)>,
+) -> PowerFailureReport {
+    let FlushObligation {
+        items,
+        obligation_pages,
+        obligation_bytes,
+    } = obligation;
+
+    // Fast path: nothing can fail and nothing is racing, so reproduce the
+    // analytical flush exactly (same submissions, same report).
+    if supply.is_none() && !core.faults.is_active() {
+        for item in &items {
+            let data = core.mmu.page_data(item.page).to_vec();
+            core.ssd.submit_write_sized(item.page, &data, item.payload);
+        }
+        return PowerFailureReport {
+            dirty_pages: obligation_pages,
+            pages_flushed: obligation_pages,
+            pages_lost: 0,
+            retries: 0,
+            bytes_flushed: obligation_bytes,
+            flush_time: core.ssd.config().drain_time(obligation_bytes),
+            energy_margin_joules: f64::INFINITY,
+            outcome: FlushOutcome::Complete,
+        };
+    }
+
+    // Local timeline: the shared clock is frozen (the system is dead), so
+    // elapsed flush time accumulates here. Seed it with the tail of any
+    // copier IO still in flight — those submissions already hold SSD
+    // channels and the battery must power the device until they retire.
+    let now = core.clock.now();
+    let mut elapsed = core
+        .inflight
+        .iter()
+        .map(|&(done, _)| done.saturating_since(now))
+        .max()
+        .unwrap_or(SimDuration::ZERO);
+
+    let time_budget = supply.map(|(battery, power)| {
+        let joules = battery.deliverable_joules(&core.faults);
+        let watts = power.total_watts();
+        (SimDuration::from_secs_f64(joules / watts), joules, watts)
+    });
+
+    // Pages in the reported obligation with no item to submit (the
+    // baseline's unmapped remainder) are durable as-is: count them flushed.
+    let mut pages_flushed = obligation_pages - items.len() as u64;
+    let mut pages_lost = 0u64;
+    let mut retries = 0u64;
+    let mut bytes_flushed = 0u64;
+    let mut exhausted = false;
+    let ssd_config = core.ssd.config().clone();
+    let drain_one = |bytes: usize| ssd_config.drain_time(bytes as u64);
+
+    let mut remaining = items.iter();
+    while let Some(item) = remaining.next() {
+        let mut attempt = 1u32;
+        let flushed = loop {
+            let fault = core.faults.ssd_write_fault(item.page.0);
+            let attempt_time = drain_one(item.payload) * fault.latency_factor as u64 + fault.stall;
+            if let Some((budget, _, _)) = time_budget {
+                if elapsed + attempt_time > budget {
+                    exhausted = true;
+                    break false;
+                }
+            }
+            elapsed += attempt_time;
+            if !fault.error {
+                break true;
+            }
+            core.ssd.note_write_error(item.page.0, item.payload);
+            if attempt >= MAX_FLUSH_ATTEMPTS {
+                break false;
+            }
+            let backoff = backoff_after(attempt);
+            core.stats.flush_retries += 1;
+            retries += 1;
+            core.telemetry.emit(|| TraceEvent::FlushRetry {
+                page: item.page.0,
+                attempt,
+                backoff_nanos: backoff.as_nanos(),
+            });
+            // Backoff only costs time when it exceeds the channel-release
+            // gap the failed attempt already charged; charge the excess.
+            elapsed += backoff;
+            attempt += 1;
+        };
+        if flushed {
+            let data = core.mmu.page_data(item.page).to_vec();
+            core.ssd.submit_write_sized(item.page, &data, item.payload);
+            bytes_flushed += item.payload as u64;
+            pages_flushed += 1;
+        } else {
+            pages_lost += 1;
+            core.telemetry
+                .emit(|| TraceEvent::PageLost { page: item.page.0 });
+            if exhausted {
+                // The battery is dead: every page still pending is lost.
+                for rest in remaining {
+                    pages_lost += 1;
+                    core.telemetry
+                        .emit(|| TraceEvent::PageLost { page: rest.page.0 });
+                }
+                break;
+            }
+        }
+    }
+
+    let energy_margin_joules = match time_budget {
+        Some((_, joules, watts)) => {
+            if exhausted {
+                // Report the unmet remainder as a negative margin: energy
+                // the flush *needed* beyond what the battery delivered.
+                let unmet = obligation_bytes.saturating_sub(bytes_flushed);
+                -(drain_one(unmet as usize).as_secs_f64() * watts)
+            } else {
+                joules - elapsed.as_secs_f64() * watts
+            }
+        }
+        None => f64::INFINITY,
+    };
+    let outcome = if exhausted {
+        FlushOutcome::BatteryExhausted
+    } else if pages_lost > 0 {
+        FlushOutcome::PagesLost
+    } else {
+        FlushOutcome::Complete
+    };
+    core.telemetry.emit(|| TraceEvent::EmergencyFlush {
+        pages_flushed,
+        pages_lost,
+        retries,
+    });
+    PowerFailureReport {
+        dirty_pages: obligation_pages,
+        pages_flushed,
+        pages_lost,
+        retries,
+        bytes_flushed,
+        flush_time: elapsed,
+        energy_margin_joules,
+        outcome,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        assert_eq!(backoff_after(1), SimDuration::from_micros(50));
+        assert_eq!(backoff_after(2), SimDuration::from_micros(100));
+        assert_eq!(backoff_after(3), SimDuration::from_micros(200));
+        assert_eq!(backoff_after(30), RETRY_BACKOFF_MAX);
+    }
+}

@@ -22,12 +22,18 @@
 
 mod arbiter;
 mod backend;
+mod degrade;
+mod emergency;
 mod sharded;
 
 pub use arbiter::BudgetArbiter;
 pub use backend::{DirtyTracker, FullDirty, MmuAssisted, SoftwareWalk};
+pub use degrade::{DegradationConfig, DegradationGovernor, DegradeReason, DegradedMode};
+pub use emergency::{FlushObligation, MAX_FLUSH_ATTEMPTS, RETRY_BACKOFF_BASE, RETRY_BACKOFF_MAX};
 pub use sharded::ShardedViyojit;
 
+use battery_sim::{Battery, PowerModel};
+use fault_sim::FaultPlan;
 use mem_sim::{AccessError, Mmu, MmuStats, PageId, TlbStats, PAGE_SIZE};
 use sim_clock::{Clock, CostModel, SimTime};
 use ssd_sim::{Ssd, SsdConfig, SsdStats};
@@ -64,6 +70,10 @@ pub struct EngineCore {
     pub(crate) current_threshold: u64,
     pub(crate) stats: ViyojitStats,
     pub(crate) telemetry: Telemetry,
+    /// Fault-injection plan shared with the backing SSD; inactive by
+    /// default, in which case every fault hook is an identity and the
+    /// engine behaves byte-identically to a build without fault support.
+    pub(crate) faults: FaultPlan,
 }
 
 /// One NV-DRAM manager: the shared Fig. 6 state machine parameterised by
@@ -135,6 +145,7 @@ impl<B: DirtyTracker> Engine<B> {
                 current_threshold: config.dirty_budget_pages,
                 stats: ViyojitStats::default(),
                 telemetry: Telemetry::disabled(),
+                faults: FaultPlan::none(),
                 config,
                 clock,
                 mmu,
@@ -199,6 +210,20 @@ impl<B: DirtyTracker> Engine<B> {
         self.core.telemetry = telemetry;
     }
 
+    /// Attaches a fault-injection plan (shared with the backing SSD, which
+    /// consults it on every copier write). With an inactive plan —
+    /// [`FaultPlan::none`] — every hook is an identity and behavior is
+    /// byte-identical to a run without fault support.
+    pub fn attach_faults(&mut self, faults: FaultPlan) {
+        self.core.ssd.attach_faults(faults.clone());
+        self.core.faults = faults;
+    }
+
+    /// The fault plan in force (inactive unless one was attached).
+    pub fn faults(&self) -> &FaultPlan {
+        &self.core.faults
+    }
+
     /// Live regions.
     pub fn regions(&self) -> impl Iterator<Item = (RegionId, RegionInfo)> + '_ {
         self.core.regions.iter()
@@ -232,8 +257,58 @@ impl<B: DirtyTracker> Engine<B> {
     /// the battery to flush is flushed to the SSD. For the tracking
     /// backends that is every page counted dirty — by construction at most
     /// the dirty budget; for the baseline it is the entire capacity.
+    ///
+    /// Without an attached battery the flush has unbounded time (the
+    /// historical analytical contract); with an active fault plan the
+    /// executed flush still steps page-by-page, retrying transient write
+    /// errors with bounded exponential backoff, and may lose pages whose
+    /// retries exhaust. Use [`Engine::power_failure_powered`] to race a
+    /// real battery.
     pub fn power_failure(&mut self) -> PowerFailureReport {
-        B::power_failure(&mut self.core, &mut self.backend)
+        let obligation = B::failure_obligation(&mut self.core, &mut self.backend);
+        emergency::execute(&mut self.core, obligation, None)
+    }
+
+    /// Simulates a power failure while `battery` drains at `power`'s
+    /// system wattage: the executed emergency flush steps page-by-page on
+    /// a local timeline and ends in a typed [`FlushOutcome`] — complete,
+    /// pages lost to exhausted retries, or battery exhaustion (every
+    /// not-yet-durable page lost). In-flight copier IOs at the failure
+    /// instant are folded into the hold-up obligation.
+    ///
+    /// [`FlushOutcome`]: crate::FlushOutcome
+    pub fn power_failure_powered(
+        &mut self,
+        battery: &Battery,
+        power: &PowerModel,
+    ) -> PowerFailureReport {
+        let obligation = B::failure_obligation(&mut self.core, &mut self.backend);
+        emergency::execute(&mut self.core, obligation, Some((battery, power)))
+    }
+
+    /// Feeds the degradation governor fresh signals (the battery gauge's
+    /// reported health plus this engine's SSD error counters) and, on a
+    /// mode transition, applies the prescribed budget through
+    /// [`Engine::set_dirty_budget`] — shrinking stalls writers until the
+    /// dirty population fits (the stall-until-safe path); recovery
+    /// restores the nominal budget. Returns the applied budget if a
+    /// transition happened.
+    pub fn govern_degradation(
+        &mut self,
+        governor: &mut DegradationGovernor,
+        reported_health: f64,
+    ) -> Option<u64> {
+        let ssd = self.core.ssd.stats();
+        let budget = governor.observe(reported_health, &ssd)?;
+        let degraded = matches!(governor.mode(), DegradedMode::Degraded(_));
+        self.core
+            .telemetry
+            .emit(|| TraceEvent::DegradedModeChanged {
+                degraded,
+                budget_pages: budget,
+            });
+        self.set_dirty_budget(budget);
+        Some(budget)
     }
 
     /// Rebuilds NV-DRAM from the SSD after a power cycle: every page is
@@ -475,7 +550,33 @@ pub(crate) fn issue_flush<B: DirtyTracker>(
     core.selector.on_removed(victim);
     let data = core.mmu.page_data(victim).to_vec();
     let physical = B::flush_payload(core, backend, victim, &data);
-    let done = core.ssd.submit_write_sized(victim, &data, physical);
+    // Copier writes go through the fallible submit so an active fault
+    // plan can inject transient errors; each failed attempt occupies its
+    // channel (naturally serialising the retry behind it) and is retried
+    // up to the emergency executor's attempt cap, after which the write
+    // is forced through — a runtime copy must eventually land, only the
+    // emergency flush is allowed to abandon pages. With an inactive plan
+    // the fallible path never errs and is byte-identical to the plain
+    // submit.
+    let mut attempt = 1u32;
+    let done = loop {
+        match core.ssd.try_submit_write_sized(victim, &data, physical) {
+            Ok(done) => break done,
+            Err(err) => {
+                core.stats.flush_retries += 1;
+                let backoff = err.retry_after.saturating_since(core.clock.now());
+                core.telemetry.emit(|| TraceEvent::FlushRetry {
+                    page: victim.0,
+                    attempt,
+                    backoff_nanos: backoff.as_nanos(),
+                });
+                if attempt >= MAX_FLUSH_ATTEMPTS {
+                    break core.ssd.submit_write_sized(victim, &data, physical);
+                }
+                attempt += 1;
+            }
+        }
+    };
     core.inflight.push((done, victim));
     core.stats.bytes_flushed += PAGE_SIZE as u64;
     if B::TRACKS_PHYSICAL {
@@ -573,6 +674,9 @@ pub(crate) fn publish_metrics<B: DirtyTracker>(core: &mut EngineCore, backend: &
             );
         }
         m.counter_set("viyojit.walk_touches", stats.walk_touches);
+        if stats.flush_retries > 0 {
+            m.counter_set("viyojit.flush_retries", stats.flush_retries);
+        }
         m.gauge_set("viyojit.dirty_pages", dirty as f64);
         m.gauge_set("viyojit.in_flight_pages", in_flight as f64);
         m.gauge_set("viyojit.proactive_threshold", threshold as f64);

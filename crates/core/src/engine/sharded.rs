@@ -17,17 +17,19 @@
 //! assigns more than the battery provisions — so the cluster-wide dirty
 //! population never exceeds the global budget.
 
+use battery_sim::{Battery, PowerModel};
+use fault_sim::FaultPlan;
 use mem_sim::MmuStats;
 use sim_clock::{Clock, CostModel, SimDuration, SimTime};
 use ssd_sim::{SsdConfig, SsdStats};
-use telemetry::{intern_metric_name, Telemetry};
+use telemetry::{intern_metric_name, Telemetry, TraceEvent};
 
 use crate::{
-    InvariantViolation, NvHeap, PowerFailureReport, RegionId, ViyojitConfig, ViyojitError,
-    ViyojitStats,
+    FlushOutcome, InvariantViolation, NvHeap, PowerFailureReport, RegionId, ViyojitConfig,
+    ViyojitError, ViyojitStats,
 };
 
-use super::{BudgetArbiter, DirtyTracker, Engine, SoftwareWalk};
+use super::{BudgetArbiter, DegradationGovernor, DegradedMode, DirtyTracker, Engine, SoftwareWalk};
 
 /// Per-shard metric names, interned once at construction (the registry
 /// keys on `&'static str`).
@@ -195,6 +197,7 @@ impl<B: DirtyTracker> ShardedViyojit<B> {
             total.bytes_flushed += s.bytes_flushed;
             total.physical_bytes_flushed += s.physical_bytes_flushed;
             total.walk_touches += s.walk_touches;
+            total.flush_retries += s.flush_retries;
         }
         total
     }
@@ -221,6 +224,7 @@ impl<B: DirtyTracker> ShardedViyojit<B> {
             total.reads += s.reads;
             total.bytes_written += s.bytes_written;
             total.bytes_read += s.bytes_read;
+            total.write_errors += s.write_errors;
         }
         total
     }
@@ -239,23 +243,95 @@ impl<B: DirtyTracker> ShardedViyojit<B> {
         self.telemetry = telemetry;
     }
 
+    /// Attaches one fault plan to every shard (shards share the plan's
+    /// RNG stream; shard order is deterministic, so runs stay reproducible
+    /// from the seed).
+    pub fn attach_faults(&mut self, faults: FaultPlan) {
+        for shard in &mut self.shards {
+            shard.attach_faults(faults.clone());
+        }
+    }
+
     /// Simulates a global power failure: every shard flushes its counted
     /// dirty pages. The battery obligation is the page *sum* but the drain
     /// *time* is the slowest shard — shards flush to independent SSDs in
     /// parallel.
     pub fn power_failure(&mut self) -> PowerFailureReport {
+        self.aggregate_power_failure(|shard| shard.power_failure())
+    }
+
+    /// Simulates a global power failure racing one shared battery: each
+    /// shard executes its emergency flush against the draining supply (see
+    /// [`Engine::power_failure_powered`]); the aggregate keeps the worst
+    /// outcome and the smallest energy margin across shards.
+    pub fn power_failure_powered(
+        &mut self,
+        battery: &Battery,
+        power: &PowerModel,
+    ) -> PowerFailureReport {
+        self.aggregate_power_failure(|shard| shard.power_failure_powered(battery, power))
+    }
+
+    fn aggregate_power_failure(
+        &mut self,
+        mut failure: impl FnMut(&mut Engine<B>) -> PowerFailureReport,
+    ) -> PowerFailureReport {
         let mut total = PowerFailureReport {
             dirty_pages: 0,
+            pages_flushed: 0,
+            pages_lost: 0,
+            retries: 0,
             bytes_flushed: 0,
             flush_time: SimDuration::ZERO,
+            energy_margin_joules: f64::INFINITY,
+            outcome: FlushOutcome::Complete,
         };
         for shard in &mut self.shards {
-            let r = shard.power_failure();
+            let r = failure(shard);
             total.dirty_pages += r.dirty_pages;
+            total.pages_flushed += r.pages_flushed;
+            total.pages_lost += r.pages_lost;
+            total.retries += r.retries;
             total.bytes_flushed += r.bytes_flushed;
             total.flush_time = total.flush_time.max(r.flush_time);
+            total.energy_margin_joules = total.energy_margin_joules.min(r.energy_margin_joules);
+            total.outcome = total.outcome.max(r.outcome);
         }
         total
+    }
+
+    /// Re-provisions the global budget at runtime (a §8 re-derivation or
+    /// a degradation transition): the arbiter's total changes, then an
+    /// immediate rebalance shrinks losers before growing winners, so the
+    /// cluster-wide dirty population fits the new budget on return.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the per-shard floors no longer fit `pages`.
+    pub fn set_total_budget(&mut self, pages: u64) {
+        self.arbiter.set_total_budget(pages);
+        self.rebalance();
+    }
+
+    /// Feeds the degradation governor the cluster-wide signals (reported
+    /// battery health plus the summed shard SSD error counters) and, on a
+    /// mode transition, applies the prescribed budget through
+    /// [`ShardedViyojit::set_total_budget`]. Returns the applied global
+    /// budget if a transition happened.
+    pub fn govern_degradation(
+        &mut self,
+        governor: &mut DegradationGovernor,
+        reported_health: f64,
+    ) -> Option<u64> {
+        let ssd = self.ssd_stats();
+        let budget = governor.observe(reported_health, &ssd)?;
+        let degraded = matches!(governor.mode(), DegradedMode::Degraded(_));
+        self.telemetry.emit(|| TraceEvent::DegradedModeChanged {
+            degraded,
+            budget_pages: budget,
+        });
+        self.set_total_budget(budget);
+        Some(budget)
     }
 
     /// Recovers every shard from its SSD after a power cycle. Routes

@@ -80,8 +80,9 @@ pub use codec::{rle_decode, rle_encode, FlushCodec};
 pub use config::{ThresholdPolicy, ViyojitConfig, ViyojitConfigBuilder};
 pub use dirty::{DirtySet, PageState};
 pub use engine::{
-    BudgetArbiter, DirtyTracker, Engine, EngineCore, FullDirty, MmuAssisted, ShardedViyojit,
-    SoftwareWalk,
+    BudgetArbiter, DegradationConfig, DegradationGovernor, DegradeReason, DegradedMode,
+    DirtyTracker, Engine, EngineCore, FullDirty, MmuAssisted, ShardedViyojit, SoftwareWalk,
+    MAX_FLUSH_ATTEMPTS, RETRY_BACKOFF_BASE, RETRY_BACKOFF_MAX,
 };
 pub use error::{InvariantViolation, ViyojitError};
 pub use heap::NvHeap;
@@ -90,13 +91,17 @@ pub use hw::MmuAssistedViyojit;
 pub use policy::{TargetPolicy, VictimSelector};
 pub use pressure::PressureEstimator;
 pub use region::{RegionId, RegionInfo, RegionTable};
-pub use runtime::{PowerFailureReport, Viyojit};
+pub use runtime::{FlushOutcome, PowerFailureReport, Viyojit};
 pub use stats::ViyojitStats;
 pub use store::NvStore;
+
+// Re-export the fault-injection vocabulary so tests and benches can seed
+// plans without naming the fault-sim crate directly.
+pub use fault_sim::{FaultConfig, FaultPlan, FaultStats};
 
 // Re-export the telemetry vocabulary so stores and drivers can be
 // instrumented without naming the telemetry crate directly.
 pub use telemetry::{
-    CsvSink, EpochSnapshot, FlushReason, JsonlSink, MetricsRegistry, NullSink, Sink, Telemetry,
-    TelemetryConfig, TraceEvent, TracedEvent,
+    CsvSink, EpochSnapshot, FaultKind, FlushReason, JsonlSink, MetricsRegistry, NullSink, Sink,
+    Telemetry, TelemetryConfig, TraceEvent, TracedEvent,
 };

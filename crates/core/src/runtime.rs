@@ -11,7 +11,23 @@ use sim_clock::SimDuration;
 
 use crate::engine::{Engine, SoftwareWalk};
 
-/// Outcome of a simulated power failure: what the battery had to flush.
+/// How an emergency flush ended.
+///
+/// Ordered by severity so aggregations (the sharded frontend) can keep the
+/// worst outcome across members.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FlushOutcome {
+    /// Every obligated page reached durability.
+    Complete,
+    /// The flush finished but some pages exhausted their write retries.
+    PagesLost,
+    /// The battery's deliverable energy ran out before the flush finished;
+    /// every remaining page was lost.
+    BatteryExhausted,
+}
+
+/// Outcome of a simulated power failure: what the battery had to flush and
+/// how the executed emergency flush went.
 ///
 /// # Examples
 ///
@@ -19,7 +35,7 @@ use crate::engine::{Engine, SoftwareWalk};
 /// use battery_sim::{Battery, BatteryConfig, PowerModel};
 /// use sim_clock::{Clock, CostModel};
 /// use ssd_sim::SsdConfig;
-/// use viyojit::{NvHeap, Viyojit, ViyojitConfig};
+/// use viyojit::{FlushOutcome, NvHeap, Viyojit, ViyojitConfig};
 ///
 /// let mut v = Viyojit::new(
 ///     64,
@@ -32,17 +48,33 @@ use crate::engine::{Engine, SoftwareWalk};
 /// v.write(r, 0, b"critical data")?;
 /// let report = v.power_failure();
 /// assert!(report.dirty_pages <= 4, "never more dirty pages than budget");
+/// assert_eq!(report.outcome, FlushOutcome::Complete);
+/// assert!(report.all_pages_accounted());
 /// # Ok::<(), viyojit::ViyojitError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerFailureReport {
-    /// Pages that were inconsistent with the SSD at the failure instant.
+    /// Pages that were inconsistent with the SSD at the failure instant
+    /// (for the baseline: the full presumed-dirty obligation).
     pub dirty_pages: u64,
+    /// Of those, pages that reached durability.
+    pub pages_flushed: u64,
+    /// Of those, pages abandoned (retries exhausted or battery death);
+    /// their updates since the last durable copy are gone.
+    pub pages_lost: u64,
+    /// Transient write errors retried during the flush.
+    pub retries: u64,
     /// Bytes flushed on battery power.
     pub bytes_flushed: u64,
     /// Time the flush held the system up, at conservative sequential
-    /// bandwidth (§5.1).
+    /// bandwidth (§5.1), including fault-induced delays.
     pub flush_time: SimDuration,
+    /// Deliverable battery energy left when the flush ended. Negative when
+    /// the battery died first (the unmet remainder of the obligation);
+    /// infinite on the unpowered analytical path, which races no battery.
+    pub energy_margin_joules: f64,
+    /// How the flush ended.
+    pub outcome: FlushOutcome,
 }
 
 impl PowerFailureReport {
@@ -55,6 +87,12 @@ impl PowerFailureReport {
     /// durability guarantee of §4.1.
     pub fn survives(&self, battery: &Battery, power: &PowerModel) -> bool {
         self.energy_needed_joules(power) <= battery.effective_joules()
+    }
+
+    /// The accounting invariant of the executed flush: every obligated
+    /// dirty page ended up either flushed or reported lost.
+    pub fn all_pages_accounted(&self) -> bool {
+        self.pages_flushed + self.pages_lost == self.dirty_pages
     }
 }
 

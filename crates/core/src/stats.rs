@@ -36,6 +36,9 @@ pub struct ViyojitStats {
     pub physical_bytes_flushed: u64,
     /// Pages whose updates were observed by epoch walks (recency refreshes).
     pub walk_touches: u64,
+    /// Transient SSD write errors retried (copier retries plus emergency
+    /// flush retries under fault injection; always zero without faults).
+    pub flush_retries: u64,
 }
 
 impl ViyojitStats {

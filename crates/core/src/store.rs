@@ -9,6 +9,7 @@
 //! covers every [`Engine`] backend; the sharded frontend and the baseline
 //! wrapper add their own.
 
+use fault_sim::FaultPlan;
 use sim_clock::{Clock, SimDuration};
 use telemetry::Telemetry;
 
@@ -56,6 +57,11 @@ pub trait NvStore: NvHeap {
     /// Attaches a telemetry handle to the store (and its backing SSD).
     fn attach_telemetry(&mut self, telemetry: Telemetry);
 
+    /// Attaches a fault-injection plan to the store (and its backing
+    /// SSD). The default ignores the plan — stores without fault support
+    /// simply never inject.
+    fn attach_faults(&mut self, _faults: FaultPlan) {}
+
     /// Runtime counters, if the store tracks dirty state (`None` for the
     /// baseline, which has nothing to track).
     fn runtime_stats(&self) -> Option<ViyojitStats>;
@@ -89,6 +95,9 @@ impl<B: DirtyTracker> NvStore for Engine<B> {
     fn attach_telemetry(&mut self, telemetry: Telemetry) {
         Engine::attach_telemetry(self, telemetry);
     }
+    fn attach_faults(&mut self, faults: FaultPlan) {
+        Engine::attach_faults(self, faults);
+    }
     fn runtime_stats(&self) -> Option<ViyojitStats> {
         B::HAS_CONTROL_LOOP.then(|| self.stats())
     }
@@ -116,6 +125,9 @@ impl NvStore for NvdramBaseline {
     fn attach_telemetry(&mut self, telemetry: Telemetry) {
         NvdramBaseline::attach_telemetry(self, telemetry);
     }
+    fn attach_faults(&mut self, faults: FaultPlan) {
+        NvdramBaseline::attach_faults(self, faults);
+    }
     fn runtime_stats(&self) -> Option<ViyojitStats> {
         None
     }
@@ -142,6 +154,9 @@ impl<B: DirtyTracker> NvStore for ShardedViyojit<B> {
     }
     fn attach_telemetry(&mut self, telemetry: Telemetry) {
         ShardedViyojit::attach_telemetry(self, telemetry);
+    }
+    fn attach_faults(&mut self, faults: FaultPlan) {
+        ShardedViyojit::attach_faults(self, faults);
     }
     fn runtime_stats(&self) -> Option<ViyojitStats> {
         Some(self.stats())

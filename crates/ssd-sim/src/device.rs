@@ -1,5 +1,6 @@
 //! The SSD device: content store, service-time model, and statistics.
 
+use fault_sim::FaultPlan;
 use mem_sim::{PageId, PAGE_SIZE};
 use sim_clock::{Clock, SimDuration, SimTime};
 use telemetry::{Telemetry, TraceEvent};
@@ -60,22 +61,26 @@ impl SsdConfig {
         }
     }
 
-    /// Time the bandwidth term adds for `bytes` bytes.
-    fn transfer_time(&self, bytes: usize) -> SimDuration {
+    /// Time to move `bytes` bytes at sustained sequential bandwidth (the
+    /// shared kernel of [`SsdConfig::drain_time`] and the per-IO transfer
+    /// term).
+    fn sequential_time(&self, bytes: f64) -> SimDuration {
         if self.bandwidth_bytes_per_sec == u64::MAX {
             return SimDuration::ZERO;
         }
-        SimDuration::from_secs_f64(bytes as f64 / self.bandwidth_bytes_per_sec as f64)
+        SimDuration::from_secs_f64(bytes / self.bandwidth_bytes_per_sec as f64)
+    }
+
+    /// Time the bandwidth term adds for `bytes` bytes.
+    fn transfer_time(&self, bytes: usize) -> SimDuration {
+        self.sequential_time(bytes as f64)
     }
 
     /// Conservative time to sequentially drain `bytes` bytes to the device
     /// at sustained bandwidth — the §5.1 estimate used to convert battery
     /// hold-up time into a dirty budget.
     pub fn drain_time(&self, bytes: u64) -> SimDuration {
-        if self.bandwidth_bytes_per_sec == u64::MAX {
-            return SimDuration::ZERO;
-        }
-        SimDuration::from_secs_f64(bytes as f64 / self.bandwidth_bytes_per_sec as f64)
+        self.sequential_time(bytes as f64)
     }
 }
 
@@ -96,6 +101,22 @@ pub struct SsdStats {
     pub bytes_written: u64,
     /// Logical bytes read.
     pub bytes_read: u64,
+    /// Transient write errors (injected or modelled); each occupied a
+    /// channel and charged wear without making its page durable.
+    pub write_errors: u64,
+}
+
+/// A transiently failed write submission.
+///
+/// The failed attempt still occupied a channel and consumed program energy
+/// (wear), but the page did not become durable; the caller may retry after
+/// `retry_after`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SsdWriteError {
+    /// The page whose write failed.
+    pub page: u64,
+    /// Instant at which the failed attempt released its channel.
+    pub retry_after: SimTime,
 }
 
 /// The simulated SSD backing one NV-DRAM region.
@@ -119,6 +140,7 @@ pub struct Ssd {
     stats: SsdStats,
     wear: WearTracker,
     telemetry: Telemetry,
+    faults: FaultPlan,
 }
 
 impl Ssd {
@@ -135,6 +157,7 @@ impl Ssd {
             stats: SsdStats::default(),
             wear,
             telemetry: Telemetry::disabled(),
+            faults: FaultPlan::none(),
         }
     }
 
@@ -165,6 +188,28 @@ impl Ssd {
         self.telemetry = telemetry;
     }
 
+    /// Attaches a fault plan; subsequent [`Ssd::try_submit_write_sized`]
+    /// calls consult it for stalls, latency spikes, and transient errors.
+    /// The plain [`Ssd::submit_write`]/[`Ssd::submit_write_sized`] path
+    /// never consults the plan, so callers that cannot tolerate failure
+    /// keep their historical behaviour bit for bit.
+    pub fn attach_faults(&mut self, faults: FaultPlan) {
+        self.faults = faults;
+    }
+
+    /// The attached fault plan (inactive by default).
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Records a transient write error modelled outside the device (the
+    /// emergency-flush executor steps attempt time on a local timeline and
+    /// accounts the failed program here so error-rate observers see it).
+    pub fn note_write_error(&mut self, page: u64, physical_bytes: usize) {
+        self.stats.write_errors += 1;
+        self.wear.record_bytes_written(page, physical_bytes as u64);
+    }
+
     /// Publishes IO, wear, and queue state into the attached registry.
     ///
     /// Called by the owning store at epoch boundaries; a no-op when the
@@ -191,6 +236,11 @@ impl Ssd {
             m.counter_set("ssd.erases", erases);
             m.gauge_set("ssd.max_block_erases", max_block as f64);
             m.gauge_set("ssd.outstanding", queue);
+            // Published only once nonzero so fault-free runs keep their
+            // historical snapshot layout byte for byte.
+            if stats.write_errors > 0 {
+                m.counter_set("ssd.write_errors", stats.write_errors);
+            }
         });
     }
 
@@ -254,6 +304,61 @@ impl Ssd {
         data: &[u8],
         physical_bytes: usize,
     ) -> SimTime {
+        let latency = self.config.write_latency;
+        self.submit_with_latency(page, data, physical_bytes, latency)
+    }
+
+    /// Fault-aware submission: consults the attached [`FaultPlan`] for a
+    /// whole-device stall, a latency spike, and a transient error, in that
+    /// order. A failed attempt still occupies its channel and charges wear
+    /// for the aborted program, but the page does not become durable and
+    /// the caller gets the channel-release instant back for retry pacing.
+    ///
+    /// With an inactive plan this is exactly [`Ssd::submit_write_sized`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is out of range, `data` is not exactly one page,
+    /// or `physical_bytes` exceeds a page.
+    pub fn try_submit_write_sized(
+        &mut self,
+        page: PageId,
+        data: &[u8],
+        physical_bytes: usize,
+    ) -> Result<SimTime, SsdWriteError> {
+        assert_eq!(data.len(), PAGE_SIZE, "SSD writes are page-granularity");
+        assert!(
+            physical_bytes <= PAGE_SIZE,
+            "physical payload cannot exceed the logical page"
+        );
+        let fault = self.faults.ssd_write_fault(page.0);
+        if !fault.stall.is_zero() {
+            let now = self.clock.now();
+            for free in &mut self.channel_free {
+                *free = (*free).max(now) + fault.stall;
+            }
+        }
+        let latency = self.config.write_latency * fault.latency_factor as u64;
+        if fault.error {
+            self.stats.write_errors += 1;
+            self.wear
+                .record_bytes_written(page.0, physical_bytes as u64);
+            let retry_after = self.service(latency, physical_bytes);
+            return Err(SsdWriteError {
+                page: page.0,
+                retry_after,
+            });
+        }
+        Ok(self.submit_with_latency(page, data, physical_bytes, latency))
+    }
+
+    fn submit_with_latency(
+        &mut self,
+        page: PageId,
+        data: &[u8],
+        physical_bytes: usize,
+        latency: SimDuration,
+    ) -> SimTime {
         assert_eq!(data.len(), PAGE_SIZE, "SSD writes are page-granularity");
         assert!(
             physical_bytes <= PAGE_SIZE,
@@ -266,7 +371,7 @@ impl Ssd {
         self.stats.bytes_written += physical_bytes as u64;
         self.wear
             .record_bytes_written(page.0, physical_bytes as u64);
-        let done = self.service(self.config.write_latency, physical_bytes);
+        let done = self.service(latency, physical_bytes);
         self.telemetry.emit(|| TraceEvent::SsdSubmit {
             page: page.0,
             bytes: physical_bytes as u64,
@@ -429,6 +534,97 @@ mod tests {
         assert_eq!(ssd.stats().reads, 1);
         assert_eq!(ssd.stats().bytes_written, 2 * PAGE_SIZE as u64);
         assert_eq!(ssd.wear().logical_bytes_written(), 2 * PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn faulty_submit_errors_occupy_channel_and_charge_wear() {
+        use fault_sim::FaultConfig;
+        let clock = Clock::new();
+        let cfg = SsdConfig {
+            write_latency: SimDuration::from_micros(10),
+            read_latency: SimDuration::from_micros(10),
+            bandwidth_bytes_per_sec: u64::MAX,
+            channels: 1,
+            pages_per_block: 64,
+            write_amplification: 1.0,
+        };
+        let mut ssd = Ssd::new(4, cfg, clock);
+        let mut config = FaultConfig::none();
+        config.ssd_write_error_rate = 1.0;
+        ssd.attach_faults(FaultPlan::seeded(3, config));
+        let err = ssd
+            .try_submit_write_sized(PageId(0), &page(7), PAGE_SIZE)
+            .unwrap_err();
+        assert_eq!(err.page, 0);
+        assert_eq!(err.retry_after.as_micros(), 10, "error held the channel");
+        assert!(!ssd.contains(PageId(0)), "failed write is not durable");
+        assert_eq!(ssd.stats().write_errors, 1);
+        assert_eq!(ssd.stats().writes, 0);
+        assert_eq!(ssd.wear().logical_bytes_written(), PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn inactive_plan_try_submit_matches_plain_submit() {
+        let clock_a = Clock::new();
+        let clock_b = Clock::new();
+        let mut a = Ssd::new(4, SsdConfig::datacenter(), clock_a);
+        let mut b = Ssd::new(4, SsdConfig::datacenter(), clock_b);
+        let done_a = a.try_submit_write_sized(PageId(1), &page(5), 512).unwrap();
+        let done_b = b.submit_write_sized(PageId(1), &page(5), 512);
+        assert_eq!(done_a, done_b);
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.page_data(PageId(1)), b.page_data(PageId(1)));
+    }
+
+    #[test]
+    fn latency_spike_multiplies_service_time() {
+        use fault_sim::FaultConfig;
+        let clock = Clock::new();
+        let cfg = SsdConfig {
+            write_latency: SimDuration::from_micros(10),
+            read_latency: SimDuration::from_micros(10),
+            bandwidth_bytes_per_sec: u64::MAX,
+            channels: 1,
+            pages_per_block: 64,
+            write_amplification: 1.0,
+        };
+        let mut ssd = Ssd::new(4, cfg, clock);
+        let mut config = FaultConfig::none();
+        config.ssd_latency_spike_rate = 1.0;
+        config.ssd_latency_spike_factor = 4;
+        ssd.attach_faults(FaultPlan::seeded(9, config));
+        let done = ssd
+            .try_submit_write_sized(PageId(0), &page(1), PAGE_SIZE)
+            .unwrap();
+        assert_eq!(done.as_micros(), 40);
+        assert!(ssd.contains(PageId(0)));
+    }
+
+    #[test]
+    fn stall_pushes_every_channel_back() {
+        use fault_sim::FaultConfig;
+        let clock = Clock::new();
+        let cfg = SsdConfig {
+            write_latency: SimDuration::from_micros(10),
+            read_latency: SimDuration::from_micros(10),
+            bandwidth_bytes_per_sec: u64::MAX,
+            channels: 2,
+            pages_per_block: 64,
+            write_amplification: 1.0,
+        };
+        let mut ssd = Ssd::new(4, cfg, clock);
+        let mut config = FaultConfig::none();
+        config.ssd_stall_rate = 1.0;
+        config.ssd_stall = SimDuration::from_millis(1);
+        ssd.attach_faults(FaultPlan::seeded(2, config));
+        let done = ssd
+            .try_submit_write_sized(PageId(0), &page(1), PAGE_SIZE)
+            .unwrap();
+        assert_eq!(
+            done.as_micros(),
+            1_010,
+            "stall delays the servicing channel"
+        );
     }
 
     #[test]

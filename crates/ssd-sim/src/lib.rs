@@ -34,5 +34,5 @@
 mod device;
 mod wear;
 
-pub use device::{Ssd, SsdConfig, SsdStats};
+pub use device::{Ssd, SsdConfig, SsdStats, SsdWriteError};
 pub use wear::WearTracker;

@@ -26,6 +26,40 @@ impl fmt::Display for FlushReason {
     }
 }
 
+/// What a fault-injection layer perturbed.
+///
+/// Emitted inside [`TraceEvent::FaultInjected`] by the `fault-sim` plan so
+/// every injection is visible in the trace alongside the control-flow step
+/// it disturbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultKind {
+    /// A submitted SSD write failed transiently and must be retried.
+    SsdWriteError,
+    /// A submitted SSD write was serviced at a multiple of nominal latency.
+    SsdLatencySpike,
+    /// The whole device stalled; every channel's free time was pushed back.
+    SsdStall,
+    /// The battery reported a state of charge that differs from reality.
+    SocMisreport,
+    /// The battery's real capacity dropped abruptly (cell failure).
+    CapacityDrop,
+    /// The battery delivered less hold-up energy than its health implied.
+    HoldupShortfall,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FaultKind::SsdWriteError => "ssd_write_error",
+            FaultKind::SsdLatencySpike => "ssd_latency_spike",
+            FaultKind::SsdStall => "ssd_stall",
+            FaultKind::SocMisreport => "soc_misreport",
+            FaultKind::CapacityDrop => "capacity_drop",
+            FaultKind::HoldupShortfall => "holdup_shortfall",
+        })
+    }
+}
+
 /// One step of the simulated control flow.
 ///
 /// Forced and proactive flushes share the [`TraceEvent::FlushIssued`]
@@ -92,6 +126,51 @@ pub enum TraceEvent {
         /// Battery health in parts per thousand of nameplate capacity.
         health_permille: u64,
     },
+    /// The fault plan perturbed a device or battery interaction.
+    FaultInjected {
+        /// What was perturbed.
+        kind: FaultKind,
+        /// Affected page, or `u64::MAX` when the fault is device/battery
+        /// wide (omitted from the rendered payload in that case).
+        page: u64,
+        /// Kind-specific magnitude in parts per thousand (latency factor,
+        /// misreport factor, drop factor, shortfall fraction); zero when
+        /// the kind carries no magnitude.
+        magnitude_permille: u64,
+    },
+    /// The emergency flush retried a transiently failed write.
+    FlushRetry {
+        /// Page whose write failed.
+        page: u64,
+        /// Attempt number that failed, starting at 1.
+        attempt: u32,
+        /// Exponential backoff charged before the next attempt, in
+        /// virtual nanoseconds.
+        backoff_nanos: u64,
+    },
+    /// The emergency flush abandoned a page (retries exhausted or the
+    /// battery died first); the page's contents did not reach the SSD.
+    PageLost {
+        /// The abandoned page.
+        page: u64,
+    },
+    /// The degradation governor changed operating mode.
+    DegradedModeChanged {
+        /// True when entering degraded mode, false on recovery to nominal.
+        degraded: bool,
+        /// Dirty budget in pages after the transition.
+        budget_pages: u64,
+    },
+    /// An executed emergency flush finished (successfully or not).
+    EmergencyFlush {
+        /// Pages that reached durability (including presumed-durable clean
+        /// pages counted by the baseline's full-capacity obligation).
+        pages_flushed: u64,
+        /// Pages lost to exhausted retries or battery death.
+        pages_lost: u64,
+        /// Total write retries performed.
+        retries: u64,
+    },
 }
 
 impl TraceEvent {
@@ -107,6 +186,11 @@ impl TraceEvent {
             TraceEvent::SsdSubmit { .. } => "ssd_submit",
             TraceEvent::SsdComplete { .. } => "ssd_complete",
             TraceEvent::BatteryRecalc { .. } => "battery_recalc",
+            TraceEvent::FaultInjected { .. } => "fault_injected",
+            TraceEvent::FlushRetry { .. } => "flush_retry",
+            TraceEvent::PageLost { .. } => "page_lost",
+            TraceEvent::DegradedModeChanged { .. } => "degraded_mode_changed",
+            TraceEvent::EmergencyFlush { .. } => "emergency_flush",
         }
     }
 }
@@ -147,6 +231,38 @@ impl fmt::Display for TraceEvent {
                 f,
                 "budget_pages={budget_pages} health_permille={health_permille}"
             ),
+            TraceEvent::FaultInjected {
+                kind,
+                page,
+                magnitude_permille,
+            } => {
+                write!(f, "kind={kind}")?;
+                if *page != u64::MAX {
+                    write!(f, " page={page}")?;
+                }
+                write!(f, " magnitude_permille={magnitude_permille}")
+            }
+            TraceEvent::FlushRetry {
+                page,
+                attempt,
+                backoff_nanos,
+            } => write!(
+                f,
+                "page={page} attempt={attempt} backoff_nanos={backoff_nanos}"
+            ),
+            TraceEvent::PageLost { page } => write!(f, "page={page}"),
+            TraceEvent::DegradedModeChanged {
+                degraded,
+                budget_pages,
+            } => write!(f, "degraded={degraded} budget_pages={budget_pages}"),
+            TraceEvent::EmergencyFlush {
+                pages_flushed,
+                pages_lost,
+                retries,
+            } => write!(
+                f,
+                "pages_flushed={pages_flushed} pages_lost={pages_lost} retries={retries}"
+            ),
         }
     }
 }
@@ -178,6 +294,56 @@ mod tests {
         };
         assert_eq!(e.kind(), "flush_issued");
         assert_eq!(e.to_string(), "page=7 reason=forced last_update_epoch=3");
+    }
+
+    #[test]
+    fn fault_event_omits_device_wide_page() {
+        let device_wide = TraceEvent::FaultInjected {
+            kind: FaultKind::SsdStall,
+            page: u64::MAX,
+            magnitude_permille: 0,
+        };
+        assert_eq!(device_wide.kind(), "fault_injected");
+        assert_eq!(
+            device_wide.to_string(),
+            "kind=ssd_stall magnitude_permille=0"
+        );
+        let paged = TraceEvent::FaultInjected {
+            kind: FaultKind::SsdWriteError,
+            page: 9,
+            magnitude_permille: 0,
+        };
+        assert_eq!(
+            paged.to_string(),
+            "kind=ssd_write_error page=9 magnitude_permille=0"
+        );
+    }
+
+    #[test]
+    fn emergency_events_render_key_value_payloads() {
+        let retry = TraceEvent::FlushRetry {
+            page: 4,
+            attempt: 2,
+            backoff_nanos: 100_000,
+        };
+        assert_eq!(retry.kind(), "flush_retry");
+        assert_eq!(retry.to_string(), "page=4 attempt=2 backoff_nanos=100000");
+        let lost = TraceEvent::PageLost { page: 11 };
+        assert_eq!(lost.kind(), "page_lost");
+        assert_eq!(lost.to_string(), "page=11");
+        let mode = TraceEvent::DegradedModeChanged {
+            degraded: true,
+            budget_pages: 32,
+        };
+        assert_eq!(mode.kind(), "degraded_mode_changed");
+        assert_eq!(mode.to_string(), "degraded=true budget_pages=32");
+        let done = TraceEvent::EmergencyFlush {
+            pages_flushed: 30,
+            pages_lost: 2,
+            retries: 5,
+        };
+        assert_eq!(done.kind(), "emergency_flush");
+        assert_eq!(done.to_string(), "pages_flushed=30 pages_lost=2 retries=5");
     }
 
     #[test]

@@ -47,7 +47,7 @@ mod report;
 mod ring;
 mod sink;
 
-pub use event::{FlushReason, TraceEvent, TracedEvent};
+pub use event::{FaultKind, FlushReason, TraceEvent, TracedEvent};
 pub use metrics::{intern_metric_name, CounterSample, EpochSnapshot, MetricsRegistry};
 pub use report::Report;
 pub use ring::{TraceRing, DEFAULT_RING_CAPACITY};
