@@ -19,6 +19,7 @@ use telemetry::{note, row, Report};
 use viyojit::{
     FaultConfig, FaultPlan, FlushOutcome, NvHeap, PowerFailureReport, Viyojit, ViyojitConfig,
 };
+use viyojit_bench::ProfileCapture;
 
 const TOTAL_PAGES: usize = 4_096;
 const BUDGET_PAGES: u64 = 256;
@@ -42,13 +43,25 @@ fn run_once(fault_rate: f64, margin: f64, seed: u64) -> PowerFailureReport {
     let power = PowerModel::datacenter_server(0.064);
     let battery = battery_with_margin(margin, &power, &ssd_config);
 
+    let clock = Clock::new();
+    let capture = ProfileCapture::from_env(
+        "fault_storm",
+        &format!("r{fault_rate}-m{margin}-s{seed}"),
+        "Viyojit",
+        &format!("rate={fault_rate} margin={margin} pages={TOTAL_PAGES} budget={BUDGET_PAGES}"),
+        Some(seed),
+        &clock,
+    );
     let mut nv = Viyojit::new(
         TOTAL_PAGES,
         ViyojitConfig::with_budget_pages(BUDGET_PAGES),
-        Clock::new(),
+        clock,
         CostModel::calibrated(),
         ssd_config,
     );
+    if let Some(capture) = &capture {
+        capture.attach(&mut nv);
+    }
     nv.attach_faults(FaultPlan::seeded(seed, FaultConfig::storm(fault_rate)));
     let region = nv.map(2_048 * PAGE_SIZE as u64).expect("map");
     for i in 0..BUDGET_PAGES {
@@ -65,6 +78,9 @@ fn run_once(fault_rate: f64, margin: f64, seed: u64) -> PowerFailureReport {
         "every dirty page must be flushed or reported lost \
          (rate={fault_rate} margin={margin} seed={seed}: {report:?})"
     );
+    if let Some(capture) = capture {
+        capture.finish();
+    }
     report
 }
 

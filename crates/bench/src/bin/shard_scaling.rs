@@ -14,7 +14,7 @@ use mem_sim::PAGE_SIZE;
 use sim_clock::{Clock, CostModel, SimDuration};
 use ssd_sim::SsdConfig;
 use viyojit::{NvHeap, ShardedViyojit, ViyojitConfig};
-use viyojit_bench::{note, row, Report};
+use viyojit_bench::{note, row, ProfileCapture, Report};
 
 const PAGE: u64 = PAGE_SIZE as u64;
 const GLOBAL_BUDGET: u64 = 512;
@@ -39,6 +39,17 @@ fn xorshift(state: &mut u64) -> u64 {
 
 fn run(shards: usize) -> (u64, u64, u64, u64, u64, bool) {
     let clock = Clock::new();
+    let capture = ProfileCapture::from_env(
+        "shard_scaling",
+        &format!("s{shards}"),
+        "Sharded-Viyojit",
+        &format!(
+            "shards={shards} pages_per_shard={PAGES_PER_SHARD} budget={GLOBAL_BUDGET} \
+             min_per_shard={MIN_PER_SHARD} ops={OPS}"
+        ),
+        None,
+        &clock,
+    );
     let mut nv: ShardedViyojit = ShardedViyojit::new(
         shards,
         PAGES_PER_SHARD,
@@ -52,6 +63,9 @@ fn run(shards: usize) -> (u64, u64, u64, u64, u64, bool) {
         CostModel::calibrated(),
         SsdConfig::datacenter(),
     );
+    if let Some(capture) = &capture {
+        capture.attach(&mut nv);
+    }
 
     let regions: Vec<_> = (0..REGIONS)
         .map(|_| nv.map(REGION_PAGES * PAGE).expect("map region"))
@@ -88,6 +102,9 @@ fn run(shards: usize) -> (u64, u64, u64, u64, u64, bool) {
     let dirty = nv.dirty_count();
     let report = nv.power_failure();
     nv.check_invariants().expect("sharded invariants hold");
+    if let Some(capture) = capture {
+        capture.finish();
+    }
     (
         stats.budget_stalls,
         stats.pages_dirtied,

@@ -1,5 +1,6 @@
 //! The YCSB-on-KvStore experiment driver (paper §6.1's setup, scaled).
 
+use crate::profile::ProfileCapture;
 use kvstore::KvStore;
 use pheap::PHeap;
 use sim_clock::{Clock, CostModel, Histogram, SimDuration};
@@ -187,8 +188,26 @@ fn value_bytes(id: u64, generation: u8) -> Vec<u8> {
 /// Generic over the public [`NvStore`] abstraction, so new store variants
 /// (and telemetry-attached instances) need no driver changes.
 pub fn run_on<H: NvStore>(cfg: &ExperimentConfig, nv: H, budget: Option<u64>) -> ExperimentResult {
+    let mut nv = nv;
     let system = nv.system();
     let clock = nv.shared_clock();
+    // Opt-in profiling capture (VIYOJIT_PROFILE=<dir>); constructs
+    // nothing and attaches nothing when the variable is unset.
+    let capture = ProfileCapture::from_env(
+        &crate::profile::bench_name(),
+        &format!(
+            "{system}-{}-b{}",
+            cfg.workload.name(),
+            budget.map_or_else(|| "none".to_string(), |b| b.to_string())
+        ),
+        system,
+        &format!("{cfg:?} budget={budget:?}"),
+        None,
+        &clock,
+    );
+    if let Some(capture) = &capture {
+        capture.attach(&mut nv);
+    }
     let heap = PHeap::format(nv, cfg.heap_bytes()).expect("heap fits the NV space");
     let mut kv = KvStore::create(heap, cfg.buckets()).expect("store creation");
 
@@ -249,6 +268,9 @@ pub fn run_on<H: NvStore>(cfg: &ExperimentConfig, nv: H, budget: Option<u64>) ->
     // the baseline would also perform.
     let failure_flush_time = nv.final_flush();
     let ssd_erases = nv.ssd_erases();
+    if let Some(capture) = capture {
+        capture.finish();
+    }
     let total_bytes = run_ssd_bytes + heap_footprint;
     let secs = duration.as_secs_f64();
 

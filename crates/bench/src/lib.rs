@@ -29,6 +29,7 @@
 //! ```
 
 mod driver;
+pub mod profile;
 mod report;
 
 pub use driver::{
@@ -36,5 +37,6 @@ pub use driver::{
     ExperimentConfig, ExperimentResult, OpLatencies, BUDGET_SWEEP_GB, DEFAULT_OPS,
     DEFAULT_RECORDS_PER_GB_UNIT, PAGES_PER_GB_UNIT, VALUE_BYTES,
 };
+pub use profile::{ProfileCapture, PROFILE_ENV};
 pub use report::{csv_stdout, CsvSink, JsonlSink, NullSink, Report, Sink};
 pub use telemetry::{note, row};

@@ -1,0 +1,121 @@
+//! Env-gated profiling capture for the bench binaries.
+//!
+//! Setting `VIYOJIT_PROFILE=<dir>` makes an instrumented run write, per
+//! experiment, a JSONL trace (`<dir>/<bench>-<n>-<label>.jsonl`: the
+//! run-metadata header, the event stream and epoch snapshots, then the
+//! profiler's attribution records) and a matching `.folded` flamegraph
+//! input (`inferno` / `flamegraph.pl` compatible). With the variable
+//! unset, [`ProfileCapture::from_env`] returns `None` before constructing
+//! anything — no telemetry handle, no profiler, no files — so default
+//! bench output stays byte-identical.
+
+use std::fs::{self, File};
+use std::io::BufWriter;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use sim_clock::Clock;
+use telemetry::{JsonlSink, Profiler, RunMeta, Sink, Telemetry};
+use viyojit::NvStore;
+
+/// The environment variable naming the capture output directory.
+pub const PROFILE_ENV: &str = "VIYOJIT_PROFILE";
+
+/// Per-process run counter, so sweeps that repeat a configuration still
+/// get distinct trace files.
+static RUN_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// The bench name for trace headers: the binary's file stem.
+pub fn bench_name() -> String {
+    std::env::args()
+        .next()
+        .as_deref()
+        .and_then(|argv0| Path::new(argv0).file_stem()?.to_str().map(str::to_string))
+        .unwrap_or_else(|| "bench".to_string())
+}
+
+/// One experiment's worth of capture state: a recording telemetry handle
+/// and an enabled profiler over the experiment's clock, plus the output
+/// paths and identity header for [`ProfileCapture::finish`].
+#[derive(Debug)]
+pub struct ProfileCapture {
+    stem: PathBuf,
+    meta: RunMeta,
+    telemetry: Telemetry,
+    profiler: Profiler,
+}
+
+impl ProfileCapture {
+    /// Builds a capture when `VIYOJIT_PROFILE` is set, creating the
+    /// output directory if needed; `None` (and no construction at all)
+    /// otherwise.
+    ///
+    /// `label` distinguishes runs within one binary's sweep;
+    /// `config_text` is any stable rendering of the run's configuration
+    /// (hashed into the header so `viyojit-trace diff` can refuse
+    /// incomparable traces); `fault_seed` is the fault-injection seed,
+    /// when the run injects faults.
+    pub fn from_env(
+        bench: &str,
+        label: &str,
+        backend: &str,
+        config_text: &str,
+        fault_seed: Option<u64>,
+        clock: &Clock,
+    ) -> Option<ProfileCapture> {
+        let dir = PathBuf::from(std::env::var_os(PROFILE_ENV)?);
+        fs::create_dir_all(&dir).expect("VIYOJIT_PROFILE directory must be creatable");
+        let n = RUN_COUNTER.fetch_add(1, Ordering::Relaxed);
+        Some(ProfileCapture {
+            stem: dir.join(format!("{bench}-{n:03}-{label}")),
+            meta: RunMeta::new(bench, backend, config_text, fault_seed),
+            telemetry: Telemetry::recording(clock.clone()),
+            profiler: Profiler::enabled(clock.clone()),
+        })
+    }
+
+    /// Attaches the recording telemetry and the profiler to a store.
+    pub fn attach<H: NvStore>(&self, nv: &mut H) {
+        nv.attach_telemetry(self.telemetry.clone());
+        nv.attach_profiler(self.profiler.clone());
+    }
+
+    /// The capture's profiler handle, for instrumenting non-store code.
+    pub fn profiler(&self) -> Profiler {
+        self.profiler.clone()
+    }
+
+    /// Writes the JSONL trace and the `.folded` flamegraph input,
+    /// returning the trace path.
+    pub fn finish(self) -> PathBuf {
+        let report = self
+            .profiler
+            .report()
+            .expect("capture profilers are always enabled");
+        // Labels may contain dots (fault rates), so append the suffix
+        // rather than letting `with_extension` truncate at the first one.
+        let jsonl = path_with_suffix(&self.stem, "jsonl");
+        let file = File::create(&jsonl).expect("profile trace must be writable");
+        let mut sink = JsonlSink::new(BufWriter::new(file));
+        sink.meta(&self.meta);
+        self.telemetry.drain_into(&mut sink);
+        sink.profile(&report);
+        use std::io::Write;
+        sink.into_inner()
+            .flush()
+            .expect("profile trace must be flushable");
+        report
+            .write_folded(
+                File::create(path_with_suffix(&self.stem, "folded")).expect("folded output"),
+            )
+            .expect("folded output must be writable");
+        jsonl
+    }
+}
+
+fn path_with_suffix(stem: &Path, suffix: &str) -> PathBuf {
+    let mut name = stem.as_os_str().to_os_string();
+    name.push(".");
+    name.push(suffix);
+    PathBuf::from(name)
+}

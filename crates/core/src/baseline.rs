@@ -60,6 +60,13 @@ impl NvdramBaseline {
         self.0.attach_telemetry(telemetry);
     }
 
+    /// Attaches a virtual-time profiler. The baseline has no control loop
+    /// to span, so this instruments only the MMU access costs and the
+    /// SSD's device-time accounting.
+    pub fn attach_profiler(&mut self, profiler: telemetry::Profiler) {
+        self.0.attach_profiler(profiler);
+    }
+
     /// Attaches a fault-injection plan (shared with the backing SSD).
     pub fn attach_faults(&mut self, faults: fault_sim::FaultPlan) {
         self.0.attach_faults(faults);

@@ -10,7 +10,7 @@
 //! never traps at all.
 
 use mem_sim::{AccessError, Mmu, PageId, WalkOptions, PAGE_SIZE};
-use telemetry::TraceEvent;
+use telemetry::{CostClass, TraceEvent};
 
 use crate::codec::{encoded_page_bytes, page_content_hash, DEDUP_RECORD_BYTES};
 use crate::{DirtySet, FlushCodec, InvariantViolation, PageState, RegionInfo, ViyojitConfig};
@@ -94,7 +94,7 @@ pub trait DirtyTracker: Sized + std::fmt::Debug {
     /// Enumerates what the design obliges the battery to flush at a power
     /// failure: the pages to submit (with their physical payloads) plus
     /// the obligation the report accounts for. The engine's emergency
-    /// executor (see [`super::emergency`]) then steps the obligation
+    /// executor (the `emergency` module) then steps the obligation
     /// against the (possibly faulty) SSD and the battery's hold-up energy.
     fn failure_obligation(core: &mut EngineCore, backend: &mut Self) -> FlushObligation;
 
@@ -165,6 +165,7 @@ fn physical_flush_bytes(
 
 /// The write-protection fault handler (Fig. 6 steps 3-8).
 fn handle_fault(core: &mut EngineCore, sw: &mut SoftwareWalk, page: PageId) {
+    let _span = core.profiler.span(CostClass::WpTrap);
     core.stats.faults_handled += 1;
     core.telemetry
         .emit(|| TraceEvent::WriteFault { page: page.0 });
@@ -441,6 +442,7 @@ fn mapped_pages(core: &EngineCore) -> Vec<PageId> {
 /// Handles the §5.4 dirty-limit interrupt: free one hardware slot by
 /// flushing, waiting for completions as needed.
 fn handle_limit_interrupt(core: &mut EngineCore, hw: &mut MmuAssisted) {
+    let _span = core.profiler.span(CostClass::WpTrap);
     core.stats.faults_handled += 1;
     retire_completions(core, hw);
     let budget = core.config.dirty_budget_pages;

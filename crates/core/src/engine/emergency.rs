@@ -18,7 +18,7 @@
 use battery_sim::{Battery, PowerModel};
 use mem_sim::PageId;
 use sim_clock::SimDuration;
-use telemetry::TraceEvent;
+use telemetry::{CostClass, TraceEvent};
 
 use crate::{FlushOutcome, PowerFailureReport};
 
@@ -109,13 +109,16 @@ pub(crate) fn execute(
             let data = core.mmu.page_data(item.page).to_vec();
             core.ssd.submit_write_sized(item.page, &data, item.payload);
         }
+        let flush_time = core.ssd.config().drain_time(obligation_bytes);
+        core.profiler
+            .aux_charge(CostClass::EmergencyFlush, flush_time);
         return PowerFailureReport {
             dirty_pages: obligation_pages,
             pages_flushed: obligation_pages,
             pages_lost: 0,
             retries: 0,
             bytes_flushed: obligation_bytes,
-            flush_time: core.ssd.config().drain_time(obligation_bytes),
+            flush_time,
             energy_margin_joules: f64::INFINITY,
             outcome: FlushOutcome::Complete,
         };
@@ -144,6 +147,7 @@ pub(crate) fn execute(
     let mut pages_flushed = obligation_pages - items.len() as u64;
     let mut pages_lost = 0u64;
     let mut retries = 0u64;
+    let mut backoff_total = SimDuration::ZERO;
     let mut bytes_flushed = 0u64;
     let mut exhausted = false;
     let ssd_config = core.ssd.config().clone();
@@ -170,6 +174,8 @@ pub(crate) fn execute(
                 break false;
             }
             let backoff = backoff_after(attempt);
+            core.profiler.aux_charge(CostClass::FaultRetry, backoff);
+            backoff_total += backoff;
             core.stats.flush_retries += 1;
             retries += 1;
             core.telemetry.emit(|| TraceEvent::FlushRetry {
@@ -228,6 +234,14 @@ pub(crate) fn execute(
         pages_lost,
         retries,
     });
+    // The emergency flush runs on its own timeline while the shared clock
+    // is frozen, so it is accounted off-conservation: device/stall time
+    // under `emergency_flush`, retry backoff separately under
+    // `fault_retry` (the two aux classes partition `elapsed`).
+    core.profiler.aux_charge(
+        CostClass::EmergencyFlush,
+        elapsed.saturating_sub(backoff_total),
+    );
     PowerFailureReport {
         dirty_pages: obligation_pages,
         pages_flushed,

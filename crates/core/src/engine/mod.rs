@@ -37,7 +37,7 @@ use fault_sim::FaultPlan;
 use mem_sim::{AccessError, Mmu, MmuStats, PageId, TlbStats, PAGE_SIZE};
 use sim_clock::{Clock, CostModel, SimTime};
 use ssd_sim::{Ssd, SsdConfig, SsdStats};
-use telemetry::{FlushReason, Telemetry, TraceEvent};
+use telemetry::{CostClass, FlushReason, Profiler, Telemetry, TraceEvent};
 
 use crate::{
     InvariantViolation, NvHeap, PowerFailureReport, PressureEstimator, RegionId, RegionInfo,
@@ -70,6 +70,9 @@ pub struct EngineCore {
     pub(crate) current_threshold: u64,
     pub(crate) stats: ViyojitStats,
     pub(crate) telemetry: Telemetry,
+    /// Virtual-time profiler shared with the MMU and SSD; disabled by
+    /// default, in which case every span/charge is a no-op.
+    pub(crate) profiler: Profiler,
     /// Fault-injection plan shared with the backing SSD; inactive by
     /// default, in which case every fault hook is an identity and the
     /// engine behaves byte-identically to a build without fault support.
@@ -145,6 +148,7 @@ impl<B: DirtyTracker> Engine<B> {
                 current_threshold: config.dirty_budget_pages,
                 stats: ViyojitStats::default(),
                 telemetry: Telemetry::disabled(),
+                profiler: Profiler::disabled(),
                 faults: FaultPlan::none(),
                 config,
                 clock,
@@ -208,6 +212,19 @@ impl<B: DirtyTracker> Engine<B> {
     pub fn attach_telemetry(&mut self, telemetry: Telemetry) {
         self.core.ssd.attach_telemetry(telemetry.clone());
         self.core.telemetry = telemetry;
+    }
+
+    /// Attaches a virtual-time profiler (shared with the MMU, which charges
+    /// per-access hardware costs against it, and the SSD, which accounts
+    /// device time off-clock). The engine then wraps its control-flow
+    /// phases — fault handling, epoch walks, budget stalls, copy-out waits,
+    /// governor actions — in causal spans so every virtual nanosecond is
+    /// attributed to exactly one leaf. The profiler only observes the
+    /// clock; results are identical with or without one attached.
+    pub fn attach_profiler(&mut self, profiler: Profiler) {
+        self.core.mmu.attach_profiler(profiler.clone());
+        self.core.ssd.attach_profiler(profiler.clone());
+        self.core.profiler = profiler;
     }
 
     /// Attaches a fault-injection plan (shared with the backing SSD, which
@@ -300,6 +317,7 @@ impl<B: DirtyTracker> Engine<B> {
     ) -> Option<u64> {
         let ssd = self.core.ssd.stats();
         let budget = governor.observe(reported_health, &ssd)?;
+        let _span = self.core.profiler.span(CostClass::GovernorAction);
         let degraded = matches!(governor.mode(), DegradedMode::Degraded(_));
         self.core
             .telemetry
@@ -483,6 +501,8 @@ pub(crate) fn run_epoch<B: DirtyTracker>(core: &mut EngineCore, backend: &mut B)
     core.stats.epochs += 1;
     core.history.advance_epoch();
     let epoch = core.history.current_epoch();
+    core.profiler.set_epoch(epoch);
+    let _span = core.profiler.span(CostClass::EpochWalk);
 
     let (walked, new_dirty) = B::epoch_walk(core, backend);
     core.telemetry.emit(|| TraceEvent::EpochWalk {
@@ -601,7 +621,13 @@ pub(crate) fn stall_until_dirty_at_most<B: DirtyTracker>(
     event_budget: u64,
 ) {
     let mut stalled = false;
+    let mut span = None;
     while backend.dirty_count(core) > limit {
+        // Open the span lazily so calls that find the budget already
+        // satisfied leave no trace (they move no virtual time either).
+        if span.is_none() {
+            span = Some(core.profiler.span(CostClass::BudgetStall));
+        }
         if core.inflight.is_empty() {
             let victim = B::pick_forced_victim(core, backend);
             issue_flush(core, backend, victim, FlushReason::Forced);
@@ -641,6 +667,7 @@ pub(crate) fn wait_for_page_io<B: DirtyTracker>(
         .find(|&&(_, p)| p == page)
         .map(|&(t, _)| t)
         .expect("in-flight page has a pending IO");
+    let _span = core.profiler.span(CostClass::CopyOutIo);
     core.clock.advance_to(done);
     retire_completions(core, backend);
 }

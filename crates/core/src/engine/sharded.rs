@@ -22,7 +22,7 @@ use fault_sim::FaultPlan;
 use mem_sim::MmuStats;
 use sim_clock::{Clock, CostModel, SimDuration, SimTime};
 use ssd_sim::{SsdConfig, SsdStats};
-use telemetry::{intern_metric_name, Telemetry, TraceEvent};
+use telemetry::{intern_metric_name, Profiler, Telemetry, TraceEvent};
 
 use crate::{
     FlushOutcome, InvariantViolation, NvHeap, PowerFailureReport, RegionId, ViyojitConfig,
@@ -37,6 +37,8 @@ use super::{BudgetArbiter, DegradationGovernor, DegradedMode, DirtyTracker, Engi
 struct ShardMetricNames {
     dirty_pages: &'static str,
     budget_pages: &'static str,
+    /// Profiler frame name (`shard{i}`) for per-shard span attribution.
+    frame: &'static str,
 }
 
 /// N Viyojit shards sharing one battery's dirty budget.
@@ -78,6 +80,7 @@ pub struct ShardedViyojit<B: DirtyTracker = SoftwareWalk> {
     rebalance_period: SimDuration,
     next_rebalance_at: SimTime,
     telemetry: Telemetry,
+    profiler: Profiler,
     metric_names: Vec<ShardMetricNames>,
 }
 
@@ -125,6 +128,7 @@ impl<B: DirtyTracker> ShardedViyojit<B> {
             .map(|i| ShardMetricNames {
                 dirty_pages: intern_metric_name(format!("sharded.shard{i}.dirty_pages")),
                 budget_pages: intern_metric_name(format!("sharded.shard{i}.budget_pages")),
+                frame: intern_metric_name(format!("shard{i}")),
             })
             .collect();
         let next_rebalance_at = clock.now() + rebalance_period;
@@ -136,6 +140,7 @@ impl<B: DirtyTracker> ShardedViyojit<B> {
             rebalance_period,
             next_rebalance_at,
             telemetry: Telemetry::disabled(),
+            profiler: Profiler::disabled(),
             metric_names,
         }
     }
@@ -241,6 +246,19 @@ impl<B: DirtyTracker> ShardedViyojit<B> {
             shard.attach_telemetry(telemetry.clone());
         }
         self.telemetry = telemetry;
+    }
+
+    /// Attaches a virtual-time profiler to the frontend and every shard.
+    ///
+    /// Shard entry points (routed reads/writes, rebalance budget moves)
+    /// are wrapped in per-shard `shard{i}` scopes, so one flamegraph shows
+    /// which shard's control loop the virtual time went to — the engine's
+    /// own spans nest underneath (`app;shard2;wp_trap;...`).
+    pub fn attach_profiler(&mut self, profiler: Profiler) {
+        for shard in &mut self.shards {
+            shard.attach_profiler(profiler.clone());
+        }
+        self.profiler = profiler;
     }
 
     /// Attaches one fault plan to every shard (shards share the plan's
@@ -419,8 +437,9 @@ impl<B: DirtyTracker> ShardedViyojit<B> {
     pub fn rebalance(&mut self) {
         let before: Vec<ViyojitStats> = self.shards.iter().map(|s| s.stats()).collect();
         let targets = self.arbiter.plan(&before);
-        for (shard, &target) in self.shards.iter_mut().zip(&targets) {
+        for (i, (shard, &target)) in self.shards.iter_mut().zip(&targets).enumerate() {
             if target < shard.dirty_budget() {
+                let _scope = self.profiler.scope(self.metric_names[i].frame);
                 shard.set_dirty_budget(target);
             }
         }
@@ -488,14 +507,20 @@ impl<B: DirtyTracker> NvHeap for ShardedViyojit<B> {
 
     fn read(&mut self, region: RegionId, offset: u64, buf: &mut [u8]) -> Result<(), ViyojitError> {
         let (shard, local) = self.route(region)?;
-        self.shards[shard].read(local, offset, buf)?;
+        {
+            let _scope = self.profiler.scope(self.metric_names[shard].frame);
+            self.shards[shard].read(local, offset, buf)?;
+        }
         self.maybe_rebalance();
         Ok(())
     }
 
     fn write(&mut self, region: RegionId, offset: u64, data: &[u8]) -> Result<(), ViyojitError> {
         let (shard, local) = self.route(region)?;
-        self.shards[shard].write(local, offset, data)?;
+        {
+            let _scope = self.profiler.scope(self.metric_names[shard].frame);
+            self.shards[shard].write(local, offset, data)?;
+        }
         self.maybe_rebalance();
         Ok(())
     }

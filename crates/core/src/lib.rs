@@ -102,6 +102,7 @@ pub use fault_sim::{FaultConfig, FaultPlan, FaultStats};
 // Re-export the telemetry vocabulary so stores and drivers can be
 // instrumented without naming the telemetry crate directly.
 pub use telemetry::{
-    CsvSink, EpochSnapshot, FaultKind, FlushReason, JsonlSink, MetricsRegistry, NullSink, Sink,
-    Telemetry, TelemetryConfig, TraceEvent, TracedEvent,
+    fnv1a_64, CostClass, CsvSink, EpochSnapshot, FaultKind, FlushReason, JsonlSink,
+    MetricsRegistry, NullSink, ProfileReport, Profiler, RunMeta, Sink, Telemetry, TelemetryConfig,
+    TraceEvent, TracedEvent,
 };

@@ -11,7 +11,7 @@
 
 use fault_sim::FaultPlan;
 use sim_clock::{Clock, SimDuration};
-use telemetry::Telemetry;
+use telemetry::{Profiler, Telemetry};
 
 use crate::engine::{DirtyTracker, Engine, ShardedViyojit};
 use crate::{NvHeap, NvdramBaseline, PowerFailureReport, ViyojitStats};
@@ -57,6 +57,11 @@ pub trait NvStore: NvHeap {
     /// Attaches a telemetry handle to the store (and its backing SSD).
     fn attach_telemetry(&mut self, telemetry: Telemetry);
 
+    /// Attaches a virtual-time profiler to the store (and its MMU and
+    /// SSD). The default ignores the handle — stores without span
+    /// instrumentation simply record nothing.
+    fn attach_profiler(&mut self, _profiler: Profiler) {}
+
     /// Attaches a fault-injection plan to the store (and its backing
     /// SSD). The default ignores the plan — stores without fault support
     /// simply never inject.
@@ -95,6 +100,9 @@ impl<B: DirtyTracker> NvStore for Engine<B> {
     fn attach_telemetry(&mut self, telemetry: Telemetry) {
         Engine::attach_telemetry(self, telemetry);
     }
+    fn attach_profiler(&mut self, profiler: Profiler) {
+        Engine::attach_profiler(self, profiler);
+    }
     fn attach_faults(&mut self, faults: FaultPlan) {
         Engine::attach_faults(self, faults);
     }
@@ -125,6 +133,9 @@ impl NvStore for NvdramBaseline {
     fn attach_telemetry(&mut self, telemetry: Telemetry) {
         NvdramBaseline::attach_telemetry(self, telemetry);
     }
+    fn attach_profiler(&mut self, profiler: Profiler) {
+        NvdramBaseline::attach_profiler(self, profiler);
+    }
     fn attach_faults(&mut self, faults: FaultPlan) {
         NvdramBaseline::attach_faults(self, faults);
     }
@@ -154,6 +165,9 @@ impl<B: DirtyTracker> NvStore for ShardedViyojit<B> {
     }
     fn attach_telemetry(&mut self, telemetry: Telemetry) {
         ShardedViyojit::attach_telemetry(self, telemetry);
+    }
+    fn attach_profiler(&mut self, profiler: Profiler) {
+        ShardedViyojit::attach_profiler(self, profiler);
     }
     fn attach_faults(&mut self, faults: FaultPlan) {
         ShardedViyojit::attach_faults(self, faults);

@@ -5,6 +5,7 @@ use std::error::Error;
 use std::fmt;
 
 use sim_clock::{Clock, CostModel};
+use telemetry::{CostClass, Profiler};
 
 use crate::{PageId, PageTable, Tlb, PAGE_SIZE};
 
@@ -144,6 +145,8 @@ pub struct Mmu {
     memory: Vec<u8>,
     clock: Clock,
     costs: CostModel,
+    /// Attribution of the costs this MMU charges; disabled by default.
+    profiler: Profiler,
     stats: MmuStats,
     /// §5.4 hardware dirty accounting: when set, the MMU counts dirty-bit
     /// transitions and refuses (with [`AccessError::DirtyLimitReached`])
@@ -198,6 +201,7 @@ impl Mmu {
             memory: vec![0u8; pages * PAGE_SIZE],
             clock,
             costs,
+            profiler: Profiler::disabled(),
             stats: MmuStats::default(),
             dirty_limit: None,
             dirty_counted: 0,
@@ -272,6 +276,13 @@ impl Mmu {
         &self.costs
     }
 
+    /// Attaches a profiler; every cost this MMU charges to the clock is
+    /// then attributed to its [`CostClass`] (TLB hit/miss, DRAM line,
+    /// WP trap, PTE update, walk). Disabled by default.
+    pub fn attach_profiler(&mut self, profiler: Profiler) {
+        self.profiler = profiler;
+    }
+
     fn check_range(&self, addr: u64, len: usize) -> Result<(), AccessError> {
         if addr
             .checked_add(len as u64)
@@ -289,9 +300,12 @@ impl Mmu {
         if let Some(entry) = self.tlb.lookup(page) {
             let view = (entry.writable, entry.dirty, entry.shadow);
             self.clock.advance(self.costs.tlb_hit);
+            self.profiler.charge(CostClass::TlbHit, self.costs.tlb_hit);
             view
         } else {
             self.clock.advance(self.costs.tlb_miss);
+            self.profiler
+                .charge(CostClass::TlbMiss, self.costs.tlb_miss);
             let flags = self.page_table.flags(page);
             self.page_table.set_accessed(page, true);
             self.tlb.fill(page, flags);
@@ -320,7 +334,9 @@ impl Mmu {
             self.translate(page);
             let (chunk, rest) = remaining.split_at_mut(in_page);
             chunk.copy_from_slice(&self.memory[off as usize..off as usize + in_page]);
-            self.clock.advance(self.costs.dram_access(in_page));
+            let cost = self.costs.dram_access(in_page);
+            self.clock.advance(cost);
+            self.profiler.charge(CostClass::DramAccess, cost);
             remaining = rest;
             off += in_page as u64;
         }
@@ -358,6 +374,8 @@ impl Mmu {
         if !writable {
             self.stats.write_faults += 1;
             self.clock.advance(self.costs.write_fault);
+            self.profiler
+                .charge(CostClass::WpTrap, self.costs.write_fault);
             return Err(AccessError::WriteProtected(page));
         }
         // Hardware dirty-bit protocol: only a write through a translation
@@ -371,6 +389,8 @@ impl Mmu {
                         // instead of completing the write.
                         self.stats.write_faults += 1;
                         self.clock.advance(self.costs.write_fault);
+                        self.profiler
+                            .charge(CostClass::WpTrap, self.costs.write_fault);
                         return Err(AccessError::DirtyLimitReached(page));
                     }
                     self.dirty_counted += 1;
@@ -399,7 +419,9 @@ impl Mmu {
         for sector in first_sector..=last_sector {
             self.sector_masks[page.index()] |= 1 << sector;
         }
-        self.clock.advance(self.costs.dram_access(data.len()));
+        let cost = self.costs.dram_access(data.len());
+        self.clock.advance(cost);
+        self.profiler.charge(CostClass::DramAccess, cost);
         self.stats.writes += 1;
         self.stats.bytes_written += data.len() as u64;
         Ok(())
@@ -442,6 +464,8 @@ impl Mmu {
         self.page_table.set_writable(page, false);
         self.tlb.invalidate(page);
         self.clock.advance(self.costs.pte_protect);
+        self.profiler
+            .charge(CostClass::PteUpdate, self.costs.pte_protect);
     }
 
     /// Removes write protection from `page`, invalidating its TLB entry.
@@ -453,6 +477,8 @@ impl Mmu {
         self.page_table.set_writable(page, true);
         self.tlb.invalidate(page);
         self.clock.advance(self.costs.pte_protect);
+        self.profiler
+            .charge(CostClass::PteUpdate, self.costs.pte_protect);
     }
 
     /// Epoch walk (§5.2): reads and clears the dirty bit of each page in
@@ -473,6 +499,8 @@ impl Mmu {
             self.tlb.flush();
             if options.charge_costs {
                 self.clock.advance(self.costs.tlb_flush);
+                self.profiler
+                    .charge(CostClass::TlbFlush, self.costs.tlb_flush);
             }
         }
         let mut dirty = Vec::new();
@@ -483,6 +511,12 @@ impl Mmu {
             if self.page_table.take_dirty(page) {
                 dirty.push(page);
             }
+        }
+        if options.charge_costs {
+            // One bulk attribution for the whole scan: the watermark model
+            // folds every per-PTE advance above into a single charge.
+            self.profiler
+                .charge(CostClass::PteWalk, self.costs.pte_walk * pages.len() as u64);
         }
         dirty
     }
@@ -495,6 +529,8 @@ impl Mmu {
             self.tlb.flush();
             if options.charge_costs {
                 self.clock.advance(self.costs.tlb_flush);
+                self.profiler
+                    .charge(CostClass::TlbFlush, self.costs.tlb_flush);
             }
         }
         let mut updated = Vec::new();
@@ -505,6 +541,10 @@ impl Mmu {
             if self.page_table.take_shadow_dirty(page) {
                 updated.push(page);
             }
+        }
+        if options.charge_costs {
+            self.profiler
+                .charge(CostClass::PteWalk, self.costs.pte_walk * pages.len() as u64);
         }
         updated
     }
@@ -699,6 +739,50 @@ mod tests {
         m.protect_page(PageId(0));
         let _ = m.write(0, b"x");
         assert_eq!(clock.now().as_micros(), 4);
+    }
+
+    #[test]
+    fn profiler_attributes_every_mmu_charge() {
+        let clock = Clock::new();
+        let costs = CostModel::free()
+            .with_tlb_miss(SimDuration::from_nanos(100))
+            .with_dram_line_access(SimDuration::from_nanos(10))
+            .with_write_fault(SimDuration::from_micros(4))
+            .with_pte_protect(SimDuration::from_nanos(400));
+        let mut m = Mmu::new(1, clock.clone(), costs);
+        let profiler = telemetry::Profiler::enabled(clock.clone());
+        m.attach_profiler(profiler.clone());
+
+        m.write(0, b"x").unwrap(); // TLB miss + one DRAM line
+        m.protect_page(PageId(0)); // PTE update, invalidates the TLB entry
+        let _ = m.write(0, b"y"); // TLB miss again + WP trap
+
+        let report = profiler.report().unwrap();
+        assert!(report.is_conserved());
+        assert_eq!(report.class_nanos("tlb_miss"), 200);
+        assert_eq!(report.class_nanos("dram_access"), 10);
+        assert_eq!(report.class_nanos("pte_update"), 400);
+        assert_eq!(report.class_nanos("wp_trap"), 4_000);
+        assert_eq!(report.elapsed.as_nanos(), 4_610);
+    }
+
+    #[test]
+    fn profiler_attributes_foreground_walks() {
+        let clock = Clock::new();
+        let costs = CostModel::free()
+            .with_tlb_flush(SimDuration::from_micros(12))
+            .with_pte_walk(SimDuration::from_nanos(60));
+        let mut m = Mmu::new(4, clock.clone(), costs);
+        let profiler = telemetry::Profiler::enabled(clock.clone());
+        m.attach_profiler(profiler.clone());
+
+        let pages: Vec<PageId> = (0..4).map(PageId).collect();
+        m.walk_and_clear_dirty(&pages, WalkOptions::exact_foreground());
+
+        let report = profiler.report().unwrap();
+        assert!(report.is_conserved());
+        assert_eq!(report.class_nanos("tlb_flush"), 12_000);
+        assert_eq!(report.class_nanos("pte_walk"), 4 * 60);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use fault_sim::FaultPlan;
 use mem_sim::{PageId, PAGE_SIZE};
 use sim_clock::{Clock, SimDuration, SimTime};
-use telemetry::{Telemetry, TraceEvent};
+use telemetry::{CostClass, Profiler, Telemetry, TraceEvent};
 
 use crate::WearTracker;
 
@@ -140,6 +140,7 @@ pub struct Ssd {
     stats: SsdStats,
     wear: WearTracker,
     telemetry: Telemetry,
+    profiler: Profiler,
     faults: FaultPlan,
 }
 
@@ -157,6 +158,7 @@ impl Ssd {
             stats: SsdStats::default(),
             wear,
             telemetry: Telemetry::disabled(),
+            profiler: Profiler::disabled(),
             faults: FaultPlan::none(),
         }
     }
@@ -186,6 +188,15 @@ impl Ssd {
     /// writes into its registry.
     pub fn attach_telemetry(&mut self, telemetry: Telemetry) {
         self.telemetry = telemetry;
+    }
+
+    /// Attaches a profiler; each serviced IO then records its channel
+    /// queue wait and its device busy time (program latency + bus
+    /// transfer) in the profiler's auxiliary table. Device time overlaps
+    /// wall time across channels, so it is accounted off-clock and never
+    /// against the span-conservation invariant.
+    pub fn attach_profiler(&mut self, profiler: Profiler) {
+        self.profiler = profiler;
     }
 
     /// Attaches a fault plan; subsequent [`Ssd::try_submit_write_sized`]
@@ -270,9 +281,15 @@ impl Ssd {
             .min_by_key(|&(_, &t)| t)
             .expect("at least one channel");
         let start = now.max(free);
-        let done = start + latency + self.config.transfer_time(bytes);
+        let busy = latency + self.config.transfer_time(bytes);
+        let done = start + busy;
         self.channel_free[idx] = done;
         self.inflight.push(done);
+        let wait = start.saturating_since(now);
+        if !wait.is_zero() {
+            self.profiler.aux_charge(CostClass::SsdQueueWait, wait);
+        }
+        self.profiler.aux_charge(CostClass::SsdTransfer, busy);
         done
     }
 
@@ -504,6 +521,32 @@ mod tests {
         let earliest = ssd.earliest_completion().unwrap();
         clock.advance_to(earliest);
         assert_eq!(ssd.outstanding(), 0, "all IOs complete at the same instant");
+    }
+
+    #[test]
+    fn profiler_splits_queue_wait_from_device_busy_time() {
+        let clock = Clock::new();
+        let cfg = SsdConfig {
+            write_latency: SimDuration::from_micros(10),
+            read_latency: SimDuration::from_micros(10),
+            bandwidth_bytes_per_sec: u64::MAX,
+            channels: 1,
+            pages_per_block: 64,
+            write_amplification: 1.0,
+        };
+        let mut ssd = Ssd::new(4, cfg, clock.clone());
+        let profiler = Profiler::enabled(clock.clone());
+        ssd.attach_profiler(profiler.clone());
+        ssd.submit_write(PageId(0), &page(1)); // starts immediately
+        ssd.submit_write(PageId(1), &page(2)); // queues 10us behind it
+        let report = profiler.report().unwrap();
+        // Device time is off-clock: conservation still holds at 0 elapsed.
+        assert!(report.is_conserved());
+        assert_eq!(report.elapsed, SimDuration::ZERO);
+        assert_eq!(
+            report.aux,
+            vec![("ssd_queue_wait", 1, 10_000), ("ssd_transfer", 2, 20_000)]
+        );
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //! - **Sinks** ([`Sink`]) — [`CsvSink`] (the historical figure layout,
 //!   byte for byte), [`JsonlSink`], and [`NullSink`], plus the shared
 //!   [`Report`] writer used by every bench binary.
+//! - **Profiler** ([`Profiler`]) — causal span attribution of every
+//!   virtual nanosecond to a [`CostClass`], with an exact conservation
+//!   invariant and folded-stack (flamegraph) export.
 //!
 //! # Determinism
 //!
@@ -43,12 +46,14 @@
 
 mod event;
 mod metrics;
+mod profile;
 mod report;
 mod ring;
 mod sink;
 
 pub use event::{FaultKind, FlushReason, TraceEvent, TracedEvent};
 pub use metrics::{intern_metric_name, CounterSample, EpochSnapshot, MetricsRegistry};
+pub use profile::{fnv1a_64, CostClass, ProfileReport, Profiler, RunMeta, SpanGuard, ROOT_FRAME};
 pub use report::Report;
 pub use ring::{TraceRing, DEFAULT_RING_CAPACITY};
 pub use sink::{csv_stdout, CsvSink, JsonlSink, NullSink, Sink};
@@ -157,10 +162,19 @@ impl Telemetry {
 
     /// Closes an epoch: snapshots the registry at the current virtual
     /// time and appends it to the snapshot log.
+    ///
+    /// Ring overflow is surfaced here: once any event has been evicted,
+    /// every subsequent snapshot carries a `telemetry.dropped_events`
+    /// counter so the loss is visible in reports and traces.
     pub fn snapshot_epoch(&self, epoch: u64) {
         if let Some(recorder) = &self.recorder {
             let mut rec = recorder.lock().expect("telemetry poisoned");
             let at = rec.clock.now();
+            let dropped = rec.ring.dropped();
+            if dropped > 0 {
+                rec.registry
+                    .counter_set("telemetry.dropped_events", dropped);
+            }
             let snap = rec.registry.snapshot(epoch, at);
             rec.snapshots.push(snap);
         }
@@ -208,11 +222,20 @@ impl Telemetry {
     }
 
     /// Streams every retained event, then every snapshot, into a sink.
+    ///
+    /// If the ring overflowed, a note reporting the evicted-event count
+    /// precedes the snapshots instead of the loss staying silent.
     pub fn drain_into(&self, sink: &mut dyn Sink) {
         if let Some(recorder) = &self.recorder {
             let rec = recorder.lock().expect("telemetry poisoned");
             for event in rec.ring.iter() {
                 sink.event(event);
+            }
+            let dropped = rec.ring.dropped();
+            if dropped > 0 {
+                sink.note(&format!(
+                    "telemetry: trace ring overflowed, {dropped} oldest events dropped"
+                ));
             }
             for snap in &rec.snapshots {
                 sink.snapshot(snap);

@@ -9,6 +9,7 @@ use std::fmt;
 
 use crate::event::TracedEvent;
 use crate::metrics::EpochSnapshot;
+use crate::profile::{ProfileReport, RunMeta};
 use crate::sink::{csv_stdout, Sink};
 
 /// Multi-sink report writer.
@@ -80,6 +81,20 @@ impl Report {
         let text = args.to_string();
         for sink in &mut self.sinks {
             sink.note(&text);
+        }
+    }
+
+    /// Stamps the run-identity header on every sink.
+    pub fn meta(&mut self, meta: &RunMeta) {
+        for sink in &mut self.sinks {
+            sink.meta(meta);
+        }
+    }
+
+    /// Forwards a profiler attribution report to every sink.
+    pub fn profile(&mut self, report: &ProfileReport) {
+        for sink in &mut self.sinks {
+            sink.profile(report);
         }
     }
 

@@ -12,6 +12,7 @@ use std::io::{self, Write};
 
 use crate::event::TracedEvent;
 use crate::metrics::EpochSnapshot;
+use crate::profile::{ProfileReport, RunMeta};
 
 /// Receiver of report content and structured telemetry.
 ///
@@ -20,6 +21,14 @@ use crate::metrics::EpochSnapshot;
 pub trait Sink {
     /// Starts a titled section (a figure, a sweep, a summary block).
     fn section(&mut self, _title: &str) {}
+
+    /// Stamps the run-identity header (written before any other record
+    /// so `viyojit-trace diff` can refuse incomparable traces).
+    fn meta(&mut self, _meta: &RunMeta) {}
+
+    /// Emits a profiler attribution report (folded paths, aux table,
+    /// and the conservation totals).
+    fn profile(&mut self, _report: &ProfileReport) {}
 
     /// Declares the column names of the rows that follow.
     fn columns(&mut self, _columns: &[&str]) {}
@@ -82,6 +91,31 @@ impl<W: Write> Sink for CsvSink<W> {
     fn section(&mut self, title: &str) {
         self.line("");
         self.line(&format!("# {title}"));
+    }
+
+    fn meta(&mut self, meta: &RunMeta) {
+        let seed = match meta.fault_seed {
+            Some(seed) => seed.to_string(),
+            None => "none".to_string(),
+        };
+        self.line(&format!(
+            "meta,{},{},{},{:016x},{seed}",
+            meta.version, meta.bench, meta.backend, meta.config_hash
+        ));
+    }
+
+    fn profile(&mut self, report: &ProfileReport) {
+        for (path, nanos) in &report.folded {
+            self.line(&format!("profile,{path},{nanos}"));
+        }
+        for (class, count, nanos) in &report.aux {
+            self.line(&format!("profile_aux,{class},{count},{nanos}"));
+        }
+        self.line(&format!(
+            "profile_total,{},{}",
+            report.elapsed.as_nanos(),
+            report.attributed.as_nanos()
+        ));
     }
 
     fn columns(&mut self, columns: &[&str]) {
@@ -198,6 +232,45 @@ impl<W: Write> Sink for JsonlSink<W> {
         let mut line = String::from("{\"type\":\"section\",\"title\":\"");
         push_json_escaped(&mut line, title);
         line.push_str("\"}");
+        self.line(&line);
+    }
+
+    fn meta(&mut self, meta: &RunMeta) {
+        let mut line = String::from("{\"type\":\"meta\",\"version\":\"");
+        push_json_escaped(&mut line, &meta.version);
+        line.push_str("\",\"bench\":\"");
+        push_json_escaped(&mut line, &meta.bench);
+        line.push_str("\",\"backend\":\"");
+        push_json_escaped(&mut line, &meta.backend);
+        let _ = write!(line, "\",\"config_hash\":\"{:016x}\"", meta.config_hash);
+        match meta.fault_seed {
+            Some(seed) => {
+                let _ = write!(line, ",\"fault_seed\":{seed}");
+            }
+            None => line.push_str(",\"fault_seed\":null"),
+        }
+        line.push('}');
+        self.line(&line);
+    }
+
+    fn profile(&mut self, report: &ProfileReport) {
+        for (path, nanos) in &report.folded {
+            let mut line = String::from("{\"type\":\"profile\",\"stack\":\"");
+            push_json_escaped(&mut line, path);
+            let _ = write!(line, "\",\"nanos\":{nanos}}}");
+            self.line(&line);
+        }
+        for (class, count, nanos) in &report.aux {
+            let line = format!(
+                "{{\"type\":\"profile_aux\",\"class\":\"{class}\",\"count\":{count},\"nanos\":{nanos}}}"
+            );
+            self.line(&line);
+        }
+        let line = format!(
+            "{{\"type\":\"profile_total\",\"elapsed_ns\":{},\"attributed_ns\":{}}}",
+            report.elapsed.as_nanos(),
+            report.attributed.as_nanos()
+        );
         self.line(&line);
     }
 
@@ -332,6 +405,64 @@ mod tests {
             "{\"type\":\"row\",\"section\":\"fig \\\"x\\\"\",\"name\":\"zipf\",\"value\":0.99}"
         );
         assert!(lines[2].contains("\"col2\":\"extra\""));
+    }
+
+    #[test]
+    fn meta_and_profile_records_render_in_both_layouts() {
+        use crate::profile::{ProfileReport, RunMeta};
+        use sim_clock::SimDuration;
+
+        let meta = RunMeta {
+            version: "0.1.0".to_string(),
+            bench: "fig7".to_string(),
+            backend: "Viyojit".to_string(),
+            config_hash: 0xabcd,
+            fault_seed: Some(7),
+        };
+        let report = ProfileReport {
+            elapsed: SimDuration::from_nanos(12),
+            attributed: SimDuration::from_nanos(12),
+            folded: vec![("app".to_string(), 5), ("app;wp_trap".to_string(), 7)],
+            by_class: vec![("app", 5), ("wp_trap", 7)],
+            by_epoch: Vec::new(),
+            aux: vec![("ssd_transfer", 2, 60)],
+        };
+
+        let csv = render_csv(|s| {
+            s.meta(&meta);
+            s.profile(&report);
+        });
+        assert_eq!(
+            csv,
+            "meta,0.1.0,fig7,Viyojit,000000000000abcd,7\n\
+             profile,app,5\n\
+             profile,app;wp_trap,7\n\
+             profile_aux,ssd_transfer,2,60\n\
+             profile_total,12,12\n"
+        );
+
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.meta(&meta);
+        sink.profile(&report);
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines[0],
+            "{\"type\":\"meta\",\"version\":\"0.1.0\",\"bench\":\"fig7\",\
+             \"backend\":\"Viyojit\",\"config_hash\":\"000000000000abcd\",\"fault_seed\":7}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"type\":\"profile\",\"stack\":\"app\",\"nanos\":5}"
+        );
+        assert_eq!(
+            lines[3],
+            "{\"type\":\"profile_aux\",\"class\":\"ssd_transfer\",\"count\":2,\"nanos\":60}"
+        );
+        assert_eq!(
+            lines[4],
+            "{\"type\":\"profile_total\",\"elapsed_ns\":12,\"attributed_ns\":12}"
+        );
     }
 
     #[test]

@@ -1,0 +1,84 @@
+//! `viyojit-trace`: inspect JSONL traces written by the bench harness.
+//!
+//! ```text
+//! viyojit-trace summary <trace.jsonl>
+//! viyojit-trace check   <trace.jsonl>
+//! viyojit-trace latency <trace.jsonl>
+//! viyojit-trace diff    <a.jsonl> <b.jsonl> [--force]
+//! ```
+//!
+//! Exit codes: 0 on success, 1 when `check` finds a violation, 2 on
+//! usage errors, unreadable traces, or a refused `diff`.
+
+use std::process::ExitCode;
+
+use trace_tools::{check, diff, latencies, summarize, Trace};
+
+const USAGE: &str = "usage: viyojit-trace <summary|check|latency> <trace.jsonl>
+       viyojit-trace diff <a.jsonl> <b.jsonl> [--force]";
+
+fn load(path: &str) -> Result<Trace, ExitCode> {
+    Trace::load(path).map_err(|e| {
+        eprintln!("viyojit-trace: {path}: {e}");
+        ExitCode::from(2)
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(code) => code,
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, ExitCode> {
+    let usage = || {
+        eprintln!("{USAGE}");
+        ExitCode::from(2)
+    };
+    let (command, rest) = args.split_first().ok_or_else(usage)?;
+    match command.as_str() {
+        "summary" | "check" | "latency" => {
+            let [path] = rest else { return Err(usage()) };
+            let trace = load(path)?;
+            match command.as_str() {
+                "summary" => print!("{}", summarize(&trace)),
+                "check" => {
+                    let report = check(&trace);
+                    print!("{report}");
+                    if !report.passed() {
+                        return Ok(ExitCode::from(1));
+                    }
+                }
+                _ => {
+                    for pair in latencies(&trace) {
+                        print!("{pair}");
+                    }
+                }
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "diff" => {
+            let force = rest.iter().any(|a| a == "--force");
+            let paths: Vec<&String> = rest.iter().filter(|a| *a != "--force").collect();
+            let [a, b] = paths.as_slice() else {
+                return Err(usage());
+            };
+            let (ta, tb) = (load(a)?, load(b)?);
+            match diff(&ta, &tb, force) {
+                Ok(d) => {
+                    print!("{d}");
+                    Ok(ExitCode::SUCCESS)
+                }
+                Err(reason) => {
+                    eprintln!(
+                        "viyojit-trace: refusing to diff: {reason} (use --force to override)"
+                    );
+                    Ok(ExitCode::from(2))
+                }
+            }
+        }
+        _ => Err(usage()),
+    }
+}

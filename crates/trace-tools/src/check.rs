@@ -1,0 +1,337 @@
+//! Trace invariant checking: the `viyojit-trace check` subcommand.
+//!
+//! Two families of invariants:
+//!
+//! - **Flush accounting.** Every `flush_issued` is matched by a
+//!   `flush_complete` or remains in flight at end of trace — per page,
+//!   a completion can never outrun its issue. Pages the emergency flush
+//!   abandons appear as `page_lost` events, and their count must agree
+//!   with the `pages_lost` field of the aggregate `emergency_flush`
+//!   event. SSD completions likewise never outrun submissions.
+//! - **Span conservation.** When the trace carries profiler records,
+//!   the folded leaf spans must sum to the attributed total and the
+//!   attributed total must equal the elapsed virtual time — the profiler's
+//!   every-nanosecond-attributed guarantee, re-verified offline.
+//!
+//! When the trace ring overflowed (`telemetry.dropped_events > 0`) the
+//! event stream is incomplete, so event-counting violations are demoted
+//! to warnings; profiler records are not ring-buffered, so conservation
+//! violations always stay violations.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::trace::Trace;
+
+/// What `check` found in one trace.
+#[derive(Debug, Default)]
+pub struct CheckReport {
+    /// Invariant violations; any entry makes the trace fail.
+    pub violations: Vec<String>,
+    /// Suspicious but non-fatal observations.
+    pub warnings: Vec<String>,
+    /// Total `flush_issued` events.
+    pub issued: u64,
+    /// Total `flush_complete` events.
+    pub completed: u64,
+    /// Flushes still in flight at end of trace (issued minus completed,
+    /// summed per page).
+    pub inflight: u64,
+    /// Total `page_lost` events.
+    pub lost: u64,
+}
+
+impl CheckReport {
+    /// Whether every invariant held.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for CheckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "flush accounting: issued {} = completed {} + inflight {} (lost {})",
+            self.issued, self.completed, self.inflight, self.lost
+        )?;
+        for w in &self.warnings {
+            writeln!(f, "warning: {w}")?;
+        }
+        for v in &self.violations {
+            writeln!(f, "VIOLATION: {v}")?;
+        }
+        if self.passed() {
+            writeln!(f, "check passed")?;
+        } else {
+            writeln!(f, "check FAILED ({} violations)", self.violations.len())?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs every invariant check against a parsed trace.
+pub fn check(trace: &Trace) -> CheckReport {
+    let mut report = CheckReport::default();
+    let dropped = trace.dropped_events();
+
+    // Ring overflow makes event counts incomplete: downgrade the
+    // event-derived checks to warnings rather than reporting phantom
+    // violations against a truncated stream.
+    let event_problem = |report: &mut CheckReport, message: String| {
+        if dropped > 0 {
+            report
+                .warnings
+                .push(format!("{message} (ring dropped {dropped} events)"));
+        } else {
+            report.violations.push(message);
+        }
+    };
+
+    if trace.meta.is_none() {
+        report
+            .warnings
+            .push("no run-metadata header; provenance unknown".to_string());
+    }
+    if dropped > 0 {
+        report.warnings.push(format!(
+            "trace ring overflowed: {dropped} oldest events dropped"
+        ));
+    }
+
+    // Sequence numbers must be strictly increasing in file order.
+    let mut last_seq = None;
+    for e in &trace.events {
+        if let Some(prev) = last_seq {
+            if e.seq <= prev {
+                event_problem(
+                    &mut report,
+                    format!("event seq not strictly increasing: {} after {prev}", e.seq),
+                );
+                break;
+            }
+        }
+        last_seq = Some(e.seq);
+    }
+
+    // Per-page flush accounting, in event order: a page's completions
+    // can never outrun its issues; lost pages were dirty, not issued.
+    let mut balance: BTreeMap<u64, i64> = BTreeMap::new();
+    for e in &trace.events {
+        let Some(page) = e.field_u64("page") else {
+            continue;
+        };
+        match e.kind.as_str() {
+            "flush_issued" => {
+                report.issued += 1;
+                *balance.entry(page).or_insert(0) += 1;
+            }
+            "flush_complete" => {
+                report.completed += 1;
+                let b = balance.entry(page).or_insert(0);
+                *b -= 1;
+                if *b < 0 {
+                    event_problem(
+                        &mut report,
+                        format!(
+                            "page {page}: flush_complete at seq {} without a \
+                             matching flush_issued",
+                            e.seq
+                        ),
+                    );
+                    *b = 0; // report each page's first imbalance once
+                }
+            }
+            "page_lost" => report.lost += 1,
+            _ => {}
+        }
+    }
+    report.inflight = balance.values().map(|&b| b.max(0) as u64).sum();
+    // With the per-page balances clamped non-negative, this identity is
+    // exactly the FlushIssued == FlushCompleted + inflight conservation
+    // law (pages_lost pages were never issued — they are the emergency
+    // flush's separate ledger, cross-checked below).
+    if report.issued != report.completed + report.inflight {
+        let message = format!(
+            "flush accounting broken: issued {} != completed {} + inflight {}",
+            report.issued, report.completed, report.inflight
+        );
+        event_problem(&mut report, message);
+    }
+
+    // SSD completions never outrun submissions (completions are stamped
+    // at their future instant but recorded at submit order, so the file
+    // order check is sound).
+    let mut ssd_balance: BTreeMap<u64, i64> = BTreeMap::new();
+    for e in &trace.events {
+        let Some(page) = e.field_u64("page") else {
+            continue;
+        };
+        match e.kind.as_str() {
+            "ssd_submit" => *ssd_balance.entry(page).or_insert(0) += 1,
+            "ssd_complete" => {
+                let b = ssd_balance.entry(page).or_insert(0);
+                *b -= 1;
+                if *b < 0 {
+                    event_problem(
+                        &mut report,
+                        format!(
+                            "page {page}: ssd_complete at seq {} without a \
+                             matching ssd_submit",
+                            e.seq
+                        ),
+                    );
+                    *b = 0;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // The aggregate emergency_flush event must agree with the per-page
+    // page_lost stream it summarises.
+    let aggregate_lost: u64 = trace
+        .events_of("emergency_flush")
+        .filter_map(|e| e.field_u64("pages_lost"))
+        .sum();
+    if trace.events_of("emergency_flush").next().is_some() && aggregate_lost != report.lost {
+        let message = format!(
+            "emergency_flush reports {aggregate_lost} pages lost but the \
+             trace carries {} page_lost events",
+            report.lost
+        );
+        event_problem(&mut report, message);
+    }
+
+    // Span conservation. Profiler records bypass the ring, so these are
+    // hard violations regardless of overflow.
+    if let Some((elapsed, attributed)) = trace.profile_total {
+        if attributed != elapsed {
+            report.violations.push(format!(
+                "span conservation broken: attributed {attributed} ns != \
+                 elapsed {elapsed} ns"
+            ));
+        }
+        let folded_sum: u64 = trace.folded.iter().map(|&(_, n)| n).sum();
+        if folded_sum != attributed {
+            report.violations.push(format!(
+                "folded stacks sum to {folded_sum} ns but the profiler \
+                 attributed {attributed} ns"
+            ));
+        }
+    } else if !trace.folded.is_empty() {
+        report.warnings.push(
+            "folded stacks present but no profile_total record; \
+             conservation unverifiable"
+                .to_string(),
+        );
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace_of(lines: &[&str]) -> Trace {
+        Trace::parse(&lines.join("\n")).unwrap()
+    }
+
+    fn event(seq: u64, kind: &str, detail: &str) -> String {
+        format!(
+            "{{\"type\":\"event\",\"at_ns\":{},\"seq\":{seq},\"kind\":\"{kind}\",\"detail\":\"{detail}\"}}",
+            seq * 10
+        )
+    }
+
+    #[test]
+    fn balanced_flushes_pass() {
+        let lines = [
+            event(
+                0,
+                "flush_issued",
+                "page=1 reason=proactive last_update_epoch=0",
+            ),
+            event(1, "flush_complete", "page=1"),
+            event(
+                2,
+                "flush_issued",
+                "page=2 reason=forced last_update_epoch=none",
+            ),
+        ];
+        let lines: Vec<&str> = lines.iter().map(String::as_str).collect();
+        let report = check(&trace_of(&lines));
+        assert!(report.passed(), "{report}");
+        assert_eq!(
+            (report.issued, report.completed, report.inflight),
+            (2, 1, 1)
+        );
+    }
+
+    #[test]
+    fn orphan_completion_is_a_violation() {
+        let lines = [event(0, "flush_complete", "page=7")];
+        let lines: Vec<&str> = lines.iter().map(String::as_str).collect();
+        let report = check(&trace_of(&lines));
+        assert!(!report.passed());
+        assert!(report.violations[0].contains("page 7"));
+    }
+
+    #[test]
+    fn overflow_demotes_event_violations_to_warnings() {
+        let lines = [
+            "{\"type\":\"snapshot\",\"epoch\":1,\"at_ns\":5,\"counters\":{\"telemetry.dropped_events\":{\"delta\":3,\"total\":3}},\"gauges\":{}}".to_string(),
+            event(0, "flush_complete", "page=7"),
+        ];
+        let lines: Vec<&str> = lines.iter().map(String::as_str).collect();
+        let report = check(&trace_of(&lines));
+        assert!(report.passed(), "{report}");
+        assert!(report.warnings.iter().any(|w| w.contains("page 7")));
+    }
+
+    #[test]
+    fn emergency_aggregate_must_match_page_lost_events() {
+        let lines = [
+            event(0, "page_lost", "page=3"),
+            event(
+                1,
+                "emergency_flush",
+                "pages_flushed=5 pages_lost=2 retries=0",
+            ),
+        ];
+        let lines: Vec<&str> = lines.iter().map(String::as_str).collect();
+        let report = check(&trace_of(&lines));
+        assert!(!report.passed());
+        assert!(report.violations[0].contains("pages lost"));
+    }
+
+    #[test]
+    fn conservation_is_checked_from_profile_records() {
+        let good = trace_of(&[
+            "{\"type\":\"profile\",\"stack\":\"app\",\"nanos\":30}",
+            "{\"type\":\"profile_total\",\"elapsed_ns\":30,\"attributed_ns\":30}",
+        ]);
+        assert!(check(&good).passed());
+
+        let bad = trace_of(&[
+            "{\"type\":\"profile\",\"stack\":\"app\",\"nanos\":10}",
+            "{\"type\":\"profile_total\",\"elapsed_ns\":30,\"attributed_ns\":30}",
+        ]);
+        let report = check(&bad);
+        assert!(!report.passed());
+        assert!(report.violations[0].contains("folded stacks"));
+    }
+
+    #[test]
+    fn nonmonotonic_seq_is_a_violation() {
+        let lines = [
+            event(5, "write_fault", "page=0"),
+            event(5, "write_fault", "page=1"),
+        ];
+        let lines: Vec<&str> = lines.iter().map(String::as_str).collect();
+        let report = check(&trace_of(&lines));
+        assert!(!report.passed());
+        assert!(report.violations[0].contains("seq"));
+    }
+}

@@ -1,0 +1,296 @@
+//! Per-cost-class regression comparison of two traces: the
+//! `viyojit-trace diff` subcommand.
+//!
+//! The run-metadata header makes comparisons honest: `diff` refuses to
+//! compare traces whose configuration hashes or backends differ (the
+//! numbers would answer a different question than "did this change make
+//! the same run slower?"). `--force` overrides, for deliberate
+//! cross-configuration comparisons. Differing fault seeds are allowed —
+//! comparing two seeds of the same configuration is the point — but are
+//! called out in the output.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::trace::Trace;
+
+/// Why two traces cannot honestly be compared.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Incomparable {
+    /// One or both traces have no run-metadata header.
+    MissingMeta,
+    /// The configuration hashes differ.
+    ConfigMismatch {
+        /// Hash of the first trace.
+        a: String,
+        /// Hash of the second trace.
+        b: String,
+    },
+    /// The backends differ.
+    BackendMismatch {
+        /// Backend of the first trace.
+        a: String,
+        /// Backend of the second trace.
+        b: String,
+    },
+}
+
+impl fmt::Display for Incomparable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Incomparable::MissingMeta => {
+                write!(f, "a trace lacks its run-metadata header")
+            }
+            Incomparable::ConfigMismatch { a, b } => {
+                write!(f, "configuration hashes differ: {a} vs {b}")
+            }
+            Incomparable::BackendMismatch { a, b } => {
+                write!(f, "backends differ: {a} vs {b}")
+            }
+        }
+    }
+}
+
+/// One row of the regression table.
+#[derive(Debug)]
+pub struct DiffRow {
+    /// Cost class (leaf stack segment) or aux class name.
+    pub class: String,
+    /// Nanoseconds in the first trace.
+    pub a: u64,
+    /// Nanoseconds in the second trace.
+    pub b: u64,
+}
+
+impl DiffRow {
+    /// Signed change from `a` to `b`.
+    pub fn delta(&self) -> i64 {
+        self.b as i64 - self.a as i64
+    }
+}
+
+/// The full comparison of two traces.
+#[derive(Debug)]
+pub struct Diff {
+    /// Elapsed virtual time of each run, when profiled.
+    pub elapsed: Option<(u64, u64)>,
+    /// Per-cost-class self time (on-clock, from the folded stacks).
+    pub classes: Vec<DiffRow>,
+    /// Off-clock aux classes (device time, emergency timeline).
+    pub aux: Vec<DiffRow>,
+    /// Notes about allowed-but-relevant differences (seeds, versions).
+    pub notes: Vec<String>,
+}
+
+/// Compares two traces, refusing incomparable pairs unless `force`.
+///
+/// # Errors
+///
+/// An [`Incomparable`] explaining the refusal.
+pub fn diff(a: &Trace, b: &Trace, force: bool) -> Result<Diff, Incomparable> {
+    let mut notes = Vec::new();
+    match (&a.meta, &b.meta) {
+        (Some(ma), Some(mb)) => {
+            if ma.config_hash != mb.config_hash && !force {
+                return Err(Incomparable::ConfigMismatch {
+                    a: ma.config_hash.clone(),
+                    b: mb.config_hash.clone(),
+                });
+            }
+            if ma.backend != mb.backend && !force {
+                return Err(Incomparable::BackendMismatch {
+                    a: ma.backend.clone(),
+                    b: mb.backend.clone(),
+                });
+            }
+            if ma.fault_seed != mb.fault_seed {
+                notes.push(format!(
+                    "fault seeds differ: {} vs {}",
+                    seed_text(ma.fault_seed),
+                    seed_text(mb.fault_seed)
+                ));
+            }
+            if ma.version != mb.version {
+                notes.push(format!(
+                    "producer versions differ: {} vs {}",
+                    ma.version, mb.version
+                ));
+            }
+        }
+        _ if !force => return Err(Incomparable::MissingMeta),
+        _ => notes.push("comparing without run metadata (--force)".to_string()),
+    }
+
+    let elapsed = match (a.profile_total, b.profile_total) {
+        (Some((ea, _)), Some((eb, _))) => Some((ea, eb)),
+        _ => None,
+    };
+
+    Ok(Diff {
+        elapsed,
+        classes: table(&a.class_nanos(), &b.class_nanos()),
+        aux: table(&aux_nanos(a), &aux_nanos(b)),
+        notes,
+    })
+}
+
+fn seed_text(seed: Option<u64>) -> String {
+    seed.map_or_else(|| "none".to_string(), |s| s.to_string())
+}
+
+fn aux_nanos(t: &Trace) -> BTreeMap<String, u64> {
+    let mut map = BTreeMap::new();
+    for (class, _, nanos) in &t.aux {
+        *map.entry(class.clone()).or_insert(0) += nanos;
+    }
+    map
+}
+
+/// Merges two class→nanos maps into rows sorted by largest absolute
+/// change first, so regressions lead the table.
+fn table(a: &BTreeMap<String, u64>, b: &BTreeMap<String, u64>) -> Vec<DiffRow> {
+    let mut rows: Vec<DiffRow> = a
+        .keys()
+        .chain(b.keys())
+        .map(|class| DiffRow {
+            class: class.clone(),
+            a: a.get(class).copied().unwrap_or(0),
+            b: b.get(class).copied().unwrap_or(0),
+        })
+        .collect();
+    rows.dedup_by(|x, y| x.class == y.class);
+    rows.sort_by_key(|r| std::cmp::Reverse(r.delta().unsigned_abs()));
+    rows
+}
+
+impl fmt::Display for Diff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for note in &self.notes {
+            writeln!(f, "note: {note}")?;
+        }
+        if let Some((a, b)) = self.elapsed {
+            writeln!(
+                f,
+                "elapsed: {a} ns -> {b} ns ({})",
+                percent_text(a, b as i64 - a as i64)
+            )?;
+        }
+        writeln!(
+            f,
+            "{:<20} {:>16} {:>16} {:>16} {:>9}",
+            "cost class", "a (ns)", "b (ns)", "delta (ns)", "change"
+        )?;
+        for row in &self.classes {
+            write_row(f, row)?;
+        }
+        if !self.aux.is_empty() {
+            writeln!(f, "off-clock (aux):")?;
+            for row in &self.aux {
+                write_row(f, row)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn write_row(f: &mut fmt::Formatter<'_>, row: &DiffRow) -> fmt::Result {
+    writeln!(
+        f,
+        "{:<20} {:>16} {:>16} {:>+16} {:>9}",
+        row.class,
+        row.a,
+        row.b,
+        row.delta(),
+        percent_text(row.a, row.delta())
+    )
+}
+
+fn percent_text(base: u64, delta: i64) -> String {
+    if base == 0 {
+        if delta == 0 {
+            "0.0%".to_string()
+        } else {
+            "new".to_string()
+        }
+    } else {
+        format!("{:+.1}%", delta as f64 * 100.0 / base as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Trace;
+
+    fn meta(hash: &str, backend: &str, seed: &str) -> String {
+        format!(
+            "{{\"type\":\"meta\",\"version\":\"0.1.0\",\"bench\":\"fig7\",\
+             \"backend\":\"{backend}\",\"config_hash\":\"{hash}\",\"fault_seed\":{seed}}}"
+        )
+    }
+
+    fn trace(lines: &[String]) -> Trace {
+        Trace::parse(&lines.join("\n")).unwrap()
+    }
+
+    #[test]
+    fn refuses_mismatched_configs_unless_forced() {
+        let a = trace(&[meta("00000000000000aa", "Viyojit", "1")]);
+        let b = trace(&[meta("00000000000000bb", "Viyojit", "1")]);
+        assert!(matches!(
+            diff(&a, &b, false),
+            Err(Incomparable::ConfigMismatch { .. })
+        ));
+        assert!(diff(&a, &b, true).is_ok());
+    }
+
+    #[test]
+    fn refuses_missing_meta_and_mismatched_backends() {
+        let bare = trace(&["{\"type\":\"note\",\"text\":\"x\"}".to_string()]);
+        assert!(matches!(
+            diff(&bare, &bare, false),
+            Err(Incomparable::MissingMeta)
+        ));
+        let a = trace(&[meta("00000000000000aa", "Viyojit", "1")]);
+        let b = trace(&[meta("00000000000000aa", "NV-DRAM", "1")]);
+        assert!(matches!(
+            diff(&a, &b, false),
+            Err(Incomparable::BackendMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn differing_seeds_compare_with_a_note() {
+        let a = trace(&[
+            meta("00000000000000aa", "Viyojit", "1"),
+            "{\"type\":\"profile\",\"stack\":\"app;wp_trap\",\"nanos\":100}".to_string(),
+            "{\"type\":\"profile_total\",\"elapsed_ns\":100,\"attributed_ns\":100}".to_string(),
+        ]);
+        let b = trace(&[
+            meta("00000000000000aa", "Viyojit", "2"),
+            "{\"type\":\"profile\",\"stack\":\"app;wp_trap\",\"nanos\":150}".to_string(),
+            "{\"type\":\"profile_total\",\"elapsed_ns\":150,\"attributed_ns\":150}".to_string(),
+        ]);
+        let d = diff(&a, &b, false).unwrap();
+        assert!(d.notes[0].contains("fault seeds differ"));
+        assert_eq!(d.elapsed, Some((100, 150)));
+        let row = d.classes.iter().find(|r| r.class == "wp_trap").unwrap();
+        assert_eq!((row.a, row.b, row.delta()), (100, 150, 50));
+    }
+
+    #[test]
+    fn rows_sort_by_absolute_delta() {
+        let a = trace(&[
+            meta("00000000000000aa", "Viyojit", "null"),
+            "{\"type\":\"profile\",\"stack\":\"app;small\",\"nanos\":10}".to_string(),
+            "{\"type\":\"profile\",\"stack\":\"app;big\",\"nanos\":10}".to_string(),
+        ]);
+        let b = trace(&[
+            meta("00000000000000aa", "Viyojit", "null"),
+            "{\"type\":\"profile\",\"stack\":\"app;small\",\"nanos\":11}".to_string(),
+            "{\"type\":\"profile\",\"stack\":\"app;big\",\"nanos\":500}".to_string(),
+        ]);
+        let d = diff(&a, &b, false).unwrap();
+        assert_eq!(d.classes[0].class, "big");
+    }
+}

@@ -1,0 +1,224 @@
+//! Latency histograms between causally linked events: the
+//! `viyojit-trace latency` subcommand.
+//!
+//! Three causal pairs, each matched per page in FIFO order:
+//!
+//! - `write_fault → flush_issued`: how long a page stays dirty before
+//!   the control loop schedules its copy-out (budget pressure).
+//! - `flush_issued → flush_complete`: copy-out latency as the engine
+//!   sees it (queueing behind other inflight IOs included).
+//! - `ssd_submit → ssd_complete`: device-level service time
+//!   (`ssd_complete` is stamped at its completion instant, so the
+//!   difference is queue wait plus transfer).
+//!
+//! Unmatched starts (still pending at end of trace) are reported, not
+//! silently dropped.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::trace::Trace;
+
+/// The causal pairs `latency` measures.
+const PAIRS: &[(&str, &str, &str)] = &[
+    ("dirty residency", "write_fault", "flush_issued"),
+    ("copy-out", "flush_issued", "flush_complete"),
+    ("ssd service", "ssd_submit", "ssd_complete"),
+];
+
+/// A power-of-two-bucketed latency histogram in virtual nanoseconds.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    /// `buckets[i]` counts samples in `[2^i, 2^(i+1))` ns (`buckets[0]`
+    /// also holds zero-latency samples).
+    pub buckets: Vec<u64>,
+    /// Sample count.
+    pub count: u64,
+    /// Sum of samples, for the mean.
+    pub sum: u64,
+    /// Smallest sample.
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+impl Histogram {
+    fn record(&mut self, nanos: u64) {
+        let bucket = if nanos == 0 {
+            0
+        } else {
+            63 - nanos.leading_zeros() as usize
+        };
+        if self.buckets.len() <= bucket {
+            self.buckets.resize(bucket + 1, 0);
+        }
+        self.buckets[bucket] += 1;
+        if self.count == 0 {
+            self.min = nanos;
+            self.max = nanos;
+        } else {
+            self.min = self.min.min(nanos);
+            self.max = self.max.max(nanos);
+        }
+        self.count += 1;
+        self.sum += nanos;
+    }
+
+    /// The sample at quantile `q` (0.0..=1.0), resolved to its bucket's
+    /// lower bound.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64 - 1.0) * q).round() as u64;
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen > rank {
+                return if i == 0 { 0 } else { 1u64 << i };
+            }
+        }
+        self.max
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.count == 0 {
+            return writeln!(f, "  (no samples)");
+        }
+        writeln!(
+            f,
+            "  samples {}  min {} ns  mean {} ns  p50 {} ns  p99 {} ns  max {} ns",
+            self.count,
+            self.min,
+            self.sum / self.count,
+            self.quantile(0.5),
+            self.quantile(0.99),
+            self.max
+        )?;
+        let peak = self.buckets.iter().copied().max().unwrap_or(1).max(1);
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let lo = if i == 0 { 0 } else { 1u64 << i };
+            let bar = "#".repeat((n * 40).div_ceil(peak) as usize);
+            writeln!(f, "  {lo:>12} ns | {bar} {n}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One causal pair's measurements.
+#[derive(Debug)]
+pub struct PairLatency {
+    /// Human name of the pair.
+    pub name: &'static str,
+    /// Start event kind.
+    pub from: &'static str,
+    /// End event kind.
+    pub to: &'static str,
+    /// The samples.
+    pub histogram: Histogram,
+    /// Start events never matched by an end event.
+    pub unmatched: u64,
+}
+
+/// Measures every causal pair in the trace.
+pub fn latencies(trace: &Trace) -> Vec<PairLatency> {
+    PAIRS
+        .iter()
+        .map(|&(name, from, to)| {
+            let mut pending: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+            let mut histogram = Histogram::default();
+            for e in &trace.events {
+                let Some(page) = e.field_u64("page") else {
+                    continue;
+                };
+                if e.kind == from {
+                    pending.entry(page).or_default().push(e.at_ns);
+                } else if e.kind == to {
+                    // FIFO per page: the oldest outstanding start is the
+                    // cause of this end event.
+                    if let Some(starts) = pending.get_mut(&page) {
+                        if !starts.is_empty() {
+                            let start = starts.remove(0);
+                            histogram.record(e.at_ns.saturating_sub(start));
+                        }
+                    }
+                }
+            }
+            let unmatched = pending.values().map(|v| v.len() as u64).sum();
+            PairLatency {
+                name,
+                from,
+                to,
+                histogram,
+                unmatched,
+            }
+        })
+        .collect()
+}
+
+impl fmt::Display for PairLatency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} ({} -> {})", self.name, self.from, self.to)?;
+        write!(f, "{}", self.histogram)?;
+        if self.unmatched > 0 {
+            writeln!(f, "  {} unmatched {} events", self.unmatched, self.from)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Trace;
+
+    fn event(at: u64, seq: u64, kind: &str, page: u64) -> String {
+        format!(
+            "{{\"type\":\"event\",\"at_ns\":{at},\"seq\":{seq},\"kind\":\"{kind}\",\"detail\":\"page={page}\"}}"
+        )
+    }
+
+    #[test]
+    fn pairs_fifo_per_page() {
+        let lines = [
+            event(100, 0, "ssd_submit", 1),
+            event(200, 1, "ssd_submit", 1),
+            event(350, 2, "ssd_complete", 1), // pairs with at=100 -> 250
+            event(400, 3, "ssd_complete", 1), // pairs with at=200 -> 200
+            event(500, 4, "ssd_submit", 2),   // unmatched
+        ];
+        let text = lines.join("\n");
+        let trace = Trace::parse(&text).unwrap();
+        let all = latencies(&trace);
+        let ssd = all.iter().find(|p| p.from == "ssd_submit").unwrap();
+        assert_eq!(ssd.histogram.count, 2);
+        assert_eq!(ssd.histogram.min, 200);
+        assert_eq!(ssd.histogram.max, 250);
+        assert_eq!(ssd.unmatched, 1);
+    }
+
+    #[test]
+    fn quantiles_resolve_to_bucket_bounds() {
+        let mut h = Histogram::default();
+        for n in [1u64, 2, 4, 1024] {
+            h.record(n);
+        }
+        assert_eq!(h.count, 4);
+        assert_eq!(h.quantile(0.0), 0); // bucket 0 resolves to its lower bound
+        assert_eq!(h.quantile(1.0), 1024);
+        assert!(h.quantile(0.5) <= 4);
+    }
+
+    #[test]
+    fn zero_latency_lands_in_the_first_bucket() {
+        let mut h = Histogram::default();
+        h.record(0);
+        assert_eq!(h.buckets, vec![1]);
+        assert_eq!(h.min, 0);
+    }
+}

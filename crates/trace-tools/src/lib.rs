@@ -1,0 +1,36 @@
+//! # trace-tools: offline inspection of Viyojit telemetry traces
+//!
+//! The engine's JSONL traces (written by the telemetry `JsonlSink`) are
+//! the durable record of a run: a run-metadata header, the event stream,
+//! per-epoch snapshots, and the virtual-time profiler's attribution
+//! records. This crate is the reader side — a library plus the
+//! `viyojit-trace` binary with four subcommands:
+//!
+//! - `summary` — one-screen overview: identity, event counts, self time
+//!   by cost class, off-clock totals;
+//! - `check` — invariant verification: flush accounting
+//!   (issued = completed + inflight, lost pages cross-checked against
+//!   the emergency flush's own ledger) and span conservation (folded
+//!   leaf spans sum exactly to elapsed virtual time);
+//! - `latency` — histograms between causally linked events
+//!   (`write_fault → flush_issued`, `flush_issued → flush_complete`,
+//!   `ssd_submit → ssd_complete`);
+//! - `diff` — per-cost-class regression table between two runs,
+//!   refusing incomparable traces (different config hash or backend)
+//!   unless forced.
+//!
+//! The workspace is deliberately dependency-free, so the JSON reader in
+//! [`json`] is hand-rolled to match the hand-rendered writer.
+
+pub mod check;
+pub mod diff;
+pub mod json;
+pub mod latency;
+pub mod summary;
+pub mod trace;
+
+pub use check::{check, CheckReport};
+pub use diff::{diff, Diff, DiffRow, Incomparable};
+pub use latency::{latencies, Histogram, PairLatency};
+pub use summary::summarize;
+pub use trace::{Event, Meta, Snapshot, Trace, TraceError};

@@ -1,0 +1,119 @@
+//! One-screen overview of a trace: the `viyojit-trace summary`
+//! subcommand.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::trace::Trace;
+
+/// A rendered summary of one trace.
+#[derive(Debug)]
+pub struct Summary<'a> {
+    trace: &'a Trace,
+}
+
+/// Builds the summary view over a parsed trace.
+pub fn summarize(trace: &Trace) -> Summary<'_> {
+    Summary { trace }
+}
+
+impl fmt::Display for Summary<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let t = self.trace;
+        match &t.meta {
+            Some(m) => {
+                let seed = m
+                    .fault_seed
+                    .map_or_else(|| "none".to_string(), |s| s.to_string());
+                writeln!(
+                    f,
+                    "bench {}  backend {}  config {}  fault seed {}  (v{})",
+                    m.bench, m.backend, m.config_hash, seed, m.version
+                )?;
+            }
+            None => writeln!(f, "(no run-metadata header)")?,
+        }
+
+        if let Some((elapsed, attributed)) = t.profile_total {
+            let status = if elapsed == attributed {
+                "conserved"
+            } else {
+                "NOT CONSERVED"
+            };
+            writeln!(
+                f,
+                "virtual time: {elapsed} ns elapsed, {attributed} ns attributed ({status})"
+            )?;
+        }
+        let dropped = t.dropped_events();
+        writeln!(
+            f,
+            "{} events, {} snapshots, {} dropped",
+            t.events.len(),
+            t.snapshots.len(),
+            dropped
+        )?;
+
+        if !t.events.is_empty() {
+            let mut by_kind: BTreeMap<&str, u64> = BTreeMap::new();
+            for e in &t.events {
+                *by_kind.entry(e.kind.as_str()).or_insert(0) += 1;
+            }
+            writeln!(f, "events by kind:")?;
+            for (kind, n) in by_kind {
+                writeln!(f, "  {kind:<24} {n}")?;
+            }
+        }
+
+        if !t.folded.is_empty() {
+            let mut by_class: Vec<(String, u64)> = t.class_nanos().into_iter().collect();
+            by_class.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+            let total: u64 = by_class.iter().map(|&(_, n)| n).sum::<u64>().max(1);
+            writeln!(f, "self time by cost class:")?;
+            for (class, nanos) in by_class {
+                writeln!(
+                    f,
+                    "  {class:<24} {nanos:>14} ns  {:>5.1}%",
+                    nanos as f64 * 100.0 / total as f64
+                )?;
+            }
+        }
+
+        if !t.aux.is_empty() {
+            writeln!(f, "off-clock (aux):")?;
+            for (class, count, nanos) in &t.aux {
+                writeln!(f, "  {class:<24} {nanos:>14} ns  ({count} samples)")?;
+            }
+        }
+
+        for note in &t.notes {
+            writeln!(f, "note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Trace;
+
+    #[test]
+    fn summary_renders_the_load_bearing_lines() {
+        let text = concat!(
+            "{\"type\":\"meta\",\"version\":\"0.1.0\",\"bench\":\"fig7\",\"backend\":\"Viyojit\",\"config_hash\":\"00000000000000aa\",\"fault_seed\":null}\n",
+            "{\"type\":\"event\",\"at_ns\":1,\"seq\":0,\"kind\":\"write_fault\",\"detail\":\"page=0\"}\n",
+            "{\"type\":\"profile\",\"stack\":\"app;wp_trap\",\"nanos\":75}\n",
+            "{\"type\":\"profile\",\"stack\":\"app\",\"nanos\":25}\n",
+            "{\"type\":\"profile_total\",\"elapsed_ns\":100,\"attributed_ns\":100}\n",
+        );
+        let trace = Trace::parse(text).unwrap();
+        let out = summarize(&trace).to_string();
+        assert!(out.contains("bench fig7"), "{out}");
+        assert!(out.contains("fault seed none"), "{out}");
+        assert!(out.contains("conserved"), "{out}");
+        assert!(out.contains("write_fault"), "{out}");
+        assert!(out.contains("wp_trap"), "{out}");
+        assert!(out.contains("75.0%"), "{out}");
+    }
+}

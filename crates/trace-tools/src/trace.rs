@@ -1,0 +1,338 @@
+//! The in-memory model of one JSONL trace: the run-identity header, the
+//! event stream, the per-epoch snapshots, and the profiler attribution
+//! records, exactly as the telemetry `JsonlSink` wrote them.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+use crate::json::{self, Value};
+
+/// The run-identity header (`{"type":"meta",...}`), written before any
+/// other record so tools can refuse incomparable traces up front.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Meta {
+    /// Workspace crate version that produced the trace.
+    pub version: String,
+    /// Bench binary name (`fig7`, `fault_storm`, ...).
+    pub bench: String,
+    /// Backend display name (`Viyojit`, `Viyojit-MMU`, `NV-DRAM`, ...).
+    pub backend: String,
+    /// fnv1a-64 of the rendered configuration, as 16 lowercase hex digits.
+    pub config_hash: String,
+    /// Fault-injection seed, when the run injected faults.
+    pub fault_seed: Option<u64>,
+}
+
+/// One trace event: a virtual instant, a recording sequence number, the
+/// event kind, and its `key=value` payload fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Virtual instant the event describes.
+    pub at_ns: u64,
+    /// Recording order (counts dropped events too).
+    pub seq: u64,
+    /// Stable lowercase kind (`write_fault`, `flush_issued`, ...).
+    pub kind: String,
+    /// Parsed payload fields.
+    pub fields: BTreeMap<String, String>,
+}
+
+impl Event {
+    /// A payload field as a string.
+    pub fn field(&self, key: &str) -> Option<&str> {
+        self.fields.get(key).map(String::as_str)
+    }
+
+    /// A payload field parsed as `u64`.
+    pub fn field_u64(&self, key: &str) -> Option<u64> {
+        self.field(key)?.parse().ok()
+    }
+}
+
+/// One per-epoch metrics snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Epoch number the snapshot closed.
+    pub epoch: u64,
+    /// Virtual instant of the snapshot.
+    pub at_ns: u64,
+    /// Counter samples as `(delta, total)`.
+    pub counters: BTreeMap<String, (u64, u64)>,
+    /// Gauge values (`None` renders for non-finite values).
+    pub gauges: BTreeMap<String, Option<f64>>,
+}
+
+/// A fully parsed trace file.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    /// The run-identity header, when the trace carries one.
+    pub meta: Option<Meta>,
+    /// Every event record, in file order.
+    pub events: Vec<Event>,
+    /// Every snapshot record, in file order.
+    pub snapshots: Vec<Snapshot>,
+    /// Profiler folded stacks (`stack`, self nanoseconds).
+    pub folded: Vec<(String, u64)>,
+    /// Profiler aux (off-clock) samples (`class`, count, nanoseconds).
+    pub aux: Vec<(String, u64, u64)>,
+    /// Profiler conservation totals `(elapsed_ns, attributed_ns)`.
+    pub profile_total: Option<(u64, u64)>,
+    /// Free-text notes, in file order.
+    pub notes: Vec<String>,
+}
+
+/// Why a trace failed to load.
+#[derive(Debug)]
+pub enum TraceError {
+    /// The file could not be read.
+    Io(std::io::Error),
+    /// A line was not valid JSON or lacked a required field.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong with it.
+        message: String,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "cannot read trace: {e}"),
+            TraceError::Malformed { line, message } => {
+                write!(f, "line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+fn malformed(line: usize, message: impl Into<String>) -> TraceError {
+    TraceError::Malformed {
+        line,
+        message: message.into(),
+    }
+}
+
+fn need_u64(v: &Value, key: &str, line: usize) -> Result<u64, TraceError> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| malformed(line, format!("missing numeric field '{key}'")))
+}
+
+fn need_str(v: &Value, key: &str, line: usize) -> Result<String, TraceError> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| malformed(line, format!("missing string field '{key}'")))
+}
+
+/// Splits a `key=value key=value` payload into fields.
+fn parse_detail(detail: &str) -> BTreeMap<String, String> {
+    detail
+        .split_whitespace()
+        .filter_map(|pair| {
+            pair.split_once('=')
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+        })
+        .collect()
+}
+
+impl Trace {
+    /// Loads and parses a JSONL trace file.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Io`] if the file cannot be read,
+    /// [`TraceError::Malformed`] naming the first bad line otherwise.
+    pub fn load(path: impl AsRef<Path>) -> Result<Trace, TraceError> {
+        Trace::parse(&fs::read_to_string(path)?)
+    }
+
+    /// Parses a JSONL trace from text. Unknown record types are ignored
+    /// so newer traces stay readable by older tools.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Malformed`] naming the first bad line.
+    pub fn parse(text: &str) -> Result<Trace, TraceError> {
+        let mut trace = Trace::default();
+        for (i, raw) in text.lines().enumerate() {
+            let line = i + 1;
+            if raw.trim().is_empty() {
+                continue;
+            }
+            let v = json::parse(raw).map_err(|e| malformed(line, e.to_string()))?;
+            let kind = v
+                .get("type")
+                .and_then(Value::as_str)
+                .ok_or_else(|| malformed(line, "record has no 'type'"))?;
+            match kind {
+                "meta" => {
+                    trace.meta = Some(Meta {
+                        version: need_str(&v, "version", line)?,
+                        bench: need_str(&v, "bench", line)?,
+                        backend: need_str(&v, "backend", line)?,
+                        config_hash: need_str(&v, "config_hash", line)?,
+                        fault_seed: v.get("fault_seed").and_then(Value::as_u64),
+                    });
+                }
+                "event" => trace.events.push(Event {
+                    at_ns: need_u64(&v, "at_ns", line)?,
+                    seq: need_u64(&v, "seq", line)?,
+                    kind: need_str(&v, "kind", line)?,
+                    fields: parse_detail(&need_str(&v, "detail", line)?),
+                }),
+                "snapshot" => {
+                    let mut counters = BTreeMap::new();
+                    if let Some(map) = v.get("counters").and_then(Value::entries) {
+                        for (name, sample) in map {
+                            counters.insert(
+                                name.clone(),
+                                (
+                                    need_u64(sample, "delta", line)?,
+                                    need_u64(sample, "total", line)?,
+                                ),
+                            );
+                        }
+                    }
+                    let mut gauges = BTreeMap::new();
+                    if let Some(map) = v.get("gauges").and_then(Value::entries) {
+                        for (name, value) in map {
+                            gauges.insert(name.clone(), value.as_f64());
+                        }
+                    }
+                    trace.snapshots.push(Snapshot {
+                        epoch: need_u64(&v, "epoch", line)?,
+                        at_ns: need_u64(&v, "at_ns", line)?,
+                        counters,
+                        gauges,
+                    });
+                }
+                "profile" => trace
+                    .folded
+                    .push((need_str(&v, "stack", line)?, need_u64(&v, "nanos", line)?)),
+                "profile_aux" => trace.aux.push((
+                    need_str(&v, "class", line)?,
+                    need_u64(&v, "count", line)?,
+                    need_u64(&v, "nanos", line)?,
+                )),
+                "profile_total" => {
+                    trace.profile_total = Some((
+                        need_u64(&v, "elapsed_ns", line)?,
+                        need_u64(&v, "attributed_ns", line)?,
+                    ));
+                }
+                "note" => trace.notes.push(need_str(&v, "text", line)?),
+                _ => {} // sections, rows, future record types
+            }
+        }
+        Ok(trace)
+    }
+
+    /// Events of one kind, in file order.
+    pub fn events_of<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a Event> + 'a {
+        self.events.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// Count of events of one kind.
+    pub fn count_of(&self, kind: &str) -> u64 {
+        self.events_of(kind).count() as u64
+    }
+
+    /// Trace-ring overflow total: the final `telemetry.dropped_events`
+    /// counter, zero when the ring never overflowed.
+    pub fn dropped_events(&self) -> u64 {
+        self.snapshots
+            .iter()
+            .filter_map(|s| s.counters.get("telemetry.dropped_events"))
+            .map(|&(_, total)| total)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Leaf self-time per cost class: folded self-times grouped by the
+    /// last stack segment (plus the root's own self-time under `app`).
+    pub fn class_nanos(&self) -> BTreeMap<String, u64> {
+        let mut by_class = BTreeMap::new();
+        for (stack, nanos) in &self.folded {
+            let class = stack.rsplit(';').next().unwrap_or(stack);
+            *by_class.entry(class.to_string()).or_insert(0) += nanos;
+        }
+        by_class
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = concat!(
+        "{\"type\":\"meta\",\"version\":\"0.1.0\",\"bench\":\"fig7\",\"backend\":\"Viyojit\",\"config_hash\":\"00000000deadbeef\",\"fault_seed\":7}\n",
+        "{\"type\":\"event\",\"at_ns\":10,\"seq\":0,\"kind\":\"write_fault\",\"detail\":\"page=3\"}\n",
+        "{\"type\":\"event\",\"at_ns\":20,\"seq\":1,\"kind\":\"flush_issued\",\"detail\":\"page=3 reason=forced last_update_epoch=none\"}\n",
+        "{\"type\":\"snapshot\",\"epoch\":1,\"at_ns\":30,\"counters\":{\"viyojit.epochs\":{\"delta\":1,\"total\":1}},\"gauges\":{\"viyojit.dirty_pages\":2}}\n",
+        "{\"type\":\"profile\",\"stack\":\"app\",\"nanos\":5}\n",
+        "{\"type\":\"profile\",\"stack\":\"app;wp_trap\",\"nanos\":25}\n",
+        "{\"type\":\"profile_aux\",\"class\":\"ssd_transfer\",\"count\":1,\"nanos\":40}\n",
+        "{\"type\":\"profile_total\",\"elapsed_ns\":30,\"attributed_ns\":30}\n",
+        "{\"type\":\"note\",\"text\":\"done\"}\n",
+    );
+
+    #[test]
+    fn parses_every_record_type() {
+        let t = Trace::parse(SAMPLE).unwrap();
+        let meta = t.meta.as_ref().unwrap();
+        assert_eq!(meta.bench, "fig7");
+        assert_eq!(meta.config_hash, "00000000deadbeef");
+        assert_eq!(meta.fault_seed, Some(7));
+        assert_eq!(t.events.len(), 2);
+        assert_eq!(t.events[1].field("reason"), Some("forced"));
+        assert_eq!(t.events[1].field_u64("page"), Some(3));
+        assert_eq!(t.snapshots.len(), 1);
+        assert_eq!(t.snapshots[0].counters.get("viyojit.epochs"), Some(&(1, 1)));
+        assert_eq!(t.folded.len(), 2);
+        assert_eq!(t.aux, vec![("ssd_transfer".to_string(), 1, 40)]);
+        assert_eq!(t.profile_total, Some((30, 30)));
+        assert_eq!(t.notes, vec!["done".to_string()]);
+        assert_eq!(t.count_of("write_fault"), 1);
+        assert_eq!(t.dropped_events(), 0);
+    }
+
+    #[test]
+    fn class_nanos_groups_by_leaf_segment() {
+        let t = Trace::parse(SAMPLE).unwrap();
+        let by_class = t.class_nanos();
+        assert_eq!(by_class.get("app"), Some(&5));
+        assert_eq!(by_class.get("wp_trap"), Some(&25));
+    }
+
+    #[test]
+    fn bad_lines_are_reported_with_their_number() {
+        let err = Trace::parse("{\"type\":\"meta\"}\n").unwrap_err();
+        match err {
+            TraceError::Malformed { line, .. } => assert_eq!(line, 1),
+            other => panic!("unexpected error: {other}"),
+        }
+        let err = Trace::parse("{\"ok\":1}\nnot json\n").unwrap_err();
+        match err {
+            TraceError::Malformed { line, .. } => assert_eq!(line, 1),
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn unknown_record_types_are_ignored() {
+        let t = Trace::parse("{\"type\":\"future_thing\",\"x\":1}\n").unwrap();
+        assert_eq!(t, Trace::default());
+    }
+}

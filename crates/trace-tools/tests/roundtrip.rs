@@ -1,0 +1,106 @@
+//! Writer/reader lock-step: a trace produced by the real telemetry
+//! `JsonlSink` must parse back into the same facts, pass `check`, and
+//! diff cleanly against itself. If the sink's record shapes ever drift
+//! from the CLI's parser, this test is the tripwire.
+
+use sim_clock::{Clock, SimDuration};
+use telemetry::{
+    CostClass, FlushReason, JsonlSink, Profiler, RunMeta, Sink, Telemetry, TraceEvent,
+};
+use trace_tools::{check, diff, latencies, summarize, Trace};
+
+/// One small synthetic run, recorded through the real writer stack.
+fn record_run(fault_seed: Option<u64>) -> String {
+    let clock = Clock::new();
+    let telemetry = Telemetry::recording(clock.clone());
+    let profiler = Profiler::enabled(clock.clone());
+
+    // A fault, its flush, and the flush's device IO, with time charged
+    // to the matching cost classes as the engine would.
+    clock.advance(SimDuration::from_nanos(100));
+    profiler.sync();
+    telemetry.emit(|| TraceEvent::WriteFault { page: 3 });
+    {
+        let _span = profiler.span(CostClass::WpTrap);
+        clock.advance(SimDuration::from_nanos(4_000));
+    }
+    telemetry.emit(|| TraceEvent::FlushIssued {
+        page: 3,
+        reason: FlushReason::Proactive,
+        last_update_epoch: Some(1),
+    });
+    telemetry.emit(|| TraceEvent::SsdSubmit {
+        page: 3,
+        bytes: 4096,
+    });
+    let done = clock.now() + SimDuration::from_nanos(25_000);
+    telemetry.emit_at(done, || TraceEvent::SsdComplete { page: 3 });
+    {
+        let _span = profiler.span(CostClass::CopyOutIo);
+        clock.advance_to(done);
+    }
+    telemetry.emit(|| TraceEvent::FlushComplete { page: 3 });
+    profiler.aux_charge(CostClass::SsdTransfer, SimDuration::from_nanos(25_000));
+    telemetry.snapshot_epoch(1);
+
+    let mut sink = JsonlSink::new(Vec::new());
+    sink.meta(&RunMeta::new(
+        "roundtrip",
+        "Viyojit",
+        "budget=32",
+        fault_seed,
+    ));
+    telemetry.drain_into(&mut sink);
+    sink.profile(&profiler.report().expect("enabled profiler reports"));
+    String::from_utf8(sink.into_inner()).expect("sinks write UTF-8")
+}
+
+#[test]
+fn sink_output_parses_checks_and_diffs() {
+    let text = record_run(Some(7));
+    let trace = Trace::parse(&text).expect("real sink output parses");
+
+    let meta = trace.meta.as_ref().expect("meta header present");
+    assert_eq!(meta.bench, "roundtrip");
+    assert_eq!(meta.backend, "Viyojit");
+    assert_eq!(meta.fault_seed, Some(7));
+    assert_eq!(meta.config_hash.len(), 16);
+
+    assert_eq!(trace.count_of("write_fault"), 1);
+    assert_eq!(trace.count_of("flush_complete"), 1);
+    assert_eq!(trace.snapshots.len(), 1);
+    let (elapsed, attributed) = trace.profile_total.expect("profile totals present");
+    assert_eq!(elapsed, attributed, "the writer's invariant survives IO");
+
+    let report = check(&trace);
+    assert!(report.passed(), "{report}");
+    assert_eq!(
+        (report.issued, report.completed, report.inflight),
+        (1, 1, 0)
+    );
+
+    // Device service time is measurable because ssd_complete is stamped
+    // at its completion instant.
+    let all = latencies(&trace);
+    let ssd = all.iter().find(|p| p.from == "ssd_submit").unwrap();
+    assert_eq!(ssd.histogram.count, 1);
+    assert_eq!(ssd.histogram.min, 25_000);
+
+    let overview = summarize(&trace).to_string();
+    assert!(overview.contains("bench roundtrip"), "{overview}");
+    assert!(overview.contains("conserved"), "{overview}");
+}
+
+#[test]
+fn same_config_different_seed_diffs_with_note() {
+    let a = Trace::parse(&record_run(Some(1))).unwrap();
+    let b = Trace::parse(&record_run(Some(2))).unwrap();
+    let d = diff(&a, &b, false).expect("same config and backend compares");
+    assert!(d.notes.iter().any(|n| n.contains("fault seeds differ")));
+
+    // A corrupted header must be refused without --force.
+    let mut bare = a.clone();
+    bare.meta = None;
+    assert!(diff(&bare, &b, false).is_err());
+    assert!(diff(&bare, &b, true).is_ok());
+}
