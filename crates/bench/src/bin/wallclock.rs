@@ -1,0 +1,453 @@
+//! Wall-clock microbenchmark of the simulator's page-state hot paths.
+//!
+//! Unlike every other bench binary, this one measures *host* time, not
+//! virtual time: the point of the two-level bitmaps is that the simulator
+//! itself stays fast at paper scale (140 GB ≈ 36.7M pages) even when the
+//! dirty population is tiny. Each cell of the sweep times the epoch-walk,
+//! discovery-scan, dirty-count, invariant-check, and fault/flush paths on
+//! the live bitmap-backed `PageTable`/`DirtySet`, and — in the same run,
+//! on the same page population — on an embedded scalar reference model
+//! that reproduces the pre-bitmap byte-per-page implementation. The
+//! scalar figures are the `baseline_*` numbers in `BENCH_wallclock.json`;
+//! both are recorded so the speedup is auditable from the artifact alone.
+//!
+//! Usage:
+//!   wallclock [--quick] [--out FILE] [--check COMMITTED_JSON]
+//!
+//! `--quick` runs the small CI configuration (1M pages, 0.1% density).
+//! `--check FILE` additionally compares the fresh optimized epoch-walk
+//! ns/page at 0.1% density against the committed artifact and exits
+//! non-zero if it regressed more than [`REGRESSION_FACTOR`]×.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use mem_sim::{PageId, PageTable};
+use viyojit::DirtySet;
+
+/// CI gate: fail if epoch-walk ns/page regresses past this factor over
+/// the committed artifact (absorbs runner-to-runner noise).
+const REGRESSION_FACTOR: f64 = 3.0;
+
+/// The committed artifact's headline cell: ≥8M pages at 0.1% density.
+const HEADLINE_PAGES: usize = 8_388_608;
+/// The CI quick cell (small config, same density).
+const QUICK_PAGES: usize = 1_048_576;
+const GATE_DENSITY: f64 = 0.001;
+
+/// Deterministic xorshift64*; the harness must not depend on ambient
+/// randomness.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+// ----------------------------------------------------------------------
+// Scalar reference model: the pre-bitmap byte-per-page implementation
+// ----------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ScalarState {
+    Clean,
+    Dirty,
+    InFlight,
+}
+
+/// `DirtySet` as it was before the bitmaps: a `Vec` of per-page states,
+/// every query a full scan.
+struct ScalarDirtySet {
+    states: Vec<ScalarState>,
+    dirty_count: u64,
+    in_flight_count: u64,
+}
+
+impl ScalarDirtySet {
+    fn new(pages: usize) -> Self {
+        ScalarDirtySet {
+            states: vec![ScalarState::Clean; pages],
+            dirty_count: 0,
+            in_flight_count: 0,
+        }
+    }
+
+    fn mark_dirty(&mut self, page: usize) {
+        self.states[page] = ScalarState::Dirty;
+        self.dirty_count += 1;
+    }
+
+    fn mark_in_flight(&mut self, page: usize) {
+        self.states[page] = ScalarState::InFlight;
+        self.in_flight_count += 1;
+    }
+
+    fn mark_clean(&mut self, page: usize) {
+        self.states[page] = ScalarState::Clean;
+        self.dirty_count -= 1;
+        self.in_flight_count -= 1;
+    }
+
+    fn collect_dirty(&self) -> Vec<u64> {
+        self.states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == ScalarState::Dirty)
+            .map(|(i, _)| i as u64)
+            .collect()
+    }
+
+    /// The seed's `check_invariants`: two independent full scans.
+    fn check_invariants(&self) -> bool {
+        let dirty = self
+            .states
+            .iter()
+            .filter(|s| **s != ScalarState::Clean)
+            .count() as u64;
+        let in_flight = self
+            .states
+            .iter()
+            .filter(|s| **s == ScalarState::InFlight)
+            .count() as u64;
+        dirty == self.dirty_count && in_flight == self.in_flight_count
+    }
+}
+
+/// `PageTable` as it was: a `Vec<u8>` of flag bytes (bit 2 = dirty).
+struct ScalarPageTable {
+    ptes: Vec<u8>,
+}
+
+const SCALAR_DIRTY: u8 = 1 << 2;
+
+impl ScalarPageTable {
+    fn new(pages: usize) -> Self {
+        ScalarPageTable {
+            ptes: vec![0u8; pages],
+        }
+    }
+
+    fn set_dirty(&mut self, page: usize) {
+        self.ptes[page] |= SCALAR_DIRTY;
+    }
+
+    fn take_dirty(&mut self, page: usize) -> bool {
+        let was = self.ptes[page] & SCALAR_DIRTY != 0;
+        self.ptes[page] &= !SCALAR_DIRTY;
+        was
+    }
+
+    fn dirty_count(&self) -> usize {
+        self.ptes.iter().filter(|f| **f & SCALAR_DIRTY != 0).count()
+    }
+
+    fn collect_dirty(&self) -> Vec<u64> {
+        self.ptes
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| **f & SCALAR_DIRTY != 0)
+            .map(|(i, _)| i as u64)
+            .collect()
+    }
+}
+
+// ----------------------------------------------------------------------
+// Measurement
+// ----------------------------------------------------------------------
+
+/// Average ns per repetition of `f`; the returned checksum keeps the
+/// optimizer from deleting the measured work.
+fn time_ns(reps: u32, mut f: impl FnMut() -> u64) -> (f64, u64) {
+    let mut checksum = 0u64;
+    let start = Instant::now();
+    for _ in 0..reps {
+        checksum = checksum.wrapping_add(black_box(f()));
+    }
+    let total = start.elapsed().as_nanos() as f64;
+    (total / f64::from(reps), checksum)
+}
+
+struct Cell {
+    pages: usize,
+    density: f64,
+    dirty_pages: usize,
+    /// (optimized ns, baseline ns) per metric.
+    epoch_walk: (f64, f64),
+    discovery: (f64, f64),
+    dirty_count: (f64, f64),
+    invariants: (f64, f64),
+    fault_flush: (f64, f64),
+}
+
+fn measure_cell(pages: usize, density: f64, reps: u32) -> Cell {
+    // Deterministic dirty population, identical for both models.
+    let target = ((pages as f64 * density) as usize).max(1);
+    let mut rng = 0x9E37_79B9_7F4A_7C15u64 ^ (pages as u64) ^ (target as u64);
+    let mut dirty = DirtySet::new(pages);
+    let mut pt = PageTable::new(pages);
+    let mut scalar_dirty = ScalarDirtySet::new(pages);
+    let mut scalar_pt = ScalarPageTable::new(pages);
+    let mut picked: Vec<usize> = Vec::with_capacity(target);
+    while picked.len() < target {
+        let p = (xorshift(&mut rng) % pages as u64) as usize;
+        if dirty.dirty_bits().test(p) {
+            continue;
+        }
+        dirty.mark_dirty(PageId(p as u64));
+        pt.set_dirty(PageId(p as u64), true);
+        scalar_dirty.mark_dirty(p);
+        scalar_pt.set_dirty(p);
+        picked.push(p);
+    }
+
+    // Epoch walk (§5.2 software mode): enumerate the dirty set, then
+    // read-and-clear each page's PTE dirty bit; restore untimed.
+    let epoch_opt = time_ns(reps, || {
+        let walk: Vec<PageId> = dirty.iter_dirty().collect();
+        let mut touched = 0u64;
+        for &p in &walk {
+            if pt.take_dirty(p) {
+                touched += 1;
+            }
+        }
+        for &p in &walk {
+            pt.set_dirty(p, true);
+        }
+        touched
+    });
+    let epoch_base = time_ns(reps, || {
+        let walk = scalar_dirty.collect_dirty();
+        let mut touched = 0u64;
+        for &p in &walk {
+            if scalar_pt.take_dirty(p as usize) {
+                touched += 1;
+            }
+        }
+        for &p in &walk {
+            scalar_pt.set_dirty(p as usize);
+        }
+        touched
+    });
+
+    // Discovery scan (§5.4 hardware mode): find every PTE-dirty page.
+    let discovery_opt = time_ns(reps, || pt.iter_dirty_pages().map(|p| p.0).sum());
+    let discovery_base = time_ns(reps, || scalar_pt.collect_dirty().iter().sum());
+
+    // Budget check: how many pages are dirty right now.
+    let count_opt = time_ns(reps, || pt.dirty_count() as u64);
+    let count_base = time_ns(reps, || scalar_pt.dirty_count() as u64);
+
+    // DirtySet invariant recount.
+    let inv_opt = time_ns(reps, || u64::from(dirty.check_invariants().is_ok()));
+    let inv_base = time_ns(reps, || u64::from(scalar_dirty.check_invariants()));
+
+    // Fault + flush lifecycle over every dirty page: in-flight, complete,
+    // re-dirty (the per-page budget bookkeeping on the write/flush path).
+    let fault_opt = time_ns(reps, || {
+        for &p in &picked {
+            let page = PageId(p as u64);
+            dirty.mark_in_flight(page);
+            dirty.mark_clean(page);
+            dirty.mark_dirty(page);
+        }
+        dirty.dirty_count()
+    });
+    let fault_base = time_ns(reps, || {
+        for &p in &picked {
+            scalar_dirty.mark_in_flight(p);
+            scalar_dirty.mark_clean(p);
+            scalar_dirty.mark_dirty(p);
+        }
+        scalar_dirty.dirty_count
+    });
+
+    // Cross-check: both models must agree on the population they timed.
+    assert_eq!(epoch_opt.1, epoch_base.1, "walk touch counts diverged");
+    assert_eq!(
+        discovery_opt.1, discovery_base.1,
+        "discovery scans diverged"
+    );
+    assert_eq!(dirty.dirty_count() as usize, target);
+
+    Cell {
+        pages,
+        density,
+        dirty_pages: target,
+        epoch_walk: (epoch_opt.0, epoch_base.0),
+        discovery: (discovery_opt.0, discovery_base.0),
+        dirty_count: (count_opt.0, count_base.0),
+        invariants: (inv_opt.0, inv_base.0),
+        fault_flush: (fault_opt.0, fault_base.0),
+    }
+}
+
+fn speedup(pair: (f64, f64)) -> f64 {
+    if pair.0 > 0.0 {
+        pair.1 / pair.0
+    } else {
+        f64::INFINITY
+    }
+}
+
+fn cell_json(c: &Cell) -> String {
+    format!(
+        "    {{\"pages\": {}, \"density\": {}, \"dirty_pages\": {}, \
+         \"epoch_walk_ns_optimized\": {:.1}, \"epoch_walk_ns_baseline\": {:.1}, \"epoch_walk_speedup\": {:.2}, \
+         \"discovery_ns_optimized\": {:.1}, \"discovery_ns_baseline\": {:.1}, \"discovery_speedup\": {:.2}, \
+         \"dirty_count_ns_optimized\": {:.1}, \"dirty_count_ns_baseline\": {:.1}, \"dirty_count_speedup\": {:.2}, \
+         \"invariants_ns_optimized\": {:.1}, \"invariants_ns_baseline\": {:.1}, \"invariants_speedup\": {:.2}, \
+         \"fault_flush_ns_optimized\": {:.1}, \"fault_flush_ns_baseline\": {:.1}}}",
+        c.pages,
+        c.density,
+        c.dirty_pages,
+        c.epoch_walk.0,
+        c.epoch_walk.1,
+        speedup(c.epoch_walk),
+        c.discovery.0,
+        c.discovery.1,
+        speedup(c.discovery),
+        c.dirty_count.0,
+        c.dirty_count.1,
+        speedup(c.dirty_count),
+        c.invariants.0,
+        c.invariants.1,
+        speedup(c.invariants),
+        c.fault_flush.0,
+        c.fault_flush.1,
+    )
+}
+
+fn report_json(mode: &str, cells: &[Cell]) -> String {
+    let headline_pages = if mode == "quick" {
+        QUICK_PAGES
+    } else {
+        HEADLINE_PAGES
+    };
+    let headline = cells
+        .iter()
+        .find(|c| c.pages == headline_pages && c.density == GATE_DENSITY)
+        .expect("the sweep always contains the headline cell");
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"wallclock\",\n");
+    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    out.push_str(
+        "  \"note\": \"ns figures are host wall-clock per operation; baseline_* times an \
+         embedded scalar reference reproducing the pre-bitmap byte-per-page implementation \
+         on the same page population in the same run\",\n",
+    );
+    out.push_str(&format!(
+        "  \"headline\": {{\"pages\": {}, \"density\": {}, \"epoch_walk_ns_baseline\": {:.1}, \
+         \"epoch_walk_ns_optimized\": {:.1}, \"epoch_walk_speedup\": {:.2}}},\n",
+        headline.pages,
+        headline.density,
+        headline.epoch_walk.1,
+        headline.epoch_walk.0,
+        speedup(headline.epoch_walk),
+    ));
+    out.push_str("  \"cells\": [\n");
+    let rows: Vec<String> = cells.iter().map(cell_json).collect();
+    out.push_str(&rows.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Pulls `key` out of the committed artifact's cell for (`pages`,
+/// `density`). The artifact is our own line-per-cell format, so a line
+/// scan is sufficient — no JSON parser needed.
+fn extract_cell_value(text: &str, pages: usize, key: &str) -> Option<f64> {
+    let pages_tag = format!("\"pages\": {pages},");
+    let density_tag = format!("\"density\": {GATE_DENSITY},");
+    for line in text.lines() {
+        if line.contains(&pages_tag) && line.contains(&density_tag) {
+            let rest = &line[line.find(&format!("\"{key}\":"))? + key.len() + 3..];
+            let end = rest
+                .find(|c: char| c != ' ' && c != '-' && c != '.' && !c.is_ascii_digit())
+                .unwrap_or(rest.len());
+            return rest[..end].trim().parse().ok();
+        }
+    }
+    None
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                i += 1;
+                out_path = Some(args.get(i).expect("--out needs a path").clone());
+            }
+            "--check" => {
+                i += 1;
+                check_path = Some(args.get(i).expect("--check needs a path").clone());
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: wallclock [--quick] [--out FILE] [--check COMMITTED_JSON]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    // The gate always runs on the small configuration.
+    if check_path.is_some() {
+        quick = true;
+    }
+
+    let (sizes, densities, reps): (&[usize], &[f64], u32) = if quick {
+        (&[QUICK_PAGES], &[GATE_DENSITY], 5)
+    } else {
+        (
+            &[QUICK_PAGES, HEADLINE_PAGES, 33_554_432],
+            &[0.0001, 0.001, 0.01, 0.1],
+            3,
+        )
+    };
+
+    let mut cells = Vec::new();
+    for &pages in sizes {
+        for &density in densities {
+            eprintln!("measuring {pages} pages at density {density} ...");
+            cells.push(measure_cell(pages, density, reps));
+        }
+    }
+
+    let mode = if quick { "quick" } else { "full" };
+    let json = report_json(mode, &cells);
+    print!("{json}");
+    if let Some(path) = &out_path {
+        std::fs::write(path, &json).expect("write artifact");
+        eprintln!("wrote {path}");
+    }
+
+    if let Some(path) = &check_path {
+        let committed = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read committed artifact {path}: {e}"));
+        let committed_ns = extract_cell_value(&committed, QUICK_PAGES, "epoch_walk_ns_optimized")
+            .expect("committed artifact lacks the quick gate cell");
+        let fresh = cells
+            .iter()
+            .find(|c| c.pages == QUICK_PAGES && c.density == GATE_DENSITY)
+            .expect("quick sweep contains the gate cell");
+        let fresh_per_page = fresh.epoch_walk.0 / fresh.pages as f64;
+        let committed_per_page = committed_ns / QUICK_PAGES as f64;
+        eprintln!(
+            "gate: fresh epoch-walk {:.4} ns/page vs committed {:.4} ns/page (limit {REGRESSION_FACTOR}x)",
+            fresh_per_page, committed_per_page
+        );
+        if fresh_per_page > committed_per_page * REGRESSION_FACTOR {
+            eprintln!("FAIL: epoch-walk hot path regressed more than {REGRESSION_FACTOR}x");
+            std::process::exit(1);
+        }
+        eprintln!("gate: OK");
+    }
+}

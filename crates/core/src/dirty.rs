@@ -7,8 +7,13 @@
 //! instant a page is first dirtied and decremented when its flush to the
 //! SSD completes. `DirtySet` is that structure, plus the in-flight
 //! bookkeeping the flusher needs.
+//!
+//! The per-page states are stored as two [`Bitmap2L`]s — one for `Dirty`,
+//! one for `InFlight`; a page in neither is `Clean` — so iterating the
+//! dirty population is O(dirty), not O(DRAM), and the invariant recount is
+//! a word-level popcount pass over the set bits only.
 
-use mem_sim::PageId;
+use mem_sim::{Bitmap2L, PageId};
 
 use crate::InvariantViolation;
 
@@ -44,7 +49,10 @@ pub enum PageState {
 /// ```
 #[derive(Debug, Clone)]
 pub struct DirtySet {
-    states: Vec<PageState>,
+    /// Pages in the `Dirty` state. Disjoint from `in_flight`.
+    dirty: Bitmap2L,
+    /// Pages in the `InFlight` state. Disjoint from `dirty`.
+    in_flight: Bitmap2L,
     dirty_count: u64,
     in_flight_count: u64,
 }
@@ -53,7 +61,8 @@ impl DirtySet {
     /// Creates a tracker over `pages` clean pages.
     pub fn new(pages: usize) -> Self {
         DirtySet {
-            states: vec![PageState::Clean; pages],
+            dirty: Bitmap2L::new(pages),
+            in_flight: Bitmap2L::new(pages),
             dirty_count: 0,
             in_flight_count: 0,
         }
@@ -61,12 +70,12 @@ impl DirtySet {
 
     /// Number of pages tracked.
     pub fn len(&self) -> usize {
-        self.states.len()
+        self.dirty.len()
     }
 
     /// `true` if the tracker covers no pages.
     pub fn is_empty(&self) -> bool {
-        self.states.is_empty()
+        self.dirty.is_empty()
     }
 
     /// The state of `page`.
@@ -75,7 +84,13 @@ impl DirtySet {
     ///
     /// Panics if `page` is out of range.
     pub fn state(&self, page: PageId) -> PageState {
-        self.states[page.index()]
+        if self.dirty.test(page.index()) {
+            PageState::Dirty
+        } else if self.in_flight.test(page.index()) {
+            PageState::InFlight
+        } else {
+            PageState::Clean
+        }
     }
 
     /// Pages currently counted against the budget (dirty + in-flight).
@@ -95,9 +110,12 @@ impl DirtySet {
     /// Panics if the page is not clean: the fault handler only runs on
     /// write-protected pages, and dirty pages are never protected.
     pub fn mark_dirty(&mut self, page: PageId) {
-        let s = &mut self.states[page.index()];
-        assert_eq!(*s, PageState::Clean, "page {page} dirtied twice");
-        *s = PageState::Dirty;
+        assert_eq!(
+            self.state(page),
+            PageState::Clean,
+            "page {page} dirtied twice"
+        );
+        self.dirty.set(page.index());
         self.dirty_count += 1;
     }
 
@@ -108,9 +126,13 @@ impl DirtySet {
     ///
     /// Panics if the page is not in the `Dirty` state.
     pub fn mark_in_flight(&mut self, page: PageId) {
-        let s = &mut self.states[page.index()];
-        assert_eq!(*s, PageState::Dirty, "only dirty pages can be flushed");
-        *s = PageState::InFlight;
+        assert_eq!(
+            self.state(page),
+            PageState::Dirty,
+            "only dirty pages can be flushed"
+        );
+        self.dirty.clear(page.index());
+        self.in_flight.set(page.index());
         self.in_flight_count += 1;
     }
 
@@ -121,9 +143,12 @@ impl DirtySet {
     ///
     /// Panics if the page is not in the `InFlight` state.
     pub fn mark_clean(&mut self, page: PageId) {
-        let s = &mut self.states[page.index()];
-        assert_eq!(*s, PageState::InFlight, "only in-flight pages complete");
-        *s = PageState::Clean;
+        assert_eq!(
+            self.state(page),
+            PageState::InFlight,
+            "only in-flight pages complete"
+        );
+        self.in_flight.clear(page.index());
         self.dirty_count -= 1;
         self.in_flight_count -= 1;
     }
@@ -136,59 +161,81 @@ impl DirtySet {
     ///
     /// Panics if the page is not in the `Dirty` state.
     pub fn discard_dirty(&mut self, page: PageId) {
-        let s = &mut self.states[page.index()];
-        assert_eq!(*s, PageState::Dirty, "only dirty pages can be discarded");
-        *s = PageState::Clean;
+        assert_eq!(
+            self.state(page),
+            PageState::Dirty,
+            "only dirty pages can be discarded"
+        );
+        self.dirty.clear(page.index());
         self.dirty_count -= 1;
     }
 
-    /// Iterates over pages in the `Dirty` state (flushable victims).
+    /// Iterates over pages in the `Dirty` state (flushable victims), in
+    /// ascending order, skipping clean space word-by-word.
     pub fn iter_dirty(&self) -> impl Iterator<Item = PageId> + '_ {
-        self.states
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| **s == PageState::Dirty)
-            .map(|(i, _)| PageId(i as u64))
+        self.dirty.iter_ones().map(|i| PageId(i as u64))
     }
 
-    /// Iterates over every page counted against the budget.
+    /// Iterates over every page counted against the budget, in ascending
+    /// order.
     pub fn iter_counted(&self) -> impl Iterator<Item = PageId> + '_ {
-        self.states
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| **s != PageState::Clean)
-            .map(|(i, _)| PageId(i as u64))
+        self.dirty
+            .iter_ones_union(&self.in_flight)
+            .map(|i| PageId(i as u64))
+    }
+
+    /// The `Dirty`-state pages as a bitmap, for word-level scans.
+    pub fn dirty_bits(&self) -> &Bitmap2L {
+        &self.dirty
+    }
+
+    /// The `InFlight`-state pages as a bitmap, for word-level scans.
+    pub fn in_flight_bits(&self) -> &Bitmap2L {
+        &self.in_flight
+    }
+
+    /// Resets every page to `Clean` and both counters to zero (recovery
+    /// re-establishes the startup state). O(words).
+    pub fn reset(&mut self) {
+        self.dirty.clear_all();
+        self.in_flight.clear_all();
+        self.dirty_count = 0;
+        self.in_flight_count = 0;
     }
 
     /// Checks internal consistency: the running counters must match a
-    /// recount of the per-page states.
+    /// recount of the per-page states, and no page may be both dirty and
+    /// in-flight. One word-level pass over the set bits of both bitmaps —
+    /// the two full-vector scans this used to take are gone.
     ///
     /// # Errors
     ///
     /// [`InvariantViolation::CounterOutOfSync`] naming the counter that
     /// drifted.
     pub fn check_invariants(&self) -> Result<(), InvariantViolation> {
-        let dirty = self
-            .states
-            .iter()
-            .filter(|s| **s != PageState::Clean)
-            .count() as u64;
-        let in_flight = self
-            .states
-            .iter()
-            .filter(|s| **s == PageState::InFlight)
-            .count() as u64;
-        if dirty != self.dirty_count {
+        let mut dirty_only = 0u64;
+        let mut in_flight = 0u64;
+        let mut overlap = 0u64;
+        self.dirty.for_each_word_union(&self.in_flight, |_, d, f| {
+            dirty_only += u64::from(d.count_ones());
+            in_flight += u64::from(f.count_ones());
+            overlap += u64::from((d & f).count_ones());
+        });
+        // A page in both bitmaps would read as `Dirty` through `state()`,
+        // silently hiding an in-flight IO: surface it as an in-flight
+        // counter recount mismatch.
+        let counted_dirty = dirty_only + in_flight - overlap;
+        if counted_dirty != self.dirty_count || self.dirty.count() as u64 != dirty_only {
             return Err(InvariantViolation::CounterOutOfSync {
                 counter: "dirty",
-                counted: dirty,
+                counted: counted_dirty,
                 recorded: self.dirty_count,
             });
         }
-        if in_flight != self.in_flight_count {
+        if in_flight != self.in_flight_count || overlap != 0 {
             return Err(InvariantViolation::CounterOutOfSync {
                 counter: "in-flight",
-                counted: in_flight,
+                counted: in_flight - overlap,
                 recorded: self.in_flight_count,
             });
         }
@@ -271,5 +318,36 @@ mod tests {
         let mut s = DirtySet::new(1);
         s.mark_dirty(PageId(0));
         s.mark_clean(PageId(0));
+    }
+
+    #[test]
+    fn iteration_spans_word_boundaries() {
+        let mut s = DirtySet::new(200);
+        for i in [63u64, 64, 130] {
+            s.mark_dirty(PageId(i));
+        }
+        s.mark_in_flight(PageId(64));
+        assert_eq!(
+            s.iter_dirty().collect::<Vec<_>>(),
+            vec![PageId(63), PageId(130)]
+        );
+        assert_eq!(
+            s.iter_counted().collect::<Vec<_>>(),
+            vec![PageId(63), PageId(64), PageId(130)]
+        );
+        s.validate();
+    }
+
+    #[test]
+    fn reset_returns_to_startup_state() {
+        let mut s = DirtySet::new(100);
+        s.mark_dirty(PageId(7));
+        s.mark_dirty(PageId(99));
+        s.mark_in_flight(PageId(7));
+        s.reset();
+        assert_eq!(s.dirty_count(), 0);
+        assert_eq!(s.in_flight_count(), 0);
+        assert_eq!(s.state(PageId(7)), PageState::Clean);
+        s.validate();
     }
 }

@@ -9,7 +9,7 @@
 //! the hardware backend traps only at the budget boundary, the baseline
 //! never traps at all.
 
-use mem_sim::{AccessError, Mmu, PageId, WalkOptions, PAGE_SIZE};
+use mem_sim::{AccessError, Bitmap2L, Mmu, PageId, WalkOptions, PAGE_SIZE};
 use telemetry::{CostClass, TraceEvent};
 
 use crate::codec::{encoded_page_bytes, page_content_hash, DEDUP_RECORD_BYTES};
@@ -278,14 +278,19 @@ impl DirtyTracker for SoftwareWalk {
     }
 
     fn unmap_region(core: &mut EngineCore, backend: &mut Self, info: &RegionInfo) {
+        let start = info.first_page.index();
+        let end = start + info.pages as usize;
         // Wait out in-flight flushes of this region so freed pages cannot
-        // be remapped while an IO still references them.
-        for page in info.iter_pages() {
+        // be remapped while an IO still references them. Waiting retires
+        // other completions too, so re-check each page when its turn comes.
+        let waiting: Vec<PageId> = page_range(&[backend.dirty.in_flight_bits()], start, end);
+        for page in waiting {
             if backend.dirty.state(page) == PageState::InFlight {
                 wait_for_page_io(core, backend, page);
             }
         }
-        for page in info.iter_pages() {
+        let doomed: Vec<PageId> = page_range(&[backend.dirty.dirty_bits()], start, end);
+        for page in doomed {
             if backend.dirty.state(page) == PageState::Dirty {
                 core.selector.on_removed(page);
                 backend.dirty.discard_dirty(page);
@@ -326,7 +331,7 @@ impl DirtyTracker for SoftwareWalk {
             core.mmu.protect_page(page);
             core.mmu.clear_sector_mask(page);
         }
-        backend.dirty = DirtySet::new(core.mmu.pages());
+        backend.dirty.reset();
         backend.new_dirty_this_epoch = 0;
         // dedup_hashes survive: the SSD still holds those contents.
     }
@@ -345,31 +350,83 @@ impl DirtyTracker for SoftwareWalk {
                 pages: self.dirty.in_flight_count(),
             });
         }
-        for (page, flags) in core.mmu.page_table().iter() {
-            let counted_dirty = self.dirty.state(page) == PageState::Dirty;
-            if counted_dirty != flags.is_writable() {
-                return Err(InvariantViolation::ProtectionMismatch {
-                    page: page.0,
-                    counted_dirty,
-                });
-            }
+        // Exactly the Dirty-state pages must be writable. A page can only
+        // mismatch where either bitmap has a bit set, so comparing the two
+        // columns word-by-word over their union skips agreeing-clean space
+        // entirely; the first differing bit is the lowest mismatching page.
+        let mut mismatch: Option<(u64, bool)> = None;
+        self.dirty.dirty_bits().for_each_word_union(
+            core.mmu.page_table().writable_bits(),
+            |w, dirty, writable| {
+                if mismatch.is_none() && dirty != writable {
+                    let bit = (dirty ^ writable).trailing_zeros() as u64;
+                    let page = w as u64 * 64 + bit;
+                    mismatch = Some((page, dirty & (1 << bit) != 0));
+                }
+            },
+        );
+        if let Some((page, counted_dirty)) = mismatch {
+            return Err(InvariantViolation::ProtectionMismatch {
+                page,
+                counted_dirty,
+            });
         }
         Ok(())
     }
 
     fn durable_state_consistent(&self, core: &EngineCore) -> bool {
+        let (dirty, in_flight) = (self.dirty.dirty_bits(), self.dirty.in_flight_bits());
         for (_, info) in core.regions.iter() {
-            for page in info.iter_pages() {
-                if self.dirty.state(page) != PageState::Clean {
-                    continue;
-                }
-                if !page_matches_durable(core, page) {
-                    return false;
-                }
+            if !clean_pages_match(core, &info, |w| dirty.word(w) | in_flight.word(w)) {
+                return false;
             }
         }
         true
     }
+}
+
+/// Pages within `start..end` whose bit is set in any of `maps`, in
+/// ascending order. Used to snapshot the interesting pages of a region
+/// before a loop that mutates the tracking state.
+fn page_range(maps: &[&Bitmap2L], start: usize, end: usize) -> Vec<PageId> {
+    let mut pages: Vec<usize> = Vec::new();
+    for m in maps {
+        pages.extend(m.iter_ones_in(start, end));
+    }
+    pages.sort_unstable();
+    pages.dedup();
+    pages.into_iter().map(|i| PageId(i as u64)).collect()
+}
+
+/// Checks [`page_matches_durable`] for every page of `info` whose bit is
+/// *clear* in the word-level `skip_word` mask (bit `b` of `skip_word(w)`
+/// covers page `w * 64 + b`), returning `false` on the first mismatch.
+/// The mask lets callers exclude legitimately-ahead pages 64 at a time.
+fn clean_pages_match(
+    core: &EngineCore,
+    info: &RegionInfo,
+    skip_word: impl Fn(usize) -> u64,
+) -> bool {
+    let start = info.first_page.index();
+    let end = start + info.pages as usize;
+    let mut p = start;
+    while p < end {
+        let w = p / 64;
+        let word_end = ((w + 1) * 64).min(end);
+        let mut bits = !skip_word(w) & (!0u64 << (p % 64));
+        if word_end < (w + 1) * 64 {
+            bits &= (1u64 << (word_end % 64)) - 1;
+        }
+        while bits != 0 {
+            let b = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            if !page_matches_durable(core, PageId((w * 64 + b) as u64)) {
+                return false;
+            }
+        }
+        p = word_end;
+    }
+    true
 }
 
 /// `true` if the in-memory contents of `page` match its durable SSD copy
@@ -386,57 +443,52 @@ fn page_matches_durable(core: &EngineCore, page: PageId) -> bool {
 // MmuAssisted: the §5.4 hardware offload
 // ----------------------------------------------------------------------
 
-/// Per-page runtime state in the hardware-assisted backend.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum HwPageState {
-    /// Clean and writable (the hardware will count its next dirtying).
-    Clean,
-    /// Known dirty (discovered via interrupt or epoch scan).
-    Dirty,
-    /// Dirty with a flush IO in flight; write-protected so the snapshot
-    /// stays stable (§5.1's ordering still applies in hardware).
-    InFlight,
-}
-
 /// The §5.4 hardware offload: the MMU counts dirty-bit transitions
 /// itself, raises an interrupt only when the count reaches the OS-set
 /// limit, and provides a shadow dirty bit for recency tracking. Writes to
 /// clean pages proceed at full speed; traps happen only at the budget
 /// boundary.
 ///
+/// The runtime's view of the hardware state is two disjoint bitmaps: a
+/// page in `known_dirty` was discovered dirty, a page in `in_flight` is
+/// write-protected with a flush IO pending (§5.1's ordering still applies
+/// in hardware), and a page in neither is clean and writable.
+///
 /// `Engine<MmuAssisted>` is [`MmuAssistedViyojit`](crate::MmuAssistedViyojit).
 #[derive(Debug)]
 pub struct MmuAssisted {
-    states: Vec<HwPageState>,
-    dirty_known: u64,
-    in_flight_count: u64,
+    known_dirty: Bitmap2L,
+    in_flight: Bitmap2L,
 }
 
 /// Discovery scan over mapped pages: PTE dirty bit set but page not yet
-/// known-dirty means it was dirtied silently since the last scan.
-fn hw_discover(core: &mut EngineCore, hw: &mut MmuAssisted, mapped: &[PageId]) -> u64 {
-    let mut discovered = 0u64;
-    for &page in mapped {
-        if hw.states[page.index()] == HwPageState::Clean
-            && core.mmu.page_table().flags(page).is_dirty()
-        {
-            hw.states[page.index()] = HwPageState::Dirty;
-            hw.dirty_known += 1;
-            core.history.touch(page);
-            core.selector.on_dirty(page, &core.history);
-            core.stats.pages_dirtied += 1;
-            discovered += 1;
+/// known-dirty means it was dirtied silently since the last scan. The
+/// scan walks the PTE dirty-bit column word-by-word instead of testing
+/// every mapped page, visiting regions in slot order and pages in
+/// ascending order within each region — the same order the full scan
+/// used, so victim-selection recency is untouched.
+fn hw_discover(core: &mut EngineCore, hw: &mut MmuAssisted) -> u64 {
+    let mut candidates: Vec<PageId> = Vec::new();
+    {
+        let pte_dirty = core.mmu.page_table().dirty_bits();
+        for (_, info) in core.regions.iter() {
+            let start = info.first_page.index();
+            let end = start + info.pages as usize;
+            candidates.extend(
+                pte_dirty
+                    .iter_ones_in(start, end)
+                    .filter(|&i| !hw.known_dirty.test(i) && !hw.in_flight.test(i))
+                    .map(|i| PageId(i as u64)),
+            );
         }
     }
-    discovered
-}
-
-/// Every page of every live mapping.
-fn mapped_pages(core: &EngineCore) -> Vec<PageId> {
-    core.regions
-        .iter()
-        .flat_map(|(_, info)| info.iter_pages().collect::<Vec<_>>())
-        .collect()
+    for &page in &candidates {
+        hw.known_dirty.set(page.index());
+        core.history.touch(page);
+        core.selector.on_dirty(page, &core.history);
+        core.stats.pages_dirtied += 1;
+    }
+    candidates.len() as u64
 }
 
 /// Handles the §5.4 dirty-limit interrupt: free one hardware slot by
@@ -459,9 +511,8 @@ impl DirtyTracker for MmuAssisted {
         // is armed at the budget.
         mmu.set_dirty_limit(Some(config.dirty_budget_pages));
         MmuAssisted {
-            states: vec![HwPageState::Clean; total_pages],
-            dirty_known: 0,
-            in_flight_count: 0,
+            known_dirty: Bitmap2L::new(total_pages),
+            in_flight: Bitmap2L::new(total_pages),
         }
     }
 
@@ -471,7 +522,7 @@ impl DirtyTracker for MmuAssisted {
     }
 
     fn in_flight_pages(&self) -> u64 {
-        self.in_flight_count
+        self.in_flight.count() as u64
     }
 
     fn on_write_error(core: &mut EngineCore, backend: &mut Self, err: AccessError) {
@@ -492,17 +543,21 @@ impl DirtyTracker for MmuAssisted {
     /// *addresses* by scanning, since dirtying no longer traps), then
     /// refresh recency from shadow bits.
     fn epoch_walk(core: &mut EngineCore, backend: &mut Self) -> (u64, u64) {
-        let mapped = mapped_pages(core);
-        let discovered = hw_discover(core, backend, &mapped);
+        let discovered = hw_discover(core, backend);
         // Shadow walk over known-dirty pages refreshes recency without
         // touching the counter. No full TLB flush is required for
         // correctness here — the shadow bit is only advisory — but the
         // walk flushes when configured, like the software mode.
-        let known: Vec<PageId> = mapped
-            .iter()
-            .copied()
-            .filter(|p| backend.states[p.index()] == HwPageState::Dirty)
-            .collect();
+        let mut known: Vec<PageId> = Vec::new();
+        for (_, info) in core.regions.iter() {
+            let start = info.first_page.index();
+            known.extend(
+                backend
+                    .known_dirty
+                    .iter_ones_in(start, start + info.pages as usize)
+                    .map(|i| PageId(i as u64)),
+            );
+        }
         let options = WalkOptions {
             flush_tlb: core.config.tlb_flush_on_walk,
             charge_costs: false,
@@ -512,13 +567,16 @@ impl DirtyTracker for MmuAssisted {
             core.selector.on_touch(page, &core.history);
             core.stats.walk_touches += 1;
         }
-        ((mapped.len() + known.len()) as u64, discovered)
+        // The discovery scan still covers every mapped page (the summary
+        // level just skips clean space), so the walked count it reports is
+        // unchanged.
+        (core.regions.mapped_pages() + known.len() as u64, discovered)
     }
 
     fn mark_in_flight(_core: &mut EngineCore, backend: &mut Self, victim: PageId) {
-        debug_assert_eq!(backend.states[victim.index()], HwPageState::Dirty);
-        backend.states[victim.index()] = HwPageState::InFlight;
-        backend.in_flight_count += 1;
+        debug_assert!(backend.known_dirty.test(victim.index()));
+        backend.known_dirty.clear(victim.index());
+        backend.in_flight.set(victim.index());
     }
 
     fn flush_payload(
@@ -536,9 +594,7 @@ impl DirtyTracker for MmuAssisted {
         // page becomes writable again with no fault pending.
         core.mmu.credit_dirty_page(page);
         core.mmu.unprotect_page(page);
-        backend.states[page.index()] = HwPageState::Clean;
-        backend.dirty_known -= 1;
-        backend.in_flight_count -= 1;
+        backend.in_flight.clear(page.index());
     }
 
     fn pick_forced_victim(core: &mut EngineCore, backend: &mut Self) -> PageId {
@@ -546,8 +602,7 @@ impl DirtyTracker for MmuAssisted {
             Some(v) => v,
             None => {
                 // The runtime's view lags the hardware: discover now.
-                let mapped = mapped_pages(core);
-                hw_discover(core, backend, &mapped);
+                hw_discover(core, backend);
                 core.selector
                     .peek()
                     .expect("hardware counts a dirty page the scan cannot find")
@@ -562,18 +617,27 @@ impl DirtyTracker for MmuAssisted {
     }
 
     fn unmap_region(core: &mut EngineCore, backend: &mut Self, info: &RegionInfo) {
-        for page in info.iter_pages() {
-            if backend.states[page.index()] == HwPageState::InFlight {
+        let start = info.first_page.index();
+        let end = start + info.pages as usize;
+        let waiting: Vec<PageId> = page_range(&[&backend.in_flight], start, end);
+        for page in waiting {
+            if backend.in_flight.test(page.index()) {
                 wait_for_page_io(core, backend, page);
             }
         }
-        for page in info.iter_pages() {
-            if backend.states[page.index()] == HwPageState::Dirty {
+        // Only pages known dirty or with the PTE dirty bit set need any
+        // action; snapshot their union before mutating the counter.
+        let doomed: Vec<PageId> = page_range(
+            &[&backend.known_dirty, core.mmu.page_table().dirty_bits()],
+            start,
+            end,
+        );
+        for page in doomed {
+            if backend.known_dirty.test(page.index()) {
                 core.selector.on_removed(page);
-                backend.states[page.index()] = HwPageState::Clean;
-                backend.dirty_known -= 1;
+                backend.known_dirty.clear(page.index());
                 core.mmu.credit_dirty_page(page);
-            } else if core.mmu.page_table().flags(page).is_dirty() {
+            } else if core.mmu.page_table().is_dirty(page) {
                 // Dirty but not yet discovered: still credit the counter.
                 core.mmu.credit_dirty_page(page);
             }
@@ -581,13 +645,15 @@ impl DirtyTracker for MmuAssisted {
     }
 
     fn failure_obligation(core: &mut EngineCore, _backend: &mut Self) -> FlushObligation {
+        // Everything with the PTE dirty bit set — discovered or not — is
+        // ahead of the SSD; the word-skipping dirty-column iterator
+        // enumerates exactly those pages in ascending order.
         let items: Vec<ObligationItem> = core
             .mmu
             .page_table()
-            .iter()
-            .filter(|(_, f)| f.is_dirty())
-            .map(|(p, _)| ObligationItem {
-                page: p,
+            .iter_dirty_pages()
+            .map(|page| ObligationItem {
+                page,
                 payload: PAGE_SIZE,
             })
             .collect();
@@ -611,19 +677,15 @@ impl DirtyTracker for MmuAssisted {
             core.mmu.unprotect_page(page);
         }
         core.mmu.set_dirty_limit(None);
-        for i in 0..core.mmu.pages() {
-            // Reset dirty/shadow bits so the re-armed counter starts at 0.
-            let page = PageId(i as u64);
-            let _ = core.mmu.walk_and_clear_dirty(&[page], WalkOptions::stale());
-            let _ = core
-                .mmu
-                .walk_and_clear_shadow(&[page], WalkOptions::stale());
-        }
+        // Reset dirty/shadow bits so the re-armed counter starts at 0. The
+        // per-page stale walks this replaced charged no costs and left the
+        // TLB alone (the unprotect pass above already invalidated every
+        // entry), so the batch clear is observationally identical.
+        core.mmu.clear_dirty_tracking_bits();
         core.mmu
             .set_dirty_limit(Some(core.config.dirty_budget_pages));
-        backend.states.fill(HwPageState::Clean);
-        backend.dirty_known = 0;
-        backend.in_flight_count = 0;
+        backend.known_dirty.clear_all();
+        backend.in_flight.clear_all();
     }
 
     fn check_invariants(&self, core: &EngineCore) -> Result<(), InvariantViolation> {
@@ -638,29 +700,27 @@ impl DirtyTracker for MmuAssisted {
         if pte_dirty != counted {
             return Err(InvariantViolation::HardwareCounterMismatch { pte_dirty, counted });
         }
-        if core.inflight.len() as u64 != self.in_flight_count {
+        if core.inflight.len() as u64 != self.in_flight.count() as u64 {
             return Err(InvariantViolation::InFlightListMismatch {
                 ios: core.inflight.len() as u64,
-                pages: self.in_flight_count,
+                pages: self.in_flight.count() as u64,
             });
         }
         Ok(())
     }
 
     fn durable_state_consistent(&self, core: &EngineCore) -> bool {
+        // Known-dirty, in-flight, and silently-dirtied (PTE bit set but
+        // undiscovered) pages are all legitimately ahead of the SSD; only
+        // settled-clean pages must match, and the word-level mask skips
+        // the rest 64 pages at a time.
+        let pte_dirty = core.mmu.page_table().dirty_bits();
         for (_, info) in core.regions.iter() {
-            for page in info.iter_pages() {
-                // Known-dirty, in-flight, and silently-dirtied (PTE bit
-                // set but undiscovered) pages are all legitimately ahead
-                // of the SSD; only settled-clean pages must match.
-                if self.states[page.index()] != HwPageState::Clean
-                    || core.mmu.page_table().flags(page).is_dirty()
-                {
-                    continue;
-                }
-                if !page_matches_durable(core, page) {
-                    return false;
-                }
+            let ok = clean_pages_match(core, &info, |w| {
+                self.known_dirty.word(w) | self.in_flight.word(w) | pte_dirty.word(w)
+            });
+            if !ok {
+                return false;
             }
         }
         true
@@ -733,7 +793,7 @@ impl DirtyTracker for FullDirty {
         // pages carry content to submit; the unmapped remainder is durable
         // as-is (all zeroes) but still part of the reported obligation.
         let mut items = Vec::new();
-        for (_, info) in core.regions.iter().collect::<Vec<_>>() {
+        for (_, info) in core.regions.iter() {
             for page in info.iter_pages() {
                 items.push(ObligationItem {
                     page,

@@ -1,0 +1,508 @@
+//! Bit-packed two-level hierarchical bitmaps for page-state tracking.
+//!
+//! The simulator's hot loops — the §5.2 epoch walk, the hardware
+//! discovery scan, dirty-set iteration — must be O(dirty), not O(DRAM):
+//! at the paper's scale (140 GB ≈ 36.7M 4 KB pages) a byte-per-page scan
+//! per simulated epoch makes the *simulator* the experiment bottleneck.
+//! [`Bitmap2L`] packs one flag per page into `u64` leaf words and keeps a
+//! second *summary* level with one bit per non-zero leaf word, so scans
+//! skip clean space 64 pages at a time at the leaf level and 4096 pages
+//! at a time at the summary level.
+//!
+//! # Examples
+//!
+//! ```
+//! use mem_sim::Bitmap2L;
+//!
+//! let mut b = Bitmap2L::new(10_000);
+//! b.set(3);
+//! b.set(9_999);
+//! assert_eq!(b.count(), 2);
+//! assert_eq!(b.iter_ones().collect::<Vec<_>>(), vec![3, 9_999]);
+//! assert_eq!(b.next_one_from(4), Some(9_999));
+//! ```
+
+/// A fixed-size bitmap with a one-bit-per-word summary level.
+///
+/// All index arguments must be `< len`; out-of-range indices panic, like
+/// slice indexing. Mutating operations keep the summary and the running
+/// popcount consistent, so [`Bitmap2L::count`] is O(1) and every scan
+/// primitive skips zero words without touching them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmap2L {
+    /// Number of addressable bits.
+    len: usize,
+    /// Leaf level: bit `i % 64` of `words[i / 64]` is bit `i`.
+    words: Vec<u64>,
+    /// Summary level: bit `w % 64` of `summary[w / 64]` is set iff
+    /// `words[w] != 0`.
+    summary: Vec<u64>,
+    /// Running popcount, maintained by `set`/`clear`/`drain_words`.
+    ones: usize,
+}
+
+impl Bitmap2L {
+    /// Creates an all-zero bitmap over `len` bits.
+    pub fn new(len: usize) -> Self {
+        let n_words = len.div_ceil(64);
+        Bitmap2L {
+            len,
+            words: vec![0; n_words],
+            summary: vec![0; n_words.div_ceil(64)],
+            ones: 0,
+        }
+    }
+
+    /// Creates an all-ones bitmap over `len` bits.
+    pub fn filled(len: usize) -> Self {
+        let mut b = Self::new(len);
+        for (w, word) in b.words.iter_mut().enumerate() {
+            let bits_here = (len - w * 64).min(64);
+            *word = if bits_here == 64 {
+                !0
+            } else {
+                (1u64 << bits_here) - 1
+            };
+        }
+        for (s, sword) in b.summary.iter_mut().enumerate() {
+            let words_here = (b.words.len() - s * 64).min(64);
+            *sword = if words_here == 64 {
+                !0
+            } else {
+                (1u64 << words_here) - 1
+            };
+        }
+        b.ones = len;
+        b
+    }
+
+    /// Number of addressable bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the bitmap addresses no bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of set bits. O(1): the popcount is maintained incrementally.
+    pub fn count(&self) -> usize {
+        self.ones
+    }
+
+    /// Recomputes the popcount from the leaf words in one pass — the
+    /// ground truth `count()` must agree with.
+    pub fn recount(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    #[inline]
+    fn check_index(&self, i: usize) {
+        assert!(
+            i < self.len,
+            "bit index {i} out of range for bitmap of {} bits",
+            self.len
+        );
+    }
+
+    /// Tests bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn test(&self, i: usize) -> bool {
+        self.check_index(i);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Sets bit `i`, returning `true` if it was previously clear.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn set(&mut self, i: usize) -> bool {
+        self.check_index(i);
+        let w = i / 64;
+        let mask = 1u64 << (i % 64);
+        if self.words[w] & mask != 0 {
+            return false;
+        }
+        self.words[w] |= mask;
+        self.summary[w / 64] |= 1u64 << (w % 64);
+        self.ones += 1;
+        true
+    }
+
+    /// Clears bit `i`, returning `true` if it was previously set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn clear(&mut self, i: usize) -> bool {
+        self.check_index(i);
+        let w = i / 64;
+        let mask = 1u64 << (i % 64);
+        if self.words[w] & mask == 0 {
+            return false;
+        }
+        self.words[w] &= !mask;
+        if self.words[w] == 0 {
+            self.summary[w / 64] &= !(1u64 << (w % 64));
+        }
+        self.ones -= 1;
+        true
+    }
+
+    /// Clears every bit. O(words).
+    pub fn clear_all(&mut self) {
+        self.words.fill(0);
+        self.summary.fill(0);
+        self.ones = 0;
+    }
+
+    /// The raw leaf word holding bits `w * 64 .. w * 64 + 64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is past the last word.
+    #[inline]
+    pub fn word(&self, w: usize) -> u64 {
+        self.words[w]
+    }
+
+    /// Number of leaf words.
+    pub fn word_count(&self) -> usize {
+        self.words.len()
+    }
+
+    /// The position of the first set bit at or after `start`, skipping
+    /// clean space word-by-word at the leaf level and 64-words-at-a-time
+    /// at the summary level.
+    pub fn next_one_from(&self, start: usize) -> Option<usize> {
+        if start >= self.len {
+            return None;
+        }
+        let w = start / 64;
+        let bits = self.words[w] & (!0u64 << (start % 64));
+        if bits != 0 {
+            return Some(w * 64 + bits.trailing_zeros() as usize);
+        }
+        self.next_one_in_word_from(w + 1)
+    }
+
+    /// First set bit in any word at or after `from_word`.
+    fn next_one_in_word_from(&self, from_word: usize) -> Option<usize> {
+        if from_word >= self.words.len() {
+            return None;
+        }
+        let first_s = from_word / 64;
+        for s in first_s..self.summary.len() {
+            let mut sbits = self.summary[s];
+            if s == first_s {
+                sbits &= !0u64 << (from_word % 64);
+            }
+            if sbits != 0 {
+                let w = s * 64 + sbits.trailing_zeros() as usize;
+                return Some(w * 64 + self.words[w].trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Iterates the positions of set bits in ascending order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        let mut next = 0usize;
+        std::iter::from_fn(move || {
+            let i = self.next_one_from(next)?;
+            next = i + 1;
+            Some(i)
+        })
+    }
+
+    /// Iterates set bits within `start..end` in ascending order.
+    ///
+    /// `end` is clamped to `len`; an inverted range yields nothing.
+    pub fn iter_ones_in(&self, start: usize, end: usize) -> impl Iterator<Item = usize> + '_ {
+        let end = end.min(self.len);
+        let mut next = start;
+        std::iter::from_fn(move || {
+            if next >= end {
+                return None;
+            }
+            let i = self.next_one_from(next)?;
+            if i >= end {
+                next = end;
+                return None;
+            }
+            next = i + 1;
+            Some(i)
+        })
+    }
+
+    /// Calls `f(word_index, word)` for every non-zero leaf word in
+    /// ascending order, located through the summary level with
+    /// `trailing_zeros`. Bit `b` of the passed word is page
+    /// `word_index * 64 + b`.
+    pub fn for_each_word(&self, mut f: impl FnMut(usize, u64)) {
+        for (s, &sword) in self.summary.iter().enumerate() {
+            let mut sbits = sword;
+            while sbits != 0 {
+                let j = sbits.trailing_zeros() as usize;
+                sbits &= sbits - 1;
+                let w = s * 64 + j;
+                f(w, self.words[w]);
+            }
+        }
+    }
+
+    /// Reads and clears every non-zero leaf word: `f(word_index, word)`
+    /// is called with the word's prior value, in ascending order, and the
+    /// word (with its summary bit and popcount share) is cleared. The
+    /// word-granularity analogue of a read-and-clear epoch walk.
+    pub fn drain_words(&mut self, mut f: impl FnMut(usize, u64)) {
+        for s in 0..self.summary.len() {
+            let mut sbits = std::mem::take(&mut self.summary[s]);
+            while sbits != 0 {
+                let j = sbits.trailing_zeros() as usize;
+                sbits &= sbits - 1;
+                let w = s * 64 + j;
+                let word = std::mem::take(&mut self.words[w]);
+                self.ones -= word.count_ones() as usize;
+                f(w, word);
+            }
+        }
+    }
+
+    /// Calls `f(word_index, self_word, other_word)` for every leaf word
+    /// that is non-zero in *either* bitmap, in ascending order. The two
+    /// bitmaps must have the same length. Words zero in both are never
+    /// visited, so comparing two sparse bitmaps is O(ones), not O(len).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn for_each_word_union(&self, other: &Bitmap2L, mut f: impl FnMut(usize, u64, u64)) {
+        assert_eq!(self.len, other.len, "bitmap lengths differ");
+        for (s, (&sa, &sb)) in self.summary.iter().zip(&other.summary).enumerate() {
+            let mut sbits = sa | sb;
+            while sbits != 0 {
+                let j = sbits.trailing_zeros() as usize;
+                sbits &= sbits - 1;
+                let w = s * 64 + j;
+                f(w, self.words[w], other.words[w]);
+            }
+        }
+    }
+
+    /// Iterates, in ascending order, the positions set in `self` *or*
+    /// `other`. Both bitmaps must have the same length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn iter_ones_union<'a>(&'a self, other: &'a Bitmap2L) -> impl Iterator<Item = usize> + 'a {
+        assert_eq!(self.len, other.len, "bitmap lengths differ");
+        let mut pending: u64 = 0;
+        let mut base = 0usize;
+        let mut next_word = 0usize;
+        std::iter::from_fn(move || loop {
+            if pending != 0 {
+                let b = pending.trailing_zeros() as usize;
+                pending &= pending - 1;
+                return Some(base + b);
+            }
+            // Find the next word non-zero in either bitmap via the
+            // summaries.
+            let w = loop {
+                if next_word >= self.words.len() {
+                    return None;
+                }
+                let s = next_word / 64;
+                let sbits = (self.summary[s] | other.summary[s]) & (!0u64 << (next_word % 64));
+                if sbits != 0 {
+                    break s * 64 + sbits.trailing_zeros() as usize;
+                }
+                next_word = (s + 1) * 64;
+            };
+            pending = self.words[w] | other.words[w];
+            base = w * 64;
+            next_word = w + 1;
+        })
+    }
+
+    /// Verifies internal consistency: the summary mirrors the leaf words
+    /// and the maintained popcount matches a recount.
+    ///
+    /// # Errors
+    ///
+    /// A static description of the first inconsistency found.
+    pub fn check_consistency(&self) -> Result<(), &'static str> {
+        for (w, &word) in self.words.iter().enumerate() {
+            let summarized = self.summary[w / 64] & (1u64 << (w % 64)) != 0;
+            if summarized != (word != 0) {
+                return Err("summary bit out of sync with leaf word");
+            }
+        }
+        if self.recount() != self.ones {
+            return Err("maintained popcount out of sync with leaf words");
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_bitmap_has_nothing() {
+        let b = Bitmap2L::new(0);
+        assert!(b.is_empty());
+        assert_eq!(b.count(), 0);
+        assert_eq!(b.next_one_from(0), None);
+        assert_eq!(b.iter_ones().count(), 0);
+        b.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn single_bit_round_trips() {
+        let mut b = Bitmap2L::new(100);
+        assert!(b.set(37));
+        assert!(!b.set(37), "second set reports no change");
+        assert!(b.test(37));
+        assert_eq!(b.count(), 1);
+        assert_eq!(b.iter_ones().collect::<Vec<_>>(), vec![37]);
+        assert!(b.clear(37));
+        assert!(!b.clear(37), "second clear reports no change");
+        assert_eq!(b.count(), 0);
+        b.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn word_boundaries_63_64_65() {
+        let mut b = Bitmap2L::new(130);
+        for i in [63usize, 64, 65] {
+            b.set(i);
+        }
+        assert_eq!(b.iter_ones().collect::<Vec<_>>(), vec![63, 64, 65]);
+        assert_eq!(b.next_one_from(0), Some(63));
+        assert_eq!(b.next_one_from(64), Some(64));
+        assert_eq!(b.next_one_from(66), None);
+        b.clear(64);
+        assert_eq!(b.iter_ones().collect::<Vec<_>>(), vec![63, 65]);
+        assert_eq!(b.next_one_from(64), Some(65));
+        b.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn last_partial_word_is_addressable() {
+        let mut b = Bitmap2L::new(65);
+        b.set(64);
+        assert_eq!(b.count(), 1);
+        assert_eq!(b.next_one_from(0), Some(64));
+        assert_eq!(b.iter_ones().collect::<Vec<_>>(), vec![64]);
+        b.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn filled_bitmap_is_full() {
+        let b = Bitmap2L::filled(130);
+        assert_eq!(b.count(), 130);
+        assert_eq!(b.recount(), 130);
+        assert!(b.test(0) && b.test(129));
+        assert_eq!(b.iter_ones().count(), 130);
+        b.check_consistency().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_test_panics() {
+        let b = Bitmap2L::new(65);
+        b.test(65);
+    }
+
+    #[test]
+    fn summary_skips_across_many_clean_words() {
+        // One bit far past a sea of zero words: next_one_from must find it
+        // through the summary level, and the summary must clear with it.
+        let mut b = Bitmap2L::new(1 << 20);
+        b.set((1 << 20) - 1);
+        assert_eq!(b.next_one_from(0), Some((1 << 20) - 1));
+        b.clear((1 << 20) - 1);
+        assert_eq!(b.next_one_from(0), None);
+        b.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn iter_ones_in_respects_bounds() {
+        let mut b = Bitmap2L::new(256);
+        for i in [0usize, 63, 64, 127, 128, 255] {
+            b.set(i);
+        }
+        assert_eq!(
+            b.iter_ones_in(1, 128).collect::<Vec<_>>(),
+            vec![63, 64, 127]
+        );
+        assert_eq!(
+            b.iter_ones_in(128, 1000).collect::<Vec<_>>(),
+            vec![128, 255]
+        );
+        assert_eq!(b.iter_ones_in(10, 10).count(), 0);
+    }
+
+    #[test]
+    fn for_each_word_visits_only_nonzero_words() {
+        let mut b = Bitmap2L::new(64 * 100);
+        b.set(64 * 3 + 5);
+        b.set(64 * 97);
+        let mut seen = Vec::new();
+        b.for_each_word(|w, bits| seen.push((w, bits)));
+        assert_eq!(seen, vec![(3, 1 << 5), (97, 1)]);
+    }
+
+    #[test]
+    fn drain_words_clears_and_reports() {
+        let mut b = Bitmap2L::new(200);
+        b.set(1);
+        b.set(65);
+        b.set(66);
+        let mut seen = Vec::new();
+        b.drain_words(|w, bits| seen.push((w, bits)));
+        assert_eq!(seen, vec![(0, 2), (1, 0b110)]);
+        assert_eq!(b.count(), 0);
+        assert_eq!(b.next_one_from(0), None);
+        b.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn union_iteration_merges_in_order() {
+        let mut a = Bitmap2L::new(300);
+        let mut b = Bitmap2L::new(300);
+        a.set(2);
+        b.set(70);
+        a.set(131);
+        b.set(131);
+        b.set(299);
+        assert_eq!(
+            a.iter_ones_union(&b).collect::<Vec<_>>(),
+            vec![2, 70, 131, 299]
+        );
+        let mut words = Vec::new();
+        a.for_each_word_union(&b, |w, wa, wb| words.push((w, wa, wb)));
+        assert_eq!(words.len(), 4, "words 0, 1, 2, 4");
+        assert_eq!(words[0], (0, 1 << 2, 0));
+    }
+
+    #[test]
+    fn clear_all_resets_everything() {
+        let mut b = Bitmap2L::filled(100);
+        b.clear_all();
+        assert_eq!(b.count(), 0);
+        assert_eq!(b.next_one_from(0), None);
+        b.check_consistency().unwrap();
+    }
+}

@@ -33,11 +33,13 @@
 //! assert!(mmu.page_table().flags(PageId(0)).is_dirty());
 //! ```
 
+pub mod bitmap;
 mod mmu;
 mod page;
 mod page_table;
 mod tlb;
 
+pub use bitmap::Bitmap2L;
 pub use mmu::{AccessError, Mmu, MmuStats, WalkOptions, SECTOR_BYTES};
 pub use page::{page_count, PageId, PAGE_SIZE};
 pub use page_table::{PageTable, PteFlags};

@@ -241,6 +241,17 @@ impl Mmu {
         self.dirty_counted -= 1;
     }
 
+    /// Clears every PTE dirty and shadow bit in one word-level pass,
+    /// without charging costs or touching the TLB — recovery's bulk reset.
+    /// Callers must have invalidated any TLB entries whose cached dirty
+    /// bits could go stale (recovery's unprotect pass already does), and
+    /// should re-arm the dirty limit afterwards so the hardware counter
+    /// recounts from the cleared table.
+    pub fn clear_dirty_tracking_bits(&mut self) {
+        self.page_table.clear_all_dirty();
+        self.page_table.clear_all_shadow_dirty();
+    }
+
     /// Number of mapped pages.
     pub fn pages(&self) -> usize {
         self.page_table.len()
@@ -381,7 +392,7 @@ impl Mmu {
         // Hardware dirty-bit protocol: only a write through a translation
         // whose cached dirty bit is clear updates the PTE dirty bit.
         if !cached_dirty {
-            let newly_dirty = !self.page_table.flags(page).is_dirty();
+            let newly_dirty = !self.page_table.is_dirty(page);
             if newly_dirty {
                 if let Some(limit) = self.dirty_limit {
                     if self.dirty_counted >= limit {

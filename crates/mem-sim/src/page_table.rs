@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use crate::bitmap::Bitmap2L;
 use crate::PageId;
 
 /// Permission and status bits of one page-table entry.
@@ -121,11 +122,19 @@ impl fmt::Display for PteFlags {
     }
 }
 
-/// The page table of one simulated NV-DRAM region: a flat vector of PTEs.
+/// The page table of one simulated NV-DRAM region.
 ///
 /// Software (the Viyojit kernel module in the paper) manipulates these
 /// entries directly; the [`Mmu`](crate::Mmu) consults and updates them on
 /// every access that misses the TLB.
+///
+/// Internally the table is stored column-wise: one [`Bitmap2L`] per flag
+/// rather than a `Vec<PteFlags>` row per page. The per-entry API below is
+/// unchanged, but scans that care about one flag — the epoch walk reading
+/// dirty bits, the discovery scan, `dirty_count` — use the word-level
+/// primitives (`iter_dirty_pages`, `take_dirty_words`, ...) and skip
+/// clean space through the bitmap summary level instead of touching every
+/// entry.
 ///
 /// # Examples
 ///
@@ -139,7 +148,11 @@ impl fmt::Display for PteFlags {
 /// ```
 #[derive(Debug, Clone)]
 pub struct PageTable {
-    ptes: Vec<PteFlags>,
+    present: Bitmap2L,
+    writable: Bitmap2L,
+    dirty: Bitmap2L,
+    accessed: Bitmap2L,
+    shadow: Bitmap2L,
 }
 
 impl PageTable {
@@ -147,27 +160,41 @@ impl PageTable {
     /// the state Viyojit establishes at startup (Fig. 6 step 1).
     pub fn new(pages: usize) -> Self {
         PageTable {
-            ptes: vec![PteFlags::present(); pages],
+            present: Bitmap2L::filled(pages),
+            writable: Bitmap2L::new(pages),
+            dirty: Bitmap2L::new(pages),
+            accessed: Bitmap2L::new(pages),
+            shadow: Bitmap2L::new(pages),
         }
     }
 
     /// Number of entries.
     pub fn len(&self) -> usize {
-        self.ptes.len()
+        self.present.len()
     }
 
     /// `true` if the table has no entries.
     pub fn is_empty(&self) -> bool {
-        self.ptes.is_empty()
+        self.present.is_empty()
     }
 
-    /// The flags of `page`.
+    /// The flags of `page`, reassembled from the per-flag bitmaps.
     ///
     /// # Panics
     ///
     /// Panics if `page` is out of range.
     pub fn flags(&self, page: PageId) -> PteFlags {
-        self.ptes[page.index()]
+        let i = page.index();
+        let mut f = if self.present.test(i) {
+            PteFlags::present()
+        } else {
+            PteFlags::not_present()
+        };
+        f = f
+            .with_writable(self.writable.test(i))
+            .with_dirty(self.dirty.test(i))
+            .with_accessed(self.accessed.test(i));
+        f.with_shadow_dirty(self.shadow.test(i))
     }
 
     /// Sets the writable bit of `page`.
@@ -176,8 +203,11 @@ impl PageTable {
     ///
     /// Panics if `page` is out of range.
     pub fn set_writable(&mut self, page: PageId, writable: bool) {
-        let e = &mut self.ptes[page.index()];
-        *e = e.with_writable(writable);
+        if writable {
+            self.writable.set(page.index());
+        } else {
+            self.writable.clear(page.index());
+        }
     }
 
     /// Sets the dirty bit of `page` (as the MMU does on a tracked write).
@@ -186,8 +216,11 @@ impl PageTable {
     ///
     /// Panics if `page` is out of range.
     pub fn set_dirty(&mut self, page: PageId, dirty: bool) {
-        let e = &mut self.ptes[page.index()];
-        *e = e.with_dirty(dirty);
+        if dirty {
+            self.dirty.set(page.index());
+        } else {
+            self.dirty.clear(page.index());
+        }
     }
 
     /// Sets the accessed bit of `page`.
@@ -196,8 +229,11 @@ impl PageTable {
     ///
     /// Panics if `page` is out of range.
     pub fn set_accessed(&mut self, page: PageId, accessed: bool) {
-        let e = &mut self.ptes[page.index()];
-        *e = e.with_accessed(accessed);
+        if accessed {
+            self.accessed.set(page.index());
+        } else {
+            self.accessed.clear(page.index());
+        }
     }
 
     /// Reads and clears the dirty bit of `page`, returning its prior value.
@@ -207,10 +243,7 @@ impl PageTable {
     ///
     /// Panics if `page` is out of range.
     pub fn take_dirty(&mut self, page: PageId) -> bool {
-        let e = &mut self.ptes[page.index()];
-        let was = e.is_dirty();
-        *e = e.with_dirty(false);
-        was
+        self.dirty.clear(page.index())
     }
 
     /// Sets the shadow dirty bit of `page` (hardware mirror of the dirty
@@ -220,8 +253,11 @@ impl PageTable {
     ///
     /// Panics if `page` is out of range.
     pub fn set_shadow_dirty(&mut self, page: PageId, dirty: bool) {
-        let e = &mut self.ptes[page.index()];
-        *e = e.with_shadow_dirty(dirty);
+        if dirty {
+            self.shadow.set(page.index());
+        } else {
+            self.shadow.clear(page.index());
+        }
     }
 
     /// Reads and clears the shadow dirty bit of `page`, returning its
@@ -232,23 +268,76 @@ impl PageTable {
     ///
     /// Panics if `page` is out of range.
     pub fn take_shadow_dirty(&mut self, page: PageId) -> bool {
-        let e = &mut self.ptes[page.index()];
-        let was = e.is_shadow_dirty();
-        *e = e.with_shadow_dirty(false);
-        was
+        self.shadow.clear(page.index())
+    }
+
+    /// `true` if the dirty bit of `page` is set, without assembling the
+    /// full flag set — the write-path fast check.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is out of range.
+    pub fn is_dirty(&self, page: PageId) -> bool {
+        self.dirty.test(page.index())
     }
 
     /// Iterates over `(PageId, PteFlags)` for every entry.
     pub fn iter(&self) -> impl Iterator<Item = (PageId, PteFlags)> + '_ {
-        self.ptes
-            .iter()
-            .enumerate()
-            .map(|(i, &f)| (PageId(i as u64), f))
+        (0..self.len()).map(|i| {
+            let page = PageId(i as u64);
+            (page, self.flags(page))
+        })
     }
 
-    /// Count of entries whose dirty bit is set.
+    /// Count of entries whose dirty bit is set. O(1): the bitmap keeps a
+    /// running popcount.
     pub fn dirty_count(&self) -> usize {
-        self.ptes.iter().filter(|f| f.is_dirty()).count()
+        self.dirty.count()
+    }
+
+    /// Iterates the pages whose dirty bit is set, in ascending order,
+    /// skipping clean space through the bitmap summary level.
+    pub fn iter_dirty_pages(&self) -> impl Iterator<Item = PageId> + '_ {
+        self.dirty.iter_ones().map(|i| PageId(i as u64))
+    }
+
+    /// Reads and clears the dirty bits 64 entries at a time: `f` receives
+    /// `(first_page_index, word)` for every non-zero word, where bit `b`
+    /// of `word` is page `first_page_index + b`. Clean space is skipped
+    /// via the summary level — the word-granularity epoch-walk primitive.
+    pub fn take_dirty_words(&mut self, mut f: impl FnMut(u64, u64)) {
+        self.dirty.drain_words(|w, word| f(w as u64 * 64, word));
+    }
+
+    /// Reads and clears the shadow dirty bits 64 entries at a time; see
+    /// [`PageTable::take_dirty_words`].
+    pub fn take_shadow_dirty_words(&mut self, mut f: impl FnMut(u64, u64)) {
+        self.shadow.drain_words(|w, word| f(w as u64 * 64, word));
+    }
+
+    /// Clears every dirty bit. O(words), regardless of how many are set.
+    pub fn clear_all_dirty(&mut self) {
+        self.dirty.clear_all();
+    }
+
+    /// Clears every shadow dirty bit. O(words).
+    pub fn clear_all_shadow_dirty(&mut self) {
+        self.shadow.clear_all();
+    }
+
+    /// The dirty-bit column as a bitmap, for word-level scans.
+    pub fn dirty_bits(&self) -> &Bitmap2L {
+        &self.dirty
+    }
+
+    /// The shadow-dirty-bit column as a bitmap, for word-level scans.
+    pub fn shadow_dirty_bits(&self) -> &Bitmap2L {
+        &self.shadow
+    }
+
+    /// The writable-bit column as a bitmap, for word-level scans.
+    pub fn writable_bits(&self) -> &Bitmap2L {
+        &self.writable
     }
 }
 
@@ -313,5 +402,38 @@ mod tests {
             PteFlags::present().with_shadow_dirty(true).to_string(),
             "P---S"
         );
+    }
+
+    #[test]
+    fn iter_dirty_pages_is_ascending_and_exact() {
+        let mut pt = PageTable::new(200);
+        for i in [130u64, 2, 64, 63] {
+            pt.set_dirty(PageId(i), true);
+        }
+        let pages: Vec<u64> = pt.iter_dirty_pages().map(|p| p.0).collect();
+        assert_eq!(pages, vec![2, 63, 64, 130]);
+    }
+
+    #[test]
+    fn take_dirty_words_reads_and_clears() {
+        let mut pt = PageTable::new(200);
+        pt.set_dirty(PageId(1), true);
+        pt.set_dirty(PageId(65), true);
+        let mut seen = Vec::new();
+        pt.take_dirty_words(|base, word| seen.push((base, word)));
+        assert_eq!(seen, vec![(0, 2), (64, 2)]);
+        assert_eq!(pt.dirty_count(), 0);
+        assert!(!pt.flags(PageId(1)).is_dirty());
+    }
+
+    #[test]
+    fn shadow_and_dirty_columns_are_independent() {
+        let mut pt = PageTable::new(70);
+        pt.set_dirty(PageId(69), true);
+        pt.set_shadow_dirty(PageId(69), true);
+        assert!(pt.take_shadow_dirty(PageId(69)));
+        assert!(pt.flags(PageId(69)).is_dirty());
+        pt.clear_all_dirty();
+        assert_eq!(pt.dirty_count(), 0);
     }
 }

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Byte-identical regression gate for the virtual-time benches.
+#
+# The page-state bitmaps (and any future wall-clock optimisation of the
+# simulator) must be observationally invisible: same virtual time, same
+# victim order, same stats. This script reruns the three benches whose
+# outputs are committed as goldens and fails on any byte difference.
+#
+# Regenerate the goldens (only after an *intentional* semantic change):
+#   scripts/regression_gate.sh --bless
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+golden=results/golden
+out=$(mktemp -d)
+trap 'rm -rf "$out"' EXIT
+
+cargo build --release -p viyojit-bench --bins
+
+./target/release/fault_storm 5 >"$out/fault_storm_5.csv"
+./target/release/shard_scaling >"$out/shard_scaling.csv"
+./target/release/fig7 >"$out/fig7.csv"
+
+if [[ "${1:-}" == "--bless" ]]; then
+    cp "$out"/*.csv "$golden"/
+    echo "blessed: goldens updated from this run"
+    exit 0
+fi
+
+status=0
+for f in fault_storm_5.csv shard_scaling.csv fig7.csv; do
+    if cmp -s "$golden/$f" "$out/$f"; then
+        echo "gate: $f identical"
+    else
+        echo "gate: $f DIFFERS from $golden/$f:"
+        diff "$golden/$f" "$out/$f" | head -20 || true
+        status=1
+    fi
+done
+exit $status
