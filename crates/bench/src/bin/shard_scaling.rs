@@ -13,7 +13,7 @@
 use mem_sim::PAGE_SIZE;
 use sim_clock::{Clock, CostModel, SimDuration};
 use ssd_sim::SsdConfig;
-use viyojit::{NvHeap, ShardedViyojit, ViyojitConfig};
+use viyojit::{NvHeap, ShardedViyojit, ShardedViyojitBuilder, ViyojitConfig};
 use viyojit_bench::{note, row, ProfileCapture, Report};
 
 const PAGE: u64 = PAGE_SIZE as u64;
@@ -50,19 +50,21 @@ fn run(shards: usize) -> (u64, u64, u64, u64, u64, bool) {
         None,
         &clock,
     );
-    let mut nv: ShardedViyojit = ShardedViyojit::new(
+    let mut nv: ShardedViyojit = ShardedViyojitBuilder::new(
         shards,
         PAGES_PER_SHARD,
         ViyojitConfig::builder(GLOBAL_BUDGET)
             .total_pages(PAGES_PER_SHARD as u64)
             .build()
             .expect("valid shard configuration"),
-        MIN_PER_SHARD,
-        SimDuration::from_millis(5),
-        clock.clone(),
-        CostModel::calibrated(),
-        SsdConfig::datacenter(),
-    );
+    )
+    .min_per_shard(MIN_PER_SHARD)
+    .rebalance_period(SimDuration::from_millis(5))
+    .clock(clock.clone())
+    .cost_model(CostModel::calibrated())
+    .ssd(SsdConfig::datacenter())
+    .build_sequential()
+    .expect("valid shard configuration");
     if let Some(capture) = &capture {
         capture.attach(&mut nv);
     }

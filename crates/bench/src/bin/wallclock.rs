@@ -20,9 +20,10 @@
 //! non-zero if it regressed more than [`REGRESSION_FACTOR`]×.
 
 use std::hint::black_box;
+use std::sync::Mutex;
 use std::time::Instant;
 
-use mem_sim::{PageId, PageTable};
+use mem_sim::{AtomicBitmap2L, PageId, PageTable};
 use viyojit::DirtySet;
 
 /// CI gate: fail if epoch-walk ns/page regresses past this factor over
@@ -179,6 +180,7 @@ struct Cell {
     dirty_count: (f64, f64),
     invariants: (f64, f64),
     fault_flush: (f64, f64),
+    atomic_publish: (f64, f64),
 }
 
 fn measure_cell(pages: usize, density: f64, reps: u32) -> Cell {
@@ -263,6 +265,53 @@ fn measure_cell(pages: usize, density: f64, reps: u32) -> Cell {
         scalar_dirty.dirty_count
     });
 
+    // Cross-thread dirty publication (the parallel runtime's per-epoch
+    // sweep): push every dirty leaf word into a shared bitmap, read the
+    // global count, retract. The optimized path is `AtomicBitmap2L`
+    // (lock-free word stores, transition-exact count); the baseline is
+    // what you'd do without it — a mutex around a flat word vector,
+    // with every count a full popcount scan.
+    let mut words: Vec<(usize, u64)> = Vec::new();
+    for &p in &picked {
+        let w = p / 64;
+        let bit = 1u64 << (p % 64);
+        match words.iter_mut().find(|(word, _)| *word == w) {
+            Some((_, bits)) => *bits |= bit,
+            None => words.push((w, bit)),
+        }
+    }
+    let shared = AtomicBitmap2L::new(pages);
+    let publish_opt = time_ns(reps, || {
+        for &(w, bits) in &words {
+            shared.store_word(w, bits);
+        }
+        let count = shared.count();
+        for &(w, _) in &words {
+            shared.store_word(w, 0);
+        }
+        count
+    });
+    let mutex_words = Mutex::new(vec![0u64; pages.div_ceil(64)]);
+    let publish_base = time_ns(reps, || {
+        {
+            let mut guard = mutex_words.lock().unwrap();
+            for &(w, bits) in &words {
+                guard[w] = bits;
+            }
+        }
+        let count = {
+            let guard = mutex_words.lock().unwrap();
+            guard.iter().map(|w| u64::from(w.count_ones())).sum()
+        };
+        let mut guard = mutex_words.lock().unwrap();
+        for &(w, _) in &words {
+            guard[w] = 0;
+        }
+        drop(guard);
+        count
+    });
+    assert_eq!(publish_opt.1, publish_base.1, "published counts diverged");
+
     // Cross-check: both models must agree on the population they timed.
     assert_eq!(epoch_opt.1, epoch_base.1, "walk touch counts diverged");
     assert_eq!(
@@ -280,6 +329,7 @@ fn measure_cell(pages: usize, density: f64, reps: u32) -> Cell {
         dirty_count: (count_opt.0, count_base.0),
         invariants: (inv_opt.0, inv_base.0),
         fault_flush: (fault_opt.0, fault_base.0),
+        atomic_publish: (publish_opt.0, publish_base.0),
     }
 }
 
@@ -298,7 +348,8 @@ fn cell_json(c: &Cell) -> String {
          \"discovery_ns_optimized\": {:.1}, \"discovery_ns_baseline\": {:.1}, \"discovery_speedup\": {:.2}, \
          \"dirty_count_ns_optimized\": {:.1}, \"dirty_count_ns_baseline\": {:.1}, \"dirty_count_speedup\": {:.2}, \
          \"invariants_ns_optimized\": {:.1}, \"invariants_ns_baseline\": {:.1}, \"invariants_speedup\": {:.2}, \
-         \"fault_flush_ns_optimized\": {:.1}, \"fault_flush_ns_baseline\": {:.1}}}",
+         \"fault_flush_ns_optimized\": {:.1}, \"fault_flush_ns_baseline\": {:.1}, \
+         \"atomic_publish_ns_optimized\": {:.1}, \"atomic_publish_ns_baseline\": {:.1}, \"atomic_publish_speedup\": {:.2}}}",
         c.pages,
         c.density,
         c.dirty_pages,
@@ -316,6 +367,9 @@ fn cell_json(c: &Cell) -> String {
         speedup(c.invariants),
         c.fault_flush.0,
         c.fault_flush.1,
+        c.atomic_publish.0,
+        c.atomic_publish.1,
+        speedup(c.atomic_publish),
     )
 }
 

@@ -85,6 +85,14 @@ impl ProfileCapture {
         self.profiler.clone()
     }
 
+    /// The capture's recording telemetry handle, for builders that
+    /// consume attachments up front (the sharded builder's
+    /// `telemetry(..)`/`profiler(..)` setters) instead of exposing the
+    /// mutable [`NvStore`] attachment surface.
+    pub fn telemetry(&self) -> Telemetry {
+        self.telemetry.clone()
+    }
+
     /// Writes the JSONL trace and the `.folded` flamegraph input,
     /// returning the trace path.
     pub fn finish(self) -> PathBuf {

@@ -1,0 +1,265 @@
+//! Construction of sharded deployments: one builder, two execution modes.
+//!
+//! [`ShardedViyojitBuilder`] replaces the old
+//! `ShardedViyojit::new(...)` + mutable `attach_telemetry` /
+//! `attach_profiler` / `attach_faults` trio. The builder consumes every
+//! attachment *before* anything runs, which is what makes the parallel
+//! mode possible at all: shard threads take ownership of their engines at
+//! spawn time, so there is no window where a half-attached engine is
+//! visible from two threads.
+//!
+//! - [`build_sequential`](ShardedViyojitBuilder::build_sequential)
+//!   produces the classic single-threaded [`ShardedViyojit`] frontend —
+//!   bit-identical virtual-time behaviour to the deprecated constructor.
+//! - [`build_parallel`](ShardedViyojitBuilder::build_parallel) spawns one
+//!   OS thread per (group of) shard(s) plus an arbiter thread and returns
+//!   the split [`ShardDataHandle`] / [`ShardControlHandle`] pair.
+
+use std::marker::PhantomData;
+
+use fault_sim::FaultPlan;
+use sim_clock::{Clock, CostModel, SimDuration};
+use ssd_sim::SsdConfig;
+use telemetry::{Profiler, Telemetry};
+
+use crate::{ViyojitConfig, ViyojitError};
+
+use super::parallel::{spawn_parallel, ShardControlHandle, ShardDataHandle};
+use super::{DirtyTracker, ShardedViyojit, SoftwareWalk};
+
+/// Builds a sharded Viyojit deployment (sequential or thread-parallel).
+///
+/// Required inputs are the constructor arguments; everything else has a
+/// documented default. Unlike the deprecated `ShardedViyojit::new`,
+/// validation failures surface as
+/// [`ViyojitError::InvalidConfig`] instead of panics.
+///
+/// # Examples
+///
+/// ```
+/// use sim_clock::SimDuration;
+/// use viyojit::{NvHeap, ShardedViyojitBuilder, ViyojitConfig};
+///
+/// let mut nv = ShardedViyojitBuilder::new(4, 256, ViyojitConfig::with_budget_pages(64))
+///     .min_per_shard(4)
+///     .rebalance_period(SimDuration::from_millis(10))
+///     .build_sequential()?;
+/// let r = nv.map(4096 * 8)?;
+/// nv.write(r, 0, b"routed to one shard's engine")?;
+/// assert_eq!(nv.dirty_count(), 1);
+/// # Ok::<(), viyojit::ViyojitError>(())
+/// ```
+///
+/// Parallel mode returns split data/control handles instead:
+///
+/// ```
+/// use viyojit::{NvHeap, ShardControlPlane, ShardDataPlane, ShardedViyojitBuilder, ViyojitConfig};
+///
+/// let (mut data, mut ctrl) = ShardedViyojitBuilder::new(4, 256, ViyojitConfig::with_budget_pages(64))
+///     .threads(2)
+///     .build_parallel()?;
+/// let r = data.map(4096 * 8)?;
+/// data.write(r, 0, b"served by a shard thread")?;
+/// data.sync()?;
+/// assert_eq!(ctrl.dirty_count()?, 1);
+/// # Ok::<(), viyojit::ViyojitError>(())
+/// ```
+#[derive(Debug)]
+pub struct ShardedViyojitBuilder<B: DirtyTracker = SoftwareWalk> {
+    pub(super) shards: usize,
+    pub(super) pages_per_shard: usize,
+    pub(super) config: ViyojitConfig,
+    pub(super) min_per_shard: u64,
+    pub(super) rebalance_period: SimDuration,
+    pub(super) clock: Clock,
+    pub(super) costs: CostModel,
+    pub(super) ssd_config: SsdConfig,
+    pub(super) threads: Option<usize>,
+    pub(super) telemetry: Telemetry,
+    pub(super) profiler: Profiler,
+    pub(super) faults: Option<FaultPlan>,
+    backend: PhantomData<B>,
+}
+
+impl ShardedViyojitBuilder<SoftwareWalk> {
+    /// Starts a builder for `shards` engines of `pages_per_shard` pages
+    /// each, sharing `config.dirty_budget_pages` as the global budget.
+    ///
+    /// Defaults: software-walk backend, per-shard floor of 1 page,
+    /// 10 ms rebalance period, a fresh clock at zero, free cost model,
+    /// instant SSD, no telemetry/profiler/faults, one thread per shard
+    /// in parallel mode.
+    pub fn new(shards: usize, pages_per_shard: usize, config: ViyojitConfig) -> Self {
+        ShardedViyojitBuilder {
+            shards,
+            pages_per_shard,
+            config,
+            min_per_shard: 1,
+            rebalance_period: SimDuration::from_millis(10),
+            clock: Clock::new(),
+            costs: CostModel::free(),
+            ssd_config: SsdConfig::instant(),
+            threads: None,
+            telemetry: Telemetry::disabled(),
+            profiler: Profiler::disabled(),
+            faults: None,
+            backend: PhantomData,
+        }
+    }
+}
+
+impl<B: DirtyTracker> ShardedViyojitBuilder<B> {
+    /// Switches the dirty-tracking backend (e.g. `MmuAssisted`).
+    pub fn backend<B2: DirtyTracker>(self) -> ShardedViyojitBuilder<B2> {
+        ShardedViyojitBuilder {
+            shards: self.shards,
+            pages_per_shard: self.pages_per_shard,
+            config: self.config,
+            min_per_shard: self.min_per_shard,
+            rebalance_period: self.rebalance_period,
+            clock: self.clock,
+            costs: self.costs,
+            ssd_config: self.ssd_config,
+            threads: self.threads,
+            telemetry: self.telemetry,
+            profiler: self.profiler,
+            faults: self.faults,
+            backend: PhantomData,
+        }
+    }
+
+    /// Guarantees every shard at least `pages` of budget (default 1).
+    pub fn min_per_shard(mut self, pages: u64) -> Self {
+        self.min_per_shard = pages;
+        self
+    }
+
+    /// Sets the demand-rebalance period (default 10 ms of virtual time).
+    pub fn rebalance_period(mut self, period: SimDuration) -> Self {
+        self.rebalance_period = period;
+        self
+    }
+
+    /// Uses `clock` as the shared virtual timeline (default: fresh clock).
+    pub fn clock(mut self, clock: Clock) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Sets the hardware cost model (default: free).
+    pub fn cost_model(mut self, costs: CostModel) -> Self {
+        self.costs = costs;
+        self
+    }
+
+    /// Sets the per-shard SSD configuration (default: instant).
+    pub fn ssd(mut self, ssd_config: SsdConfig) -> Self {
+        self.ssd_config = ssd_config;
+        self
+    }
+
+    /// Attaches telemetry to the frontend and every shard.
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Attaches a virtual-time profiler. In parallel mode each shard
+    /// thread runs a [`Profiler::fork`] over its own clock.
+    pub fn profiler(mut self, profiler: Profiler) -> Self {
+        self.profiler = profiler;
+        self
+    }
+
+    /// Attaches one fault plan, cloned to every shard.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Caps the number of shard worker threads in parallel mode (default:
+    /// one per shard). Shards are distributed round-robin over threads.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    fn validate(&self) -> Result<(), ViyojitError> {
+        if self.shards == 0 {
+            return Err(ViyojitError::InvalidConfig(
+                "at least one shard is required",
+            ));
+        }
+        if self.pages_per_shard == 0 {
+            return Err(ViyojitError::InvalidConfig("shards need at least one page"));
+        }
+        if self.min_per_shard == 0 {
+            return Err(ViyojitError::InvalidConfig(
+                "the per-shard budget floor must be positive",
+            ));
+        }
+        if self.min_per_shard * self.shards as u64 > self.config.dirty_budget_pages {
+            return Err(ViyojitError::InvalidConfig(
+                "per-shard floors exceed the provisioned budget",
+            ));
+        }
+        if self.rebalance_period.is_zero() {
+            return Err(ViyojitError::InvalidConfig(
+                "the rebalance period must be positive",
+            ));
+        }
+        if self.threads == Some(0) {
+            return Err(ViyojitError::InvalidConfig(
+                "parallel mode needs at least one thread",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Builds the single-threaded sequential frontend.
+    ///
+    /// Construction order (and therefore every virtual-time charge) is
+    /// identical to the deprecated `ShardedViyojit::new` followed by the
+    /// `attach_*` calls, so existing golden outputs are unaffected.
+    ///
+    /// # Errors
+    ///
+    /// [`ViyojitError::InvalidConfig`] describing the first invalid
+    /// parameter.
+    pub fn build_sequential(self) -> Result<ShardedViyojit<B>, ViyojitError> {
+        self.validate()?;
+        let mut nv = ShardedViyojit::assemble(
+            self.shards,
+            self.pages_per_shard,
+            self.config,
+            self.min_per_shard,
+            self.rebalance_period,
+            self.clock,
+            self.costs,
+            self.ssd_config,
+        );
+        nv.install_telemetry(self.telemetry);
+        nv.install_profiler(self.profiler);
+        if let Some(faults) = self.faults {
+            nv.install_faults(faults);
+        }
+        Ok(nv)
+    }
+
+    /// Spawns the thread-parallel runtime: `min(threads, shards)` shard
+    /// worker threads (each owning its shards' engines outright) plus one
+    /// budget-arbiter thread, and returns the data-plane / control-plane
+    /// handle pair. The runtime shuts down when both handles drop.
+    ///
+    /// # Errors
+    ///
+    /// [`ViyojitError::InvalidConfig`] describing the first invalid
+    /// parameter.
+    pub fn build_parallel(self) -> Result<(ShardDataHandle, ShardControlHandle), ViyojitError>
+    where
+        B: Send + 'static,
+    {
+        self.validate()?;
+        Ok(spawn_parallel(self))
+    }
+}

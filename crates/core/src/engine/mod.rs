@@ -22,14 +22,20 @@
 
 mod arbiter;
 mod backend;
+mod builder;
 mod degrade;
 mod emergency;
+mod parallel;
+mod plane;
 mod sharded;
 
 pub use arbiter::BudgetArbiter;
 pub use backend::{DirtyTracker, FullDirty, MmuAssisted, SoftwareWalk};
+pub use builder::ShardedViyojitBuilder;
 pub use degrade::{DegradationConfig, DegradationGovernor, DegradeReason, DegradedMode};
 pub use emergency::{FlushObligation, MAX_FLUSH_ATTEMPTS, RETRY_BACKOFF_BASE, RETRY_BACKOFF_MAX};
+pub use parallel::{BudgetGrant, ShardControlHandle, ShardDataHandle, ShardStats};
+pub use plane::{ShardControlPlane, ShardDataPlane};
 pub use sharded::ShardedViyojit;
 
 use battery_sim::{Battery, PowerModel};
@@ -172,6 +178,14 @@ impl<B: DirtyTracker> Engine<B> {
     /// Pages currently counted against the dirty budget.
     pub fn dirty_count(&self) -> u64 {
         self.backend.dirty_count(&self.core)
+    }
+
+    /// Visits the leaf words of the budget-counted page population (see
+    /// [`DirtyTracker::for_each_counted_word`]); the parallel sharded
+    /// runtime publishes these words into a shared
+    /// [`AtomicBitmap2L`](mem_sim::AtomicBitmap2L).
+    pub fn for_each_counted_word(&self, mut f: impl FnMut(usize, u64)) {
+        self.backend.for_each_counted_word(&self.core, &mut f);
     }
 
     /// The dirty budget in pages.

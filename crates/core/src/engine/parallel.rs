@@ -1,0 +1,1357 @@
+//! The thread-parallel sharded runtime: one worker per group of shards,
+//! one arbiter thread, message-passing rebalance rounds.
+//!
+//! [`ShardedViyojitBuilder::build_parallel`] spawns `min(threads,
+//! shards)` worker threads — each taking *ownership* of its shards'
+//! [`Engine`]s and running them on its own virtual clock — plus one
+//! arbiter thread owning the [`BudgetArbiter`]. The monolithic facade is
+//! split into the two handles the plane traits describe:
+//!
+//! - [`ShardDataHandle`] implements [`NvHeap`] + [`ShardDataPlane`]:
+//!   writes are validated against a local route mirror and staged per
+//!   worker (batches of [`WRITE_BATCH`]), reads are synchronous
+//!   request/reply, `step` drives the shared driver timeline;
+//! - [`ShardControlHandle`] implements [`ShardControlPlane`]: every call
+//!   is a query or a rebalance round over channels.
+//!
+//! A rebalance **round** replaces the sequential frontend's synchronous
+//! loop with messages, preserving its exact two-phase order: the
+//! initiator broadcasts `Round{id}` to the workers and `StartRound` to
+//! the arbiter; each worker reports a [`ShardStats`] per shard and blocks
+//! on its grant channel; the arbiter plans, sends the *shrink*
+//! [`BudgetGrant`]s, barriers on every worker's `ShrinkDone`, sends the
+//! *grow* grants, collects post-apply stats, commits, publishes the
+//! per-shard gauges, and releases the workers — so the instantaneous sum
+//! of assigned budgets never exceeds the battery, even observed
+//! mid-round. Rounds are serialized by a mutex on the driver timeline, so
+//! the data plane never blocks on the control plane outside an explicit
+//! `step` that crosses a rebalance boundary.
+//!
+//! Cross-thread dirty visibility: each worker publishes its shards'
+//! counted-dirty leaf words (via
+//! [`Engine::for_each_counted_word`]) into one shared
+//! [`AtomicBitmap2L`], shard `s` occupying the word-aligned stride
+//! `[s*W, (s+1)*W)`. Writers touch disjoint words, so the published map
+//! is exact at every `Tick`/`sync`/round boundary.
+//!
+//! Determinism: with [`CostModel::free`] and [`SsdConfig::instant`]
+//! (where clocks move only on explicit `step`), a single driver observes
+//! bit-identical [`ViyojitStats`], power-failure reports, and memory
+//! contents from the sequential frontend and from this runtime at any
+//! thread count — the equivalence property tests assert exactly that.
+//!
+//! [`ShardedViyojitBuilder::build_parallel`]:
+//!     super::ShardedViyojitBuilder::build_parallel
+//! [`CostModel::free`]: sim_clock::CostModel::free
+//! [`SsdConfig::instant`]: ssd_sim::SsdConfig::instant
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+
+use battery_sim::{Battery, PowerModel};
+use mem_sim::AtomicBitmap2L;
+use sim_clock::{Clock, SimDuration, SimTime};
+use ssd_sim::SsdStats;
+use telemetry::{intern_metric_name, Profiler, Telemetry, TraceEvent};
+
+use crate::{
+    FlushOutcome, InvariantViolation, NvHeap, PowerFailureReport, RegionId, ViyojitError,
+    ViyojitStats,
+};
+
+use super::builder::ShardedViyojitBuilder;
+use super::plane::{ShardControlPlane, ShardDataPlane};
+use super::{BudgetArbiter, DegradationGovernor, DegradedMode, DirtyTracker, Engine};
+
+/// Staged writes per worker before a batch is shipped.
+pub const WRITE_BATCH: usize = 64;
+
+/// One shard's demand report, sent from its worker thread to the arbiter
+/// at the start of every rebalance round (and again, post-apply, as the
+/// commit baseline).
+#[derive(Debug, Clone, Copy)]
+pub struct ShardStats {
+    /// Global shard index.
+    pub shard: usize,
+    /// The shard engine's runtime counters.
+    pub stats: ViyojitStats,
+    /// Pages the shard currently counts dirty.
+    pub dirty_pages: u64,
+    /// The shard's currently assigned budget.
+    pub budget_pages: u64,
+}
+
+/// A budget assignment for one shard, sent from the arbiter thread back
+/// to the shard's worker during a round (shrink phase first, then grow).
+#[derive(Debug, Clone, Copy)]
+pub struct BudgetGrant {
+    /// Global shard index.
+    pub shard: usize,
+    /// The new budget the shard must adopt.
+    pub budget_pages: u64,
+}
+
+struct StagedWrite {
+    shard: usize,
+    local: RegionId,
+    offset: u64,
+    data: Vec<u8>,
+}
+
+enum ShardCmd {
+    WriteBatch(Vec<StagedWrite>),
+    Read {
+        shard: usize,
+        local: RegionId,
+        offset: u64,
+        len: usize,
+        reply: Sender<Result<Vec<u8>, ViyojitError>>,
+    },
+    Map {
+        shard: usize,
+        len_bytes: u64,
+        reply: Sender<Result<RegionId, ViyojitError>>,
+    },
+    Unmap {
+        shard: usize,
+        local: RegionId,
+        reply: Sender<Result<(), ViyojitError>>,
+    },
+    Tick(SimDuration),
+    Round {
+        id: u64,
+    },
+    Sync {
+        reply: Sender<()>,
+    },
+    Query {
+        query: CtrlQuery,
+        reply: Sender<CtrlReply>,
+    },
+}
+
+enum CtrlQuery {
+    Stats,
+    SsdStats,
+    PowerFailure,
+    PowerFailurePowered(Box<(Battery, PowerModel)>),
+    Recover,
+    Invariants,
+}
+
+enum CtrlReply {
+    Stats(Vec<ShardStats>),
+    Ssd(SsdStats),
+    Failure(Vec<PowerFailureReport>),
+    Done,
+    Invariants {
+        assigned: u64,
+        dirty: u64,
+        violation: Option<InvariantViolation>,
+    },
+}
+
+enum GrantMsg {
+    Shrink(u64, Vec<BudgetGrant>),
+    Grow(u64, Vec<BudgetGrant>),
+    Done(u64),
+}
+
+enum RoundKind {
+    Demand,
+    SetTotal(u64),
+}
+
+enum ArbiterMsg {
+    StartRound {
+        id: u64,
+        kind: RoundKind,
+        reply: Sender<Result<(), ViyojitError>>,
+    },
+    Stats {
+        round: u64,
+        stats: ShardStats,
+    },
+    ShrinkDone {
+        round: u64,
+    },
+    CommitStats {
+        round: u64,
+        stats: ShardStats,
+    },
+    Rebalances {
+        reply: Sender<u64>,
+    },
+    ThreadDown {
+        first_shard: usize,
+    },
+}
+
+/// The driver's view of the shared timeline. Rounds are serialized under
+/// this mutex, which also makes round-id allocation race-free.
+struct RoundState {
+    next_round_id: u64,
+    virtual_now: SimTime,
+    next_rebalance_at: SimTime,
+}
+
+struct Runtime {
+    shard_txs: Vec<Sender<ShardCmd>>,
+    arbiter_tx: Option<Sender<ArbiterMsg>>,
+    rounds: Mutex<RoundState>,
+    error: Arc<Mutex<Option<ViyojitError>>>,
+    dirty_map: Arc<AtomicBitmap2L>,
+    thread_of_shard: Vec<usize>,
+    total_budget: AtomicU64,
+    min_per_shard: u64,
+    shards: usize,
+    rebalance_period: SimDuration,
+    joins: Mutex<Vec<JoinHandle<()>>>,
+    arbiter_join: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Runtime {
+    fn lock_rounds(&self) -> std::sync::MutexGuard<'_, RoundState> {
+        self.rounds.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The error a dead worker thread maps to: its first owned shard.
+    fn thread_failed(&self, thread: usize) -> ViyojitError {
+        ViyojitError::ShardFailed { shard: thread }
+    }
+
+    fn send_to_thread(&self, thread: usize, cmd: ShardCmd) -> Result<(), ViyojitError> {
+        self.shard_txs[thread]
+            .send(cmd)
+            .map_err(|_| self.thread_failed(thread))
+    }
+
+    fn arbiter_send(&self, msg: ArbiterMsg) -> Result<(), ViyojitError> {
+        self.arbiter_tx
+            .as_ref()
+            .expect("arbiter sender lives as long as the runtime")
+            .send(msg)
+            .map_err(|_| ViyojitError::ShardFailed { shard: 0 })
+    }
+
+    /// Runs one rebalance round with the timeline lock already held.
+    fn round_locked(&self, rs: &mut RoundState, kind: RoundKind) -> Result<(), ViyojitError> {
+        let id = rs.next_round_id;
+        rs.next_round_id += 1;
+        let (reply_tx, reply_rx) = channel();
+        self.arbiter_send(ArbiterMsg::StartRound {
+            id,
+            kind,
+            reply: reply_tx,
+        })?;
+        // A failed send means that worker died; the arbiter learns of it
+        // through the worker's ThreadDown and aborts the round, so the
+        // reply below still arrives.
+        for tx in &self.shard_txs {
+            let _ = tx.send(ShardCmd::Round { id });
+        }
+        reply_rx
+            .recv()
+            .map_err(|_| ViyojitError::ShardFailed { shard: 0 })?
+    }
+
+    fn take_async_error(&self) -> Result<(), ViyojitError> {
+        match self
+            .error
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+        {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        // Closing the command channels ends the worker loops; the workers
+        // then drop their arbiter senders, and closing ours ends the
+        // arbiter loop.
+        std::mem::take(&mut self.shard_txs);
+        for j in std::mem::take(self.joins.get_mut().unwrap_or_else(PoisonError::into_inner)) {
+            let _ = j.join();
+        }
+        self.arbiter_tx = None;
+        if let Some(j) = self
+            .arbiter_join
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+        {
+            let _ = j.join();
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Worker threads
+// ----------------------------------------------------------------------
+
+struct Worker<B: DirtyTracker> {
+    /// `(global shard index, engine)`, ascending by shard index.
+    engines: Vec<(usize, Engine<B>)>,
+    profiler: Profiler,
+    /// Per-engine profiler frame names (`shard{i}`).
+    frames: Vec<&'static str>,
+    rx: Receiver<ShardCmd>,
+    grant_rx: Receiver<GrantMsg>,
+    arbiter_tx: Sender<ArbiterMsg>,
+    clock: Clock,
+    dirty_map: Arc<AtomicBitmap2L>,
+    /// Words per shard in the shared dirty map.
+    stride: usize,
+    /// Last published words, one shadow per engine — diffed so a Tick
+    /// only stores words that changed.
+    shadow: Vec<Vec<u64>>,
+    scratch: Vec<u64>,
+    error: Arc<Mutex<Option<ViyojitError>>>,
+}
+
+impl<B: DirtyTracker> Worker<B> {
+    fn run(mut self) {
+        while let Ok(cmd) = self.rx.recv() {
+            let caught = catch_unwind(AssertUnwindSafe(|| self.handle(cmd)));
+            if caught.is_err() {
+                let first = self.engines.first().map_or(0, |&(s, _)| s);
+                self.record_error(ViyojitError::ShardFailed { shard: first });
+                let _ = self
+                    .arbiter_tx
+                    .send(ArbiterMsg::ThreadDown { first_shard: first });
+                break;
+            }
+        }
+    }
+
+    fn record_error(&self, e: ViyojitError) {
+        self.error
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get_or_insert(e);
+    }
+
+    fn engine_idx(&self, shard: usize) -> usize {
+        self.engines
+            .iter()
+            .position(|&(s, _)| s == shard)
+            .expect("commands are routed to the owning worker")
+    }
+
+    fn snapshot(shard: usize, e: &Engine<B>) -> ShardStats {
+        ShardStats {
+            shard,
+            stats: e.stats(),
+            dirty_pages: e.dirty_count(),
+            budget_pages: e.dirty_budget(),
+        }
+    }
+
+    /// Publishes each owned shard's counted-dirty words into the shared
+    /// map, storing only words that changed since the last publication.
+    fn publish_dirty(&mut self) {
+        for (idx, (shard, engine)) in self.engines.iter().enumerate() {
+            self.scratch[..self.stride].fill(0);
+            let scratch = &mut self.scratch;
+            engine.for_each_counted_word(|w, bits| scratch[w] |= bits);
+            let shadow = &mut self.shadow[idx];
+            let base = shard * self.stride;
+            for w in 0..self.stride {
+                if scratch[w] != shadow[w] {
+                    self.dirty_map.store_word(base + w, scratch[w]);
+                    shadow[w] = scratch[w];
+                }
+            }
+        }
+    }
+
+    fn handle(&mut self, cmd: ShardCmd) {
+        match cmd {
+            ShardCmd::WriteBatch(batch) => {
+                for w in batch {
+                    let idx = self.engine_idx(w.shard);
+                    let _scope = self.profiler.scope(self.frames[idx]);
+                    if let Err(e) = self.engines[idx].1.write(w.local, w.offset, &w.data) {
+                        self.record_error(e);
+                    }
+                }
+            }
+            ShardCmd::Read {
+                shard,
+                local,
+                offset,
+                len,
+                reply,
+            } => {
+                let idx = self.engine_idx(shard);
+                let mut buf = vec![0u8; len];
+                let result = {
+                    let _scope = self.profiler.scope(self.frames[idx]);
+                    self.engines[idx].1.read(local, offset, &mut buf)
+                };
+                let _ = reply.send(result.map(|()| buf));
+            }
+            ShardCmd::Map {
+                shard,
+                len_bytes,
+                reply,
+            } => {
+                let idx = self.engine_idx(shard);
+                let _ = reply.send(self.engines[idx].1.map(len_bytes));
+            }
+            ShardCmd::Unmap {
+                shard,
+                local,
+                reply,
+            } => {
+                let idx = self.engine_idx(shard);
+                let _ = reply.send(self.engines[idx].1.unmap(local));
+            }
+            ShardCmd::Tick(d) => {
+                self.clock.advance(d);
+                self.publish_dirty();
+            }
+            ShardCmd::Sync { reply } => {
+                self.publish_dirty();
+                let _ = reply.send(());
+            }
+            ShardCmd::Round { id } => self.participate(id),
+            ShardCmd::Query { query, reply } => {
+                let _ = reply.send(self.query(query));
+            }
+        }
+    }
+
+    fn participate(&mut self, id: u64) {
+        for (shard, e) in &self.engines {
+            let _ = self.arbiter_tx.send(ArbiterMsg::Stats {
+                round: id,
+                stats: Self::snapshot(*shard, e),
+            });
+        }
+        loop {
+            match self.grant_rx.recv() {
+                Ok(GrantMsg::Shrink(rid, grants)) if rid == id => {
+                    for g in grants {
+                        let idx = self.engine_idx(g.shard);
+                        let _scope = self.profiler.scope(self.frames[idx]);
+                        self.engines[idx].1.set_dirty_budget(g.budget_pages);
+                    }
+                    let _ = self.arbiter_tx.send(ArbiterMsg::ShrinkDone { round: id });
+                }
+                Ok(GrantMsg::Grow(rid, grants)) if rid == id => {
+                    for g in grants {
+                        let idx = self.engine_idx(g.shard);
+                        self.engines[idx].1.set_dirty_budget(g.budget_pages);
+                    }
+                    for (shard, e) in &self.engines {
+                        let _ = self.arbiter_tx.send(ArbiterMsg::CommitStats {
+                            round: id,
+                            stats: Self::snapshot(*shard, e),
+                        });
+                    }
+                }
+                Ok(GrantMsg::Done(rid)) if rid == id => break,
+                Ok(_) => continue, // stale message from an aborted round
+                Err(_) => break,   // arbiter gone: runtime is shutting down
+            }
+        }
+        self.publish_dirty();
+    }
+
+    fn query(&mut self, query: CtrlQuery) -> CtrlReply {
+        match query {
+            CtrlQuery::Stats => CtrlReply::Stats(
+                self.engines
+                    .iter()
+                    .map(|(s, e)| Self::snapshot(*s, e))
+                    .collect(),
+            ),
+            CtrlQuery::SsdStats => {
+                let mut total = SsdStats::default();
+                for (_, e) in &self.engines {
+                    accumulate_ssd(&mut total, &e.ssd_stats());
+                }
+                CtrlReply::Ssd(total)
+            }
+            CtrlQuery::PowerFailure => CtrlReply::Failure(
+                self.engines
+                    .iter_mut()
+                    .map(|(_, e)| e.power_failure())
+                    .collect(),
+            ),
+            CtrlQuery::PowerFailurePowered(bp) => {
+                let (battery, power) = &*bp;
+                CtrlReply::Failure(
+                    self.engines
+                        .iter_mut()
+                        .map(|(_, e)| e.power_failure_powered(battery, power))
+                        .collect(),
+                )
+            }
+            CtrlQuery::Recover => {
+                for (_, e) in &mut self.engines {
+                    e.recover();
+                }
+                self.publish_dirty();
+                CtrlReply::Done
+            }
+            CtrlQuery::Invariants => {
+                let mut assigned = 0;
+                let mut dirty = 0;
+                let mut violation = None;
+                for (_, e) in &self.engines {
+                    assigned += e.dirty_budget();
+                    dirty += e.dirty_count();
+                    if violation.is_none() {
+                        violation = e.check_invariants().err();
+                    }
+                }
+                CtrlReply::Invariants {
+                    assigned,
+                    dirty,
+                    violation,
+                }
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// The arbiter thread
+// ----------------------------------------------------------------------
+
+struct ArbiterThread {
+    arbiter: BudgetArbiter,
+    rx: Receiver<ArbiterMsg>,
+    grant_txs: Vec<Sender<GrantMsg>>,
+    thread_of_shard: Vec<usize>,
+    telemetry: Telemetry,
+    /// Per-shard `(dirty_pages, budget_pages)` gauge names.
+    gauge_names: Vec<(&'static str, &'static str)>,
+    /// First shard of a worker thread known to have died; poisons all
+    /// subsequent rounds.
+    dead: Option<usize>,
+}
+
+impl ArbiterThread {
+    fn run(mut self) {
+        while let Ok(msg) = self.rx.recv() {
+            match msg {
+                ArbiterMsg::StartRound { id, kind, reply } => {
+                    let result = self.run_round(id, kind);
+                    let _ = reply.send(result);
+                }
+                ArbiterMsg::Rebalances { reply } => {
+                    let _ = reply.send(self.arbiter.rebalances());
+                }
+                ArbiterMsg::ThreadDown { first_shard } => {
+                    self.dead.get_or_insert(first_shard);
+                }
+                // Stale round traffic from an aborted round.
+                ArbiterMsg::Stats { .. }
+                | ArbiterMsg::ShrinkDone { .. }
+                | ArbiterMsg::CommitStats { .. } => {}
+            }
+        }
+    }
+
+    /// Releases every worker possibly blocked on its grant channel, then
+    /// fails the round.
+    fn abort_round(&mut self, id: u64) -> Result<(), ViyojitError> {
+        for tx in &self.grant_txs {
+            let _ = tx.send(GrantMsg::Done(id));
+        }
+        Err(ViyojitError::ShardFailed {
+            shard: self.dead.unwrap_or(0),
+        })
+    }
+
+    /// Collects one `ShardStats` per shard for round `id` (the `pick`ed
+    /// message kind), aborting if a worker dies.
+    fn collect_stats(
+        &mut self,
+        id: u64,
+        commits: bool,
+    ) -> Result<Option<Vec<ShardStats>>, ViyojitError> {
+        let n = self.arbiter.members();
+        let mut out: Vec<Option<ShardStats>> = vec![None; n];
+        let mut got = 0;
+        while got < n {
+            match self.rx.recv() {
+                Ok(ArbiterMsg::Stats { round, stats }) if !commits && round == id => {
+                    if out[stats.shard].replace(stats).is_none() {
+                        got += 1;
+                    }
+                }
+                Ok(ArbiterMsg::CommitStats { round, stats }) if commits && round == id => {
+                    if out[stats.shard].replace(stats).is_none() {
+                        got += 1;
+                    }
+                }
+                Ok(ArbiterMsg::ThreadDown { first_shard }) => {
+                    self.dead.get_or_insert(first_shard);
+                    return self.abort_round(id).map(|()| None);
+                }
+                Ok(_) => continue, // stale traffic from an aborted round
+                Err(_) => {
+                    return Err(ViyojitError::ShardFailed {
+                        shard: self.dead.unwrap_or(0),
+                    })
+                }
+            }
+        }
+        Ok(Some(
+            out.into_iter()
+                .map(|s| s.expect("all slots filled"))
+                .collect(),
+        ))
+    }
+
+    fn run_round(&mut self, id: u64, kind: RoundKind) -> Result<(), ViyojitError> {
+        if self.dead.is_some() {
+            return self.abort_round(id);
+        }
+        let Some(before) = self.collect_stats(id, false)? else {
+            return Err(ViyojitError::ShardFailed {
+                shard: self.dead.unwrap_or(0),
+            });
+        };
+        if let RoundKind::SetTotal(pages) = kind {
+            // Pre-validated by the control handle, so this cannot panic.
+            self.arbiter.set_total_budget(pages);
+        }
+        let before_stats: Vec<ViyojitStats> = before.iter().map(|s| s.stats).collect();
+        let targets = self.arbiter.plan(&before_stats);
+
+        // Shrink phase: grants where the target is below the pre-round
+        // budget, applied (with stalls) before anyone grows.
+        self.send_grants(id, &before, &targets, true)?;
+        let threads = self.grant_txs.len();
+        let mut done = 0;
+        while done < threads {
+            match self.rx.recv() {
+                Ok(ArbiterMsg::ShrinkDone { round }) if round == id => done += 1,
+                Ok(ArbiterMsg::ThreadDown { first_shard }) => {
+                    self.dead.get_or_insert(first_shard);
+                    return self.abort_round(id);
+                }
+                Ok(_) => continue,
+                Err(_) => {
+                    return Err(ViyojitError::ShardFailed {
+                        shard: self.dead.unwrap_or(0),
+                    })
+                }
+            }
+        }
+
+        // Grow phase; workers answer with their post-apply commit stats.
+        self.send_grants(id, &before, &targets, false)?;
+        let Some(after) = self.collect_stats(id, true)? else {
+            return Err(ViyojitError::ShardFailed {
+                shard: self.dead.unwrap_or(0),
+            });
+        };
+        let after_stats: Vec<ViyojitStats> = after.iter().map(|s| s.stats).collect();
+        self.arbiter.commit(&after_stats);
+        self.publish_metrics(&after);
+        for tx in &self.grant_txs {
+            let _ = tx.send(GrantMsg::Done(id));
+        }
+        Ok(())
+    }
+
+    fn send_grants(
+        &mut self,
+        id: u64,
+        before: &[ShardStats],
+        targets: &[u64],
+        shrink: bool,
+    ) -> Result<(), ViyojitError> {
+        for (t, tx) in self.grant_txs.iter().enumerate() {
+            let grants: Vec<BudgetGrant> = (0..targets.len())
+                .filter(|&s| self.thread_of_shard[s] == t)
+                .filter(|&s| {
+                    if shrink {
+                        targets[s] < before[s].budget_pages
+                    } else {
+                        targets[s] > before[s].budget_pages
+                    }
+                })
+                .map(|s| BudgetGrant {
+                    shard: s,
+                    budget_pages: targets[s],
+                })
+                .collect();
+            let msg = if shrink {
+                GrantMsg::Shrink(id, grants)
+            } else {
+                GrantMsg::Grow(id, grants)
+            };
+            if tx.send(msg).is_err() {
+                self.dead.get_or_insert(t);
+                return self.abort_round(id);
+            }
+        }
+        Ok(())
+    }
+
+    fn publish_metrics(&mut self, after: &[ShardStats]) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let rebalances = self.arbiter.rebalances();
+        self.telemetry.metrics(|m| {
+            m.counter_set("sharded.rebalances", rebalances);
+            for (s, (dirty_name, budget_name)) in after.iter().zip(&self.gauge_names) {
+                m.gauge_set(dirty_name, s.dirty_pages as f64);
+                m.gauge_set(budget_name, s.budget_pages as f64);
+            }
+        });
+    }
+}
+
+// ----------------------------------------------------------------------
+// Aggregation helpers (mirror the sequential frontend's sums exactly)
+// ----------------------------------------------------------------------
+
+fn accumulate_stats(total: &mut ViyojitStats, s: &ViyojitStats) {
+    total.faults_handled += s.faults_handled;
+    total.pages_dirtied += s.pages_dirtied;
+    total.proactive_flushes += s.proactive_flushes;
+    total.forced_flushes += s.forced_flushes;
+    total.flushes_completed += s.flushes_completed;
+    total.budget_stalls += s.budget_stalls;
+    total.stall_time += s.stall_time;
+    total.in_flight_collisions += s.in_flight_collisions;
+    total.epochs += s.epochs;
+    total.epochs_fast_forwarded += s.epochs_fast_forwarded;
+    total.bytes_flushed += s.bytes_flushed;
+    total.physical_bytes_flushed += s.physical_bytes_flushed;
+    total.walk_touches += s.walk_touches;
+    total.flush_retries += s.flush_retries;
+}
+
+fn accumulate_ssd(total: &mut SsdStats, s: &SsdStats) {
+    total.writes += s.writes;
+    total.reads += s.reads;
+    total.bytes_written += s.bytes_written;
+    total.bytes_read += s.bytes_read;
+    total.write_errors += s.write_errors;
+}
+
+fn aggregate_failure(reports: impl IntoIterator<Item = PowerFailureReport>) -> PowerFailureReport {
+    let mut total = PowerFailureReport {
+        dirty_pages: 0,
+        pages_flushed: 0,
+        pages_lost: 0,
+        retries: 0,
+        bytes_flushed: 0,
+        flush_time: SimDuration::ZERO,
+        energy_margin_joules: f64::INFINITY,
+        outcome: FlushOutcome::Complete,
+    };
+    for r in reports {
+        total.dirty_pages += r.dirty_pages;
+        total.pages_flushed += r.pages_flushed;
+        total.pages_lost += r.pages_lost;
+        total.retries += r.retries;
+        total.bytes_flushed += r.bytes_flushed;
+        total.flush_time = total.flush_time.max(r.flush_time);
+        total.energy_margin_joules = total.energy_margin_joules.min(r.energy_margin_joules);
+        total.outcome = total.outcome.max(r.outcome);
+    }
+    total
+}
+
+// ----------------------------------------------------------------------
+// Spawning
+// ----------------------------------------------------------------------
+
+/// Spawns the worker and arbiter threads described by `b` and returns the
+/// two plane handles. `b` was already validated.
+pub(super) fn spawn_parallel<B: DirtyTracker + Send + 'static>(
+    b: ShardedViyojitBuilder<B>,
+) -> (ShardDataHandle, ShardControlHandle) {
+    let shards = b.shards;
+    let threads = b.threads.unwrap_or(shards).min(shards);
+    let t0 = b.clock.now();
+    let arbiter = BudgetArbiter::new(shards, b.config.dirty_budget_pages, b.min_per_shard);
+    let initial = arbiter.initial_share();
+
+    let names: Vec<(&'static str, &'static str, &'static str)> = (0..shards)
+        .map(|i| {
+            (
+                intern_metric_name(format!("sharded.shard{i}.dirty_pages")),
+                intern_metric_name(format!("sharded.shard{i}.budget_pages")),
+                intern_metric_name(format!("shard{i}")),
+            )
+        })
+        .collect();
+
+    let stride = b.pages_per_shard.div_ceil(64);
+    let dirty_map = Arc::new(AtomicBitmap2L::new(shards * stride * 64));
+    let error = Arc::new(Mutex::new(None));
+    let thread_of_shard: Vec<usize> = (0..shards).map(|s| s % threads).collect();
+
+    let (arb_tx, arb_rx) = channel();
+    let mut shard_txs = Vec::with_capacity(threads);
+    let mut grant_txs = Vec::with_capacity(threads);
+    let mut joins = Vec::with_capacity(threads);
+
+    for t in 0..threads {
+        let owned: Vec<usize> = (t..shards).step_by(threads).collect();
+        let clock = Clock::new();
+        clock.advance_to(t0);
+        let profiler = b.profiler.fork(clock.clone());
+        let engines: Vec<(usize, Engine<B>)> = owned
+            .iter()
+            .map(|&s| {
+                let mut cfg = b.config.clone();
+                cfg.dirty_budget_pages = initial;
+                let mut e = Engine::new(
+                    b.pages_per_shard,
+                    cfg,
+                    clock.clone(),
+                    b.costs.clone(),
+                    b.ssd_config.clone(),
+                );
+                e.attach_telemetry(b.telemetry.clone());
+                e.attach_profiler(profiler.clone());
+                if let Some(plan) = &b.faults {
+                    e.attach_faults(plan.clone());
+                }
+                (s, e)
+            })
+            .collect();
+        let frames: Vec<&'static str> = owned.iter().map(|&s| names[s].2).collect();
+
+        let (tx, rx) = channel();
+        let (gtx, grx) = channel();
+        shard_txs.push(tx);
+        grant_txs.push(gtx);
+        let worker = Worker {
+            shadow: vec![vec![0u64; stride]; engines.len()],
+            scratch: vec![0u64; stride],
+            engines,
+            profiler,
+            frames,
+            rx,
+            grant_rx: grx,
+            arbiter_tx: arb_tx.clone(),
+            clock,
+            dirty_map: Arc::clone(&dirty_map),
+            stride,
+            error: Arc::clone(&error),
+        };
+        joins.push(
+            std::thread::Builder::new()
+                .name(format!("viyojit-worker{t}"))
+                .spawn(move || worker.run())
+                .expect("worker threads must spawn"),
+        );
+    }
+
+    let arb = ArbiterThread {
+        arbiter,
+        rx: arb_rx,
+        grant_txs,
+        thread_of_shard: thread_of_shard.clone(),
+        telemetry: b.telemetry.clone(),
+        gauge_names: names.iter().map(|&(d, g, _)| (d, g)).collect(),
+        dead: None,
+    };
+    let arbiter_join = std::thread::Builder::new()
+        .name("viyojit-arbiter".to_string())
+        .spawn(move || arb.run())
+        .expect("the arbiter thread must spawn");
+
+    let runtime = Arc::new(Runtime {
+        shard_txs,
+        arbiter_tx: Some(arb_tx),
+        rounds: Mutex::new(RoundState {
+            next_round_id: 1,
+            virtual_now: t0,
+            next_rebalance_at: t0 + b.rebalance_period,
+        }),
+        error,
+        dirty_map,
+        thread_of_shard,
+        total_budget: AtomicU64::new(b.config.dirty_budget_pages),
+        min_per_shard: b.min_per_shard,
+        shards,
+        rebalance_period: b.rebalance_period,
+        joins: Mutex::new(joins),
+        arbiter_join: Mutex::new(Some(arbiter_join)),
+    });
+    let staging = (0..threads).map(|_| Vec::new()).collect();
+    (
+        ShardDataHandle {
+            runtime: Arc::clone(&runtime),
+            routes: Vec::new(),
+            staging,
+        },
+        ShardControlHandle {
+            runtime,
+            telemetry: b.telemetry,
+        },
+    )
+}
+
+// ----------------------------------------------------------------------
+// The data-plane handle
+// ----------------------------------------------------------------------
+
+#[derive(Clone, Copy)]
+struct RouteEntry {
+    shard: usize,
+    local: RegionId,
+    len_bytes: u64,
+}
+
+/// The application-facing handle of a parallel sharded deployment:
+/// [`NvHeap`] routing plus [`ShardDataPlane`] time-stepping.
+///
+/// Writes are bounds-checked against a local route mirror and staged in
+/// per-worker batches; reads and mappings are synchronous request/reply
+/// exchanges with the owning worker. Asynchronous write errors surface at
+/// the next [`sync`](ShardDataPlane::sync) or
+/// [`step`](ShardDataPlane::step).
+pub struct ShardDataHandle {
+    runtime: Arc<Runtime>,
+    routes: Vec<Option<RouteEntry>>,
+    staging: Vec<Vec<StagedWrite>>,
+}
+
+impl std::fmt::Debug for ShardDataHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardDataHandle")
+            .field("shards", &self.runtime.shards)
+            .field("routes", &self.routes.iter().flatten().count())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardDataHandle {
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.runtime.shards
+    }
+
+    /// The shard a global region handle routes to, if mapped.
+    pub fn shard_of(&self, region: RegionId) -> Option<usize> {
+        self.routes
+            .get(region.0 as usize)
+            .and_then(|r| r.as_ref())
+            .map(|e| e.shard)
+    }
+
+    /// Pages currently *published* as dirty in the shared cross-thread
+    /// bitmap. Exact at `Tick`/`sync`/round boundaries; between them it
+    /// lags each worker's private state by at most one publication.
+    pub fn published_dirty_pages(&self) -> u64 {
+        self.runtime.dirty_map.count()
+    }
+
+    /// The shared cross-thread dirty bitmap (shard `s` occupies the
+    /// word-aligned stride `[s*W, (s+1)*W)` for `W = pages_per_shard
+    /// words, rounded up`).
+    pub fn dirty_bitmap(&self) -> &AtomicBitmap2L {
+        &self.runtime.dirty_map
+    }
+
+    fn route(&self, region: RegionId) -> Result<RouteEntry, ViyojitError> {
+        self.routes
+            .get(region.0 as usize)
+            .and_then(|r| *r)
+            .ok_or(ViyojitError::BadRegion(region))
+    }
+
+    /// Same Fibonacci spread as the sequential frontend.
+    fn preferred_shard(&self, slot: usize) -> usize {
+        let hash = (slot as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        (hash % self.runtime.shards as u64) as usize
+    }
+
+    fn flush_thread(&mut self, thread: usize) -> Result<(), ViyojitError> {
+        if self.staging[thread].is_empty() {
+            return Ok(());
+        }
+        let batch = std::mem::take(&mut self.staging[thread]);
+        self.runtime
+            .send_to_thread(thread, ShardCmd::WriteBatch(batch))
+    }
+
+    fn flush_all(&mut self) -> Result<(), ViyojitError> {
+        for t in 0..self.staging.len() {
+            self.flush_thread(t)?;
+        }
+        Ok(())
+    }
+
+    /// Round-trips a request to `thread`, mapping a dead worker to
+    /// [`ViyojitError::ShardFailed`].
+    fn exchange<T>(
+        &mut self,
+        thread: usize,
+        make: impl FnOnce(Sender<T>) -> ShardCmd,
+    ) -> Result<T, ViyojitError> {
+        let (tx, rx) = channel();
+        self.runtime.send_to_thread(thread, make(tx))?;
+        rx.recv().map_err(|_| self.runtime.thread_failed(thread))
+    }
+}
+
+impl NvHeap for ShardDataHandle {
+    /// Maps a region on the preferred (hashed) shard, probing the other
+    /// shards in order when that shard's space is exhausted — identical
+    /// placement to the sequential frontend.
+    fn map(&mut self, len_bytes: u64) -> Result<RegionId, ViyojitError> {
+        let slot = self
+            .routes
+            .iter()
+            .position(|r| r.is_none())
+            .unwrap_or(self.routes.len());
+        let preferred = self.preferred_shard(slot);
+        let n = self.runtime.shards;
+        let mut last_err = None;
+        for probe in 0..n {
+            let shard = (preferred + probe) % n;
+            let thread = self.runtime.thread_of_shard[shard];
+            match self.exchange(thread, |reply| ShardCmd::Map {
+                shard,
+                len_bytes,
+                reply,
+            })? {
+                Ok(local) => {
+                    let route = Some(RouteEntry {
+                        shard,
+                        local,
+                        len_bytes,
+                    });
+                    if slot == self.routes.len() {
+                        self.routes.push(route);
+                    } else {
+                        self.routes[slot] = route;
+                    }
+                    return Ok(RegionId(slot as u32));
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.expect("at least one shard was probed"))
+    }
+
+    fn unmap(&mut self, region: RegionId) -> Result<(), ViyojitError> {
+        let entry = self.route(region)?;
+        let thread = self.runtime.thread_of_shard[entry.shard];
+        self.flush_thread(thread)?;
+        self.exchange(thread, |reply| ShardCmd::Unmap {
+            shard: entry.shard,
+            local: entry.local,
+            reply,
+        })??;
+        self.routes[region.0 as usize] = None;
+        Ok(())
+    }
+
+    fn read(&mut self, region: RegionId, offset: u64, buf: &mut [u8]) -> Result<(), ViyojitError> {
+        let entry = self.route(region)?;
+        let thread = self.runtime.thread_of_shard[entry.shard];
+        self.flush_thread(thread)?;
+        let data = self.exchange(thread, |reply| ShardCmd::Read {
+            shard: entry.shard,
+            local: entry.local,
+            offset,
+            len: buf.len(),
+            reply,
+        })??;
+        buf.copy_from_slice(&data);
+        Ok(())
+    }
+
+    fn write(&mut self, region: RegionId, offset: u64, data: &[u8]) -> Result<(), ViyojitError> {
+        let entry = self.route(region)?;
+        // The same bounds rule as RegionTable::resolve, evaluated against
+        // the route mirror so staging never defers a validation error;
+        // the error names the shard-local region, as the sequential
+        // frontend's does.
+        if offset
+            .checked_add(data.len() as u64)
+            .is_none_or(|end| end > entry.len_bytes)
+        {
+            return Err(ViyojitError::OutOfRange {
+                region: entry.local,
+                offset,
+                len: data.len(),
+            });
+        }
+        let thread = self.runtime.thread_of_shard[entry.shard];
+        self.staging[thread].push(StagedWrite {
+            shard: entry.shard,
+            local: entry.local,
+            offset,
+            data: data.to_vec(),
+        });
+        if self.staging[thread].len() >= WRITE_BATCH {
+            self.flush_thread(thread)?;
+        }
+        Ok(())
+    }
+
+    fn region_len(&self, region: RegionId) -> Result<u64, ViyojitError> {
+        Ok(self.route(region)?.len_bytes)
+    }
+}
+
+impl ShardDataPlane for ShardDataHandle {
+    /// Flushes staged writes, broadcasts the tick (each worker advances
+    /// its own clock), and — when the driver timeline crosses a rebalance
+    /// boundary — runs one message-passing round, then fast-forwards the
+    /// boundary past "now" exactly as the sequential frontend does.
+    fn step(&mut self, d: SimDuration) -> Result<(), ViyojitError> {
+        self.flush_all()?;
+        let runtime = Arc::clone(&self.runtime);
+        let mut rs = runtime.lock_rounds();
+        rs.virtual_now += d;
+        for (t, tx) in runtime.shard_txs.iter().enumerate() {
+            tx.send(ShardCmd::Tick(d))
+                .map_err(|_| runtime.thread_failed(t))?;
+        }
+        if rs.virtual_now >= rs.next_rebalance_at {
+            runtime.round_locked(&mut rs, RoundKind::Demand)?;
+            while rs.next_rebalance_at <= rs.virtual_now {
+                rs.next_rebalance_at += runtime.rebalance_period;
+            }
+        }
+        drop(rs);
+        runtime.take_async_error()
+    }
+
+    /// Flushes staged writes, barriers on every worker (forcing a dirty
+    /// publication), and surfaces any asynchronous write error.
+    fn sync(&mut self) -> Result<(), ViyojitError> {
+        self.flush_all()?;
+        for t in 0..self.runtime.shard_txs.len() {
+            self.exchange(t, |reply| ShardCmd::Sync { reply })?;
+        }
+        self.runtime.take_async_error()
+    }
+}
+
+// ----------------------------------------------------------------------
+// The control-plane handle
+// ----------------------------------------------------------------------
+
+/// The operator-facing handle of a parallel sharded deployment: budget
+/// rounds, failure simulation, recovery, audits — every call a message
+/// exchange with the worker and arbiter threads.
+pub struct ShardControlHandle {
+    runtime: Arc<Runtime>,
+    telemetry: Telemetry,
+}
+
+impl std::fmt::Debug for ShardControlHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardControlHandle")
+            .field("shards", &self.runtime.shards)
+            .field(
+                "total_budget",
+                &self.runtime.total_budget.load(Ordering::Relaxed),
+            )
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardControlHandle {
+    /// Sends `query` to every worker and collects the replies in thread
+    /// order.
+    fn query_all(
+        &mut self,
+        mut make: impl FnMut() -> CtrlQuery,
+    ) -> Result<Vec<CtrlReply>, ViyojitError> {
+        let mut pending = Vec::with_capacity(self.runtime.shard_txs.len());
+        for t in 0..self.runtime.shard_txs.len() {
+            let (tx, rx) = channel();
+            self.runtime.send_to_thread(
+                t,
+                ShardCmd::Query {
+                    query: make(),
+                    reply: tx,
+                },
+            )?;
+            pending.push((t, rx));
+        }
+        pending
+            .into_iter()
+            .map(|(t, rx)| rx.recv().map_err(|_| self.runtime.thread_failed(t)))
+            .collect()
+    }
+
+    fn shard_stats(&mut self) -> Result<Vec<ShardStats>, ViyojitError> {
+        let mut all = Vec::with_capacity(self.runtime.shards);
+        for reply in self.query_all(|| CtrlQuery::Stats)? {
+            if let CtrlReply::Stats(mut s) = reply {
+                all.append(&mut s);
+            }
+        }
+        all.sort_by_key(|s| s.shard);
+        Ok(all)
+    }
+
+    fn run_failure(
+        &mut self,
+        mut make: impl FnMut() -> CtrlQuery,
+    ) -> Result<PowerFailureReport, ViyojitError> {
+        let mut reports = Vec::with_capacity(self.runtime.shards);
+        for reply in self.query_all(&mut make)? {
+            if let CtrlReply::Failure(mut r) = reply {
+                reports.append(&mut r);
+            }
+        }
+        Ok(aggregate_failure(reports))
+    }
+
+    /// Aggregated SSD counters across all shards.
+    pub fn ssd_stats(&mut self) -> Result<SsdStats, ViyojitError> {
+        let mut total = SsdStats::default();
+        for reply in self.query_all(|| CtrlQuery::SsdStats)? {
+            if let CtrlReply::Ssd(s) = reply {
+                accumulate_ssd(&mut total, &s);
+            }
+        }
+        Ok(total)
+    }
+}
+
+impl ShardControlPlane for ShardControlHandle {
+    fn rebalance(&mut self) -> Result<(), ViyojitError> {
+        let runtime = Arc::clone(&self.runtime);
+        let mut rs = runtime.lock_rounds();
+        runtime.round_locked(&mut rs, RoundKind::Demand)
+    }
+
+    fn set_total_budget(&mut self, pages: u64) -> Result<(), ViyojitError> {
+        if self.runtime.min_per_shard * self.runtime.shards as u64 > pages {
+            return Err(ViyojitError::InvalidConfig(
+                "per-shard floors exceed the re-provisioned budget",
+            ));
+        }
+        let runtime = Arc::clone(&self.runtime);
+        let mut rs = runtime.lock_rounds();
+        runtime.round_locked(&mut rs, RoundKind::SetTotal(pages))?;
+        drop(rs);
+        runtime.total_budget.store(pages, Ordering::Release);
+        Ok(())
+    }
+
+    fn govern_degradation(
+        &mut self,
+        governor: &mut DegradationGovernor,
+        reported_health: f64,
+    ) -> Result<Option<u64>, ViyojitError> {
+        let ssd = self.ssd_stats()?;
+        let Some(budget) = governor.observe(reported_health, &ssd) else {
+            return Ok(None);
+        };
+        let degraded = matches!(governor.mode(), DegradedMode::Degraded(_));
+        self.telemetry.emit(|| TraceEvent::DegradedModeChanged {
+            degraded,
+            budget_pages: budget,
+        });
+        self.set_total_budget(budget)?;
+        Ok(Some(budget))
+    }
+
+    fn power_failure(&mut self) -> Result<PowerFailureReport, ViyojitError> {
+        self.run_failure(|| CtrlQuery::PowerFailure)
+    }
+
+    fn power_failure_powered(
+        &mut self,
+        battery: &Battery,
+        power: &PowerModel,
+    ) -> Result<PowerFailureReport, ViyojitError> {
+        self.run_failure(|| {
+            CtrlQuery::PowerFailurePowered(Box::new((battery.clone(), power.clone())))
+        })
+    }
+
+    fn recover(&mut self) -> Result<(), ViyojitError> {
+        self.query_all(|| CtrlQuery::Recover)?;
+        let mut rs = self.runtime.lock_rounds();
+        rs.next_rebalance_at = rs.virtual_now + self.runtime.rebalance_period;
+        Ok(())
+    }
+
+    fn stats(&mut self) -> Result<ViyojitStats, ViyojitError> {
+        let mut total = ViyojitStats::default();
+        for s in self.shard_stats()? {
+            accumulate_stats(&mut total, &s.stats);
+        }
+        Ok(total)
+    }
+
+    fn dirty_count(&mut self) -> Result<u64, ViyojitError> {
+        Ok(self.shard_stats()?.iter().map(|s| s.dirty_pages).sum())
+    }
+
+    fn total_budget_pages(&self) -> u64 {
+        self.runtime.total_budget.load(Ordering::Acquire)
+    }
+
+    fn rebalances(&mut self) -> Result<u64, ViyojitError> {
+        let runtime = Arc::clone(&self.runtime);
+        let _rs = runtime.lock_rounds();
+        let (tx, rx) = channel();
+        runtime.arbiter_send(ArbiterMsg::Rebalances { reply: tx })?;
+        rx.recv()
+            .map_err(|_| ViyojitError::ShardFailed { shard: 0 })
+    }
+
+    fn check_invariants(&mut self) -> Result<(), ViyojitError> {
+        let mut assigned = 0;
+        let mut dirty = 0;
+        let mut first = None;
+        for reply in self.query_all(|| CtrlQuery::Invariants)? {
+            if let CtrlReply::Invariants {
+                assigned: a,
+                dirty: d,
+                violation,
+            } = reply
+            {
+                assigned += a;
+                dirty += d;
+                if first.is_none() {
+                    first = violation;
+                }
+            }
+        }
+        let total = self.total_budget_pages();
+        if assigned > total {
+            return Err(InvariantViolation::OverCommit {
+                assigned,
+                provisioned: total,
+            }
+            .into());
+        }
+        if dirty > total {
+            return Err(InvariantViolation::BudgetExceeded {
+                dirty,
+                budget: total,
+            }
+            .into());
+        }
+        match first {
+            Some(v) => Err(v.into()),
+            None => Ok(()),
+        }
+    }
+}

@@ -29,6 +29,7 @@ use crate::{
     ViyojitError, ViyojitStats,
 };
 
+use super::plane::{ShardControlPlane, ShardDataPlane};
 use super::{BudgetArbiter, DegradationGovernor, DegradedMode, DirtyTracker, Engine, SoftwareWalk};
 
 /// Per-shard metric names, interned once at construction (the registry
@@ -49,20 +50,13 @@ struct ShardMetricNames {
 /// # Examples
 ///
 /// ```
-/// use sim_clock::{Clock, CostModel, SimDuration};
-/// use ssd_sim::SsdConfig;
-/// use viyojit::{NvHeap, ShardedViyojit, ViyojitConfig};
+/// use sim_clock::SimDuration;
+/// use viyojit::{NvHeap, ShardedViyojitBuilder, ViyojitConfig};
 ///
-/// let mut nv: ShardedViyojit = ShardedViyojit::new(
-///     4,                                   // shards
-///     256,                                 // pages per shard
-///     ViyojitConfig::with_budget_pages(64), // global budget
-///     4,                                   // per-shard floor
-///     SimDuration::from_millis(10),        // rebalance period
-///     Clock::new(),
-///     CostModel::free(),
-///     SsdConfig::instant(),
-/// );
+/// let mut nv = ShardedViyojitBuilder::new(4, 256, ViyojitConfig::with_budget_pages(64))
+///     .min_per_shard(4)
+///     .rebalance_period(SimDuration::from_millis(10))
+///     .build_sequential()?;
 /// let r = nv.map(4096 * 8)?;
 /// nv.write(r, 0, b"routed to one shard's engine")?;
 /// assert_eq!(nv.dirty_count(), 1);
@@ -96,6 +90,11 @@ impl<B: DirtyTracker> ShardedViyojit<B> {
     /// Panics if `shards` is zero, `min_per_shard` is zero, the floors
     /// exceed the global budget, or `rebalance_period` is zero.
     #[allow(clippy::too_many_arguments)]
+    #[deprecated(
+        since = "0.7.0",
+        note = "use ShardedViyojitBuilder::new(..).build_sequential() — it validates \
+                instead of panicking and consumes attachments up front"
+    )]
     pub fn new(
         shards: usize,
         pages_per_shard: usize,
@@ -110,6 +109,35 @@ impl<B: DirtyTracker> ShardedViyojit<B> {
             rebalance_period > SimDuration::ZERO,
             "the rebalance period must be positive"
         );
+        Self::assemble(
+            shards,
+            pages_per_shard,
+            config,
+            min_per_shard,
+            rebalance_period,
+            clock,
+            costs,
+            ssd_config,
+        )
+    }
+
+    /// Shared construction body of the deprecated `new` and
+    /// [`ShardedViyojitBuilder::build_sequential`]; the builder validates
+    /// before calling so the arbiter's own asserts cannot fire.
+    ///
+    /// [`ShardedViyojitBuilder::build_sequential`]:
+    ///     super::ShardedViyojitBuilder::build_sequential
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn assemble(
+        shards: usize,
+        pages_per_shard: usize,
+        config: ViyojitConfig,
+        min_per_shard: u64,
+        rebalance_period: SimDuration,
+        clock: Clock,
+        costs: CostModel,
+        ssd_config: SsdConfig,
+    ) -> Self {
         let arbiter = BudgetArbiter::new(shards, config.dirty_budget_pages, min_per_shard);
         let engines: Vec<Engine<B>> = (0..shards)
             .map(|_| {
@@ -241,7 +269,16 @@ impl<B: DirtyTracker> ShardedViyojit<B> {
     /// read as the *maximum* across shards. The per-shard truth lives in
     /// the `sharded.shardN.*` gauges this frontend publishes at each
     /// rebalance.
+    #[deprecated(
+        since = "0.7.0",
+        note = "use ShardedViyojitBuilder::telemetry(..) so attachments are \
+                consumed before anything runs"
+    )]
     pub fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        self.install_telemetry(telemetry);
+    }
+
+    pub(crate) fn install_telemetry(&mut self, telemetry: Telemetry) {
         for shard in &mut self.shards {
             shard.attach_telemetry(telemetry.clone());
         }
@@ -254,7 +291,16 @@ impl<B: DirtyTracker> ShardedViyojit<B> {
     /// are wrapped in per-shard `shard{i}` scopes, so one flamegraph shows
     /// which shard's control loop the virtual time went to — the engine's
     /// own spans nest underneath (`app;shard2;wp_trap;...`).
+    #[deprecated(
+        since = "0.7.0",
+        note = "use ShardedViyojitBuilder::profiler(..) so attachments are \
+                consumed before anything runs"
+    )]
     pub fn attach_profiler(&mut self, profiler: Profiler) {
+        self.install_profiler(profiler);
+    }
+
+    pub(crate) fn install_profiler(&mut self, profiler: Profiler) {
         for shard in &mut self.shards {
             shard.attach_profiler(profiler.clone());
         }
@@ -264,7 +310,16 @@ impl<B: DirtyTracker> ShardedViyojit<B> {
     /// Attaches one fault plan to every shard (shards share the plan's
     /// RNG stream; shard order is deterministic, so runs stay reproducible
     /// from the seed).
+    #[deprecated(
+        since = "0.7.0",
+        note = "use ShardedViyojitBuilder::faults(..) so attachments are \
+                consumed before anything runs"
+    )]
     pub fn attach_faults(&mut self, faults: FaultPlan) {
+        self.install_faults(faults);
+    }
+
+    pub(crate) fn install_faults(&mut self, faults: FaultPlan) {
         for shard in &mut self.shards {
             shard.attach_faults(faults.clone());
         }
@@ -531,124 +586,231 @@ impl<B: DirtyTracker> NvHeap for ShardedViyojit<B> {
     }
 }
 
+impl<B: DirtyTracker> ShardDataPlane for ShardedViyojit<B> {
+    /// Advances the shared virtual clock and runs a rebalance if the
+    /// period boundary was crossed — equivalent to the historical pattern
+    /// of `clock.advance(d)` followed by the next routed access.
+    fn step(&mut self, d: SimDuration) -> Result<(), ViyojitError> {
+        self.clock.advance(d);
+        self.maybe_rebalance();
+        Ok(())
+    }
+
+    /// The sequential frontend buffers nothing; always `Ok`.
+    fn sync(&mut self) -> Result<(), ViyojitError> {
+        Ok(())
+    }
+}
+
+impl<B: DirtyTracker> ShardControlPlane for ShardedViyojit<B> {
+    fn rebalance(&mut self) -> Result<(), ViyojitError> {
+        ShardedViyojit::rebalance(self);
+        Ok(())
+    }
+
+    fn set_total_budget(&mut self, pages: u64) -> Result<(), ViyojitError> {
+        if self.arbiter.min_per_member() * self.shards.len() as u64 > pages {
+            return Err(ViyojitError::InvalidConfig(
+                "per-shard floors exceed the re-provisioned budget",
+            ));
+        }
+        ShardedViyojit::set_total_budget(self, pages);
+        Ok(())
+    }
+
+    fn govern_degradation(
+        &mut self,
+        governor: &mut DegradationGovernor,
+        reported_health: f64,
+    ) -> Result<Option<u64>, ViyojitError> {
+        Ok(ShardedViyojit::govern_degradation(
+            self,
+            governor,
+            reported_health,
+        ))
+    }
+
+    fn power_failure(&mut self) -> Result<PowerFailureReport, ViyojitError> {
+        Ok(ShardedViyojit::power_failure(self))
+    }
+
+    fn power_failure_powered(
+        &mut self,
+        battery: &Battery,
+        power: &PowerModel,
+    ) -> Result<PowerFailureReport, ViyojitError> {
+        Ok(ShardedViyojit::power_failure_powered(self, battery, power))
+    }
+
+    fn recover(&mut self) -> Result<(), ViyojitError> {
+        ShardedViyojit::recover(self);
+        Ok(())
+    }
+
+    fn stats(&mut self) -> Result<ViyojitStats, ViyojitError> {
+        Ok(ShardedViyojit::stats(self))
+    }
+
+    fn dirty_count(&mut self) -> Result<u64, ViyojitError> {
+        Ok(ShardedViyojit::dirty_count(self))
+    }
+
+    fn total_budget_pages(&self) -> u64 {
+        ShardedViyojit::total_budget_pages(self)
+    }
+
+    fn rebalances(&mut self) -> Result<u64, ViyojitError> {
+        Ok(ShardedViyojit::rebalances(self))
+    }
+
+    fn check_invariants(&mut self) -> Result<(), ViyojitError> {
+        ShardedViyojit::check_invariants(self).map_err(ViyojitError::from)
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use super::super::ShardedViyojitBuilder;
     use super::*;
     use mem_sim::PAGE_SIZE;
 
-    fn cluster(shards: usize, budget: u64) -> ShardedViyojit {
-        ShardedViyojit::new(
-            shards,
-            256,
-            ViyojitConfig::with_budget_pages(budget),
-            2,
-            SimDuration::from_millis(1),
-            Clock::new(),
-            CostModel::free(),
-            SsdConfig::instant(),
-        )
+    fn cluster(shards: usize, budget: u64) -> Result<ShardedViyojit, ViyojitError> {
+        ShardedViyojitBuilder::new(shards, 256, ViyojitConfig::with_budget_pages(budget))
+            .min_per_shard(2)
+            .rebalance_period(SimDuration::from_millis(1))
+            .build_sequential()
     }
 
     #[test]
-    fn regions_spread_across_shards_and_round_trip() {
-        let mut nv = cluster(4, 64);
-        let regions: Vec<RegionId> = (0..8)
-            .map(|_| nv.map(PAGE_SIZE as u64 * 4).unwrap())
-            .collect();
+    fn regions_spread_across_shards_and_round_trip() -> Result<(), ViyojitError> {
+        let mut nv = cluster(4, 64)?;
+        let regions = (0..8)
+            .map(|_| nv.map(PAGE_SIZE as u64 * 4))
+            .collect::<Result<Vec<RegionId>, ViyojitError>>()?;
         let used: std::collections::HashSet<usize> =
-            regions.iter().map(|&r| nv.shard_of(r).unwrap()).collect();
+            regions.iter().filter_map(|&r| nv.shard_of(r)).collect();
         assert!(used.len() > 1, "hashing should use more than one shard");
         for (i, &r) in regions.iter().enumerate() {
-            nv.write(r, 0, &[i as u8; 64]).unwrap();
+            nv.write(r, 0, &[i as u8; 64])?;
         }
         let mut buf = [0u8; 64];
         for (i, &r) in regions.iter().enumerate() {
-            nv.read(r, 0, &mut buf).unwrap();
+            nv.read(r, 0, &mut buf)?;
             assert_eq!(buf, [i as u8; 64]);
         }
-        nv.validate();
+        nv.check_invariants().map_err(ViyojitError::from)
     }
 
     #[test]
-    fn unmapped_slots_are_reused() {
-        let mut nv = cluster(2, 16);
-        let a = nv.map(PAGE_SIZE as u64).unwrap();
-        let b = nv.map(PAGE_SIZE as u64).unwrap();
-        nv.unmap(a).unwrap();
-        assert!(matches!(
+    fn unmapping_yields_a_typed_bad_region_and_frees_the_slot() -> Result<(), ViyojitError> {
+        let mut nv = cluster(2, 16)?;
+        let a = nv.map(PAGE_SIZE as u64)?;
+        let b = nv.map(PAGE_SIZE as u64)?;
+        nv.unmap(a)?;
+        assert_eq!(
             nv.read(a, 0, &mut [0u8; 1]),
-            Err(ViyojitError::BadRegion(_))
-        ));
-        let c = nv.map(PAGE_SIZE as u64).unwrap();
-        assert_eq!(c, a, "freed route slots are reused");
-        nv.write(b, 0, b"x").unwrap();
-        nv.write(c, 0, b"y").unwrap();
-        nv.validate();
-    }
-
-    #[test]
-    fn map_probes_past_a_full_shard() {
-        // Two tiny shards: one large mapping fills the preferred shard,
-        // the next must land on the other.
-        let mut nv = ShardedViyojit::<SoftwareWalk>::new(
-            2,
-            8,
-            ViyojitConfig::with_budget_pages(8),
-            2,
-            SimDuration::from_millis(1),
-            Clock::new(),
-            CostModel::free(),
-            SsdConfig::instant(),
+            Err(ViyojitError::BadRegion(a)),
+            "a freed handle must name itself in the error"
         );
-        let a = nv.map(PAGE_SIZE as u64 * 8).unwrap();
-        let b = nv.map(PAGE_SIZE as u64 * 8).unwrap();
-        assert_ne!(nv.shard_of(a), nv.shard_of(b));
-        let c = nv.map(PAGE_SIZE as u64);
-        assert!(matches!(c, Err(ViyojitError::OutOfSpace { .. })));
+        let c = nv.map(PAGE_SIZE as u64)?;
+        assert_eq!(c, a, "freed route slots are reused");
+        nv.write(b, 0, b"x")?;
+        nv.write(c, 0, b"y")?;
+        nv.check_invariants().map_err(ViyojitError::from)
     }
 
     #[test]
-    fn rebalance_conserves_the_global_budget() {
-        let mut nv = cluster(4, 64);
-        let r = nv.map(PAGE_SIZE as u64 * 32).unwrap();
+    fn map_probes_past_a_full_shard_then_reports_out_of_space() -> Result<(), ViyojitError> {
+        // Two tiny shards: one large mapping fills the preferred shard,
+        // the next must land on the other; a third finds no free run
+        // anywhere and the error carries the exact shortfall.
+        let mut nv = ShardedViyojitBuilder::new(2, 8, ViyojitConfig::with_budget_pages(8))
+            .min_per_shard(2)
+            .rebalance_period(SimDuration::from_millis(1))
+            .build_sequential()?;
+        let a = nv.map(PAGE_SIZE as u64 * 8)?;
+        let b = nv.map(PAGE_SIZE as u64 * 8)?;
+        assert_ne!(nv.shard_of(a), nv.shard_of(b));
+        assert_eq!(
+            nv.map(PAGE_SIZE as u64),
+            Err(ViyojitError::OutOfSpace {
+                requested_pages: 1,
+                largest_free_run: 0,
+            })
+        );
+        Ok(())
+    }
+
+    #[test]
+    fn rebalance_conserves_the_global_budget() -> Result<(), ViyojitError> {
+        let mut nv = cluster(4, 64)?;
+        let r = nv.map(PAGE_SIZE as u64 * 32)?;
         for i in 0..32u64 {
-            nv.write(r, i * PAGE_SIZE as u64, &[1]).unwrap();
+            nv.write(r, i * PAGE_SIZE as u64, &[1])?;
         }
         nv.rebalance();
         assert_eq!(nv.total_assigned(), 64);
         assert!(nv.rebalances() >= 1);
-        nv.validate();
+        nv.check_invariants().map_err(ViyojitError::from)
     }
 
     #[test]
-    fn dirty_total_never_exceeds_the_battery() {
-        let mut nv = cluster(4, 16);
-        let regions: Vec<RegionId> = (0..4)
-            .map(|_| nv.map(PAGE_SIZE as u64 * 32).unwrap())
-            .collect();
+    fn dirty_total_never_exceeds_the_battery() -> Result<(), ViyojitError> {
+        let mut nv = cluster(4, 16)?;
+        let regions = (0..4)
+            .map(|_| nv.map(PAGE_SIZE as u64 * 32))
+            .collect::<Result<Vec<RegionId>, ViyojitError>>()?;
         for round in 0..64u64 {
             for &r in &regions {
                 let page = (round * 7) % 32;
-                nv.write(r, page * PAGE_SIZE as u64, &[round as u8])
-                    .unwrap();
+                nv.write(r, page * PAGE_SIZE as u64, &[round as u8])?;
                 assert!(nv.dirty_count() <= nv.total_budget_pages());
             }
         }
-        nv.validate();
+        nv.check_invariants()?;
         let report = nv.power_failure();
         assert!(report.dirty_pages <= nv.total_budget_pages());
+        Ok(())
     }
 
     #[test]
-    fn recovery_restores_every_shard() {
-        let mut nv = cluster(2, 8);
-        let r = nv.map(PAGE_SIZE as u64 * 4).unwrap();
-        nv.write(r, 0, b"durable across the cycle").unwrap();
+    fn recovery_restores_every_shard() -> Result<(), ViyojitError> {
+        let mut nv = cluster(2, 8)?;
+        let r = nv.map(PAGE_SIZE as u64 * 4)?;
+        nv.write(r, 0, b"durable across the cycle")?;
         nv.power_failure();
         nv.recover();
         let mut buf = [0u8; 24];
-        nv.read(r, 0, &mut buf).unwrap();
+        nv.read(r, 0, &mut buf)?;
         assert_eq!(&buf, b"durable across the cycle");
-        nv.validate();
+        nv.check_invariants().map_err(ViyojitError::from)
+    }
+
+    #[test]
+    fn step_crosses_rebalance_boundaries_like_routed_accesses() -> Result<(), ViyojitError> {
+        let mut nv = cluster(2, 16)?;
+        assert_eq!(ShardControlPlane::rebalances(&mut nv)?, 0);
+        ShardDataPlane::step(&mut nv, SimDuration::from_millis(5))?;
+        assert_eq!(
+            ShardControlPlane::rebalances(&mut nv)?,
+            1,
+            "one rebalance per gap, however many boundaries it spans"
+        );
+        ShardDataPlane::sync(&mut nv)?;
+        ShardDataPlane::step(&mut nv, SimDuration::from_micros(10))?;
+        assert_eq!(ShardControlPlane::rebalances(&mut nv)?, 1);
+        Ok(())
+    }
+
+    #[test]
+    fn control_plane_rejects_budgets_below_the_floors() -> Result<(), ViyojitError> {
+        let mut nv = cluster(4, 64)?;
+        let err = ShardControlPlane::set_total_budget(&mut nv, 7)
+            .expect_err("4 shards with floor 2 cannot fit 7 pages");
+        assert!(matches!(err, ViyojitError::InvalidConfig(_)));
+        assert_eq!(ShardControlPlane::total_budget_pages(&nv), 64);
+        ShardControlPlane::set_total_budget(&mut nv, 8)?;
+        assert_eq!(ShardControlPlane::total_budget_pages(&nv), 8);
+        Ok(())
     }
 }

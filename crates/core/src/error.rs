@@ -33,6 +33,12 @@ pub enum ViyojitError {
     /// An internal invariant check failed (see
     /// [`Engine::check_invariants`](crate::Engine::check_invariants)).
     Invariant(InvariantViolation),
+    /// A parallel shard thread died (panicked or disconnected); the
+    /// shards it owned are no longer serviceable.
+    ShardFailed {
+        /// Index of the first affected shard.
+        shard: usize,
+    },
 }
 
 /// A broken internal invariant, as reported by the non-panicking
@@ -164,6 +170,9 @@ impl fmt::Display for ViyojitError {
             ViyojitError::EmptyMapping => write!(f, "mappings must be at least one byte"),
             ViyojitError::InvalidConfig(reason) => write!(f, "invalid configuration: {reason}"),
             ViyojitError::Invariant(v) => write!(f, "invariant violated: {v}"),
+            ViyojitError::ShardFailed { shard } => {
+                write!(f, "shard {shard}'s worker thread died and cannot serve requests")
+            }
         }
     }
 }

@@ -80,15 +80,16 @@ pub use codec::{rle_decode, rle_encode, FlushCodec};
 pub use config::{ThresholdPolicy, ViyojitConfig, ViyojitConfigBuilder};
 pub use dirty::{DirtySet, PageState};
 pub use engine::{
-    BudgetArbiter, DegradationConfig, DegradationGovernor, DegradeReason, DegradedMode,
-    DirtyTracker, Engine, EngineCore, FullDirty, MmuAssisted, ShardedViyojit, SoftwareWalk,
-    MAX_FLUSH_ATTEMPTS, RETRY_BACKOFF_BASE, RETRY_BACKOFF_MAX,
+    BudgetArbiter, BudgetGrant, DegradationConfig, DegradationGovernor, DegradeReason,
+    DegradedMode, DirtyTracker, Engine, EngineCore, FullDirty, MmuAssisted, ShardControlHandle,
+    ShardControlPlane, ShardDataHandle, ShardDataPlane, ShardStats, ShardedViyojit,
+    ShardedViyojitBuilder, SoftwareWalk, MAX_FLUSH_ATTEMPTS, RETRY_BACKOFF_BASE, RETRY_BACKOFF_MAX,
 };
 pub use error::{InvariantViolation, ViyojitError};
 pub use heap::NvHeap;
 pub use history::UpdateHistory;
 pub use hw::MmuAssistedViyojit;
-pub use mem_sim::Bitmap2L;
+pub use mem_sim::{AtomicBitmap2L, Bitmap2L};
 pub use policy::{TargetPolicy, VictimSelector};
 pub use pressure::PressureEstimator;
 pub use region::{RegionId, RegionInfo, RegionTable};

@@ -164,13 +164,13 @@ impl<B: DirtyTracker> NvStore for ShardedViyojit<B> {
         self.clock().clone()
     }
     fn attach_telemetry(&mut self, telemetry: Telemetry) {
-        ShardedViyojit::attach_telemetry(self, telemetry);
+        self.install_telemetry(telemetry);
     }
     fn attach_profiler(&mut self, profiler: Profiler) {
-        ShardedViyojit::attach_profiler(self, profiler);
+        self.install_profiler(profiler);
     }
     fn attach_faults(&mut self, faults: FaultPlan) {
-        ShardedViyojit::attach_faults(self, faults);
+        self.install_faults(faults);
     }
     fn runtime_stats(&self) -> Option<ViyojitStats> {
         Some(self.stats())
@@ -263,16 +263,11 @@ mod tests {
     #[test]
     fn the_sharded_store_drives_through_the_trait() {
         use sim_clock::SimDuration;
-        let sharded = crate::ShardedViyojit::<crate::SoftwareWalk>::new(
-            2,
-            64,
-            ViyojitConfig::with_budget_pages(8),
-            2,
-            SimDuration::from_millis(1),
-            Clock::new(),
-            CostModel::free(),
-            SsdConfig::instant(),
-        );
+        let sharded = crate::ShardedViyojitBuilder::new(2, 64, ViyojitConfig::with_budget_pages(8))
+            .min_per_shard(2)
+            .rebalance_period(SimDuration::from_millis(1))
+            .build_sequential()
+            .expect("a valid sharded configuration");
         assert_eq!(sharded.system(), "Viyojit-Sharded");
         assert!(sharded.runtime_stats().is_some());
         let (dirty, _) = drive(sharded);

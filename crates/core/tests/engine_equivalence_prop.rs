@@ -12,7 +12,9 @@ use proptest::prelude::*;
 use sim_clock::{Clock, CostModel, SimDuration};
 use ssd_sim::SsdConfig;
 use viyojit::{
-    MmuAssisted, MmuAssistedViyojit, NvHeap, ShardedViyojit, SoftwareWalk, Viyojit, ViyojitConfig,
+    MmuAssisted, MmuAssistedViyojit, NvHeap, PowerFailureReport, ShardControlHandle,
+    ShardControlPlane, ShardDataHandle, ShardDataPlane, ShardedViyojit, ShardedViyojitBuilder,
+    SoftwareWalk, Viyojit, ViyojitConfig, ViyojitError, ViyojitStats,
 };
 
 const PAGE: u64 = PAGE_SIZE as u64;
@@ -131,16 +133,12 @@ proptest! {
         shards in 1..5usize,
         budget in 8..40u64,
     ) {
-        let mut nv: ShardedViyojit = ShardedViyojit::new(
-            shards,
-            64,
-            ViyojitConfig::with_budget_pages(budget),
-            2,
-            SimDuration::from_micros(500),
-            Clock::new(),
-            CostModel::free(),
-            SsdConfig::instant(),
-        );
+        let mut nv: ShardedViyojit =
+            ShardedViyojitBuilder::new(shards, 64, ViyojitConfig::with_budget_pages(budget))
+                .min_per_shard(2)
+                .rebalance_period(SimDuration::from_micros(500))
+                .build_sequential()
+                .unwrap();
         let regions: Vec<_> = (0..4)
             .map(|_| nv.map(REGION_PAGES / 4 * PAGE).unwrap())
             .collect();
@@ -183,6 +181,219 @@ proptest! {
             prop_assert_eq!(&buf, contents, "region contents survive the power cycle");
         }
     }
+}
+
+/// One sharded deployment in either execution mode, seen through the
+/// plane traits. The enum lets the same driver exercise the sequential
+/// frontend (one object implementing both planes) and the parallel
+/// runtime (a data handle and a control handle) without duplicating the
+/// workload logic the equivalence property depends on.
+enum Cluster {
+    Sequential(Box<ShardedViyojit>),
+    Parallel(ShardDataHandle, ShardControlHandle),
+}
+
+impl Cluster {
+    fn sequential(shards: usize, budget: u64) -> Result<Cluster, ViyojitError> {
+        Ok(Cluster::Sequential(Box::new(
+            equivalence_builder(shards, budget).build_sequential()?,
+        )))
+    }
+
+    fn parallel(shards: usize, budget: u64, threads: usize) -> Result<Cluster, ViyojitError> {
+        let (data, ctrl) = equivalence_builder(shards, budget)
+            .threads(threads)
+            .build_parallel()?;
+        Ok(Cluster::Parallel(data, ctrl))
+    }
+
+    fn data(&mut self) -> &mut dyn ShardDataPlane {
+        match self {
+            Cluster::Sequential(nv) => &mut **nv,
+            Cluster::Parallel(data, _) => data,
+        }
+    }
+
+    fn ctrl(&mut self) -> &mut dyn ShardControlPlane {
+        match self {
+            Cluster::Sequential(nv) => &mut **nv,
+            Cluster::Parallel(_, ctrl) => ctrl,
+        }
+    }
+}
+
+/// Free writes and an instant SSD freeze the clock between [`step`]s, so
+/// the only timeline is the one the driver advances explicitly — the
+/// precondition for bit-equal virtual-time results across modes.
+///
+/// [`step`]: ShardDataPlane::step
+fn equivalence_builder(shards: usize, budget: u64) -> ShardedViyojitBuilder {
+    ShardedViyojitBuilder::new(shards, 64, ViyojitConfig::with_budget_pages(budget))
+        .min_per_shard(2)
+        .rebalance_period(SimDuration::from_micros(500))
+        .clock(Clock::new())
+        .cost_model(CostModel::free())
+        .ssd(SsdConfig::instant())
+}
+
+/// Everything the equivalence property compares across execution modes.
+#[derive(Debug, PartialEq)]
+struct ClusterOutcome {
+    stats: ViyojitStats,
+    dirty: u64,
+    budget: u64,
+    rebalances: u64,
+    floor_rejections: u32,
+    report: PowerFailureReport,
+    contents: Vec<Vec<u8>>,
+    model: Vec<Vec<u8>>,
+}
+
+/// Drives one deployment through the shared workload: routed writes,
+/// explicit [`ShardDataPlane::step`]s, and mid-run budget re-provisioning
+/// through the control plane, then a power cycle and a full audit read.
+fn drive_cluster(mut nv: Cluster, ops: &[Op]) -> Result<ClusterOutcome, ViyojitError> {
+    let region_bytes = (REGION_PAGES / 4 * PAGE) as usize;
+    let regions = (0..4)
+        .map(|_| nv.data().map(region_bytes as u64))
+        .collect::<Result<Vec<_>, _>>()?;
+    let mut model = vec![vec![0u8; region_bytes]; regions.len()];
+    let mut floor_rejections = 0u32;
+
+    for (i, op) in ops.iter().enumerate() {
+        match *op {
+            Op::Write { offset, len, fill } => {
+                let region = i % regions.len();
+                let off = offset as usize % (region_bytes - len as usize);
+                nv.data()
+                    .write(regions[region], off as u64, &vec![fill; len as usize])?;
+                model[region][off..off + len as usize].fill(fill);
+            }
+            Op::Idle { micros } => {
+                nv.data().step(SimDuration::from_micros(micros as u64))?;
+            }
+            Op::SetBudget { pages } => {
+                // Cross-plane handoff: drain the data plane first (the
+                // documented consistency rule), then re-provision. The
+                // floors may reject the new total; both modes must agree
+                // on when they did.
+                nv.data().sync()?;
+                match nv.ctrl().set_total_budget(pages) {
+                    Ok(()) => {}
+                    Err(ViyojitError::InvalidConfig(_)) => floor_rejections += 1,
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+    }
+
+    nv.data().sync()?;
+    nv.ctrl().check_invariants()?;
+    let stats = nv.ctrl().stats()?;
+    let dirty = nv.ctrl().dirty_count()?;
+    let budget = nv.ctrl().total_budget_pages();
+    let rebalances = nv.ctrl().rebalances()?;
+    let report = nv.ctrl().power_failure()?;
+    nv.ctrl().recover()?;
+    let mut contents = Vec::with_capacity(regions.len());
+    for &region in &regions {
+        let mut buf = vec![0u8; region_bytes];
+        nv.data().read(region, 0, &mut buf)?;
+        contents.push(buf);
+    }
+    Ok(ClusterOutcome {
+        stats,
+        dirty,
+        budget,
+        rebalances,
+        floor_rejections,
+        report,
+        contents,
+        model,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The execution-mode equivalence property: the thread-parallel
+    /// runtime is an *implementation* of the sharded frontend, not a
+    /// variant of it. With writes free and the SSD instant, the same
+    /// operation sequence driven through [`ShardDataPlane`] /
+    /// [`ShardControlPlane`] must produce identical aggregated stats,
+    /// dirty populations, rebalance counts, power-failure reports, and
+    /// post-recovery memory images at every thread count — including
+    /// thread counts above the shard count (which clamp).
+    #[test]
+    fn parallel_and_sequential_sharding_are_equivalent(
+        ops in prop::collection::vec(op_strategy(), 1..80),
+        shards in 1..5usize,
+        budget in 8..40u64,
+    ) {
+        let seq = drive_cluster(
+            Cluster::sequential(shards, budget).expect("a valid sequential configuration"),
+            &ops,
+        )
+        .expect("the sequential run must not fail");
+        prop_assert_eq!(
+            &seq.contents,
+            &seq.model,
+            "sequential contents must survive the power cycle"
+        );
+        for &threads in &[1usize, 2, 4] {
+            let par = drive_cluster(
+                Cluster::parallel(shards, budget, threads)
+                    .expect("a valid parallel configuration"),
+                &ops,
+            )
+            .expect("the parallel run must not fail");
+            prop_assert_eq!(
+                &par,
+                &seq,
+                "{} threads must replay the sequential outcome exactly",
+                threads
+            );
+        }
+    }
+}
+
+/// Guards the property above against vacuity: a handcrafted workload
+/// must actually cross rebalance boundaries, dirty pages, and exercise
+/// both outcomes of a mid-run re-provisioning — in parallel mode — or
+/// the equivalence comparison would be comparing idle clusters.
+#[test]
+fn the_equivalence_workload_exercises_rounds_and_reprovisioning() {
+    let mut ops = Vec::new();
+    for i in 0..48u64 {
+        ops.push(Op::Write {
+            offset: (i % 6) * PAGE,
+            len: 16,
+            fill: i as u8,
+        });
+    }
+    ops.push(Op::Idle { micros: 600 });
+    // Four shards with a floor of 2: 7 pages must be rejected, 8 applied.
+    ops.push(Op::SetBudget { pages: 7 });
+    ops.push(Op::SetBudget { pages: 8 });
+    for i in 0..24u64 {
+        ops.push(Op::Write {
+            offset: (i % 6) * PAGE,
+            len: 16,
+            fill: !i as u8,
+        });
+    }
+    ops.push(Op::Idle { micros: 1200 });
+
+    let outcome = drive_cluster(
+        Cluster::parallel(4, 16, 2).expect("a valid parallel configuration"),
+        &ops,
+    )
+    .expect("the workload must complete");
+    assert!(outcome.rebalances > 0, "no budget round ever ran");
+    assert!(outcome.stats.pages_dirtied > 0, "no page was ever dirtied");
+    assert_eq!(outcome.floor_rejections, 1, "the floor check never fired");
+    assert_eq!(outcome.budget, 8, "the accepted re-provisioning stuck");
+    assert_eq!(&outcome.contents, &outcome.model);
 }
 
 /// The backend consts are part of the public contract benchmarks key on.

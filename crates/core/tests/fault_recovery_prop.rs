@@ -21,7 +21,7 @@ use ssd_sim::SsdConfig;
 use viyojit::{
     DegradationConfig, DegradationGovernor, DegradedMode, DirtyTracker, Engine, FaultConfig,
     FaultPlan, FlushOutcome, FullDirty, JsonlSink, MmuAssisted, NvHeap, PowerFailureReport,
-    ShardedViyojit, SoftwareWalk, Telemetry, ViyojitConfig,
+    ShardedViyojitBuilder, SoftwareWalk, Telemetry, ViyojitConfig,
 };
 
 const PAGE: u64 = PAGE_SIZE as u64;
@@ -236,18 +236,17 @@ fn sharded_aggregate_accounts_every_page_under_faults() {
         let clock = Clock::new();
         let telemetry = Telemetry::recording(clock.clone());
         let ssd_config = SsdConfig::datacenter();
-        let mut nv = ShardedViyojit::<SoftwareWalk>::new(
-            4,
-            64,
-            ViyojitConfig::with_budget_pages(BUDGET),
-            4,
-            SimDuration::from_millis(10),
-            clock,
-            CostModel::calibrated(),
-            ssd_config.clone(),
-        );
-        nv.attach_telemetry(telemetry.clone());
-        nv.attach_faults(FaultPlan::seeded(seed, FaultConfig::storm(STORM_RATE)));
+        let mut nv = ShardedViyojitBuilder::new(4, 64, ViyojitConfig::with_budget_pages(BUDGET))
+            .backend::<SoftwareWalk>()
+            .min_per_shard(4)
+            .rebalance_period(SimDuration::from_millis(10))
+            .clock(clock)
+            .cost_model(CostModel::calibrated())
+            .ssd(ssd_config.clone())
+            .telemetry(telemetry.clone())
+            .faults(FaultPlan::seeded(seed, FaultConfig::storm(STORM_RATE)))
+            .build_sequential()
+            .expect("a valid sharded configuration");
         let regions: Vec<_> = (0..4).map(|_| nv.map(32 * PAGE).expect("map")).collect();
 
         let mut rng = seed;

@@ -13,7 +13,7 @@ use sim_clock::{Clock, CostModel, SimDuration};
 use ssd_sim::SsdConfig;
 use viyojit::{
     DirtyTracker, Engine, FaultConfig, FaultPlan, FullDirty, MmuAssisted, NvHeap, ProfileReport,
-    Profiler, ShardedViyojit, SoftwareWalk, ViyojitConfig, ViyojitStats,
+    Profiler, ShardedViyojitBuilder, SoftwareWalk, ViyojitConfig, ViyojitStats,
 };
 
 const PAGE: u64 = PAGE_SIZE as u64;
@@ -177,17 +177,16 @@ fn sharded_manager_attributes_every_nanosecond_per_shard() {
     for seed in seeds() {
         let clock = Clock::new();
         let profiler = Profiler::enabled(clock.clone());
-        let mut nv = ShardedViyojit::<SoftwareWalk>::new(
-            4,
-            64,
-            ViyojitConfig::with_budget_pages(BUDGET),
-            4,
-            SimDuration::from_millis(10),
-            clock.clone(),
-            CostModel::calibrated(),
-            SsdConfig::datacenter(),
-        );
-        nv.attach_profiler(profiler.clone());
+        let mut nv = ShardedViyojitBuilder::new(4, 64, ViyojitConfig::with_budget_pages(BUDGET))
+            .backend::<SoftwareWalk>()
+            .min_per_shard(4)
+            .rebalance_period(SimDuration::from_millis(10))
+            .clock(clock.clone())
+            .cost_model(CostModel::calibrated())
+            .ssd(SsdConfig::datacenter())
+            .profiler(profiler.clone())
+            .build_sequential()
+            .expect("a valid sharded configuration");
         // Construction charged the initial protection pass to the clock
         // before any shard scope existed; that time stays at the root.
         let setup_nanos = clock.now().as_nanos();

@@ -1,0 +1,464 @@
+//! A lock-free `AtomicU64`-word variant of [`Bitmap2L`] for cross-thread
+//! dirty-page publication.
+//!
+//! The parallel sharded engine runs one engine per OS thread, each owning
+//! its shard's private [`Bitmap2L`] page state. Observers on *other*
+//! threads (the control plane, monitoring loops) still want an
+//! approximate global dirty picture without stopping the data plane, so
+//! each shard thread periodically *publishes* its dirty words into a
+//! shared [`AtomicBitmap2L`] with plain word stores — no locks, no
+//! coordination beyond the atomics themselves.
+//!
+//! Concurrency contract:
+//!
+//! - **Disjoint-word writers are exact.** When every word is written by
+//!   at most one thread at a time (the sharded engine's discipline: each
+//!   shard owns a word-aligned slice), the maintained popcount and the
+//!   summary level are exact once the writers are quiescent.
+//! - **Racing writers stay safe but conservative.** Concurrent `set`/
+//!   `clear`/`store_word` on the *same* word never lose a set bit's
+//!   summary coverage and never corrupt the popcount (each transition is
+//!   counted exactly once, against the `fetch_or`/`fetch_and` return
+//!   value), but the summary may transiently keep a bit for a word that
+//!   has gone zero. Scans tolerate that: a summary bit is a hint, and
+//!   zero words found through it are skipped.
+//!
+//! # Examples
+//!
+//! ```
+//! use mem_sim::AtomicBitmap2L;
+//!
+//! let b = AtomicBitmap2L::new(10_000);
+//! b.set(3);
+//! b.store_word(1, 0b101); // publish bits 64 and 66 in one store
+//! assert_eq!(b.count(), 3);
+//! assert!(b.test(66));
+//! assert_eq!(b.to_bitmap().iter_ones().collect::<Vec<_>>(), vec![3, 64, 66]);
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::bitmap::Bitmap2L;
+
+/// A fixed-size concurrent bitmap with a one-bit-per-word summary level
+/// and a maintained popcount, mirroring [`Bitmap2L`]'s shape with every
+/// level held in `AtomicU64`s.
+///
+/// All index arguments must be in range; out-of-range indices panic, like
+/// slice indexing. `&self` suffices for every operation, so one instance
+/// can be shared across threads behind an `Arc` with no further locking.
+#[derive(Debug)]
+pub struct AtomicBitmap2L {
+    /// Number of addressable bits.
+    len: usize,
+    /// Leaf level: bit `i % 64` of `words[i / 64]` is bit `i`.
+    words: Vec<AtomicU64>,
+    /// Summary level: bit `w % 64` of `summary[w / 64]` is set if
+    /// `words[w]` *may* be non-zero (conservative under races).
+    summary: Vec<AtomicU64>,
+    /// Maintained popcount; exact at quiescence, never drifting (every
+    /// bit transition is counted against the atomic op's return value).
+    ones: AtomicU64,
+}
+
+impl AtomicBitmap2L {
+    /// Creates an all-zero bitmap over `len` bits.
+    pub fn new(len: usize) -> Self {
+        let n_words = len.div_ceil(64);
+        AtomicBitmap2L {
+            len,
+            words: (0..n_words).map(|_| AtomicU64::new(0)).collect(),
+            summary: (0..n_words.div_ceil(64))
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            ones: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of addressable bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the bitmap addresses no bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of leaf words.
+    pub fn word_count(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Number of set bits. Exact once concurrent writers are quiescent.
+    pub fn count(&self) -> u64 {
+        self.ones.load(Ordering::Acquire)
+    }
+
+    /// Recomputes the popcount from the leaf words in one pass.
+    pub fn recount(&self) -> u64 {
+        self.words
+            .iter()
+            .map(|w| u64::from(w.load(Ordering::Acquire).count_ones()))
+            .sum()
+    }
+
+    #[inline]
+    fn check_index(&self, i: usize) {
+        assert!(
+            i < self.len,
+            "bit index {i} out of range for bitmap of {} bits",
+            self.len
+        );
+    }
+
+    /// Tests bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn test(&self, i: usize) -> bool {
+        self.check_index(i);
+        self.words[i / 64].load(Ordering::Acquire) & (1u64 << (i % 64)) != 0
+    }
+
+    /// Loads the raw leaf word holding bits `w * 64 .. w * 64 + 64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is past the last word.
+    #[inline]
+    pub fn load_word(&self, w: usize) -> u64 {
+        self.words[w].load(Ordering::Acquire)
+    }
+
+    /// Sets bit `i`, returning `true` if this call made the transition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn set(&self, i: usize) -> bool {
+        self.check_index(i);
+        let w = i / 64;
+        let mask = 1u64 << (i % 64);
+        let old = self.words[w].fetch_or(mask, Ordering::AcqRel);
+        if old & mask != 0 {
+            return false;
+        }
+        self.summary[w / 64].fetch_or(1u64 << (w % 64), Ordering::AcqRel);
+        self.ones.fetch_add(1, Ordering::AcqRel);
+        true
+    }
+
+    /// Clears bit `i`, returning `true` if this call made the transition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn clear(&self, i: usize) -> bool {
+        self.check_index(i);
+        let w = i / 64;
+        let mask = 1u64 << (i % 64);
+        let old = self.words[w].fetch_and(!mask, Ordering::AcqRel);
+        if old & mask == 0 {
+            return false;
+        }
+        self.ones.fetch_sub(1, Ordering::AcqRel);
+        if old == mask {
+            self.retire_summary_bit(w);
+        }
+        true
+    }
+
+    /// Replaces the whole leaf word `w` with `val`, returning the prior
+    /// word. The popcount moves by the exact bit delta; the summary bit
+    /// follows the stored value. This is the publication primitive: a
+    /// shard thread pushes each changed word of its private bitmap in one
+    /// store instead of 64 bit operations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is past the last word, or if `val` sets bits past
+    /// `len` in the final partial word.
+    pub fn store_word(&self, w: usize, val: u64) -> u64 {
+        let bits_here = (self.len - (w * 64).min(self.len)).min(64);
+        assert!(
+            bits_here == 64 || val & !((1u64 << bits_here) - 1) == 0,
+            "word {w} value sets bits past the bitmap's {} bits",
+            self.len
+        );
+        let old = self.words[w].swap(val, Ordering::AcqRel);
+        let gained = u64::from(val.count_ones());
+        let lost = u64::from(old.count_ones());
+        if gained > lost {
+            self.ones.fetch_add(gained - lost, Ordering::AcqRel);
+        } else if lost > gained {
+            self.ones.fetch_sub(lost - gained, Ordering::AcqRel);
+        }
+        if val != 0 {
+            self.summary[w / 64].fetch_or(1u64 << (w % 64), Ordering::AcqRel);
+        } else if old != 0 {
+            self.retire_summary_bit(w);
+        }
+        old
+    }
+
+    /// Clears word `w`'s summary bit, then re-sets it if the word has
+    /// concurrently become non-zero again — the re-check keeps the
+    /// summary free of false *negatives* under racing writers (false
+    /// positives are tolerated by every scan).
+    fn retire_summary_bit(&self, w: usize) {
+        let sbit = 1u64 << (w % 64);
+        self.summary[w / 64].fetch_and(!sbit, Ordering::AcqRel);
+        if self.words[w].load(Ordering::Acquire) != 0 {
+            self.summary[w / 64].fetch_or(sbit, Ordering::AcqRel);
+        }
+    }
+
+    /// Clears every bit. Not atomic as a whole — concurrent writers may
+    /// interleave — but each word store is, and the popcount stays
+    /// transition-exact.
+    pub fn clear_all(&self) {
+        for w in 0..self.words.len() {
+            self.store_word(w, 0);
+        }
+    }
+
+    /// Calls `f(word_index, word)` for every non-zero leaf word in
+    /// ascending order, located through the summary level. Each word is
+    /// loaded once; words that went zero behind a stale summary bit are
+    /// skipped. The view is per-word consistent, not a global snapshot.
+    pub fn for_each_word(&self, mut f: impl FnMut(usize, u64)) {
+        for (s, sword) in self.summary.iter().enumerate() {
+            let mut sbits = sword.load(Ordering::Acquire);
+            while sbits != 0 {
+                let j = sbits.trailing_zeros() as usize;
+                sbits &= sbits - 1;
+                let w = s * 64 + j;
+                let word = self.words[w].load(Ordering::Acquire);
+                if word != 0 {
+                    f(w, word);
+                }
+            }
+        }
+    }
+
+    /// Materialises a point-in-time (per-word consistent) [`Bitmap2L`]
+    /// copy, for handing to sequential scan code.
+    pub fn to_bitmap(&self) -> Bitmap2L {
+        let mut out = Bitmap2L::new(self.len);
+        self.for_each_word(|w, word| {
+            let mut bits = word;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                out.set(w * 64 + b);
+            }
+        });
+        out
+    }
+
+    /// Sum of set bits in leaf words `start_word .. end_word` (clamped).
+    /// The sharded engine uses this for per-shard published counts, since
+    /// each shard owns a word-aligned slice.
+    pub fn count_words_in(&self, start_word: usize, end_word: usize) -> u64 {
+        let end = end_word.min(self.words.len());
+        self.words[start_word.min(end)..end]
+            .iter()
+            .map(|w| u64::from(w.load(Ordering::Acquire).count_ones()))
+            .sum()
+    }
+
+    /// Verifies quiescent consistency: no word is non-zero without its
+    /// summary bit, and the maintained popcount matches a recount. Call
+    /// only while writers are quiescent — a mid-flight writer can make a
+    /// fresh count legitimately disagree with a racing recount.
+    ///
+    /// # Errors
+    ///
+    /// A static description of the first inconsistency found.
+    pub fn check_consistency(&self) -> Result<(), &'static str> {
+        for (w, word) in self.words.iter().enumerate() {
+            let summarized = self.summary[w / 64].load(Ordering::Acquire) & (1u64 << (w % 64)) != 0;
+            if word.load(Ordering::Acquire) != 0 && !summarized {
+                return Err("non-zero leaf word lacks its summary bit");
+            }
+        }
+        if self.recount() != self.count() {
+            return Err("maintained popcount out of sync with leaf words");
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// Deterministic xorshift64* for the seeded interleaving tests.
+    fn xorshift(state: &mut u64) -> u64 {
+        let mut x = *state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    #[test]
+    fn single_bit_round_trips() {
+        let b = AtomicBitmap2L::new(100);
+        assert!(b.set(37));
+        assert!(!b.set(37), "second set reports no transition");
+        assert!(b.test(37));
+        assert_eq!(b.count(), 1);
+        assert!(b.clear(37));
+        assert!(!b.clear(37), "second clear reports no transition");
+        assert_eq!(b.count(), 0);
+        b.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn store_word_tracks_the_bit_delta() {
+        let b = AtomicBitmap2L::new(256);
+        assert_eq!(b.store_word(1, 0b1011), 0);
+        assert_eq!(b.count(), 3);
+        assert_eq!(b.store_word(1, 0b0110), 0b1011);
+        assert_eq!(b.count(), 2);
+        assert_eq!(b.store_word(1, 0), 0b0110);
+        assert_eq!(b.count(), 0);
+        b.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn matches_sequential_bitmap_under_a_seeded_op_stream() {
+        let atomic = AtomicBitmap2L::new(1000);
+        let mut model = Bitmap2L::new(1000);
+        let mut rng = 0x5eed;
+        for _ in 0..20_000 {
+            let r = xorshift(&mut rng);
+            let i = (r % 1000) as usize;
+            if r & (1 << 40) == 0 {
+                assert_eq!(atomic.set(i), model.set(i));
+            } else {
+                assert_eq!(atomic.clear(i), model.clear(i));
+            }
+        }
+        assert_eq!(atomic.count() as usize, model.count());
+        assert_eq!(
+            atomic.to_bitmap().iter_ones().collect::<Vec<_>>(),
+            model.iter_ones().collect::<Vec<_>>()
+        );
+        atomic.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn for_each_word_skips_stale_summary_bits() {
+        let b = AtomicBitmap2L::new(64 * 100);
+        b.set(64 * 3 + 5);
+        b.set(64 * 97);
+        b.clear(64 * 3 + 5);
+        let mut seen = Vec::new();
+        b.for_each_word(|w, bits| seen.push((w, bits)));
+        assert_eq!(seen, vec![(97, 1)]);
+    }
+
+    #[test]
+    fn partial_last_word_rejects_out_of_range_stores() {
+        let b = AtomicBitmap2L::new(70);
+        b.store_word(1, 0b10_0000); // bit 69: allowed
+        assert_eq!(b.count(), 1);
+        let res = std::panic::catch_unwind(|| b.store_word(1, 1 << 6));
+        assert!(res.is_err(), "bit 70 is out of range");
+    }
+
+    /// Satellite: seeded-interleaving publication test. Each of 4 threads
+    /// owns a disjoint word-aligned slice and publishes a deterministic
+    /// word stream; after joining, the shared bitmap must equal the union
+    /// of the per-thread final states and pass the quiescent checks.
+    #[test]
+    fn disjoint_word_publication_is_exact_across_threads() {
+        const WORDS_PER_THREAD: usize = 32;
+        const THREADS: usize = 4;
+        let shared = Arc::new(AtomicBitmap2L::new(64 * WORDS_PER_THREAD * THREADS));
+        let mut expected: Vec<u64> = vec![0; WORDS_PER_THREAD * THREADS];
+        // Precompute each thread's deterministic final words.
+        for t in 0..THREADS {
+            let mut rng = 0xA11CE ^ (t as u64) << 8;
+            for w in 0..WORDS_PER_THREAD {
+                for _ in 0..50 {
+                    expected[t * WORDS_PER_THREAD + w] = xorshift(&mut rng);
+                }
+            }
+        }
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    let base = t * WORDS_PER_THREAD;
+                    let mut rng = 0xA11CE ^ (t as u64) << 8;
+                    for w in 0..WORDS_PER_THREAD {
+                        for _ in 0..50 {
+                            shared.store_word(base + w, xorshift(&mut rng));
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        shared.check_consistency().unwrap();
+        let want: u64 = expected.iter().map(|w| u64::from(w.count_ones())).sum();
+        assert_eq!(shared.count(), want);
+        for (w, &val) in expected.iter().enumerate() {
+            assert_eq!(shared.load_word(w), val, "word {w} diverged");
+        }
+        // Per-slice counts see only their owner's words.
+        for t in 0..THREADS {
+            let want: u64 = expected[t * WORDS_PER_THREAD..(t + 1) * WORDS_PER_THREAD]
+                .iter()
+                .map(|w| u64::from(w.count_ones()))
+                .sum();
+            assert_eq!(
+                shared.count_words_in(t * WORDS_PER_THREAD, (t + 1) * WORDS_PER_THREAD),
+                want
+            );
+        }
+    }
+
+    /// Racing bit operations on *shared* words: transitions are counted
+    /// exactly once, so after every thread sets the same population and
+    /// half clear it again, the count matches the surviving bits.
+    #[test]
+    fn racing_bit_ops_keep_the_popcount_transition_exact() {
+        const BITS: usize = 4096;
+        let shared = Arc::new(AtomicBitmap2L::new(BITS));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    let mut rng = 0xBEEF ^ t;
+                    for _ in 0..30_000 {
+                        let r = xorshift(&mut rng);
+                        let i = (r % BITS as u64) as usize;
+                        if r & (1 << 33) == 0 {
+                            shared.set(i);
+                        } else {
+                            shared.clear(i);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(shared.count(), shared.recount());
+        shared.check_consistency().unwrap();
+    }
+}

@@ -33,12 +33,14 @@
 //! assert!(mmu.page_table().flags(PageId(0)).is_dirty());
 //! ```
 
+pub mod atomic_bitmap;
 pub mod bitmap;
 mod mmu;
 mod page;
 mod page_table;
 mod tlb;
 
+pub use atomic_bitmap::AtomicBitmap2L;
 pub use bitmap::Bitmap2L;
 pub use mmu::{AccessError, Mmu, MmuStats, WalkOptions, SECTOR_BYTES};
 pub use page::{page_count, PageId, PAGE_SIZE};

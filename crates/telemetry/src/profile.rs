@@ -326,6 +326,21 @@ impl Profiler {
         self.state.is_some()
     }
 
+    /// A per-thread fork: a fresh profiler over `clock`, enabled exactly
+    /// when this handle is enabled.
+    ///
+    /// The parallel sharded runtime cannot share one span stack across
+    /// threads (spans would interleave nonsensically), so each shard
+    /// thread forks the configured profiler against its own clock and the
+    /// per-thread reports are collected separately.
+    pub fn fork(&self, clock: Clock) -> Profiler {
+        if self.is_enabled() {
+            Profiler::enabled(clock)
+        } else {
+            Profiler::disabled()
+        }
+    }
+
     fn lock(&self) -> Option<std::sync::MutexGuard<'_, ProfilerState>> {
         self.state
             .as_ref()
