@@ -6,24 +6,28 @@
 //! to benefit from inherent statistical multiplexing effects."
 //!
 //! [`BalloonedCluster`] implements that: several tenants share one
-//! provisioned battery budget. A [`BudgetArbiter`] periodically re-divides
-//! the budget in proportion to each tenant's observed *demand* (write
-//! stalls and fresh dirty pages since the last rebalance), subject to a
-//! per-tenant floor. Durability composes: every tenant enforces its own
-//! bound, and the broker never hands out more than the battery covers in
-//! total.
+//! provisioned battery budget. The cluster is expressed on the same
+//! [`BudgetTree`] hierarchy the sharded frontends plan through — each
+//! balloon tenant is a single-shard tenant whose guarantee equals its
+//! floor and whose burst is unbounded, which makes the tree's plan
+//! algebraically identical to the historical flat
+//! [`BudgetArbiter`](crate::engine::BudgetArbiter) division: budget moves
+//! in proportion to each tenant's observed *demand* (write stalls and
+//! fresh dirty pages since the last rebalance), subject to the floor.
+//! Durability composes: every tenant enforces its own bound, and the
+//! broker never hands out more than the battery covers in total.
 //!
 //! Since the engine unification the cluster is generic over the
 //! [`DirtyTracker`] backend, so software-tracked and MMU-assisted tenants
 //! balloon identically (the historical implementation was limited to the
 //! software runtime, which alone exposed `set_dirty_budget`).
 
-use crate::engine::{BudgetArbiter, DirtyTracker, Engine, SoftwareWalk};
-use crate::{InvariantViolation, ViyojitError, ViyojitStats};
+use telemetry::Profiler;
 
-/// Identifies a tenant within a [`BalloonedCluster`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct TenantId(pub usize);
+use crate::engine::{
+    apply_budgets, BudgetTree, DirtyTracker, Engine, SoftwareWalk, TenantId, TenantQos,
+};
+use crate::{InvariantViolation, ViyojitError, ViyojitStats};
 
 /// A set of Viyojit tenants multiplexing one battery's dirty budget.
 ///
@@ -53,7 +57,7 @@ pub struct TenantId(pub usize);
 #[derive(Debug)]
 pub struct BalloonedCluster<B: DirtyTracker = SoftwareWalk> {
     tenants: Vec<Engine<B>>,
-    arbiter: BudgetArbiter,
+    tree: BudgetTree,
 }
 
 impl<B: DirtyTracker> BalloonedCluster<B> {
@@ -68,11 +72,23 @@ impl<B: DirtyTracker> BalloonedCluster<B> {
     pub fn new(tenants: Vec<Engine<B>>, total_budget_pages: u64, min_per_tenant: u64) -> Self {
         assert!(!tenants.is_empty(), "a cluster needs at least one tenant");
         assert!(min_per_tenant > 0, "tenants need at least one dirty page");
-        let arbiter = BudgetArbiter::new(tenants.len(), total_budget_pages, min_per_tenant);
-        let mut cluster = BalloonedCluster { tenants, arbiter };
-        let even = cluster.arbiter.initial_share();
-        for tenant in &mut cluster.tenants {
-            tenant.set_dirty_budget(even);
+        let tree = BudgetTree::with_tenants(
+            (0..tenants.len())
+                .map(|i| {
+                    (
+                        format!("tenant{i}"),
+                        1,
+                        TenantQos::guaranteed(min_per_tenant),
+                    )
+                })
+                .collect(),
+            total_budget_pages,
+            min_per_tenant,
+        );
+        let mut cluster = BalloonedCluster { tenants, tree };
+        let initial = cluster.tree.initial_shares();
+        for (tenant, &share) in cluster.tenants.iter_mut().zip(&initial) {
+            tenant.set_dirty_budget(share);
         }
         cluster
     }
@@ -89,7 +105,7 @@ impl<B: DirtyTracker> BalloonedCluster<B> {
 
     /// The shared provisioned budget.
     pub fn total_budget_pages(&self) -> u64 {
-        self.arbiter.total_budget_pages()
+        self.tree.total_budget_pages()
     }
 
     /// Sum of budgets currently assigned to tenants. Always at most
@@ -100,7 +116,7 @@ impl<B: DirtyTracker> BalloonedCluster<B> {
 
     /// Rebalances performed so far.
     pub fn rebalances(&self) -> u64 {
-        self.arbiter.rebalances()
+        self.tree.rebalances()
     }
 
     /// Exclusive access to one tenant.
@@ -128,25 +144,16 @@ impl<B: DirtyTracker> BalloonedCluster<B> {
     /// and after the rebalance the dirty total never exceeds the battery.
     pub fn rebalance(&mut self) {
         let before: Vec<ViyojitStats> = self.tenants.iter().map(|t| t.stats()).collect();
-        let targets = self.arbiter.plan(&before);
+        let targets = self.tree.plan(&before);
 
         // Shrink first (freeing pages), then grow, so the instantaneous
         // sum never exceeds the provisioned total.
-        for (tenant, &target) in self.tenants.iter_mut().zip(&targets) {
-            if target < tenant.dirty_budget() {
-                tenant.set_dirty_budget(target);
-            }
-        }
-        for (tenant, &target) in self.tenants.iter_mut().zip(&targets) {
-            if target > tenant.dirty_budget() {
-                tenant.set_dirty_budget(target);
-            }
-        }
+        apply_budgets(&mut self.tenants, &targets, &Profiler::disabled(), &[]);
 
         // The post-apply stats become the next demand baseline: stalls
         // incurred while shrinking count toward the *next* rebalance.
         let after: Vec<ViyojitStats> = self.tenants.iter().map(|t| t.stats()).collect();
-        self.arbiter.commit(&after);
+        self.tree.commit(&after);
     }
 
     /// Checks the cluster-wide durability invariant: assigned budgets and
@@ -157,7 +164,7 @@ impl<B: DirtyTracker> BalloonedCluster<B> {
     ///
     /// The first [`InvariantViolation`] found.
     pub fn check_invariants(&self) -> Result<(), InvariantViolation> {
-        self.arbiter.check_assignment(self.total_assigned())?;
+        self.tree.check_assignment(self.total_assigned())?;
         let dirty: u64 = self.tenants.iter().map(|t| t.dirty_count()).sum();
         if dirty > self.total_budget_pages() {
             return Err(InvariantViolation::BudgetExceeded {

@@ -14,6 +14,81 @@ use sim_clock::SimDuration;
 
 use crate::{InvariantViolation, ViyojitStats};
 
+/// Largest-remainder division of `distributable` pages in proportion to
+/// `demands`: floor shares first, then the remainder awarded one page at a
+/// time cycling over members from highest demand down (stable order for
+/// ties). Conserves the total exactly.
+///
+/// This is *the* division every level of the budget hierarchy uses — the
+/// flat [`BudgetArbiter`], the tenant level of
+/// [`BudgetTree`](super::BudgetTree), and the weighted-reclaim path — so
+/// a hierarchy that degenerates to one member reproduces the flat plan
+/// byte for byte.
+///
+/// # Panics
+///
+/// Panics if `demands` is empty or sums to zero while `distributable` is
+/// nonzero (callers guarantee every demand is at least 1).
+pub(super) fn divide_proportionally(distributable: u64, demands: &[u64]) -> Vec<u64> {
+    let n = demands.len();
+    let total_demand: u64 = demands.iter().sum();
+    let mut shares: Vec<u64> = demands
+        .iter()
+        .map(|&d| distributable * d / total_demand)
+        .collect();
+    let mut leftover = distributable - shares.iter().sum::<u64>();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(demands[i]));
+    for &i in order.iter().cycle().take(leftover as usize) {
+        shares[i] += 1;
+        leftover -= 1;
+        if leftover == 0 {
+            break;
+        }
+    }
+    shares
+}
+
+/// [`divide_proportionally`] with a per-member ceiling: members whose
+/// proportional share overflows their cap are pinned to it and the excess
+/// is re-divided among the uncapped members, iterating until no cap binds.
+/// When every member is capped, the residue stays unallocated (the caller
+/// keeps it — budgets may undershoot the total, never overshoot).
+///
+/// When no cap binds this is exactly one pass of [`divide_proportionally`],
+/// preserving the flat arbiter's byte-identical division.
+pub(super) fn divide_with_caps(distributable: u64, demands: &[u64], caps: &[u64]) -> Vec<u64> {
+    debug_assert_eq!(demands.len(), caps.len());
+    let n = demands.len();
+    let mut out = vec![0u64; n];
+    let mut active: Vec<usize> = (0..n).collect();
+    let mut remaining = distributable;
+    while remaining > 0 && !active.is_empty() {
+        let local: Vec<u64> = active.iter().map(|&i| demands[i]).collect();
+        let shares = divide_proportionally(remaining, &local);
+        let mut next_active = Vec::with_capacity(active.len());
+        let mut any_capped = false;
+        for (&i, &share) in active.iter().zip(&shares) {
+            let room = caps[i] - out[i];
+            if share >= room {
+                out[i] = caps[i];
+                remaining -= room;
+                any_capped = true;
+            } else {
+                next_active.push(i);
+            }
+        }
+        if !any_capped {
+            for (&i, &share) in active.iter().zip(&shares) {
+                out[i] += share;
+            }
+            break;
+        }
+        active = next_active;
+    }
+    out
+}
+
 /// Demand observed for one member since the previous rebalance.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 struct DemandSnapshot {
@@ -132,6 +207,23 @@ impl BudgetArbiter {
         10 * stalls + dirtied + 1 // +1 keeps idle members from starving the score
     }
 
+    /// Demand scores for every member against the current baseline, in
+    /// member order. The [`BudgetTree`](super::BudgetTree) sums these per
+    /// tenant so the tenant level weighs exactly the signal the shard
+    /// level divides by.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stats` does not have one entry per member.
+    pub(super) fn demands(&self, stats: &[ViyojitStats]) -> Vec<u64> {
+        assert_eq!(stats.len(), self.members(), "one stats snapshot per member");
+        stats
+            .iter()
+            .enumerate()
+            .map(|(i, s)| self.demand(i, s))
+            .collect()
+    }
+
     /// Computes target budgets proportional to demand: a largest-remainder
     /// division of the pages above the floors, remainders awarded to the
     /// highest-demand members first.
@@ -140,32 +232,27 @@ impl BudgetArbiter {
     ///
     /// Panics if `stats` does not have one entry per member.
     pub fn plan(&self, stats: &[ViyojitStats]) -> Vec<u64> {
+        self.plan_with_total(self.total_budget_pages, stats)
+    }
+
+    /// [`BudgetArbiter::plan`] against an externally supplied total — the
+    /// hierarchy plans each tenant's shard division under the allocation
+    /// the tenant level just granted, without mutating the provisioned
+    /// total.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stats` does not have one entry per member or the floors
+    /// do not fit `total`.
+    pub fn plan_with_total(&self, total: u64, stats: &[ViyojitStats]) -> Vec<u64> {
         let n = self.members();
-        assert_eq!(stats.len(), n, "one stats snapshot per member");
-        let demands: Vec<u64> = stats
-            .iter()
-            .enumerate()
-            .map(|(i, s)| self.demand(i, s))
-            .collect();
-        let total_demand: u64 = demands.iter().sum();
-        let distributable = self.total_budget_pages - self.min_per_member * n as u64;
-
-        // Largest-remainder division of the distributable pages.
-        let mut shares: Vec<u64> = demands
-            .iter()
-            .map(|&d| distributable * d / total_demand)
-            .collect();
-        let mut leftover = distributable - shares.iter().sum::<u64>();
-        let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by_key(|&i| std::cmp::Reverse(demands[i]));
-        for &i in order.iter().cycle().take(leftover as usize) {
-            shares[i] += 1;
-            leftover -= 1;
-            if leftover == 0 {
-                break;
-            }
-        }
-
+        let demands = self.demands(stats);
+        assert!(
+            self.min_per_member * n as u64 <= total,
+            "per-member floors exceed the planned total"
+        );
+        let distributable = total - self.min_per_member * n as u64;
+        let shares = divide_proportionally(distributable, &demands);
         shares.iter().map(|s| s + self.min_per_member).collect()
     }
 
@@ -260,5 +347,102 @@ mod tests {
                 provisioned: 10,
             })
         );
+    }
+
+    #[test]
+    fn single_member_always_receives_the_whole_total() {
+        let mut arb = BudgetArbiter::new(1, 37, 1);
+        // Idle, busy, or stalling: one member is the only destination.
+        assert_eq!(arb.plan(&[stats(0, 0)]), vec![37]);
+        assert_eq!(arb.plan(&[stats(9, 400)]), vec![37]);
+        arb.commit(&[stats(9, 400)]);
+        assert_eq!(arb.plan(&[stats(9, 400)]), vec![37]);
+        assert_eq!(arb.initial_share(), 37);
+    }
+
+    #[test]
+    #[should_panic(expected = "floors exceed")]
+    fn total_below_members_times_min_panics_at_construction() {
+        // total < members x min: 3 members x 5 floor = 15 > 14.
+        BudgetArbiter::new(3, 14, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "floors exceed")]
+    fn zero_total_budget_is_rejected() {
+        // A zero total cannot cover even one member's floor.
+        BudgetArbiter::new(1, 0, 1);
+    }
+
+    #[test]
+    fn shrink_below_assigned_mid_run_replans_under_the_new_total() {
+        let mut arb = BudgetArbiter::new(2, 64, 4);
+        let busy = [stats(5, 100), stats(0, 0)];
+        let t1 = arb.plan(&busy);
+        assert_eq!(t1.iter().sum::<u64>(), 64);
+        arb.commit(&busy);
+        // The operator shrinks the total below what is currently assigned;
+        // the next plan must fit the new total and the old assignment must
+        // now register as an overcommit until the caller applies it.
+        arb.set_total_budget(16);
+        assert_eq!(
+            arb.check_assignment(t1.iter().sum()),
+            Err(InvariantViolation::OverCommit {
+                assigned: 64,
+                provisioned: 16,
+            })
+        );
+        let t2 = arb.plan(&busy);
+        assert_eq!(t2.iter().sum::<u64>(), 16);
+        assert!(t2.iter().all(|&t| t >= 4));
+        assert!(arb.check_assignment(t2.iter().sum()).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "floors exceed")]
+    fn floor_rejection_leaves_no_partial_reprovisioning() {
+        let mut arb = BudgetArbiter::new(4, 64, 4);
+        // 4 members x 4 floor = 16 > 15: the re-provisioning must panic
+        // (callers route this through a validating error path) without
+        // having touched the total.
+        arb.set_total_budget(15);
+    }
+
+    #[test]
+    fn floor_rejection_accounting_keeps_the_previous_total() {
+        let mut arb = BudgetArbiter::new(4, 64, 4);
+        let reject =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| arb.set_total_budget(15)));
+        assert!(reject.is_err(), "15 pages cannot cover 4 floors of 4");
+        assert_eq!(
+            arb.total_budget_pages(),
+            64,
+            "a rejected re-provisioning must not change the total"
+        );
+        assert_eq!(arb.rebalances(), 0, "rejection is not a rebalance");
+        // The arbiter still plans consistently under the old total.
+        let t = arb.plan(&[ViyojitStats::default(); 4]);
+        assert_eq!(t.iter().sum::<u64>(), 64);
+    }
+
+    #[test]
+    fn capped_division_matches_uncapped_when_no_cap_binds() {
+        let demands = [3u64, 7, 1, 9];
+        assert_eq!(
+            divide_with_caps(100, &demands, &[u64::MAX; 4]),
+            divide_proportionally(100, &demands)
+        );
+    }
+
+    #[test]
+    fn capped_division_pins_overflow_and_redistributes() {
+        // Member 1 demands most but is capped at 5; its excess flows to
+        // the others. Totals conserve exactly while caps hold.
+        let out = divide_with_caps(30, &[1, 100, 1], &[u64::MAX, 5, u64::MAX]);
+        assert_eq!(out[1], 5);
+        assert_eq!(out.iter().sum::<u64>(), 30);
+        // Everyone capped: the residue stays unallocated, never oversubscribed.
+        let tight = divide_with_caps(30, &[1, 1], &[4, 4]);
+        assert_eq!(tight, vec![4, 4]);
     }
 }

@@ -25,7 +25,17 @@ use telemetry::{Profiler, Telemetry};
 use crate::{ViyojitConfig, ViyojitError};
 
 use super::parallel::{spawn_parallel, ShardControlHandle, ShardDataHandle};
-use super::{DirtyTracker, ShardedViyojit, SoftwareWalk};
+use super::{BudgetTree, DirtyTracker, ShardedViyojit, SoftwareWalk, TenantId, TenantQos};
+
+/// One tenant declared on the builder: a named, contiguous group of
+/// shards with its own QoS envelope and (optionally) its own fault plan.
+#[derive(Debug, Clone)]
+pub(super) struct TenantSpec {
+    pub(super) name: String,
+    pub(super) shards: usize,
+    pub(super) qos: TenantQos,
+    pub(super) faults: Option<FaultPlan>,
+}
 
 /// Builds a sharded Viyojit deployment (sequential or thread-parallel).
 ///
@@ -78,6 +88,7 @@ pub struct ShardedViyojitBuilder<B: DirtyTracker = SoftwareWalk> {
     pub(super) telemetry: Telemetry,
     pub(super) profiler: Profiler,
     pub(super) faults: Option<FaultPlan>,
+    pub(super) tenants: Vec<TenantSpec>,
     backend: PhantomData<B>,
 }
 
@@ -103,6 +114,7 @@ impl ShardedViyojitBuilder<SoftwareWalk> {
             telemetry: Telemetry::disabled(),
             profiler: Profiler::disabled(),
             faults: None,
+            tenants: Vec::new(),
             backend: PhantomData,
         }
     }
@@ -124,6 +136,7 @@ impl<B: DirtyTracker> ShardedViyojitBuilder<B> {
             telemetry: self.telemetry,
             profiler: self.profiler,
             faults: self.faults,
+            tenants: self.tenants,
             backend: PhantomData,
         }
     }
@@ -184,6 +197,43 @@ impl<B: DirtyTracker> ShardedViyojitBuilder<B> {
         self
     }
 
+    /// Declares a tenant owning the next `shards` shards (tenants claim
+    /// contiguous shard ranges in declaration order) with `qos` as its
+    /// guaranteed/burst dirty-page envelope.
+    ///
+    /// When any tenant is declared, the declared shard counts must sum to
+    /// the builder's total shard count and every guarantee must cover its
+    /// shards' floors; validation happens at build time. With no tenants
+    /// declared, the whole machine is one implicit tenant and planning is
+    /// identical to the historical flat arbiter.
+    pub fn tenant(mut self, name: impl Into<String>, shards: usize, qos: TenantQos) -> Self {
+        self.tenants.push(TenantSpec {
+            name: name.into(),
+            shards,
+            qos,
+            faults: None,
+        });
+        self
+    }
+
+    /// Attaches a fault plan to the most recently declared tenant only
+    /// (its shards get this plan instead of the global [`Self::faults`]
+    /// plan). Must follow a [`Self::tenant`] call.
+    pub fn tenant_faults(mut self, faults: FaultPlan) -> Self {
+        if let Some(last) = self.tenants.last_mut() {
+            last.faults = Some(faults);
+        } else {
+            // Surfaced as InvalidConfig at build time.
+            self.tenants.push(TenantSpec {
+                name: String::new(),
+                shards: 0,
+                qos: TenantQos::guaranteed(0),
+                faults: Some(faults),
+            });
+        }
+        self
+    }
+
     fn validate(&self) -> Result<(), ViyojitError> {
         if self.shards == 0 {
             return Err(ViyojitError::InvalidConfig(
@@ -213,7 +263,55 @@ impl<B: DirtyTracker> ShardedViyojitBuilder<B> {
                 "parallel mode needs at least one thread",
             ));
         }
+        if !self.tenants.is_empty() {
+            if self.tenants.iter().any(|t| t.shards == 0) {
+                return Err(ViyojitError::InvalidConfig(
+                    "tenants need at least one shard (tenant_faults requires a preceding tenant)",
+                ));
+            }
+            let declared: usize = self.tenants.iter().map(|t| t.shards).sum();
+            if declared != self.shards {
+                return Err(ViyojitError::InvalidConfig(
+                    "declared tenant shards must sum to the shard count",
+                ));
+            }
+            for t in &self.tenants {
+                if t.qos.guaranteed_pages < self.min_per_shard * t.shards as u64 {
+                    return Err(ViyojitError::InvalidConfig(
+                        "a tenant's guarantee is below its shard floors",
+                    ));
+                }
+            }
+            let guaranteed: u64 = self.tenants.iter().map(|t| t.qos.guaranteed_pages).sum();
+            if guaranteed > self.config.dirty_budget_pages {
+                return Err(ViyojitError::InvalidConfig(
+                    "tenant guarantees exceed the provisioned budget",
+                ));
+            }
+        }
         Ok(())
+    }
+
+    /// Materialises the budget hierarchy this builder describes: one
+    /// implicit whole-machine tenant when none were declared, otherwise
+    /// the declared tenants in order.
+    pub(super) fn tree(&self) -> BudgetTree {
+        if self.tenants.is_empty() {
+            BudgetTree::single(
+                self.shards,
+                self.config.dirty_budget_pages,
+                self.min_per_shard,
+            )
+        } else {
+            BudgetTree::with_tenants(
+                self.tenants
+                    .iter()
+                    .map(|t| (t.name.clone(), t.shards, t.qos))
+                    .collect(),
+                self.config.dirty_budget_pages,
+                self.min_per_shard,
+            )
+        }
     }
 
     /// Builds the single-threaded sequential frontend.
@@ -229,10 +327,9 @@ impl<B: DirtyTracker> ShardedViyojitBuilder<B> {
     pub fn build_sequential(self) -> Result<ShardedViyojit<B>, ViyojitError> {
         self.validate()?;
         let mut nv = ShardedViyojit::assemble(
-            self.shards,
+            self.tree(),
             self.pages_per_shard,
             self.config,
-            self.min_per_shard,
             self.rebalance_period,
             self.clock,
             self.costs,
@@ -242,6 +339,11 @@ impl<B: DirtyTracker> ShardedViyojitBuilder<B> {
         nv.install_profiler(self.profiler);
         if let Some(faults) = self.faults {
             nv.install_faults(faults);
+        }
+        for (t, spec) in self.tenants.iter().enumerate() {
+            if let Some(faults) = &spec.faults {
+                nv.install_tenant_faults(TenantId(t), faults.clone());
+            }
         }
         Ok(nv)
     }

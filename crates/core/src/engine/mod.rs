@@ -18,13 +18,16 @@
 //!
 //! On top of the engine, [`sharded::ShardedViyojit`] multiplexes one
 //! battery's budget across N per-region shards through a
-//! [`arbiter::BudgetArbiter`] — the ROADMAP's scale-out frontend.
+//! [`hierarchy::BudgetTree`] — machine → tenant → shard, each tenant's
+//! shards divided by a per-tenant [`arbiter::BudgetArbiter`] — the
+//! ROADMAP's scale-out and multi-tenant frontend.
 
 mod arbiter;
 mod backend;
 mod builder;
 mod degrade;
 mod emergency;
+mod hierarchy;
 mod parallel;
 mod plane;
 mod sharded;
@@ -34,6 +37,8 @@ pub use backend::{DirtyTracker, FullDirty, MmuAssisted, SoftwareWalk};
 pub use builder::ShardedViyojitBuilder;
 pub use degrade::{DegradationConfig, DegradationGovernor, DegradeReason, DegradedMode};
 pub use emergency::{FlushObligation, MAX_FLUSH_ATTEMPTS, RETRY_BACKOFF_BASE, RETRY_BACKOFF_MAX};
+pub(crate) use hierarchy::apply_budgets;
+pub use hierarchy::{BudgetTree, TenantId, TenantQos, TenantStats};
 pub use parallel::{BudgetGrant, ShardControlHandle, ShardDataHandle, ShardStats};
 pub use plane::{ShardControlPlane, ShardDataPlane};
 pub use sharded::ShardedViyojit;

@@ -55,7 +55,7 @@ use battery_sim::{Battery, PowerModel};
 use mem_sim::AtomicBitmap2L;
 use sim_clock::{Clock, SimDuration, SimTime};
 use ssd_sim::SsdStats;
-use telemetry::{intern_metric_name, Profiler, Telemetry, TraceEvent};
+use telemetry::{intern_metric_name, Profiler, Telemetry, TenantMetricNames, TraceEvent};
 
 use crate::{
     FlushOutcome, InvariantViolation, NvHeap, PowerFailureReport, RegionId, ViyojitError,
@@ -64,7 +64,10 @@ use crate::{
 
 use super::builder::ShardedViyojitBuilder;
 use super::plane::{ShardControlPlane, ShardDataPlane};
-use super::{BudgetArbiter, DegradationGovernor, DegradedMode, DirtyTracker, Engine};
+use super::{
+    BudgetTree, DegradationGovernor, DegradedMode, DirtyTracker, Engine, TenantId, TenantQos,
+    TenantStats,
+};
 
 /// Staged writes per worker before a batch is shipped.
 pub const WRITE_BATCH: usize = 64;
@@ -144,7 +147,9 @@ enum CtrlQuery {
 
 enum CtrlReply {
     Stats(Vec<ShardStats>),
-    Ssd(SsdStats),
+    /// `(global shard index, stats)` per owned shard, so the control
+    /// handle can aggregate per tenant as well as machine-wide.
+    Ssd(Vec<(usize, SsdStats)>),
     Failure(Vec<PowerFailureReport>),
     Done,
     Invariants {
@@ -163,6 +168,7 @@ enum GrantMsg {
 enum RoundKind {
     Demand,
     SetTotal(u64),
+    Throttle { tenant: usize, cap: Option<u64> },
 }
 
 enum ArbiterMsg {
@@ -209,6 +215,17 @@ struct Runtime {
     min_per_shard: u64,
     shards: usize,
     rebalance_period: SimDuration,
+    /// Tenant of each global shard (the tree itself lives on the arbiter
+    /// thread; this mirror is immutable routing metadata).
+    tenant_of_shard: Vec<usize>,
+    tenant_names: Vec<String>,
+    tenant_qos: Vec<TenantQos>,
+    tenant_metric_names: Vec<TenantMetricNames>,
+    /// Mirror of each tenant's applied throttle cap (kept in sync by the
+    /// control handle, which is the only throttle initiator).
+    tenant_throttled: Mutex<Vec<Option<u64>>>,
+    /// Pages each tenant has lost to power failures so far.
+    tenant_pages_lost: Mutex<Vec<u64>>,
     joins: Mutex<Vec<JoinHandle<()>>>,
     arbiter_join: Mutex<Option<JoinHandle<()>>>,
 }
@@ -474,13 +491,12 @@ impl<B: DirtyTracker> Worker<B> {
                     .map(|(s, e)| Self::snapshot(*s, e))
                     .collect(),
             ),
-            CtrlQuery::SsdStats => {
-                let mut total = SsdStats::default();
-                for (_, e) in &self.engines {
-                    accumulate_ssd(&mut total, &e.ssd_stats());
-                }
-                CtrlReply::Ssd(total)
-            }
+            CtrlQuery::SsdStats => CtrlReply::Ssd(
+                self.engines
+                    .iter()
+                    .map(|(s, e)| (*s, e.ssd_stats()))
+                    .collect(),
+            ),
             CtrlQuery::PowerFailure => CtrlReply::Failure(
                 self.engines
                     .iter_mut()
@@ -529,13 +545,15 @@ impl<B: DirtyTracker> Worker<B> {
 // ----------------------------------------------------------------------
 
 struct ArbiterThread {
-    arbiter: BudgetArbiter,
+    tree: BudgetTree,
     rx: Receiver<ArbiterMsg>,
     grant_txs: Vec<Sender<GrantMsg>>,
     thread_of_shard: Vec<usize>,
     telemetry: Telemetry,
     /// Per-shard `(dirty_pages, budget_pages)` gauge names.
     gauge_names: Vec<(&'static str, &'static str)>,
+    /// Per-tenant metric names, indexed by tenant.
+    tenant_metric_names: Vec<TenantMetricNames>,
     /// First shard of a worker thread known to have died; poisons all
     /// subsequent rounds.
     dead: Option<usize>,
@@ -550,7 +568,7 @@ impl ArbiterThread {
                     let _ = reply.send(result);
                 }
                 ArbiterMsg::Rebalances { reply } => {
-                    let _ = reply.send(self.arbiter.rebalances());
+                    let _ = reply.send(self.tree.rebalances());
                 }
                 ArbiterMsg::ThreadDown { first_shard } => {
                     self.dead.get_or_insert(first_shard);
@@ -581,7 +599,7 @@ impl ArbiterThread {
         id: u64,
         commits: bool,
     ) -> Result<Option<Vec<ShardStats>>, ViyojitError> {
-        let n = self.arbiter.members();
+        let n = self.tree.members();
         let mut out: Vec<Option<ShardStats>> = vec![None; n];
         let mut got = 0;
         while got < n {
@@ -624,12 +642,14 @@ impl ArbiterThread {
                 shard: self.dead.unwrap_or(0),
             });
         };
-        if let RoundKind::SetTotal(pages) = kind {
+        match kind {
+            RoundKind::Demand => {}
             // Pre-validated by the control handle, so this cannot panic.
-            self.arbiter.set_total_budget(pages);
+            RoundKind::SetTotal(pages) => self.tree.set_total_budget(pages),
+            RoundKind::Throttle { tenant, cap } => self.tree.throttle(TenantId(tenant), cap),
         }
         let before_stats: Vec<ViyojitStats> = before.iter().map(|s| s.stats).collect();
-        let targets = self.arbiter.plan(&before_stats);
+        let targets = self.tree.plan(&before_stats);
 
         // Shrink phase: grants where the target is below the pre-round
         // budget, applied (with stalls) before anyone grows.
@@ -660,7 +680,7 @@ impl ArbiterThread {
             });
         };
         let after_stats: Vec<ViyojitStats> = after.iter().map(|s| s.stats).collect();
-        self.arbiter.commit(&after_stats);
+        self.tree.commit(&after_stats);
         self.publish_metrics(&after);
         for tx in &self.grant_txs {
             let _ = tx.send(GrantMsg::Done(id));
@@ -707,12 +727,27 @@ impl ArbiterThread {
         if !self.telemetry.is_enabled() {
             return;
         }
-        let rebalances = self.arbiter.rebalances();
+        let rebalances = self.tree.rebalances();
+        let tree = &self.tree;
+        let tenant_names = &self.tenant_metric_names;
         self.telemetry.metrics(|m| {
             m.counter_set("sharded.rebalances", rebalances);
             for (s, (dirty_name, budget_name)) in after.iter().zip(&self.gauge_names) {
                 m.gauge_set(dirty_name, s.dirty_pages as f64);
                 m.gauge_set(budget_name, s.budget_pages as f64);
+            }
+            for (t, names) in tenant_names.iter().enumerate() {
+                let mut budget = 0u64;
+                let mut dirty = 0u64;
+                let mut stall = 0u64;
+                for s in &after[tree.tenant_shards(TenantId(t))] {
+                    budget += s.budget_pages;
+                    dirty += s.dirty_pages;
+                    stall += s.stats.stall_time.as_nanos();
+                }
+                m.gauge_set(names.budget_pages, budget as f64);
+                m.gauge_set(names.dirty_pages, dirty as f64);
+                m.counter_set(names.stall_nanos, stall);
             }
         });
     }
@@ -721,23 +756,6 @@ impl ArbiterThread {
 // ----------------------------------------------------------------------
 // Aggregation helpers (mirror the sequential frontend's sums exactly)
 // ----------------------------------------------------------------------
-
-fn accumulate_stats(total: &mut ViyojitStats, s: &ViyojitStats) {
-    total.faults_handled += s.faults_handled;
-    total.pages_dirtied += s.pages_dirtied;
-    total.proactive_flushes += s.proactive_flushes;
-    total.forced_flushes += s.forced_flushes;
-    total.flushes_completed += s.flushes_completed;
-    total.budget_stalls += s.budget_stalls;
-    total.stall_time += s.stall_time;
-    total.in_flight_collisions += s.in_flight_collisions;
-    total.epochs += s.epochs;
-    total.epochs_fast_forwarded += s.epochs_fast_forwarded;
-    total.bytes_flushed += s.bytes_flushed;
-    total.physical_bytes_flushed += s.physical_bytes_flushed;
-    total.walk_touches += s.walk_touches;
-    total.flush_retries += s.flush_retries;
-}
 
 fn accumulate_ssd(total: &mut SsdStats, s: &SsdStats) {
     total.writes += s.writes;
@@ -783,8 +801,27 @@ pub(super) fn spawn_parallel<B: DirtyTracker + Send + 'static>(
     let shards = b.shards;
     let threads = b.threads.unwrap_or(shards).min(shards);
     let t0 = b.clock.now();
-    let arbiter = BudgetArbiter::new(shards, b.config.dirty_budget_pages, b.min_per_shard);
-    let initial = arbiter.initial_share();
+    let tree = b.tree();
+    let initial = tree.initial_shares();
+    let tenant_count = tree.tenant_count();
+    let tenant_of_shard: Vec<usize> = (0..shards).map(|s| tree.tenant_of_shard(s).0).collect();
+    let tenant_names: Vec<String> = (0..tenant_count)
+        .map(|t| tree.tenant_name(TenantId(t)).to_string())
+        .collect();
+    let tenant_qos: Vec<TenantQos> = (0..tenant_count)
+        .map(|t| tree.tenant_qos(TenantId(t)))
+        .collect();
+    let tenant_metric_names: Vec<TenantMetricNames> = (0..tenant_count)
+        .map(TenantMetricNames::for_tenant)
+        .collect();
+    let tenant_fault_plans = if b.tenants.is_empty() {
+        vec![None]
+    } else {
+        b.tenants
+            .iter()
+            .map(|t| t.faults.clone())
+            .collect::<Vec<_>>()
+    };
 
     let names: Vec<(&'static str, &'static str, &'static str)> = (0..shards)
         .map(|i| {
@@ -815,7 +852,7 @@ pub(super) fn spawn_parallel<B: DirtyTracker + Send + 'static>(
             .iter()
             .map(|&s| {
                 let mut cfg = b.config.clone();
-                cfg.dirty_budget_pages = initial;
+                cfg.dirty_budget_pages = initial[s];
                 let mut e = Engine::new(
                     b.pages_per_shard,
                     cfg,
@@ -825,7 +862,10 @@ pub(super) fn spawn_parallel<B: DirtyTracker + Send + 'static>(
                 );
                 e.attach_telemetry(b.telemetry.clone());
                 e.attach_profiler(profiler.clone());
-                if let Some(plan) = &b.faults {
+                if let Some(plan) = tenant_fault_plans[tenant_of_shard[s]]
+                    .as_ref()
+                    .or(b.faults.as_ref())
+                {
                     e.attach_faults(plan.clone());
                 }
                 (s, e)
@@ -860,12 +900,13 @@ pub(super) fn spawn_parallel<B: DirtyTracker + Send + 'static>(
     }
 
     let arb = ArbiterThread {
-        arbiter,
+        tree,
         rx: arb_rx,
         grant_txs,
         thread_of_shard: thread_of_shard.clone(),
         telemetry: b.telemetry.clone(),
         gauge_names: names.iter().map(|&(d, g, _)| (d, g)).collect(),
+        tenant_metric_names: tenant_metric_names.clone(),
         dead: None,
     };
     let arbiter_join = std::thread::Builder::new()
@@ -888,6 +929,12 @@ pub(super) fn spawn_parallel<B: DirtyTracker + Send + 'static>(
         min_per_shard: b.min_per_shard,
         shards,
         rebalance_period: b.rebalance_period,
+        tenant_of_shard,
+        tenant_names,
+        tenant_qos,
+        tenant_metric_names,
+        tenant_throttled: Mutex::new(vec![None; tenant_count]),
+        tenant_pages_lost: Mutex::new(vec![0; tenant_count]),
         joins: Mutex::new(joins),
         arbiter_join: Mutex::new(Some(arbiter_join)),
     });
@@ -1210,24 +1257,59 @@ impl ShardControlHandle {
         &mut self,
         mut make: impl FnMut() -> CtrlQuery,
     ) -> Result<PowerFailureReport, ViyojitError> {
-        let mut reports = Vec::with_capacity(self.runtime.shards);
-        for reply in self.query_all(&mut make)? {
-            if let CtrlReply::Failure(mut r) = reply {
-                reports.append(&mut r);
+        let shards = self.runtime.shards;
+        let threads = self.runtime.shard_txs.len();
+        let mut reports = Vec::with_capacity(shards);
+        let mut lost = vec![0u64; self.runtime.tenant_names.len()];
+        // Worker `t` owns shards `(t..shards).step_by(threads)` and
+        // reports them in ascending order, so the global shard index of
+        // each per-worker report is reconstructible without protocol
+        // changes.
+        for (t, reply) in self.query_all(&mut make)?.into_iter().enumerate() {
+            if let CtrlReply::Failure(r) = reply {
+                for (shard, report) in (t..shards).step_by(threads).zip(&r) {
+                    lost[self.runtime.tenant_of_shard[shard]] += report.pages_lost;
+                }
+                reports.extend(r);
             }
         }
+        let totals: Vec<u64> = {
+            let mut mirror = self
+                .runtime
+                .tenant_pages_lost
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            for (m, l) in mirror.iter_mut().zip(&lost) {
+                *m += l;
+            }
+            mirror.clone()
+        };
+        self.telemetry.metrics(|m| {
+            for (names, &v) in self.runtime.tenant_metric_names.iter().zip(&totals) {
+                m.counter_set(names.pages_lost, v);
+            }
+        });
         Ok(aggregate_failure(reports))
+    }
+
+    /// SSD counters summed over every shard, or over one tenant's shards.
+    fn ssd_stats_filtered(&mut self, tenant: Option<usize>) -> Result<SsdStats, ViyojitError> {
+        let mut total = SsdStats::default();
+        for reply in self.query_all(|| CtrlQuery::SsdStats)? {
+            if let CtrlReply::Ssd(per_shard) = reply {
+                for (shard, s) in per_shard {
+                    if tenant.is_none_or(|t| self.runtime.tenant_of_shard[shard] == t) {
+                        accumulate_ssd(&mut total, &s);
+                    }
+                }
+            }
+        }
+        Ok(total)
     }
 
     /// Aggregated SSD counters across all shards.
     pub fn ssd_stats(&mut self) -> Result<SsdStats, ViyojitError> {
-        let mut total = SsdStats::default();
-        for reply in self.query_all(|| CtrlQuery::SsdStats)? {
-            if let CtrlReply::Ssd(s) = reply {
-                accumulate_ssd(&mut total, &s);
-            }
-        }
-        Ok(total)
+        self.ssd_stats_filtered(None)
     }
 }
 
@@ -1294,7 +1376,7 @@ impl ShardControlPlane for ShardControlHandle {
     fn stats(&mut self) -> Result<ViyojitStats, ViyojitError> {
         let mut total = ViyojitStats::default();
         for s in self.shard_stats()? {
-            accumulate_stats(&mut total, &s.stats);
+            total.accumulate(&s.stats);
         }
         Ok(total)
     }
@@ -1353,5 +1435,98 @@ impl ShardControlPlane for ShardControlHandle {
             Some(v) => Err(v.into()),
             None => Ok(()),
         }
+    }
+
+    fn tenant_stats(&mut self) -> Result<Vec<TenantStats>, ViyojitError> {
+        let per_shard = self.shard_stats()?;
+        let throttled = self
+            .runtime
+            .tenant_throttled
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        let lost = self
+            .runtime
+            .tenant_pages_lost
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        let mut out: Vec<TenantStats> = self
+            .runtime
+            .tenant_names
+            .iter()
+            .enumerate()
+            .map(|(t, name)| TenantStats {
+                tenant: TenantId(t),
+                name: name.clone(),
+                budget_pages: 0,
+                dirty_pages: 0,
+                stats: ViyojitStats::default(),
+                pages_lost: lost[t],
+                throttled: throttled[t].is_some(),
+            })
+            .collect();
+        for s in &per_shard {
+            let t = self.runtime.tenant_of_shard[s.shard];
+            out[t].budget_pages += s.budget_pages;
+            out[t].dirty_pages += s.dirty_pages;
+            out[t].stats.accumulate(&s.stats);
+        }
+        Ok(out)
+    }
+
+    fn throttle_tenant(&mut self, tenant: TenantId, cap: Option<u64>) -> Result<(), ViyojitError> {
+        if tenant.0 >= self.runtime.tenant_names.len() {
+            return Err(ViyojitError::InvalidConfig("tenant id out of range"));
+        }
+        // The same clamp the tree applies: a cap can never squeeze a
+        // tenant below its shards' floors.
+        let shards_t = self
+            .runtime
+            .tenant_of_shard
+            .iter()
+            .filter(|&&t| t == tenant.0)
+            .count() as u64;
+        let clamped = cap.map(|c| c.max(self.runtime.min_per_shard * shards_t));
+        let runtime = Arc::clone(&self.runtime);
+        {
+            let mut rs = runtime.lock_rounds();
+            runtime.round_locked(
+                &mut rs,
+                RoundKind::Throttle {
+                    tenant: tenant.0,
+                    cap: clamped,
+                },
+            )?;
+        }
+        runtime
+            .tenant_throttled
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)[tenant.0] = clamped;
+        let cap_pages = clamped.unwrap_or_else(|| self.runtime.tenant_qos[tenant.0].capacity());
+        self.telemetry.emit(|| TraceEvent::TenantThrottled {
+            tenant: tenant.0 as u64,
+            throttled: clamped.is_some(),
+            cap_pages,
+        });
+        Ok(())
+    }
+
+    fn govern_tenant_degradation(
+        &mut self,
+        tenant: TenantId,
+        governor: &mut DegradationGovernor,
+        reported_health: f64,
+    ) -> Result<Option<u64>, ViyojitError> {
+        if tenant.0 >= self.runtime.tenant_names.len() {
+            return Err(ViyojitError::InvalidConfig("tenant id out of range"));
+        }
+        let ssd = self.ssd_stats_filtered(Some(tenant.0))?;
+        let Some(budget) = governor.observe(reported_health, &ssd) else {
+            return Ok(None);
+        };
+        let throttled = matches!(governor.mode(), DegradedMode::Degraded(_));
+        self.throttle_tenant(tenant, throttled.then_some(budget))?;
+        Ok(Some(budget))
     }
 }

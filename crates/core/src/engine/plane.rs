@@ -27,7 +27,7 @@ use sim_clock::SimDuration;
 
 use crate::{NvHeap, PowerFailureReport, ViyojitError, ViyojitStats};
 
-use super::DegradationGovernor;
+use super::{DegradationGovernor, TenantId, TenantStats};
 
 /// The application-facing half of a sharded deployment: the [`NvHeap`]
 /// surface plus explicit virtual-time advancement.
@@ -159,4 +159,40 @@ pub trait ShardControlPlane {
     /// The first violation found (as [`ViyojitError::Invariant`]), or
     /// [`ViyojitError::ShardFailed`] if a shard thread has died.
     fn check_invariants(&mut self) -> Result<(), ViyojitError>;
+
+    /// Per-tenant QoS observables: budget received, dirty population,
+    /// summed runtime counters, pages lost to power failures, and whether
+    /// a throttle is currently applied. One entry per declared tenant, in
+    /// declaration order (a single implicit tenant when none were
+    /// declared).
+    ///
+    /// # Errors
+    ///
+    /// [`ViyojitError::ShardFailed`] if a shard thread has died.
+    fn tenant_stats(&mut self) -> Result<Vec<TenantStats>, ViyojitError>;
+
+    /// Caps one tenant's allocation at `cap` pages (clamped up to its
+    /// shard floors) or lifts the cap with `None`, then rebalances.
+    ///
+    /// # Errors
+    ///
+    /// [`ViyojitError::InvalidConfig`] if `tenant` is out of range;
+    /// [`ViyojitError::ShardFailed`] if a shard thread has died.
+    fn throttle_tenant(&mut self, tenant: TenantId, cap: Option<u64>) -> Result<(), ViyojitError>;
+
+    /// Feeds a per-tenant degradation governor that tenant's signals and,
+    /// on a mode transition, throttles (or un-throttles) only that
+    /// tenant. Returns the prescribed tenant budget if a transition
+    /// happened.
+    ///
+    /// # Errors
+    ///
+    /// [`ViyojitError::InvalidConfig`] if `tenant` is out of range;
+    /// [`ViyojitError::ShardFailed`] if a shard thread has died.
+    fn govern_tenant_degradation(
+        &mut self,
+        tenant: TenantId,
+        governor: &mut DegradationGovernor,
+        reported_health: f64,
+    ) -> Result<Option<u64>, ViyojitError>;
 }

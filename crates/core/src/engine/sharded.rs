@@ -3,12 +3,16 @@
 //!
 //! The ROADMAP's scale-out story: a large NV-DRAM space is split into
 //! shards, each running its own [`Engine`] over its own slice of memory
-//! and SSD, while a [`BudgetArbiter`] periodically re-divides the single
-//! battery's dirty budget among them in proportion to observed demand.
-//! Regions hash to shards at `map` time, so independent working sets land
-//! on independent control loops; the statistical-multiplexing win of
-//! §6.3's ballooning accrues between *shards of one workload* instead of
-//! between whole tenants.
+//! and SSD, while a [`BudgetTree`] periodically re-divides the single
+//! battery's dirty budget among them in proportion to observed demand —
+//! first across tenants (honouring each tenant's
+//! [`TenantQos`](super::TenantQos) guarantee and burst cap), then across
+//! each tenant's shards. Regions hash to shards at `map` time, so
+//! independent working sets land on independent control loops; the
+//! statistical-multiplexing win of §6.3's ballooning accrues both between
+//! tenants and between *shards of one tenant*. A build with no declared
+//! tenants is the degenerate one-tenant tree, byte-identical to the
+//! historical flat arbiter.
 //!
 //! Durability composes the same way it does in
 //! [`BalloonedCluster`](crate::BalloonedCluster): every shard enforces
@@ -22,15 +26,19 @@ use fault_sim::FaultPlan;
 use mem_sim::MmuStats;
 use sim_clock::{Clock, CostModel, SimDuration, SimTime};
 use ssd_sim::{SsdConfig, SsdStats};
-use telemetry::{intern_metric_name, Profiler, Telemetry, TraceEvent};
+use telemetry::{intern_metric_name, Profiler, Telemetry, TenantMetricNames, TraceEvent};
 
 use crate::{
     FlushOutcome, InvariantViolation, NvHeap, PowerFailureReport, RegionId, ViyojitConfig,
     ViyojitError, ViyojitStats,
 };
 
+use super::hierarchy::apply_budgets;
 use super::plane::{ShardControlPlane, ShardDataPlane};
-use super::{BudgetArbiter, DegradationGovernor, DegradedMode, DirtyTracker, Engine, SoftwareWalk};
+use super::{
+    BudgetTree, DegradationGovernor, DegradedMode, DirtyTracker, Engine, SoftwareWalk, TenantId,
+    TenantStats,
+};
 
 /// Per-shard metric names, interned once at construction (the registry
 /// keys on `&'static str`).
@@ -66,7 +74,7 @@ struct ShardMetricNames {
 #[derive(Debug)]
 pub struct ShardedViyojit<B: DirtyTracker = SoftwareWalk> {
     shards: Vec<Engine<B>>,
-    arbiter: BudgetArbiter,
+    tree: BudgetTree,
     /// Global region handle -> (shard index, shard-local region id).
     /// Freed slots are `None` and reused.
     routes: Vec<Option<(usize, RegionId)>>,
@@ -76,73 +84,37 @@ pub struct ShardedViyojit<B: DirtyTracker = SoftwareWalk> {
     telemetry: Telemetry,
     profiler: Profiler,
     metric_names: Vec<ShardMetricNames>,
+    tenant_metric_names: Vec<TenantMetricNames>,
+    /// Pages each tenant lost to emergency flushes, cumulative across
+    /// power failures (the per-shard reports are attributed here).
+    tenant_pages_lost: Vec<u64>,
 }
 
 impl<B: DirtyTracker> ShardedViyojit<B> {
-    /// Creates `shards` engines of `pages_per_shard` pages each, sharing
-    /// `config.dirty_budget_pages` as the *global* budget. Each shard is
-    /// guaranteed at least `min_per_shard` pages; the initial division is
-    /// even. The arbiter re-divides the budget by demand every
-    /// `rebalance_period` of virtual time.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `shards` is zero, `min_per_shard` is zero, the floors
-    /// exceed the global budget, or `rebalance_period` is zero.
-    #[allow(clippy::too_many_arguments)]
-    #[deprecated(
-        since = "0.7.0",
-        note = "use ShardedViyojitBuilder::new(..).build_sequential() — it validates \
-                instead of panicking and consumes attachments up front"
-    )]
-    pub fn new(
-        shards: usize,
-        pages_per_shard: usize,
-        config: ViyojitConfig,
-        min_per_shard: u64,
-        rebalance_period: SimDuration,
-        clock: Clock,
-        costs: CostModel,
-        ssd_config: SsdConfig,
-    ) -> Self {
-        assert!(
-            rebalance_period > SimDuration::ZERO,
-            "the rebalance period must be positive"
-        );
-        Self::assemble(
-            shards,
-            pages_per_shard,
-            config,
-            min_per_shard,
-            rebalance_period,
-            clock,
-            costs,
-            ssd_config,
-        )
-    }
-
-    /// Shared construction body of the deprecated `new` and
-    /// [`ShardedViyojitBuilder::build_sequential`]; the builder validates
-    /// before calling so the arbiter's own asserts cannot fire.
+    /// Construction body of
+    /// [`ShardedViyojitBuilder::build_sequential`]: one engine per shard
+    /// of the (already validated) budget hierarchy, each starting at its
+    /// tenant's even initial share. The tree re-divides the budget by
+    /// demand every `rebalance_period` of virtual time.
     ///
     /// [`ShardedViyojitBuilder::build_sequential`]:
     ///     super::ShardedViyojitBuilder::build_sequential
-    #[allow(clippy::too_many_arguments)]
     pub(super) fn assemble(
-        shards: usize,
+        tree: BudgetTree,
         pages_per_shard: usize,
         config: ViyojitConfig,
-        min_per_shard: u64,
         rebalance_period: SimDuration,
         clock: Clock,
         costs: CostModel,
         ssd_config: SsdConfig,
     ) -> Self {
-        let arbiter = BudgetArbiter::new(shards, config.dirty_budget_pages, min_per_shard);
-        let engines: Vec<Engine<B>> = (0..shards)
-            .map(|_| {
+        let shards = tree.members();
+        let initial = tree.initial_shares();
+        let engines: Vec<Engine<B>> = initial
+            .iter()
+            .map(|&share| {
                 let mut shard_config = config.clone();
-                shard_config.dirty_budget_pages = arbiter.initial_share();
+                shard_config.dirty_budget_pages = share;
                 Engine::new(
                     pages_per_shard,
                     shard_config,
@@ -159,10 +131,14 @@ impl<B: DirtyTracker> ShardedViyojit<B> {
                 frame: intern_metric_name(format!("shard{i}")),
             })
             .collect();
+        let tenant_metric_names = (0..tree.tenant_count())
+            .map(TenantMetricNames::for_tenant)
+            .collect();
+        let tenant_pages_lost = vec![0; tree.tenant_count()];
         let next_rebalance_at = clock.now() + rebalance_period;
         ShardedViyojit {
             shards: engines,
-            arbiter,
+            tree,
             routes: Vec::new(),
             clock,
             rebalance_period,
@@ -170,6 +146,8 @@ impl<B: DirtyTracker> ShardedViyojit<B> {
             telemetry: Telemetry::disabled(),
             profiler: Profiler::disabled(),
             metric_names,
+            tenant_metric_names,
+            tenant_pages_lost,
         }
     }
 
@@ -194,7 +172,22 @@ impl<B: DirtyTracker> ShardedViyojit<B> {
 
     /// The provisioned global budget.
     pub fn total_budget_pages(&self) -> u64 {
-        self.arbiter.total_budget_pages()
+        self.tree.total_budget_pages()
+    }
+
+    /// Number of tenants in the budget hierarchy (one for a build with no
+    /// declared tenants).
+    pub fn tenant_count(&self) -> usize {
+        self.tree.tenant_count()
+    }
+
+    /// The tenant owning shard `shard`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn tenant_of_shard(&self, shard: usize) -> TenantId {
+        self.tree.tenant_of_shard(shard)
     }
 
     /// Sum of budgets currently assigned to shards. At most the global
@@ -210,29 +203,44 @@ impl<B: DirtyTracker> ShardedViyojit<B> {
 
     /// Budget rebalances performed so far.
     pub fn rebalances(&self) -> u64 {
-        self.arbiter.rebalances()
+        self.tree.rebalances()
     }
 
     /// Aggregated runtime counters (field-wise sum over shards).
     pub fn stats(&self) -> ViyojitStats {
         let mut total = ViyojitStats::default();
-        for s in self.shards.iter().map(|s| s.stats()) {
-            total.faults_handled += s.faults_handled;
-            total.pages_dirtied += s.pages_dirtied;
-            total.proactive_flushes += s.proactive_flushes;
-            total.forced_flushes += s.forced_flushes;
-            total.flushes_completed += s.flushes_completed;
-            total.budget_stalls += s.budget_stalls;
-            total.stall_time += s.stall_time;
-            total.in_flight_collisions += s.in_flight_collisions;
-            total.epochs += s.epochs;
-            total.epochs_fast_forwarded += s.epochs_fast_forwarded;
-            total.bytes_flushed += s.bytes_flushed;
-            total.physical_bytes_flushed += s.physical_bytes_flushed;
-            total.walk_touches += s.walk_touches;
-            total.flush_retries += s.flush_retries;
+        for s in &self.shards {
+            total.accumulate(&s.stats());
         }
         total
+    }
+
+    /// Per-tenant accounting: each tenant's summed counters, current
+    /// budget and dirty population, cumulative pages lost to power
+    /// failures, and whether a degraded-mode throttle is active.
+    pub fn tenant_stats(&self) -> Vec<TenantStats> {
+        (0..self.tree.tenant_count())
+            .map(|t| {
+                let tenant = TenantId(t);
+                let mut stats = ViyojitStats::default();
+                let mut budget_pages = 0;
+                let mut dirty_pages = 0;
+                for shard in &self.shards[self.tree.tenant_shards(tenant)] {
+                    stats.accumulate(&shard.stats());
+                    budget_pages += shard.dirty_budget();
+                    dirty_pages += shard.dirty_count();
+                }
+                TenantStats {
+                    tenant,
+                    name: self.tree.tenant_name(tenant).to_string(),
+                    budget_pages,
+                    dirty_pages,
+                    stats,
+                    pages_lost: self.tenant_pages_lost[t],
+                    throttled: self.tree.throttle_of(tenant).is_some(),
+                }
+            })
+            .collect()
     }
 
     /// Aggregated MMU access counters.
@@ -267,17 +275,8 @@ impl<B: DirtyTracker> ShardedViyojit<B> {
     /// All shards publish the standard `viyojit.*` metrics into the one
     /// registry; since counters only move up under `counter_set`, those
     /// read as the *maximum* across shards. The per-shard truth lives in
-    /// the `sharded.shardN.*` gauges this frontend publishes at each
-    /// rebalance.
-    #[deprecated(
-        since = "0.7.0",
-        note = "use ShardedViyojitBuilder::telemetry(..) so attachments are \
-                consumed before anything runs"
-    )]
-    pub fn attach_telemetry(&mut self, telemetry: Telemetry) {
-        self.install_telemetry(telemetry);
-    }
-
+    /// the `sharded.shardN.*` gauges (and the `sharded.tenantN.*` tenant
+    /// aggregates) this frontend publishes at each rebalance.
     pub(crate) fn install_telemetry(&mut self, telemetry: Telemetry) {
         for shard in &mut self.shards {
             shard.attach_telemetry(telemetry.clone());
@@ -291,15 +290,6 @@ impl<B: DirtyTracker> ShardedViyojit<B> {
     /// are wrapped in per-shard `shard{i}` scopes, so one flamegraph shows
     /// which shard's control loop the virtual time went to — the engine's
     /// own spans nest underneath (`app;shard2;wp_trap;...`).
-    #[deprecated(
-        since = "0.7.0",
-        note = "use ShardedViyojitBuilder::profiler(..) so attachments are \
-                consumed before anything runs"
-    )]
-    pub fn attach_profiler(&mut self, profiler: Profiler) {
-        self.install_profiler(profiler);
-    }
-
     pub(crate) fn install_profiler(&mut self, profiler: Profiler) {
         for shard in &mut self.shards {
             shard.attach_profiler(profiler.clone());
@@ -310,18 +300,18 @@ impl<B: DirtyTracker> ShardedViyojit<B> {
     /// Attaches one fault plan to every shard (shards share the plan's
     /// RNG stream; shard order is deterministic, so runs stay reproducible
     /// from the seed).
-    #[deprecated(
-        since = "0.7.0",
-        note = "use ShardedViyojitBuilder::faults(..) so attachments are \
-                consumed before anything runs"
-    )]
-    pub fn attach_faults(&mut self, faults: FaultPlan) {
-        self.install_faults(faults);
-    }
-
     pub(crate) fn install_faults(&mut self, faults: FaultPlan) {
         for shard in &mut self.shards {
             shard.attach_faults(faults.clone());
+        }
+    }
+
+    /// Attaches a fault plan to one tenant's shards only (a per-tenant
+    /// fault profile from the builder overrides any global plan for that
+    /// tenant's range).
+    pub(crate) fn install_tenant_faults(&mut self, tenant: TenantId, faults: FaultPlan) {
+        for i in self.tree.tenant_shards(tenant) {
+            self.shards[i].attach_faults(faults.clone());
         }
     }
 
@@ -359,8 +349,9 @@ impl<B: DirtyTracker> ShardedViyojit<B> {
             energy_margin_joules: f64::INFINITY,
             outcome: FlushOutcome::Complete,
         };
-        for shard in &mut self.shards {
+        for (i, shard) in self.shards.iter_mut().enumerate() {
             let r = failure(shard);
+            self.tenant_pages_lost[self.tree.tenant_of_shard(i).0] += r.pages_lost;
             total.dirty_pages += r.dirty_pages;
             total.pages_flushed += r.pages_flushed;
             total.pages_lost += r.pages_lost;
@@ -382,8 +373,64 @@ impl<B: DirtyTracker> ShardedViyojit<B> {
     ///
     /// Panics if the per-shard floors no longer fit `pages`.
     pub fn set_total_budget(&mut self, pages: u64) {
-        self.arbiter.set_total_budget(pages);
+        self.tree.set_total_budget(pages);
         self.rebalance();
+    }
+
+    /// Caps one tenant's allocation at `cap` pages (clamped up to its
+    /// shard floors), or lifts the cap with `None`, then rebalances so the
+    /// change takes effect immediately — the freed pages flow to sibling
+    /// tenants' burst pools.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenant` is out of range.
+    pub fn throttle_tenant(&mut self, tenant: TenantId, cap: Option<u64>) {
+        self.tree.throttle(tenant, cap);
+        self.emit_throttle(tenant);
+        self.rebalance();
+    }
+
+    /// Feeds a *per-tenant* degradation governor that tenant's signals
+    /// (reported battery health plus the tenant's shards' SSD error
+    /// counters) and, on a mode transition, squeezes the tenant's
+    /// allocation through [`ShardedViyojit::throttle_tenant`] — entering
+    /// degraded mode caps the tenant at the governor's prescribed budget,
+    /// recovery lifts the cap — while sibling tenants keep their QoS.
+    /// Returns the prescribed tenant budget if a transition happened.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenant` is out of range.
+    pub fn govern_tenant_degradation(
+        &mut self,
+        tenant: TenantId,
+        governor: &mut DegradationGovernor,
+        reported_health: f64,
+    ) -> Option<u64> {
+        let mut ssd = SsdStats::default();
+        for shard in &self.shards[self.tree.tenant_shards(tenant)] {
+            let s = shard.ssd_stats();
+            ssd.writes += s.writes;
+            ssd.reads += s.reads;
+            ssd.bytes_written += s.bytes_written;
+            ssd.bytes_read += s.bytes_read;
+            ssd.write_errors += s.write_errors;
+        }
+        let budget = governor.observe(reported_health, &ssd)?;
+        let throttled = matches!(governor.mode(), DegradedMode::Degraded(_));
+        self.throttle_tenant(tenant, throttled.then_some(budget));
+        Some(budget)
+    }
+
+    fn emit_throttle(&mut self, tenant: TenantId) {
+        let throttle = self.tree.throttle_of(tenant);
+        let cap_pages = throttle.unwrap_or_else(|| self.tree.tenant_qos(tenant).capacity());
+        self.telemetry.emit(|| TraceEvent::TenantThrottled {
+            tenant: tenant.0 as u64,
+            throttled: throttle.is_some(),
+            cap_pages,
+        });
     }
 
     /// Feeds the degradation governor the cluster-wide signals (reported
@@ -425,7 +472,7 @@ impl<B: DirtyTracker> ShardedViyojit<B> {
     ///
     /// The first [`InvariantViolation`] found.
     pub fn check_invariants(&self) -> Result<(), InvariantViolation> {
-        self.arbiter.check_assignment(self.total_assigned())?;
+        self.tree.check_assignment(self.total_assigned())?;
         let dirty = self.dirty_count();
         if dirty > self.total_budget_pages() {
             return Err(InvariantViolation::BudgetExceeded {
@@ -486,25 +533,17 @@ impl<B: DirtyTracker> ShardedViyojit<B> {
         }
     }
 
-    /// Re-divides the global budget by demand: plan from current stats,
-    /// shrink the losers (stalling them down to their new bound), grow
-    /// the winners, commit the post-apply stats as the next baseline.
+    /// Re-divides the global budget by demand: plan through the tenant
+    /// hierarchy from current stats, shrink the losers (stalling them down
+    /// to their new bound), grow the winners, commit the post-apply stats
+    /// as the next baseline.
     pub fn rebalance(&mut self) {
         let before: Vec<ViyojitStats> = self.shards.iter().map(|s| s.stats()).collect();
-        let targets = self.arbiter.plan(&before);
-        for (i, (shard, &target)) in self.shards.iter_mut().zip(&targets).enumerate() {
-            if target < shard.dirty_budget() {
-                let _scope = self.profiler.scope(self.metric_names[i].frame);
-                shard.set_dirty_budget(target);
-            }
-        }
-        for (shard, &target) in self.shards.iter_mut().zip(&targets) {
-            if target > shard.dirty_budget() {
-                shard.set_dirty_budget(target);
-            }
-        }
+        let targets = self.tree.plan(&before);
+        let frames: Vec<&'static str> = self.metric_names.iter().map(|n| n.frame).collect();
+        apply_budgets(&mut self.shards, &targets, &self.profiler, &frames);
         let after: Vec<ViyojitStats> = self.shards.iter().map(|s| s.stats()).collect();
-        self.arbiter.commit(&after);
+        self.tree.commit(&after);
         self.publish_shard_metrics();
     }
 
@@ -512,12 +551,19 @@ impl<B: DirtyTracker> ShardedViyojit<B> {
         if !self.telemetry.is_enabled() {
             return;
         }
-        let rebalances = self.arbiter.rebalances();
+        let rebalances = self.tree.rebalances();
+        let tenants: Vec<TenantStats> = ShardedViyojit::tenant_stats(self);
         self.telemetry.metrics(|m| {
             m.counter_set("sharded.rebalances", rebalances);
             for (shard, names) in self.shards.iter().zip(&self.metric_names) {
                 m.gauge_set(names.dirty_pages, shard.dirty_count() as f64);
                 m.gauge_set(names.budget_pages, shard.dirty_budget() as f64);
+            }
+            for (t, names) in tenants.iter().zip(&self.tenant_metric_names) {
+                m.gauge_set(names.budget_pages, t.budget_pages as f64);
+                m.gauge_set(names.dirty_pages, t.dirty_pages as f64);
+                m.counter_set(names.stall_nanos, t.stats.stall_time.as_nanos());
+                m.counter_set(names.pages_lost, t.pages_lost);
             }
         });
     }
@@ -609,7 +655,7 @@ impl<B: DirtyTracker> ShardControlPlane for ShardedViyojit<B> {
     }
 
     fn set_total_budget(&mut self, pages: u64) -> Result<(), ViyojitError> {
-        if self.arbiter.min_per_member() * self.shards.len() as u64 > pages {
+        if self.tree.min_per_shard() * self.shards.len() as u64 > pages {
             return Err(ViyojitError::InvalidConfig(
                 "per-shard floors exceed the re-provisioned budget",
             ));
@@ -666,11 +712,40 @@ impl<B: DirtyTracker> ShardControlPlane for ShardedViyojit<B> {
     fn check_invariants(&mut self) -> Result<(), ViyojitError> {
         ShardedViyojit::check_invariants(self).map_err(ViyojitError::from)
     }
+
+    fn tenant_stats(&mut self) -> Result<Vec<TenantStats>, ViyojitError> {
+        Ok(ShardedViyojit::tenant_stats(self))
+    }
+
+    fn throttle_tenant(&mut self, tenant: TenantId, cap: Option<u64>) -> Result<(), ViyojitError> {
+        if tenant.0 >= self.tree.tenant_count() {
+            return Err(ViyojitError::InvalidConfig("tenant id out of range"));
+        }
+        ShardedViyojit::throttle_tenant(self, tenant, cap);
+        Ok(())
+    }
+
+    fn govern_tenant_degradation(
+        &mut self,
+        tenant: TenantId,
+        governor: &mut DegradationGovernor,
+        reported_health: f64,
+    ) -> Result<Option<u64>, ViyojitError> {
+        if tenant.0 >= self.tree.tenant_count() {
+            return Err(ViyojitError::InvalidConfig("tenant id out of range"));
+        }
+        Ok(ShardedViyojit::govern_tenant_degradation(
+            self,
+            tenant,
+            governor,
+            reported_health,
+        ))
+    }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::super::ShardedViyojitBuilder;
+    use super::super::{ShardedViyojitBuilder, TenantQos};
     use super::*;
     use mem_sim::PAGE_SIZE;
 
@@ -812,5 +887,43 @@ mod tests {
         ShardControlPlane::set_total_budget(&mut nv, 8)?;
         assert_eq!(ShardControlPlane::total_budget_pages(&nv), 8);
         Ok(())
+    }
+
+    #[test]
+    fn throttling_one_tenant_moves_its_burst_to_the_sibling() -> Result<(), ViyojitError> {
+        let mut nv = ShardedViyojitBuilder::new(4, 256, ViyojitConfig::with_budget_pages(64))
+            .min_per_shard(2)
+            .rebalance_period(SimDuration::from_millis(1))
+            .tenant("noisy", 2, TenantQos::guaranteed(16).burst(32))
+            .tenant("quiet", 2, TenantQos::guaranteed(16))
+            .build_sequential()?;
+        assert_eq!(nv.tenant_count(), 2);
+        let stats = ShardedViyojit::tenant_stats(&nv);
+        assert_eq!(stats[0].name, "noisy");
+        assert_eq!(stats[1].name, "quiet");
+        assert_eq!(
+            stats.iter().map(|t| t.budget_pages).sum::<u64>(),
+            64,
+            "the whole budget is divided across tenants"
+        );
+
+        // Squeeze the noisy tenant to its shard floors: everything above
+        // them must flow to the quiet sibling.
+        ShardControlPlane::throttle_tenant(&mut nv, TenantId(0), Some(4))?;
+        let stats = ShardedViyojit::tenant_stats(&nv);
+        assert!(stats[0].throttled && !stats[1].throttled);
+        assert_eq!(stats[0].budget_pages, 4, "capped at the clamped floor");
+        assert_eq!(stats[1].budget_pages, 60, "the sibling absorbs the rest");
+
+        // Lifting the cap restores demand-driven division.
+        ShardControlPlane::throttle_tenant(&mut nv, TenantId(0), None)?;
+        let stats = ShardedViyojit::tenant_stats(&nv);
+        assert!(!stats[0].throttled);
+        assert_eq!(stats.iter().map(|t| t.budget_pages).sum::<u64>(), 64);
+
+        let err = ShardControlPlane::throttle_tenant(&mut nv, TenantId(2), None)
+            .expect_err("tenant 2 does not exist");
+        assert!(matches!(err, ViyojitError::InvalidConfig(_)));
+        nv.check_invariants().map_err(ViyojitError::from)
     }
 }

@@ -74,16 +74,17 @@ mod runtime;
 mod stats;
 mod store;
 
-pub use balloon::{BalloonResult, BalloonedCluster, TenantId};
+pub use balloon::{BalloonResult, BalloonedCluster};
 pub use baseline::{NvdramBaseline, PeriodicCountTracker};
 pub use codec::{rle_decode, rle_encode, FlushCodec};
 pub use config::{ThresholdPolicy, ViyojitConfig, ViyojitConfigBuilder};
 pub use dirty::{DirtySet, PageState};
 pub use engine::{
-    BudgetArbiter, BudgetGrant, DegradationConfig, DegradationGovernor, DegradeReason,
+    BudgetArbiter, BudgetGrant, BudgetTree, DegradationConfig, DegradationGovernor, DegradeReason,
     DegradedMode, DirtyTracker, Engine, EngineCore, FullDirty, MmuAssisted, ShardControlHandle,
     ShardControlPlane, ShardDataHandle, ShardDataPlane, ShardStats, ShardedViyojit,
-    ShardedViyojitBuilder, SoftwareWalk, MAX_FLUSH_ATTEMPTS, RETRY_BACKOFF_BASE, RETRY_BACKOFF_MAX,
+    ShardedViyojitBuilder, SoftwareWalk, TenantId, TenantQos, TenantStats, MAX_FLUSH_ATTEMPTS,
+    RETRY_BACKOFF_BASE, RETRY_BACKOFF_MAX,
 };
 pub use error::{InvariantViolation, ViyojitError};
 pub use heap::NvHeap;

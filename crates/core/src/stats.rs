@@ -46,6 +46,27 @@ impl ViyojitStats {
     pub fn flushes_issued(&self) -> u64 {
         self.proactive_flushes + self.forced_flushes
     }
+
+    /// Adds `other`'s counters field-wise into `self` — the one
+    /// aggregation rule shared by every multi-engine frontend (sharded
+    /// sums over shards, the budget hierarchy sums over a tenant's
+    /// shards).
+    pub fn accumulate(&mut self, other: &ViyojitStats) {
+        self.faults_handled += other.faults_handled;
+        self.pages_dirtied += other.pages_dirtied;
+        self.proactive_flushes += other.proactive_flushes;
+        self.forced_flushes += other.forced_flushes;
+        self.flushes_completed += other.flushes_completed;
+        self.budget_stalls += other.budget_stalls;
+        self.stall_time += other.stall_time;
+        self.in_flight_collisions += other.in_flight_collisions;
+        self.epochs += other.epochs;
+        self.epochs_fast_forwarded += other.epochs_fast_forwarded;
+        self.bytes_flushed += other.bytes_flushed;
+        self.physical_bytes_flushed += other.physical_bytes_flushed;
+        self.walk_touches += other.walk_touches;
+        self.flush_retries += other.flush_retries;
+    }
 }
 
 #[cfg(test)]

@@ -12,9 +12,10 @@ use proptest::prelude::*;
 use sim_clock::{Clock, CostModel, SimDuration};
 use ssd_sim::SsdConfig;
 use viyojit::{
-    MmuAssisted, MmuAssistedViyojit, NvHeap, PowerFailureReport, ShardControlHandle,
-    ShardControlPlane, ShardDataHandle, ShardDataPlane, ShardedViyojit, ShardedViyojitBuilder,
-    SoftwareWalk, Viyojit, ViyojitConfig, ViyojitError, ViyojitStats,
+    DegradationConfig, DegradationGovernor, MmuAssisted, MmuAssistedViyojit, NvHeap,
+    PowerFailureReport, ShardControlHandle, ShardControlPlane, ShardDataHandle, ShardDataPlane,
+    ShardedViyojit, ShardedViyojitBuilder, SoftwareWalk, TenantId, TenantQos, Viyojit,
+    ViyojitConfig, ViyojitError, ViyojitStats,
 };
 
 const PAGE: u64 = PAGE_SIZE as u64;
@@ -195,15 +196,22 @@ enum Cluster {
 
 impl Cluster {
     fn sequential(shards: usize, budget: u64) -> Result<Cluster, ViyojitError> {
-        Ok(Cluster::Sequential(Box::new(
-            equivalence_builder(shards, budget).build_sequential()?,
-        )))
+        Cluster::sequential_from(equivalence_builder(shards, budget))
     }
 
     fn parallel(shards: usize, budget: u64, threads: usize) -> Result<Cluster, ViyojitError> {
-        let (data, ctrl) = equivalence_builder(shards, budget)
-            .threads(threads)
-            .build_parallel()?;
+        Cluster::parallel_from(equivalence_builder(shards, budget), threads)
+    }
+
+    fn sequential_from(builder: ShardedViyojitBuilder) -> Result<Cluster, ViyojitError> {
+        Ok(Cluster::Sequential(Box::new(builder.build_sequential()?)))
+    }
+
+    fn parallel_from(
+        builder: ShardedViyojitBuilder,
+        threads: usize,
+    ) -> Result<Cluster, ViyojitError> {
+        let (data, ctrl) = builder.threads(threads).build_parallel()?;
         Ok(Cluster::Parallel(data, ctrl))
     }
 
@@ -355,6 +363,129 @@ proptest! {
             );
         }
     }
+}
+
+/// One explicitly declared tenant spanning every shard, with its
+/// guarantee exactly at the shard floors and an unbounded burst — the
+/// hierarchy configuration that must be indistinguishable from the flat
+/// (no-tenant) arbiter.
+fn whole_machine_tenant_builder(shards: usize, budget: u64) -> ShardedViyojitBuilder {
+    equivalence_builder(shards, budget).tenant(
+        "whole-machine",
+        shards,
+        TenantQos::guaranteed(2 * shards as u64),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The hierarchy equivalence property: routing the budget through the
+    /// machine → tenant → shard tree with a single whole-machine tenant
+    /// must replay the flat arbiter byte-for-byte — identical stats,
+    /// dirty populations, rebalance counts, floor rejections,
+    /// power-failure reports, and post-recovery contents — in both
+    /// execution modes. This is what keeps every pre-hierarchy golden
+    /// valid.
+    #[test]
+    fn a_single_declared_tenant_replays_the_flat_arbiter(
+        ops in prop::collection::vec(op_strategy(), 1..80),
+        shards in 1..5usize,
+        budget in 8..40u64,
+    ) {
+        let flat = drive_cluster(
+            Cluster::sequential(shards, budget).expect("a valid flat configuration"),
+            &ops,
+        )
+        .expect("the flat run must not fail");
+        let tree_seq = drive_cluster(
+            Cluster::sequential_from(whole_machine_tenant_builder(shards, budget))
+                .expect("a valid single-tenant configuration"),
+            &ops,
+        )
+        .expect("the single-tenant sequential run must not fail");
+        prop_assert_eq!(
+            &tree_seq,
+            &flat,
+            "the single-tenant tree must replay the flat arbiter (sequential)"
+        );
+        let tree_par = drive_cluster(
+            Cluster::parallel_from(whole_machine_tenant_builder(shards, budget), 2)
+                .expect("a valid single-tenant parallel configuration"),
+            &ops,
+        )
+        .expect("the single-tenant parallel run must not fail");
+        prop_assert_eq!(
+            &tree_par,
+            &flat,
+            "the single-tenant tree must replay the flat arbiter (parallel)"
+        );
+    }
+}
+
+/// The tenant control surface must behave identically in both execution
+/// modes: a degradation-governed throttle squeezes only the governed
+/// tenant, the freed pages flow to the sibling, lifting the cap restores
+/// demand division, and every per-tenant observable matches between the
+/// sequential frontend and the parallel runtime.
+#[test]
+fn tenant_throttles_agree_across_execution_modes() -> Result<(), ViyojitError> {
+    let build = |threads: Option<usize>| -> Result<Cluster, ViyojitError> {
+        let b = equivalence_builder(4, 32)
+            .tenant("hot", 2, TenantQos::guaranteed(16).burst(8))
+            .tenant("cold", 2, TenantQos::guaranteed(8));
+        match threads {
+            None => Cluster::sequential_from(b),
+            Some(t) => Cluster::parallel_from(b, t),
+        }
+    };
+    let mut outcomes = Vec::new();
+    for threads in [None, Some(2)] {
+        let mut c = build(threads)?;
+        let region = c.data().map(8 * PAGE)?;
+        for i in 0..16u64 {
+            c.data().write(region, (i % 8) * PAGE, &[i as u8; 32])?;
+        }
+        c.data().sync()?;
+
+        // A collapsing battery gauge trips the hot tenant's governor:
+        // degraded fraction 0.5 of its 16-page nominal budget.
+        let mut gov = DegradationGovernor::new(16, DegradationConfig::default());
+        let prescribed = c
+            .ctrl()
+            .govern_tenant_degradation(TenantId(0), &mut gov, 0.1)?;
+        assert_eq!(prescribed, Some(8), "an unhealthy battery must degrade");
+        let throttled = c.ctrl().tenant_stats()?;
+        assert!(throttled[0].throttled && !throttled[1].throttled);
+        assert_eq!(
+            throttled[0].budget_pages, 8,
+            "capped at the governor's budget"
+        );
+        assert_eq!(
+            throttled.iter().map(|t| t.budget_pages).sum::<u64>(),
+            32,
+            "the sibling absorbs whatever the throttle frees"
+        );
+
+        c.ctrl().throttle_tenant(TenantId(0), None)?;
+        let released = c.ctrl().tenant_stats()?;
+        assert!(
+            !released[0].throttled,
+            "lifting the cap restores the tenant"
+        );
+
+        let err = c
+            .ctrl()
+            .throttle_tenant(TenantId(5), None)
+            .expect_err("tenant 5 does not exist");
+        assert!(matches!(err, ViyojitError::InvalidConfig(_)));
+        outcomes.push((throttled, released));
+    }
+    assert_eq!(
+        outcomes[0], outcomes[1],
+        "parallel must agree with sequential on every per-tenant observable"
+    );
+    Ok(())
 }
 
 /// Guards the property above against vacuity: a handcrafted workload

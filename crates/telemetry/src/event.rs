@@ -161,6 +161,17 @@ pub enum TraceEvent {
         /// Dirty budget in pages after the transition.
         budget_pages: u64,
     },
+    /// A tenant's degraded-mode throttle changed: applied (its allocation
+    /// capped while siblings keep their QoS) or lifted.
+    TenantThrottled {
+        /// Tenant index within the budget hierarchy.
+        tenant: u64,
+        /// True when the throttle was applied, false when lifted.
+        throttled: bool,
+        /// The allocation cap in pages while throttled; the tenant's
+        /// restored QoS capacity (possibly `u64::MAX`) when lifted.
+        cap_pages: u64,
+    },
     /// An executed emergency flush finished (successfully or not).
     EmergencyFlush {
         /// Pages that reached durability (including presumed-durable clean
@@ -190,6 +201,7 @@ impl TraceEvent {
             TraceEvent::FlushRetry { .. } => "flush_retry",
             TraceEvent::PageLost { .. } => "page_lost",
             TraceEvent::DegradedModeChanged { .. } => "degraded_mode_changed",
+            TraceEvent::TenantThrottled { .. } => "tenant_throttled",
             TraceEvent::EmergencyFlush { .. } => "emergency_flush",
         }
     }
@@ -255,6 +267,14 @@ impl fmt::Display for TraceEvent {
                 degraded,
                 budget_pages,
             } => write!(f, "degraded={degraded} budget_pages={budget_pages}"),
+            TraceEvent::TenantThrottled {
+                tenant,
+                throttled,
+                cap_pages,
+            } => write!(
+                f,
+                "tenant={tenant} throttled={throttled} cap_pages={cap_pages}"
+            ),
             TraceEvent::EmergencyFlush {
                 pages_flushed,
                 pages_lost,
@@ -337,6 +357,13 @@ mod tests {
         };
         assert_eq!(mode.kind(), "degraded_mode_changed");
         assert_eq!(mode.to_string(), "degraded=true budget_pages=32");
+        let throttle = TraceEvent::TenantThrottled {
+            tenant: 1,
+            throttled: true,
+            cap_pages: 12,
+        };
+        assert_eq!(throttle.kind(), "tenant_throttled");
+        assert_eq!(throttle.to_string(), "tenant=1 throttled=true cap_pages=12");
         let done = TraceEvent::EmergencyFlush {
             pages_flushed: 30,
             pages_lost: 2,

@@ -52,7 +52,9 @@ mod ring;
 mod sink;
 
 pub use event::{FaultKind, FlushReason, TraceEvent, TracedEvent};
-pub use metrics::{intern_metric_name, CounterSample, EpochSnapshot, MetricsRegistry};
+pub use metrics::{
+    intern_metric_name, CounterSample, EpochSnapshot, MetricsRegistry, TenantMetricNames,
+};
 pub use profile::{fnv1a_64, CostClass, ProfileReport, Profiler, RunMeta, SpanGuard, ROOT_FRAME};
 pub use report::Report;
 pub use ring::{TraceRing, DEFAULT_RING_CAPACITY};

@@ -24,6 +24,37 @@ pub fn intern_metric_name(name: String) -> &'static str {
     Box::leak(name.into_boxed_str())
 }
 
+/// The per-tenant metric names a multi-tenant frontend publishes,
+/// interned once at construction (the registry keys on `&'static str`).
+///
+/// Both sharded frontends (sequential and thread-parallel) publish these
+/// under `sharded.tenant{i}.*` at every rebalance, so tenant-level QoS —
+/// budget received, stall time suffered, pages lost to power failures —
+/// is observable without re-aggregating the per-shard gauges.
+#[derive(Debug, Clone, Copy)]
+pub struct TenantMetricNames {
+    /// Gauge: sum of the budgets assigned to the tenant's shards.
+    pub budget_pages: &'static str,
+    /// Gauge: pages the tenant's shards currently count dirty.
+    pub dirty_pages: &'static str,
+    /// Counter: virtual nanoseconds the tenant's writers spent stalled.
+    pub stall_nanos: &'static str,
+    /// Counter: pages the tenant lost to emergency flushes.
+    pub pages_lost: &'static str,
+}
+
+impl TenantMetricNames {
+    /// Interns the name set for tenant `index`.
+    pub fn for_tenant(index: usize) -> Self {
+        TenantMetricNames {
+            budget_pages: intern_metric_name(format!("sharded.tenant{index}.budget_pages")),
+            dirty_pages: intern_metric_name(format!("sharded.tenant{index}.dirty_pages")),
+            stall_nanos: intern_metric_name(format!("sharded.tenant{index}.stall_nanos")),
+            pages_lost: intern_metric_name(format!("sharded.tenant{index}.pages_lost")),
+        }
+    }
+}
+
 /// A counter's position at one epoch boundary.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CounterSample {

@@ -3,7 +3,7 @@
 #
 # The page-state bitmaps (and any future wall-clock optimisation of the
 # simulator) must be observationally invisible: same virtual time, same
-# victim order, same stats. This script reruns the three benches whose
+# victim order, same stats. This script reruns the benches whose
 # outputs are committed as goldens and fails on any byte difference.
 #
 # Regenerate the goldens (only after an *intentional* semantic change):
@@ -20,6 +20,7 @@ cargo build --release -p viyojit-bench --bins
 ./target/release/fault_storm 5 >"$out/fault_storm_5.csv"
 ./target/release/shard_scaling >"$out/shard_scaling.csv"
 ./target/release/fig7 >"$out/fig7.csv"
+./target/release/tenant_storm 42 --check >"$out/tenant_storm.csv"
 
 if [[ "${1:-}" == "--bless" ]]; then
     cp "$out"/*.csv "$golden"/
@@ -28,7 +29,7 @@ if [[ "${1:-}" == "--bless" ]]; then
 fi
 
 status=0
-for f in fault_storm_5.csv shard_scaling.csv fig7.csv; do
+for f in fault_storm_5.csv shard_scaling.csv fig7.csv tenant_storm.csv; do
     if cmp -s "$golden/$f" "$out/$f"; then
         echo "gate: $f identical"
     else
