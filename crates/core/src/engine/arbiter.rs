@@ -202,8 +202,11 @@ impl BudgetArbiter {
     /// the SSD), dirty-page churn indicates an active write working set.
     fn demand(&self, idx: usize, stats: &ViyojitStats) -> u64 {
         let prev = self.last_seen[idx];
-        let stalls = stats.budget_stalls - prev.budget_stalls;
-        let dirtied = stats.pages_dirtied - prev.pages_dirtied;
+        // Saturating: a quarantined shard's synthesized report (all zeros)
+        // can sit below the committed baseline; that is zero new demand,
+        // not an underflow.
+        let stalls = stats.budget_stalls.saturating_sub(prev.budget_stalls);
+        let dirtied = stats.pages_dirtied.saturating_sub(prev.pages_dirtied);
         10 * stalls + dirtied + 1 // +1 keeps idle members from starving the score
     }
 

@@ -503,6 +503,9 @@ fn hw_discover(core: &mut EngineCore, hw: &mut MmuAssisted) -> u64 {
         core.history.touch(page);
         core.selector.on_dirty(page, &core.history);
         core.stats.pages_dirtied += 1;
+        // Power cut mid-scan: this page absorbed into the known-dirty
+        // set, later candidates still undiscovered.
+        fault_sim::crashpoint!(core.crashes, DiscoveryScan);
     }
     candidates.len() as u64
 }

@@ -17,7 +17,7 @@
 
 use std::marker::PhantomData;
 
-use fault_sim::FaultPlan;
+use fault_sim::{CrashSchedule, FaultPlan};
 use sim_clock::{Clock, CostModel, SimDuration};
 use ssd_sim::SsdConfig;
 use telemetry::{Profiler, Telemetry};
@@ -88,6 +88,8 @@ pub struct ShardedViyojitBuilder<B: DirtyTracker = SoftwareWalk> {
     pub(super) telemetry: Telemetry,
     pub(super) profiler: Profiler,
     pub(super) faults: Option<FaultPlan>,
+    pub(super) crashes: CrashSchedule,
+    pub(super) restart_budget: u32,
     pub(super) tenants: Vec<TenantSpec>,
     backend: PhantomData<B>,
 }
@@ -114,6 +116,8 @@ impl ShardedViyojitBuilder<SoftwareWalk> {
             telemetry: Telemetry::disabled(),
             profiler: Profiler::disabled(),
             faults: None,
+            crashes: CrashSchedule::none(),
+            restart_budget: 0,
             tenants: Vec::new(),
             backend: PhantomData,
         }
@@ -136,6 +140,8 @@ impl<B: DirtyTracker> ShardedViyojitBuilder<B> {
             telemetry: self.telemetry,
             profiler: self.profiler,
             faults: self.faults,
+            crashes: self.crashes,
+            restart_budget: self.restart_budget,
             tenants: self.tenants,
             backend: PhantomData,
         }
@@ -187,6 +193,26 @@ impl<B: DirtyTracker> ShardedViyojitBuilder<B> {
     /// Attaches one fault plan, cloned to every shard.
     pub fn faults(mut self, faults: FaultPlan) -> Self {
         self.faults = Some(faults);
+        self
+    }
+
+    /// Arms a crash-injection schedule, cloned to every shard. Clones
+    /// share the schedule's fire-at-most-once latch, so at most one
+    /// injected crash fires cluster-wide. The default inactive schedule
+    /// ([`CrashSchedule::none`]) charges nothing anywhere.
+    pub fn crashes(mut self, crashes: CrashSchedule) -> Self {
+        self.crashes = crashes;
+        self
+    }
+
+    /// Lets each parallel worker absorb up to `restarts` panics by
+    /// respawning its shards from durable state (quarantined by the
+    /// arbiter while it recovers) before a panic degrades to the fatal
+    /// [`ViyojitError::ShardFailed`]. Default 0: every panic is fatal,
+    /// the historical behaviour. Sequential mode ignores this — panics
+    /// there unwind to the caller directly.
+    pub fn restart_budget(mut self, restarts: u32) -> Self {
+        self.restart_budget = restarts;
         self
     }
 
@@ -340,6 +366,7 @@ impl<B: DirtyTracker> ShardedViyojitBuilder<B> {
         if let Some(faults) = self.faults {
             nv.install_faults(faults);
         }
+        nv.install_crashes(self.crashes);
         for (t, spec) in self.tenants.iter().enumerate() {
             if let Some(faults) = &spec.faults {
                 nv.install_tenant_faults(TenantId(t), faults.clone());

@@ -16,6 +16,7 @@
 //! bench output is reproduced byte for byte.
 
 use battery_sim::{Battery, PowerModel};
+use fault_sim::crashpoint;
 use mem_sim::PageId;
 use sim_clock::SimDuration;
 use telemetry::{CostClass, TraceEvent};
@@ -170,6 +171,9 @@ pub(crate) fn execute(
                 break true;
             }
             core.ssd.note_write_error(item.page.0, item.payload);
+            // Power cut mid-retry: some pages durable, this one's failed
+            // attempt charged but its backoff never taken.
+            crashpoint!(core.crashes, EmergencyRetry);
             if attempt >= MAX_FLUSH_ATTEMPTS {
                 break false;
             }

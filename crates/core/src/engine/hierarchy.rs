@@ -468,6 +468,11 @@ pub(crate) fn apply_budgets<B: DirtyTracker>(
             engine.set_dirty_budget(target);
         }
     }
+    // Power cut between the phases: donors already shrunk, receivers not
+    // yet grown — the total is under-assigned but never over-assigned.
+    if let Some(engine) = engines.first() {
+        fault_sim::crashpoint!(engine.core.crashes, BudgetShrinkGrow);
+    }
     for (engine, &target) in engines.iter_mut().zip(targets) {
         if target > engine.dirty_budget() {
             engine.set_dirty_budget(target);

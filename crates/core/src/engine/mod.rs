@@ -39,12 +39,12 @@ pub use degrade::{DegradationConfig, DegradationGovernor, DegradeReason, Degrade
 pub use emergency::{FlushObligation, MAX_FLUSH_ATTEMPTS, RETRY_BACKOFF_BASE, RETRY_BACKOFF_MAX};
 pub(crate) use hierarchy::apply_budgets;
 pub use hierarchy::{BudgetTree, TenantId, TenantQos, TenantStats};
-pub use parallel::{BudgetGrant, ShardControlHandle, ShardDataHandle, ShardStats};
+pub use parallel::{BudgetGrant, ShardControlHandle, ShardDataHandle, ShardStats, ROUND_TIMEOUT};
 pub use plane::{ShardControlPlane, ShardDataPlane};
 pub use sharded::ShardedViyojit;
 
 use battery_sim::{Battery, PowerModel};
-use fault_sim::FaultPlan;
+use fault_sim::{crashpoint, CrashSchedule, FaultPlan};
 use mem_sim::{AccessError, Mmu, MmuStats, PageId, TlbStats, PAGE_SIZE};
 use sim_clock::{Clock, CostModel, SimTime};
 use ssd_sim::{Ssd, SsdConfig, SsdStats};
@@ -88,6 +88,10 @@ pub struct EngineCore {
     /// default, in which case every fault hook is an identity and the
     /// engine behaves byte-identically to a build without fault support.
     pub(crate) faults: FaultPlan,
+    /// Crash schedule consulted at every state-mutation seam; inactive by
+    /// default, in which case each `crashpoint!` check is a null test
+    /// charging zero virtual time.
+    pub(crate) crashes: CrashSchedule,
 }
 
 /// One NV-DRAM manager: the shared Fig. 6 state machine parameterised by
@@ -161,6 +165,7 @@ impl<B: DirtyTracker> Engine<B> {
                 telemetry: Telemetry::disabled(),
                 profiler: Profiler::disabled(),
                 faults: FaultPlan::none(),
+                crashes: CrashSchedule::none(),
                 config,
                 clock,
                 mmu,
@@ -258,6 +263,46 @@ impl<B: DirtyTracker> Engine<B> {
     /// The fault plan in force (inactive unless one was attached).
     pub fn faults(&self) -> &FaultPlan {
         &self.core.faults
+    }
+
+    /// Attaches a crash schedule. The engine then consults it at every
+    /// instrumented state-mutation seam; when the armed `(point, hit)`
+    /// pair is reached, the run unwinds with a
+    /// [`CrashSignal`](fault_sim::CrashSignal) panic from exactly that
+    /// seam, modelling an instantaneous power cut. With an inactive
+    /// schedule — [`CrashSchedule::none`] — every check is a null test and
+    /// behavior is byte-identical to a run without crash support.
+    pub fn attach_crashes(&mut self, crashes: CrashSchedule) {
+        self.core.crashes = crashes;
+    }
+
+    /// The crash schedule in force (inactive unless one was attached).
+    pub fn crashes(&self) -> &CrashSchedule {
+        &self.core.crashes
+    }
+
+    /// Reads region contents without touching the clock, the MMU access
+    /// path, or any tracking state: the oracle's view of memory. Crash
+    /// harnesses use this to snapshot the byte image at the instant of an
+    /// injected crash and to compare post-recovery contents against a
+    /// shadow reference, without the read itself perturbing the run.
+    ///
+    /// # Errors
+    ///
+    /// The same range errors as [`NvHeap::read`].
+    pub fn peek(&self, region: RegionId, offset: u64, buf: &mut [u8]) -> Result<(), ViyojitError> {
+        let addr = self.core.regions.resolve(region, offset, buf.len())?;
+        let mut pos = 0usize;
+        while pos < buf.len() {
+            let at = addr + pos as u64;
+            let page = PageId(at / PAGE_SIZE as u64);
+            let in_page = (at % PAGE_SIZE as u64) as usize;
+            let n = (PAGE_SIZE - in_page).min(buf.len() - pos);
+            let data = self.core.mmu.page_data(page);
+            buf[pos..pos + n].copy_from_slice(&data[in_page..in_page + n]);
+            pos += n;
+        }
+        Ok(())
     }
 
     /// Live regions.
@@ -524,6 +569,9 @@ pub(crate) fn run_epoch<B: DirtyTracker>(core: &mut EngineCore, backend: &mut B)
     let _span = core.profiler.span(CostClass::EpochWalk);
 
     let (walked, new_dirty) = B::epoch_walk(core, backend);
+    // Power cut mid-epoch: recency refreshed but the pressure/threshold
+    // update and proactive copies never happen.
+    crashpoint!(core.crashes, EpochWalk);
     core.telemetry.emit(|| TraceEvent::EpochWalk {
         epoch,
         walked,
@@ -617,6 +665,9 @@ pub(crate) fn issue_flush<B: DirtyTracker>(
         }
     };
     core.inflight.push((done, victim));
+    // Power cut with the IO just submitted: the page is write-protected
+    // and in flight but nothing has retired it.
+    crashpoint!(core.crashes, FlushInFlight);
     core.stats.bytes_flushed += PAGE_SIZE as u64;
     if B::TRACKS_PHYSICAL {
         core.stats.physical_bytes_flushed += physical as u64;

@@ -40,6 +40,20 @@
 //! contents from the sequential frontend and from this runtime at any
 //! thread count — the equivalence property tests assert exactly that.
 //!
+//! Supervision: a worker panic is caught at the command loop. Within the
+//! builder's restart budget the worker reports `ShardPanicked`, runs the
+//! real emergency flush from whatever intermediate state the unwind left
+//! behind, reloads its shards from durable contents, pins them to the
+//! budget floor, and rejoins (`ShardRespawned`). The arbiter quarantines
+//! the thread in between, substituting floor-pinned zero-demand stats in
+//! rounds so the tree's burst-first reclaim hands the freed budget to
+//! sibling shards until `WorkerRecovered` lifts the quarantine. Beyond
+//! the restart budget a panic degrades to the fatal
+//! [`ViyojitError::ShardFailed`] path, exactly as before supervision.
+//! Every blocking wait on a worker or arbiter reply carries the
+//! [`ROUND_TIMEOUT`] deadline, so a wedged (alive but silent) thread
+//! surfaces as [`ViyojitError::RoundTimeout`] instead of a hang.
+//!
 //! [`ShardedViyojitBuilder::build_parallel`]:
 //!     super::ShardedViyojitBuilder::build_parallel
 //! [`CostModel::free`]: sim_clock::CostModel::free
@@ -47,9 +61,10 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use battery_sim::{Battery, PowerModel};
 use mem_sim::AtomicBitmap2L;
@@ -71,6 +86,12 @@ use super::{
 
 /// Staged writes per worker before a batch is shipped.
 pub const WRITE_BATCH: usize = 64;
+
+/// Wall-clock deadline for any single wait on a worker or arbiter reply.
+/// Healthy exchanges complete in microseconds; a thread silent this long
+/// is wedged (alive but stuck), and the caller aborts with
+/// [`ViyojitError::RoundTimeout`] instead of blocking forever.
+pub const ROUND_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// One shard's demand report, sent from its worker thread to the arbiter
 /// at the start of every rebalance round (and again, post-apply, as the
@@ -194,6 +215,16 @@ enum ArbiterMsg {
     ThreadDown {
         first_shard: usize,
     },
+    /// A worker caught a panic and is restoring its shards from durable
+    /// state; the arbiter quarantines it until `WorkerRecovered`.
+    WorkerPanicked {
+        thread: usize,
+    },
+    /// The panicked worker finished recovery and rejoined its command
+    /// loop; its shards report real stats again from the next round on.
+    WorkerRecovered {
+        thread: usize,
+    },
 }
 
 /// The driver's view of the shared timeline. Rounds are serialized under
@@ -270,9 +301,10 @@ impl Runtime {
         for tx in &self.shard_txs {
             let _ = tx.send(ShardCmd::Round { id });
         }
-        reply_rx
-            .recv()
-            .map_err(|_| ViyojitError::ShardFailed { shard: 0 })?
+        reply_rx.recv_timeout(ROUND_TIMEOUT).map_err(|e| match e {
+            RecvTimeoutError::Timeout => ViyojitError::RoundTimeout,
+            RecvTimeoutError::Disconnected => ViyojitError::ShardFailed { shard: 0 },
+        })?
     }
 
     fn take_async_error(&self) -> Result<(), ViyojitError> {
@@ -331,6 +363,17 @@ struct Worker<B: DirtyTracker> {
     shadow: Vec<Vec<u64>>,
     scratch: Vec<u64>,
     error: Arc<Mutex<Option<ViyojitError>>>,
+    /// This worker's thread index (the arbiter's quarantine key).
+    thread: usize,
+    /// Panics this worker may absorb by respawning from durable state
+    /// before one degrades to the fatal ThreadDown path (0 = every panic
+    /// is fatal, the pre-supervision behaviour).
+    restart_budget: u32,
+    restarts: u32,
+    /// The cluster's per-shard budget floor: a respawned worker pins its
+    /// engines here until the next round replans them.
+    min_per_shard: u64,
+    telemetry: Telemetry,
 }
 
 impl<B: DirtyTracker> Worker<B> {
@@ -338,6 +381,11 @@ impl<B: DirtyTracker> Worker<B> {
         while let Ok(cmd) = self.rx.recv() {
             let caught = catch_unwind(AssertUnwindSafe(|| self.handle(cmd)));
             if caught.is_err() {
+                if self.restarts < self.restart_budget {
+                    self.restarts += 1;
+                    self.respawn();
+                    continue;
+                }
                 let first = self.engines.first().map_or(0, |&(s, _)| s);
                 self.record_error(ViyojitError::ShardFailed { shard: first });
                 let _ = self
@@ -346,6 +394,41 @@ impl<B: DirtyTracker> Worker<B> {
                 break;
             }
         }
+    }
+
+    /// Self-recovery after a caught panic: quarantine with the arbiter,
+    /// run the real emergency flush from whatever intermediate state the
+    /// unwind left behind, reload every owned engine from its durable
+    /// contents, pin the budgets to the floor (freeing the remainder for
+    /// sibling shards while quarantined — the tree replans at the next
+    /// round), and rejoin the command loop.
+    fn respawn(&mut self) {
+        let first = self.engines.first().map_or(0, |&(s, _)| s);
+        let restarts = u64::from(self.restarts);
+        self.telemetry.emit(|| TraceEvent::ShardPanicked {
+            shard: first as u64,
+            restarts,
+        });
+        let _ = self.arbiter_tx.send(ArbiterMsg::WorkerPanicked {
+            thread: self.thread,
+        });
+        let mut pages_lost = 0u64;
+        for (_, e) in &mut self.engines {
+            pages_lost += e.power_failure().pages_lost;
+            e.recover();
+            // Free after recovery (nothing is dirty), and it keeps the
+            // cluster-wide sum of assigned budgets under the battery while
+            // the arbiter hands this thread's share to siblings.
+            e.set_dirty_budget(self.min_per_shard);
+        }
+        self.publish_dirty();
+        self.telemetry.emit(|| TraceEvent::ShardRespawned {
+            shard: first as u64,
+            pages_lost,
+        });
+        let _ = self.arbiter_tx.send(ArbiterMsg::WorkerRecovered {
+            thread: self.thread,
+        });
     }
 
     fn record_error(&self, e: ViyojitError) {
@@ -453,8 +536,13 @@ impl<B: DirtyTracker> Worker<B> {
                 stats: Self::snapshot(*shard, e),
             });
         }
+        // Power cut between the stats upload and the grant download: the
+        // arbiter holds this worker's demand but no grant was applied.
+        if let Some((_, e)) = self.engines.first() {
+            fault_sim::crashpoint!(e.crashes(), BudgetRound);
+        }
         loop {
-            match self.grant_rx.recv() {
+            match self.grant_rx.recv_timeout(ROUND_TIMEOUT) {
                 Ok(GrantMsg::Shrink(rid, grants)) if rid == id => {
                     for g in grants {
                         let idx = self.engine_idx(g.shard);
@@ -477,7 +565,13 @@ impl<B: DirtyTracker> Worker<B> {
                 }
                 Ok(GrantMsg::Done(rid)) if rid == id => break,
                 Ok(_) => continue, // stale message from an aborted round
-                Err(_) => break,   // arbiter gone: runtime is shutting down
+                Err(RecvTimeoutError::Timeout) => {
+                    // The arbiter is wedged: surface it and rejoin the
+                    // command loop rather than hang the data plane.
+                    self.record_error(ViyojitError::RoundTimeout);
+                    break;
+                }
+                Err(RecvTimeoutError::Disconnected) => break, // shutting down
             }
         }
         self.publish_dirty();
@@ -557,6 +651,16 @@ struct ArbiterThread {
     /// First shard of a worker thread known to have died; poisons all
     /// subsequent rounds.
     dead: Option<usize>,
+    /// Threads quarantined by supervision: panicked, restoring from
+    /// durable state. Their shards take part in rounds with synthesized
+    /// floor-pinned zero-demand stats, so the tree's burst-first reclaim
+    /// hands their budget to siblings until `WorkerRecovered` lifts it.
+    quarantined: Vec<bool>,
+    /// Threads that dropped out of the round currently in flight (they
+    /// panicked after it started): recovery lifts `quarantined`, but a
+    /// rejoined worker only participates again from the *next* round, so
+    /// barrier and stats accounting for this round must still skip it.
+    round_down: Vec<bool>,
 }
 
 impl ArbiterThread {
@@ -573,6 +677,12 @@ impl ArbiterThread {
                 ArbiterMsg::ThreadDown { first_shard } => {
                     self.dead.get_or_insert(first_shard);
                 }
+                ArbiterMsg::WorkerPanicked { thread } => {
+                    self.quarantined[thread] = true;
+                }
+                ArbiterMsg::WorkerRecovered { thread } => {
+                    self.quarantined[thread] = false;
+                }
                 // Stale round traffic from an aborted round.
                 ArbiterMsg::Stats { .. }
                 | ArbiterMsg::ShrinkDone { .. }
@@ -581,30 +691,71 @@ impl ArbiterThread {
         }
     }
 
+    /// The error a permanently dead worker maps to.
+    fn dead_error(&self) -> ViyojitError {
+        ViyojitError::ShardFailed {
+            shard: self.dead.unwrap_or(0),
+        }
+    }
+
     /// Releases every worker possibly blocked on its grant channel, then
-    /// fails the round.
-    fn abort_round(&mut self, id: u64) -> Result<(), ViyojitError> {
+    /// hands `err` back for the round's failure.
+    fn abort_round(&mut self, id: u64, err: ViyojitError) -> ViyojitError {
         for tx in &self.grant_txs {
             let _ = tx.send(GrantMsg::Done(id));
         }
-        Err(ViyojitError::ShardFailed {
-            shard: self.dead.unwrap_or(0),
-        })
+        err
     }
 
-    /// Collects one `ShardStats` per shard for round `id` (the `pick`ed
-    /// message kind), aborting if a worker dies.
-    fn collect_stats(
-        &mut self,
-        id: u64,
-        commits: bool,
-    ) -> Result<Option<Vec<ShardStats>>, ViyojitError> {
+    /// Synthesized report for a down thread's shard: floor budget, zero
+    /// demand — exactly what its respawning worker pins, and what makes
+    /// the tree's plan reclaim the freed budget for siblings burst-first.
+    fn quarantine_stats(&self, shard: usize) -> ShardStats {
+        ShardStats {
+            shard,
+            stats: ViyojitStats::default(),
+            dirty_pages: 0,
+            budget_pages: self.tree.min_per_shard(),
+        }
+    }
+
+    /// Fills every unanswered slot owned by `thread` with synthesized
+    /// quarantine stats, returning how many were newly filled.
+    fn synthesize_thread(&self, thread: usize, out: &mut [Option<ShardStats>]) -> usize {
+        let mut filled = 0;
+        for (s, slot) in out.iter_mut().enumerate() {
+            if self.thread_of_shard[s] == thread && slot.is_none() {
+                *slot = Some(self.quarantine_stats(s));
+                filled += 1;
+            }
+        }
+        filled
+    }
+
+    /// Marks `thread` down for the in-flight round (and quarantined for
+    /// planning) when its panic arrives mid-round.
+    fn mark_round_down(&mut self, thread: usize) {
+        self.quarantined[thread] = true;
+        self.round_down[thread] = true;
+    }
+
+    /// Collects one `ShardStats` per shard for round `id` (the picked
+    /// message kind), synthesizing down threads' shards and aborting if a
+    /// worker dies outright or stays silent past the deadline.
+    fn collect_stats(&mut self, id: u64, commits: bool) -> Result<Vec<ShardStats>, ViyojitError> {
         let n = self.tree.members();
         let mut out: Vec<Option<ShardStats>> = vec![None; n];
         let mut got = 0;
+        for t in 0..self.grant_txs.len() {
+            if self.round_down[t] {
+                got += self.synthesize_thread(t, &mut out);
+            }
+        }
         while got < n {
-            match self.rx.recv() {
+            match self.rx.recv_timeout(ROUND_TIMEOUT) {
                 Ok(ArbiterMsg::Stats { round, stats }) if !commits && round == id => {
+                    // A down thread's real report (it respawned before
+                    // joining the round) replaces the synthesized one.
                     if out[stats.shard].replace(stats).is_none() {
                         got += 1;
                     }
@@ -614,34 +765,41 @@ impl ArbiterThread {
                         got += 1;
                     }
                 }
+                Ok(ArbiterMsg::WorkerPanicked { thread }) => {
+                    self.mark_round_down(thread);
+                    got += self.synthesize_thread(thread, &mut out);
+                }
+                Ok(ArbiterMsg::WorkerRecovered { thread }) => {
+                    self.quarantined[thread] = false;
+                }
                 Ok(ArbiterMsg::ThreadDown { first_shard }) => {
                     self.dead.get_or_insert(first_shard);
-                    return self.abort_round(id).map(|()| None);
+                    let err = self.dead_error();
+                    return Err(self.abort_round(id, err));
                 }
                 Ok(_) => continue, // stale traffic from an aborted round
-                Err(_) => {
-                    return Err(ViyojitError::ShardFailed {
-                        shard: self.dead.unwrap_or(0),
-                    })
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(self.abort_round(id, ViyojitError::RoundTimeout));
                 }
+                Err(RecvTimeoutError::Disconnected) => return Err(self.dead_error()),
             }
         }
-        Ok(Some(
-            out.into_iter()
-                .map(|s| s.expect("all slots filled"))
-                .collect(),
-        ))
+        Ok(out
+            .into_iter()
+            .map(|s| s.expect("all slots filled"))
+            .collect())
     }
 
     fn run_round(&mut self, id: u64, kind: RoundKind) -> Result<(), ViyojitError> {
         if self.dead.is_some() {
-            return self.abort_round(id);
+            let err = self.dead_error();
+            return Err(self.abort_round(id, err));
         }
-        let Some(before) = self.collect_stats(id, false)? else {
-            return Err(ViyojitError::ShardFailed {
-                shard: self.dead.unwrap_or(0),
-            });
-        };
+        // Threads quarantined at round start are down for the whole round
+        // even if they recover mid-round: a rejoined worker participates
+        // again from the next round on (stale grants are skipped by id).
+        self.round_down.copy_from_slice(&self.quarantined);
+        let before = self.collect_stats(id, false)?;
         match kind {
             RoundKind::Demand => {}
             // Pre-validated by the control handle, so this cannot panic.
@@ -652,33 +810,34 @@ impl ArbiterThread {
         let targets = self.tree.plan(&before_stats);
 
         // Shrink phase: grants where the target is below the pre-round
-        // budget, applied (with stalls) before anyone grows.
+        // budget, applied (with stalls) before anyone grows. Down threads
+        // never answer — and never need to: a panicked worker pins its
+        // engines to the floor, so it has nothing to shrink and the
+        // instantaneous budget sum stays under the battery regardless.
         self.send_grants(id, &before, &targets, true)?;
         let threads = self.grant_txs.len();
         let mut done = 0;
-        while done < threads {
-            match self.rx.recv() {
+        while done < threads - self.round_down.iter().filter(|&&d| d).count() {
+            match self.rx.recv_timeout(ROUND_TIMEOUT) {
                 Ok(ArbiterMsg::ShrinkDone { round }) if round == id => done += 1,
+                Ok(ArbiterMsg::WorkerPanicked { thread }) => self.mark_round_down(thread),
+                Ok(ArbiterMsg::WorkerRecovered { thread }) => self.quarantined[thread] = false,
                 Ok(ArbiterMsg::ThreadDown { first_shard }) => {
                     self.dead.get_or_insert(first_shard);
-                    return self.abort_round(id);
+                    let err = self.dead_error();
+                    return Err(self.abort_round(id, err));
                 }
                 Ok(_) => continue,
-                Err(_) => {
-                    return Err(ViyojitError::ShardFailed {
-                        shard: self.dead.unwrap_or(0),
-                    })
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(self.abort_round(id, ViyojitError::RoundTimeout));
                 }
+                Err(RecvTimeoutError::Disconnected) => return Err(self.dead_error()),
             }
         }
 
         // Grow phase; workers answer with their post-apply commit stats.
         self.send_grants(id, &before, &targets, false)?;
-        let Some(after) = self.collect_stats(id, true)? else {
-            return Err(ViyojitError::ShardFailed {
-                shard: self.dead.unwrap_or(0),
-            });
-        };
+        let after = self.collect_stats(id, true)?;
         let after_stats: Vec<ViyojitStats> = after.iter().map(|s| s.stats).collect();
         self.tree.commit(&after_stats);
         self.publish_metrics(&after);
@@ -717,7 +876,8 @@ impl ArbiterThread {
             };
             if tx.send(msg).is_err() {
                 self.dead.get_or_insert(t);
-                return self.abort_round(id);
+                let err = self.dead_error();
+                return Err(self.abort_round(id, err));
             }
         }
         Ok(())
@@ -868,6 +1028,10 @@ pub(super) fn spawn_parallel<B: DirtyTracker + Send + 'static>(
                 {
                     e.attach_faults(plan.clone());
                 }
+                // Clones share the schedule's fire-at-most-once latch, so
+                // one cluster-wide crash fires no matter which shard's
+                // seam reaches the armed ordinal first.
+                e.attach_crashes(b.crashes.clone());
                 (s, e)
             })
             .collect();
@@ -890,6 +1054,11 @@ pub(super) fn spawn_parallel<B: DirtyTracker + Send + 'static>(
             dirty_map: Arc::clone(&dirty_map),
             stride,
             error: Arc::clone(&error),
+            thread: t,
+            restart_budget: b.restart_budget,
+            restarts: 0,
+            min_per_shard: b.min_per_shard,
+            telemetry: b.telemetry.clone(),
         };
         joins.push(
             std::thread::Builder::new()
@@ -908,6 +1077,8 @@ pub(super) fn spawn_parallel<B: DirtyTracker + Send + 'static>(
         gauge_names: names.iter().map(|&(d, g, _)| (d, g)).collect(),
         tenant_metric_names: tenant_metric_names.clone(),
         dead: None,
+        quarantined: vec![false; threads],
+        round_down: vec![false; threads],
     };
     let arbiter_join = std::thread::Builder::new()
         .name("viyojit-arbiter".to_string())
@@ -1052,7 +1223,10 @@ impl ShardDataHandle {
     ) -> Result<T, ViyojitError> {
         let (tx, rx) = channel();
         self.runtime.send_to_thread(thread, make(tx))?;
-        rx.recv().map_err(|_| self.runtime.thread_failed(thread))
+        rx.recv_timeout(ROUND_TIMEOUT).map_err(|e| match e {
+            RecvTimeoutError::Timeout => ViyojitError::RoundTimeout,
+            RecvTimeoutError::Disconnected => self.runtime.thread_failed(thread),
+        })
     }
 }
 
@@ -1238,11 +1412,18 @@ impl ShardControlHandle {
         }
         pending
             .into_iter()
-            .map(|(t, rx)| rx.recv().map_err(|_| self.runtime.thread_failed(t)))
+            .map(|(t, rx)| {
+                rx.recv_timeout(ROUND_TIMEOUT).map_err(|e| match e {
+                    RecvTimeoutError::Timeout => ViyojitError::RoundTimeout,
+                    RecvTimeoutError::Disconnected => self.runtime.thread_failed(t),
+                })
+            })
             .collect()
     }
 
-    fn shard_stats(&mut self) -> Result<Vec<ShardStats>, ViyojitError> {
+    /// One [`ShardStats`] per shard, ascending by shard index — the same
+    /// per-shard view the arbiter collects at the start of a round.
+    pub fn shard_stats(&mut self) -> Result<Vec<ShardStats>, ViyojitError> {
         let mut all = Vec::with_capacity(self.runtime.shards);
         for reply in self.query_all(|| CtrlQuery::Stats)? {
             if let CtrlReply::Stats(mut s) = reply {
@@ -1394,8 +1575,10 @@ impl ShardControlPlane for ShardControlHandle {
         let _rs = runtime.lock_rounds();
         let (tx, rx) = channel();
         runtime.arbiter_send(ArbiterMsg::Rebalances { reply: tx })?;
-        rx.recv()
-            .map_err(|_| ViyojitError::ShardFailed { shard: 0 })
+        rx.recv_timeout(ROUND_TIMEOUT).map_err(|e| match e {
+            RecvTimeoutError::Timeout => ViyojitError::RoundTimeout,
+            RecvTimeoutError::Disconnected => ViyojitError::ShardFailed { shard: 0 },
+        })
     }
 
     fn check_invariants(&mut self) -> Result<(), ViyojitError> {

@@ -315,6 +315,15 @@ impl<B: DirtyTracker> ShardedViyojit<B> {
         }
     }
 
+    /// Attaches one crash schedule to every shard (clones share the one
+    /// armed `(point, hit)` pair, so the whole cluster crashes at most
+    /// once).
+    pub(crate) fn install_crashes(&mut self, crashes: fault_sim::CrashSchedule) {
+        for shard in &mut self.shards {
+            shard.attach_crashes(crashes.clone());
+        }
+    }
+
     /// Simulates a global power failure: every shard flushes its counted
     /// dirty pages. The battery obligation is the page *sum* but the drain
     /// *time* is the slowest shard — shards flush to independent SSDs in
@@ -540,6 +549,12 @@ impl<B: DirtyTracker> ShardedViyojit<B> {
     pub fn rebalance(&mut self) {
         let before: Vec<ViyojitStats> = self.shards.iter().map(|s| s.stats()).collect();
         let targets = self.tree.plan(&before);
+        // Power cut mid-rebalance: targets planned, no engine touched yet
+        // (the shrink/grow seam inside apply_budgets is a second, later
+        // crashpoint).
+        if let Some(shard) = self.shards.first() {
+            fault_sim::crashpoint!(shard.crashes(), Rebalance);
+        }
         let frames: Vec<&'static str> = self.metric_names.iter().map(|n| n.frame).collect();
         apply_budgets(&mut self.shards, &targets, &self.profiler, &frames);
         let after: Vec<ViyojitStats> = self.shards.iter().map(|s| s.stats()).collect();

@@ -39,6 +39,10 @@ pub enum ViyojitError {
         /// Index of the first affected shard.
         shard: usize,
     },
+    /// A parallel worker failed to answer within the round deadline: it is
+    /// wedged (alive but unresponsive), so the cluster aborted the round
+    /// instead of blocking forever.
+    RoundTimeout,
 }
 
 /// A broken internal invariant, as reported by the non-panicking
@@ -172,6 +176,9 @@ impl fmt::Display for ViyojitError {
             ViyojitError::Invariant(v) => write!(f, "invariant violated: {v}"),
             ViyojitError::ShardFailed { shard } => {
                 write!(f, "shard {shard}'s worker thread died and cannot serve requests")
+            }
+            ViyojitError::RoundTimeout => {
+                write!(f, "a worker thread failed to answer within the round deadline")
             }
         }
     }

@@ -84,7 +84,7 @@ pub use engine::{
     DegradedMode, DirtyTracker, Engine, EngineCore, FullDirty, MmuAssisted, ShardControlHandle,
     ShardControlPlane, ShardDataHandle, ShardDataPlane, ShardStats, ShardedViyojit,
     ShardedViyojitBuilder, SoftwareWalk, TenantId, TenantQos, TenantStats, MAX_FLUSH_ATTEMPTS,
-    RETRY_BACKOFF_BASE, RETRY_BACKOFF_MAX,
+    RETRY_BACKOFF_BASE, RETRY_BACKOFF_MAX, ROUND_TIMEOUT,
 };
 pub use error::{InvariantViolation, ViyojitError};
 pub use heap::NvHeap;
@@ -99,8 +99,8 @@ pub use stats::ViyojitStats;
 pub use store::NvStore;
 
 // Re-export the fault-injection vocabulary so tests and benches can seed
-// plans without naming the fault-sim crate directly.
-pub use fault_sim::{FaultConfig, FaultPlan, FaultStats};
+// plans and crash schedules without naming the fault-sim crate directly.
+pub use fault_sim::{CrashSchedule, CrashSignal, Crashpoint, FaultConfig, FaultPlan, FaultStats};
 
 // Re-export the telemetry vocabulary so stores and drivers can be
 // instrumented without naming the telemetry crate directly.

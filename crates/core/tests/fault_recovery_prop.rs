@@ -12,6 +12,7 @@
 //! in the panic message.
 
 use std::fs;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 
 use battery_sim::{Battery, BatteryConfig, PowerModel};
@@ -19,9 +20,9 @@ use mem_sim::PAGE_SIZE;
 use sim_clock::{Clock, CostModel, SimDuration};
 use ssd_sim::SsdConfig;
 use viyojit::{
-    DegradationConfig, DegradationGovernor, DegradedMode, DirtyTracker, Engine, FaultConfig,
-    FaultPlan, FlushOutcome, FullDirty, JsonlSink, MmuAssisted, NvHeap, PowerFailureReport,
-    ShardedViyojitBuilder, SoftwareWalk, Telemetry, ViyojitConfig,
+    CrashSchedule, CrashSignal, DegradationConfig, DegradationGovernor, DegradedMode, DirtyTracker,
+    Engine, FaultConfig, FaultPlan, FlushOutcome, FullDirty, JsonlSink, MmuAssisted, NvHeap,
+    PowerFailureReport, ShardedViyojitBuilder, SoftwareWalk, Telemetry, ViyojitConfig,
 };
 
 const PAGE: u64 = PAGE_SIZE as u64;
@@ -226,6 +227,81 @@ fn same_seed_reproduces_the_same_partial_flush() {
         a.check(
             a.post == b.post,
             "same seed must reproduce the same post-recovery memory",
+        );
+    }
+}
+
+/// One crash-armed storm life: the seeded [`CrashSchedule`] picks its own
+/// crashpoint and ordinal, the workload (or the emergency flush itself)
+/// trips it, and recovery runs from the exact intermediate state the
+/// unwind left behind. Returns the firing, the final report, and the
+/// post-recovery memory so the determinism property can compare runs.
+fn crash_storm_scenario(seed: u64) -> (Option<CrashSignal>, PowerFailureReport, Vec<u8>) {
+    let clock = Clock::new();
+    let ssd_config = SsdConfig::datacenter();
+    let crashes = CrashSchedule::seeded(seed);
+    let mut nv = Engine::<SoftwareWalk>::new(
+        TOTAL_PAGES,
+        ViyojitConfig::with_budget_pages(BUDGET),
+        clock,
+        CostModel::calibrated(),
+        ssd_config.clone(),
+    );
+    nv.attach_faults(FaultPlan::seeded(seed, FaultConfig::storm(STORM_RATE)));
+    nv.attach_crashes(crashes.clone());
+    let region = nv.map(REGION_PAGES * PAGE).expect("map");
+
+    let mut rng = seed;
+    let workload = catch_unwind(AssertUnwindSafe(|| {
+        for _ in 0..WRITES {
+            let page = splitmix64(&mut rng) % REGION_PAGES;
+            let offset = splitmix64(&mut rng) % (PAGE - 8);
+            let fill = splitmix64(&mut rng) as u8;
+            nv.write(region, page * PAGE + offset, &[fill; 8])
+                .expect("write");
+        }
+    }));
+    if let Err(payload) = workload {
+        payload
+            .downcast::<CrashSignal>()
+            .expect("only injected crashes unwind the workload");
+    }
+
+    let power = PowerModel::datacenter_server(0.064);
+    let needed = ssd_config.drain_time(BUDGET * PAGE).as_secs_f64() * power.total_watts();
+    let battery = Battery::new(
+        BatteryConfig::with_capacity_joules(needed * (1.0 + (seed % 4) as f64))
+            .with_depth_of_discharge(1.0),
+    );
+    // The armed point may sit inside the emergency flush itself
+    // (emergency_retry); the schedule is latched, so the re-run flushes
+    // the remaining obligation without re-firing.
+    let report = catch_unwind(AssertUnwindSafe(|| {
+        nv.power_failure_powered(&battery, &power)
+    }))
+    .unwrap_or_else(|_| nv.power_failure_powered(&battery, &power));
+    nv.recover();
+    let mut post = vec![0u8; (REGION_PAGES * PAGE) as usize];
+    nv.read(region, 0, &mut post).expect("read post-recovery");
+    (crashes.fired(), report, post)
+}
+
+#[test]
+fn same_seed_fires_the_same_crashpoint_and_report() {
+    for seed in seeds() {
+        let (fired_a, report_a, post_a) = crash_storm_scenario(seed);
+        let (fired_b, report_b, post_b) = crash_storm_scenario(seed);
+        assert_eq!(
+            fired_a, fired_b,
+            "[seed {seed}] the same FAULT_SEED must fire the same crashpoint"
+        );
+        assert_eq!(
+            report_a, report_b,
+            "[seed {seed}] the same FAULT_SEED must reproduce the same report"
+        );
+        assert_eq!(
+            post_a, post_b,
+            "[seed {seed}] the same FAULT_SEED must reproduce the same durable state"
         );
     }
 }

@@ -30,8 +30,10 @@
 //! }
 //! ```
 
+mod crash;
 mod plan;
 mod rng;
 
+pub use crash::{CrashSchedule, CrashSignal, Crashpoint};
 pub use plan::{FaultConfig, FaultPlan, FaultStats, SsdWriteFault};
 pub use rng::FaultRng;

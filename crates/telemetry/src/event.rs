@@ -172,6 +172,31 @@ pub enum TraceEvent {
         /// restored QoS capacity (possibly `u64::MAX`) when lifted.
         cap_pages: u64,
     },
+    /// A crash schedule fired: the run is about to unwind from the named
+    /// state-mutation seam, modelling an instantaneous power cut there.
+    CrashInjected {
+        /// Stable crashpoint name (the seam that fired).
+        point: &'static str,
+        /// Which hit of the seam fired, 1-based.
+        hit: u64,
+    },
+    /// A parallel worker thread panicked; its shards are quarantined while
+    /// it recovers from durable state.
+    ShardPanicked {
+        /// First shard owned by the panicked thread.
+        shard: u64,
+        /// Self-recoveries this worker has performed so far, including
+        /// the one this panic triggers.
+        restarts: u64,
+    },
+    /// A panicked worker finished recovering its shards from durable state
+    /// and rejoined the cluster.
+    ShardRespawned {
+        /// First shard owned by the recovered thread.
+        shard: u64,
+        /// Pages lost across the thread's shards during the crash flush.
+        pages_lost: u64,
+    },
     /// An executed emergency flush finished (successfully or not).
     EmergencyFlush {
         /// Pages that reached durability (including presumed-durable clean
@@ -202,6 +227,9 @@ impl TraceEvent {
             TraceEvent::PageLost { .. } => "page_lost",
             TraceEvent::DegradedModeChanged { .. } => "degraded_mode_changed",
             TraceEvent::TenantThrottled { .. } => "tenant_throttled",
+            TraceEvent::CrashInjected { .. } => "crash_injected",
+            TraceEvent::ShardPanicked { .. } => "shard_panicked",
+            TraceEvent::ShardRespawned { .. } => "shard_respawned",
             TraceEvent::EmergencyFlush { .. } => "emergency_flush",
         }
     }
@@ -275,6 +303,15 @@ impl fmt::Display for TraceEvent {
                 f,
                 "tenant={tenant} throttled={throttled} cap_pages={cap_pages}"
             ),
+            TraceEvent::CrashInjected { point, hit } => {
+                write!(f, "point={point} hit={hit}")
+            }
+            TraceEvent::ShardPanicked { shard, restarts } => {
+                write!(f, "shard={shard} restarts={restarts}")
+            }
+            TraceEvent::ShardRespawned { shard, pages_lost } => {
+                write!(f, "shard={shard} pages_lost={pages_lost}")
+            }
             TraceEvent::EmergencyFlush {
                 pages_flushed,
                 pages_lost,
@@ -371,6 +408,28 @@ mod tests {
         };
         assert_eq!(done.kind(), "emergency_flush");
         assert_eq!(done.to_string(), "pages_flushed=30 pages_lost=2 retries=5");
+    }
+
+    #[test]
+    fn crash_and_supervision_events_render_key_value_payloads() {
+        let crash = TraceEvent::CrashInjected {
+            point: "flush_in_flight",
+            hit: 2,
+        };
+        assert_eq!(crash.kind(), "crash_injected");
+        assert_eq!(crash.to_string(), "point=flush_in_flight hit=2");
+        let panicked = TraceEvent::ShardPanicked {
+            shard: 3,
+            restarts: 1,
+        };
+        assert_eq!(panicked.kind(), "shard_panicked");
+        assert_eq!(panicked.to_string(), "shard=3 restarts=1");
+        let respawned = TraceEvent::ShardRespawned {
+            shard: 3,
+            pages_lost: 0,
+        };
+        assert_eq!(respawned.kind(), "shard_respawned");
+        assert_eq!(respawned.to_string(), "shard=3 pages_lost=0");
     }
 
     #[test]

@@ -30,6 +30,12 @@ fi
 
 status=0
 for f in fault_storm_5.csv shard_scaling.csv fig7.csv tenant_storm.csv; do
+    if [[ ! -f "$golden/$f" ]]; then
+        echo "gate: MISSING golden $golden/$f — run scripts/regression_gate.sh --bless" \
+             "after reviewing the new bench output" >&2
+        status=1
+        continue
+    fi
     if cmp -s "$golden/$f" "$out/$f"; then
         echo "gate: $f identical"
     else
