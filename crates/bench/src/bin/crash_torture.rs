@@ -305,6 +305,12 @@ fn main() {
         .map(|s| s.parse().expect("seeds-per-cell must be a number"))
         .unwrap_or(10);
     let mut report = Report::stdout_csv();
+    report.meta(&telemetry::RunMeta::new(
+        "crash_torture",
+        "Viyojit",
+        &format!("seeds_per_cell={seeds} storm_rate={STORM_RATE}"),
+        Some(42),
+    ));
 
     report.section("crash-point torture: survival and loss per seam");
     report.columns(&[

@@ -162,6 +162,16 @@ fn report_json(mode: &str, host_cores: usize, cells: &[Cell]) -> String {
     out.push_str("{\n");
     out.push_str("  \"bench\": \"shard_wallclock\",\n");
     out.push_str("  \"schema_version\": 1,\n");
+    let meta = telemetry::RunMeta::new(
+        "shard_wallclock",
+        "Viyojit",
+        &format!("mode={mode} shards={SHARDS}"),
+        None,
+    );
+    out.push_str(&format!(
+        "  \"meta\": {},\n",
+        viyojit_bench::meta_json(&meta)
+    ));
     out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
     out.push_str(&format!("  \"host_cores\": {host_cores},\n"));
     out.push_str(&format!("  \"shards\": {SHARDS},\n"));

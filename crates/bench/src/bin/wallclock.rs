@@ -387,6 +387,11 @@ fn report_json(mode: &str, cells: &[Cell]) -> String {
     out.push_str("{\n");
     out.push_str("  \"bench\": \"wallclock\",\n");
     out.push_str("  \"schema_version\": 1,\n");
+    let meta = telemetry::RunMeta::new("wallclock", "host", &format!("mode={mode}"), None);
+    out.push_str(&format!(
+        "  \"meta\": {},\n",
+        viyojit_bench::meta_json(&meta)
+    ));
     out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
     out.push_str(
         "  \"note\": \"ns figures are host wall-clock per operation; baseline_* times an \

@@ -38,5 +38,5 @@ pub use driver::{
     DEFAULT_RECORDS_PER_GB_UNIT, PAGES_PER_GB_UNIT, VALUE_BYTES,
 };
 pub use profile::{ProfileCapture, PROFILE_ENV};
-pub use report::{csv_stdout, CsvSink, JsonlSink, NullSink, Report, Sink};
+pub use report::{csv_stdout, meta_json, CsvSink, JsonlSink, NullSink, Report, Sink};
 pub use telemetry::{note, row};

@@ -9,6 +9,22 @@
 
 pub use telemetry::{csv_stdout, CsvSink, JsonlSink, NullSink, Report, Sink};
 
+/// Renders a [`RunMeta`](telemetry::RunMeta) as an inline JSON object
+/// for the crate's hand-rolled JSON artifacts (`BENCH_*.json`), carrying
+/// the same run identity the JSONL trace path writes as its `meta`
+/// record: writer version, bench name, backend label, config hash, and
+/// the fault seed (or `null`).
+pub fn meta_json(meta: &telemetry::RunMeta) -> String {
+    let seed = meta
+        .fault_seed
+        .map_or_else(|| "null".to_string(), |s| s.to_string());
+    format!(
+        "{{\"version\": \"{}\", \"bench\": \"{}\", \"backend\": \"{}\", \
+         \"config_hash\": \"{:016x}\", \"fault_seed\": {seed}}}",
+        meta.version, meta.bench, meta.backend, meta.config_hash
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -16,11 +16,12 @@
 //!   the split [`ShardDataHandle`] / [`ShardControlHandle`] pair.
 
 use std::marker::PhantomData;
+use std::sync::Arc;
 
 use fault_sim::{CrashSchedule, FaultPlan};
 use sim_clock::{Clock, CostModel, SimDuration};
 use ssd_sim::SsdConfig;
-use telemetry::{Profiler, Telemetry};
+use telemetry::{ExporterConfig, FlightRecorder, Profiler, Telemetry};
 
 use crate::{ViyojitConfig, ViyojitError};
 
@@ -91,6 +92,8 @@ pub struct ShardedViyojitBuilder<B: DirtyTracker = SoftwareWalk> {
     pub(super) crashes: CrashSchedule,
     pub(super) restart_budget: u32,
     pub(super) tenants: Vec<TenantSpec>,
+    pub(super) flight: Option<Arc<FlightRecorder>>,
+    pub(super) exporter: Option<ExporterConfig>,
     backend: PhantomData<B>,
 }
 
@@ -119,6 +122,8 @@ impl ShardedViyojitBuilder<SoftwareWalk> {
             crashes: CrashSchedule::none(),
             restart_budget: 0,
             tenants: Vec::new(),
+            flight: None,
+            exporter: None,
             backend: PhantomData,
         }
     }
@@ -143,6 +148,8 @@ impl<B: DirtyTracker> ShardedViyojitBuilder<B> {
             crashes: self.crashes,
             restart_budget: self.restart_budget,
             tenants: self.tenants,
+            flight: self.flight,
+            exporter: self.exporter,
             backend: PhantomData,
         }
     }
@@ -213,6 +220,28 @@ impl<B: DirtyTracker> ShardedViyojitBuilder<B> {
     /// there unwind to the caller directly.
     pub fn restart_budget(mut self, restarts: u32) -> Self {
         self.restart_budget = restarts;
+        self
+    }
+
+    /// Arms the flight recorder: every supervised crash seam (worker
+    /// panic, injected crash signal, round timeout, the degradation
+    /// governor entering degraded mode) dumps the crashing thread's
+    /// recent trace window as `postmortem-<label>.jsonl` into the
+    /// recorder's directory. Render a dump with
+    /// `viyojit-trace postmortem <dump>`.
+    pub fn flight_recorder(mut self, flight: FlightRecorder) -> Self {
+        self.flight = Some(Arc::new(flight));
+        self
+    }
+
+    /// Enables the live metrics exporter: a background thread
+    /// periodically renders the merged telemetry registry (plus
+    /// wall-clock histograms) in Prometheus text exposition format to
+    /// `config.path`, and optionally answers HTTP scrapes when
+    /// `config.listen` is set. Stops (after a final render) when the
+    /// deployment is dropped.
+    pub fn exporter(mut self, config: ExporterConfig) -> Self {
+        self.exporter = Some(config);
         self
     }
 
@@ -372,6 +401,8 @@ impl<B: DirtyTracker> ShardedViyojitBuilder<B> {
                 nv.install_tenant_faults(TenantId(t), faults.clone());
             }
         }
+        nv.install_flight(self.flight);
+        nv.install_exporter(self.exporter);
         Ok(nv)
     }
 

@@ -48,7 +48,7 @@ use fault_sim::{crashpoint, CrashSchedule, FaultPlan};
 use mem_sim::{AccessError, Mmu, MmuStats, PageId, TlbStats, PAGE_SIZE};
 use sim_clock::{Clock, CostModel, SimTime};
 use ssd_sim::{Ssd, SsdConfig, SsdStats};
-use telemetry::{CostClass, FlushReason, Profiler, Telemetry, TraceEvent};
+use telemetry::{CostClass, FlushReason, Profiler, Telemetry, TraceEvent, WallKind};
 
 use crate::{
     InvariantViolation, NvHeap, PowerFailureReport, PressureEstimator, RegionId, RegionInfo,
@@ -346,8 +346,11 @@ impl<B: DirtyTracker> Engine<B> {
     /// retries exhaust. Use [`Engine::power_failure_powered`] to race a
     /// real battery.
     pub fn power_failure(&mut self) -> PowerFailureReport {
+        let wall = self.core.telemetry.wall_start();
         let obligation = B::failure_obligation(&mut self.core, &mut self.backend);
-        emergency::execute(&mut self.core, obligation, None)
+        let report = emergency::execute(&mut self.core, obligation, None);
+        self.core.telemetry.record_wall(WallKind::Emergency, wall);
+        report
     }
 
     /// Simulates a power failure while `battery` drains at `power`'s
@@ -363,8 +366,11 @@ impl<B: DirtyTracker> Engine<B> {
         battery: &Battery,
         power: &PowerModel,
     ) -> PowerFailureReport {
+        let wall = self.core.telemetry.wall_start();
         let obligation = B::failure_obligation(&mut self.core, &mut self.backend);
-        emergency::execute(&mut self.core, obligation, Some((battery, power)))
+        let report = emergency::execute(&mut self.core, obligation, Some((battery, power)));
+        self.core.telemetry.record_wall(WallKind::Emergency, wall);
+        report
     }
 
     /// Feeds the degradation governor fresh signals (the battery gauge's
@@ -627,6 +633,7 @@ pub(crate) fn issue_flush<B: DirtyTracker>(
     victim: PageId,
     reason: FlushReason,
 ) {
+    let wall = core.telemetry.wall_start();
     core.telemetry.emit(|| TraceEvent::FlushIssued {
         page: victim.0,
         reason,
@@ -676,6 +683,7 @@ pub(crate) fn issue_flush<B: DirtyTracker>(
         FlushReason::Proactive => core.stats.proactive_flushes += 1,
         FlushReason::Forced => core.stats.forced_flushes += 1,
     }
+    core.telemetry.record_wall(WallKind::Flush, wall);
 }
 
 /// Stalls (advancing the virtual clock through SSD completions) until at

@@ -67,10 +67,14 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use battery_sim::{Battery, PowerModel};
+use fault_sim::CrashSignal;
 use mem_sim::AtomicBitmap2L;
 use sim_clock::{Clock, SimDuration, SimTime};
 use ssd_sim::SsdStats;
-use telemetry::{intern_metric_name, Profiler, Telemetry, TenantMetricNames, TraceEvent};
+use telemetry::{
+    intern_metric_name, FlightRecorder, Profiler, Telemetry, TenantMetricNames, TraceEvent,
+    WallKind,
+};
 
 use crate::{
     FlushOutcome, InvariantViolation, NvHeap, PowerFailureReport, RegionId, ViyojitError,
@@ -345,6 +349,15 @@ impl Drop for Runtime {
 // Worker threads
 // ----------------------------------------------------------------------
 
+/// Classifies a caught panic payload into a stable postmortem trigger:
+/// an injected crash names its seam, anything else is a plain `panic`.
+fn panic_trigger(payload: &(dyn std::any::Any + Send)) -> String {
+    match payload.downcast_ref::<CrashSignal>() {
+        Some(signal) => format!("crash_signal:{}", signal.point.name()),
+        None => "panic".to_string(),
+    }
+}
+
 struct Worker<B: DirtyTracker> {
     /// `(global shard index, engine)`, ascending by shard index.
     engines: Vec<(usize, Engine<B>)>,
@@ -373,14 +386,23 @@ struct Worker<B: DirtyTracker> {
     /// The cluster's per-shard budget floor: a respawned worker pins its
     /// engines here until the next round replans them.
     min_per_shard: u64,
+    /// This worker's telemetry shard: every record locks only this
+    /// thread's own recorder, never a shared one.
     telemetry: Telemetry,
+    /// Black-box writer; a caught panic or round timeout dumps this
+    /// thread's trace window before recovery proceeds.
+    flight: Option<Arc<FlightRecorder>>,
+    /// The most recent budget round this worker participated in, stamped
+    /// into postmortem dumps.
+    last_round: u64,
 }
 
 impl<B: DirtyTracker> Worker<B> {
     fn run(mut self) {
         while let Ok(cmd) = self.rx.recv() {
             let caught = catch_unwind(AssertUnwindSafe(|| self.handle(cmd)));
-            if caught.is_err() {
+            if let Err(payload) = caught {
+                self.dump_black_box(&panic_trigger(payload.as_ref()));
                 if self.restarts < self.restart_budget {
                     self.restarts += 1;
                     self.respawn();
@@ -393,6 +415,15 @@ impl<B: DirtyTracker> Worker<B> {
                     .send(ArbiterMsg::ThreadDown { first_shard: first });
                 break;
             }
+        }
+    }
+
+    /// Dumps this thread's flight-recorder black box. Best-effort: the
+    /// crash path must never die on a full disk.
+    fn dump_black_box(&self, trigger: &str) {
+        if let Some(flight) = &self.flight {
+            let label = format!("worker{}", self.thread);
+            let _ = flight.dump(&label, trigger, self.last_round, &self.telemetry);
         }
     }
 
@@ -530,6 +561,8 @@ impl<B: DirtyTracker> Worker<B> {
     }
 
     fn participate(&mut self, id: u64) {
+        self.last_round = id;
+        let wall = self.telemetry.wall_start();
         for (shard, e) in &self.engines {
             let _ = self.arbiter_tx.send(ArbiterMsg::Stats {
                 round: id,
@@ -568,13 +601,20 @@ impl<B: DirtyTracker> Worker<B> {
                 Err(RecvTimeoutError::Timeout) => {
                     // The arbiter is wedged: surface it and rejoin the
                     // command loop rather than hang the data plane.
+                    let thread = self.thread as u64;
+                    self.telemetry
+                        .emit(|| TraceEvent::RoundTimedOut { round: id, thread });
+                    self.telemetry
+                        .metrics(|m| m.counter_add("parallel.round_timeouts", 1));
                     self.record_error(ViyojitError::RoundTimeout);
+                    self.dump_black_box("round_timeout");
                     break;
                 }
                 Err(RecvTimeoutError::Disconnected) => break, // shutting down
             }
         }
         self.publish_dirty();
+        self.telemetry.record_wall(WallKind::BudgetRound, wall);
     }
 
     fn query(&mut self, query: CtrlQuery) -> CtrlReply {
@@ -1008,6 +1048,10 @@ pub(super) fn spawn_parallel<B: DirtyTracker + Send + 'static>(
         let clock = Clock::new();
         clock.advance_to(t0);
         let profiler = b.profiler.fork(clock.clone());
+        // Each worker thread records into its own telemetry shard: the
+        // write path locks a mutex no other thread ever touches, and the
+        // parent handle merges shards on demand at snapshot time.
+        let shard_telemetry = b.telemetry.fork_shard(clock.clone());
         let engines: Vec<(usize, Engine<B>)> = owned
             .iter()
             .map(|&s| {
@@ -1020,7 +1064,7 @@ pub(super) fn spawn_parallel<B: DirtyTracker + Send + 'static>(
                     b.costs.clone(),
                     b.ssd_config.clone(),
                 );
-                e.attach_telemetry(b.telemetry.clone());
+                e.attach_telemetry(shard_telemetry.clone());
                 e.attach_profiler(profiler.clone());
                 if let Some(plan) = tenant_fault_plans[tenant_of_shard[s]]
                     .as_ref()
@@ -1058,7 +1102,9 @@ pub(super) fn spawn_parallel<B: DirtyTracker + Send + 'static>(
             restart_budget: b.restart_budget,
             restarts: 0,
             min_per_shard: b.min_per_shard,
-            telemetry: b.telemetry.clone(),
+            telemetry: shard_telemetry,
+            flight: b.flight.clone(),
+            last_round: 0,
         };
         joins.push(
             std::thread::Builder::new()
@@ -1110,15 +1156,21 @@ pub(super) fn spawn_parallel<B: DirtyTracker + Send + 'static>(
         arbiter_join: Mutex::new(Some(arbiter_join)),
     });
     let staging = (0..threads).map(|_| Vec::new()).collect();
+    let exporter = b
+        .exporter
+        .map(|config| telemetry::spawn_exporter(b.telemetry.clone(), config));
     (
         ShardDataHandle {
             runtime: Arc::clone(&runtime),
             routes: Vec::new(),
             staging,
+            telemetry: b.telemetry.clone(),
         },
         ShardControlHandle {
             runtime,
             telemetry: b.telemetry,
+            flight: b.flight,
+            exporter,
         },
     )
 }
@@ -1146,6 +1198,8 @@ pub struct ShardDataHandle {
     runtime: Arc<Runtime>,
     routes: Vec<Option<RouteEntry>>,
     staging: Vec<Vec<StagedWrite>>,
+    /// Driver-side handle, used only for wall-clock step timing.
+    telemetry: Telemetry,
 }
 
 impl std::fmt::Debug for ShardDataHandle {
@@ -1338,6 +1392,7 @@ impl ShardDataPlane for ShardDataHandle {
     /// boundary — runs one message-passing round, then fast-forwards the
     /// boundary past "now" exactly as the sequential frontend does.
     fn step(&mut self, d: SimDuration) -> Result<(), ViyojitError> {
+        let wall = self.telemetry.wall_start();
         self.flush_all()?;
         let runtime = Arc::clone(&self.runtime);
         let mut rs = runtime.lock_rounds();
@@ -1353,6 +1408,7 @@ impl ShardDataPlane for ShardDataHandle {
             }
         }
         drop(rs);
+        self.telemetry.record_wall(WallKind::Step, wall);
         runtime.take_async_error()
     }
 
@@ -1377,6 +1433,11 @@ impl ShardDataPlane for ShardDataHandle {
 pub struct ShardControlHandle {
     runtime: Arc<Runtime>,
     telemetry: Telemetry,
+    flight: Option<Arc<FlightRecorder>>,
+    /// Keeps the background exporter alive for the deployment's lifetime;
+    /// dropped (stopping the thread after a final render) with the handle.
+    #[allow(dead_code)]
+    exporter: Option<telemetry::ExporterHandle>,
 }
 
 impl std::fmt::Debug for ShardControlHandle {
@@ -1529,6 +1590,12 @@ impl ShardControlPlane for ShardControlHandle {
             degraded,
             budget_pages: budget,
         });
+        if degraded {
+            if let Some(flight) = &self.flight {
+                let last_round = self.runtime.lock_rounds().next_round_id.saturating_sub(1);
+                let _ = flight.dump("control", "degraded_mode", last_round, &self.telemetry);
+            }
+        }
         self.set_total_budget(budget)?;
         Ok(Some(budget))
     }

@@ -21,12 +21,17 @@
 //! assigns more than the battery provisions — so the cluster-wide dirty
 //! population never exceeds the global budget.
 
+use std::sync::Arc;
+
 use battery_sim::{Battery, PowerModel};
 use fault_sim::FaultPlan;
 use mem_sim::MmuStats;
 use sim_clock::{Clock, CostModel, SimDuration, SimTime};
 use ssd_sim::{SsdConfig, SsdStats};
-use telemetry::{intern_metric_name, Profiler, Telemetry, TenantMetricNames, TraceEvent};
+use telemetry::{
+    intern_metric_name, ExporterHandle, FlightRecorder, Profiler, Telemetry, TenantMetricNames,
+    TraceEvent, WallKind,
+};
 
 use crate::{
     FlushOutcome, InvariantViolation, NvHeap, PowerFailureReport, RegionId, ViyojitConfig,
@@ -88,6 +93,10 @@ pub struct ShardedViyojit<B: DirtyTracker = SoftwareWalk> {
     /// Pages each tenant lost to emergency flushes, cumulative across
     /// power failures (the per-shard reports are attributed here).
     tenant_pages_lost: Vec<u64>,
+    /// Black-box recorder; sequential mode dumps on degraded-mode entry.
+    flight: Option<Arc<FlightRecorder>>,
+    /// Live metrics exporter; stopped (with a final render) on drop.
+    exporter: Option<ExporterHandle>,
 }
 
 impl<B: DirtyTracker> ShardedViyojit<B> {
@@ -148,6 +157,8 @@ impl<B: DirtyTracker> ShardedViyojit<B> {
             metric_names,
             tenant_metric_names,
             tenant_pages_lost,
+            flight: None,
+            exporter: None,
         }
     }
 
@@ -324,6 +335,18 @@ impl<B: DirtyTracker> ShardedViyojit<B> {
         }
     }
 
+    /// Arms the flight recorder (sequential mode dumps a `control` black
+    /// box when the degradation governor enters degraded mode; panics
+    /// unwind to the caller here, so there is no panic seam to hook).
+    pub(crate) fn install_flight(&mut self, flight: Option<Arc<FlightRecorder>>) {
+        self.flight = flight;
+    }
+
+    /// Starts the live metrics exporter over this frontend's telemetry.
+    pub(crate) fn install_exporter(&mut self, config: Option<telemetry::ExporterConfig>) {
+        self.exporter = config.map(|c| telemetry::spawn_exporter(self.telemetry.clone(), c));
+    }
+
     /// Simulates a global power failure: every shard flushes its counted
     /// dirty pages. The battery obligation is the page *sum* but the drain
     /// *time* is the slowest shard — shards flush to independent SSDs in
@@ -370,6 +393,15 @@ impl<B: DirtyTracker> ShardedViyojit<B> {
             total.energy_margin_joules = total.energy_margin_joules.min(r.energy_margin_joules);
             total.outcome = total.outcome.max(r.outcome);
         }
+        // The loss ledger is published here as well as at rebalance so a
+        // power failure before the first budget round still leaves the
+        // per-tenant counters in the registry — the parallel runtime
+        // publishes at this point, and the merged view must match.
+        self.telemetry.metrics(|m| {
+            for (names, &lost) in self.tenant_metric_names.iter().zip(&self.tenant_pages_lost) {
+                m.counter_set(names.pages_lost, lost);
+            }
+        });
         total
     }
 
@@ -460,6 +492,16 @@ impl<B: DirtyTracker> ShardedViyojit<B> {
             budget_pages: budget,
         });
         self.set_total_budget(budget);
+        if degraded {
+            if let Some(flight) = &self.flight {
+                let _ = flight.dump(
+                    "control",
+                    "degraded_mode",
+                    self.tree.rebalances(),
+                    &self.telemetry,
+                );
+            }
+        }
         Some(budget)
     }
 
@@ -547,6 +589,7 @@ impl<B: DirtyTracker> ShardedViyojit<B> {
     /// to their new bound), grow the winners, commit the post-apply stats
     /// as the next baseline.
     pub fn rebalance(&mut self) {
+        let wall = self.telemetry.wall_start();
         let before: Vec<ViyojitStats> = self.shards.iter().map(|s| s.stats()).collect();
         let targets = self.tree.plan(&before);
         // Power cut mid-rebalance: targets planned, no engine touched yet
@@ -560,6 +603,7 @@ impl<B: DirtyTracker> ShardedViyojit<B> {
         let after: Vec<ViyojitStats> = self.shards.iter().map(|s| s.stats()).collect();
         self.tree.commit(&after);
         self.publish_shard_metrics();
+        self.telemetry.record_wall(WallKind::BudgetRound, wall);
     }
 
     fn publish_shard_metrics(&mut self) {
@@ -652,8 +696,10 @@ impl<B: DirtyTracker> ShardDataPlane for ShardedViyojit<B> {
     /// period boundary was crossed — equivalent to the historical pattern
     /// of `clock.advance(d)` followed by the next routed access.
     fn step(&mut self, d: SimDuration) -> Result<(), ViyojitError> {
+        let wall = self.telemetry.wall_start();
         self.clock.advance(d);
         self.maybe_rebalance();
+        self.telemetry.record_wall(WallKind::Step, wall);
         Ok(())
     }
 

@@ -92,6 +92,11 @@ impl Histogram {
         self.total == 0
     }
 
+    /// Exact sum of all samples in nanoseconds.
+    pub fn sum_nanos(&self) -> u128 {
+        self.sum_nanos
+    }
+
     /// Arithmetic mean of all samples; zero if empty.
     pub fn mean(&self) -> SimDuration {
         if self.total == 0 {
@@ -141,6 +146,19 @@ impl Histogram {
             }
         }
         self.max
+    }
+
+    /// Occupied buckets as `(bucket_lower_bound_nanos, count)` pairs,
+    /// ascending. Two histograms with equal bucket sequences hold
+    /// identical distributions at the histogram's resolution, so this is
+    /// the comparison surface for bucket-for-bucket conservation tests
+    /// and for exposition-format export.
+    pub fn bucket_counts(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (Self::bucket_value(i), c))
     }
 
     /// Merges another histogram's samples into this one.
@@ -289,6 +307,25 @@ mod tests {
         h.record(SimDuration::from_nanos(100));
         h.record(SimDuration::from_nanos(300));
         assert_eq!(h.mean().as_nanos(), 200);
+    }
+
+    #[test]
+    fn bucket_counts_expose_the_distribution() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for h in [&mut a, &mut b] {
+            h.record(SimDuration::from_nanos(3));
+            h.record(SimDuration::from_micros(9));
+            h.record(SimDuration::from_micros(9));
+        }
+        let got: Vec<(u64, u64)> = a.bucket_counts().collect();
+        let want: Vec<(u64, u64)> = b.bucket_counts().collect();
+        assert_eq!(got, want);
+        assert_eq!(got.iter().map(|&(_, c)| c).sum::<u64>(), a.len());
+        assert_eq!(got[0], (3, 1));
+        b.record(SimDuration::from_nanos(3));
+        let diverged: Vec<(u64, u64)> = b.bucket_counts().collect();
+        assert_ne!(got, diverged);
     }
 
     #[test]

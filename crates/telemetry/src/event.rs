@@ -197,6 +197,16 @@ pub enum TraceEvent {
         /// Pages lost across the thread's shards during the crash flush.
         pages_lost: u64,
     },
+    /// A budget-round participant gave up waiting for a grant decision:
+    /// the arbiter (or a peer it was waiting on) went silent past the
+    /// round timeout, so the worker abandoned the round with
+    /// `ViyojitError::RoundTimeout`.
+    RoundTimedOut {
+        /// The round the worker was participating in when it timed out.
+        round: u64,
+        /// Index of the worker thread that gave up.
+        thread: u64,
+    },
     /// An executed emergency flush finished (successfully or not).
     EmergencyFlush {
         /// Pages that reached durability (including presumed-durable clean
@@ -230,6 +240,7 @@ impl TraceEvent {
             TraceEvent::CrashInjected { .. } => "crash_injected",
             TraceEvent::ShardPanicked { .. } => "shard_panicked",
             TraceEvent::ShardRespawned { .. } => "shard_respawned",
+            TraceEvent::RoundTimedOut { .. } => "round_timed_out",
             TraceEvent::EmergencyFlush { .. } => "emergency_flush",
         }
     }
@@ -311,6 +322,9 @@ impl fmt::Display for TraceEvent {
             }
             TraceEvent::ShardRespawned { shard, pages_lost } => {
                 write!(f, "shard={shard} pages_lost={pages_lost}")
+            }
+            TraceEvent::RoundTimedOut { round, thread } => {
+                write!(f, "round={round} thread={thread}")
             }
             TraceEvent::EmergencyFlush {
                 pages_flushed,
@@ -430,6 +444,12 @@ mod tests {
         };
         assert_eq!(respawned.kind(), "shard_respawned");
         assert_eq!(respawned.to_string(), "shard=3 pages_lost=0");
+        let timed_out = TraceEvent::RoundTimedOut {
+            round: 7,
+            thread: 2,
+        };
+        assert_eq!(timed_out.kind(), "round_timed_out");
+        assert_eq!(timed_out.to_string(), "round=7 thread=2");
     }
 
     #[test]

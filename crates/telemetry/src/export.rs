@@ -1,0 +1,269 @@
+//! Live metrics export: Prometheus text exposition of the merged registry.
+//!
+//! A background thread periodically renders the merged view of a
+//! [`Telemetry`] handle (parent plus every forked shard) in Prometheus
+//! text exposition format (version 0.0.4) and writes it atomically to a
+//! file; optionally it also answers one HTTP connection at a time on a
+//! TCP listener, so a scraper (or `curl`) can pull the same text live.
+//!
+//! The exporter is read-only: it merges on demand and never touches the
+//! record path, so workers keep writing into their own uncontended
+//! shards while an export is in progress.
+
+use std::fmt::Write as _;
+use std::io::{self, Read as _, Write as _};
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use crate::Telemetry;
+
+/// Where and how often the exporter publishes.
+#[derive(Debug, Clone)]
+pub struct ExporterConfig {
+    /// File the exposition text is (atomically) rewritten to.
+    pub path: PathBuf,
+    /// Render period.
+    pub period: Duration,
+    /// Optional `host:port` to answer single HTTP connections on.
+    pub listen: Option<String>,
+}
+
+impl ExporterConfig {
+    /// A file-only exporter with the given period.
+    pub fn to_file(path: impl Into<PathBuf>, period: Duration) -> Self {
+        ExporterConfig {
+            path: path.into(),
+            period,
+            listen: None,
+        }
+    }
+}
+
+/// Sanitizes a metric name into the Prometheus name alphabet
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): dots and other separators become
+/// underscores.
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    out
+}
+
+/// Renders a gauge value; Prometheus accepts `NaN`/`+Inf`/`-Inf` spelled
+/// exactly so.
+fn render_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders the merged registry and wall-clock histograms of `telemetry`
+/// in Prometheus text exposition format. Disabled handles render empty.
+pub fn render_prometheus(telemetry: &Telemetry) -> String {
+    let mut out = String::new();
+    let Some(registry) = telemetry.merged_registry() else {
+        return out;
+    };
+    for (name, value) in registry.counters() {
+        let name = sanitize(name);
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, value) in registry.gauges() {
+        let name = sanitize(name);
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {}", render_f64(value));
+    }
+    for (name, hist) in registry.histograms() {
+        let name = sanitize(name);
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for (bound, count) in hist.bucket_counts() {
+            cumulative += count;
+            let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", hist.len());
+        let _ = writeln!(out, "{name}_sum {}", hist.sum_nanos());
+        let _ = writeln!(out, "{name}_count {}", hist.len());
+    }
+    for (kind, hist) in telemetry.wall_histograms() {
+        if hist.is_empty() {
+            continue;
+        }
+        let name = format!("viyojit_wall_{}_nanos", kind.name());
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for (bound, count) in hist.bucket_counts() {
+            cumulative += count;
+            let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", hist.len());
+        let _ = writeln!(out, "{name}_sum {}", hist.sum_nanos());
+        let _ = writeln!(out, "{name}_count {}", hist.len());
+    }
+    out
+}
+
+/// Writes `text` to `path` atomically (write a sibling temp file, rename
+/// over), so a scraper of the file never reads a torn exposition.
+fn write_atomically(path: &PathBuf, text: &str) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, text)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Answers one already-accepted HTTP connection with `text`.
+fn serve_one(mut stream: std::net::TcpStream, text: &str) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut request = [0u8; 1024];
+    let _ = stream.read(&mut request);
+    let response = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{text}",
+        text.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
+}
+
+/// Stops the exporter thread on drop (or explicitly via
+/// [`ExporterHandle::stop`]), after one final render.
+#[derive(Debug)]
+pub struct ExporterHandle {
+    shutdown: mpsc::Sender<()>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl ExporterHandle {
+    /// Stops the background thread, flushing one final render.
+    pub fn stop(mut self) {
+        self.shutdown_and_join();
+    }
+
+    fn shutdown_and_join(&mut self) {
+        let _ = self.shutdown.send(());
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for ExporterHandle {
+    fn drop(&mut self) {
+        self.shutdown_and_join();
+    }
+}
+
+/// Spawns the exporter thread over (a clone of) `telemetry`.
+///
+/// The thread renders every `config.period` (and once more on shutdown),
+/// writes the file atomically, and — when `config.listen` is set —
+/// answers pending HTTP connections between renders with the latest
+/// text. A bind failure disables the listener rather than killing the
+/// exporter.
+pub fn spawn_exporter(telemetry: Telemetry, config: ExporterConfig) -> ExporterHandle {
+    let (shutdown, rx) = mpsc::channel::<()>();
+    let join = thread::Builder::new()
+        .name("viyojit-exporter".to_string())
+        .spawn(move || {
+            let listener = config.listen.as_ref().and_then(|addr| {
+                let l = TcpListener::bind(addr).ok()?;
+                l.set_nonblocking(true).ok()?;
+                Some(l)
+            });
+            let poll = Duration::from_millis(50).min(config.period);
+            let mut last_render = Instant::now();
+            let mut text = render_prometheus(&telemetry);
+            let _ = write_atomically(&config.path, &text);
+            loop {
+                let stop = !matches!(rx.recv_timeout(poll), Err(RecvTimeoutError::Timeout));
+                if stop || last_render.elapsed() >= config.period {
+                    text = render_prometheus(&telemetry);
+                    let _ = write_atomically(&config.path, &text);
+                    last_render = Instant::now();
+                }
+                if let Some(listener) = &listener {
+                    while let Ok((stream, _)) = listener.accept() {
+                        serve_one(stream, &text);
+                    }
+                }
+                if stop {
+                    break;
+                }
+            }
+        })
+        .expect("failed to spawn exporter thread");
+    ExporterHandle {
+        shutdown,
+        join: Some(join),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WallKind;
+    use sim_clock::{Clock, SimDuration};
+
+    #[test]
+    fn render_covers_counters_gauges_and_histograms() {
+        let clock = Clock::new();
+        let telemetry = Telemetry::recording(clock.clone());
+        telemetry.metrics(|m| {
+            m.counter_add("viyojit.write_faults", 3);
+            m.counter_set("viyojit.epochs", 2);
+            m.gauge_set("sharded.shard0.dirty_pages", 4.0);
+            m.histogram_record("viyojit.stall", SimDuration::from_nanos(100));
+            m.histogram_record("viyojit.stall", SimDuration::from_nanos(100));
+        });
+        let shard = telemetry.fork_shard(clock);
+        shard.metrics(|m| m.counter_add("viyojit.write_faults", 2));
+        let wall = telemetry.wall_start();
+        telemetry.record_wall(WallKind::Step, wall);
+
+        let text = render_prometheus(&telemetry);
+        assert!(text.contains("# TYPE viyojit_write_faults counter\nviyojit_write_faults 5\n"));
+        assert!(text.contains("# TYPE viyojit_epochs counter\nviyojit_epochs 2\n"));
+        assert!(text
+            .contains("# TYPE sharded_shard0_dirty_pages gauge\nsharded_shard0_dirty_pages 4\n"));
+        assert!(text.contains("# TYPE viyojit_stall histogram"));
+        assert!(text.contains("viyojit_stall_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("viyojit_stall_count 2"));
+        assert!(text.contains("# TYPE viyojit_wall_step_nanos histogram"));
+        assert!(text.contains("viyojit_wall_step_nanos_count 1"));
+        assert!(render_prometheus(&Telemetry::disabled()).is_empty());
+    }
+
+    #[test]
+    fn exporter_thread_writes_and_stops() {
+        let clock = Clock::new();
+        let telemetry = Telemetry::recording(clock);
+        telemetry.metrics(|m| m.counter_add("x.live", 1));
+        let path =
+            std::env::temp_dir().join(format!("viyojit-export-test-{}.prom", std::process::id()));
+        let handle = spawn_exporter(
+            telemetry.clone(),
+            ExporterConfig::to_file(&path, Duration::from_millis(10)),
+        );
+        telemetry.metrics(|m| m.counter_add("x.live", 4));
+        handle.stop();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("x_live 5"), "final render missing: {text}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sanitize_maps_dots_to_underscores() {
+        assert_eq!(sanitize("viyojit.dirty_pages"), "viyojit_dirty_pages");
+        assert_eq!(sanitize("sharded.tenant0.stall"), "sharded_tenant0_stall");
+        assert_eq!(sanitize("9bad"), "_bad");
+    }
+}

@@ -45,24 +45,34 @@
 //! ```
 
 mod event;
+mod export;
+mod flight;
 mod metrics;
 mod profile;
 mod report;
 mod ring;
 mod sink;
+mod wall;
 
 pub use event::{FaultKind, FlushReason, TraceEvent, TracedEvent};
+pub use export::{render_prometheus, spawn_exporter, ExporterConfig, ExporterHandle};
+pub use flight::FlightRecorder;
 pub use metrics::{
-    intern_metric_name, CounterSample, EpochSnapshot, MetricsRegistry, TenantMetricNames,
+    intern_metric_name, CounterKind, CounterSample, EpochSnapshot, MetricsRegistry,
+    TenantMetricNames,
 };
 pub use profile::{fnv1a_64, CostClass, ProfileReport, Profiler, RunMeta, SpanGuard, ROOT_FRAME};
 pub use report::Report;
 pub use ring::{TraceRing, DEFAULT_RING_CAPACITY};
 pub use sink::{csv_stdout, CsvSink, JsonlSink, NullSink, Sink};
+pub use wall::{WallHistogram, WallKind};
 
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use sim_clock::{Clock, SimTime};
+
+use wall::WallStats;
 
 /// Tuning knobs for a recording [`Telemetry`] handle.
 #[derive(Debug, Clone, Copy)]
@@ -85,6 +95,28 @@ struct Recorder {
     ring: TraceRing,
     registry: MetricsRegistry,
     snapshots: Vec<EpochSnapshot>,
+    /// Ring capacity this recorder was built with, inherited by shards.
+    ring_capacity: usize,
+    /// Wall-clock histograms — host time, never part of traces/snapshots.
+    wall: WallStats,
+    /// Telemetry shards forked off this recorder ([`Telemetry::fork_shard`]),
+    /// in fork order. Read paths merge them on demand; the write path of a
+    /// shard touches only its own (uncontended) mutex.
+    shards: Vec<Arc<Mutex<Recorder>>>,
+}
+
+impl Recorder {
+    fn new(clock: Clock, ring_capacity: usize) -> Recorder {
+        Recorder {
+            clock,
+            ring: TraceRing::new(ring_capacity),
+            registry: MetricsRegistry::new(),
+            snapshots: Vec::new(),
+            ring_capacity,
+            wall: WallStats::default(),
+            shards: Vec::new(),
+        }
+    }
 }
 
 /// Shared, cheaply clonable instrumentation handle.
@@ -112,18 +144,47 @@ impl Telemetry {
     /// A recording handle with explicit configuration.
     pub fn with_config(clock: Clock, config: TelemetryConfig) -> Self {
         Telemetry {
-            recorder: Some(Arc::new(Mutex::new(Recorder {
+            recorder: Some(Arc::new(Mutex::new(Recorder::new(
                 clock,
-                ring: TraceRing::new(config.ring_capacity),
-                registry: MetricsRegistry::new(),
-                snapshots: Vec::new(),
-            }))),
+                config.ring_capacity,
+            )))),
         }
     }
 
     /// Whether this handle records anything.
     pub fn is_enabled(&self) -> bool {
         self.recorder.is_some()
+    }
+
+    /// Forks a per-thread telemetry shard driven by `clock`.
+    ///
+    /// The shard is a full recording handle — its own trace ring,
+    /// registry, and wall histograms — whose write path locks only its
+    /// own mutex, so a worker thread recording into its shard never
+    /// contends with other workers or with the parent. The parent keeps
+    /// the shard registered (in fork order) and its read paths
+    /// ([`Telemetry::events`], [`Telemetry::counter`],
+    /// [`Telemetry::snapshots`], [`Telemetry::drain_into`], the exporter)
+    /// merge all shards on demand. Forking from a disabled handle
+    /// returns a disabled handle.
+    pub fn fork_shard(&self, clock: Clock) -> Telemetry {
+        let Some(recorder) = &self.recorder else {
+            return Telemetry::disabled();
+        };
+        let mut rec = recorder.lock().expect("telemetry poisoned");
+        let child = Arc::new(Mutex::new(Recorder::new(clock, rec.ring_capacity)));
+        rec.shards.push(Arc::clone(&child));
+        Telemetry {
+            recorder: Some(child),
+        }
+    }
+
+    /// The shard recorders registered on this handle, in fork order.
+    fn shard_arcs(&self) -> Vec<Arc<Mutex<Recorder>>> {
+        match &self.recorder {
+            Some(recorder) => recorder.lock().expect("telemetry poisoned").shards.clone(),
+            None => Vec::new(),
+        }
     }
 
     /// Records an event stamped with the current virtual time.
@@ -183,64 +244,208 @@ impl Telemetry {
     }
 
     /// Copies out the retained trace events, oldest first.
+    ///
+    /// With telemetry shards forked, the per-shard rings are merged into
+    /// one stream ordered by `(virtual time, fork rank, shard seq)` and
+    /// re-sequenced so the merged stream keeps the strictly-increasing
+    /// `seq` invariant the trace checker enforces. Without shards this is
+    /// exactly the handle's own ring, byte for byte.
     pub fn events(&self) -> Vec<TracedEvent> {
+        let Some(recorder) = &self.recorder else {
+            return Vec::new();
+        };
+        let shards = self.shard_arcs();
+        if shards.is_empty() {
+            return recorder.lock().expect("telemetry poisoned").ring.to_vec();
+        }
+        // (at, fork rank, local seq) is a unique total order, so the
+        // merged stream is deterministic for a deterministic workload.
+        let mut keyed: Vec<(SimTime, usize, u64, TracedEvent)> = Vec::new();
+        {
+            let rec = recorder.lock().expect("telemetry poisoned");
+            keyed.extend(rec.ring.iter().map(|e| (e.at, 0usize, e.seq, *e)));
+        }
+        for (rank, shard) in shards.iter().enumerate() {
+            let rec = shard.lock().expect("telemetry poisoned");
+            keyed.extend(rec.ring.iter().map(|e| (e.at, rank + 1, e.seq, *e)));
+        }
+        keyed.sort_by_key(|&(at, rank, seq, _)| (at, rank, seq));
+        keyed
+            .into_iter()
+            .enumerate()
+            .map(|(i, (_, _, _, mut event))| {
+                event.seq = i as u64;
+                event
+            })
+            .collect()
+    }
+
+    /// This handle's own retained events, without merging shards.
+    ///
+    /// A worker's flight-recorder dump uses this: the per-thread ring is
+    /// deterministic for a deterministic workload even when sibling
+    /// threads are at nondeterministic points of their own timelines.
+    pub fn local_events(&self) -> Vec<TracedEvent> {
         match &self.recorder {
             Some(recorder) => recorder.lock().expect("telemetry poisoned").ring.to_vec(),
             None => Vec::new(),
         }
     }
 
-    /// Events evicted from the ring because it was full.
+    /// Events evicted because a ring was full, summed across shards.
     pub fn dropped_events(&self) -> u64 {
-        match &self.recorder {
-            Some(recorder) => recorder.lock().expect("telemetry poisoned").ring.dropped(),
-            None => 0,
-        }
+        let Some(recorder) = &self.recorder else {
+            return 0;
+        };
+        let own = recorder.lock().expect("telemetry poisoned").ring.dropped();
+        own + self
+            .shard_arcs()
+            .iter()
+            .map(|s| s.lock().expect("telemetry poisoned").ring.dropped())
+            .sum::<u64>()
     }
 
-    /// Total events ever recorded, retained or not.
+    /// Total events ever recorded, retained or not, across shards.
     pub fn recorded_events(&self) -> u64 {
-        match &self.recorder {
-            Some(recorder) => recorder.lock().expect("telemetry poisoned").ring.recorded(),
-            None => 0,
-        }
+        let Some(recorder) = &self.recorder else {
+            return 0;
+        };
+        let own = recorder.lock().expect("telemetry poisoned").ring.recorded();
+        own + self
+            .shard_arcs()
+            .iter()
+            .map(|s| s.lock().expect("telemetry poisoned").ring.recorded())
+            .sum::<u64>()
     }
 
-    /// Copies out all per-epoch snapshots taken so far.
+    /// Copies out all per-epoch snapshots taken so far: this handle's
+    /// own, then each shard's, in fork order.
     pub fn snapshots(&self) -> Vec<EpochSnapshot> {
-        match &self.recorder {
-            Some(recorder) => recorder
+        let Some(recorder) = &self.recorder else {
+            return Vec::new();
+        };
+        let mut snaps = recorder
+            .lock()
+            .expect("telemetry poisoned")
+            .snapshots
+            .clone();
+        for shard in self.shard_arcs() {
+            snaps.extend(
+                shard
+                    .lock()
+                    .expect("telemetry poisoned")
+                    .snapshots
+                    .iter()
+                    .cloned(),
+            );
+        }
+        snaps
+    }
+
+    /// Current cumulative value of a counter (zero when disabled),
+    /// merged across shards by the counter's [`CounterKind`].
+    pub fn counter(&self, name: &str) -> u64 {
+        let shards = self.shard_arcs();
+        if shards.is_empty() {
+            return self.metrics(|m| m.counter(name)).unwrap_or(0);
+        }
+        self.merged_registry().map(|m| m.counter(name)).unwrap_or(0)
+    }
+
+    /// A merged view of this registry plus every shard's, applying the
+    /// per-kind merge rules ([`MetricsRegistry::merge_from`]).
+    pub fn merged_registry(&self) -> Option<MetricsRegistry> {
+        let recorder = self.recorder.as_ref()?;
+        let mut merged = recorder
+            .lock()
+            .expect("telemetry poisoned")
+            .registry
+            .clone();
+        for shard in self.shard_arcs() {
+            let rec = shard.lock().expect("telemetry poisoned");
+            merged.merge_from(&rec.registry);
+        }
+        Some(merged)
+    }
+
+    /// Starts a wall-clock measurement, or `None` when disabled (no
+    /// syscall on the disabled path).
+    pub fn wall_start(&self) -> Option<Instant> {
+        self.recorder.as_ref().map(|_| Instant::now())
+    }
+
+    /// Records the host time elapsed since a [`Telemetry::wall_start`]
+    /// into this handle's histogram for `kind`.
+    ///
+    /// Wall durations never enter the registry, the trace ring, or
+    /// snapshots, so virtual-time output stays byte-identical whether or
+    /// not the host is slow.
+    pub fn record_wall(&self, kind: WallKind, start: Option<Instant>) {
+        if let (Some(recorder), Some(start)) = (&self.recorder, start) {
+            let elapsed = start.elapsed();
+            recorder
                 .lock()
                 .expect("telemetry poisoned")
-                .snapshots
-                .clone(),
-            None => Vec::new(),
+                .wall
+                .record(kind, elapsed);
         }
     }
 
-    /// Current cumulative value of a counter (zero when disabled).
-    pub fn counter(&self, name: &str) -> u64 {
-        self.metrics(|m| m.counter(name)).unwrap_or(0)
+    /// The wall-clock histogram for each kind, merged across shards.
+    pub fn wall_histograms(&self) -> Vec<(WallKind, WallHistogram)> {
+        let Some(recorder) = &self.recorder else {
+            return Vec::new();
+        };
+        let mut merged = recorder.lock().expect("telemetry poisoned").wall.clone();
+        for shard in self.shard_arcs() {
+            let rec = shard.lock().expect("telemetry poisoned");
+            merged.merge_from(&rec.wall);
+        }
+        WallKind::ALL
+            .iter()
+            .map(|&k| (k, merged.histogram(k).clone()))
+            .collect()
+    }
+
+    /// The current virtual instant of this handle's clock, when enabled.
+    pub fn now(&self) -> Option<SimTime> {
+        self.recorder
+            .as_ref()
+            .map(|r| r.lock().expect("telemetry poisoned").clock.now())
+    }
+
+    /// Renders the snapshot a `snapshot_epoch(epoch)` would take right
+    /// now — this handle's own registry only, at its own clock — without
+    /// advancing the delta baseline or appending to the snapshot log.
+    pub fn peek_snapshot(&self, epoch: u64) -> Option<EpochSnapshot> {
+        self.recorder.as_ref().map(|recorder| {
+            let rec = recorder.lock().expect("telemetry poisoned");
+            let at = rec.clock.now();
+            rec.registry.peek_snapshot(epoch, at)
+        })
     }
 
     /// Streams every retained event, then every snapshot, into a sink.
     ///
-    /// If the ring overflowed, a note reporting the evicted-event count
-    /// precedes the snapshots instead of the loss staying silent.
+    /// With shards, events are the merged re-sequenced stream of
+    /// [`Telemetry::events`] and snapshots follow in
+    /// parent-then-fork-order; without shards the output is byte-identical
+    /// to the historical single-recorder drain. If any ring overflowed, a
+    /// note reporting the total evicted-event count precedes the
+    /// snapshots instead of the loss staying silent.
     pub fn drain_into(&self, sink: &mut dyn Sink) {
-        if let Some(recorder) = &self.recorder {
-            let rec = recorder.lock().expect("telemetry poisoned");
-            for event in rec.ring.iter() {
-                sink.event(event);
+        if self.recorder.is_some() {
+            for event in self.events() {
+                sink.event(&event);
             }
-            let dropped = rec.ring.dropped();
+            let dropped = self.dropped_events();
             if dropped > 0 {
                 sink.note(&format!(
                     "telemetry: trace ring overflowed, {dropped} oldest events dropped"
                 ));
             }
-            for snap in &rec.snapshots {
-                sink.snapshot(snap);
+            for snap in self.snapshots() {
+                sink.snapshot(&snap);
             }
         }
         sink.finish();
@@ -296,6 +501,98 @@ mod tests {
         assert_eq!(snaps[1].counter("faults").unwrap().delta, 3);
         assert_eq!(snaps[1].counter("faults").unwrap().total, 5);
         assert_eq!(snaps[1].at.as_micros(), 1);
+    }
+
+    #[test]
+    fn forked_shards_merge_on_demand() {
+        let clock = Clock::new();
+        let parent = Telemetry::recording(clock.clone());
+        let shard_clock_a = Clock::new();
+        let shard_clock_b = Clock::new();
+        let a = parent.fork_shard(shard_clock_a.clone());
+        let b = parent.fork_shard(shard_clock_b.clone());
+
+        // Sum-kind counters add across shards; cumulative take the max.
+        a.metrics(|m| m.counter_add("parallel.round_timeouts", 1));
+        b.metrics(|m| m.counter_add("parallel.round_timeouts", 2));
+        a.metrics(|m| m.counter_set("viyojit.epochs", 9));
+        b.metrics(|m| m.counter_set("viyojit.epochs", 4));
+        assert_eq!(parent.counter("parallel.round_timeouts"), 3);
+        assert_eq!(parent.counter("viyojit.epochs"), 9);
+
+        // Events merge by (at, fork rank, seq) and re-sequence.
+        shard_clock_a.advance(SimDuration::from_nanos(20));
+        shard_clock_b.advance(SimDuration::from_nanos(10));
+        a.emit(|| TraceEvent::WriteFault { page: 1 });
+        b.emit(|| TraceEvent::WriteFault { page: 2 });
+        clock.advance(SimDuration::from_nanos(10));
+        parent.emit(|| TraceEvent::TlbFlush { epoch: 0 });
+        let events = parent.events();
+        assert_eq!(events.len(), 3);
+        // at=10: parent (rank 0) before shard b (rank 2); then at=20 shard a.
+        assert_eq!(events[0].event, TraceEvent::TlbFlush { epoch: 0 });
+        assert_eq!(events[1].event, TraceEvent::WriteFault { page: 2 });
+        assert_eq!(events[2].event, TraceEvent::WriteFault { page: 1 });
+        assert_eq!(
+            events.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+
+        // Shard handles stay plain recording handles for their owner.
+        assert_eq!(a.local_events().len(), 1);
+        assert_eq!(parent.recorded_events(), 3);
+    }
+
+    #[test]
+    fn shardless_reads_are_the_plain_single_recorder_paths() {
+        let clock = Clock::new();
+        let telemetry = Telemetry::recording(clock.clone());
+        telemetry.emit(|| TraceEvent::WriteFault { page: 3 });
+        telemetry.metrics(|m| m.counter_add("faults", 1));
+        assert_eq!(telemetry.events(), telemetry.local_events());
+        assert_eq!(telemetry.counter("faults"), 1);
+        let disabled = Telemetry::disabled();
+        assert!(!disabled.fork_shard(clock).is_enabled());
+        assert!(disabled.merged_registry().is_none());
+        assert!(disabled.wall_histograms().is_empty());
+    }
+
+    #[test]
+    fn shard_snapshots_follow_parent_in_fork_order() {
+        let clock = Clock::new();
+        let parent = Telemetry::recording(clock.clone());
+        let shard = parent.fork_shard(Clock::new());
+        shard.metrics(|m| m.counter_add("s", 1));
+        shard.snapshot_epoch(7);
+        parent.metrics(|m| m.counter_add("p", 1));
+        parent.snapshot_epoch(1);
+        let snaps = parent.snapshots();
+        assert_eq!(snaps.len(), 2);
+        assert_eq!(snaps[0].epoch, 1);
+        assert_eq!(snaps[1].epoch, 7);
+    }
+
+    #[test]
+    fn wall_histograms_merge_and_stay_out_of_traces() {
+        let clock = Clock::new();
+        let parent = Telemetry::recording(clock.clone());
+        let shard = parent.fork_shard(Clock::new());
+        parent.record_wall(WallKind::Step, parent.wall_start());
+        shard.record_wall(WallKind::Step, shard.wall_start());
+        shard.record_wall(WallKind::Emergency, shard.wall_start());
+        let merged = parent.wall_histograms();
+        let step = merged
+            .iter()
+            .find(|(k, _)| *k == WallKind::Step)
+            .map(|(_, h)| h.len());
+        assert_eq!(step, Some(2));
+        // Nothing wall-clock leaks into the virtual-time surfaces.
+        assert!(parent.events().is_empty());
+        assert!(parent.snapshots().is_empty());
+        let mut sink = CsvSink::new(Vec::new());
+        parent.drain_into(&mut sink);
+        assert!(String::from_utf8(sink.into_inner()).unwrap().is_empty());
+        assert_eq!(Telemetry::disabled().wall_start(), None);
     }
 
     #[test]

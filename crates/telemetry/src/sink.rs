@@ -166,7 +166,7 @@ impl<W: Write> Sink for CsvSink<W> {
 }
 
 /// Escapes a string into a JSON string literal (without quotes).
-fn push_json_escaped(out: &mut String, text: &str) {
+pub(crate) fn push_json_escaped(out: &mut String, text: &str) {
     for c in text.chars() {
         match c {
             '"' => out.push_str("\\\""),

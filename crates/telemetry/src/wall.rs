@@ -1,0 +1,280 @@
+//! Wall-clock (host-time) histograms, strictly separate from virtual time.
+//!
+//! The registry, trace ring, and snapshots all speak virtual nanoseconds
+//! and must stay byte-identical between runs; host durations are
+//! non-deterministic by nature, so they live here — recorded into
+//! [`WallHistogram`]s held beside the registry, surfaced only through
+//! the exporter and explicit accessors, and never written into traces,
+//! snapshots, or golden CSVs.
+//!
+//! The histogram is the same log2-bucket shape as
+//! `trace-tools/src/latency.rs` (one bucket per power of two, quantiles
+//! floor to the bucket's lower bound), sized for host durations from
+//! 1 ns to ~years.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Which engine operation a wall-clock sample times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum WallKind {
+    /// One data-plane `step` call (virtual-time advance + tick fanout).
+    Step,
+    /// One flush drain (issue-to-retire service of the copier queue).
+    Flush,
+    /// One budget round (demand collection, grants, commit).
+    BudgetRound,
+    /// One emergency flush (power-failure drain).
+    Emergency,
+}
+
+impl WallKind {
+    /// Every kind, in display order.
+    pub const ALL: [WallKind; 4] = [
+        WallKind::Step,
+        WallKind::Flush,
+        WallKind::BudgetRound,
+        WallKind::Emergency,
+    ];
+
+    /// Stable lowercase name used in exporter metric names.
+    pub fn name(&self) -> &'static str {
+        match self {
+            WallKind::Step => "step",
+            WallKind::Flush => "flush",
+            WallKind::BudgetRound => "budget_round",
+            WallKind::Emergency => "emergency",
+        }
+    }
+
+    fn index(&self) -> usize {
+        *self as usize
+    }
+}
+
+impl fmt::Display for WallKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+const BUCKETS: usize = 64;
+
+/// A log2-bucketed histogram of host durations: bucket `i` covers
+/// `[2^i, 2^(i+1))` nanoseconds (bucket 0 also holds zero).
+#[derive(Debug, Clone)]
+pub struct WallHistogram {
+    counts: [u64; BUCKETS],
+    total: u64,
+    sum_nanos: u128,
+    max_nanos: u64,
+    min_nanos: u64,
+}
+
+impl WallHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        WallHistogram {
+            counts: [0; BUCKETS],
+            total: 0,
+            sum_nanos: 0,
+            max_nanos: 0,
+            min_nanos: u64::MAX,
+        }
+    }
+
+    fn bucket(nanos: u64) -> usize {
+        if nanos == 0 {
+            0
+        } else {
+            63 - nanos.leading_zeros() as usize
+        }
+    }
+
+    /// Records one host duration.
+    pub fn record(&mut self, d: Duration) {
+        let nanos = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        self.counts[Self::bucket(nanos)] += 1;
+        self.total += 1;
+        self.sum_nanos += nanos as u128;
+        self.max_nanos = self.max_nanos.max(nanos);
+        self.min_nanos = self.min_nanos.min(nanos);
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// `true` if no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Sum of all samples in nanoseconds.
+    pub fn sum_nanos(&self) -> u128 {
+        self.sum_nanos
+    }
+
+    /// Arithmetic mean in nanoseconds; zero if empty.
+    pub fn mean_nanos(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            (self.sum_nanos / self.total as u128) as u64
+        }
+    }
+
+    /// The largest recorded sample in nanoseconds; zero if empty.
+    pub fn max_nanos(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.max_nanos
+        }
+    }
+
+    /// The smallest recorded sample in nanoseconds; zero if empty.
+    pub fn min_nanos(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min_nanos
+        }
+    }
+
+    /// The value at quantile `q` (0–1), floored to its bucket's lower
+    /// bound; zero if empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if i == 0 { 0 } else { 1u64 << i };
+            }
+        }
+        self.max_nanos
+    }
+
+    /// Occupied buckets as `(bucket_lower_bound_nanos, count)` pairs,
+    /// ascending — the exporter renders these as cumulative
+    /// exposition-format buckets.
+    pub fn bucket_counts(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (if i == 0 { 0 } else { 1u64 << i }, c))
+    }
+
+    /// Merges another histogram's samples into this one.
+    pub fn merge(&mut self, other: &WallHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum_nanos += other.sum_nanos;
+        if other.total > 0 {
+            self.max_nanos = self.max_nanos.max(other.max_nanos);
+            self.min_nanos = self.min_nanos.min(other.min_nanos);
+        }
+    }
+}
+
+impl Default for WallHistogram {
+    fn default() -> Self {
+        WallHistogram::new()
+    }
+}
+
+/// The per-recorder set of wall-clock histograms, one per [`WallKind`].
+#[derive(Debug, Clone, Default)]
+pub(crate) struct WallStats {
+    hists: [WallHistogram; 4],
+}
+
+impl WallStats {
+    pub(crate) fn record(&mut self, kind: WallKind, d: Duration) {
+        self.hists[kind.index()].record(d);
+    }
+
+    pub(crate) fn merge_from(&mut self, other: &WallStats) {
+        for (a, b) in self.hists.iter_mut().zip(&other.hists) {
+            a.merge(b);
+        }
+    }
+
+    pub(crate) fn histogram(&self, kind: WallKind) -> &WallHistogram {
+        &self.hists[kind.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_buckets_by_log2() {
+        let mut h = WallHistogram::new();
+        h.record(Duration::from_nanos(0));
+        h.record(Duration::from_nanos(1));
+        h.record(Duration::from_nanos(900)); // bucket 9 (512..1024)
+        h.record(Duration::from_micros(70)); // bucket 16 (65536..)
+        assert_eq!(h.len(), 4);
+        assert_eq!(h.min_nanos(), 0);
+        assert_eq!(h.max_nanos(), 70_000);
+        let buckets: Vec<(u64, u64)> = h.bucket_counts().collect();
+        assert_eq!(buckets, vec![(0, 2), (512, 1), (65_536, 1)]);
+        assert_eq!(buckets.iter().map(|&(_, c)| c).sum::<u64>(), h.len());
+    }
+
+    #[test]
+    fn quantiles_floor_to_bucket_bounds() {
+        let mut h = WallHistogram::new();
+        for _ in 0..99 {
+            h.record(Duration::from_nanos(100)); // bucket 6 -> 64
+        }
+        h.record(Duration::from_micros(1)); // bucket 9 -> 512
+        assert_eq!(h.quantile(0.5), 64);
+        assert_eq!(h.quantile(1.0), 512);
+        assert_eq!(WallHistogram::new().quantile(0.99), 0);
+    }
+
+    #[test]
+    fn merge_combines_counts_and_extrema() {
+        let mut a = WallHistogram::new();
+        let mut b = WallHistogram::new();
+        a.record(Duration::from_nanos(10));
+        b.record(Duration::from_millis(3));
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.min_nanos(), 10);
+        assert_eq!(a.max_nanos(), 3_000_000);
+        let merged: u64 = a.bucket_counts().map(|(_, c)| c).sum();
+        assert_eq!(merged, 2);
+    }
+
+    #[test]
+    fn wall_stats_key_by_kind() {
+        let mut stats = WallStats::default();
+        stats.record(WallKind::Step, Duration::from_nanos(5));
+        stats.record(WallKind::Emergency, Duration::from_nanos(7));
+        assert_eq!(stats.histogram(WallKind::Step).len(), 1);
+        assert_eq!(stats.histogram(WallKind::Flush).len(), 0);
+        assert_eq!(stats.histogram(WallKind::Emergency).len(), 1);
+        let mut other = WallStats::default();
+        other.record(WallKind::Step, Duration::from_nanos(9));
+        stats.merge_from(&other);
+        assert_eq!(stats.histogram(WallKind::Step).len(), 2);
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        let names: Vec<&str> = WallKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names, vec!["step", "flush", "budget_round", "emergency"]);
+    }
+}

@@ -1,20 +1,22 @@
 //! `viyojit-trace`: inspect JSONL traces written by the bench harness.
 //!
 //! ```text
-//! viyojit-trace summary <trace.jsonl>
-//! viyojit-trace check   <trace.jsonl>
-//! viyojit-trace latency <trace.jsonl>
-//! viyojit-trace diff    <a.jsonl> <b.jsonl> [--force]
+//! viyojit-trace summary    <trace.jsonl>
+//! viyojit-trace check      <trace.jsonl>
+//! viyojit-trace latency    <trace.jsonl>
+//! viyojit-trace postmortem <postmortem-thread.jsonl>
+//! viyojit-trace diff       <a.jsonl> <b.jsonl> [--force]
 //! ```
 //!
 //! Exit codes: 0 on success, 1 when `check` finds a violation, 2 on
-//! usage errors, unreadable traces, or a refused `diff`.
+//! usage errors, unreadable traces, a non-dump given to `postmortem`,
+//! or a refused `diff`.
 
 use std::process::ExitCode;
 
-use trace_tools::{check, diff, latencies, summarize, Trace};
+use trace_tools::{check, diff, latencies, postmortem_report, summarize, Trace};
 
-const USAGE: &str = "usage: viyojit-trace <summary|check|latency> <trace.jsonl>
+const USAGE: &str = "usage: viyojit-trace <summary|check|latency|postmortem> <trace.jsonl>
        viyojit-trace diff <a.jsonl> <b.jsonl> [--force]";
 
 fn load(path: &str) -> Result<Trace, ExitCode> {
@@ -39,7 +41,7 @@ fn run(args: &[String]) -> Result<ExitCode, ExitCode> {
     };
     let (command, rest) = args.split_first().ok_or_else(usage)?;
     match command.as_str() {
-        "summary" | "check" | "latency" => {
+        "summary" | "check" | "latency" | "postmortem" => {
             let [path] = rest else { return Err(usage()) };
             let trace = load(path)?;
             match command.as_str() {
@@ -51,6 +53,16 @@ fn run(args: &[String]) -> Result<ExitCode, ExitCode> {
                         return Ok(ExitCode::from(1));
                     }
                 }
+                "postmortem" => match postmortem_report(&trace) {
+                    Some(report) => print!("{report}"),
+                    None => {
+                        eprintln!(
+                            "viyojit-trace: {path}: not a black-box dump \
+                             (no postmortem record)"
+                        );
+                        return Ok(ExitCode::from(2));
+                    }
+                },
                 _ => {
                     for pair in latencies(&trace) {
                         print!("{pair}");

@@ -4,7 +4,7 @@
 //! the durable record of a run: a run-metadata header, the event stream,
 //! per-epoch snapshots, and the virtual-time profiler's attribution
 //! records. This crate is the reader side — a library plus the
-//! `viyojit-trace` binary with four subcommands:
+//! `viyojit-trace` binary with five subcommands:
 //!
 //! - `summary` — one-screen overview: identity, event counts, self time
 //!   by cost class, off-clock totals;
@@ -17,7 +17,11 @@
 //!   `ssd_submit → ssd_complete`);
 //! - `diff` — per-cost-class regression table between two runs,
 //!   refusing incomparable traces (different config hash or backend)
-//!   unless forced.
+//!   unless forced;
+//! - `postmortem` — renders a flight-recorder black-box dump
+//!   (`postmortem-<thread>.jsonl`) as a human-readable timeline with the
+//!   crash seam, the last budget round, and the dirty/budget state at
+//!   the moment of the dump.
 //!
 //! The workspace is deliberately dependency-free, so the JSON reader in
 //! [`json`] is hand-rolled to match the hand-rendered writer.
@@ -26,11 +30,13 @@ pub mod check;
 pub mod diff;
 pub mod json;
 pub mod latency;
+pub mod postmortem;
 pub mod summary;
 pub mod trace;
 
 pub use check::{check, CheckReport};
 pub use diff::{diff, Diff, DiffRow, Incomparable};
 pub use latency::{latencies, Histogram, PairLatency};
+pub use postmortem::{postmortem_report, PostmortemReport};
 pub use summary::summarize;
-pub use trace::{Event, Meta, Snapshot, Trace, TraceError};
+pub use trace::{Event, Meta, Postmortem, Snapshot, Trace, TraceError};

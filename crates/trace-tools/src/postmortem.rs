@@ -1,0 +1,195 @@
+//! Human-readable rendering of a flight-recorder black box: the
+//! `viyojit-trace postmortem` subcommand.
+//!
+//! A black-box dump (written by the engine's `FlightRecorder` at a
+//! supervised crash seam) is a normal JSONL trace plus a `postmortem`
+//! header. The report renders the run identity, the trigger, the last
+//! budget round the thread saw, the retained event timeline up to the
+//! crash seam, and the dirty/budget state captured at the instant of the
+//! dump — per shard when the dump carries the control plane's
+//! `sharded.shardN.*` gauges.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::trace::{Snapshot, Trace};
+
+/// A rendered postmortem report over a parsed black-box dump.
+#[derive(Debug)]
+pub struct PostmortemReport<'a> {
+    trace: &'a Trace,
+}
+
+/// Builds the postmortem view; `None` when the trace carries no
+/// `postmortem` header (it is not a black-box dump).
+pub fn postmortem_report(trace: &Trace) -> Option<PostmortemReport<'_>> {
+    trace.postmortem.as_ref()?;
+    Some(PostmortemReport { trace })
+}
+
+/// Per-shard `(dirty, budget)` gauges pulled out of a snapshot, keyed by
+/// shard index. Empty for worker dumps (their engines publish the flat
+/// `viyojit.*` gauges instead).
+fn shard_state(snap: &Snapshot) -> BTreeMap<u64, (Option<f64>, Option<f64>)> {
+    let mut shards: BTreeMap<u64, (Option<f64>, Option<f64>)> = BTreeMap::new();
+    for (name, value) in &snap.gauges {
+        let Some(rest) = name.strip_prefix("sharded.shard") else {
+            continue;
+        };
+        let Some((idx, field)) = rest.split_once('.') else {
+            continue;
+        };
+        let Ok(idx) = idx.parse::<u64>() else {
+            continue;
+        };
+        let entry = shards.entry(idx).or_default();
+        match field {
+            "dirty_pages" => entry.0 = *value,
+            "budget_pages" => entry.1 = *value,
+            _ => {}
+        }
+    }
+    shards
+}
+
+fn render_gauge(value: &Option<f64>) -> String {
+    match value {
+        Some(v) => format!("{v}"),
+        None => "?".to_string(),
+    }
+}
+
+impl fmt::Display for PostmortemReport<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let t = self.trace;
+        let p = t.postmortem.as_ref().expect("checked at construction");
+        writeln!(
+            f,
+            "black box {}: trigger {}, last budget round {}",
+            p.label, p.trigger, p.last_round
+        )?;
+        match &t.meta {
+            Some(m) => {
+                let seed = m
+                    .fault_seed
+                    .map_or_else(|| "none".to_string(), |s| s.to_string());
+                writeln!(
+                    f,
+                    "bench {}  backend {}  config {}  fault seed {}  (v{})",
+                    m.bench, m.backend, m.config_hash, seed, m.version
+                )?;
+            }
+            None => writeln!(f, "(no run-metadata header)")?,
+        }
+
+        if t.events.is_empty() {
+            writeln!(f, "timeline: no events retained")?;
+        } else {
+            writeln!(f, "timeline ({} retained events):", t.events.len())?;
+            for e in &t.events {
+                let detail: Vec<String> =
+                    e.fields.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                writeln!(
+                    f,
+                    "  {:>12} ns  {:<24} {}",
+                    e.at_ns,
+                    e.kind,
+                    detail.join(" ")
+                )?;
+            }
+        }
+        writeln!(f, "  >>> crash seam: {} fired here <<<", p.trigger)?;
+
+        if let Some(snap) = t.snapshots.last() {
+            writeln!(
+                f,
+                "state at dump (round {}, at {} ns):",
+                snap.epoch, snap.at_ns
+            )?;
+            let shards = shard_state(snap);
+            if !shards.is_empty() {
+                writeln!(f, "  per-shard dirty/budget:")?;
+                for (idx, (dirty, budget)) in &shards {
+                    writeln!(
+                        f,
+                        "    shard{idx:<4} dirty {:>8}  budget {:>8}",
+                        render_gauge(dirty),
+                        render_gauge(budget)
+                    )?;
+                }
+            }
+            for (name, value) in &snap.gauges {
+                if name.starts_with("sharded.shard") {
+                    continue;
+                }
+                writeln!(f, "  gauge   {name:<32} {}", render_gauge(value))?;
+            }
+            for (name, &(delta, total)) in &snap.counters {
+                writeln!(f, "  counter {name:<32} total {total} (delta {delta})")?;
+            }
+        } else {
+            writeln!(f, "state at dump: no snapshot captured")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Trace;
+
+    const DUMP: &str = concat!(
+        "{\"type\":\"meta\",\"version\":\"0.1.0\",\"bench\":\"crash_torture\",\"backend\":\"Viyojit\",\"config_hash\":\"00000000000000aa\",\"fault_seed\":7}\n",
+        "{\"type\":\"postmortem\",\"label\":\"worker0\",\"trigger\":\"crash_signal:budget_round\",\"last_round\":5}\n",
+        "{\"type\":\"event\",\"at_ns\":10,\"seq\":0,\"kind\":\"write_fault\",\"detail\":\"page=3\"}\n",
+        "{\"type\":\"event\",\"at_ns\":20,\"seq\":1,\"kind\":\"budget_granted\",\"detail\":\"pages=8\"}\n",
+        "{\"type\":\"snapshot\",\"epoch\":5,\"at_ns\":30,\"counters\":{\"viyojit.write_faults\":{\"delta\":1,\"total\":4}},\"gauges\":{\"sharded.shard0.dirty_pages\":12,\"sharded.shard0.budget_pages\":32,\"viyojit.dirty_pages\":12}}\n",
+    );
+
+    #[test]
+    fn report_renders_seam_round_and_shard_state() {
+        let trace = Trace::parse(DUMP).unwrap();
+        let out = postmortem_report(&trace).unwrap().to_string();
+        assert!(
+            out.contains(
+                "black box worker0: trigger crash_signal:budget_round, last budget round 5"
+            ),
+            "{out}"
+        );
+        assert!(out.contains("bench crash_torture"), "{out}");
+        assert!(out.contains("fault seed 7"), "{out}");
+        assert!(out.contains("write_fault"), "{out}");
+        assert!(
+            out.contains(">>> crash seam: crash_signal:budget_round fired here <<<"),
+            "{out}"
+        );
+        assert!(out.contains("shard0"), "{out}");
+        assert!(out.contains("dirty       12  budget       32"), "{out}");
+        assert!(
+            out.contains("counter viyojit.write_faults             total 4 (delta 1)"),
+            "{out}"
+        );
+        assert!(out.contains("gauge   viyojit.dirty_pages"), "{out}");
+    }
+
+    #[test]
+    fn non_dumps_are_refused() {
+        let trace = Trace::parse(
+            "{\"type\":\"event\",\"at_ns\":1,\"seq\":0,\"kind\":\"write_fault\",\"detail\":\"page=0\"}\n",
+        )
+        .unwrap();
+        assert!(postmortem_report(&trace).is_none());
+    }
+
+    #[test]
+    fn empty_timeline_and_missing_snapshot_render_placeholders() {
+        let trace = Trace::parse(
+            "{\"type\":\"postmortem\",\"label\":\"control\",\"trigger\":\"degraded_mode\",\"last_round\":0}\n",
+        )
+        .unwrap();
+        let out = postmortem_report(&trace).unwrap().to_string();
+        assert!(out.contains("timeline: no events retained"), "{out}");
+        assert!(out.contains("state at dump: no snapshot captured"), "{out}");
+    }
+}

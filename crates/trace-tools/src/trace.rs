@@ -51,6 +51,20 @@ impl Event {
     }
 }
 
+/// The flight-recorder header of a black-box dump
+/// (`{"type":"postmortem",...}`): which thread dumped, why, and the last
+/// budget round it saw.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Postmortem {
+    /// Dumping thread's label (`worker0`, `control`, ...).
+    pub label: String,
+    /// Stable lowercase cause: `panic`, `crash_signal:<seam>`,
+    /// `round_timeout`, or `degraded_mode`.
+    pub trigger: String,
+    /// Last budget round the thread participated in before the dump.
+    pub last_round: u64,
+}
+
 /// One per-epoch metrics snapshot.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Snapshot {
@@ -69,6 +83,8 @@ pub struct Snapshot {
 pub struct Trace {
     /// The run-identity header, when the trace carries one.
     pub meta: Option<Meta>,
+    /// The flight-recorder header, when the trace is a black-box dump.
+    pub postmortem: Option<Postmortem>,
     /// Every event record, in file order.
     pub events: Vec<Event>,
     /// Every snapshot record, in file order.
@@ -184,6 +200,13 @@ impl Trace {
                         backend: need_str(&v, "backend", line)?,
                         config_hash: need_str(&v, "config_hash", line)?,
                         fault_seed: v.get("fault_seed").and_then(Value::as_u64),
+                    });
+                }
+                "postmortem" => {
+                    trace.postmortem = Some(Postmortem {
+                        label: need_str(&v, "label", line)?,
+                        trigger: need_str(&v, "trigger", line)?,
+                        last_round: need_u64(&v, "last_round", line)?,
                     });
                 }
                 "event" => trace.events.push(Event {
@@ -334,5 +357,22 @@ mod tests {
     fn unknown_record_types_are_ignored() {
         let t = Trace::parse("{\"type\":\"future_thing\",\"x\":1}\n").unwrap();
         assert_eq!(t, Trace::default());
+    }
+
+    #[test]
+    fn postmortem_headers_parse() {
+        let t = Trace::parse(
+            "{\"type\":\"postmortem\",\"label\":\"worker1\",\
+             \"trigger\":\"crash_signal:budget_round\",\"last_round\":5}\n",
+        )
+        .unwrap();
+        assert_eq!(
+            t.postmortem,
+            Some(Postmortem {
+                label: "worker1".to_string(),
+                trigger: "crash_signal:budget_round".to_string(),
+                last_round: 5,
+            })
+        );
     }
 }
