@@ -14,27 +14,65 @@
 //! Usage:
 //!   wallclock [--quick] [--out FILE] [--check COMMITTED_JSON]
 //!
-//! `--quick` runs the small CI configuration (1M pages, 0.1% density).
-//! `--check FILE` additionally compares the fresh optimized epoch-walk
-//! ns/page at 0.1% density against the committed artifact and exits
-//! non-zero if it regressed more than [`REGRESSION_FACTOR`]×.
+//! `--quick` runs the small CI configuration: 1M pages at the 0.1%
+//! legacy gate density, at 10% (the fault/flush density gate), and a
+//! uniform-runs layout cell (whole 512-page runs dirty, exercising the
+//! huge-tier run fast paths).
+//! `--check FILE` additionally enforces three gates and exits non-zero
+//! on any failure: the fresh optimized epoch-walk ns/page at 0.1%
+//! density must be within [`REGRESSION_FACTOR`]× of the committed
+//! artifact; the fresh epoch walk must be at least 1.0× the in-run
+//! scalar baseline at *every* cell (density-adaptive dispatch must never
+//! lose to the byte-per-page model); and the fresh fault/flush lifecycle
+//! must stay within [`FAULT_FLUSH_FACTOR`]× of the scalar baseline at
+//! 10% density (the per-page mark path must not drown in bitmap-tier
+//! maintenance).
 
 use std::hint::black_box;
 use std::sync::Mutex;
 use std::time::Instant;
 
-use mem_sim::{AtomicBitmap2L, PageId, PageTable};
+use mem_sim::{AtomicBitmap2L, PageId, PageTable, RUN_PAGES};
 use viyojit::DirtySet;
 
 /// CI gate: fail if epoch-walk ns/page regresses past this factor over
 /// the committed artifact (absorbs runner-to-runner noise).
 const REGRESSION_FACTOR: f64 = 3.0;
+/// CI gate: the per-page fault/flush lifecycle (three bitmap marks) may
+/// cost at most this factor over the scalar byte-per-page marks, at
+/// [`FAULT_GATE_DENSITY`]. In-run comparison, so runner speed cancels.
+const FAULT_FLUSH_FACTOR: f64 = 2.0;
 
 /// The committed artifact's headline cell: ≥8M pages at 0.1% density.
 const HEADLINE_PAGES: usize = 8_388_608;
 /// The CI quick cell (small config, same density).
 const QUICK_PAGES: usize = 1_048_576;
 const GATE_DENSITY: f64 = 0.001;
+/// Density of the fault/flush lifecycle gate cell.
+const FAULT_GATE_DENSITY: f64 = 0.1;
+/// Density of the uniform-runs layout cell.
+const UNIFORM_DENSITY: f64 = 0.25;
+
+/// How the dirty population is laid out in the address space.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Layout {
+    /// Uniformly random distinct pages (the historical sweep).
+    Random,
+    /// Whole 512-page runs dirtied wholesale: the huge tier classifies
+    /// every touched run `Full` and every other run `Empty`, so run
+    /// fast paths (wholesale collection, O(1) clean-run skips) carry
+    /// the entire scan.
+    UniformRuns,
+}
+
+impl Layout {
+    fn name(self) -> &'static str {
+        match self {
+            Layout::Random => "random",
+            Layout::UniformRuns => "uniform_runs",
+        }
+    }
+}
 
 /// Deterministic xorshift64*; the harness must not depend on ambient
 /// randomness.
@@ -75,18 +113,27 @@ impl ScalarDirtySet {
         }
     }
 
+    // The marks assert the lifecycle exactly as the seed implementation
+    // did — the scalar model must reproduce the code it benchmarks
+    // against, not an idealized store-only version of it.
     fn mark_dirty(&mut self, page: usize) {
-        self.states[page] = ScalarState::Dirty;
+        let s = &mut self.states[page];
+        assert!(*s == ScalarState::Clean, "page {page} dirtied twice");
+        *s = ScalarState::Dirty;
         self.dirty_count += 1;
     }
 
     fn mark_in_flight(&mut self, page: usize) {
-        self.states[page] = ScalarState::InFlight;
+        let s = &mut self.states[page];
+        assert!(*s == ScalarState::Dirty, "only dirty pages can be flushed");
+        *s = ScalarState::InFlight;
         self.in_flight_count += 1;
     }
 
     fn mark_clean(&mut self, page: usize) {
-        self.states[page] = ScalarState::Clean;
+        let s = &mut self.states[page];
+        assert!(*s == ScalarState::InFlight, "only in-flight pages complete");
+        *s = ScalarState::Clean;
         self.dirty_count -= 1;
         self.in_flight_count -= 1;
     }
@@ -173,6 +220,7 @@ fn time_ns(reps: u32, mut f: impl FnMut() -> u64) -> (f64, u64) {
 struct Cell {
     pages: usize,
     density: f64,
+    layout: Layout,
     dirty_pages: usize,
     /// (optimized ns, baseline ns) per metric.
     epoch_walk: (f64, f64),
@@ -183,7 +231,7 @@ struct Cell {
     atomic_publish: (f64, f64),
 }
 
-fn measure_cell(pages: usize, density: f64, reps: u32) -> Cell {
+fn measure_cell(pages: usize, density: f64, layout: Layout, reps: u32) -> Cell {
     // Deterministic dirty population, identical for both models.
     let target = ((pages as f64 * density) as usize).max(1);
     let mut rng = 0x9E37_79B9_7F4A_7C15u64 ^ (pages as u64) ^ (target as u64);
@@ -192,46 +240,95 @@ fn measure_cell(pages: usize, density: f64, reps: u32) -> Cell {
     let mut scalar_dirty = ScalarDirtySet::new(pages);
     let mut scalar_pt = ScalarPageTable::new(pages);
     let mut picked: Vec<usize> = Vec::with_capacity(target);
-    while picked.len() < target {
-        let p = (xorshift(&mut rng) % pages as u64) as usize;
-        if dirty.dirty_bits().test(p) {
-            continue;
-        }
+    let mark = |p: usize,
+                    dirty: &mut DirtySet,
+                    pt: &mut PageTable,
+                    sd: &mut ScalarDirtySet,
+                    sp: &mut ScalarPageTable| {
         dirty.mark_dirty(PageId(p as u64));
         pt.set_dirty(PageId(p as u64), true);
-        scalar_dirty.mark_dirty(p);
-        scalar_pt.set_dirty(p);
-        picked.push(p);
+        sd.mark_dirty(p);
+        sp.set_dirty(p);
+    };
+    match layout {
+        Layout::Random => {
+            while picked.len() < target {
+                let p = (xorshift(&mut rng) % pages as u64) as usize;
+                if dirty.dirty_bits().test(p) {
+                    continue;
+                }
+                mark(p, &mut dirty, &mut pt, &mut scalar_dirty, &mut scalar_pt);
+                picked.push(p);
+            }
+        }
+        Layout::UniformRuns => {
+            let runs = pages / RUN_PAGES;
+            let want = (target / RUN_PAGES).max(1);
+            let mut chosen = 0;
+            while chosen < want {
+                let r = (xorshift(&mut rng) % runs as u64) as usize;
+                if dirty.dirty_bits().test(r * RUN_PAGES) {
+                    continue;
+                }
+                for p in r * RUN_PAGES..(r + 1) * RUN_PAGES {
+                    mark(p, &mut dirty, &mut pt, &mut scalar_dirty, &mut scalar_pt);
+                    picked.push(p);
+                }
+                chosen += 1;
+            }
+        }
     }
+    let target = picked.len();
 
-    // Epoch walk (§5.2 software mode): enumerate the dirty set, then
-    // read-and-clear each page's PTE dirty bit; restore untimed.
-    let epoch_opt = time_ns(reps, || {
-        let walk: Vec<PageId> = dirty.iter_dirty().collect();
-        let mut touched = 0u64;
-        for &p in &walk {
-            if pt.take_dirty(p) {
-                touched += 1;
+    // Epoch walk (§5.2 software mode): enumerate the dirty set through
+    // the density-dispatched production collection (what SoftwareWalk
+    // actually runs), then read-and-clear each page's PTE dirty bit;
+    // restore untimed. The buffer is reused across reps, as the engine
+    // reuses its walk set.
+    // The PTE re-dirty between reps is bench plumbing (production never
+    // undoes a walk), so it runs outside the timed window on both sides.
+    let mut walk_buf: Vec<PageId> = Vec::new();
+    let epoch_opt = {
+        let mut checksum = 0u64;
+        let mut total = 0u128;
+        for _ in 0..reps {
+            walk_buf.clear();
+            let start = Instant::now();
+            dirty.collect_dirty_into(&mut walk_buf);
+            let mut touched = 0u64;
+            for &p in &walk_buf {
+                if pt.take_dirty(p) {
+                    touched += 1;
+                }
+            }
+            total += start.elapsed().as_nanos();
+            checksum = checksum.wrapping_add(black_box(touched));
+            for &p in &walk_buf {
+                pt.set_dirty(p, true);
             }
         }
-        for &p in &walk {
-            pt.set_dirty(p, true);
-        }
-        touched
-    });
-    let epoch_base = time_ns(reps, || {
-        let walk = scalar_dirty.collect_dirty();
-        let mut touched = 0u64;
-        for &p in &walk {
-            if scalar_pt.take_dirty(p as usize) {
-                touched += 1;
+        (total as f64 / f64::from(reps), checksum)
+    };
+    let epoch_base = {
+        let mut checksum = 0u64;
+        let mut total = 0u128;
+        for _ in 0..reps {
+            let start = Instant::now();
+            let walk = scalar_dirty.collect_dirty();
+            let mut touched = 0u64;
+            for &p in &walk {
+                if scalar_pt.take_dirty(p as usize) {
+                    touched += 1;
+                }
+            }
+            total += start.elapsed().as_nanos();
+            checksum = checksum.wrapping_add(black_box(touched));
+            for &p in &walk {
+                scalar_pt.set_dirty(p as usize);
             }
         }
-        for &p in &walk {
-            scalar_pt.set_dirty(p as usize);
-        }
-        touched
-    });
+        (total as f64 / f64::from(reps), checksum)
+    };
 
     // Discovery scan (§5.4 hardware mode): find every PTE-dirty page.
     let discovery_opt = time_ns(reps, || pt.iter_dirty_pages().map(|p| p.0).sum());
@@ -247,48 +344,54 @@ fn measure_cell(pages: usize, density: f64, reps: u32) -> Cell {
 
     // Fault + flush lifecycle over every dirty page: in-flight, complete,
     // re-dirty (the per-page budget bookkeeping on the write/flush path).
+    // `black_box(&mut ...)` between transitions on BOTH models: the
+    // round-trip leaves state unchanged, so without the barrier LLVM
+    // folds either side into a load-and-check — timing an optimizer
+    // artifact, not the mark path.
     let fault_opt = time_ns(reps, || {
         for &p in &picked {
             let page = PageId(p as u64);
-            dirty.mark_in_flight(page);
-            dirty.mark_clean(page);
-            dirty.mark_dirty(page);
+            black_box(&mut dirty).mark_in_flight(page);
+            black_box(&mut dirty).mark_clean(page);
+            black_box(&mut dirty).mark_dirty(page);
         }
         dirty.dirty_count()
     });
     let fault_base = time_ns(reps, || {
         for &p in &picked {
-            scalar_dirty.mark_in_flight(p);
-            scalar_dirty.mark_clean(p);
-            scalar_dirty.mark_dirty(p);
+            black_box(&mut scalar_dirty).mark_in_flight(p);
+            black_box(&mut scalar_dirty).mark_clean(p);
+            black_box(&mut scalar_dirty).mark_dirty(p);
         }
         scalar_dirty.dirty_count
     });
 
     // Cross-thread dirty publication (the parallel runtime's per-epoch
     // sweep): push every dirty leaf word into a shared bitmap, read the
-    // global count, retract. The optimized path is `AtomicBitmap2L`
-    // (lock-free word stores, transition-exact count); the baseline is
-    // what you'd do without it — a mutex around a flat word vector,
-    // with every count a full popcount scan.
-    let mut words: Vec<(usize, u64)> = Vec::new();
+    // global count, retract. The optimized path is what the parallel
+    // engine runs — `AtomicBitmap2L::publish_words`, a shadow-diffed
+    // batch store over the full word range (unchanged chunks skipped,
+    // dense fallback past the diff threshold, summary/run/count updates
+    // batched); the baseline is what you'd do without it — a mutex
+    // around a flat word vector, with every count a full popcount scan.
+    let stride = pages.div_ceil(64);
+    let mut word_bits = vec![0u64; stride];
     for &p in &picked {
-        let w = p / 64;
-        let bit = 1u64 << (p % 64);
-        match words.iter_mut().find(|(word, _)| *word == w) {
-            Some((_, bits)) => *bits |= bit,
-            None => words.push((w, bit)),
-        }
+        word_bits[p / 64] |= 1u64 << (p % 64);
     }
+    let words: Vec<(usize, u64)> = word_bits
+        .iter()
+        .enumerate()
+        .filter(|(_, &bits)| bits != 0)
+        .map(|(w, &bits)| (w, bits))
+        .collect();
     let shared = AtomicBitmap2L::new(pages);
+    let zero_bits = vec![0u64; stride];
+    let mut shadow = vec![0u64; stride];
     let publish_opt = time_ns(reps, || {
-        for &(w, bits) in &words {
-            shared.store_word(w, bits);
-        }
+        shared.publish_words(0, &word_bits, &mut shadow);
         let count = shared.count();
-        for &(w, _) in &words {
-            shared.store_word(w, 0);
-        }
+        shared.publish_words(0, &zero_bits, &mut shadow);
         count
     });
     let mutex_words = Mutex::new(vec![0u64; pages.div_ceil(64)]);
@@ -323,6 +426,7 @@ fn measure_cell(pages: usize, density: f64, reps: u32) -> Cell {
     Cell {
         pages,
         density,
+        layout,
         dirty_pages: target,
         epoch_walk: (epoch_opt.0, epoch_base.0),
         discovery: (discovery_opt.0, discovery_base.0),
@@ -343,7 +447,7 @@ fn speedup(pair: (f64, f64)) -> f64 {
 
 fn cell_json(c: &Cell) -> String {
     format!(
-        "    {{\"pages\": {}, \"density\": {}, \"dirty_pages\": {}, \
+        "    {{\"pages\": {}, \"density\": {}, \"layout\": \"{}\", \"dirty_pages\": {}, \
          \"epoch_walk_ns_optimized\": {:.1}, \"epoch_walk_ns_baseline\": {:.1}, \"epoch_walk_speedup\": {:.2}, \
          \"discovery_ns_optimized\": {:.1}, \"discovery_ns_baseline\": {:.1}, \"discovery_speedup\": {:.2}, \
          \"dirty_count_ns_optimized\": {:.1}, \"dirty_count_ns_baseline\": {:.1}, \"dirty_count_speedup\": {:.2}, \
@@ -352,6 +456,7 @@ fn cell_json(c: &Cell) -> String {
          \"atomic_publish_ns_optimized\": {:.1}, \"atomic_publish_ns_baseline\": {:.1}, \"atomic_publish_speedup\": {:.2}}}",
         c.pages,
         c.density,
+        c.layout.name(),
         c.dirty_pages,
         c.epoch_walk.0,
         c.epoch_walk.1,
@@ -381,12 +486,14 @@ fn report_json(mode: &str, cells: &[Cell]) -> String {
     };
     let headline = cells
         .iter()
-        .find(|c| c.pages == headline_pages && c.density == GATE_DENSITY)
+        .find(|c| {
+            c.pages == headline_pages && c.density == GATE_DENSITY && c.layout == Layout::Random
+        })
         .expect("the sweep always contains the headline cell");
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"wallclock\",\n");
-    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str("  \"schema_version\": 2,\n");
     let meta = telemetry::RunMeta::new("wallclock", "host", &format!("mode={mode}"), None);
     out.push_str(&format!(
         "  \"meta\": {},\n",
@@ -462,22 +569,33 @@ fn main() {
         quick = true;
     }
 
-    let (sizes, densities, reps): (&[usize], &[f64], u32) = if quick {
-        (&[QUICK_PAGES], &[GATE_DENSITY], 5)
-    } else {
+    let (configs, reps): (Vec<(usize, f64, Layout)>, u32) = if quick {
         (
-            &[QUICK_PAGES, HEADLINE_PAGES, 33_554_432],
-            &[0.0001, 0.001, 0.01, 0.1],
-            3,
+            vec![
+                (QUICK_PAGES, GATE_DENSITY, Layout::Random),
+                (QUICK_PAGES, FAULT_GATE_DENSITY, Layout::Random),
+                (QUICK_PAGES, UNIFORM_DENSITY, Layout::UniformRuns),
+            ],
+            5,
         )
+    } else {
+        let mut configs = Vec::new();
+        for &pages in &[QUICK_PAGES, HEADLINE_PAGES, 33_554_432] {
+            for &density in &[0.0001, 0.001, 0.01, 0.1, 0.25, 0.5] {
+                configs.push((pages, density, Layout::Random));
+            }
+            configs.push((pages, UNIFORM_DENSITY, Layout::UniformRuns));
+        }
+        (configs, 3)
     };
 
     let mut cells = Vec::new();
-    for &pages in sizes {
-        for &density in densities {
-            eprintln!("measuring {pages} pages at density {density} ...");
-            cells.push(measure_cell(pages, density, reps));
-        }
+    for &(pages, density, layout) in &configs {
+        eprintln!(
+            "measuring {pages} pages at density {density} ({}) ...",
+            layout.name()
+        );
+        cells.push(measure_cell(pages, density, layout, reps));
     }
 
     let mode = if quick { "quick" } else { "full" };
@@ -489,6 +607,7 @@ fn main() {
     }
 
     if let Some(path) = &check_path {
+        let mut failed = false;
         let committed = std::fs::read_to_string(path)
             .unwrap_or_else(|e| panic!("cannot read committed artifact {path}: {e}"));
         let committed_ns = extract_cell_value(&committed, QUICK_PAGES, "epoch_walk_ns_optimized")
@@ -505,6 +624,45 @@ fn main() {
         );
         if fresh_per_page > committed_per_page * REGRESSION_FACTOR {
             eprintln!("FAIL: epoch-walk hot path regressed more than {REGRESSION_FACTOR}x");
+            failed = true;
+        }
+        // Density-adaptive dispatch must never lose to the scalar model:
+        // every cell's epoch walk, against its own in-run baseline (so
+        // runner speed cancels), must be at least break-even.
+        for c in &cells {
+            let s = speedup(c.epoch_walk);
+            eprintln!(
+                "gate: epoch-walk speedup {s:.2}x at density {} ({}) (limit >= 1.0x)",
+                c.density,
+                c.layout.name()
+            );
+            if s < 1.0 {
+                eprintln!(
+                    "FAIL: epoch walk slower than the scalar baseline at density {} ({})",
+                    c.density,
+                    c.layout.name()
+                );
+                failed = true;
+            }
+        }
+        // The per-page mark path must not drown in bitmap-tier
+        // maintenance at high density.
+        let fault = cells
+            .iter()
+            .find(|c| c.density == FAULT_GATE_DENSITY && c.layout == Layout::Random)
+            .expect("quick sweep contains the fault/flush gate cell");
+        let ratio = fault.fault_flush.0 / fault.fault_flush.1.max(f64::MIN_POSITIVE);
+        eprintln!(
+            "gate: fault/flush {ratio:.2}x of scalar baseline at density {FAULT_GATE_DENSITY} \
+             (limit <= {FAULT_FLUSH_FACTOR}x)"
+        );
+        if ratio > FAULT_FLUSH_FACTOR {
+            eprintln!(
+                "FAIL: fault/flush lifecycle more than {FAULT_FLUSH_FACTOR}x the scalar baseline"
+            );
+            failed = true;
+        }
+        if failed {
             std::process::exit(1);
         }
         eprintln!("gate: OK");

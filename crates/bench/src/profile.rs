@@ -107,6 +107,14 @@ impl ProfileCapture {
         let mut sink = JsonlSink::new(BufWriter::new(file));
         sink.meta(&self.meta);
         self.telemetry.drain_into(&mut sink);
+        // Host-side scan-dispatch totals ride along as a note (wall
+        // plane, not the event stream) so `viyojit-trace summary` shows
+        // which bitmap path production scans actually took.
+        let dispatch = mem_sim::dispatch::snapshot();
+        sink.note(&format!(
+            "bitmap dispatch: skip={} dense={} unrolled={}",
+            dispatch.skip, dispatch.dense, dispatch.unrolled
+        ));
         sink.profile(&report);
         use std::io::Write;
         sink.into_inner()

@@ -105,17 +105,20 @@ impl DirtySet {
 
     /// Marks a clean page dirty (fault-handler step 4 of Fig. 6).
     ///
+    /// The state check is fused into the bit operations — `set`'s return
+    /// value already says whether the page was dirty, so the fault path
+    /// pays two word accesses instead of the four a separate `state()`
+    /// probe cost.
+    ///
     /// # Panics
     ///
     /// Panics if the page is not clean: the fault handler only runs on
     /// write-protected pages, and dirty pages are never protected.
+    #[inline]
     pub fn mark_dirty(&mut self, page: PageId) {
-        assert_eq!(
-            self.state(page),
-            PageState::Clean,
-            "page {page} dirtied twice"
-        );
-        self.dirty.set(page.index());
+        let i = page.index();
+        let was_clean = self.dirty.set(i) && !self.in_flight.test(i);
+        assert!(was_clean, "page {page} dirtied twice");
         self.dirty_count += 1;
     }
 
@@ -125,14 +128,11 @@ impl DirtySet {
     /// # Panics
     ///
     /// Panics if the page is not in the `Dirty` state.
+    #[inline]
     pub fn mark_in_flight(&mut self, page: PageId) {
-        assert_eq!(
-            self.state(page),
-            PageState::Dirty,
-            "only dirty pages can be flushed"
-        );
-        self.dirty.clear(page.index());
-        self.in_flight.set(page.index());
+        let i = page.index();
+        assert!(self.dirty.clear(i), "only dirty pages can be flushed");
+        self.in_flight.set(i);
         self.in_flight_count += 1;
     }
 
@@ -142,13 +142,10 @@ impl DirtySet {
     /// # Panics
     ///
     /// Panics if the page is not in the `InFlight` state.
+    #[inline]
     pub fn mark_clean(&mut self, page: PageId) {
-        assert_eq!(
-            self.state(page),
-            PageState::InFlight,
-            "only in-flight pages complete"
-        );
-        self.in_flight.clear(page.index());
+        let i = page.index();
+        assert!(self.in_flight.clear(i), "only in-flight pages complete");
         self.dirty_count -= 1;
         self.in_flight_count -= 1;
     }
@@ -160,13 +157,10 @@ impl DirtySet {
     /// # Panics
     ///
     /// Panics if the page is not in the `Dirty` state.
+    #[inline]
     pub fn discard_dirty(&mut self, page: PageId) {
-        assert_eq!(
-            self.state(page),
-            PageState::Dirty,
-            "only dirty pages can be discarded"
-        );
-        self.dirty.clear(page.index());
+        let i = page.index();
+        assert!(self.dirty.clear(i), "only dirty pages can be discarded");
         self.dirty_count -= 1;
     }
 
@@ -182,6 +176,54 @@ impl DirtySet {
         self.dirty
             .iter_ones_union(&self.in_flight)
             .map(|i| PageId(i as u64))
+    }
+
+    /// Appends the `Dirty`-state pages to `out` in ascending order — the
+    /// eager, density-dispatched walk behind [`DirtySet::iter_dirty`]:
+    /// the scan path follows the maintained density, and uniformly dirty
+    /// 512-page runs are appended through the huge tier without touching
+    /// leaf words.
+    pub fn collect_dirty_into(&self, out: &mut Vec<PageId>) {
+        self.dirty.collect_into_map(out, |i| PageId(i as u64));
+    }
+
+    /// Appends every page counted against the budget (dirty ∪ in-flight)
+    /// to `out` in ascending order. The two bitmaps are disjoint, so a
+    /// run whose popcounts sum to the run length is uniformly counted and
+    /// is appended wholesale in O(1); empty runs are skipped without
+    /// touching leaf words; only mixed runs pay a word-union walk. This
+    /// is the emergency obligation-collection scan: O(runs + mixed
+    /// words), not O(words).
+    pub fn collect_counted_into(&self, out: &mut Vec<PageId>) {
+        use mem_sim::bitmap::{extend_from_word, RUN_PAGES, RUN_WORDS};
+        mem_sim::dispatch::record(Bitmap2L::path_for(
+            (self.dirty_count + self.in_flight_count) as usize,
+            self.dirty.len().max(1),
+        ));
+        out.reserve(self.dirty_count as usize);
+        let (d, f) = (&self.dirty, &self.in_flight);
+        let (hd, hf) = (d.huge(), f.huge());
+        let to_page = |i: usize| PageId(i as u64);
+        for r in 0..hd.runs() {
+            let pop = hd.run_pop(r) + hf.run_pop(r);
+            if pop == 0 {
+                continue;
+            }
+            let base = r * RUN_PAGES;
+            let run_len = hd.run_len(r);
+            if pop == run_len {
+                out.extend((base..base + run_len).map(to_page));
+                continue;
+            }
+            let w0 = r * RUN_WORDS;
+            let w1 = (w0 + RUN_WORDS).min(d.word_count());
+            for w in w0..w1 {
+                let bits = d.word(w) | f.word(w);
+                if bits != 0 {
+                    extend_from_word(out, w, bits, to_page);
+                }
+            }
+        }
     }
 
     /// The `Dirty`-state pages as a bitmap, for word-level scans.
@@ -335,6 +377,30 @@ mod tests {
             s.iter_counted().collect::<Vec<_>>(),
             vec![PageId(63), PageId(64), PageId(130)]
         );
+        s.validate();
+    }
+
+    #[test]
+    fn collect_matches_iter_across_run_classes() {
+        // Run 0 uniformly counted (dirty + in-flight sum to 512), run 1
+        // mixed, run 2 empty: the collection walks all three classes.
+        let mut s = DirtySet::new(3 * 512);
+        for i in 0..512u64 {
+            s.mark_dirty(PageId(i));
+        }
+        for i in 0..128u64 {
+            s.mark_in_flight(PageId(i * 4));
+        }
+        for i in (512..1024u64).step_by(17) {
+            s.mark_dirty(PageId(i));
+        }
+        let mut dirty = Vec::new();
+        s.collect_dirty_into(&mut dirty);
+        assert_eq!(dirty, s.iter_dirty().collect::<Vec<_>>());
+        let mut counted = Vec::new();
+        s.collect_counted_into(&mut counted);
+        assert_eq!(counted, s.iter_counted().collect::<Vec<_>>());
+        assert_eq!(counted.len(), 512 + 512usize.div_ceil(17));
         s.validate();
     }
 

@@ -17,7 +17,7 @@
 
 use battery_sim::{Battery, PowerModel};
 use fault_sim::crashpoint;
-use mem_sim::PageId;
+use mem_sim::{PageId, PAGE_SIZE};
 use sim_clock::SimDuration;
 use telemetry::{CostClass, TraceEvent};
 
@@ -62,6 +62,19 @@ pub struct FlushObligation {
 }
 
 impl FlushObligation {
+    /// An obligation whose every item ships a full page — the hardware
+    /// and baseline backends, whose collections arrive run-batched from
+    /// the huge tier (uniformly dirty 512-page runs taken wholesale,
+    /// empty runs skipped) with no per-page payload computation.
+    pub(crate) fn full_pages(items: Vec<ObligationItem>) -> Self {
+        let obligation_pages = items.len() as u64;
+        FlushObligation {
+            obligation_bytes: obligation_pages * PAGE_SIZE as u64,
+            obligation_pages,
+            items,
+        }
+    }
+
     /// Pages the report must account for.
     pub fn pages(&self) -> u64 {
         self.obligation_pages

@@ -486,20 +486,22 @@ impl<B: DirtyTracker> Worker<B> {
     }
 
     /// Publishes each owned shard's counted-dirty words into the shared
-    /// map, storing only words that changed since the last publication.
+    /// map as one batched diff against the last publication: unchanged
+    /// 8-word runs are skipped with a single compare, mostly-changed
+    /// slices fall back to straight-line stores, and the popcount /
+    /// summary / run-tier maintenance is amortized over the whole slice
+    /// instead of paying 3–4 RMWs per `store_word`.
     fn publish_dirty(&mut self) {
         for (idx, (shard, engine)) in self.engines.iter().enumerate() {
             self.scratch[..self.stride].fill(0);
             let scratch = &mut self.scratch;
             engine.for_each_counted_word(|w, bits| scratch[w] |= bits);
             let shadow = &mut self.shadow[idx];
-            let base = shard * self.stride;
-            for w in 0..self.stride {
-                if scratch[w] != shadow[w] {
-                    self.dirty_map.store_word(base + w, scratch[w]);
-                    shadow[w] = scratch[w];
-                }
-            }
+            self.dirty_map.publish_words(
+                shard * self.stride,
+                &self.scratch[..self.stride],
+                &mut shadow[..self.stride],
+            );
         }
     }
 

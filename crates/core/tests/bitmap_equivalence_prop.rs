@@ -14,7 +14,9 @@
 //! and proving contents survive a power cycle. If a word-level scan ever
 //! skipped or double-visited a page, these are the assertions that break.
 
-use mem_sim::{PageId, PageTable, PAGE_SIZE};
+use mem_sim::{
+    AtomicBitmap2L, Bitmap2L, PageId, PageTable, RunClass, ScanPath, PAGE_SIZE, RUN_PAGES,
+};
 use proptest::prelude::*;
 use sim_clock::{Clock, CostModel, SimDuration};
 use ssd_sim::SsdConfig;
@@ -300,6 +302,177 @@ proptest! {
             }
             assert_states_agree(&pt, &spt, &ds, &sds)?;
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Part 1b: density-stratified scan-path equivalence.
+//
+// The per-scan dispatcher picks Skip / Dense / Unrolled from the
+// maintained popcount, so a uniform random population would almost never
+// exercise the sparse or dense extremes. These generators stratify the
+// population by density band so every case pins the dispatcher to a known
+// path, then assert all three paths — and the huge-tier run
+// classification above them — agree on states, counts, and iteration
+// order with the scalar model.
+// ---------------------------------------------------------------------------
+
+/// Three full 512-page runs plus a partial tail run, so run-boundary and
+/// partial-run arithmetic is always in play.
+const STRATA_PAGES: usize = 3 * RUN_PAGES + 137;
+
+const ALL_PATHS: [ScanPath; 3] = [ScanPath::Skip, ScanPath::Dense, ScanPath::Unrolled];
+
+/// A population pinned to one dispatch band. Band edges for 1673 bits:
+/// Skip below 7 ones (density < 1/256), Dense below 210 (< 1/8),
+/// Unrolled from 210 up; the ranges stay clear of the edges so the
+/// expected path is unambiguous.
+fn stratified_population() -> impl Strategy<Value = (ScanPath, Vec<usize>)> {
+    let all: Vec<usize> = (0..STRATA_PAGES).collect();
+    prop_oneof![
+        proptest::sample::subsequence(all.clone(), 1..=6).prop_map(|v| (ScanPath::Skip, v)),
+        proptest::sample::subsequence(all.clone(), 8..=200).prop_map(|v| (ScanPath::Dense, v)),
+        proptest::sample::subsequence(all, 220..=800).prop_map(|v| (ScanPath::Unrolled, v)),
+    ]
+}
+
+/// Asserts the bitmap and the sorted scalar population are
+/// observationally identical on every scan path: same dispatch choice,
+/// same counts, same iteration order, same word harvest, same drain, and
+/// a huge tier that matches a per-run recount.
+fn assert_paths_agree(b: &Bitmap2L, pages: &[usize]) -> Result<(), TestCaseError> {
+    prop_assert_eq!(b.count(), pages.len());
+    prop_assert_eq!(b.recount(), pages.len());
+    b.check_consistency()
+        .map_err(|e| TestCaseError::fail(format!("bitmap inconsistent: {e}")))?;
+
+    let mut scalar_words: Vec<(usize, u64)> = Vec::new();
+    for &p in pages {
+        match scalar_words.last_mut() {
+            Some((w, bits)) if *w == p / 64 => *bits |= 1u64 << (p % 64),
+            _ => scalar_words.push((p / 64, 1u64 << (p % 64))),
+        }
+    }
+    for path in ALL_PATHS {
+        let mut collected = Vec::new();
+        b.collect_into_with(path, &mut collected);
+        prop_assert_eq!(&collected, pages, "collect order diverged on {:?}", path);
+
+        let mut words = Vec::new();
+        b.for_each_word_with(path, |w, bits| words.push((w, bits)));
+        prop_assert_eq!(&words, &scalar_words, "word harvest diverged on {:?}", path);
+
+        let mut drained = Vec::new();
+        let mut clone = Bitmap2L::new(STRATA_PAGES);
+        for &p in pages {
+            clone.set(p);
+        }
+        clone.drain_words_with(path, |w, bits| drained.push((w, bits)));
+        prop_assert_eq!(&drained, &scalar_words, "drain harvest diverged on {:?}", path);
+        prop_assert_eq!(clone.count(), 0, "drain left bits behind on {:?}", path);
+        clone
+            .check_consistency()
+            .map_err(|e| TestCaseError::fail(format!("post-drain inconsistent: {e}")))?;
+    }
+
+    // Huge tier: every run's maintained popcount and class must match a
+    // recount of the pages that landed in it.
+    let huge = b.huge();
+    for r in 0..huge.runs() {
+        let lo = r * RUN_PAGES;
+        let hi = (lo + RUN_PAGES).min(STRATA_PAGES);
+        let pop = pages.iter().filter(|&&p| p >= lo && p < hi).count();
+        prop_assert_eq!(huge.run_pop(r), pop, "run {} popcount diverged", r);
+        let want = if pop == 0 {
+            RunClass::Empty
+        } else if pop == hi - lo {
+            RunClass::Full
+        } else {
+            RunClass::Mixed
+        };
+        prop_assert_eq!(huge.class(r), want, "run {} class diverged", r);
+    }
+    Ok(())
+}
+
+/// Round-trips the same population through the shared atomic map's batch
+/// publication and checks count / run popcounts / per-word contents, then
+/// retracts and checks it is empty again — at every density band this
+/// covers the chunk-skip, straight-line, and run-batched RMW paths.
+fn assert_atomic_publish_agrees(pages: &[usize]) -> Result<(), TestCaseError> {
+    let stride = STRATA_PAGES.div_ceil(64);
+    let mut word_bits = vec![0u64; stride];
+    for &p in pages {
+        word_bits[p / 64] |= 1u64 << (p % 64);
+    }
+    let shared = AtomicBitmap2L::new(STRATA_PAGES);
+    let mut shadow = vec![0u64; stride];
+    let stored = shared.publish_words(0, &word_bits, &mut shadow);
+    prop_assert_eq!(
+        stored,
+        word_bits.iter().filter(|&&w| w != 0).count(),
+        "publish stored a different word count than the population holds"
+    );
+    prop_assert_eq!(shared.count(), pages.len() as u64);
+    for r in 0..shared.runs() {
+        let lo = r * RUN_PAGES;
+        let hi = (lo + RUN_PAGES).min(STRATA_PAGES);
+        let pop = pages.iter().filter(|&&p| p >= lo && p < hi).count();
+        prop_assert_eq!(shared.run_pop(r) as usize, pop, "shared run {} diverged", r);
+    }
+    shared
+        .check_consistency()
+        .map_err(|e| TestCaseError::fail(format!("shared map inconsistent: {e}")))?;
+    let zero = vec![0u64; stride];
+    shared.publish_words(0, &zero, &mut shadow);
+    prop_assert_eq!(shared.count(), 0, "retraction left bits published");
+    for r in 0..shared.runs() {
+        prop_assert_eq!(shared.run_pop(r), 0, "retraction left run {} popcount", r);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Stratified equivalence: each density band pins the dispatcher to
+    /// its expected path, and all three forced paths agree with the
+    /// scalar model on states, counts, and iteration order.
+    #[test]
+    fn scan_paths_agree_at_every_density((expected, pages) in stratified_population()) {
+        let mut b = Bitmap2L::new(STRATA_PAGES);
+        for &p in &pages {
+            b.set(p);
+        }
+        prop_assert_eq!(b.scan_path(), expected, "dispatcher left its density band");
+        assert_paths_agree(&b, &pages)?;
+        assert_atomic_publish_agrees(&pages)?;
+    }
+
+    /// Uniform whole runs: the huge tier must classify every chosen run
+    /// `Full` and the rest `Empty`, and all three scan paths must still
+    /// agree — this is the band the 2 MiB tier exists for.
+    #[test]
+    fn uniform_runs_classify_full_and_agree(
+        runs in proptest::collection::btree_set(0usize..4, 1..=4),
+    ) {
+        let mut b = Bitmap2L::new(STRATA_PAGES);
+        let mut pages = Vec::new();
+        for &r in &runs {
+            let lo = r * RUN_PAGES;
+            let hi = (lo + RUN_PAGES).min(STRATA_PAGES);
+            for p in lo..hi {
+                b.set(p);
+                pages.push(p);
+            }
+        }
+        pages.sort_unstable();
+        for r in 0..b.huge().runs() {
+            let want = if runs.contains(&r) { RunClass::Full } else { RunClass::Empty };
+            prop_assert_eq!(b.huge().class(r), want, "run {} class diverged", r);
+        }
+        assert_paths_agree(&b, &pages)?;
+        assert_atomic_publish_agrees(&pages)?;
     }
 }
 

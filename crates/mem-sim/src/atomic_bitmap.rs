@@ -36,9 +36,9 @@
 //! assert_eq!(b.to_bitmap().iter_ones().collect::<Vec<_>>(), vec![3, 64, 66]);
 //! ```
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
-use crate::bitmap::Bitmap2L;
+use crate::bitmap::{Bitmap2L, RunClass, RUN_PAGES, RUN_WORDS};
 
 /// A fixed-size concurrent bitmap with a one-bit-per-word summary level
 /// and a maintained popcount, mirroring [`Bitmap2L`]'s shape with every
@@ -56,6 +56,9 @@ pub struct AtomicBitmap2L {
     /// Summary level: bit `w % 64` of `summary[w / 64]` is set if
     /// `words[w]` *may* be non-zero (conservative under races).
     summary: Vec<AtomicU64>,
+    /// Huge-page tier: maintained popcount per 512-page run; exact at
+    /// quiescence (transition-exact like `ones`).
+    run_pops: Vec<AtomicU32>,
     /// Maintained popcount; exact at quiescence, never drifting (every
     /// bit transition is counted against the atomic op's return value).
     ones: AtomicU64,
@@ -70,6 +73,9 @@ impl AtomicBitmap2L {
             words: (0..n_words).map(|_| AtomicU64::new(0)).collect(),
             summary: (0..n_words.div_ceil(64))
                 .map(|_| AtomicU64::new(0))
+                .collect(),
+            run_pops: (0..len.div_ceil(RUN_PAGES))
+                .map(|_| AtomicU32::new(0))
                 .collect(),
             ones: AtomicU64::new(0),
         }
@@ -148,6 +154,7 @@ impl AtomicBitmap2L {
             return false;
         }
         self.summary[w / 64].fetch_or(1u64 << (w % 64), Ordering::AcqRel);
+        self.run_pops[i / RUN_PAGES].fetch_add(1, Ordering::AcqRel);
         self.ones.fetch_add(1, Ordering::AcqRel);
         true
     }
@@ -166,6 +173,7 @@ impl AtomicBitmap2L {
         if old & mask == 0 {
             return false;
         }
+        self.run_pops[i / RUN_PAGES].fetch_sub(1, Ordering::AcqRel);
         self.ones.fetch_sub(1, Ordering::AcqRel);
         if old == mask {
             self.retire_summary_bit(w);
@@ -194,8 +202,10 @@ impl AtomicBitmap2L {
         let gained = u64::from(val.count_ones());
         let lost = u64::from(old.count_ones());
         if gained > lost {
+            self.run_pops[w / RUN_WORDS].fetch_add((gained - lost) as u32, Ordering::AcqRel);
             self.ones.fetch_add(gained - lost, Ordering::AcqRel);
         } else if lost > gained {
+            self.run_pops[w / RUN_WORDS].fetch_sub((lost - gained) as u32, Ordering::AcqRel);
             self.ones.fetch_sub(lost - gained, Ordering::AcqRel);
         }
         if val != 0 {
@@ -261,6 +271,186 @@ impl AtomicBitmap2L {
         out
     }
 
+    /// Number of 512-page runs in the huge tier (the last may be
+    /// partial).
+    pub fn runs(&self) -> usize {
+        self.run_pops.len()
+    }
+
+    /// Addressable bits in run `r`: `RUN_PAGES`, or fewer for a trailing
+    /// partial run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is past the last run.
+    #[inline]
+    pub fn run_len(&self, r: usize) -> usize {
+        assert!(r < self.run_pops.len(), "run index {r} out of range");
+        (self.len - r * RUN_PAGES).min(RUN_PAGES)
+    }
+
+    /// Maintained popcount of run `r`. Exact at quiescence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is past the last run.
+    #[inline]
+    pub fn run_pop(&self, r: usize) -> usize {
+        self.run_pops[r].load(Ordering::Acquire) as usize
+    }
+
+    /// Classifies run `r` from its maintained popcount, in O(1). Exact
+    /// at quiescence; a racing writer can make the class momentarily
+    /// stale, never torn.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is past the last run.
+    #[inline]
+    pub fn run_class(&self, r: usize) -> RunClass {
+        let pop = self.run_pop(r);
+        if pop == 0 {
+            RunClass::Empty
+        } else if pop == self.run_len(r) {
+            RunClass::Full
+        } else {
+            RunClass::Mixed
+        }
+    }
+
+    /// Publishes the words `new` at `base_word ..`, diffing against
+    /// `shadow` (this thread's record of what it last published) and
+    /// storing only changed words, in a single pass over the slice.
+    /// Unchanged 8-word runs are skipped with one branch-free XOR
+    /// compare; past the diff threshold every chunk compare fails and
+    /// the walk degrades to straight-line plain stores, so a
+    /// uniformly-dirty run publishes as eight stores. The total
+    /// popcount moves with one RMW, touched summary words with one RMW
+    /// each, and touched run popcounts with one RMW each — instead of
+    /// 3–4 RMWs *per word* via [`AtomicBitmap2L::store_word`]. `shadow`
+    /// is updated to match `new`. Returns the number of words stored.
+    ///
+    /// Caller contract: words `base_word .. base_word + new.len()` are
+    /// written only by this thread (the sharded engine's word-aligned
+    /// slice discipline), and `shadow` faithfully holds their current
+    /// values. The batch summary RMWs only touch this slice's bits, so
+    /// other shards under shared summary words are unaffected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new` and `shadow` differ in length, if the slice runs
+    /// past the last word, or if `new` sets bits past `len` in the final
+    /// partial word.
+    pub fn publish_words(&self, base_word: usize, new: &[u64], shadow: &mut [u64]) -> usize {
+        assert_eq!(new.len(), shadow.len(), "new/shadow lengths differ");
+        if new.is_empty() {
+            return 0;
+        }
+        let last = base_word + new.len() - 1;
+        assert!(last < self.words.len(), "word slice out of range");
+        let bits_last = (self.len - last * 64).min(64);
+        assert!(
+            bits_last == 64 || new[new.len() - 1] & !((1u64 << bits_last) - 1) == 0,
+            "word {last} value sets bits past the bitmap's {} bits",
+            self.len
+        );
+        let words = &self.words[base_word..=last];
+        let mut gained = 0u64;
+        let mut lost = 0u64;
+        let mut stored = 0usize;
+        // Streaming accumulators: words ascend, so summary-word and run
+        // indices are non-decreasing — one RMW per touched summary word
+        // and per touched run, flushed on index change, no allocation.
+        let mut cur_s = usize::MAX;
+        let mut set_mask = 0u64;
+        let mut clear_mask = 0u64;
+        let mut cur_r = usize::MAX;
+        let mut run_delta = 0i64;
+        let flush_summary = |s: usize, sm: u64, cm: u64| {
+            if sm != 0 {
+                self.summary[s].fetch_or(sm, Ordering::AcqRel);
+            }
+            if cm != 0 {
+                self.summary[s].fetch_and(!cm, Ordering::AcqRel);
+            }
+        };
+        let flush_run = |r: usize, d: i64| {
+            if d > 0 {
+                self.run_pops[r].fetch_add(d as u32, Ordering::AcqRel);
+            } else if d < 0 {
+                self.run_pops[r].fetch_sub((-d) as u32, Ordering::AcqRel);
+            }
+        };
+        let mut i = 0;
+        while i < new.len() {
+            // One branch-free XOR compare per 8-word chunk (autovectorizes;
+            // no memcmp call): unchanged chunks cost only their loads, and
+            // a fully-changed slice degrades naturally to straight-line
+            // stores with batched RMWs — never the 3–4 RMWs per word the
+            // `store_word` path would pay.
+            let j = (i + RUN_WORDS).min(new.len());
+            let mut diff = 0u64;
+            for (a, b) in new[i..j].iter().zip(&shadow[i..j]) {
+                diff |= a ^ b;
+            }
+            if diff == 0 {
+                i = j;
+                continue;
+            }
+            for k in i..j {
+                let (val, old) = (new[k], shadow[k]);
+                if val == old {
+                    continue;
+                }
+                let w = base_word + k;
+                words[k].store(val, Ordering::Release);
+                stored += 1;
+                let (np, op) = (u64::from(val.count_ones()), u64::from(old.count_ones()));
+                gained += np;
+                lost += op;
+                let r = w / RUN_WORDS;
+                if r != cur_r {
+                    if cur_r != usize::MAX {
+                        flush_run(cur_r, run_delta);
+                    }
+                    cur_r = r;
+                    run_delta = 0;
+                }
+                run_delta += np as i64 - op as i64;
+                if (old == 0) != (val == 0) {
+                    let s = w / 64;
+                    if s != cur_s {
+                        if cur_s != usize::MAX {
+                            flush_summary(cur_s, set_mask, clear_mask);
+                        }
+                        cur_s = s;
+                        set_mask = 0;
+                        clear_mask = 0;
+                    }
+                    if old == 0 {
+                        set_mask |= 1u64 << (w % 64);
+                    } else {
+                        clear_mask |= 1u64 << (w % 64);
+                    }
+                }
+                shadow[k] = val;
+            }
+            i = j;
+        }
+        if cur_r != usize::MAX {
+            flush_run(cur_r, run_delta);
+        }
+        if cur_s != usize::MAX {
+            flush_summary(cur_s, set_mask, clear_mask);
+        }
+        if gained > lost {
+            self.ones.fetch_add(gained - lost, Ordering::AcqRel);
+        } else if lost > gained {
+            self.ones.fetch_sub(lost - gained, Ordering::AcqRel);
+        }
+        stored
+    }
+
     /// Sum of set bits in leaf words `start_word .. end_word` (clamped).
     /// The sharded engine uses this for per-shard published counts, since
     /// each shard owns a word-aligned slice.
@@ -285,6 +475,17 @@ impl AtomicBitmap2L {
             let summarized = self.summary[w / 64].load(Ordering::Acquire) & (1u64 << (w % 64)) != 0;
             if word.load(Ordering::Acquire) != 0 && !summarized {
                 return Err("non-zero leaf word lacks its summary bit");
+            }
+        }
+        for r in 0..self.run_pops.len() {
+            let w0 = r * RUN_WORDS;
+            let w1 = (w0 + RUN_WORDS).min(self.words.len());
+            let pop: u64 = self.words[w0..w1]
+                .iter()
+                .map(|w| u64::from(w.load(Ordering::Acquire).count_ones()))
+                .sum();
+            if pop != self.run_pop(r) as u64 {
+                return Err("run popcount out of sync with leaf words");
             }
         }
         if self.recount() != self.count() {
@@ -373,6 +574,85 @@ mod tests {
         b.store_word(1, 0b10_0000); // bit 69: allowed
         assert_eq!(b.count(), 1);
         let res = std::panic::catch_unwind(|| b.store_word(1, 1 << 6));
+        assert!(res.is_err(), "bit 70 is out of range");
+    }
+
+    #[test]
+    fn publish_words_matches_store_word_semantics() {
+        let pub_map = AtomicBitmap2L::new(64 * 64);
+        let ref_map = AtomicBitmap2L::new(64 * 64);
+        let mut shadow = vec![0u64; 64];
+        let mut rng = 0xD15Bu64;
+        for round in 0..50 {
+            // Alternate sparse diffs and dense rewrites to hit both the
+            // skip-unchanged-runs path and the dense fallback.
+            let mut new = shadow.clone();
+            let n_changes = if round % 2 == 0 { 3 } else { 50 };
+            for _ in 0..n_changes {
+                let w = (xorshift(&mut rng) % 64) as usize;
+                new[w] = xorshift(&mut rng);
+            }
+            pub_map.publish_words(0, &new, &mut shadow);
+            for (w, &val) in new.iter().enumerate() {
+                ref_map.store_word(w, val);
+            }
+            assert_eq!(shadow, new, "shadow tracks published state");
+            assert_eq!(pub_map.count(), ref_map.count(), "round {round}");
+            for w in 0..64 {
+                assert_eq!(pub_map.load_word(w), ref_map.load_word(w));
+            }
+            pub_map.check_consistency().unwrap();
+        }
+    }
+
+    #[test]
+    fn publish_words_skips_unchanged_state_entirely() {
+        let b = AtomicBitmap2L::new(64 * 32);
+        let mut shadow = vec![0u64; 32];
+        let mut new = vec![0u64; 32];
+        new[5] = 0b1010;
+        assert_eq!(b.publish_words(0, &new, &mut shadow), 1);
+        assert_eq!(b.publish_words(0, &new, &mut shadow), 0, "no diff");
+        assert_eq!(b.count(), 2);
+        b.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn publish_words_tracks_run_popcounts() {
+        // Two full runs plus a partial word of slack.
+        let b = AtomicBitmap2L::new(2 * 512 + 40);
+        assert_eq!(b.runs(), 3);
+        let mut shadow = vec![0u64; b.word_count()];
+        let mut new = vec![0u64; b.word_count()];
+        for w in 0..8 {
+            new[w] = !0; // run 0 uniformly dirty
+        }
+        new[8] = 1; // one bit in run 1
+        b.publish_words(0, &new, &mut shadow);
+        assert_eq!(b.run_pop(0), 512);
+        assert_eq!(b.run_class(0), RunClass::Full);
+        assert_eq!(b.run_pop(1), 1);
+        assert_eq!(b.run_class(1), RunClass::Mixed);
+        assert_eq!(b.run_class(2), RunClass::Empty);
+        assert_eq!(b.run_len(2), 40);
+        b.check_consistency().unwrap();
+        // Retract run 0; the run classifies empty again.
+        for w in 0..8 {
+            new[w] = 0;
+        }
+        b.publish_words(0, &new, &mut shadow);
+        assert_eq!(b.run_class(0), RunClass::Empty);
+        assert_eq!(b.count(), 1);
+        b.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn publish_words_rejects_out_of_range_tail_bits() {
+        let b = AtomicBitmap2L::new(70);
+        let mut shadow = vec![0u64; 2];
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            b.publish_words(0, &[0, 1 << 6], &mut shadow)
+        }));
         assert!(res.is_err(), "bit 70 is out of range");
     }
 

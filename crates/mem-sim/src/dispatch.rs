@@ -1,0 +1,75 @@
+//! Process-global counters for density-adaptive scan dispatch.
+//!
+//! Every dispatched scan over a [`Bitmap2L`](crate::Bitmap2L) records
+//! which path the density heuristic picked. The counters are wall-clock
+//! observability only: they are monotone process totals, never enter the
+//! virtual-time metrics registry (which must replay deterministically),
+//! and are exported as `bitmap.dispatch.{skip,dense,unrolled}` by the
+//! engine's telemetry publication.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::bitmap::ScanPath;
+
+static SKIP: AtomicU64 = AtomicU64::new(0);
+static DENSE: AtomicU64 = AtomicU64::new(0);
+static UNROLLED: AtomicU64 = AtomicU64::new(0);
+
+/// Point-in-time totals of dispatched scans per path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DispatchCounts {
+    /// Scans that took the summary-guided word-skip path.
+    pub skip: u64,
+    /// Scans that took the straight-line full-word walk.
+    pub dense: u64,
+    /// Scans that took the 4-wide unrolled walk.
+    pub unrolled: u64,
+}
+
+impl DispatchCounts {
+    /// Total dispatched scans across all paths.
+    pub fn total(&self) -> u64 {
+        self.skip + self.dense + self.unrolled
+    }
+}
+
+/// Records one dispatched scan. Relaxed: the counters are statistics,
+/// not synchronization.
+#[inline]
+pub fn record(path: ScanPath) {
+    let c = match path {
+        ScanPath::Skip => &SKIP,
+        ScanPath::Dense => &DENSE,
+        ScanPath::Unrolled => &UNROLLED,
+    };
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Snapshot of the process-global dispatch totals.
+pub fn snapshot() -> DispatchCounts {
+    DispatchCounts {
+        skip: SKIP.load(Ordering::Relaxed),
+        dense: DENSE.load(Ordering::Relaxed),
+        unrolled: UNROLLED.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recording_moves_the_matching_counter() {
+        let before = snapshot();
+        record(ScanPath::Skip);
+        record(ScanPath::Dense);
+        record(ScanPath::Dense);
+        record(ScanPath::Unrolled);
+        let after = snapshot();
+        // Other tests may record concurrently, so assert lower bounds.
+        assert!(after.skip >= before.skip + 1);
+        assert!(after.dense >= before.dense + 2);
+        assert!(after.unrolled >= before.unrolled + 1);
+        assert!(after.total() >= before.total() + 4);
+    }
+}

@@ -35,13 +35,15 @@
 
 pub mod atomic_bitmap;
 pub mod bitmap;
+pub mod dispatch;
 mod mmu;
 mod page;
 mod page_table;
 mod tlb;
 
 pub use atomic_bitmap::AtomicBitmap2L;
-pub use bitmap::Bitmap2L;
+pub use bitmap::{Bitmap2L, HugeBitmap, RunClass, ScanPath, RUN_PAGES, RUN_WORDS};
+pub use dispatch::DispatchCounts;
 pub use mmu::{AccessError, Mmu, MmuStats, WalkOptions, SECTOR_BYTES};
 pub use page::{page_count, PageId, PAGE_SIZE};
 pub use page_table::{PageTable, PteFlags};

@@ -215,6 +215,7 @@ impl PageTable {
     /// # Panics
     ///
     /// Panics if `page` is out of range.
+    #[inline]
     pub fn set_dirty(&mut self, page: PageId, dirty: bool) {
         if dirty {
             self.dirty.set(page.index());
@@ -242,6 +243,7 @@ impl PageTable {
     /// # Panics
     ///
     /// Panics if `page` is out of range.
+    #[inline]
     pub fn take_dirty(&mut self, page: PageId) -> bool {
         self.dirty.clear(page.index())
     }

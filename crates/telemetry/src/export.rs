@@ -95,6 +95,11 @@ pub fn render_prometheus(telemetry: &Telemetry) -> String {
         let _ = writeln!(out, "{name}_sum {}", hist.sum_nanos());
         let _ = writeln!(out, "{name}_count {}", hist.len());
     }
+    for (name, value) in telemetry.wall_counters() {
+        let name = sanitize(name);
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
     for (kind, hist) in telemetry.wall_histograms() {
         if hist.is_empty() {
             continue;
@@ -228,6 +233,7 @@ mod tests {
         shard.metrics(|m| m.counter_add("viyojit.write_faults", 2));
         let wall = telemetry.wall_start();
         telemetry.record_wall(WallKind::Step, wall);
+        telemetry.set_wall_counter("bitmap.dispatch.skip", 11);
 
         let text = render_prometheus(&telemetry);
         assert!(text.contains("# TYPE viyojit_write_faults counter\nviyojit_write_faults 5\n"));
@@ -237,6 +243,7 @@ mod tests {
         assert!(text.contains("# TYPE viyojit_stall histogram"));
         assert!(text.contains("viyojit_stall_bucket{le=\"+Inf\"} 2"));
         assert!(text.contains("viyojit_stall_count 2"));
+        assert!(text.contains("# TYPE bitmap_dispatch_skip counter\nbitmap_dispatch_skip 11\n"));
         assert!(text.contains("# TYPE viyojit_wall_step_nanos histogram"));
         assert!(text.contains("viyojit_wall_step_nanos_count 1"));
         assert!(render_prometheus(&Telemetry::disabled()).is_empty());

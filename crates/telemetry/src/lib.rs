@@ -391,6 +391,38 @@ impl Telemetry {
         }
     }
 
+    /// Publishes a wall-plane counter: a named monotone host-side total
+    /// (e.g. scan-dispatch counts). Set semantics — each call overwrites
+    /// with the latest total, and merging keeps the maximum — so
+    /// republishing the same process-global figure from several shards
+    /// never inflates it.
+    ///
+    /// Like wall durations, these never enter the registry, the trace
+    /// ring, or snapshots: virtual-time output stays byte-identical no
+    /// matter which scan paths the host actually took.
+    pub fn set_wall_counter(&self, name: &'static str, value: u64) {
+        if let Some(recorder) = &self.recorder {
+            recorder
+                .lock()
+                .expect("telemetry poisoned")
+                .wall
+                .set_counter(name, value);
+        }
+    }
+
+    /// Wall-plane counters merged across shards, sorted by name.
+    pub fn wall_counters(&self) -> Vec<(&'static str, u64)> {
+        let Some(recorder) = &self.recorder else {
+            return Vec::new();
+        };
+        let mut merged = recorder.lock().expect("telemetry poisoned").wall.clone();
+        for shard in self.shard_arcs() {
+            let rec = shard.lock().expect("telemetry poisoned");
+            merged.merge_from(&rec.wall);
+        }
+        merged.counters().collect()
+    }
+
     /// The wall-clock histogram for each kind, merged across shards.
     pub fn wall_histograms(&self) -> Vec<(WallKind, WallHistogram)> {
         let Some(recorder) = &self.recorder else {

@@ -12,6 +12,7 @@
 //! floor to the bucket's lower bound), sized for host durations from
 //! 1 ns to ~years.
 
+use std::collections::BTreeMap;
 use std::fmt;
 use std::time::Duration;
 
@@ -191,10 +192,16 @@ impl Default for WallHistogram {
     }
 }
 
-/// The per-recorder set of wall-clock histograms, one per [`WallKind`].
+/// The per-recorder set of wall-clock histograms, one per [`WallKind`],
+/// plus named wall-plane counters (monotone host-side totals such as
+/// scan-dispatch counts). Counters have *set* semantics — each publish
+/// overwrites with the latest total — and merge by maximum, since every
+/// shard publishing a process-global monotone total should collapse to
+/// the freshest value, not a multiple of it.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct WallStats {
     hists: [WallHistogram; 4],
+    counters: BTreeMap<&'static str, u64>,
 }
 
 impl WallStats {
@@ -202,14 +209,26 @@ impl WallStats {
         self.hists[kind.index()].record(d);
     }
 
+    pub(crate) fn set_counter(&mut self, name: &'static str, value: u64) {
+        let slot = self.counters.entry(name).or_insert(0);
+        *slot = (*slot).max(value);
+    }
+
     pub(crate) fn merge_from(&mut self, other: &WallStats) {
         for (a, b) in self.hists.iter_mut().zip(&other.hists) {
             a.merge(b);
+        }
+        for (&name, &value) in &other.counters {
+            self.set_counter(name, value);
         }
     }
 
     pub(crate) fn histogram(&self, kind: WallKind) -> &WallHistogram {
         &self.hists[kind.index()]
+    }
+
+    pub(crate) fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&name, &value)| (name, value))
     }
 }
 
@@ -270,6 +289,24 @@ mod tests {
         other.record(WallKind::Step, Duration::from_nanos(9));
         stats.merge_from(&other);
         assert_eq!(stats.histogram(WallKind::Step).len(), 2);
+    }
+
+    #[test]
+    fn counters_keep_latest_total_and_merge_by_max() {
+        let mut stats = WallStats::default();
+        stats.set_counter("bitmap.dispatch.skip", 10);
+        stats.set_counter("bitmap.dispatch.skip", 25);
+        let mut shard = WallStats::default();
+        // A shard republishing the same process-global total (possibly
+        // staler) must not inflate the merged value.
+        shard.set_counter("bitmap.dispatch.skip", 20);
+        shard.set_counter("bitmap.dispatch.dense", 7);
+        stats.merge_from(&shard);
+        let merged: Vec<(&str, u64)> = stats.counters().collect();
+        assert_eq!(
+            merged,
+            vec![("bitmap.dispatch.dense", 7), ("bitmap.dispatch.skip", 25)]
+        );
     }
 
     #[test]

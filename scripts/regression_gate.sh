@@ -17,6 +17,22 @@ trap 'rm -rf "$out"' EXIT
 
 cargo build --release -p viyojit-bench --bins
 
+# The committed wall-clock artifact must carry the density sweep the
+# CI gate compares against: the high-density cells and the uniform-runs
+# layout that exercises the 2 MiB huge-page tier. An artifact blessed
+# before the density-adaptive dispatch landed lacks them, and the gate
+# would silently check nothing — fail loudly instead.
+artifact=BENCH_wallclock.json
+for needle in '"schema_version": 2' '"layout": "uniform_runs"' '"density": 0.5' \
+              '"fault_flush_ns_optimized"' '"epoch_walk_speedup"'; do
+    if ! grep -qF "$needle" "$artifact"; then
+        echo "gate: $artifact lacks $needle — re-bless with" \
+             "'cargo run --release -p viyojit-bench --bin wallclock -- --out $artifact'" >&2
+        exit 1
+    fi
+done
+echo "gate: $artifact carries the full density sweep"
+
 ./target/release/fault_storm 5 >"$out/fault_storm_5.csv"
 ./target/release/shard_scaling >"$out/shard_scaling.csv"
 ./target/release/fig7 >"$out/fig7.csv"
